@@ -1,0 +1,110 @@
+//! Workload characterization: measuring the communication/computation
+//! ratio `α` that parameterizes the paper's Eq. 1.
+
+use redcr_mpi::{CostModel, Result, World};
+
+use crate::cg::{CgConfig, CgSolver};
+use crate::compute::ComputeModel;
+
+/// Result of an `α` calibration run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlphaMeasurement {
+    /// Mean observed communication fraction across ranks.
+    pub alpha: f64,
+    /// Total virtual runtime of the probe, seconds.
+    pub virtual_time: f64,
+}
+
+/// Measures the observed `α` of a CG configuration at redundancy 1 by
+/// running `iterations` iterations on `ranks` ranks under the given cost
+/// models.
+///
+/// # Errors
+///
+/// Propagates runtime errors.
+pub fn measure_cg_alpha(
+    ranks: usize,
+    cfg: &CgConfig,
+    cost: CostModel,
+    iterations: u64,
+) -> Result<AlphaMeasurement> {
+    let solver = CgSolver::new(cfg.clone());
+    let report = World::builder(ranks).cost_model(cost).run(move |comm| {
+        let mut state = solver.init_state(comm)?;
+        solver.run(comm, &mut state, iterations)?;
+        Ok(())
+    })?;
+    Ok(AlphaMeasurement {
+        alpha: report.mean_comm_fraction(),
+        virtual_time: report.max_virtual_time,
+    })
+}
+
+/// Searches (by bisection on the per-flop cost) for a [`ComputeModel`] that
+/// makes the CG workload exhibit approximately `target_alpha` under `cost`.
+/// Returns the calibrated model and the achieved measurement.
+///
+/// # Errors
+///
+/// Propagates runtime errors from the probe runs.
+pub fn calibrate_cg_alpha(
+    ranks: usize,
+    base: &CgConfig,
+    cost: CostModel,
+    iterations: u64,
+    target_alpha: f64,
+) -> Result<(ComputeModel, AlphaMeasurement)> {
+    // alpha decreases as computation gets more expensive; bisection over
+    // log(secs_per_flop).
+    let mut lo = 1e-12f64; // fast cpu -> high alpha
+    let mut hi = 1e-3f64; // slow cpu -> low alpha
+    let mut best = (ComputeModel { secs_per_flop: lo }, AlphaMeasurement {
+        alpha: f64::NAN,
+        virtual_time: 0.0,
+    });
+    for _ in 0..24 {
+        let mid = (lo.ln() + hi.ln()) / 2.0;
+        let model = ComputeModel { secs_per_flop: mid.exp() };
+        let mut cfg = base.clone();
+        cfg.compute = model;
+        let m = measure_cg_alpha(ranks, &cfg, cost, iterations)?;
+        best = (model, m);
+        if m.alpha > target_alpha {
+            // Too much communication: make compute more expensive.
+            lo = model.secs_per_flop;
+        } else {
+            hi = model.secs_per_flop;
+        }
+        if (m.alpha - target_alpha).abs() < 0.002 {
+            break;
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_decreases_with_compute_cost() {
+        let mut cfg = CgConfig::small(64);
+        let cost = CostModel::infiniband_qdr();
+        cfg.compute = ComputeModel { secs_per_flop: 1e-11 };
+        let fast = measure_cg_alpha(4, &cfg, cost, 5).unwrap();
+        cfg.compute = ComputeModel { secs_per_flop: 1e-6 };
+        let slow = measure_cg_alpha(4, &cfg, cost, 5).unwrap();
+        assert!(fast.alpha > slow.alpha, "fast {} slow {}", fast.alpha, slow.alpha);
+        assert!(slow.alpha < 0.2, "slow alpha {}", slow.alpha);
+        assert!(fast.alpha > 0.9, "fast alpha {}", fast.alpha);
+    }
+
+    #[test]
+    fn calibration_hits_target() {
+        let cfg = CgConfig::small(96);
+        let (model, m) =
+            calibrate_cg_alpha(4, &cfg, CostModel::infiniband_qdr(), 5, 0.2).unwrap();
+        assert!(model.secs_per_flop > 0.0);
+        assert!((m.alpha - 0.2).abs() < 0.05, "calibrated alpha {}", m.alpha);
+    }
+}

@@ -1,0 +1,103 @@
+//! Checkpoint-stack benchmarks and ablations: codec throughput, RLE
+//! compression, incremental deltas, and the bookmark-vs-Chandy-Lamport
+//! quiesce cost (DESIGN.md ablation 3).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use redcr_ckpt::coordinator::{CheckpointCoordinator, CoordinationProtocol};
+use redcr_ckpt::incremental::IncrementalEngine;
+use redcr_ckpt::storage::{MemoryStorage, StableStorage};
+use redcr_ckpt::{compress, from_bytes, to_bytes, CountingComm};
+use redcr_mpi::{Communicator, CostModel, World};
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint/codec");
+    let state: Vec<f64> = (0..100_000).map(|i| i as f64 * 0.5).collect();
+    let bytes = to_bytes(&state).unwrap();
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("serialize_800kB", |b| b.iter(|| to_bytes(&state).unwrap()));
+    g.bench_function("deserialize_800kB", |b| {
+        b.iter(|| from_bytes::<Vec<f64>>(&bytes).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint/compress");
+    let mut zeroish = vec![0u8; 1 << 20];
+    for i in (0..zeroish.len()).step_by(4096) {
+        zeroish[i] = i as u8;
+    }
+    g.throughput(Throughput::Bytes(zeroish.len() as u64));
+    g.bench_function("rle_sparse_1MiB", |b| b.iter(|| compress::compress(&zeroish)));
+    let packed = compress::compress(&zeroish);
+    g.bench_function("rle_decompress", |b| b.iter(|| compress::decompress(&packed).unwrap()));
+    g.finish();
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint/incremental");
+    g.bench_function("delta_1MiB_1pct_dirty", |b| {
+        let mut engine = IncrementalEngine::new();
+        let mut image = vec![7u8; 1 << 20];
+        engine.checkpoint(&image);
+        let mut toggle = 0u8;
+        b.iter(|| {
+            toggle = toggle.wrapping_add(1);
+            for i in (0..image.len()).step_by(100 * 4096) {
+                image[i] = toggle;
+            }
+            engine.checkpoint(&image)
+        });
+    });
+    g.finish();
+}
+
+fn quiesce_run(protocol: CoordinationProtocol, ranks: usize) {
+    let storage: Arc<dyn StableStorage> = Arc::new(MemoryStorage::new());
+    let coordinator = CheckpointCoordinator::new(storage).protocol(protocol);
+    World::builder(ranks)
+        .cost_model(CostModel::zero())
+        .run(move |base| {
+            let comm = CountingComm::new(base);
+            // Some in-flight traffic so the protocols have work to do.
+            let peer = comm.rank().offset(1, comm.size());
+            for i in 0..4u64 {
+                comm.send(peer, redcr_mpi::Tag::new(i), &[0u8; 64])?;
+            }
+            for seq in 0..3u64 {
+                coordinator
+                    .checkpoint(&comm, seq, &vec![comm.rank().index() as u64; 128])
+                    .map_err(redcr_mpi::MpiError::from)?;
+            }
+            // Drain what we sent.
+            let prev = comm.rank().offset(-1, comm.size());
+            for i in 0..4u64 {
+                comm.recv(prev.into(), redcr_mpi::Tag::new(i).into())?;
+            }
+            Ok(())
+        })
+        .unwrap();
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint/coordination_ablation");
+    g.sample_size(10);
+    for &ranks in &[8usize, 32] {
+        g.bench_with_input(BenchmarkId::new("bookmark", ranks), &ranks, |b, &r| {
+            b.iter(|| quiesce_run(CoordinationProtocol::Bookmark, r));
+        });
+        g.bench_with_input(BenchmarkId::new("chandy_lamport", ranks), &ranks, |b, &r| {
+            b.iter(|| quiesce_run(CoordinationProtocol::ChandyLamport, r));
+        });
+        g.bench_with_input(BenchmarkId::new("app_quiesced", ranks), &ranks, |b, &r| {
+            b.iter(|| quiesce_run(CoordinationProtocol::AppQuiesced, r));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_compress, bench_incremental, bench_protocols);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Analytic-model benchmarks and ablations: evaluation cost, optimizer
+//! search, exact-vs-linear reliability (DESIGN.md ablation 4) and
+//! Daly-vs-Young-vs-numeric checkpoint intervals.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use redcr_model::checkpointing::{daly_interval, optimal_interval_numeric, young_interval};
+use redcr_model::combined::{CombinedConfig, IntervalPolicy};
+use redcr_model::optimizer::{optimal_redundancy, RGrid};
+use redcr_model::reliability::Approximation;
+use redcr_model::units;
+
+fn cfg() -> CombinedConfig {
+    CombinedConfig::builder()
+        .virtual_processes(100_000)
+        .base_time_hours(128.0)
+        .node_mtbf_hours(units::hours_from_years(5.0))
+        .comm_fraction(0.2)
+        .checkpoint_cost_hours(units::hours_from_mins(10.0))
+        .restart_cost_hours(units::hours_from_mins(30.0))
+        .build()
+        .unwrap()
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model/evaluate");
+    let base = cfg();
+    g.bench_function("combined_single", |b| {
+        b.iter(|| base.with_degree(2.0).evaluate().unwrap())
+    });
+    g.bench_function("optimal_redundancy_9pt", |b| {
+        b.iter(|| optimal_redundancy(&base, &RGrid::quarter_steps()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_approximation_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model/approximation_ablation");
+    let base = cfg();
+    for (name, approx) in
+        [("linear_eq3", Approximation::Linear), ("exact_exponential", Approximation::Exact)]
+    {
+        let mut cfg = base.clone();
+        cfg.approximation = approx;
+        g.bench_function(name, move |b| {
+            b.iter(|| cfg.with_degree(2.0).evaluate().unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_interval_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model/interval_ablation");
+    let (ckpt, theta) = (0.1f64, 50.0f64);
+    g.bench_function("daly_eq15", |b| b.iter(|| daly_interval(ckpt, theta).unwrap()));
+    g.bench_function("young_first_order", |b| b.iter(|| young_interval(ckpt, theta).unwrap()));
+    g.bench_function("numeric_golden_section", |b| {
+        b.iter(|| optimal_interval_numeric(ckpt, theta).unwrap())
+    });
+    // End-to-end difference: the resulting total times.
+    let base = cfg();
+    for (name, policy) in [
+        ("total_time_daly", IntervalPolicy::Daly),
+        ("total_time_young", IntervalPolicy::Young),
+        ("total_time_numeric", IntervalPolicy::Optimal),
+    ] {
+        let mut cfg = base.clone();
+        cfg.interval_policy = policy;
+        g.bench_function(name, move |b| {
+            b.iter(|| cfg.with_degree(2.0).evaluate().unwrap().total_time);
+        });
+    }
+    g.finish();
+}
+
+fn bench_crossover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model/crossover_search");
+    g.sample_size(10);
+    let base = cfg();
+    g.bench_function("crossover_1x_2x", |b| {
+        b.iter(|| {
+            redcr_model::optimizer::crossover(&base, 1.0, 2.0, 100, 10_000_000).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_evaluate,
+    bench_approximation_ablation,
+    bench_interval_ablation,
+    bench_crossover
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Replication-layer benchmarks and ablations: message amplification per
+//! degree, and the All-to-all vs Msg-PlusHash bandwidth trade
+//! (DESIGN.md ablation 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use redcr_apps::cg::{CgConfig, CgSolver};
+use redcr_mpi::{Communicator, CostModel};
+use redcr_red::{ReplicatedWorld, VoteCost, VotingMode};
+
+fn cg_run(degree: f64, mode: VotingMode) {
+    let solver = CgSolver::new(CgConfig::small(256));
+    ReplicatedWorld::builder(8, degree)
+        .unwrap()
+        .voting_mode(mode)
+        .vote_cost(VoteCost::zero())
+        .cost_model(CostModel::zero())
+        .run(move |comm| {
+            let mut state = solver.init_state(comm)?;
+            solver.run(comm, &mut state, 5)?;
+            Ok(())
+        })
+        .unwrap();
+}
+
+fn bench_degrees(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replication/cg_by_degree");
+    g.sample_size(10);
+    for &degree in &[1.0, 1.5, 2.0, 3.0] {
+        g.bench_with_input(BenchmarkId::from_parameter(degree), &degree, |b, &d| {
+            b.iter(|| cg_run(d, VotingMode::AllToAll));
+        });
+    }
+    g.finish();
+}
+
+fn bench_voting_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replication/voting_mode_ablation");
+    g.sample_size(10);
+    g.bench_function("all_to_all_3x", |b| b.iter(|| cg_run(3.0, VotingMode::AllToAll)));
+    g.bench_function("msg_plus_hash_3x", |b| b.iter(|| cg_run(3.0, VotingMode::MsgPlusHash)));
+    g.finish();
+}
+
+fn bench_wildcard_protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replication/wildcard_protocol");
+    g.sample_size(10);
+    g.bench_function("any_source_2x", |b| {
+        b.iter(|| {
+            ReplicatedWorld::builder(4, 2.0)
+                .unwrap()
+                .cost_model(CostModel::zero())
+                .vote_cost(VoteCost::zero())
+                .run(|comm| {
+                    if comm.rank().index() == 0 {
+                        for _ in 0..30 {
+                            comm.recv(
+                                redcr_mpi::RankSelector::Any,
+                                redcr_mpi::TagSelector::Any,
+                            )?;
+                        }
+                    } else {
+                        for i in 0..10u64 {
+                            comm.send(redcr_mpi::Rank::new(0), redcr_mpi::Tag::new(i), b"m")?;
+                        }
+                    }
+                    Ok(())
+                })
+                .unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_degrees, bench_voting_modes, bench_wildcard_protocol);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Microbenchmarks of the message-passing runtime (wall time of the
+//! simulator itself, not virtual time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bytes::Bytes;
+use redcr_mpi::collectives::ReduceOp;
+use redcr_mpi::{Communicator, CostModel, Rank, Tag, World};
+
+fn bench_p2p(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime/p2p");
+    g.sample_size(10);
+    for &msgs in &[100u64, 1000] {
+        g.bench_with_input(BenchmarkId::new("ping_pong", msgs), &msgs, |b, &msgs| {
+            b.iter(|| {
+                World::builder(2)
+                    .cost_model(CostModel::zero())
+                    .run(|comm| {
+                        let peer = comm.rank().offset(1, 2);
+                        for i in 0..msgs {
+                            if comm.rank().index() == 0 {
+                                comm.send(peer, Tag::new(i), b"x")?;
+                                comm.recv(peer.into(), Tag::new(i).into())?;
+                            } else {
+                                comm.recv(peer.into(), Tag::new(i).into())?;
+                                comm.send(peer, Tag::new(i), b"x")?;
+                            }
+                        }
+                        Ok(())
+                    })
+                    .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime/collectives");
+    g.sample_size(10);
+    for &ranks in &[8usize, 32] {
+        g.bench_with_input(BenchmarkId::new("allreduce", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                World::builder(ranks)
+                    .cost_model(CostModel::zero())
+                    .run(|comm| {
+                        for _ in 0..20 {
+                            comm.allreduce_f64(&[1.0; 16], ReduceOp::Sum)?;
+                        }
+                        Ok(())
+                    })
+                    .unwrap()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("barrier", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                World::builder(ranks)
+                    .cost_model(CostModel::zero())
+                    .run(|comm| {
+                        for _ in 0..20 {
+                            comm.barrier()?;
+                        }
+                        Ok(())
+                    })
+                    .unwrap()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("allgather_4k", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                World::builder(ranks)
+                    .cost_model(CostModel::zero())
+                    .run(|comm| {
+                        let data = Bytes::from(vec![comm.rank().as_u32() as u8; 4096]);
+                        for _ in 0..5 {
+                            comm.allgather(data.clone())?;
+                        }
+                        Ok(())
+                    })
+                    .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_spawn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime/world_spawn");
+    g.sample_size(10);
+    for &ranks in &[16usize, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                World::builder(ranks)
+                    .cost_model(CostModel::zero())
+                    .run(|comm| Ok(comm.rank() == Rank::new(0)))
+                    .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+/// DESIGN.md ablation 1: latency-only vs latency+bandwidth cost models.
+/// The functional behaviour is identical; the bench records the simulator
+/// overhead of the fuller model, and the test suite checks the *virtual*
+/// times diverge only when payloads are large.
+fn bench_cost_model_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime/cost_model_ablation");
+    g.sample_size(10);
+    let latency_only = CostModel { latency: 1.5e-6, byte_time: 0.0, msg_overhead: 0.5e-6 };
+    let full = CostModel::infiniband_qdr();
+    for (name, model) in [("latency_only", latency_only), ("latency_bandwidth", full)] {
+        g.bench_function(name, move |b| {
+            b.iter(|| {
+                World::builder(8)
+                    .cost_model(model)
+                    .run(|comm| {
+                        for i in 0..10u64 {
+                            let next = comm.rank().offset(1, comm.size());
+                            let prev = comm.rank().offset(-1, comm.size());
+                            comm.send(next, Tag::new(i), &[0u8; 65536])?;
+                            comm.recv(prev.into(), Tag::new(i).into())?;
+                        }
+                        Ok(comm.now())
+                    })
+                    .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_p2p,
+    bench_collectives,
+    bench_spawn,
+    bench_cost_model_ablation
+);
+criterion_main!(benches);

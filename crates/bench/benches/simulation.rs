@@ -1,0 +1,89 @@
+//! Cluster-simulator benchmarks: single-run and Monte-Carlo throughput,
+//! and the failure-source cost comparison (per-process sphere sampling vs
+//! the aggregated Poisson shortcut).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use redcr_cluster::combined::simulate_combined;
+use redcr_cluster::failure_source::{PoissonSource, SphereSource};
+use redcr_cluster::job::{FailureExposure, JobConfig};
+use redcr_cluster::simulate::simulate_job;
+use redcr_cluster::sweep::monte_carlo;
+use redcr_fault::ReplicaGroups;
+use redcr_model::combined::CombinedConfig;
+use redcr_model::units;
+
+fn cfg(n: u64) -> CombinedConfig {
+    CombinedConfig::builder()
+        .virtual_processes(n)
+        .base_time_hours(128.0)
+        .node_mtbf_hours(units::hours_from_years(5.0))
+        .comm_fraction(0.2)
+        .checkpoint_cost_hours(units::hours_from_mins(10.0))
+        .restart_cost_hours(units::hours_from_mins(30.0))
+        .build()
+        .unwrap()
+}
+
+fn bench_single_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation/single_run");
+    for &n in &[1_000u64, 100_000] {
+        g.bench_with_input(BenchmarkId::new("combined_2x", n), &n, |b, &n| {
+            let config = cfg(n).with_degree(2.0);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                simulate_combined(&config, FailureExposure::AllTime, seed).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation/monte_carlo");
+    g.sample_size(10);
+    let config = cfg(10_000).with_degree(2.0);
+    g.bench_function("64_runs_8_threads", |b| {
+        b.iter(|| {
+            monte_carlo(64, 8, |seed| {
+                simulate_combined(&config, FailureExposure::AllTime, seed)
+            })
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_failure_sources(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation/failure_source");
+    let job = JobConfig {
+        work: 128.0,
+        checkpoint_cost: 0.2,
+        checkpoint_interval: 2.0,
+        restart_cost: 0.5,
+        exposure: FailureExposure::AllTime,
+        max_attempts: 1_000_000,
+    };
+    g.bench_function("poisson_aggregate", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let mut src = PoissonSource::new(50.0, seed);
+            simulate_job(&job, &mut src).unwrap()
+        })
+    });
+    g.bench_function("sphere_per_process_2x_1k", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let groups = ReplicaGroups::uniform(1_000, 2);
+            let mut src = SphereSource::new(groups, 50_000.0, seed);
+            simulate_job(&job, &mut src).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_runs, bench_monte_carlo, bench_failure_sources);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Figure 10 is the plot of Table 5; this binary emits its CSV series.
+fn main() {
+    let t5 = redcr_bench::table5::generate();
+    let mut csv = String::from("degree,observed_minutes,expected_minutes\n");
+    for (i, d) in redcr_bench::paper::DEGREES.iter().enumerate() {
+        csv.push_str(&format!(
+            "{},{:.2},{:.2}\n",
+            d, t5.observed_minutes[i], t5.expected_minutes[i]
+        ));
+    }
+    println!("{csv}");
+    let path = redcr_bench::output::write_result("fig10.csv", &csv);
+    eprintln!("wrote {}", path.display());
+}

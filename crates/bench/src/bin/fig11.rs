@@ -1,0 +1,9 @@
+//! Regenerates Figure 11 (simplified model curves at the Table 4 params).
+use redcr_model::combined::SimplifiedForm;
+fn main() {
+    let fig = redcr_bench::fig11::generate(SimplifiedForm::Consistent);
+    let out = redcr_bench::fig11::render(&fig);
+    println!("{out}");
+    let path = redcr_bench::output::write_result("fig11.txt", &out);
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 12 (observed vs modeled overlay + fit summary).
+fn main() {
+    let fig = redcr_bench::fig12::generate(redcr_bench::calib::T4_SEEDS);
+    let out = redcr_bench::fig12::render(&fig);
+    println!("{out}");
+    let path = redcr_bench::output::write_result("fig12.txt", &out);
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 13 (weak scaling to 30k processes).
+fn main() {
+    let data = redcr_bench::fig13_14::generate(30_000, 20);
+    let marks = redcr_bench::fig13_14::find_landmarks();
+    let out = redcr_bench::fig13_14::render(&data, 13, &marks);
+    println!("{out}");
+    let path = redcr_bench::output::write_result("fig13.txt", &out);
+    eprintln!("wrote {}", path.display());
+}

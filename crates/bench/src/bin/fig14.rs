@@ -1,0 +1,9 @@
+//! Regenerates Figure 14 (weak scaling to 200k processes + landmarks).
+fn main() {
+    let data = redcr_bench::fig13_14::generate(200_000, 24);
+    let marks = redcr_bench::fig13_14::find_landmarks();
+    let out = redcr_bench::fig13_14::render(&data, 14, &marks);
+    println!("{out}");
+    let path = redcr_bench::output::write_result("fig14.txt", &out);
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 2 (system reliability vs redundancy degree).
+fn main() {
+    let curves = redcr_bench::fig2::generate(10_000, 128.0);
+    let out = redcr_bench::fig2::render(&curves);
+    println!("{out}");
+    let mut csv = String::from("label,degree,reliability\n");
+    for c in &curves {
+        for (d, r) in &c.samples {
+            csv.push_str(&format!("{},{d},{r}\n", c.label.trim()));
+        }
+    }
+    redcr_bench::output::write_result("fig2.csv", &csv);
+    let path = redcr_bench::output::write_result("fig2.txt", &out);
+    eprintln!("wrote {}", path.display());
+}

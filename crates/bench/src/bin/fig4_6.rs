@@ -1,0 +1,13 @@
+//! Regenerates Figures 4-6 (modeled time vs degree, three configurations).
+fn main() {
+    let mut all = String::new();
+    for figure in [4u32, 5, 6] {
+        let data = redcr_bench::fig4_6::generate(figure);
+        let out = redcr_bench::fig4_6::render(&data);
+        println!("{out}");
+        all.push_str(&out);
+        all.push('\n');
+    }
+    let path = redcr_bench::output::write_result("fig4_6.txt", &all);
+    eprintln!("wrote {}", path.display());
+}

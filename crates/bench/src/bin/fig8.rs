@@ -1,0 +1,20 @@
+//! Figure 8 is the line-graph rendering of Table 4; this binary emits the
+//! same data as CSV series for plotting.
+fn main() {
+    let t5 = redcr_bench::table5::generate();
+    let t4 = redcr_bench::table4::generate(&t5, redcr_bench::calib::T4_SEEDS);
+    let mut csv = String::from("mtbf_hours,degree,minutes\n");
+    for (mtbf, cells) in &t4.rows {
+        for c in cells {
+            csv.push_str(&format!(
+                "{},{},{}\n",
+                mtbf,
+                c.degree,
+                c.minutes.map(|m| format!("{m:.2}")).unwrap_or_default()
+            ));
+        }
+    }
+    println!("{csv}");
+    let path = redcr_bench::output::write_result("fig8.csv", &csv);
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,18 @@
+//! Figure 9 is the surface-plot rendering of Table 4; this binary emits the
+//! matrix in a gnuplot-friendly grid format (degree, MTBF, minutes).
+fn main() {
+    let t5 = redcr_bench::table5::generate();
+    let t4 = redcr_bench::table4::generate(&t5, redcr_bench::calib::T4_SEEDS);
+    let mut out = String::from("# degree mtbf_hours minutes\n");
+    for (mtbf, cells) in &t4.rows {
+        for c in cells {
+            if let Some(m) = c.minutes {
+                out.push_str(&format!("{} {} {:.2}\n", c.degree, mtbf, m));
+            }
+        }
+        out.push('\n'); // gnuplot surface row separator
+    }
+    println!("{out}");
+    let path = redcr_bench::output::write_result("fig9.dat", &out);
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 1 (background reliability survey).
+fn main() {
+    let out = redcr_bench::table1::render();
+    println!("{out}");
+    let path = redcr_bench::output::write_result("table1.txt", &out);
+    eprintln!("wrote {}", path.display());
+}

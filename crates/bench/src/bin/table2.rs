@@ -1,0 +1,8 @@
+//! Regenerates Table 2 (168-hour job breakdown vs node count).
+fn main() {
+    let rows = redcr_bench::table2_3::generate_table2(32);
+    let out = redcr_bench::table2_3::render_table2(&rows);
+    println!("{out}");
+    let path = redcr_bench::output::write_result("table2.txt", &out);
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 3 (100k-node job breakdowns).
+fn main() {
+    let rows = redcr_bench::table2_3::generate_table3(32);
+    let out = redcr_bench::table2_3::render_table3(&rows);
+    println!("{out}");
+    let path = redcr_bench::output::write_result("table3.txt", &out);
+    eprintln!("wrote {}", path.display());
+}

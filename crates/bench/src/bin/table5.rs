@@ -1,0 +1,9 @@
+//! Regenerates Table 5 / Figure 10 (failure-free overhead vs degree,
+//! measured on the real replicated runtime).
+fn main() {
+    let t5 = redcr_bench::table5::generate();
+    let out = redcr_bench::table5::render(&t5);
+    println!("{out}");
+    let path = redcr_bench::output::write_result("table5.txt", &out);
+    eprintln!("wrote {}", path.display());
+}

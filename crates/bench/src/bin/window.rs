@@ -1,0 +1,11 @@
+//! The partial-redundancy window study (paper Section 6 observation (3) and
+//! the conclusion's "short window" caveat).
+fn main() {
+    let by_mtbf = redcr_bench::window::sweep_mtbf(2.0, 48.0, 47);
+    let out1 = redcr_bench::window::render(&by_mtbf);
+    println!("{out1}");
+    let by_n = redcr_bench::window::sweep_processes(100, 2_000_000, 60);
+    let out2 = redcr_bench::window::render(&by_n);
+    println!("{out2}");
+    redcr_bench::output::write_result("window.txt", &format!("{out1}\n{out2}"));
+}

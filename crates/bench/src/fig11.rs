@@ -1,0 +1,106 @@
+//! Figure 11 — the *simplified* experimental model (Section 6(5)) evaluated
+//! at the Table 4 parameters: one curve per MTBF, time vs degree.
+
+use redcr_model::combined::SimplifiedForm;
+
+use crate::calib::experiment_config;
+use crate::output::TextTable;
+use crate::paper::{constants, DEGREES};
+
+/// The modeled matrix: rows by MTBF, columns by degree, minutes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig11 {
+    /// `(mtbf_hours, minutes per degree)`.
+    pub rows: Vec<(f64, Vec<f64>)>,
+    /// Which simplified form was used.
+    pub form: SimplifiedForm,
+}
+
+/// Generates the figure with the chosen simplified form (the paper's
+/// verbatim formula or the dimensionally consistent reading; see
+/// [`SimplifiedForm`]).
+pub fn generate(form: SimplifiedForm) -> Fig11 {
+    let rows = constants::MTBF_HOURS
+        .iter()
+        .map(|&mtbf| {
+            let cfg = experiment_config(mtbf);
+            let minutes = DEGREES
+                .iter()
+                .map(|&d| {
+                    cfg.with_degree(d)
+                        .evaluate_simplified(form)
+                        .map(|hours| hours * 60.0)
+                        .unwrap_or(f64::INFINITY)
+                })
+                .collect();
+            (mtbf, minutes)
+        })
+        .collect();
+    Fig11 { rows, form }
+}
+
+/// Renders the matrix.
+pub fn render(fig: &Fig11) -> String {
+    let mut t = TextTable::new().header(
+        std::iter::once("MTBF".to_string()).chain(DEGREES.iter().map(|d| format!("{d}x"))),
+    );
+    for (mtbf, row) in &fig.rows {
+        let mut cells = vec![format!("{mtbf:.0} hrs")];
+        cells.extend(row.iter().map(|v| {
+            if v.is_finite() {
+                format!("{v:.1}")
+            } else {
+                "div".into()
+            }
+        }));
+        t.row(cells);
+    }
+    format!(
+        "Figure 11. Modeled application performance [minutes]\n\
+         (simplified model, {:?} form; t = 46 min, N = 128, α = 0.2,\n\
+         c = 120 s, R = 500 s)\n\n{}",
+        fig.form,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_fall_with_mtbf_and_shape_matches() {
+        let fig = generate(SimplifiedForm::Consistent);
+        assert_eq!(fig.rows.len(), 5);
+        // Higher MTBF -> faster at every degree.
+        for d in 0..DEGREES.len() {
+            for w in fig.rows.windows(2) {
+                if w[0].1[d].is_finite() && w[1].1[d].is_finite() {
+                    assert!(
+                        w[1].1[d] <= w[0].1[d] + 1e-9,
+                        "degree {} should improve with MTBF",
+                        DEGREES[d]
+                    );
+                }
+            }
+        }
+        // Dual redundancy beats 1x at the lowest MTBF.
+        let row6 = &fig.rows[0].1;
+        assert!(row6[4] < row6[0], "2x {} vs 1x {}", row6[4], row6[0]);
+        // All times at least the redundant base time.
+        for (_, row) in &fig.rows {
+            for (i, v) in row.iter().enumerate() {
+                if v.is_finite() {
+                    let t_red = 46.0 * (0.8 + 0.2 * DEGREES[i]);
+                    assert!(*v >= t_red - 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn verbatim_form_also_evaluates() {
+        let fig = generate(SimplifiedForm::Verbatim);
+        assert!(fig.rows.iter().all(|(_, row)| row.iter().all(|v| v.is_finite())));
+    }
+}

@@ -1,0 +1,115 @@
+//! Figure 2 — effect of the redundancy degree on system reliability
+//! (Eq. 9) for several node MTBFs and communication fractions.
+
+use redcr_model::redundancy::{redundant_time, SystemModel};
+use redcr_model::units;
+
+use crate::output::TextTable;
+
+/// One reliability curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Curve {
+    /// Label of the configuration.
+    pub label: String,
+    /// Node MTBF, years.
+    pub mtbf_years: f64,
+    /// Communication fraction α.
+    pub alpha: f64,
+    /// `(degree, R_sys)` samples.
+    pub samples: Vec<(f64, f64)>,
+}
+
+/// The degree grid of the figure.
+pub fn degree_grid() -> Vec<f64> {
+    (0..=40).map(|i| 1.0 + 0.05 * i as f64).collect()
+}
+
+/// Generates the figure's four curves: θ ∈ {2.5, 5} years at α = 0.2, plus
+/// α ∈ {0.05, 0.5} at θ = 5 years. `n` virtual processes, base time `t`
+/// hours.
+pub fn generate(n: u64, t: f64) -> Vec<Curve> {
+    let configs = [
+        ("theta=2.5y alpha=0.2", 2.5, 0.2),
+        ("theta=5y   alpha=0.2", 5.0, 0.2),
+        ("theta=5y   alpha=0.05", 5.0, 0.05),
+        ("theta=5y   alpha=0.5", 5.0, 0.5),
+    ];
+    configs
+        .into_iter()
+        .map(|(label, years, alpha)| {
+            let theta = units::hours_from_years(years);
+            let samples = degree_grid()
+                .into_iter()
+                .map(|r| {
+                    let t_red = redundant_time(t, alpha, r).expect("valid Eq. 1");
+                    let rel = SystemModel::new(n, r, theta)
+                        .expect("valid system")
+                        .system_reliability(t_red)
+                        .expect("valid horizon");
+                    (r, rel)
+                })
+                .collect();
+            Curve { label: label.to_string(), mtbf_years: years, alpha, samples }
+        })
+        .collect()
+}
+
+/// Renders the curves at the quarter-step degrees.
+pub fn render(curves: &[Curve]) -> String {
+    let degrees: Vec<f64> = crate::paper::DEGREES.to_vec();
+    let mut t = TextTable::new().header(
+        std::iter::once("configuration".to_string())
+            .chain(degrees.iter().map(|d| format!("{d}x"))),
+    );
+    for curve in curves {
+        let mut row = vec![curve.label.clone()];
+        for &d in &degrees {
+            let rel = curve
+                .samples
+                .iter()
+                .min_by(|a, b| (a.0 - d).abs().total_cmp(&(b.0 - d).abs()))
+                .map(|(_, r)| *r)
+                .unwrap_or(f64::NAN);
+            row.push(format!("{rel:.4}"));
+        }
+        t.row(row);
+    }
+    format!(
+        "Figure 2. Effect of redundancy on system reliability R_sys (Eq. 9)\n\
+         (10,000 virtual processes, 128-hour job)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_rise_with_degree_and_order_by_mtbf() {
+        let curves = generate(10_000, 128.0);
+        assert_eq!(curves.len(), 4);
+        for c in &curves {
+            // Weakly monotone within each integral band; across the whole
+            // sweep reliability at 3x must beat 1x decisively.
+            let first = c.samples.first().unwrap().1;
+            let last = c.samples.last().unwrap().1;
+            assert!(last > first, "{}: {first} -> {last}", c.label);
+            for (_, r) in &c.samples {
+                assert!((0.0..=1.0).contains(r));
+            }
+        }
+        // Lower MTBF -> lower reliability at the same degree (the paper's
+        // "node reliability alone demands triple redundancy at θ=2.5").
+        let at = |c: &Curve, d: f64| {
+            c.samples
+                .iter()
+                .min_by(|a, b| (a.0 - d).abs().total_cmp(&(b.0 - d).abs()))
+                .unwrap()
+                .1
+        };
+        assert!(at(&curves[0], 2.0) < at(&curves[1], 2.0));
+        // Higher α -> longer t_Red -> lower reliability at the same degree.
+        assert!(at(&curves[3], 2.0) <= at(&curves[2], 2.0));
+    }
+}

@@ -1,0 +1,162 @@
+//! Figures 4–6 — modeled total execution time over varying redundancy
+//! degree for three configurations of a 128-hour job, with the paper's
+//! per-figure annotations (T_min, T_max, T_{r=1}, expected checkpoints, λ).
+//!
+//! The paper labels these "sample input parameters" without printing them;
+//! our configurations vary exactly the quantities the paper says the
+//! figures vary — checkpoint cost `c` between configs 1 and 3 (Daly's δ_opt
+//! then shrinks by √10, the relation the paper calls out) and node MTBF
+//! between configs 1 and 2.
+
+use redcr_model::combined::{CombinedConfig, CombinedOutcome};
+use redcr_model::units;
+
+use crate::output::TextTable;
+
+/// One figure's data.
+#[derive(Debug, Clone)]
+pub struct FigureData {
+    /// Which paper figure this reproduces (4, 5 or 6).
+    pub figure: u32,
+    /// Configuration description.
+    pub label: String,
+    /// `(degree, outcome)` per grid point (`None` where divergent).
+    pub sweep: Vec<(f64, Option<CombinedOutcome>)>,
+}
+
+impl FigureData {
+    /// `(T_min, argmin degree)`.
+    pub fn t_min(&self) -> (f64, f64) {
+        self.sweep
+            .iter()
+            .filter_map(|(d, o)| o.as_ref().map(|o| (o.total_time, *d)))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("at least one point converges")
+    }
+
+    /// Maximum finite total time.
+    pub fn t_max(&self) -> f64 {
+        self.sweep
+            .iter()
+            .filter_map(|(_, o)| o.as_ref().map(|o| o.total_time))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Total time at degree 1 (if it converges).
+    pub fn t_at_1x(&self) -> Option<f64> {
+        self.sweep.first().and_then(|(_, o)| o.as_ref()).map(|o| o.total_time)
+    }
+}
+
+fn config(figure: u32) -> (String, CombinedConfig) {
+    // Common: 128-hour job on 10,000 virtual processes.
+    let base = |theta_years: f64, alpha: f64, c_secs: f64| {
+        CombinedConfig::builder()
+            .virtual_processes(10_000)
+            .base_time_hours(128.0)
+            .node_mtbf_hours(units::hours_from_years(theta_years))
+            .comm_fraction(alpha)
+            .checkpoint_cost_hours(units::hours_from_secs(c_secs))
+            .restart_cost_hours(units::hours_from_mins(30.0))
+            .build()
+            .expect("valid figure config")
+    };
+    match figure {
+        4 => ("config 1: theta=5y, alpha=0.2, c=600s".into(), base(5.0, 0.2, 600.0)),
+        5 => ("config 2: theta=2.5y, alpha=0.2, c=600s".into(), base(2.5, 0.2, 600.0)),
+        6 => ("config 3: theta=5y, alpha=0.2, c=60s".into(), base(5.0, 0.2, 60.0)),
+        _ => panic!("figures 4-6 only"),
+    }
+}
+
+/// The degree grid of the figures.
+pub fn degree_grid() -> Vec<f64> {
+    (0..=40).map(|i| 1.0 + 0.05 * i as f64).collect()
+}
+
+/// Generates one figure's sweep.
+pub fn generate(figure: u32) -> FigureData {
+    let (label, cfg) = config(figure);
+    let sweep = degree_grid()
+        .into_iter()
+        .map(|d| (d, cfg.with_degree(d).evaluate().ok()))
+        .collect();
+    FigureData { figure, label, sweep }
+}
+
+/// Renders one figure with its annotations.
+pub fn render(data: &FigureData) -> String {
+    let mut t = TextTable::new().header(["r", "T_total [h]", "δ [h]", "#ckpts", "λ [1/h]"]);
+    for (d, o) in &data.sweep {
+        // Print the quarter steps only; the full grid goes to CSV.
+        if (d * 4.0).fract().abs() > 1e-9 {
+            continue;
+        }
+        match o {
+            Some(o) => t.row([
+                format!("{d:.2}"),
+                format!("{:.1}", o.total_time),
+                format!("{:.2}", o.checkpoint_interval),
+                format!("{:.0}", o.expected_checkpoints),
+                format!("{:.4}", o.system_failure_rate),
+            ]),
+            None => t.row([format!("{d:.2}"), "div".into(), "-".into(), "-".into(), "-".into()]),
+        };
+    }
+    let (t_min, at) = data.t_min();
+    format!(
+        "Figure {}. Total execution time vs redundancy degree\n({})\n\n{}\n\
+         T_min = {:.1} h at r = {:.2};  T_max = {:.1} h;  T(r=1) = {}\n",
+        data.figure,
+        data.label,
+        t.render(),
+        t_min,
+        at,
+        data.t_max(),
+        data.t_at_1x().map(|v| format!("{v:.1} h")).unwrap_or_else(|| "divergent".into()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_figures_minimize_at_dual_redundancy() {
+        // The paper: "Immediately apparent from the figures is that a
+        // redundancy level of 2 is the best choice in all cases."
+        for figure in [4, 5, 6] {
+            let data = generate(figure);
+            let (_, at) = data.t_min();
+            assert!(
+                (1.9..=2.15).contains(&at),
+                "figure {figure} minimum at r={at}, expected ~2"
+            );
+        }
+    }
+
+    #[test]
+    fn daly_interval_scales_sqrt10_between_configs_1_and_3() {
+        let f4 = generate(4);
+        let f6 = generate(6);
+        let delta_at_1x = |d: &FigureData| {
+            d.sweep
+                .first()
+                .and_then(|(_, o)| o.as_ref())
+                .map(|o| o.checkpoint_interval)
+                .expect("1x converges")
+        };
+        let ratio = delta_at_1x(&f4) / delta_at_1x(&f6);
+        assert!(
+            (ratio - 10f64.sqrt()).abs() < 0.2,
+            "δ_opt ratio {ratio} should be ≈ √10 (paper Section 4.3)"
+        );
+    }
+
+    #[test]
+    fn lower_mtbf_raises_times() {
+        let f4 = generate(4);
+        let f5 = generate(5);
+        assert!(f5.t_min().0 > f4.t_min().0, "θ=2.5y must be slower than θ=5y");
+    }
+}

@@ -1,0 +1,35 @@
+//! # redcr-bench — regenerating every table and figure of the paper
+//!
+//! One module per experiment; one binary per table/figure (plus `all`).
+//! Each module exposes a `generate()` function returning structured rows
+//! and a `render()` producing the printable table, so integration tests can
+//! assert the *shape* of each reproduction (who wins, where minima and
+//! crossovers fall) without string scraping.
+//!
+//! Absolute numbers are not expected to match the paper — the substrate is
+//! a virtual-time simulator, not the authors' 2012 cluster — but the shape
+//! claims are asserted in `tests/shape.rs` and recorded against the paper's
+//! values in `EXPERIMENTS.md`.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run -p redcr-bench --release --bin all
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calib;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13_14;
+pub mod fig2;
+pub mod fig4_6;
+pub mod output;
+pub mod paper;
+pub mod table1;
+pub mod table2_3;
+pub mod table4;
+pub mod table5;
+pub mod window;

@@ -1,0 +1,108 @@
+//! Reference values from the paper, used for side-by-side reporting and
+//! shape assertions.
+
+/// Table 1: reliability of HPC clusters (system, CPUs, MTBF/I) — background
+/// data reproduced verbatim for the `table1` report.
+pub const TABLE1: &[(&str, &str, &str)] = &[
+    ("ASCI Q", "8,192", "6.5 hrs"),
+    ("ASCI White", "8,192", "5/40 hrs ('01/'03)"),
+    ("PSC Lemieux", "3,016", "9.7 hrs"),
+    ("Google", "15,000", "20 reboots/day"),
+    ("ASC BG/L", "212,992", "6.9 hrs (LLNL est.)"),
+];
+
+/// Table 2: percentage breakdown for a 168-hour job at 5-year node MTBF:
+/// `(nodes, work %, checkpoint %, recompute %, restart %)`.
+pub const TABLE2: &[(u64, f64, f64, f64, f64)] = &[
+    (100, 96.0, 1.0, 3.0, 0.0),
+    (1_000, 92.0, 7.0, 1.0, 0.0),
+    (10_000, 75.0, 15.0, 6.0, 4.0),
+    (100_000, 35.0, 20.0, 10.0, 35.0),
+];
+
+/// Table 3: 100k-node job breakdowns:
+/// `(job hours, MTBF years, work %, checkpoint %, recompute %, restart %)`.
+pub const TABLE3: &[(f64, f64, f64, f64, f64, f64)] = &[
+    (168.0, 5.0, 35.0, 20.0, 10.0, 35.0),
+    (700.0, 5.0, 38.0, 18.0, 9.0, 43.0),
+    (5_000.0, 1.0, 5.0, 5.0, 5.0, 85.0),
+];
+
+/// The redundancy-degree grid of the experiments (1x–3x, step 0.25).
+pub const DEGREES: [f64; 9] = [1.0, 1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 2.75, 3.0];
+
+/// Table 4: measured execution time in minutes, rows = MTBF hours,
+/// columns = [`DEGREES`].
+pub const TABLE4: &[(f64, [f64; 9])] = &[
+    (6.0, [275.0, 279.0, 212.0, 189.0, 146.0, 158.0, 139.0, 132.0, 123.0]),
+    (12.0, [201.0, 207.0, 167.0, 143.0, 103.0, 113.0, 98.0, 111.0, 125.0]),
+    (18.0, [184.0, 179.0, 148.0, 120.0, 72.0, 126.0, 88.0, 80.0, 84.0]),
+    (24.0, [159.0, 143.0, 133.0, 100.0, 67.0, 92.0, 78.0, 84.0, 83.0]),
+    (30.0, [136.0, 128.0, 110.0, 101.0, 66.0, 73.0, 80.0, 82.0, 84.0]),
+];
+
+/// Table 5: failure-free execution time in minutes vs degree (row 1:
+/// observed, row 2: the paper's "expected linear increase").
+pub const TABLE5_OBSERVED: [f64; 9] = [46.0, 55.0, 59.0, 61.0, 63.0, 70.0, 76.0, 78.0, 82.0];
+
+/// Table 5 second row: the linear Eq. 1 expectation.
+pub const TABLE5_EXPECTED: [f64; 9] = [46.0, 48.0, 51.0, 53.0, 55.0, 58.0, 60.0, 62.0, 64.0];
+
+/// Section 6 experimental constants.
+pub mod constants {
+    /// Virtual processes in the CG experiments.
+    pub const N_PROCESSES: u64 = 128;
+    /// Failure-free base time of the modified CG class D run, minutes.
+    pub const BASE_TIME_MINS: f64 = 46.0;
+    /// Measured checkpoint cost, seconds.
+    pub const CHECKPOINT_SECS: f64 = 120.0;
+    /// Measured restart cost, seconds.
+    pub const RESTART_SECS: f64 = 500.0;
+    /// Measured CG communication fraction.
+    pub const ALPHA: f64 = 0.2;
+    /// The MTBF grid of Table 4, hours.
+    pub const MTBF_HOURS: [f64; 5] = [6.0, 12.0, 18.0, 24.0, 30.0];
+}
+
+/// Figure 13/14 landmarks (process counts).
+pub mod landmarks {
+    /// 1x/2x crossover.
+    pub const CROSS_1X_2X: u64 = 4_351;
+    /// 1x/3x crossover.
+    pub const CROSS_1X_3X: u64 = 12_551;
+    /// N where two 2x jobs finish within one 1x job (throughput).
+    pub const THROUGHPUT_2X: u64 = 78_536;
+    /// N beyond which 3x has the lowest cost.
+    pub const TRIPLE_BEST_BEYOND: u64 = 771_251;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_tables_have_expected_shapes() {
+        assert_eq!(TABLE2.len(), 4);
+        assert_eq!(TABLE4.len(), 5);
+        for (_, row) in TABLE4 {
+            assert_eq!(row.len(), DEGREES.len());
+        }
+        // Paper minima: 3x at 6h, 2.5x at 12h, 2x at 18-30h.
+        let argmin = |row: &[f64; 9]| {
+            row.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).unwrap().0
+        };
+        assert_eq!(DEGREES[argmin(&TABLE4[0].1)], 3.0);
+        assert_eq!(DEGREES[argmin(&TABLE4[1].1)], 2.5);
+        for row in &TABLE4[2..] {
+            assert_eq!(DEGREES[argmin(&row.1)], 2.0);
+        }
+    }
+
+    #[test]
+    fn table5_monotone_observed_above_expected() {
+        for i in 1..9 {
+            assert!(TABLE5_OBSERVED[i] >= TABLE5_OBSERVED[i - 1]);
+            assert!(TABLE5_OBSERVED[i] > TABLE5_EXPECTED[i]);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Table 1 — reliability of HPC clusters (background survey, reproduced
+//! verbatim for completeness).
+
+use crate::output::TextTable;
+use crate::paper::TABLE1;
+
+/// Renders Table 1.
+pub fn render() -> String {
+    let mut t = TextTable::new().header(["System", "# CPUs", "MTBF/I"]);
+    for (system, cpus, mtbf) in TABLE1 {
+        t.row([(*system).to_string(), (*cpus).to_string(), (*mtbf).to_string()]);
+    }
+    format!("Table 1. Reliability of HPC Clusters (survey data, from the paper)\n\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_all_rows() {
+        let s = super::render();
+        assert!(s.contains("ASCI Q"));
+        assert!(s.contains("BG/L"));
+        assert_eq!(s.lines().filter(|l| !l.trim().is_empty()).count(), 3 + 5);
+    }
+}

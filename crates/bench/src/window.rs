@@ -1,0 +1,172 @@
+//! The partial-redundancy **window study** — quantifying the paper's claim
+//! that fractional degrees "only \[have\] a narrow window of applicability":
+//! sweep the operating axes finely, find where the quarter-step optimum is
+//! fractional, and measure how wide those regions are.
+//!
+//! Two axes, matching the paper's two observations:
+//!
+//! * process count under weak scaling (Figure 13/14 setting — the paper:
+//!   "Contrary to our experiments ... partial redundancy never results in
+//!   the lowest completion time for the given settings");
+//! * node MTBF at the experimental scale (Table 4 setting — the paper finds
+//!   2.5x optimal at 12 h, a window that "usually span\[s\] a short window").
+
+use redcr_model::combined::CombinedConfig;
+
+use crate::calib::{experiment_config, scaling_config};
+use crate::output::TextTable;
+use crate::paper::DEGREES;
+
+/// One swept point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowPoint {
+    /// The swept coordinate (process count or MTBF hours).
+    pub x: f64,
+    /// The optimal degree on the quarter grid (`None` if everything
+    /// diverged).
+    pub best_degree: Option<f64>,
+}
+
+/// A sweep result.
+#[derive(Debug, Clone)]
+pub struct WindowStudy {
+    /// Axis label.
+    pub axis: &'static str,
+    /// Sampled points.
+    pub points: Vec<WindowPoint>,
+}
+
+impl WindowStudy {
+    /// Fraction of the sampled axis where a *fractional* degree is optimal.
+    pub fn fractional_fraction(&self) -> f64 {
+        let valid: Vec<f64> = self.points.iter().filter_map(|p| p.best_degree).collect();
+        if valid.is_empty() {
+            return 0.0;
+        }
+        let fractional =
+            valid.iter().filter(|d| !((*d * 4.0) as u64).is_multiple_of(4) && d.fract() != 0.0).count();
+        fractional as f64 / valid.len() as f64
+    }
+
+    /// Contiguous runs of points sharing an optimal fractional degree:
+    /// `(degree, x_start, x_end)`.
+    pub fn fractional_windows(&self) -> Vec<(f64, f64, f64)> {
+        let mut out: Vec<(f64, f64, f64)> = Vec::new();
+        for p in &self.points {
+            match p.best_degree {
+                Some(d) if d.fract() != 0.0 => match out.last_mut() {
+                    Some((deg, _, end)) if *deg == d && *end < p.x => *end = p.x,
+                    _ => out.push((d, p.x, p.x)),
+                },
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+fn best_on_grid(cfg: &CombinedConfig) -> Option<f64> {
+    let mut best: Option<(f64, f64)> = None;
+    for &d in &DEGREES {
+        if let Ok(o) = cfg.with_degree(d).evaluate() {
+            if best.is_none_or(|(_, t)| o.total_time < t) {
+                best = Some((d, o.total_time));
+            }
+        }
+    }
+    best.map(|(d, _)| d)
+}
+
+/// Sweeps the process count (log-spaced) at the Figure 13/14 configuration.
+pub fn sweep_processes(lo: u64, hi: u64, points: usize) -> WindowStudy {
+    let cfg = scaling_config();
+    let pts = (0..points)
+        .map(|i| {
+            let f = (lo as f64).ln()
+                + ((hi as f64).ln() - (lo as f64).ln()) * i as f64 / (points - 1) as f64;
+            let n = f.exp().round() as u64;
+            WindowPoint {
+                x: n as f64,
+                best_degree: best_on_grid(&cfg.with_virtual_processes(n)),
+            }
+        })
+        .collect();
+    WindowStudy { axis: "process count", points: pts }
+}
+
+/// Sweeps the per-process MTBF (hours) at the Table 4 configuration.
+pub fn sweep_mtbf(lo: f64, hi: f64, points: usize) -> WindowStudy {
+    let pts = (0..points)
+        .map(|i| {
+            let mtbf = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+            let cfg = experiment_config(mtbf);
+            WindowPoint { x: mtbf, best_degree: best_on_grid(&cfg) }
+        })
+        .collect();
+    WindowStudy { axis: "node MTBF [h]", points: pts }
+}
+
+/// Renders a study.
+pub fn render(study: &WindowStudy) -> String {
+    let mut t = TextTable::new().header([study.axis, "optimal degree"]);
+    for p in &study.points {
+        t.row([
+            format!("{:.1}", p.x),
+            p.best_degree.map(|d| format!("{d}x")).unwrap_or_else(|| "div".into()),
+        ]);
+    }
+    let windows = study.fractional_windows();
+    let mut out = format!(
+        "Partial-redundancy window study over {}\n\n{}\nfractional-optimal share: {:.1}%\n",
+        study.axis,
+        t.render(),
+        study.fractional_fraction() * 100.0
+    );
+    if windows.is_empty() {
+        out.push_str("no fractional window on this axis (integral degrees always win)\n");
+    } else {
+        for (d, a, b) in windows {
+            out.push_str(&format!("  {d}x optimal for {} in [{a:.1}, {b:.1}]\n", study.axis));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_redundancy_windows_are_narrow() {
+        // The paper's headline caveat: fractional degrees win only in
+        // narrow regions, if at all.
+        let by_n = sweep_processes(100, 2_000_000, 60);
+        assert!(
+            by_n.fractional_fraction() < 0.25,
+            "fractional share over N: {}",
+            by_n.fractional_fraction()
+        );
+        let by_mtbf = sweep_mtbf(2.0, 48.0, 60);
+        assert!(
+            by_mtbf.fractional_fraction() < 0.25,
+            "fractional share over MTBF: {}",
+            by_mtbf.fractional_fraction()
+        );
+    }
+
+    #[test]
+    fn optimum_degree_weakly_increases_with_scale() {
+        let study = sweep_processes(100, 2_000_000, 40);
+        let degrees: Vec<f64> = study.points.iter().filter_map(|p| p.best_degree).collect();
+        let first = degrees.first().copied().unwrap();
+        let last = degrees.last().copied().unwrap();
+        assert!(first <= 1.25, "small scale should not need redundancy: {first}");
+        assert!(last >= 2.0, "large scale needs at least dual redundancy: {last}");
+    }
+
+    #[test]
+    fn render_mentions_share() {
+        let s = render(&sweep_mtbf(6.0, 30.0, 5));
+        assert!(s.contains("fractional-optimal share"));
+    }
+}

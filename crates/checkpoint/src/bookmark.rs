@@ -1,0 +1,153 @@
+//! The all-to-all **bookmark exchange** quiesce protocol (paper Section 2):
+//! "Processes exchange message totals between all peers and wait until the
+//! totals equalize."
+//!
+//! Every rank publishes how many user messages it has sent to each peer;
+//! each rank then drains its transport until it has received exactly as
+//! many messages from each peer as that peer claims to have sent. At that
+//! point no user message is in flight: the drained-but-unmatched messages
+//! sit in the [`CountingComm`] stash and become the checkpoint's channel
+//! state.
+
+use redcr_mpi::collectives::ReduceOp;
+use redcr_mpi::{Communicator, Result};
+
+use crate::counting::CountingComm;
+use crate::snapshot::ChannelMessage;
+
+/// Runs the bookmark quiesce. Collective: every rank must call it at the
+/// same logical point. On return, all channels are empty and the returned
+/// messages (possibly none) are the in-flight traffic that was drained on
+/// behalf of this rank.
+///
+/// # Errors
+///
+/// Propagates transport errors (e.g. the run aborting mid-protocol).
+pub fn quiesce<C: Communicator>(comm: &CountingComm<'_, C>) -> Result<Vec<ChannelMessage>> {
+    let n = comm.size();
+    let me = comm.rank().index();
+
+    // Exchange bookmark totals: entry [i] of the reduced matrix row tells
+    // this rank how many messages peer i has sent to us. A flattened n x n
+    // matrix allreduce keeps the protocol simple and deterministic; each
+    // rank contributes its own row of sent counts.
+    let mut matrix = vec![0u64; n * n];
+    let sent = comm.sent_counts();
+    matrix[me * n..(me + 1) * n].copy_from_slice(&sent);
+    let totals = comm.allreduce_u64(&matrix, ReduceOp::Sum)?;
+
+    // expected[p] = how many messages p sent to me.
+    let expected: Vec<u64> = (0..n).map(|p| totals[p * n + me]).collect();
+
+    // Drain until the totals equalize.
+    loop {
+        let received = comm.received_counts();
+        let all_equal =
+            (0..n).all(|p| received[p] >= expected[p]);
+        if all_equal {
+            break;
+        }
+        comm.drain_one()?;
+    }
+    Ok(comm.channel_state())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcr_mpi::{CostModel, Rank, Tag, World};
+
+    #[test]
+    fn quiesce_with_no_traffic_is_trivial() {
+        World::builder(4)
+            .cost_model(CostModel::zero())
+            .run(|base| {
+                let comm = CountingComm::new(base);
+                let drained = quiesce(&comm)?;
+                assert!(drained.is_empty());
+                Ok(())
+            })
+            .unwrap()
+            .into_results()
+            .unwrap();
+    }
+
+    #[test]
+    fn quiesce_drains_in_flight_messages() {
+        let report = World::builder(3)
+            .cost_model(CostModel::zero())
+            .run(|base| {
+                let comm = CountingComm::new(base);
+                // Rank 0 sends to 1 and 2 but nobody has received yet: the
+                // messages are in flight at quiesce time.
+                if comm.rank().index() == 0 {
+                    comm.send(Rank::new(1), Tag::new(1), b"m1")?;
+                    comm.send(Rank::new(2), Tag::new(2), b"m2")?;
+                }
+                let drained = quiesce(&comm)?;
+                // After quiesce the receivers hold the in-flight message as
+                // channel state and can still receive it normally.
+                if comm.rank().index() == 1 {
+                    assert_eq!(drained.len(), 1);
+                    assert_eq!(drained[0].payload, b"m1".to_vec());
+                    let (bytes, _) = comm.recv(Rank::new(0).into(), Tag::new(1).into())?;
+                    assert_eq!(&bytes[..], b"m1");
+                } else if comm.rank().index() == 2 {
+                    assert_eq!(drained.len(), 1);
+                } else {
+                    assert!(drained.is_empty());
+                }
+                Ok(())
+            })
+            .unwrap();
+        report.into_results().unwrap();
+    }
+
+    #[test]
+    fn quiesce_after_matched_traffic_drains_nothing() {
+        World::builder(2)
+            .cost_model(CostModel::zero())
+            .run(|base| {
+                let comm = CountingComm::new(base);
+                let peer = comm.rank().offset(1, 2);
+                comm.send(peer, Tag::new(9), b"x")?;
+                comm.recv(peer.into(), Tag::new(9).into())?;
+                let drained = quiesce(&comm)?;
+                assert!(drained.is_empty());
+                assert_eq!(comm.drain_count(), 0);
+                Ok(())
+            })
+            .unwrap()
+            .into_results()
+            .unwrap();
+    }
+
+    #[test]
+    fn repeated_quiesce_converges() {
+        World::builder(2)
+            .cost_model(CostModel::zero())
+            .run(|base| {
+                let comm = CountingComm::new(base);
+                for round in 0..3u64 {
+                    if comm.rank().index() == 0 {
+                        comm.send(Rank::new(1), Tag::new(round), &[round as u8])?;
+                    }
+                    let drained = quiesce(&comm)?;
+                    if comm.rank().index() == 1 {
+                        assert_eq!(drained.len(), round as usize + 1, "stash accumulates");
+                    }
+                }
+                // Rank 1 consumes everything afterwards, in tag order.
+                if comm.rank().index() == 1 {
+                    for round in 0..3u64 {
+                        let (b, _) = comm.recv(Rank::new(0).into(), Tag::new(round).into())?;
+                        assert_eq!(&b[..], &[round as u8]);
+                    }
+                }
+                Ok(())
+            })
+            .unwrap()
+            .into_results()
+            .unwrap();
+    }
+}

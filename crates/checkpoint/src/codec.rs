@@ -1,0 +1,763 @@
+//! A compact, non-self-describing binary serde format for process images.
+//!
+//! Plays the role bincode plays in real checkpointing stacks: fixed-width
+//! little-endian primitives, `u64` length prefixes for sequences, strings
+//! and maps, `u32` variant indices for enums. The format is not
+//! self-describing — decoding requires the same type that was encoded —
+//! which is exactly the checkpoint/restore contract.
+//!
+//! ```
+//! use serde::{Deserialize, Serialize};
+//!
+//! #[derive(Serialize, Deserialize, PartialEq, Debug)]
+//! struct SolverState { iter: u64, residual: f64, x: Vec<f64> }
+//!
+//! # fn main() -> Result<(), redcr_ckpt::CkptError> {
+//! let state = SolverState { iter: 7, residual: 1e-9, x: vec![1.0, 2.0] };
+//! let bytes = redcr_ckpt::to_bytes(&state)?;
+//! let back: SolverState = redcr_ckpt::from_bytes(&bytes)?;
+//! assert_eq!(back, state);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt::Display;
+
+use serde::de::{self, DeserializeOwned, IntoDeserializer, Visitor};
+use serde::ser::{self, Serialize};
+
+use crate::error::CkptError;
+use crate::Result;
+
+/// Serializes `value` into the binary format.
+///
+/// # Errors
+///
+/// Returns [`CkptError::Codec`] if the type cannot be represented (e.g.
+/// a serializer-driven map of unknown length).
+pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>> {
+    let mut ser = Serializer { out: Vec::new() };
+    value.serialize(&mut ser)?;
+    Ok(ser.out)
+}
+
+/// Deserializes a value of type `T` from bytes produced by [`to_bytes`].
+///
+/// # Errors
+///
+/// Returns [`CkptError::Codec`] on truncated or malformed input, or if
+/// trailing bytes remain.
+pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    let mut de = Deserializer { input: bytes };
+    let value = T::deserialize(&mut de)?;
+    if !de.input.is_empty() {
+        return Err(CkptError::Codec(format!("{} trailing bytes", de.input.len())));
+    }
+    Ok(value)
+}
+
+impl ser::Error for CkptError {
+    fn custom<T: Display>(msg: T) -> Self {
+        CkptError::Codec(msg.to_string())
+    }
+}
+
+impl de::Error for CkptError {
+    fn custom<T: Display>(msg: T) -> Self {
+        CkptError::Codec(msg.to_string())
+    }
+}
+
+struct Serializer {
+    out: Vec<u8>,
+}
+
+impl Serializer {
+    fn put_len(&mut self, len: usize) {
+        self.out.extend_from_slice(&(len as u64).to_le_bytes());
+    }
+}
+
+impl<'a> ser::Serializer for &'a mut Serializer {
+    type Ok = ();
+    type Error = CkptError;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<()> {
+        self.out.push(v as u8);
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<()> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_i16(self, v: i16) -> Result<()> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_i32(self, v: i32) -> Result<()> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<()> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_u8(self, v: u8) -> Result<()> {
+        self.out.push(v);
+        Ok(())
+    }
+
+    fn serialize_u16(self, v: u16) -> Result<()> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_u32(self, v: u32) -> Result<()> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<()> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<()> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<()> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<()> {
+        self.serialize_u32(v as u32)
+    }
+
+    fn serialize_str(self, v: &str) -> Result<()> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<()> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<()> {
+        self.out.push(0);
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<()> {
+        self.out.push(1);
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<()> {
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<()> {
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<()> {
+        self.serialize_u32(variant_index)
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        self.serialize_u32(variant_index)?;
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq> {
+        let len = len.ok_or_else(|| {
+            CkptError::Codec("sequences of unknown length are not supported".into())
+        })?;
+        self.put_len(len);
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Self::SerializeTuple> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleStruct> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleVariant> {
+        serde::Serializer::serialize_u32(&mut *self, variant_index)?;
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap> {
+        let len = len.ok_or_else(|| {
+            CkptError::Codec("maps of unknown length are not supported".into())
+        })?;
+        self.put_len(len);
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self::SerializeStruct> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStructVariant> {
+        serde::Serializer::serialize_u32(&mut *self, variant_index)?;
+        Ok(Compound { ser: self })
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+struct Compound<'a> {
+    ser: &'a mut Serializer,
+}
+
+impl ser::SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = CkptError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for Compound<'_> {
+    type Ok = ();
+    type Error = CkptError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleStruct for Compound<'_> {
+    type Ok = ();
+    type Error = CkptError;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleVariant for Compound<'_> {
+    type Ok = ();
+    type Error = CkptError;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = CkptError;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<()> {
+        key.serialize(&mut *self.ser)
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = CkptError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for Compound<'_> {
+    type Ok = ();
+    type Error = CkptError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+struct Deserializer<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> Deserializer<'de> {
+    fn take(&mut self, n: usize) -> Result<&'de [u8]> {
+        if self.input.len() < n {
+            return Err(CkptError::Codec(format!(
+                "unexpected end of input: need {n} bytes, have {}",
+                self.input.len()
+            )));
+        }
+        let (head, tail) = self.input.split_at(n);
+        self.input = tail;
+        Ok(head)
+    }
+
+    fn take_len(&mut self) -> Result<usize> {
+        let bytes = self.take(8)?;
+        let v = u64::from_le_bytes(bytes.try_into().expect("8 bytes"));
+        usize::try_from(v).map_err(|_| CkptError::Codec("length overflows usize".into()))
+    }
+
+    fn take_u32(&mut self) -> Result<u32> {
+        let bytes = self.take(4)?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+}
+
+macro_rules! de_primitive {
+    ($fn_name:ident, $visit:ident, $ty:ty, $n:expr) => {
+        fn $fn_name<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+            let bytes = self.take($n)?;
+            visitor.$visit(<$ty>::from_le_bytes(bytes.try_into().expect("fixed width")))
+        }
+    };
+}
+
+impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
+    type Error = CkptError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(CkptError::Codec("format is not self-describing (deserialize_any)".into()))
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            other => Err(CkptError::Codec(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_i8(self.take(1)?[0] as i8)
+    }
+
+    de_primitive!(deserialize_i16, visit_i16, i16, 2);
+    de_primitive!(deserialize_i32, visit_i32, i32, 4);
+    de_primitive!(deserialize_i64, visit_i64, i64, 8);
+
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_u8(self.take(1)?[0])
+    }
+
+    de_primitive!(deserialize_u16, visit_u16, u16, 2);
+    de_primitive!(deserialize_u32, visit_u32, u32, 4);
+    de_primitive!(deserialize_u64, visit_u64, u64, 8);
+    de_primitive!(deserialize_f32, visit_f32, f32, 4);
+    de_primitive!(deserialize_f64, visit_f64, f64, 8);
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let v = self.take_u32()?;
+        let c = char::from_u32(v)
+            .ok_or_else(|| CkptError::Codec(format!("invalid char scalar {v}")))?;
+        visitor.visit_char(c)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let len = self.take_len()?;
+        let bytes = self.take(len)?;
+        let s = std::str::from_utf8(bytes)
+            .map_err(|e| CkptError::Codec(format!("invalid utf-8 string: {e}")))?;
+        visitor.visit_borrowed_str(s)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let len = self.take_len()?;
+        visitor.visit_borrowed_bytes(self.take(len)?)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            other => Err(CkptError::Codec(format!("invalid option byte {other}"))),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let len = self.take_len()?;
+        visitor.visit_seq(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value> {
+        visitor.visit_seq(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_seq(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let len = self.take_len()?;
+        visitor.visit_map(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_seq(Counted { de: self, remaining: fields.len() })
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_enum(EnumAccess { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(CkptError::Codec("identifiers are not encoded".into()))
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(CkptError::Codec("cannot skip values in a non-self-describing format".into()))
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+struct Counted<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+    remaining: usize,
+}
+
+impl<'de> de::SeqAccess<'de> for Counted<'_, 'de> {
+    type Error = CkptError;
+
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+impl<'de> de::MapAccess<'de> for Counted<'_, 'de> {
+    type Error = CkptError;
+
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(&mut self, seed: K) -> Result<Option<K::Value>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<V: de::DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct EnumAccess<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+}
+
+impl<'de> de::EnumAccess<'de> for EnumAccess<'_, 'de> {
+    type Error = CkptError;
+    type Variant = Self;
+
+    fn variant_seed<V: de::DeserializeSeed<'de>>(self, seed: V) -> Result<(V::Value, Self)> {
+        let index = self.de.take_u32()?;
+        let value = seed.deserialize(IntoDeserializer::<CkptError>::into_deserializer(index))?;
+        Ok((value, self))
+    }
+}
+
+impl<'de> de::VariantAccess<'de> for EnumAccess<'_, 'de> {
+    type Error = CkptError;
+
+    fn unit_variant(self) -> Result<()> {
+        Ok(())
+    }
+
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value> {
+        seed.deserialize(self.de)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value> {
+        visitor.visit_seq(Counted { de: self.de, remaining: len })
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_seq(Counted { de: self.de, remaining: fields.len() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    fn round_trip<T: Serialize + DeserializeOwned + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = to_bytes(&value).unwrap();
+        let back: T = from_bytes(&bytes).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn primitives() {
+        round_trip(true);
+        round_trip(false);
+        round_trip(42u8);
+        round_trip(-1i64);
+        round_trip(u64::MAX);
+        round_trip(3.141_592_653_589_793f64);
+        round_trip(f32::NEG_INFINITY);
+        round_trip('λ');
+        round_trip(String::from("hello checkpoint"));
+        round_trip(String::new());
+    }
+
+    #[test]
+    fn containers() {
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(Vec::<f64>::new());
+        round_trip(Some(5u32));
+        round_trip(Option::<u32>::None);
+        round_trip((1u8, -2i32, String::from("t")));
+        let mut m = BTreeMap::new();
+        m.insert(String::from("a"), vec![1.0f64, 2.0]);
+        m.insert(String::from("b"), vec![]);
+        round_trip(m);
+        round_trip(vec![vec![vec![1u8]]]);
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Nested {
+        name: String,
+        values: Vec<f64>,
+        flag: Option<bool>,
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    enum Kind {
+        Unit,
+        New(u64),
+        Tuple(u8, u8),
+        Struct { x: f64, tag: String },
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Image {
+        rank: u32,
+        nested: Nested,
+        kinds: Vec<Kind>,
+        unit: (),
+    }
+
+    #[test]
+    fn derived_structs_and_enums() {
+        round_trip(Image {
+            rank: 17,
+            nested: Nested {
+                name: "cg-state".into(),
+                values: vec![0.5, -0.25, 1e300],
+                flag: Some(true),
+            },
+            kinds: vec![
+                Kind::Unit,
+                Kind::New(9),
+                Kind::Tuple(1, 2),
+                Kind::Struct { x: -0.0, tag: "t".into() },
+            ],
+            unit: (),
+        });
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let bytes = to_bytes(&vec![1u64, 2, 3]).unwrap();
+        let err = from_bytes::<Vec<u64>>(&bytes[..bytes.len() - 1]).unwrap_err();
+        assert!(matches!(err, CkptError::Codec(_)));
+    }
+
+    #[test]
+    fn trailing_bytes_error() {
+        let mut bytes = to_bytes(&7u32).unwrap();
+        bytes.push(0);
+        assert!(from_bytes::<u32>(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_bool_and_option_tags() {
+        assert!(from_bytes::<bool>(&[2]).is_err());
+        assert!(from_bytes::<Option<u8>>(&[9]).is_err());
+    }
+
+    #[test]
+    fn wrong_type_detected_via_structure() {
+        // Encoding of a (short) Vec cannot decode as a String with absurd
+        // length: it must error, not panic or allocate wildly.
+        let bytes = to_bytes(&vec![u64::MAX]).unwrap();
+        assert!(from_bytes::<String>(&bytes).is_err());
+    }
+
+    #[test]
+    fn deterministic_encoding() {
+        let a = to_bytes(&("x", 1u64, vec![2.0f64])).unwrap();
+        let b = to_bytes(&("x", 1u64, vec![2.0f64])).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nan_bits_preserved() {
+        let nan = f64::from_bits(0x7ff8_0000_0000_1234);
+        let bytes = to_bytes(&nan).unwrap();
+        let back: f64 = from_bytes(&bytes).unwrap();
+        assert_eq!(back.to_bits(), nan.to_bits());
+    }
+}

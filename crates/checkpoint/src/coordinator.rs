@@ -1,0 +1,402 @@
+//! The checkpoint coordinator: quiesce → capture → store → commit, with the
+//! storage cost charged to virtual time (that charge *is* the paper's
+//! checkpoint cost `c`).
+
+use std::sync::Arc;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use redcr_mpi::Communicator;
+
+use crate::bookmark;
+use crate::chandy_lamport;
+use crate::counting::CountingComm;
+use crate::exclusion::ExclusionSet;
+use crate::snapshot::{ChannelMessage, ProcessImage};
+use crate::storage::{SnapshotKey, StableStorage, StorageCostModel};
+use crate::Result;
+
+/// Tag bit reserved by the replication layer
+/// ([`redcr_red`-internal envelope traffic]); checkpoint markers must never
+/// collide with it.
+pub const REPLICATION_TAG_BIT: u64 = 1 << 45;
+
+/// Which coordination protocol establishes the consistent cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CoordinationProtocol {
+    /// Open MPI-style all-to-all bookmark exchange (the paper's platform
+    /// default).
+    #[default]
+    Bookmark,
+    /// Chandy–Lamport marker protocol.
+    ChandyLamport,
+    /// No protocol: the application guarantees it checkpoints at a
+    /// quiescent point (no user messages in flight). Cheapest; wrong if the
+    /// guarantee is violated.
+    AppQuiesced,
+}
+
+/// Receipt describing one completed coordinated checkpoint (per rank).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointReceipt {
+    /// The stored image size in bytes.
+    pub stored_bytes: usize,
+    /// Virtual-time cost charged for the write, seconds.
+    pub cost_seconds: f64,
+    /// Number of in-flight messages captured as channel state.
+    pub channel_messages: usize,
+}
+
+/// State recovered from a checkpoint at restart.
+#[derive(Debug, Clone)]
+pub struct Restored<T> {
+    /// The application state.
+    pub state: T,
+    /// In-flight messages owed to this rank at the cut; feed them to
+    /// [`CountingComm::with_restored_channel`].
+    pub channel: Vec<ChannelMessage>,
+    /// Virtual time at which the cut was taken, seconds.
+    pub cut_time: f64,
+    /// Virtual-time cost charged for the read, seconds.
+    pub cost_seconds: f64,
+}
+
+/// How the image write is overlapped with execution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum WriteMode {
+    /// Stop-and-write: the full write cost is charged to the application's
+    /// virtual clock (BLCR's default behaviour; what the paper's `c`
+    /// measures).
+    #[default]
+    Synchronous,
+    /// Forked checkpointing (paper Section 2): a copy-on-write child writes
+    /// the image while the parent resumes; only the brief fork/quiesce stop
+    /// (seconds) is charged to the application. The write still happens —
+    /// the checkpoint only commits (barrier) after it — but its cost is
+    /// hidden from the compute timeline.
+    Forked {
+        /// Virtual seconds the application is stopped for the fork.
+        stop_seconds: f64,
+    },
+}
+
+/// Coordinates checkpoints of a whole communicator onto stable storage.
+#[derive(Debug, Clone)]
+pub struct CheckpointCoordinator {
+    storage: Arc<dyn StableStorage>,
+    cost: StorageCostModel,
+    protocol: CoordinationProtocol,
+    write_mode: WriteMode,
+    compress: bool,
+    exclusions: ExclusionSet,
+}
+
+impl CheckpointCoordinator {
+    /// A coordinator writing to `storage` with zero storage cost, the
+    /// bookmark protocol, and no compression/exclusion.
+    pub fn new(storage: Arc<dyn StableStorage>) -> Self {
+        CheckpointCoordinator {
+            storage,
+            cost: StorageCostModel::zero(),
+            protocol: CoordinationProtocol::default(),
+            write_mode: WriteMode::default(),
+            compress: false,
+            exclusions: ExclusionSet::new(),
+        }
+    }
+
+    /// Sets the storage cost model.
+    pub fn cost_model(mut self, cost: StorageCostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the coordination protocol.
+    pub fn protocol(mut self, protocol: CoordinationProtocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Sets the write mode (synchronous or forked).
+    pub fn write_mode(mut self, mode: WriteMode) -> Self {
+        self.write_mode = mode;
+        self
+    }
+
+    /// Enables RLE compression of application state.
+    pub fn compressed(mut self, on: bool) -> Self {
+        self.compress = on;
+        self
+    }
+
+    /// Sets memory-exclusion regions applied to the serialized state.
+    pub fn exclusions(mut self, exclusions: ExclusionSet) -> Self {
+        self.exclusions = exclusions;
+        self
+    }
+
+    /// The storage backend.
+    pub fn storage(&self) -> &Arc<dyn StableStorage> {
+        &self.storage
+    }
+
+    /// Takes coordinated checkpoint number `seq`. Collective: every rank of
+    /// `comm` must call with the same `seq` at the same logical point.
+    ///
+    /// The write cost is charged to the rank's virtual clock, then a
+    /// barrier commits the checkpoint (matching the synchronous semantics
+    /// of the paper's BLCR-based service).
+    ///
+    /// # Errors
+    ///
+    /// Returns a protocol error if the run aborts mid-checkpoint, a codec
+    /// error if the state cannot be serialized, or a storage error.
+    pub fn checkpoint<C, S>(
+        &self,
+        comm: &CountingComm<'_, C>,
+        seq: u64,
+        state: &S,
+    ) -> Result<CheckpointReceipt>
+    where
+        C: Communicator,
+        S: Serialize,
+    {
+        let channel = match self.protocol {
+            CoordinationProtocol::Bookmark => bookmark::quiesce(comm)?,
+            CoordinationProtocol::ChandyLamport => chandy_lamport::snapshot(comm, seq)?,
+            CoordinationProtocol::AppQuiesced => comm.channel_state(),
+        };
+        let channel_messages = channel.len();
+        let image = ProcessImage::capture_with(
+            comm.rank().as_u32(),
+            comm.now(),
+            state,
+            &self.exclusions,
+            self.compress,
+        )?
+        .with_channel_state(channel);
+        let bytes = image.to_stored_bytes()?;
+        let cost = match self.write_mode {
+            WriteMode::Synchronous => self.cost.write_cost(bytes.len()),
+            WriteMode::Forked { stop_seconds } => stop_seconds,
+        };
+        comm.compute(cost)?;
+        self.storage.store(SnapshotKey::new(seq, comm.rank().as_u32()), &bytes)?;
+        comm.barrier()?;
+        Ok(CheckpointReceipt { stored_bytes: bytes.len(), cost_seconds: cost, channel_messages })
+    }
+
+    /// Loads this rank's image from checkpoint `seq`, charging the read
+    /// cost to virtual time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::NotFound`](crate::CkptError::NotFound) if the
+    /// image is missing, or codec/storage errors.
+    pub fn restore<C, T>(&self, comm: &C, seq: u64) -> Result<Restored<T>>
+    where
+        C: Communicator,
+        T: DeserializeOwned,
+    {
+        let bytes = self.storage.load(SnapshotKey::new(seq, comm.rank().as_u32()))?;
+        let cost = self.cost.read_cost(bytes.len());
+        comm.compute(cost)?;
+        let image = ProcessImage::from_stored_bytes(&bytes)?;
+        let state = image.restore()?;
+        Ok(Restored {
+            state,
+            channel: image.channel_state,
+            cut_time: image.virtual_time,
+            cost_seconds: cost,
+        })
+    }
+
+    /// Deletes checkpoints older than `keep_from_seq` (call from one rank,
+    /// or idempotently from all).
+    ///
+    /// # Errors
+    ///
+    /// Returns storage errors.
+    pub fn prune_before(&self, keep_from_seq: u64) -> Result<()> {
+        self.storage.prune_before(keep_from_seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemoryStorage;
+    use redcr_mpi::{CostModel, Rank, Tag, World};
+    use serde::Deserialize;
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq, Clone)]
+    struct State {
+        iter: u64,
+        data: Vec<f64>,
+    }
+
+    #[test]
+    fn checkpoint_then_restore_round_trip() {
+        let storage: Arc<dyn StableStorage> = Arc::new(MemoryStorage::new());
+        let coord = CheckpointCoordinator::new(Arc::clone(&storage));
+        let coord2 = coord.clone();
+        World::builder(3)
+            .cost_model(CostModel::zero())
+            .run(move |base| {
+                let comm = CountingComm::new(base);
+                let state =
+                    State { iter: 5, data: vec![comm.rank().index() as f64; 8] };
+                coord2.checkpoint(&comm, 1, &state).unwrap();
+                let restored: Restored<State> = coord2.restore(comm.inner(), 1).unwrap();
+                assert_eq!(restored.state, state);
+                assert!(restored.channel.is_empty());
+                Ok(())
+            })
+            .unwrap()
+            .into_results()
+            .unwrap();
+        assert_eq!(storage.list().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn checkpoint_cost_charged_to_virtual_time() {
+        let storage: Arc<dyn StableStorage> = Arc::new(MemoryStorage::new());
+        let coord = CheckpointCoordinator::new(storage).cost_model(StorageCostModel::fixed(
+            120.0, 500.0,
+        ));
+        let report = World::builder(2)
+            .cost_model(CostModel::zero())
+            .run(move |base| {
+                let comm = CountingComm::new(base);
+                let receipt = coord.checkpoint(&comm, 0, &vec![1u64, 2, 3]).unwrap();
+                assert_eq!(receipt.cost_seconds, 120.0);
+                Ok(comm.now())
+            })
+            .unwrap();
+        for t in report.into_results().unwrap() {
+            assert!(t >= 120.0, "virtual time {t} must include checkpoint cost");
+        }
+    }
+
+    #[test]
+    fn in_flight_messages_survive_checkpoint_restore() {
+        let storage: Arc<dyn StableStorage> = Arc::new(MemoryStorage::new());
+        let coord = CheckpointCoordinator::new(storage);
+        World::builder(2)
+            .cost_model(CostModel::zero())
+            .run(move |base| {
+                let comm = CountingComm::new(base);
+                if comm.rank().index() == 0 {
+                    comm.send(Rank::new(1), Tag::new(4), b"in-flight")?;
+                }
+                let receipt = coord.checkpoint(&comm, 9, &0u64).unwrap();
+                if comm.rank().index() == 1 {
+                    assert_eq!(receipt.channel_messages, 1);
+                    // Simulate restart: a fresh CountingComm primed with the
+                    // restored channel state.
+                    let restored: Restored<u64> = coord.restore(comm.inner(), 9).unwrap();
+                    let comm2 =
+                        CountingComm::with_restored_channel(comm.inner(), restored.channel);
+                    let (b, _) = comm2.recv(Rank::new(0).into(), Tag::new(4).into())?;
+                    assert_eq!(&b[..], b"in-flight");
+                }
+                Ok(())
+            })
+            .unwrap()
+            .into_results()
+            .unwrap();
+    }
+
+    #[test]
+    fn all_protocols_produce_equivalent_cuts_at_quiescent_points() {
+        for protocol in [
+            CoordinationProtocol::Bookmark,
+            CoordinationProtocol::ChandyLamport,
+            CoordinationProtocol::AppQuiesced,
+        ] {
+            let storage: Arc<dyn StableStorage> = Arc::new(MemoryStorage::new());
+            let coord = CheckpointCoordinator::new(Arc::clone(&storage)).protocol(protocol);
+            World::builder(4)
+                .cost_model(CostModel::zero())
+                .run(move |base| {
+                    let comm = CountingComm::new(base);
+                    // Fully matched traffic, then checkpoint.
+                    let peer = comm.rank().offset(1, 4);
+                    let prev = comm.rank().offset(-1, 4);
+                    comm.send(peer, Tag::new(1), b"x")?;
+                    comm.recv(prev.into(), Tag::new(1).into())?;
+                    let receipt = coord.checkpoint(&comm, 2, &comm.rank().index()).unwrap();
+                    assert_eq!(receipt.channel_messages, 0, "{protocol:?}");
+                    Ok(())
+                })
+                .unwrap()
+                .into_results()
+                .unwrap();
+            assert_eq!(storage.list().unwrap().len(), 4, "{protocol:?}");
+        }
+    }
+
+    #[test]
+    fn compression_and_exclusion_applied() {
+        let storage: Arc<dyn StableStorage> = Arc::new(MemoryStorage::new());
+        let coord = CheckpointCoordinator::new(Arc::clone(&storage)).compressed(true);
+        World::builder(1)
+            .cost_model(CostModel::zero())
+            .run(move |base| {
+                let comm = CountingComm::new(base);
+                let state = State { iter: 1, data: vec![0.0; 10_000] };
+                let receipt = coord.checkpoint(&comm, 0, &state).unwrap();
+                assert!(receipt.stored_bytes < 2_000, "zeros compress: {}", receipt.stored_bytes);
+                let restored: Restored<State> = coord.restore(comm.inner(), 0).unwrap();
+                assert_eq!(restored.state, state);
+                Ok(())
+            })
+            .unwrap()
+            .into_results()
+            .unwrap();
+    }
+
+    #[test]
+    fn forked_mode_hides_write_cost() {
+        let storage: Arc<dyn StableStorage> = Arc::new(MemoryStorage::new());
+        let sync_coord = CheckpointCoordinator::new(Arc::clone(&storage))
+            .cost_model(StorageCostModel::fixed(120.0, 500.0));
+        let forked_coord = CheckpointCoordinator::new(Arc::clone(&storage))
+            .cost_model(StorageCostModel::fixed(120.0, 500.0))
+            .write_mode(WriteMode::Forked { stop_seconds: 2.0 });
+        let report = World::builder(1)
+            .cost_model(CostModel::zero())
+            .run(move |base| {
+                let comm = CountingComm::new(base);
+                let sync_receipt = sync_coord.checkpoint(&comm, 0, &1u64).unwrap();
+                let after_sync = comm.now();
+                let forked_receipt = forked_coord.checkpoint(&comm, 1, &1u64).unwrap();
+                let after_forked = comm.now();
+                assert_eq!(sync_receipt.cost_seconds, 120.0);
+                assert_eq!(forked_receipt.cost_seconds, 2.0);
+                assert!((after_forked - after_sync - 2.0).abs() < 1e-9);
+                Ok(())
+            })
+            .unwrap();
+        report.into_results().unwrap();
+        // Both images are durably stored regardless of mode.
+        assert_eq!(storage.list().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn missing_checkpoint_is_not_found() {
+        let storage: Arc<dyn StableStorage> = Arc::new(MemoryStorage::new());
+        let coord = CheckpointCoordinator::new(storage);
+        World::builder(1)
+            .cost_model(CostModel::zero())
+            .run(move |base| {
+                let r: Result<Restored<u64>> = coord.restore(base, 99);
+                assert!(matches!(r, Err(crate::CkptError::NotFound { .. })));
+                Ok(())
+            })
+            .unwrap()
+            .into_results()
+            .unwrap();
+    }
+}

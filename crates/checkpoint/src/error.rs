@@ -1,0 +1,95 @@
+use std::error::Error;
+use std::fmt;
+
+use redcr_mpi::MpiError;
+
+/// Errors produced by checkpoint/restart operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CkptError {
+    /// Serialization or deserialization of application state failed.
+    Codec(String),
+    /// The underlying storage backend failed.
+    Storage(std::io::Error),
+    /// A requested snapshot does not exist (or the set is incomplete).
+    NotFound {
+        /// Human-readable description of what was looked up.
+        what: String,
+    },
+    /// The coordination protocol failed (typically because the run aborted
+    /// mid-checkpoint).
+    Protocol(MpiError),
+    /// An incremental chain is broken (missing base or mismatched page
+    /// geometry).
+    BrokenChain {
+        /// Description of the inconsistency.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Codec(msg) => write!(f, "state codec error: {msg}"),
+            CkptError::Storage(e) => write!(f, "stable storage error: {e}"),
+            CkptError::NotFound { what } => write!(f, "snapshot not found: {what}"),
+            CkptError::Protocol(e) => write!(f, "checkpoint coordination failed: {e}"),
+            CkptError::BrokenChain { what } => write!(f, "incremental chain broken: {what}"),
+        }
+    }
+}
+
+impl Error for CkptError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CkptError::Storage(e) => Some(e),
+            CkptError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CkptError {
+    fn from(e: std::io::Error) -> Self {
+        CkptError::Storage(e)
+    }
+}
+
+impl From<MpiError> for CkptError {
+    fn from(e: MpiError) -> Self {
+        CkptError::Protocol(e)
+    }
+}
+
+impl From<CkptError> for MpiError {
+    fn from(e: CkptError) -> Self {
+        match e {
+            // A protocol failure is already a runtime error (usually the
+            // planned fail-stop abort); surface it unchanged so abort
+            // handling still recognizes it.
+            CkptError::Protocol(inner) => inner,
+            other => MpiError::App { what: other.to_string() },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CkptError::Codec("bad length".into());
+        assert!(e.to_string().contains("bad length"));
+        let e = CkptError::from(std::io::Error::other("disk gone"));
+        assert!(e.source().is_some());
+        let e = CkptError::from(MpiError::DecodeError { what: "x" });
+        assert!(matches!(e, CkptError::Protocol(_)));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CkptError>();
+    }
+}

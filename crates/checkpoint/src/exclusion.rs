@@ -1,0 +1,143 @@
+//! Memory exclusion (paper Section 2): applications can mark regions of
+//! their state — temporary or scratch buffers — that need not survive a
+//! restart. Excluded regions are zeroed before the image is written, which
+//! both removes the data and makes the region collapse to almost nothing
+//! under [run-length compression](crate::compress).
+//!
+//! On restore the excluded regions simply come back zeroed; the application
+//! contract is that it re-derives them (the same contract BLCR-era memory
+//! exclusion imposed via `cr_register_mem`).
+
+use std::ops::Range;
+
+/// A set of byte ranges to exclude from a process image.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExclusionSet {
+    ranges: Vec<Range<usize>>,
+}
+
+impl ExclusionSet {
+    /// An empty set (nothing excluded).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a byte range to exclude. Overlapping or adjacent ranges are
+    /// merged.
+    pub fn exclude(&mut self, range: Range<usize>) -> &mut Self {
+        if range.is_empty() {
+            return self;
+        }
+        self.ranges.push(range);
+        self.normalize();
+        self
+    }
+
+    fn normalize(&mut self) {
+        self.ranges.sort_by_key(|r| r.start);
+        let mut merged: Vec<Range<usize>> = Vec::with_capacity(self.ranges.len());
+        for r in self.ranges.drain(..) {
+            match merged.last_mut() {
+                Some(last) if r.start <= last.end => {
+                    last.end = last.end.max(r.end);
+                }
+                _ => merged.push(r),
+            }
+        }
+        self.ranges = merged;
+    }
+
+    /// The normalized (sorted, disjoint) excluded ranges.
+    pub fn ranges(&self) -> &[Range<usize>] {
+        &self.ranges
+    }
+
+    /// Total excluded bytes.
+    pub fn excluded_bytes(&self) -> usize {
+        self.ranges.iter().map(|r| r.end - r.start).sum()
+    }
+
+    /// Whether offset `at` falls in an excluded range.
+    pub fn contains(&self, at: usize) -> bool {
+        self.ranges.iter().any(|r| r.contains(&at))
+    }
+
+    /// Zeroes the excluded ranges of `image` in place. Ranges beyond the
+    /// image length are clipped.
+    pub fn apply(&self, image: &mut [u8]) {
+        for r in &self.ranges {
+            let start = r.start.min(image.len());
+            let end = r.end.min(image.len());
+            image[start..end].fill(0);
+        }
+    }
+}
+
+impl FromIterator<Range<usize>> for ExclusionSet {
+    fn from_iter<I: IntoIterator<Item = Range<usize>>>(iter: I) -> Self {
+        let mut set = ExclusionSet::new();
+        for r in iter {
+            set.exclude(r);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_overlapping_and_adjacent() {
+        let mut s = ExclusionSet::new();
+        s.exclude(10..20).exclude(15..25).exclude(25..30).exclude(50..60);
+        assert_eq!(s.ranges(), &[10..30, 50..60]);
+        assert_eq!(s.excluded_bytes(), 30);
+    }
+
+    #[test]
+    fn empty_ranges_ignored() {
+        let mut s = ExclusionSet::new();
+        s.exclude(5..5);
+        assert!(s.ranges().is_empty());
+        assert_eq!(s.excluded_bytes(), 0);
+    }
+
+    #[test]
+    fn apply_zeroes_only_excluded() {
+        let mut s = ExclusionSet::new();
+        s.exclude(2..4);
+        let mut img = vec![9u8; 6];
+        s.apply(&mut img);
+        assert_eq!(img, vec![9, 9, 0, 0, 9, 9]);
+    }
+
+    #[test]
+    fn apply_clips_past_end() {
+        let mut s = ExclusionSet::new();
+        s.exclude(4..100);
+        let mut img = vec![1u8; 6];
+        s.apply(&mut img);
+        assert_eq!(img, vec![1, 1, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn contains_checks_membership() {
+        let s: ExclusionSet = [0..2, 8..10].into_iter().collect();
+        assert!(s.contains(1));
+        assert!(!s.contains(2));
+        assert!(s.contains(9));
+        assert!(!s.contains(10));
+    }
+
+    #[test]
+    fn exclusion_improves_compression() {
+        let mut img: Vec<u8> = (0..10_000u32).map(|i| ((i * 37) >> 3) as u8 | 1).collect();
+        let baseline = crate::compress::compress(&img).len();
+        let mut s = ExclusionSet::new();
+        s.exclude(1000..9000);
+        s.apply(&mut img);
+        let excluded = crate::compress::compress(&img).len();
+        assert!(excluded < baseline / 2, "excluded {excluded} vs baseline {baseline}");
+    }
+}

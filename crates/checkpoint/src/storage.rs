@@ -1,0 +1,351 @@
+//! Stable storage: where process images live, and what writing them costs.
+//!
+//! "Stable storage is an abstraction for some storage devices ensuring that
+//! recovery data persists through failures" (paper Section 2). Two backends
+//! are provided — an in-memory store for simulations and tests, and a
+//! directory-backed store — both behind the object-safe [`StableStorage`]
+//! trait. A [`StorageCostModel`] converts image sizes into the *virtual
+//! time* cost of a checkpoint (`c`) and of reading it back at restart
+//! (contributing to `R`), which is how storage bandwidth enters the paper's
+//! model.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+
+use parking_lot::Mutex;
+
+use crate::error::CkptError;
+use crate::Result;
+
+/// Identifies one process image within one coordinated checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SnapshotKey {
+    /// Coordinated-checkpoint sequence number (monotone per job).
+    pub seq: u64,
+    /// Virtual rank of the process.
+    pub rank: u32,
+}
+
+impl SnapshotKey {
+    /// Creates a key.
+    pub fn new(seq: u64, rank: u32) -> Self {
+        SnapshotKey { seq, rank }
+    }
+
+    fn file_name(&self) -> String {
+        format!("ckpt-{:010}-rank-{:06}.img", self.seq, self.rank)
+    }
+
+    fn parse(name: &str) -> Option<Self> {
+        let rest = name.strip_prefix("ckpt-")?.strip_suffix(".img")?;
+        let (seq, rank) = rest.split_once("-rank-")?;
+        Some(SnapshotKey { seq: seq.parse().ok()?, rank: rank.parse().ok()? })
+    }
+}
+
+impl fmt::Display for SnapshotKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "checkpoint {} rank {}", self.seq, self.rank)
+    }
+}
+
+/// Cost model converting bytes moved to virtual seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageCostModel {
+    /// Fixed per-image write cost (coordination, metadata, sync), seconds.
+    pub write_base_seconds: f64,
+    /// Write cost per byte, seconds (1 / aggregate write bandwidth share).
+    pub write_seconds_per_byte: f64,
+    /// Fixed per-image read cost, seconds.
+    pub read_base_seconds: f64,
+    /// Read cost per byte, seconds.
+    pub read_seconds_per_byte: f64,
+}
+
+impl StorageCostModel {
+    /// A parallel-file-system-like model: 1 s base cost, ~1 GB/s effective
+    /// per-process write bandwidth, reads twice as fast.
+    pub fn parallel_fs() -> Self {
+        StorageCostModel {
+            write_base_seconds: 1.0,
+            write_seconds_per_byte: 1e-9,
+            read_base_seconds: 1.0,
+            read_seconds_per_byte: 0.5e-9,
+        }
+    }
+
+    /// Free storage (functional tests).
+    pub fn zero() -> Self {
+        StorageCostModel {
+            write_base_seconds: 0.0,
+            write_seconds_per_byte: 0.0,
+            read_base_seconds: 0.0,
+            read_seconds_per_byte: 0.0,
+        }
+    }
+
+    /// A fixed-cost model: every checkpoint write costs exactly
+    /// `write_seconds` and every read `read_seconds`, independent of size —
+    /// convenient for matching the paper's measured `c = 120 s`,
+    /// `R = 500 s`.
+    pub fn fixed(write_seconds: f64, read_seconds: f64) -> Self {
+        StorageCostModel {
+            write_base_seconds: write_seconds,
+            write_seconds_per_byte: 0.0,
+            read_base_seconds: read_seconds,
+            read_seconds_per_byte: 0.0,
+        }
+    }
+
+    /// Virtual-time cost of writing `len` bytes.
+    pub fn write_cost(&self, len: usize) -> f64 {
+        self.write_base_seconds + len as f64 * self.write_seconds_per_byte
+    }
+
+    /// Virtual-time cost of reading `len` bytes.
+    pub fn read_cost(&self, len: usize) -> f64 {
+        self.read_base_seconds + len as f64 * self.read_seconds_per_byte
+    }
+}
+
+/// A stable-storage backend for process images.
+///
+/// Implementations must be `Send + Sync`: every rank thread stores its own
+/// image concurrently during a coordinated checkpoint.
+pub trait StableStorage: Send + Sync + fmt::Debug {
+    /// Persists `data` under `key`, overwriting any previous image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Storage`] on backend failure.
+    fn store(&self, key: SnapshotKey, data: &[u8]) -> Result<()>;
+
+    /// Loads the image stored under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::NotFound`] if no image exists for `key`.
+    fn load(&self, key: SnapshotKey) -> Result<Vec<u8>>;
+
+    /// Lists all stored keys (any order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Storage`] on backend failure.
+    fn list(&self) -> Result<Vec<SnapshotKey>>;
+
+    /// Deletes the image under `key` (no-op if absent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Storage`] on backend failure.
+    fn delete(&self, key: SnapshotKey) -> Result<()>;
+
+    /// Deletes every image with `seq` strictly less than `keep_from_seq`
+    /// (garbage collection after a newer complete checkpoint lands).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Storage`] on backend failure.
+    fn prune_before(&self, keep_from_seq: u64) -> Result<()> {
+        for key in self.list()? {
+            if key.seq < keep_from_seq {
+                self.delete(key)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// In-memory stable storage (a shared map).
+#[derive(Debug, Default)]
+pub struct MemoryStorage {
+    images: Mutex<HashMap<SnapshotKey, Vec<u8>>>,
+}
+
+impl MemoryStorage {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes currently stored.
+    pub fn total_bytes(&self) -> usize {
+        self.images.lock().values().map(Vec::len).sum()
+    }
+}
+
+impl StableStorage for MemoryStorage {
+    fn store(&self, key: SnapshotKey, data: &[u8]) -> Result<()> {
+        self.images.lock().insert(key, data.to_vec());
+        Ok(())
+    }
+
+    fn load(&self, key: SnapshotKey) -> Result<Vec<u8>> {
+        self.images
+            .lock()
+            .get(&key)
+            .cloned()
+            .ok_or_else(|| CkptError::NotFound { what: key.to_string() })
+    }
+
+    fn list(&self) -> Result<Vec<SnapshotKey>> {
+        Ok(self.images.lock().keys().copied().collect())
+    }
+
+    fn delete(&self, key: SnapshotKey) -> Result<()> {
+        self.images.lock().remove(&key);
+        Ok(())
+    }
+}
+
+/// Directory-backed stable storage: one file per process image.
+#[derive(Debug)]
+pub struct DiskStorage {
+    dir: PathBuf,
+}
+
+impl DiskStorage {
+    /// Opens (creating if needed) a storage directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Storage`] if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(DiskStorage { dir })
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+}
+
+impl StableStorage for DiskStorage {
+    fn store(&self, key: SnapshotKey, data: &[u8]) -> Result<()> {
+        // Write-then-rename so that a torn write never looks like a valid
+        // image (the stable-storage property). The temp name is unique per
+        // writer: replicas of the same virtual rank legitimately store the
+        // same key concurrently (their images are equivalent), and must not
+        // trip over each other's rename.
+        static WRITER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let writer = WRITER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let final_path = self.dir.join(key.file_name());
+        let tmp_path = self.dir.join(format!("{}.{writer}.tmp", key.file_name()));
+        {
+            let mut f = std::fs::File::create(&tmp_path)?;
+            f.write_all(data)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &final_path)?;
+        Ok(())
+    }
+
+    fn load(&self, key: SnapshotKey) -> Result<Vec<u8>> {
+        let path = self.dir.join(key.file_name());
+        let mut f = std::fs::File::open(&path)
+            .map_err(|_| CkptError::NotFound { what: key.to_string() })?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn list(&self) -> Result<Vec<SnapshotKey>> {
+        let mut keys = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if let Some(name) = entry.file_name().to_str() {
+                if let Some(key) = SnapshotKey::parse(name) {
+                    keys.push(key);
+                }
+            }
+        }
+        Ok(keys)
+    }
+
+    fn delete(&self, key: SnapshotKey) -> Result<()> {
+        let path = self.dir.join(key.file_name());
+        match std::fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(storage: &dyn StableStorage) {
+        let k1 = SnapshotKey::new(1, 0);
+        let k2 = SnapshotKey::new(1, 1);
+        let k3 = SnapshotKey::new(2, 0);
+        storage.store(k1, b"alpha").unwrap();
+        storage.store(k2, b"beta").unwrap();
+        storage.store(k3, b"gamma").unwrap();
+        assert_eq!(storage.load(k1).unwrap(), b"alpha");
+        assert_eq!(storage.load(k2).unwrap(), b"beta");
+        // Overwrite.
+        storage.store(k1, b"alpha2").unwrap();
+        assert_eq!(storage.load(k1).unwrap(), b"alpha2");
+        let mut keys = storage.list().unwrap();
+        keys.sort();
+        assert_eq!(keys, vec![k1, k2, k3]);
+        // Prune old checkpoints.
+        storage.prune_before(2).unwrap();
+        assert!(storage.load(k1).is_err());
+        assert!(storage.load(k2).is_err());
+        assert_eq!(storage.load(k3).unwrap(), b"gamma");
+        // Delete is idempotent.
+        storage.delete(k3).unwrap();
+        storage.delete(k3).unwrap();
+        assert!(matches!(storage.load(k3), Err(CkptError::NotFound { .. })));
+    }
+
+    #[test]
+    fn memory_storage_contract() {
+        let s = MemoryStorage::new();
+        exercise(&s);
+        assert_eq!(s.total_bytes(), 0);
+    }
+
+    #[test]
+    fn disk_storage_contract() {
+        let dir = std::env::temp_dir().join(format!("redcr-ckpt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = DiskStorage::open(&dir).unwrap();
+        exercise(&s);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn key_file_name_round_trip() {
+        let k = SnapshotKey::new(123, 45);
+        assert_eq!(SnapshotKey::parse(&k.file_name()), Some(k));
+        assert_eq!(SnapshotKey::parse("garbage.img"), None);
+        assert_eq!(SnapshotKey::parse("ckpt-1-rank-x.img"), None);
+    }
+
+    #[test]
+    fn cost_model_linear() {
+        let m = StorageCostModel::parallel_fs();
+        assert!((m.write_cost(1_000_000_000) - 2.0).abs() < 1e-9);
+        assert!((m.read_cost(1_000_000_000) - 1.5).abs() < 1e-9);
+        let z = StorageCostModel::zero();
+        assert_eq!(z.write_cost(1 << 30), 0.0);
+        assert_eq!(z.read_cost(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn cost_model_fixed_matches_paper_constants() {
+        let m = StorageCostModel::fixed(120.0, 500.0);
+        assert_eq!(m.write_cost(0), 120.0);
+        assert_eq!(m.write_cost(1 << 30), 120.0);
+        assert_eq!(m.read_cost(1 << 30), 500.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Failure sources feeding the timeline simulator.
+
+use redcr_fault::{ExpSampler, FailureSchedule, NodePlacement, ReplicaGroups};
+
+/// Supplies, per attempt, the (relative) time at which the job fails.
+///
+/// Times are measured on the attempt's *exposure clock* (see
+/// [`FailureExposure`](crate::job::FailureExposure)): under `AllTime` this
+/// is wall time from attempt start; under `WorkOnly` it advances only while
+/// the job is doing useful work.
+pub trait FailureSource {
+    /// The failure time of attempt `attempt` (relative to the attempt's
+    /// start, in exposure-clock units). `f64::INFINITY` means the attempt
+    /// is failure-free.
+    fn next_failure(&mut self, attempt: u64) -> f64;
+}
+
+/// Memoryless system-level failures at a fixed rate (system MTBF `Θ`):
+/// the aggregated view the analytic model uses (Eq. 10).
+#[derive(Debug, Clone)]
+pub struct PoissonSource {
+    sampler: ExpSampler,
+}
+
+impl PoissonSource {
+    /// Failures with mean inter-arrival `system_mtbf` (same unit as the job
+    /// durations), deterministically seeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `system_mtbf` is not positive.
+    pub fn new(system_mtbf: f64, seed: u64) -> Self {
+        PoissonSource { sampler: ExpSampler::new(system_mtbf, seed) }
+    }
+}
+
+impl FailureSource for PoissonSource {
+    fn next_failure(&mut self, _attempt: u64) -> f64 {
+        self.sampler.sample()
+    }
+}
+
+/// Per-physical-process sampling with replica-sphere semantics: the job
+/// fails when the first whole sphere is dead (partial redundancy, via
+/// `redcr-fault`). Fresh samples per attempt (spares replace failed nodes).
+#[derive(Debug, Clone)]
+pub struct SphereSource {
+    groups: ReplicaGroups,
+    sampler: ExpSampler,
+    /// Fast path: when no process is replicated, the job failure time is
+    /// the minimum of `N` i.i.d. exponentials — a single `Exp(θ/N)` draw.
+    min_sampler: Option<ExpSampler>,
+}
+
+impl SphereSource {
+    /// Creates a source for the given sphere structure with per-process
+    /// MTBF `node_mtbf` (same unit as job durations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_mtbf` is not positive.
+    pub fn new(groups: ReplicaGroups, node_mtbf: f64, seed: u64) -> Self {
+        let min_sampler = if groups.iter().all(|g| g.len() == 1) && node_mtbf.is_finite() {
+            Some(ExpSampler::new(node_mtbf / groups.n_physical() as f64, seed ^ 0x5eed))
+        } else {
+            None
+        };
+        SphereSource { groups, sampler: ExpSampler::new(node_mtbf, seed), min_sampler }
+    }
+
+    /// The sphere structure.
+    pub fn groups(&self) -> &ReplicaGroups {
+        &self.groups
+    }
+}
+
+impl FailureSource for SphereSource {
+    fn next_failure(&mut self, _attempt: u64) -> f64 {
+        if let Some(min_sampler) = &mut self.min_sampler {
+            return min_sampler.sample();
+        }
+        let schedule = FailureSchedule::sample(self.groups.n_physical(), &mut self.sampler);
+        schedule.job_failure(&self.groups).0
+    }
+}
+
+/// Node-granularity failures: per-*node* exponential sampling with every
+/// process on a dead node dying together (the paper's socket-as-failure-
+/// unit view, with its 14-processes-per-node pinning). The ablation
+/// counterpart of [`SphereSource`].
+#[derive(Debug, Clone)]
+pub struct NodeSphereSource {
+    groups: ReplicaGroups,
+    placement: NodePlacement,
+    sampler: ExpSampler,
+}
+
+impl NodeSphereSource {
+    /// Creates a source with `procs_per_node` processes packed per node and
+    /// per-node MTBF `node_mtbf`. Replica anti-affinity is enforced (a
+    /// sphere with two replicas on one node would die atomically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_mtbf` is not positive or replicas share a node.
+    pub fn new(
+        groups: ReplicaGroups,
+        procs_per_node: usize,
+        node_mtbf: f64,
+        seed: u64,
+    ) -> Self {
+        let placement = NodePlacement::anti_affine(&groups, procs_per_node);
+        NodeSphereSource { groups, placement, sampler: ExpSampler::new(node_mtbf, seed) }
+    }
+
+    /// The node placement in effect.
+    pub fn placement(&self) -> &NodePlacement {
+        &self.placement
+    }
+}
+
+impl FailureSource for NodeSphereSource {
+    fn next_failure(&mut self, _attempt: u64) -> f64 {
+        self.placement.sample(&mut self.sampler).job_failure(&self.groups).0
+    }
+}
+
+/// A scripted list of per-attempt failure times (tests); attempts beyond
+/// the list are failure-free.
+#[derive(Debug, Clone)]
+pub struct ScheduledSource {
+    times: Vec<f64>,
+}
+
+impl ScheduledSource {
+    /// Creates a source failing attempt `i` at `times[i]`.
+    pub fn new(times: Vec<f64>) -> Self {
+        ScheduledSource { times }
+    }
+}
+
+impl FailureSource for ScheduledSource {
+    fn next_failure(&mut self, attempt: u64) -> f64 {
+        self.times.get(attempt as usize).copied().unwrap_or(f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduled_source_replays_then_clean() {
+        let mut s = ScheduledSource::new(vec![1.0, 2.0]);
+        assert_eq!(s.next_failure(0), 1.0);
+        assert_eq!(s.next_failure(1), 2.0);
+        assert_eq!(s.next_failure(2), f64::INFINITY);
+    }
+
+    #[test]
+    fn poisson_source_mean() {
+        let mut s = PoissonSource::new(10.0, 3);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|i| s.next_failure(i)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 10.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn node_source_respects_anti_affinity_and_granularity() {
+        let mk = |replicas: usize, seed: u64| {
+            let groups = ReplicaGroups::uniform(28, replicas);
+            NodeSphereSource::new(groups, 14, 100.0, seed)
+        };
+        // 1x: 28 procs on 2 nodes; 2x: 56 procs on 4 nodes.
+        let mut s1 = mk(1, 3);
+        let mut s2 = mk(2, 3);
+        let n = 500;
+        let m1: f64 = (0..n).map(|i| s1.next_failure(i)).sum::<f64>() / n as f64;
+        let m2: f64 = (0..n).map(|i| s2.next_failure(i)).sum::<f64>() / n as f64;
+        // 1x dies at the first of 2 node failures: mean ~ 100/2 = 50.
+        assert!((m1 - 50.0).abs() < 8.0, "m1 = {m1}");
+        // Dual redundancy on anti-affine nodes: the job dies at the first
+        // fully-dead node *pair*, the min of two Exp-max variables with
+        // mean ≈ 94 at θ = 100 — nearly double the 1x lifetime.
+        assert!(m2 > 1.6 * m1, "m2 = {m2}");
+        assert!((m2 - 94.0).abs() < 15.0, "m2 = {m2}");
+    }
+
+    #[test]
+    fn sphere_source_redundancy_extends_lifetime() {
+        let mean_of = |groups: ReplicaGroups, seed| {
+            let mut s = SphereSource::new(groups, 100.0, seed);
+            (0..2000).map(|i| s.next_failure(i)).sum::<f64>() / 2000.0
+        };
+        let m1 = mean_of(ReplicaGroups::uniform(16, 1), 1);
+        let m2 = mean_of(ReplicaGroups::uniform(8, 2), 1);
+        // 1x on 16 nodes: MTBF ~ 100/16 = 6.25. Dual redundancy: far longer.
+        assert!((m1 - 6.25).abs() < 1.0, "m1 = {m1}");
+        assert!(m2 > 4.0 * m1, "m2 = {m2}");
+    }
+}

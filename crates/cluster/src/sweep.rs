@@ -1,0 +1,182 @@
+//! Seeded Monte-Carlo aggregation over many simulated runs, parallelized
+//! across OS threads.
+
+use crate::simulate::SimError;
+use crate::stats::JobStats;
+
+/// Aggregate of a Monte-Carlo batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregate {
+    /// Number of runs requested.
+    pub runs: usize,
+    /// Number of runs that completed (non-divergent).
+    pub completed: usize,
+    /// Mean total time over completed runs.
+    pub mean_total_time: f64,
+    /// Sample standard deviation of the total time.
+    pub std_total_time: f64,
+    /// Element-wise mean of the completed runs' stats.
+    pub mean: JobStats,
+}
+
+impl Aggregate {
+    /// Fraction of runs that completed.
+    pub fn completion_rate(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.runs as f64
+        }
+    }
+
+    /// Standard error of the mean total time.
+    pub fn sem_total_time(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.std_total_time / (self.completed as f64).sqrt()
+        }
+    }
+}
+
+/// Runs `runs` seeded simulations (`f(seed)` for seeds `0..runs`) on up to
+/// `threads` OS threads and aggregates the outcomes. Divergent runs
+/// ([`SimError::TooManyAttempts`]) are counted but excluded from the means;
+/// any other error aborts the sweep.
+///
+/// # Errors
+///
+/// Propagates the first non-divergence error encountered.
+pub fn monte_carlo<F>(runs: usize, threads: usize, f: F) -> Result<Aggregate, SimError>
+where
+    F: Fn(u64) -> Result<JobStats, SimError> + Sync,
+{
+    let threads = threads.max(1);
+    let mut slots: Vec<Option<Result<JobStats, SimError>>> = Vec::new();
+    slots.resize_with(runs, || None);
+    let f = &f;
+
+    std::thread::scope(|scope| {
+        for (chunk_idx, chunk) in slots.chunks_mut(runs.div_ceil(threads).max(1)).enumerate() {
+            let base = chunk_idx * runs.div_ceil(threads).max(1);
+            scope.spawn(move || {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = Some(f((base + i) as u64));
+                }
+            });
+        }
+    });
+
+    let mut completed_stats = Vec::with_capacity(runs);
+    for slot in slots {
+        match slot.expect("all slots filled") {
+            Ok(stats) => completed_stats.push(stats),
+            Err(SimError::TooManyAttempts { .. }) => {}
+            Err(e) => return Err(e),
+        }
+    }
+
+    let completed = completed_stats.len();
+    let mut mean = JobStats::default();
+    let mut mean_total = 0.0;
+    if completed > 0 {
+        for s in &completed_stats {
+            mean.total_time += s.total_time;
+            mean.work_time += s.work_time;
+            mean.checkpoint_time += s.checkpoint_time;
+            mean.recompute_time += s.recompute_time;
+            mean.restart_time += s.restart_time;
+            mean.failures += s.failures;
+            mean.checkpoints += s.checkpoints;
+            mean.attempts += s.attempts;
+        }
+        let n = completed as f64;
+        mean.total_time /= n;
+        mean.work_time /= n;
+        mean.checkpoint_time /= n;
+        mean.recompute_time /= n;
+        mean.restart_time /= n;
+        mean.failures = (mean.failures as f64 / n).round() as u64;
+        mean.checkpoints = (mean.checkpoints as f64 / n).round() as u64;
+        mean.attempts = (mean.attempts as f64 / n).round() as u64;
+        mean_total = mean.total_time;
+    }
+    let variance = if completed > 1 {
+        completed_stats
+            .iter()
+            .map(|s| (s.total_time - mean_total).powi(2))
+            .sum::<f64>()
+            / (completed - 1) as f64
+    } else {
+        0.0
+    };
+
+    Ok(Aggregate {
+        runs,
+        completed,
+        mean_total_time: mean_total,
+        std_total_time: variance.sqrt(),
+        mean,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure_source::PoissonSource;
+    use crate::job::{FailureExposure, JobConfig};
+    use crate::simulate::simulate_job;
+
+    fn run_one(seed: u64) -> Result<JobStats, SimError> {
+        let cfg = JobConfig {
+            work: 50.0,
+            checkpoint_cost: 0.2,
+            checkpoint_interval: 2.0,
+            restart_cost: 0.5,
+            exposure: FailureExposure::AllTime,
+            max_attempts: 1_000_000,
+        };
+        let mut src = PoissonSource::new(25.0, seed);
+        simulate_job(&cfg, &mut src)
+    }
+
+    #[test]
+    fn aggregates_many_runs() {
+        let agg = monte_carlo(64, 8, run_one).unwrap();
+        assert_eq!(agg.runs, 64);
+        assert_eq!(agg.completed, 64);
+        assert!(agg.mean_total_time > 50.0);
+        assert!(agg.std_total_time > 0.0);
+        assert!(agg.sem_total_time() < agg.std_total_time);
+        assert!((agg.mean.work_time - 50.0).abs() < 1e-6);
+        assert_eq!(agg.completion_rate(), 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let a = monte_carlo(16, 4, run_one).unwrap();
+        let b = monte_carlo(16, 2, run_one).unwrap();
+        assert_eq!(a.mean_total_time, b.mean_total_time, "thread count must not matter");
+    }
+
+    #[test]
+    fn divergent_runs_excluded() {
+        let agg = monte_carlo(8, 2, |seed| {
+            if seed % 2 == 0 {
+                run_one(seed)
+            } else {
+                Err(SimError::TooManyAttempts { attempts: 10 })
+            }
+        })
+        .unwrap();
+        assert_eq!(agg.completed, 4);
+        assert!((agg.completion_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_runs_ok() {
+        let agg = monte_carlo(0, 4, run_one).unwrap();
+        assert_eq!(agg.completed, 0);
+        assert_eq!(agg.mean_total_time, 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Executor configuration.
+
+use redcr_ckpt::coordinator::CoordinationProtocol;
+use redcr_mpi::CostModel;
+use redcr_red::VotingMode;
+
+/// Full configuration of a resilient execution. All durations are
+/// **virtual seconds** (the executor lives at runtime granularity; the
+/// hour-based planner output converts via `* 3600`).
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Number of application (virtual) processes.
+    pub n_virtual: u64,
+    /// Redundancy degree `r` (possibly fractional).
+    pub degree: f64,
+    /// Per-physical-process MTBF, virtual seconds.
+    pub node_mtbf: f64,
+    /// Checkpoint interval `δ`, virtual seconds.
+    pub checkpoint_interval: f64,
+    /// Checkpoint write cost `c`, virtual seconds (fixed per checkpoint).
+    pub checkpoint_cost: f64,
+    /// Restart cost `R`, virtual seconds (fixed per restart).
+    pub restart_cost: f64,
+    /// Communication cost model of the runtime.
+    pub comm_cost: CostModel,
+    /// Replication voting mode.
+    pub voting: VotingMode,
+    /// Checkpoint coordination protocol.
+    pub protocol: CoordinationProtocol,
+    /// Failure injector seed.
+    pub seed: u64,
+    /// Attempt budget before giving up.
+    pub max_attempts: u64,
+}
+
+impl ExecutorConfig {
+    /// A configuration with sensible defaults: all-to-all voting, bookmark
+    /// coordination, zero-cost communication, seed 0, 10 000 attempts.
+    pub fn new(n_virtual: u64, degree: f64) -> Self {
+        ExecutorConfig {
+            n_virtual,
+            degree,
+            node_mtbf: f64::INFINITY,
+            checkpoint_interval: f64::INFINITY,
+            checkpoint_cost: 0.0,
+            restart_cost: 0.0,
+            comm_cost: CostModel::zero(),
+            voting: VotingMode::AllToAll,
+            protocol: CoordinationProtocol::Bookmark,
+            seed: 0,
+            max_attempts: 10_000,
+        }
+    }
+
+    /// Sets the per-process MTBF (virtual seconds).
+    pub fn node_mtbf(mut self, seconds: f64) -> Self {
+        self.node_mtbf = seconds;
+        self
+    }
+
+    /// Sets the checkpoint interval (virtual seconds).
+    pub fn checkpoint_interval(mut self, seconds: f64) -> Self {
+        self.checkpoint_interval = seconds;
+        self
+    }
+
+    /// Sets the fixed checkpoint cost `c` (virtual seconds).
+    pub fn checkpoint_cost(mut self, seconds: f64) -> Self {
+        self.checkpoint_cost = seconds;
+        self
+    }
+
+    /// Sets the fixed restart cost `R` (virtual seconds).
+    pub fn restart_cost(mut self, seconds: f64) -> Self {
+        self.restart_cost = seconds;
+        self
+    }
+
+    /// Sets the runtime communication cost model.
+    pub fn comm_cost(mut self, cost: CostModel) -> Self {
+        self.comm_cost = cost;
+        self
+    }
+
+    /// Sets the replication voting mode.
+    pub fn voting(mut self, voting: VotingMode) -> Self {
+        self.voting = voting;
+        self
+    }
+
+    /// Sets the checkpoint coordination protocol.
+    pub fn protocol(mut self, protocol: CoordinationProtocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Sets the failure injector seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the attempt budget.
+    pub fn max_attempts(mut self, attempts: u64) -> Self {
+        self.max_attempts = attempts;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let cfg = ExecutorConfig::new(8, 2.0)
+            .node_mtbf(3600.0)
+            .checkpoint_interval(60.0)
+            .checkpoint_cost(2.0)
+            .restart_cost(5.0)
+            .seed(7)
+            .max_attempts(100);
+        assert_eq!(cfg.n_virtual, 8);
+        assert_eq!(cfg.degree, 2.0);
+        assert_eq!(cfg.node_mtbf, 3600.0);
+        assert_eq!(cfg.checkpoint_interval, 60.0);
+        assert_eq!(cfg.max_attempts, 100);
+    }
+}

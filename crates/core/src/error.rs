@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from planning or resilient execution.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A model-level error (invalid parameters, divergent configuration).
+    Model(redcr_model::ModelError),
+    /// A runtime error that was not a planned fail-stop abort.
+    Runtime(redcr_mpi::MpiError),
+    /// A checkpoint/restore error.
+    Checkpoint(redcr_ckpt::CkptError),
+    /// The job did not finish within the configured attempt budget.
+    AttemptsExhausted {
+        /// Attempts performed.
+        attempts: u64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Model(e) => write!(f, "model error: {e}"),
+            CoreError::Runtime(e) => write!(f, "runtime error: {e}"),
+            CoreError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            CoreError::AttemptsExhausted { attempts } => {
+                write!(f, "job did not complete within {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Model(e) => Some(e),
+            CoreError::Runtime(e) => Some(e),
+            CoreError::Checkpoint(e) => Some(e),
+            CoreError::AttemptsExhausted { .. } => None,
+        }
+    }
+}
+
+impl From<redcr_model::ModelError> for CoreError {
+    fn from(e: redcr_model::ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+impl From<redcr_mpi::MpiError> for CoreError {
+    fn from(e: redcr_mpi::MpiError) -> Self {
+        CoreError::Runtime(e)
+    }
+}
+
+impl From<redcr_ckpt::CkptError> for CoreError {
+    fn from(e: redcr_ckpt::CkptError) -> Self {
+        CoreError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = redcr_model::ModelError::NoSolution { what: "x" }.into();
+        assert!(e.to_string().contains("model"));
+        let e: CoreError =
+            redcr_mpi::MpiError::Aborted { rank: redcr_mpi::Rank::new(0), at: 1.0 }.into();
+        assert!(e.source().is_some());
+        let e = CoreError::AttemptsExhausted { attempts: 3 };
+        assert!(e.to_string().contains('3'));
+    }
+}

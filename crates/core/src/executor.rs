@@ -1,0 +1,391 @@
+//! The resilient executor: runs a steppable application under combined
+//! replication + coordinated checkpointing + fault injection, restarting
+//! from the last checkpoint after every sphere failure, until the
+//! application completes.
+
+use std::sync::Arc;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use redcr_ckpt::coordinator::CheckpointCoordinator;
+use redcr_ckpt::restart;
+use redcr_ckpt::storage::{MemoryStorage, StableStorage, StorageCostModel};
+use redcr_ckpt::CountingComm;
+use redcr_fault::{FailureInjector, ReplicaGroups};
+use redcr_model::partition::RedundancyPartition;
+use redcr_mpi::collectives::ReduceOp;
+use redcr_mpi::{Communicator, MpiError};
+use redcr_red::ReplicatedWorld;
+
+use crate::config::ExecutorConfig;
+use crate::report::ExecutionReport;
+use crate::{CoreError, Result};
+
+/// An application the executor can run, checkpoint and restart.
+///
+/// The three methods see the world through any [`Communicator`], so the
+/// same implementation runs replicated or plain. `State` is everything that
+/// must survive a restart.
+pub trait ResilientApp: Sync {
+    /// The checkpointable state.
+    type State: Serialize + DeserializeOwned + Send + 'static;
+
+    /// Builds the initial state (collective).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    fn init<C: Communicator>(&self, comm: &C) -> redcr_mpi::Result<Self::State>;
+
+    /// Advances the application by one step (collective).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    fn step<C: Communicator>(&self, comm: &C, state: &mut Self::State)
+        -> redcr_mpi::Result<()>;
+
+    /// Whether the application has finished.
+    fn is_done(&self, state: &Self::State) -> bool;
+}
+
+/// Runs [`ResilientApp`]s to completion under failures.
+#[derive(Debug)]
+pub struct ResilientExecutor {
+    config: ExecutorConfig,
+    storage: Arc<dyn StableStorage>,
+}
+
+impl ResilientExecutor {
+    /// An executor with in-memory stable storage.
+    pub fn new(config: ExecutorConfig) -> Self {
+        ResilientExecutor { config, storage: Arc::new(MemoryStorage::new()) }
+    }
+
+    /// An executor writing checkpoints to the given storage backend.
+    pub fn with_storage(config: ExecutorConfig, storage: Arc<dyn StableStorage>) -> Self {
+        ResilientExecutor { config, storage }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExecutorConfig {
+        &self.config
+    }
+
+    /// Runs `app` to completion: plans failure times per attempt, executes
+    /// the replicated application with the failure time as the fail-stop
+    /// horizon, checkpoints at the configured interval, and restarts from
+    /// the last complete checkpoint after each job failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::AttemptsExhausted`] if the attempt budget runs
+    /// out, or the underlying model/runtime/checkpoint error.
+    pub fn run<A: ResilientApp>(&self, app: &A) -> Result<ExecutionReport<A::State>> {
+        let cfg = &self.config;
+        let partition = RedundancyPartition::new(cfg.n_virtual, cfg.degree)?;
+        let counts: Vec<usize> =
+            (0..partition.n_virtual()).map(|v| partition.replicas_of(v) as usize).collect();
+        let groups = ReplicaGroups::from_counts(&counts);
+        let mut injector = FailureInjector::new(groups, cfg.node_mtbf, cfg.seed);
+        let storage_cost = StorageCostModel::fixed(cfg.checkpoint_cost, cfg.restart_cost);
+        let coordinator = CheckpointCoordinator::new(Arc::clone(&self.storage))
+            .cost_model(storage_cost)
+            .protocol(cfg.protocol);
+
+        let mut resume_time = 0.0f64;
+        let mut attempts = 0u64;
+        let mut failures = 0u64;
+        let mut stats = redcr_red::stats::StatsSnapshot::default();
+        let mut physical_messages = 0u64;
+        let mut physical_bytes = 0u64;
+
+        loop {
+            if attempts >= cfg.max_attempts {
+                return Err(CoreError::AttemptsExhausted { attempts });
+            }
+            attempts += 1;
+            let plan = injector.plan_attempt(resume_time);
+            let first_attempt = attempts == 1;
+
+            let coordinator = &coordinator;
+            let storage = &self.storage;
+            let interval = cfg.checkpoint_interval;
+            let restart_cost = cfg.restart_cost;
+            let app_ref = app;
+
+            let report = ReplicatedWorld::builder(cfg.n_virtual, cfg.degree)?
+                .voting_mode(cfg.voting)
+                .cost_model(cfg.comm_cost)
+                .abort_horizon(plan.job_failure_time)
+                .start_time(resume_time)
+                .run(move |comm| {
+                    let n_ranks = comm.size() as u32;
+                    let latest =
+                        restart::latest_complete(storage.as_ref(), n_ranks).map_err(MpiError::from)?;
+                    let (mut state, mut next_seq, counting) = match latest {
+                        Some(seq) => {
+                            // Restore: charges the read cost R to virtual
+                            // time and primes the channel state.
+                            let restored: redcr_ckpt::coordinator::Restored<A::State> =
+                                coordinator.restore(comm, seq).map_err(MpiError::from)?;
+                            let counting =
+                                CountingComm::with_restored_channel(comm, restored.channel);
+                            (restored.state, seq + 1, counting)
+                        }
+                        None => {
+                            if !first_attempt {
+                                // Restarting from scratch still pays the
+                                // restart overhead (process re-launch).
+                                comm.compute(restart_cost)?;
+                            }
+                            let counting = CountingComm::new(comm);
+                            let state = app_ref.init(&counting)?;
+                            (state, 0, counting)
+                        }
+                    };
+
+                    let mut checkpoints = 0u64;
+                    let mut next_ckpt = comm.now() + interval;
+                    loop {
+                        app_ref.step(&counting, &mut state)?;
+                        if app_ref.is_done(&state) {
+                            break;
+                        }
+                        // Collective clock agreement so that every rank and
+                        // replica takes the checkpoint decision together.
+                        let now_max =
+                            counting.allreduce_f64(&[counting.now()], ReduceOp::Max)?[0];
+                        if now_max >= next_ckpt {
+                            coordinator
+                                .checkpoint(&counting, next_seq, &state)
+                                .map_err(MpiError::from)?;
+                            next_seq += 1;
+                            checkpoints += 1;
+                            next_ckpt = now_max + interval;
+                        }
+                    }
+                    Ok((state, checkpoints))
+                })?;
+
+            stats = stats.add(&report.stats);
+            physical_messages += report.physical_messages;
+            physical_bytes += report.physical_bytes;
+
+            if report.aborted {
+                // Distinguish the planned fail-stop from genuine errors.
+                for r in &report.results {
+                    match r {
+                        Err(MpiError::Aborted { .. }) | Ok(_) => {}
+                        Err(other) => return Err(CoreError::Runtime(other.clone())),
+                    }
+                }
+                failures += 1;
+                resume_time = plan.job_failure_time;
+                continue;
+            }
+
+            // Completed: the planned failure never materialized; prune its
+            // never-observed death events from the log.
+            injector.trace_mut().truncate_attempt(plan.attempt, report.max_virtual_time);
+            let total_time = report.max_virtual_time;
+            let n_physical = report.n_physical;
+            let vmap = report.vmap().clone();
+            let mut results = report.results;
+            let mut final_states = Vec::with_capacity(cfg.n_virtual as usize);
+            let mut checkpoints_committed = 0u64;
+            for v in 0..cfg.n_virtual as u32 {
+                let phys = vmap.replicas_of(redcr_mpi::Rank::new(v))[0];
+                match results[phys.index()].take_ok() {
+                    Some((state, ckpts)) => {
+                        checkpoints_committed = checkpoints_committed.max(ckpts);
+                        final_states.push(state);
+                    }
+                    None => {
+                        return Err(CoreError::Runtime(MpiError::App {
+                            what: format!("primary replica of rank {v} produced no result"),
+                        }))
+                    }
+                }
+            }
+
+            return Ok(ExecutionReport {
+                total_virtual_time: total_time,
+                attempts,
+                failures,
+                checkpoints_committed,
+                replication: stats,
+                physical_messages,
+                physical_bytes,
+                n_physical,
+                node_seconds: n_physical as f64 * total_time,
+                failure_trace: injector.trace().clone(),
+                final_states,
+            });
+        }
+    }
+}
+
+/// Small helper: move the Ok value out of a `Result` slot.
+trait TakeOk<T> {
+    fn take_ok(&mut self) -> Option<T>;
+}
+
+impl<T> TakeOk<T> for redcr_mpi::Result<T> {
+    fn take_ok(&mut self) -> Option<T> {
+        std::mem::replace(
+            self,
+            Err(MpiError::App { what: "result already taken".into() }),
+        ).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcr_apps::cg::{CgConfig, CgSolver, CgState};
+
+    /// CG wrapped as a resilient app with a fixed iteration target.
+    struct CgApp {
+        solver: CgSolver,
+        iterations: u64,
+        /// Virtual seconds of synthetic extra compute per step, to stretch
+        /// runtime so checkpoints/failures trigger.
+        pad_seconds: f64,
+    }
+
+    impl ResilientApp for CgApp {
+        type State = CgState;
+
+        fn init<C: Communicator>(&self, comm: &C) -> redcr_mpi::Result<CgState> {
+            self.solver.init_state(comm)
+        }
+
+        fn step<C: Communicator>(
+            &self,
+            comm: &C,
+            state: &mut CgState,
+        ) -> redcr_mpi::Result<()> {
+            comm.compute(self.pad_seconds)?;
+            self.solver.step(comm, state)?;
+            Ok(())
+        }
+
+        fn is_done(&self, state: &CgState) -> bool {
+            state.iteration >= self.iterations
+        }
+    }
+
+    fn cg_app(n: usize, iterations: u64, pad: f64) -> CgApp {
+        CgApp { solver: CgSolver::new(CgConfig::small(n)), iterations, pad_seconds: pad }
+    }
+
+    #[test]
+    fn failure_free_run_completes_without_restarts() {
+        let cfg = ExecutorConfig::new(4, 1.0);
+        let report = ResilientExecutor::new(cfg).run(&cg_app(32, 10, 0.0)).unwrap();
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.failures, 0);
+        assert_eq!(report.final_states.len(), 4);
+        for s in &report.final_states {
+            assert_eq!(s.iteration, 10);
+        }
+    }
+
+    #[test]
+    fn checkpoints_taken_at_interval() {
+        // Each step pads 1.0 virtual second; checkpoint every 2.5 s.
+        let cfg = ExecutorConfig::new(2, 1.0).checkpoint_interval(2.5).checkpoint_cost(0.1);
+        let report = ResilientExecutor::new(cfg).run(&cg_app(16, 10, 1.0)).unwrap();
+        assert_eq!(report.failures, 0);
+        assert!(
+            report.checkpoints_committed >= 2,
+            "expected several checkpoints, got {}",
+            report.checkpoints_committed
+        );
+        // Total time includes checkpoint costs.
+        assert!(report.total_virtual_time >= 10.0);
+    }
+
+    #[test]
+    fn recovers_from_failures_and_finishes() {
+        // MTBF of 30 s per process over a ~40 s job with 4 processes at 1x:
+        // several failures guaranteed; checkpoints every 5 s keep progress.
+        let cfg = ExecutorConfig::new(4, 1.0)
+            .node_mtbf(30.0)
+            .checkpoint_interval(5.0)
+            .checkpoint_cost(0.2)
+            .restart_cost(1.0)
+            .seed(12);
+        let report = ResilientExecutor::new(cfg).run(&cg_app(32, 40, 1.0)).unwrap();
+        assert!(report.failures > 0, "expected failures: {report:?}");
+        assert_eq!(report.attempts, report.failures + 1);
+        for s in &report.final_states {
+            assert_eq!(s.iteration, 40, "application completed despite failures");
+        }
+        // Wallclock exceeds the failure-free time.
+        assert!(report.total_virtual_time > 40.0);
+        assert!(!report.failure_trace.is_empty());
+    }
+
+    #[test]
+    fn redundancy_reduces_restarts_at_same_mtbf() {
+        let run = |degree: f64, seed: u64| {
+            let cfg = ExecutorConfig::new(4, degree)
+                .node_mtbf(60.0)
+                .checkpoint_interval(8.0)
+                .checkpoint_cost(0.2)
+                .restart_cost(1.0)
+                .seed(seed);
+            ResilientExecutor::new(cfg).run(&cg_app(32, 30, 1.0)).unwrap()
+        };
+        let mut fail1 = 0;
+        let mut fail2 = 0;
+        for seed in 0..5 {
+            fail1 += run(1.0, seed).failures;
+            fail2 += run(2.0, seed).failures;
+        }
+        assert!(
+            fail2 < fail1,
+            "dual redundancy must cut job failures: 1x={fail1} 2x={fail2}"
+        );
+    }
+
+    #[test]
+    fn solution_identical_with_and_without_failures() {
+        let clean = {
+            let cfg = ExecutorConfig::new(4, 1.0);
+            ResilientExecutor::new(cfg).run(&cg_app(32, 25, 1.0)).unwrap()
+        };
+        let stormy = {
+            let cfg = ExecutorConfig::new(4, 2.0)
+                .node_mtbf(40.0)
+                .checkpoint_interval(4.0)
+                .checkpoint_cost(0.1)
+                .restart_cost(0.5)
+                .seed(3);
+            ResilientExecutor::new(cfg).run(&cg_app(32, 25, 1.0)).unwrap()
+        };
+        assert!(stormy.failures > 0, "storm run should see failures");
+        for (a, b) in clean.final_states.iter().zip(&stormy.final_states) {
+            assert_eq!(a.iteration, b.iteration);
+            for (x, y) in a.x.iter().zip(&b.x) {
+                assert!((x - y).abs() < 1e-12, "numerics must survive restarts");
+            }
+        }
+    }
+
+    #[test]
+    fn attempt_budget_enforced() {
+        // Absurd MTBF: the job can never finish a checkpoint.
+        let cfg = ExecutorConfig::new(4, 1.0)
+            .node_mtbf(0.5)
+            .checkpoint_interval(10.0)
+            .checkpoint_cost(1.0)
+            .restart_cost(1.0)
+            .max_attempts(5);
+        let err = ResilientExecutor::new(cfg).run(&cg_app(32, 1000, 1.0)).unwrap_err();
+        assert!(matches!(err, CoreError::AttemptsExhausted { attempts: 5 }));
+    }
+}

@@ -1,0 +1,64 @@
+//! # redcr-core — combined partial redundancy + checkpoint/restart
+//!
+//! The paper's primary contribution, as a library: given an application, a
+//! cluster, and a resource/time goal, **choose the redundancy degree `r`
+//! and checkpoint interval `δ`** that minimize the expected cost
+//! ([`planner`]), and **execute** the application under exactly that
+//! configuration — transparent replication, coordinated checkpointing,
+//! Poisson fault injection, and restart from the last checkpoint — on the
+//! virtual-time runtime ([`executor`]).
+//!
+//! The executor reproduces the paper's experimental procedure (Section 5):
+//!
+//! 1. a failure injector samples per-physical-process failure times;
+//! 2. the application runs (replicated) until the first replica *sphere*
+//!    is completely dead;
+//! 3. the whole job is then terminated and restarted from the last
+//!    coordinated checkpoint, with spare nodes replacing the failed ones;
+//! 4. a checkpointer writes coordinated checkpoints at a fixed virtual-time
+//!    interval (Daly's `δ_opt` by default).
+//!
+//! # Example: plan, then run
+//!
+//! ```
+//! use redcr_core::planner::Planner;
+//! use redcr_model::units;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let plan = Planner::new()
+//!     .virtual_processes(10_000)
+//!     .base_time_hours(128.0)
+//!     .node_mtbf_hours(units::hours_from_years(5.0))
+//!     .comm_fraction(0.2)
+//!     .checkpoint_cost_hours(units::hours_from_mins(5.0))
+//!     .restart_cost_hours(units::hours_from_mins(10.0))
+//!     .recommend()?;
+//! assert!(plan.degree >= 1.0 && plan.degree <= 3.0);
+//! println!(
+//!     "run at {}x, checkpoint every {:.2} h, expect {:.1} h total",
+//!     plan.degree, plan.checkpoint_interval, plan.predicted.total_time
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod config;
+pub mod executor;
+pub mod planner;
+pub mod report;
+
+pub use config::ExecutorConfig;
+pub use executor::{ResilientApp, ResilientExecutor};
+pub use planner::{Plan, Planner};
+pub use report::ExecutionReport;
+
+mod error;
+
+pub use error::CoreError;
+
+/// Result alias for executor operations.
+pub type Result<T> = std::result::Result<T, CoreError>;

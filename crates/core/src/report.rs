@@ -1,0 +1,91 @@
+//! Execution reports.
+
+use std::fmt;
+
+use redcr_fault::FailureTrace;
+use redcr_red::stats::StatsSnapshot;
+
+/// Everything a resilient execution produced.
+#[derive(Debug)]
+pub struct ExecutionReport<S> {
+    /// Total simulated wallclock, virtual seconds (across all attempts,
+    /// restarts and checkpoints).
+    pub total_virtual_time: f64,
+    /// Attempts performed (1 = failure-free).
+    pub attempts: u64,
+    /// Job failures endured (sphere deaths).
+    pub failures: u64,
+    /// Coordinated checkpoints committed in the final (successful) attempt
+    /// history.
+    pub checkpoints_committed: u64,
+    /// Aggregated replication-layer statistics across all attempts.
+    pub replication: StatsSnapshot,
+    /// Physical messages injected across all attempts.
+    pub physical_messages: u64,
+    /// Physical payload bytes injected.
+    pub physical_bytes: u64,
+    /// Physical processes used per attempt.
+    pub n_physical: usize,
+    /// Resource usage: physical processes × total time.
+    pub node_seconds: f64,
+    /// The failure injector's event log.
+    pub failure_trace: FailureTrace,
+    /// Final application state of each virtual rank (primary replicas).
+    pub final_states: Vec<S>,
+}
+
+impl<S> ExecutionReport<S> {
+    /// Simulated wallclock in virtual hours.
+    pub fn total_hours(&self) -> f64 {
+        self.total_virtual_time / 3600.0
+    }
+}
+
+impl<S> fmt::Display for ExecutionReport<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "resilient execution report")?;
+        writeln!(f, "  wallclock        : {:.3} virtual s", self.total_virtual_time)?;
+        writeln!(f, "  attempts         : {} ({} failures)", self.attempts, self.failures)?;
+        writeln!(f, "  checkpoints      : {}", self.checkpoints_committed)?;
+        writeln!(f, "  physical procs   : {}", self.n_physical)?;
+        writeln!(f, "  node-seconds     : {:.3}", self.node_seconds)?;
+        writeln!(
+            f,
+            "  phys messages    : {} ({} bytes)",
+            self.physical_messages, self.physical_bytes
+        )?;
+        write!(
+            f,
+            "  msg amplification: {:.2}x, votes {} (mismatches {})",
+            self.replication.send_amplification(),
+            self.replication.votes,
+            self.replication.mismatches_detected
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let report: ExecutionReport<()> = ExecutionReport {
+            total_virtual_time: 12.5,
+            attempts: 3,
+            failures: 2,
+            checkpoints_committed: 4,
+            replication: StatsSnapshot::default(),
+            physical_messages: 100,
+            physical_bytes: 1000,
+            n_physical: 8,
+            node_seconds: 100.0,
+            failure_trace: FailureTrace::new(),
+            final_states: vec![],
+        };
+        let s = report.to_string();
+        assert!(s.contains("attempts"));
+        assert!(s.contains('3'));
+        assert!((report.total_hours() - 12.5 / 3600.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,176 @@
+//! The attempt-level failure injector driving restart loops.
+
+use crate::poisson::ExpSampler;
+use crate::schedule::{FailureSchedule, ReplicaGroups};
+use crate::trace::{FailureEvent, FailureTrace};
+
+/// What the injector decides for one execution attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptPlan {
+    /// Attempt index (0-based).
+    pub attempt: u64,
+    /// Virtual time (seconds, absolute) at which the attempt starts.
+    pub start_time: f64,
+    /// Absolute virtual time at which the job fails (first sphere fully
+    /// dead). The executor runs the attempt with this as its abort horizon;
+    /// if the application finishes earlier, the failure never materializes.
+    pub job_failure_time: f64,
+    /// The sphere (virtual process) whose death kills the job.
+    pub killer_sphere: usize,
+    /// Absolute time of the earliest *individual* process failure (for
+    /// statistics; does not kill the job while its sphere survives).
+    pub first_process_failure: f64,
+    /// The raw sampled schedule (relative to `start_time`).
+    pub schedule: FailureSchedule,
+}
+
+/// Samples fresh failure schedules per attempt and records the resulting
+/// event trace, mirroring the paper's injector semantics (spares replace
+/// failed nodes at restart, so every attempt starts fully alive).
+#[derive(Debug, Clone)]
+pub struct FailureInjector {
+    groups: ReplicaGroups,
+    sampler: ExpSampler,
+    attempts: u64,
+    trace: FailureTrace,
+}
+
+impl FailureInjector {
+    /// Creates an injector for the given sphere structure with per-process
+    /// MTBF `mtbf_seconds` and a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mtbf_seconds` is not positive and finite.
+    pub fn new(groups: ReplicaGroups, mtbf_seconds: f64, seed: u64) -> Self {
+        FailureInjector {
+            groups,
+            sampler: ExpSampler::new(mtbf_seconds, seed),
+            attempts: 0,
+            trace: FailureTrace::new(),
+        }
+    }
+
+    /// The sphere structure.
+    pub fn groups(&self) -> &ReplicaGroups {
+        &self.groups
+    }
+
+    /// Per-process MTBF, seconds.
+    pub fn mtbf(&self) -> f64 {
+        self.sampler.mean()
+    }
+
+    /// Number of attempts planned so far.
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+
+    /// The accumulated failure-event trace.
+    pub fn trace(&self) -> &FailureTrace {
+        &self.trace
+    }
+
+    /// Mutable access to the trace (for pruning events of an attempt that
+    /// completed before its planned failure).
+    pub fn trace_mut(&mut self) -> &mut FailureTrace {
+        &mut self.trace
+    }
+
+    /// Plans the next attempt starting at absolute virtual time
+    /// `start_time`: samples fresh per-process failures and computes when
+    /// the job would die.
+    pub fn plan_attempt(&mut self, start_time: f64) -> AttemptPlan {
+        let schedule = FailureSchedule::sample(self.groups.n_physical(), &mut self.sampler);
+        let (rel_failure, killer_sphere) = schedule.job_failure(&self.groups);
+        let attempt = self.attempts;
+        self.attempts += 1;
+        // Record individual process deaths up to the job failure: these are
+        // the failures that actually "occur" during the attempt. With an
+        // infinite MTBF no failure ever materializes (killer_sphere is a
+        // sentinel in that case).
+        if rel_failure.is_finite() {
+            for (p, d) in schedule.death_times.iter().enumerate() {
+                if *d <= rel_failure {
+                    self.trace.record(FailureEvent {
+                        attempt,
+                        time: start_time + d,
+                        process: p,
+                        killed_job: *d == rel_failure
+                            && self.groups.members(killer_sphere).contains(&p),
+                    });
+                }
+            }
+        }
+        AttemptPlan {
+            attempt,
+            start_time,
+            job_failure_time: start_time + rel_failure,
+            killer_sphere,
+            first_process_failure: start_time + schedule.first_process_failure(),
+            schedule,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_sequential_and_fresh() {
+        let mut inj = FailureInjector::new(ReplicaGroups::uniform(4, 2), 1000.0, 5);
+        let a = inj.plan_attempt(0.0);
+        let b = inj.plan_attempt(a.job_failure_time + 60.0);
+        assert_eq!(a.attempt, 0);
+        assert_eq!(b.attempt, 1);
+        assert!(b.start_time > a.job_failure_time);
+        assert_ne!(a.schedule, b.schedule, "fresh samples per attempt");
+        assert_eq!(inj.attempts(), 2);
+    }
+
+    #[test]
+    fn failure_times_absolute() {
+        let mut inj = FailureInjector::new(ReplicaGroups::uniform(2, 1), 10.0, 9);
+        let plan = inj.plan_attempt(500.0);
+        assert!(plan.job_failure_time > 500.0);
+        assert!(plan.first_process_failure > 500.0);
+        assert!(plan.first_process_failure <= plan.job_failure_time);
+    }
+
+    #[test]
+    fn trace_records_killing_event() {
+        let mut inj = FailureInjector::new(ReplicaGroups::uniform(3, 1), 100.0, 11);
+        let plan = inj.plan_attempt(0.0);
+        let killers: Vec<&FailureEvent> =
+            inj.trace().events().iter().filter(|e| e.killed_job).collect();
+        assert_eq!(killers.len(), 1);
+        assert_eq!(killers[0].time, plan.job_failure_time);
+    }
+
+    #[test]
+    fn deterministic_across_reconstruction() {
+        let mk = || FailureInjector::new(ReplicaGroups::uniform(8, 2), 250.0, 77);
+        let mut a = mk();
+        let mut b = mk();
+        for i in 0..5 {
+            let pa = a.plan_attempt(i as f64 * 100.0);
+            let pb = b.plan_attempt(i as f64 * 100.0);
+            assert_eq!(pa, pb);
+        }
+    }
+
+    #[test]
+    fn higher_redundancy_survives_longer_on_average() {
+        let horizon = |replicas: usize, seed: u64| {
+            let mut inj =
+                FailureInjector::new(ReplicaGroups::uniform(8, replicas), 100.0, seed);
+            (0..50).map(|i| inj.plan_attempt(i as f64).job_failure_time - i as f64).sum::<f64>()
+        };
+        let h1: f64 = (0..5).map(|s| horizon(1, s)).sum();
+        let h2: f64 = (0..5).map(|s| horizon(2, s)).sum();
+        let h3: f64 = (0..5).map(|s| horizon(3, s)).sum();
+        assert!(h2 > 2.0 * h1, "h1={h1} h2={h2}");
+        assert!(h3 > h2, "h2={h2} h3={h3}");
+    }
+}

@@ -1,0 +1,153 @@
+//! The "birthday problem" view of simultaneous replica failure
+//! (paper Section 4.3).
+//!
+//! After a primary node fails, the job only dies if the *specific* shadow
+//! node of that primary also fails — and picking just that node among the
+//! remaining `n − 1` becomes ever less likely as `n` grows. The paper
+//! approximates the probability that some node *and its own shadow* both
+//! fail as
+//!
+//! `p(n) ≈ 1 − ((n−2)/n)^(n(n−1)/2)`
+//!
+//! which rapidly approaches zero: `lim_{n→∞} p(n) = 0`... note that the
+//! expression as printed actually tends to `1 − e^{−(n−1)} → 1`; the paper's
+//! intent (and the form we also provide) is the per-failure *pairing*
+//! probability, which does vanish. Both are exposed so the bench can plot
+//! them side by side.
+
+use crate::error::ModelError;
+use crate::Result;
+
+/// The paper's printed approximation `p(n) = 1 − ((n−2)/n)^(n(n−1)/2)`.
+///
+/// # Errors
+///
+/// Returns an error if `n < 2`.
+pub fn paper_approximation(n: u64) -> Result<f64> {
+    if n < 2 {
+        return Err(ModelError::InvalidParameter {
+            name: "n",
+            value: n as f64,
+            reason: "the birthday approximation needs at least 2 nodes",
+        });
+    }
+    let nf = n as f64;
+    let exponent = nf * (nf - 1.0) / 2.0;
+    // Compute in log space to survive huge exponents.
+    let log_term = exponent * ((nf - 2.0) / nf).ln();
+    Ok(1.0 - log_term.exp())
+}
+
+/// Probability that the *second* failure hits exactly the shadow of the
+/// first failed node: `1/(n−1)` for `n` nodes under dual redundancy.
+///
+/// This is the quantity that actually vanishes as `n → ∞` and underpins the
+/// paper's argument that "redundancy scales".
+///
+/// # Errors
+///
+/// Returns an error if `n < 2`.
+pub fn shadow_pairing_probability(n: u64) -> Result<f64> {
+    if n < 2 {
+        return Err(ModelError::InvalidParameter {
+            name: "n",
+            value: n as f64,
+            reason: "need at least a primary and a shadow",
+        });
+    }
+    Ok(1.0 / (n as f64 - 1.0))
+}
+
+/// Probability that among `f` random distinct node failures in a system of
+/// `2n` nodes (n primary/shadow pairs) at least one *pair* is fully dead —
+/// the exact "birthday-style" collision probability, computed via the
+/// no-collision product `Π_{i=0}^{f−1} (2n − 2i) / (2n − i)`.
+///
+/// # Errors
+///
+/// Returns an error if `pairs == 0` or `failures > 2·pairs`.
+pub fn pair_collision_probability(pairs: u64, failures: u64) -> Result<f64> {
+    if pairs == 0 {
+        return Err(ModelError::InvalidParameter {
+            name: "pairs",
+            value: 0.0,
+            reason: "need at least one replica pair",
+        });
+    }
+    let total = 2 * pairs;
+    if failures > total {
+        return Err(ModelError::InvalidParameter {
+            name: "failures",
+            value: failures as f64,
+            reason: "cannot exceed the total number of nodes (2 * pairs)",
+        });
+    }
+    if failures > pairs {
+        // Pigeonhole: more failures than pairs guarantees a dead pair.
+        return Ok(1.0);
+    }
+    // log P(no pair dead) = Σ log((total − 2i)/(total − i))
+    let mut log_p = 0.0f64;
+    for i in 0..failures {
+        let avail = (total - 2 * i) as f64; // nodes whose partner is alive
+        let remaining = (total - i) as f64;
+        log_p += (avail / remaining).ln();
+    }
+    Ok(1.0 - log_p.exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shadow_pairing_vanishes() {
+        let p10 = shadow_pairing_probability(10).unwrap();
+        let p1e6 = shadow_pairing_probability(1_000_000).unwrap();
+        assert!(p10 > p1e6);
+        assert!(p1e6 < 1.1e-6);
+    }
+
+    #[test]
+    fn paper_form_is_well_defined() {
+        for n in [2u64, 3, 10, 1000, 1_000_000] {
+            let p = paper_approximation(n).unwrap();
+            assert!((0.0..=1.0).contains(&p), "n={n}: {p}");
+        }
+        // n = 2: exponent 1, base 0 -> p = 1 (both nodes are one pair).
+        assert_eq!(paper_approximation(2).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn exact_collision_matches_hand_computation() {
+        // 2 pairs (4 nodes), 2 failures: P(collision) = 2/(C(4,2)) = 1/3.
+        let p = pair_collision_probability(2, 2).unwrap();
+        assert!((p - 1.0 / 3.0).abs() < 1e-12, "{p}");
+        // 0 failures -> no collision possible.
+        assert_eq!(pair_collision_probability(5, 0).unwrap(), 0.0);
+        // 1 failure -> partner still alive.
+        assert_eq!(pair_collision_probability(5, 1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn pigeonhole_forces_collision() {
+        assert_eq!(pair_collision_probability(3, 4).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn collision_probability_decreases_with_scale_at_fixed_failures() {
+        // The "redundancy scales" claim: same number of failures, more
+        // pairs -> lower chance that a full pair is dead.
+        let small = pair_collision_probability(100, 10).unwrap();
+        let large = pair_collision_probability(10_000, 10).unwrap();
+        assert!(large < small);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(paper_approximation(1).is_err());
+        assert!(shadow_pairing_probability(1).is_err());
+        assert!(pair_collision_probability(0, 0).is_err());
+        assert!(pair_collision_probability(2, 5).is_err());
+    }
+}

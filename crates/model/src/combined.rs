@@ -1,0 +1,492 @@
+//! The combined redundancy + checkpointing model (paper Section 4.3) and the
+//! simplified variant of Section 6(5) used for Figures 11–12.
+//!
+//! This module chains Eq. 1 (redundant execution time), Eqs. 9–10 (system
+//! failure rate under partial redundancy) and Eqs. 12–15 (checkpointing) into
+//! a single evaluation: given an application and a cluster, what is the
+//! expected wallclock time at redundancy degree `r` with checkpoint interval
+//! `δ`?
+
+use serde::{Deserialize, Serialize};
+
+pub use crate::checkpointing::IntervalPolicy;
+
+use crate::checkpointing::{lost_work, restart_rework, total_time};
+use crate::error::{ensure_in_range, ensure_positive};
+use crate::partition::{RedundancyPartition, MAX_DEGREE, MIN_DEGREE};
+use crate::redundancy::{redundant_time, SystemModel};
+use crate::reliability::Approximation;
+use crate::{ModelError, Result};
+
+/// Full configuration of a combined C/R + redundancy run.
+///
+/// All durations are in **hours**. Construct via [`CombinedConfig::builder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CombinedConfig {
+    /// `N`: number of virtual (application-visible) processes.
+    pub n_virtual: u64,
+    /// `r`: redundancy degree in `[1, 16]` (paper evaluates `[1, 3]`).
+    pub degree: f64,
+    /// `t`: failure-free base execution time without redundancy, hours.
+    pub base_time: f64,
+    /// `θ`: per-node MTBF, hours.
+    pub node_mtbf: f64,
+    /// `α`: communication/computation ratio in `[0, 1]`.
+    pub alpha: f64,
+    /// `c`: time for a single coordinated checkpoint, hours.
+    pub checkpoint_cost: f64,
+    /// `R`: restart overhead (read images, respawn, coordinate), hours.
+    pub restart_cost: f64,
+    /// Checkpoint-interval policy (Daly by default).
+    pub interval_policy: IntervalPolicy,
+    /// Failure-probability form (paper default: linear, Eq. 3).
+    pub approximation: Approximation,
+}
+
+impl CombinedConfig {
+    /// Starts building a configuration.
+    pub fn builder() -> CombinedConfigBuilder {
+        CombinedConfigBuilder::default()
+    }
+
+    /// Returns a copy of this configuration with a different redundancy
+    /// degree — convenient for sweeps over `r`.
+    pub fn with_degree(&self, degree: f64) -> Self {
+        Self { degree, ..self.clone() }
+    }
+
+    /// Returns a copy with a different virtual process count — convenient
+    /// for weak-scaling sweeps (Figures 13–14).
+    pub fn with_virtual_processes(&self, n_virtual: u64) -> Self {
+        Self { n_virtual, ..self.clone() }
+    }
+
+    /// Validates all parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated domain constraint.
+    pub fn validate(&self) -> Result<()> {
+        if self.n_virtual == 0 {
+            return Err(ModelError::InvalidParameter {
+                name: "n_virtual",
+                value: 0.0,
+                reason: "must be at least 1",
+            });
+        }
+        ensure_in_range("degree", self.degree, MIN_DEGREE, MAX_DEGREE)?;
+        ensure_positive("base_time", self.base_time)?;
+        ensure_positive("node_mtbf", self.node_mtbf)?;
+        ensure_in_range("alpha", self.alpha, 0.0, 1.0)?;
+        ensure_positive("checkpoint_cost", self.checkpoint_cost)?;
+        ensure_positive("restart_cost", self.restart_cost)?;
+        Ok(())
+    }
+
+    /// The partial-redundancy partition induced by `n_virtual` and `degree`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid `n_virtual`/`degree`.
+    pub fn partition(&self) -> Result<RedundancyPartition> {
+        RedundancyPartition::new(self.n_virtual, self.degree)
+    }
+
+    /// Evaluates the **full combined model** (Section 4.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Diverged`] when the configuration cannot
+    /// complete (`λ·t_RR ≥ 1` in Eq. 14), or a domain error for invalid
+    /// parameters.
+    pub fn evaluate(&self) -> Result<CombinedOutcome> {
+        self.validate()?;
+        let t_red = redundant_time(self.base_time, self.alpha, self.degree)?;
+        let system = SystemModel::with_approximation(
+            self.n_virtual,
+            self.degree,
+            self.node_mtbf,
+            self.approximation,
+        )?;
+        let sys = system.evaluate(t_red)?;
+        let partition = system.partition().clone();
+
+        if sys.failure_rate == 0.0 {
+            // Failure-free limit: no checkpointing needed.
+            return Ok(CombinedOutcome {
+                config: self.clone(),
+                redundant_time: t_red,
+                system_reliability: sys.reliability,
+                system_failure_rate: 0.0,
+                system_mtbf: f64::INFINITY,
+                checkpoint_interval: f64::INFINITY,
+                expected_checkpoints: 0.0,
+                lost_work: 0.0,
+                restart_rework: 0.0,
+                total_time: t_red,
+                expected_failures: 0.0,
+                total_physical: partition.total_physical(),
+                node_hours: partition.total_physical() as f64 * t_red,
+            });
+        }
+        if !sys.failure_rate.is_finite() {
+            return Err(ModelError::Diverged {
+                failure_rate: sys.failure_rate,
+                restart_rework: f64::INFINITY,
+            });
+        }
+
+        let delta = self.interval_policy.interval(self.checkpoint_cost, sys.mtbf)?;
+        let t_lw = lost_work(delta, self.checkpoint_cost, sys.mtbf)?;
+        let t_rr = restart_rework(self.restart_cost, t_lw, sys.mtbf)?;
+        let t_total = total_time(t_red, self.checkpoint_cost, delta, sys.failure_rate, t_rr)?;
+        let expected_failures = t_total * sys.failure_rate; // Eq. 11
+        let expected_checkpoints = t_red / delta;
+
+        Ok(CombinedOutcome {
+            config: self.clone(),
+            redundant_time: t_red,
+            system_reliability: sys.reliability,
+            system_failure_rate: sys.failure_rate,
+            system_mtbf: sys.mtbf,
+            checkpoint_interval: delta,
+            expected_checkpoints,
+            lost_work: t_lw,
+            restart_rework: t_rr,
+            total_time: t_total,
+            expected_failures,
+            total_physical: partition.total_physical(),
+            node_hours: partition.total_physical() as f64 * t_total,
+        })
+    }
+
+    /// Evaluates the **simplified model** the paper fits to its cluster
+    /// experiments (Section 6, observation (5); Figures 11–12).
+    ///
+    /// In the experiments failures are *not* injected while a checkpoint or
+    /// restart is in progress, so the feedback term of Eq. 14 disappears.
+    ///
+    /// # Errors
+    ///
+    /// Returns a domain error for invalid parameters.
+    pub fn evaluate_simplified(&self, form: SimplifiedForm) -> Result<f64> {
+        self.validate()?;
+        let t_red = redundant_time(self.base_time, self.alpha, self.degree)?;
+        let system = SystemModel::with_approximation(
+            self.n_virtual,
+            self.degree,
+            self.node_mtbf,
+            self.approximation,
+        )?;
+        let sys = system.evaluate(t_red)?;
+        if sys.failure_rate == 0.0 {
+            return Ok(t_red);
+        }
+        match form {
+            SimplifiedForm::Verbatim => {
+                // As printed in the paper:
+                //   T = t_Red + t_Red·√(2cΘ) + t_Red·λ_sys·R
+                Ok(t_red
+                    + t_red * (2.0 * self.checkpoint_cost * sys.mtbf).sqrt()
+                    + t_red * sys.failure_rate * self.restart_cost)
+            }
+            SimplifiedForm::Consistent => {
+                // Dimensionally consistent reading: the checkpoint term is
+                // (number of checkpoints)·c = (t_Red/δ_opt)·c and each of the
+                // t_Red·λ failures costs a restart R plus the expected lost
+                // work t_lw:
+                //   T = t_Red·(1 + c/δ_opt + λ_sys·(R + t_lw))
+                let delta = self.interval_policy.interval(self.checkpoint_cost, sys.mtbf)?;
+                let t_lw = lost_work(delta, self.checkpoint_cost, sys.mtbf)?;
+                Ok(t_red
+                    * (1.0
+                        + self.checkpoint_cost / delta
+                        + sys.failure_rate * (self.restart_cost + t_lw)))
+            }
+        }
+    }
+}
+
+/// Which rendering of the paper's simplified experimental model to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SimplifiedForm {
+    /// The formula exactly as printed in Section 6(5):
+    /// `T = t_Red + t_Red·√(2cΘ) + t_Red·λ_sys·R`. Note the middle term is
+    /// dimensionally a time·time; retained verbatim for comparison.
+    Verbatim,
+    /// The dimensionally consistent reading (checkpoint count × cost +
+    /// failures × (restart + lost work)); this is the form our Figure 11/12
+    /// reproduction plots.
+    #[default]
+    Consistent,
+}
+
+/// Everything the combined model predicts for one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CombinedOutcome {
+    /// The evaluated configuration (for provenance).
+    pub config: CombinedConfig,
+    /// `t_Red` (Eq. 1), hours.
+    pub redundant_time: f64,
+    /// `R_sys` over the `t_Red` horizon (Eq. 9).
+    pub system_reliability: f64,
+    /// `λ_sys`, failures per hour (Eq. 10).
+    pub system_failure_rate: f64,
+    /// `Θ_sys = 1/λ_sys`, hours (Eq. 10).
+    pub system_mtbf: f64,
+    /// Chosen checkpoint interval `δ`, hours.
+    pub checkpoint_interval: f64,
+    /// Expected number of checkpoints taken (`t_Red/δ`).
+    pub expected_checkpoints: f64,
+    /// Expected lost work per failure `t_lw` (Eq. 12), hours.
+    pub lost_work: f64,
+    /// Expected restart+rework per failure `t_RR` (Eq. 13), hours.
+    pub restart_rework: f64,
+    /// `T_total` (Eq. 14), hours.
+    pub total_time: f64,
+    /// Expected number of failures over the whole run (Eq. 11).
+    pub expected_failures: f64,
+    /// Physical processes deployed (`N_total`, Eq. 8).
+    pub total_physical: u64,
+    /// Resource usage: `N_total × T_total`, node-hours.
+    pub node_hours: f64,
+}
+
+impl CombinedOutcome {
+    /// Fraction of the total time spent on useful work (`t / T_total`).
+    pub fn work_efficiency(&self) -> f64 {
+        self.config.base_time / self.total_time
+    }
+}
+
+/// Builder for [`CombinedConfig`] (all durations in hours).
+#[derive(Debug, Clone, Default)]
+pub struct CombinedConfigBuilder {
+    n_virtual: Option<u64>,
+    degree: Option<f64>,
+    base_time: Option<f64>,
+    node_mtbf: Option<f64>,
+    alpha: Option<f64>,
+    checkpoint_cost: Option<f64>,
+    restart_cost: Option<f64>,
+    interval_policy: Option<IntervalPolicy>,
+    approximation: Option<Approximation>,
+}
+
+impl CombinedConfigBuilder {
+    /// Sets `N`, the number of virtual processes (required).
+    pub fn virtual_processes(&mut self, n: u64) -> &mut Self {
+        self.n_virtual = Some(n);
+        self
+    }
+
+    /// Sets the redundancy degree `r` (default `1.0`).
+    pub fn degree(&mut self, r: f64) -> &mut Self {
+        self.degree = Some(r);
+        self
+    }
+
+    /// Sets the failure-free base time `t` in hours (required).
+    pub fn base_time_hours(&mut self, t: f64) -> &mut Self {
+        self.base_time = Some(t);
+        self
+    }
+
+    /// Sets the per-node MTBF `θ` in hours (required).
+    pub fn node_mtbf_hours(&mut self, theta: f64) -> &mut Self {
+        self.node_mtbf = Some(theta);
+        self
+    }
+
+    /// Sets the communication/computation ratio `α` (default `0.0`).
+    pub fn comm_fraction(&mut self, alpha: f64) -> &mut Self {
+        self.alpha = Some(alpha);
+        self
+    }
+
+    /// Sets the checkpoint cost `c` in hours (required).
+    pub fn checkpoint_cost_hours(&mut self, c: f64) -> &mut Self {
+        self.checkpoint_cost = Some(c);
+        self
+    }
+
+    /// Sets the restart cost `R` in hours (required).
+    pub fn restart_cost_hours(&mut self, r: f64) -> &mut Self {
+        self.restart_cost = Some(r);
+        self
+    }
+
+    /// Sets the checkpoint-interval policy (default [`IntervalPolicy::Daly`]).
+    pub fn interval_policy(&mut self, p: IntervalPolicy) -> &mut Self {
+        self.interval_policy = Some(p);
+        self
+    }
+
+    /// Sets the failure-probability form (default [`Approximation::Linear`]).
+    pub fn approximation(&mut self, a: Approximation) -> &mut Self {
+        self.approximation = Some(a);
+        self
+    }
+
+    /// Builds and validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if a required field is
+    /// missing or any field violates its domain.
+    pub fn build(&self) -> Result<CombinedConfig> {
+        fn required<T: Copy>(name: &'static str, v: Option<T>) -> Result<T> {
+            v.ok_or(ModelError::InvalidParameter {
+                name,
+                value: f64::NAN,
+                reason: "required field not set on builder",
+            })
+        }
+        let cfg = CombinedConfig {
+            n_virtual: required("n_virtual", self.n_virtual)?,
+            degree: self.degree.unwrap_or(1.0),
+            base_time: required("base_time", self.base_time)?,
+            node_mtbf: required("node_mtbf", self.node_mtbf)?,
+            alpha: self.alpha.unwrap_or(0.0),
+            checkpoint_cost: required("checkpoint_cost", self.checkpoint_cost)?,
+            restart_cost: required("restart_cost", self.restart_cost)?,
+            interval_policy: self.interval_policy.unwrap_or_default(),
+            approximation: self.approximation.unwrap_or_default(),
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units;
+
+    fn paper_experiment_config() -> CombinedConfig {
+        // Section 6 parameters: CG, 128 processes, t = 46 min, c = 120 s,
+        // R = 500 s, alpha = 0.2.
+        CombinedConfig::builder()
+            .virtual_processes(128)
+            .base_time_hours(units::hours_from_mins(46.0))
+            .node_mtbf_hours(12.0)
+            .comm_fraction(0.2)
+            .checkpoint_cost_hours(units::hours_from_secs(120.0))
+            .restart_cost_hours(units::hours_from_secs(500.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_requires_fields() {
+        let err = CombinedConfig::builder().build().unwrap_err();
+        assert!(matches!(err, ModelError::InvalidParameter { name: "n_virtual", .. }));
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let cfg = paper_experiment_config();
+        assert_eq!(cfg.degree, 1.0);
+        assert_eq!(cfg.interval_policy, IntervalPolicy::Daly);
+    }
+
+    #[test]
+    fn redundancy_reduces_total_time_under_high_failure_rate() {
+        let cfg = paper_experiment_config();
+        let t1 = cfg.with_degree(1.0).evaluate();
+        let t2 = cfg.with_degree(2.0).evaluate().unwrap();
+        // At MTBF/node = 12 h with 128 processes, 1x either diverges or is
+        // far slower than 2x.
+        match t1 {
+            Err(ModelError::Diverged { .. }) => {}
+            Ok(o1) => assert!(o1.total_time > t2.total_time),
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn degree_two_beats_degree_three_at_low_failure_rate() {
+        // With a healthy MTBF the extra communication of 3x is wasted.
+        let cfg = CombinedConfig::builder()
+            .virtual_processes(128)
+            .base_time_hours(0.77)
+            .node_mtbf_hours(10_000.0)
+            .comm_fraction(0.2)
+            .checkpoint_cost_hours(units::hours_from_secs(120.0))
+            .restart_cost_hours(units::hours_from_secs(500.0))
+            .build()
+            .unwrap();
+        let t2 = cfg.with_degree(2.0).evaluate().unwrap();
+        let t3 = cfg.with_degree(3.0).evaluate().unwrap();
+        assert!(t2.total_time < t3.total_time);
+    }
+
+    #[test]
+    fn failure_free_limit_returns_t_red() {
+        // Astronomically reliable nodes: linear approximation gives exactly
+        // zero failure probability only at t/theta = 0, so use a huge theta
+        // and check T ~ t_red.
+        let cfg = CombinedConfig::builder()
+            .virtual_processes(4)
+            .base_time_hours(1.0)
+            .node_mtbf_hours(1e15)
+            .comm_fraction(0.5)
+            .degree(2.0)
+            .checkpoint_cost_hours(0.01)
+            .restart_cost_hours(0.01)
+            .build()
+            .unwrap();
+        let o = cfg.evaluate().unwrap();
+        assert!((o.redundant_time - 1.5).abs() < 1e-12);
+        assert!(o.total_time < 1.6);
+    }
+
+    #[test]
+    fn outcome_bookkeeping_consistent() {
+        let cfg = paper_experiment_config().with_degree(2.0);
+        let o = cfg.evaluate().unwrap();
+        assert!((o.expected_failures - o.total_time * o.system_failure_rate).abs() < 1e-9);
+        assert_eq!(o.total_physical, 256);
+        assert!((o.node_hours - 256.0 * o.total_time).abs() < 1e-9);
+        assert!(o.work_efficiency() <= 1.0);
+        assert!(o.checkpoint_interval > 0.0);
+    }
+
+    #[test]
+    fn partial_degree_uses_partition() {
+        let cfg = paper_experiment_config().with_degree(1.5);
+        let o = cfg.evaluate().unwrap();
+        assert_eq!(o.total_physical, 192);
+    }
+
+    #[test]
+    fn simplified_consistent_is_finite_and_ordered() {
+        let cfg = paper_experiment_config();
+        let s2 = cfg.with_degree(2.0).evaluate_simplified(SimplifiedForm::Consistent).unwrap();
+        let s3 = cfg.with_degree(3.0).evaluate_simplified(SimplifiedForm::Consistent).unwrap();
+        assert!(s2.is_finite() && s3.is_finite());
+        assert!(s2 > 0.0 && s3 > 0.0);
+        // At 12 h MTBF the paper observes the optimum near 2.5x; 2x should
+        // at least not be worse than 3x by a large factor.
+        assert!(s2 < 2.0 * s3);
+    }
+
+    #[test]
+    fn simplified_verbatim_computes() {
+        let cfg = paper_experiment_config().with_degree(2.0);
+        let v = cfg.evaluate_simplified(SimplifiedForm::Verbatim).unwrap();
+        assert!(v.is_finite() && v > 0.0);
+    }
+
+    #[test]
+    fn with_helpers_change_only_one_field() {
+        let cfg = paper_experiment_config();
+        let c2 = cfg.with_degree(2.5);
+        assert_eq!(c2.degree, 2.5);
+        assert_eq!(c2.n_virtual, cfg.n_virtual);
+        let c3 = cfg.with_virtual_processes(999);
+        assert_eq!(c3.n_virtual, 999);
+        assert_eq!(c3.degree, cfg.degree);
+    }
+
+}

@@ -1,0 +1,128 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type returned by all fallible computations in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A numeric input was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter (as documented on the function).
+        name: &'static str,
+        /// The value that was supplied.
+        value: f64,
+        /// Human-readable description of the valid domain.
+        reason: &'static str,
+    },
+    /// The model predicts the application never completes: the expected
+    /// restart+rework demand exceeds the failure-free capacity
+    /// (`λ · t_RR ≥ 1` in Eq. 14).
+    Diverged {
+        /// The system failure rate λ at the diverging configuration.
+        failure_rate: f64,
+        /// Expected restart+rework time per failure, `t_RR`.
+        restart_rework: f64,
+    },
+    /// An iterative search failed to bracket or converge on a solution.
+    NoSolution {
+        /// Description of what was being searched for.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParameter { name, value, reason } => {
+                write!(f, "invalid parameter `{name}` = {value}: {reason}")
+            }
+            ModelError::Diverged { failure_rate, restart_rework } => write!(
+                f,
+                "model diverges: failure rate {failure_rate} x restart+rework \
+                 {restart_rework} >= 1, the job never completes"
+            ),
+            ModelError::NoSolution { what } => {
+                write!(f, "no solution found for {what}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+/// Validates that `value` is finite and strictly positive.
+pub(crate) fn ensure_positive(name: &'static str, value: f64) -> super::Result<()> {
+    if value.is_finite() && value > 0.0 {
+        Ok(())
+    } else {
+        Err(ModelError::InvalidParameter { name, value, reason: "must be finite and > 0" })
+    }
+}
+
+/// Validates that `value` is finite and non-negative.
+pub(crate) fn ensure_non_negative(name: &'static str, value: f64) -> super::Result<()> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(())
+    } else {
+        Err(ModelError::InvalidParameter { name, value, reason: "must be finite and >= 0" })
+    }
+}
+
+/// Validates that `value` lies in the closed interval `[lo, hi]`.
+pub(crate) fn ensure_in_range(
+    name: &'static str,
+    value: f64,
+    lo: f64,
+    hi: f64,
+) -> super::Result<()> {
+    if value.is_finite() && value >= lo && value <= hi {
+        Ok(())
+    } else {
+        Err(ModelError::InvalidParameter {
+            name,
+            value,
+            reason: "must be finite and within the documented range",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = ModelError::InvalidParameter { name: "alpha", value: 2.0, reason: "r" };
+        let s = e.to_string();
+        assert!(s.contains("alpha"));
+        assert!(s.starts_with("invalid"));
+    }
+
+    #[test]
+    fn ensure_positive_rejects_zero_nan_inf() {
+        assert!(ensure_positive("x", 0.0).is_err());
+        assert!(ensure_positive("x", f64::NAN).is_err());
+        assert!(ensure_positive("x", f64::INFINITY).is_err());
+        assert!(ensure_positive("x", -1.0).is_err());
+        assert!(ensure_positive("x", 1e-300).is_ok());
+    }
+
+    #[test]
+    fn ensure_non_negative_accepts_zero() {
+        assert!(ensure_non_negative("x", 0.0).is_ok());
+        assert!(ensure_non_negative("x", -0.1).is_err());
+    }
+
+    #[test]
+    fn ensure_in_range_bounds_inclusive() {
+        assert!(ensure_in_range("x", 0.0, 0.0, 1.0).is_ok());
+        assert!(ensure_in_range("x", 1.0, 0.0, 1.0).is_ok());
+        assert!(ensure_in_range("x", 1.0001, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

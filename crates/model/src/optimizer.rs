@@ -1,0 +1,375 @@
+//! Optimal configuration search: best redundancy degree, best checkpoint
+//! interval, weighted time-vs-resource cost functions, and the crossover
+//! finders behind Figures 13–14.
+//!
+//! The paper's central practical claim is that redundancy is a *tuning knob*:
+//! HPC users can trade additional nodes for shorter wallclock time. The
+//! functions here mechanize that trade-off.
+
+use serde::{Deserialize, Serialize};
+
+use crate::combined::{CombinedConfig, CombinedOutcome};
+use crate::{ModelError, Result};
+
+/// A grid of candidate redundancy degrees.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RGrid(Vec<f64>);
+
+impl RGrid {
+    /// Builds a grid from explicit degrees.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the list is empty or any degree is out of range.
+    pub fn new(degrees: Vec<f64>) -> Result<Self> {
+        if degrees.is_empty() {
+            return Err(ModelError::InvalidParameter {
+                name: "degrees",
+                value: 0.0,
+                reason: "grid must contain at least one degree",
+            });
+        }
+        for &d in &degrees {
+            crate::error::ensure_in_range(
+                "degree",
+                d,
+                crate::partition::MIN_DEGREE,
+                crate::partition::MAX_DEGREE,
+            )?;
+        }
+        Ok(Self(degrees))
+    }
+
+    /// The paper's experimental grid: `1x` to `3x` in steps of `0.25x`.
+    pub fn quarter_steps() -> Self {
+        Self((0..=8).map(|i| 1.0 + 0.25 * i as f64).collect())
+    }
+
+    /// The degrees plotted in Figures 13–14: `{1, 1.5, 2, 2.5, 3}`.
+    pub fn half_steps() -> Self {
+        Self(vec![1.0, 1.5, 2.0, 2.5, 3.0])
+    }
+
+    /// Integral degrees only: `{1, 2, 3}`.
+    pub fn integral() -> Self {
+        Self(vec![1.0, 2.0, 3.0])
+    }
+
+    /// The degrees in the grid.
+    pub fn degrees(&self) -> &[f64] {
+        &self.0
+    }
+}
+
+/// Result of a redundancy-degree search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BestDegree {
+    /// The winning degree.
+    pub degree: f64,
+    /// The model outcome at that degree.
+    pub outcome: CombinedOutcome,
+    /// Outcomes for every evaluated degree (degree, total time, or `None`
+    /// where the model diverged).
+    pub sweep: Vec<(f64, Option<f64>)>,
+}
+
+/// Evaluates `cfg` at each degree in `grid` and returns the degree with the
+/// minimum expected total time. Diverging configurations (Eq. 14 blow-up)
+/// are skipped.
+///
+/// # Errors
+///
+/// Returns [`ModelError::NoSolution`] if *every* degree diverges, or a
+/// domain error for invalid base parameters.
+pub fn optimal_redundancy(cfg: &CombinedConfig, grid: &RGrid) -> Result<BestDegree> {
+    optimal_by_cost(cfg, grid, &CostWeights::time_only())
+}
+
+/// Relative weights for the combined time/resource cost function.
+///
+/// The cost of an outcome is
+/// `time_weight · T_total + resource_weight · N_total · T_total`
+/// (wallclock hours and node-hours respectively). A user who only cares
+/// about finishing fast uses [`CostWeights::time_only`]; a capacity-computing
+/// site that pays per node-hour uses [`CostWeights::resources_only`] or a
+/// blend.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostWeights {
+    /// Weight of the wallclock term, per hour.
+    pub time_weight: f64,
+    /// Weight of the resource term, per node-hour.
+    pub resource_weight: f64,
+}
+
+impl CostWeights {
+    /// Pure wallclock minimization.
+    pub fn time_only() -> Self {
+        Self { time_weight: 1.0, resource_weight: 0.0 }
+    }
+
+    /// Pure node-hour minimization.
+    pub fn resources_only() -> Self {
+        Self { time_weight: 0.0, resource_weight: 1.0 }
+    }
+
+    /// A blend: `w ∈ [0, 1]` of the time term, `1−w` of the resource term.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `w ∉ [0, 1]`.
+    pub fn blend(w: f64) -> Result<Self> {
+        crate::error::ensure_in_range("w", w, 0.0, 1.0)?;
+        Ok(Self { time_weight: w, resource_weight: 1.0 - w })
+    }
+
+    /// The scalar cost of an outcome under these weights.
+    pub fn cost(&self, outcome: &CombinedOutcome) -> f64 {
+        self.time_weight * outcome.total_time + self.resource_weight * outcome.node_hours
+    }
+}
+
+/// Like [`optimal_redundancy`] but minimizing an arbitrary weighted cost.
+///
+/// # Errors
+///
+/// See [`optimal_redundancy`].
+pub fn optimal_by_cost(
+    cfg: &CombinedConfig,
+    grid: &RGrid,
+    weights: &CostWeights,
+) -> Result<BestDegree> {
+    let mut best: Option<(f64, CombinedOutcome, f64)> = None;
+    let mut sweep = Vec::with_capacity(grid.degrees().len());
+    for &r in grid.degrees() {
+        match cfg.with_degree(r).evaluate() {
+            Ok(outcome) => {
+                let cost = weights.cost(&outcome);
+                sweep.push((r, Some(outcome.total_time)));
+                let better = match &best {
+                    None => true,
+                    Some((_, _, c)) => cost < *c,
+                };
+                if better {
+                    best = Some((r, outcome, cost));
+                }
+            }
+            Err(ModelError::Diverged { .. }) => sweep.push((r, None)),
+            Err(e) => return Err(e),
+        }
+    }
+    match best {
+        Some((degree, outcome, _)) => Ok(BestDegree { degree, outcome, sweep }),
+        None => Err(ModelError::NoSolution { what: "optimal redundancy degree (all diverge)" }),
+    }
+}
+
+/// Total expected time at degree `r` for `n` virtual processes, or `None`
+/// when the model diverges. Convenience for scaling sweeps.
+pub fn time_at(cfg: &CombinedConfig, n: u64, r: f64) -> Option<f64> {
+    cfg.with_virtual_processes(n).with_degree(r).evaluate().ok().map(|o| o.total_time)
+}
+
+/// Finds the smallest process count `n ∈ [lo, hi]` at which degree `r_b`
+/// completes no later than degree `r_a` — the crossover points of
+/// Figures 13–14 (e.g. 1x/2x at ≈ 4 351 processes).
+///
+/// A diverging configuration is treated as "infinitely slow".
+///
+/// # Errors
+///
+/// Returns [`ModelError::NoSolution`] if `r_b` never wins in the range.
+pub fn crossover(cfg: &CombinedConfig, r_a: f64, r_b: f64, lo: u64, hi: u64) -> Result<u64> {
+    if lo == 0 || hi < lo {
+        return Err(ModelError::InvalidParameter {
+            name: "lo/hi",
+            value: lo as f64,
+            reason: "need 1 <= lo <= hi",
+        });
+    }
+    let b_wins = |n: u64| -> bool {
+        let ta = time_at(cfg, n, r_a).unwrap_or(f64::INFINITY);
+        let tb = time_at(cfg, n, r_b).unwrap_or(f64::INFINITY);
+        tb.is_finite() && tb <= ta
+    };
+    if !b_wins(hi) {
+        return Err(ModelError::NoSolution { what: "redundancy crossover in range" });
+    }
+    if b_wins(lo) {
+        return Ok(lo);
+    }
+    // Monotone threshold by assumption (failure impact grows with n);
+    // binary search for the first n where b wins.
+    let (mut lo, mut hi) = (lo, hi);
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if b_wins(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(hi)
+}
+
+/// Finds the smallest process count at which running the job at degree
+/// `r` is at least `factor` times faster than running it without redundancy
+/// — e.g. `factor = 2` gives the paper's "two dual-redundant 128-hour jobs
+/// finish within one non-redundant job" point (≈ 78 536 processes).
+///
+/// # Errors
+///
+/// Returns [`ModelError::NoSolution`] if the speedup never reaches `factor`
+/// in `[lo, hi]`.
+pub fn throughput_break_even(
+    cfg: &CombinedConfig,
+    r: f64,
+    factor: f64,
+    lo: u64,
+    hi: u64,
+) -> Result<u64> {
+    crate::error::ensure_positive("factor", factor)?;
+    let wins = |n: u64| -> bool {
+        let t1 = time_at(cfg, n, 1.0).unwrap_or(f64::INFINITY);
+        let tr = time_at(cfg, n, r).unwrap_or(f64::INFINITY);
+        if !tr.is_finite() {
+            return false;
+        }
+        if !t1.is_finite() {
+            return true; // 1x cannot finish at all
+        }
+        t1 >= factor * tr
+    };
+    if !wins(hi) {
+        return Err(ModelError::NoSolution { what: "throughput break-even in range" });
+    }
+    if wins(lo) {
+        return Ok(lo);
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if wins(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combined::IntervalPolicy;
+    use crate::units;
+
+    /// Weak-scaling configuration in the spirit of Figures 13–14: a 128-hour
+    /// job, 5-year per-node MTBF.
+    fn scaling_config() -> CombinedConfig {
+        CombinedConfig::builder()
+            .virtual_processes(10_000)
+            .base_time_hours(128.0)
+            .node_mtbf_hours(units::hours_from_years(5.0))
+            .comm_fraction(0.2)
+            .checkpoint_cost_hours(units::hours_from_mins(10.0))
+            .restart_cost_hours(units::hours_from_mins(30.0))
+            .interval_policy(IntervalPolicy::Daly)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn grid_constructors() {
+        assert_eq!(RGrid::quarter_steps().degrees().len(), 9);
+        assert_eq!(RGrid::half_steps().degrees(), &[1.0, 1.5, 2.0, 2.5, 3.0]);
+        assert!(RGrid::new(vec![]).is_err());
+        assert!(RGrid::new(vec![0.5]).is_err());
+    }
+
+    #[test]
+    fn small_scale_prefers_no_redundancy() {
+        // 16 processes with 5-year MTBF: failures are negligible, the
+        // communication overhead of replication dominates.
+        let cfg = scaling_config().with_virtual_processes(16);
+        let best = optimal_redundancy(&cfg, &RGrid::half_steps()).unwrap();
+        assert_eq!(best.degree, 1.0, "sweep: {:?}", best.sweep);
+    }
+
+    #[test]
+    fn large_scale_prefers_dual_redundancy() {
+        let cfg = scaling_config().with_virtual_processes(100_000);
+        let best = optimal_redundancy(&cfg, &RGrid::half_steps()).unwrap();
+        assert!(best.degree >= 2.0, "sweep: {:?}", best.sweep);
+    }
+
+    #[test]
+    fn sweep_records_every_degree() {
+        let cfg = scaling_config();
+        let best = optimal_redundancy(&cfg, &RGrid::quarter_steps()).unwrap();
+        assert_eq!(best.sweep.len(), 9);
+    }
+
+    #[test]
+    fn resource_weighting_prefers_lower_degree() {
+        let cfg = scaling_config().with_virtual_processes(50_000);
+        let by_time = optimal_by_cost(&cfg, &RGrid::half_steps(), &CostWeights::time_only())
+            .unwrap();
+        let by_resources =
+            optimal_by_cost(&cfg, &RGrid::half_steps(), &CostWeights::resources_only())
+                .unwrap();
+        assert!(by_resources.degree <= by_time.degree);
+    }
+
+    #[test]
+    fn blend_validates() {
+        assert!(CostWeights::blend(0.5).is_ok());
+        assert!(CostWeights::blend(1.5).is_err());
+    }
+
+    #[test]
+    fn crossover_is_found_and_ordered() {
+        let cfg = scaling_config();
+        let x12 = crossover(&cfg, 1.0, 2.0, 100, 1_000_000).unwrap();
+        let x13 = crossover(&cfg, 1.0, 3.0, 100, 1_000_000).unwrap();
+        // Dual redundancy starts paying off before triple (Figure 13).
+        assert!(x12 < x13, "x12={x12} x13={x13}");
+        // Sanity: in the low thousands-to-tens-of-thousands regime.
+        assert!(x12 > 100 && x12 < 100_000, "x12={x12}");
+    }
+
+    #[test]
+    fn throughput_break_even_found() {
+        let cfg = scaling_config();
+        let n = throughput_break_even(&cfg, 2.0, 2.0, 1_000, 10_000_000).unwrap();
+        // The 1x curve blows up exponentially; a factor-2 speedup point must
+        // exist well below 10^7 processes.
+        assert!(n > 1_000 && n < 10_000_000);
+        // At that point the 1x job really is at least twice as slow.
+        let t1 = time_at(&cfg, n, 1.0).unwrap_or(f64::INFINITY);
+        let t2 = time_at(&cfg, n, 2.0).unwrap();
+        assert!(t1 >= 2.0 * t2);
+    }
+
+    #[test]
+    fn crossover_errors_when_never_wins() {
+        let cfg = scaling_config();
+        // 2x never beats 1x at tiny scales.
+        let err = crossover(&cfg, 1.0, 2.0, 2, 8).unwrap_err();
+        assert!(matches!(err, ModelError::NoSolution { .. }));
+    }
+
+    #[test]
+    fn time_at_none_on_divergence() {
+        // Catastrophic MTBF so 1x diverges at scale.
+        let cfg = CombinedConfig::builder()
+            .virtual_processes(1000)
+            .base_time_hours(128.0)
+            .node_mtbf_hours(24.0)
+            .comm_fraction(0.2)
+            .checkpoint_cost_hours(0.1)
+            .restart_cost_hours(0.1)
+            .build()
+            .unwrap();
+        assert!(time_at(&cfg, 1_000_000, 1.0).is_none());
+    }
+}

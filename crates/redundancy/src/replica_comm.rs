@@ -1,0 +1,493 @@
+//! The interposed communicator: presents a virtual world of `N` ranks while
+//! running on a physical world of `N_total` replicas.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use redcr_mpi::tag::Namespace;
+use redcr_mpi::{
+    datatype, Comm, Communicator, MpiError, Rank, RankSelector, Result, Status, Tag,
+    TagSelector,
+};
+
+use crate::corruption::{CorruptionInjector, CorruptionModel};
+use crate::stats::ReplicationStats;
+use crate::vmap::VirtualMap;
+use crate::voting::{hash_payload, vote_full, vote_hashed, VoteCost, VotingMode};
+
+/// Base of the protocol-namespace tag subrange reserved for the replication
+/// layer's wildcard envelope forwarding (bit 45 set). Other protocol users
+/// (e.g. checkpoint coordination) must stay below this value.
+pub const ENVELOPE_TAG_BASE: u64 = 1 << 45;
+
+/// A replicated communicator: the RedMPI-style interposition layer.
+///
+/// Every physical replica executes the application; `ReplicaComm` presents
+/// the *virtual* rank space (`rank()`/`size()` report virtual values) and
+/// translates each virtual point-to-point operation into the physical
+/// fan-out described in the paper's Section 3.
+#[derive(Debug)]
+pub struct ReplicaComm<'a> {
+    base: &'a Comm,
+    vmap: Arc<VirtualMap>,
+    my_virtual: Rank,
+    my_replica: usize,
+    mode: VotingMode,
+    vote_cost: VoteCost,
+    corruption: Option<CorruptionInjector>,
+    stats: ReplicationStats,
+    wildcard_seq: Cell<u64>,
+    coll_seq: Cell<u64>,
+}
+
+impl<'a> ReplicaComm<'a> {
+    /// Wraps a physical world communicator. `base.size()` must equal the
+    /// map's physical size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base communicator size does not match the map.
+    pub fn new(base: &'a Comm, vmap: Arc<VirtualMap>, mode: VotingMode) -> Self {
+        Self::with_vote_cost(base, vmap, mode, VoteCost::default())
+    }
+
+    /// Like [`ReplicaComm::new`] with an explicit redundant-copy processing
+    /// cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base communicator size does not match the map.
+    pub fn with_vote_cost(
+        base: &'a Comm,
+        vmap: Arc<VirtualMap>,
+        mode: VotingMode,
+        vote_cost: VoteCost,
+    ) -> Self {
+        assert_eq!(
+            base.size(),
+            vmap.n_physical(),
+            "base world size must equal the virtual map's physical size"
+        );
+        let (my_virtual, my_replica) = vmap.owner_of(base.rank());
+        ReplicaComm {
+            base,
+            vmap,
+            my_virtual,
+            my_replica,
+            mode,
+            vote_cost,
+            corruption: None,
+            stats: ReplicationStats::new(),
+            wildcard_seq: Cell::new(0),
+            coll_seq: Cell::new(0),
+        }
+    }
+
+    /// Enables deterministic silent-data-corruption injection on this
+    /// replica's outgoing physical copies (see
+    /// [`CorruptionModel`](crate::CorruptionModel)). The receiver-side
+    /// voting detects — and with three or more copies, corrects — the
+    /// corrupted copies.
+    pub fn with_corruption(mut self, model: CorruptionModel) -> Self {
+        self.corruption = Some(CorruptionInjector::new(model));
+        self
+    }
+
+    /// Number of corruptions this replica has injected (diagnostics).
+    pub fn corruptions_injected(&self) -> u64 {
+        self.corruption.as_ref().map_or(0, CorruptionInjector::injected)
+    }
+
+    /// Applies the SDC injector to one outgoing physical copy.
+    fn maybe_corrupt(&self, data: Bytes) -> Bytes {
+        let Some(injector) = &self.corruption else { return data };
+        match injector.corrupt_at(
+            self.base.rank().as_u32(),
+            self.my_replica,
+            data.len(),
+        ) {
+            Some(at) => {
+                let mut owned = data.to_vec();
+                owned[at] ^= 0x01; // a single flipped bit
+                Bytes::from(owned)
+            }
+            None => data,
+        }
+    }
+
+    /// This process's virtual rank (same as [`Communicator::rank`]).
+    pub fn virtual_rank(&self) -> Rank {
+        self.my_virtual
+    }
+
+    /// This process's replica index within its sphere (0 = primary).
+    pub fn replica_index(&self) -> usize {
+        self.my_replica
+    }
+
+    /// This process's physical world rank.
+    pub fn physical_rank(&self) -> Rank {
+        self.base.rank()
+    }
+
+    /// The virtual↔physical map.
+    pub fn vmap(&self) -> &VirtualMap {
+        &self.vmap
+    }
+
+    /// The voting mode in effect.
+    pub fn voting_mode(&self) -> VotingMode {
+        self.mode
+    }
+
+    /// Replication statistics collected by this replica.
+    pub fn stats(&self) -> &ReplicationStats {
+        &self.stats
+    }
+
+    /// The underlying physical communicator (for diagnostics).
+    pub fn base(&self) -> &Comm {
+        self.base
+    }
+
+    /// Whether sender replica `j` (of `r_send`) sends the full payload to
+    /// receiver replica `i` (hash otherwise) in Msg-PlusHash mode. The
+    /// pairing rule is shared by sender and receiver: receiver `i` gets the
+    /// full copy from sender `i mod r_send`.
+    fn pairs_full(j: usize, i: usize, r_send: usize) -> bool {
+        i % r_send == j
+    }
+
+    /// Receives the `r_send` redundant physical copies of one virtual
+    /// message from `src_v` with resolved user tag `tag`, skipping replica
+    /// `already` (already consumed by a wildcard match, supplied as
+    /// `copies[already]`), then votes and returns the winning payload.
+    fn gather_copies_and_vote(
+        &self,
+        src_v: Rank,
+        tag: Tag,
+        ns: Namespace,
+        pre_matched: Option<(usize, Bytes)>,
+    ) -> Result<Bytes> {
+        let senders = self.vmap.replicas_of(src_v);
+        let r_send = senders.len();
+        let mut raw: Vec<Option<Bytes>> = vec![None; r_send];
+        if let Some((k, payload)) = pre_matched {
+            raw[k] = Some(payload);
+        }
+        for (j, phys) in senders.iter().enumerate() {
+            if raw[j].is_some() {
+                continue;
+            }
+            let (bytes, _) = self.base.recv_ns(
+                RankSelector::Rank(*phys),
+                TagSelector::Tag(tag),
+                ns,
+            )?;
+            raw[j] = Some(bytes);
+        }
+        let raw: Vec<Bytes> = raw.into_iter().map(|b| b.expect("all copies filled")).collect();
+        self.stats.record_virtual_recv(r_send);
+        // Processing the redundant copies (extra buffer handling plus the
+        // byte-wise comparison) happens serially on the receive path.
+        let payload_len = raw.iter().map(Bytes::len).max().unwrap_or(0);
+        let processing = self.vote_cost.cost(r_send, payload_len);
+        if processing > 0.0 {
+            self.base.charge_comm(processing)?;
+        }
+
+        let payload = match self.mode {
+            VotingMode::AllToAll => {
+                let outcome = vote_full(&raw);
+                self.stats.record_vote(outcome.unanimous(), outcome.majority);
+                raw[outcome.winner].clone()
+            }
+            VotingMode::MsgPlusHash => {
+                if r_send == 1 {
+                    self.stats.record_vote(true, false);
+                    raw[0].clone()
+                } else {
+                    let full_idx = self.my_replica % r_send;
+                    let mut hashes: Vec<Option<u64>> = Vec::with_capacity(r_send);
+                    for (j, bytes) in raw.iter().enumerate() {
+                        if j == full_idx {
+                            hashes.push(None);
+                        } else {
+                            hashes.push(Some(datatype::decode_u64(bytes)?));
+                        }
+                    }
+                    let outcome = vote_hashed(&raw[full_idx], full_idx, &hashes);
+                    self.stats.record_vote(outcome.unanimous(), outcome.majority);
+                    raw[full_idx].clone()
+                }
+            }
+        };
+        Ok(payload)
+    }
+
+    /// The wildcard (`ANY_SOURCE`) receive protocol of paper Section 3.
+    fn recv_wildcard(&self, tag: TagSelector, ns: Namespace) -> Result<(Bytes, Status)> {
+        if ns != Namespace::User {
+            return Err(MpiError::CollectiveMismatch {
+                what: "wildcard receives are only supported for user messages",
+            });
+        }
+        self.stats.record_wildcard_protocol();
+        let my_replicas = self.vmap.replicas_of(self.my_virtual).to_vec();
+        let wseq = self.wildcard_seq.get();
+        self.wildcard_seq.set(wseq + 1);
+        let envelope_tag = Tag::new(ENVELOPE_TAG_BASE | (wseq & (ENVELOPE_TAG_BASE - 1)));
+
+        let (src_v, resolved_tag, pre_matched) = if self.my_replica == 0 {
+            // Step 1: the leader posts the single wildcard receive.
+            let (bytes, status) = self.base.recv_ns(RankSelector::Any, tag, ns)?;
+            let (src_v, k) = self.vmap.owner_of(status.source);
+            // Step 2: forward the resolved envelope to our own replicas.
+            let envelope =
+                datatype::encode_u64s(&[src_v.as_u32() as u64, status.tag.value(), k as u64]);
+            for replica in &my_replicas[1..] {
+                self.base.send_ns(
+                    *replica,
+                    envelope_tag,
+                    Bytes::from(envelope.clone()),
+                    Namespace::Protocol,
+                )?;
+            }
+            (src_v, status.tag, Some((k, bytes)))
+        } else {
+            // Step 3: non-leaders learn the envelope and post specific
+            // receives.
+            let leader = my_replicas[0];
+            let (bytes, _) = self.base.recv_ns(
+                RankSelector::Rank(leader),
+                TagSelector::Tag(envelope_tag),
+                Namespace::Protocol,
+            )?;
+            let vals = datatype::decode_u64s(&bytes)?;
+            if vals.len() != 3 {
+                return Err(MpiError::DecodeError { what: "wildcard envelope" });
+            }
+            (Rank::new(vals[0] as u32), Tag::new(vals[1]), None)
+        };
+
+        let payload = self.gather_copies_and_vote(src_v, resolved_tag, ns, pre_matched)?;
+        let status = Status {
+            source: src_v,
+            tag: resolved_tag,
+            len: payload.len(),
+            completed_at: self.base.now(),
+        };
+        Ok((payload, status))
+    }
+
+    /// Specific-source receive: resolve the tag on the first replica if the
+    /// tag is a wildcard, then gather all copies and vote.
+    fn recv_specific(
+        &self,
+        src_v: Rank,
+        tag: TagSelector,
+        ns: Namespace,
+    ) -> Result<(Bytes, Status)> {
+        if src_v.index() >= self.vmap.n_virtual() {
+            return Err(MpiError::InvalidRank {
+                rank: src_v.index(),
+                size: self.vmap.n_virtual(),
+            });
+        }
+        let (resolved_tag, pre_matched) = match tag {
+            TagSelector::Tag(t) => (t, None),
+            TagSelector::Any => {
+                // Match the first replica's copy with ANY_TAG to fix the
+                // tag, then collect the rest with the resolved tag.
+                let first = self.vmap.replicas_of(src_v)[0];
+                let (bytes, status) =
+                    self.base.recv_ns(RankSelector::Rank(first), TagSelector::Any, ns)?;
+                (status.tag, Some((0usize, bytes)))
+            }
+        };
+        let payload = self.gather_copies_and_vote(src_v, resolved_tag, ns, pre_matched)?;
+        let status = Status {
+            source: src_v,
+            tag: resolved_tag,
+            len: payload.len(),
+            completed_at: self.base.now(),
+        };
+        Ok((payload, status))
+    }
+}
+
+/// A pending non-blocking operation on a [`ReplicaComm`]. Wraps the set of
+/// physical operations belonging to one virtual operation (the paper's
+/// "set of request handles" with an identifying handle returned to the
+/// application).
+#[derive(Debug)]
+pub struct RedRequest(RedRequestKind);
+
+#[derive(Debug)]
+enum RedRequestKind {
+    /// All physical sends already injected (eager).
+    Send,
+    /// Deferred virtual receive.
+    Recv { src: RankSelector, tag: TagSelector },
+}
+
+impl Communicator for ReplicaComm<'_> {
+    type Request = RedRequest;
+
+    fn rank(&self) -> Rank {
+        self.my_virtual
+    }
+
+    fn size(&self) -> usize {
+        self.vmap.n_virtual()
+    }
+
+    fn now(&self) -> f64 {
+        self.base.now()
+    }
+
+    fn compute(&self, seconds: f64) -> Result<()> {
+        self.base.compute(seconds)
+    }
+
+    fn send_ns(&self, dest: Rank, tag: Tag, data: Bytes, ns: Namespace) -> Result<()> {
+        if dest.index() >= self.vmap.n_virtual() {
+            return Err(MpiError::InvalidRank { rank: dest.index(), size: self.vmap.n_virtual() });
+        }
+        self.stats.record_virtual_send();
+        let receivers = self.vmap.replicas_of(dest);
+        let r_send = self.vmap.replica_count(self.my_virtual);
+        match self.mode {
+            VotingMode::AllToAll => {
+                for phys in receivers {
+                    self.stats.record_physical_send(data.len(), false);
+                    let copy = self.maybe_corrupt(data.clone());
+                    self.base.send_ns(*phys, tag, copy, ns)?;
+                }
+            }
+            VotingMode::MsgPlusHash => {
+                let hash = Bytes::from(datatype::encode_u64(hash_payload(&data)));
+                for (i, phys) in receivers.iter().enumerate() {
+                    if r_send == 1 || Self::pairs_full(self.my_replica, i, r_send) {
+                        self.stats.record_physical_send(data.len(), false);
+                        let copy = self.maybe_corrupt(data.clone());
+                        self.base.send_ns(*phys, tag, copy, ns)?;
+                    } else {
+                        self.stats.record_physical_send(hash.len(), true);
+                        self.base.send_ns(*phys, tag, hash.clone(), ns)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn recv_ns(
+        &self,
+        src: RankSelector,
+        tag: TagSelector,
+        ns: Namespace,
+    ) -> Result<(Bytes, Status)> {
+        match src {
+            RankSelector::Rank(v) => self.recv_specific(v, tag, ns),
+            RankSelector::Any => self.recv_wildcard(tag, ns),
+        }
+    }
+
+    fn isend(&self, dest: Rank, tag: Tag, data: Bytes) -> Result<Self::Request> {
+        self.send_ns(dest, tag, data, Namespace::User)?;
+        Ok(RedRequest(RedRequestKind::Send))
+    }
+
+    fn irecv(&self, src: RankSelector, tag: TagSelector) -> Result<Self::Request> {
+        Ok(RedRequest(RedRequestKind::Recv { src, tag }))
+    }
+
+    fn wait(&self, req: Self::Request) -> Result<Option<(Bytes, Status)>> {
+        match req.0 {
+            RedRequestKind::Send => Ok(None),
+            RedRequestKind::Recv { src, tag } => {
+                let (bytes, status) = self.recv_ns(src, tag, Namespace::User)?;
+                Ok(Some((bytes, status)))
+            }
+        }
+    }
+
+    fn iprobe(&self, src: RankSelector, tag: TagSelector) -> Result<Option<Status>> {
+        // Probe the primary replica of the (virtual) source. Note that, as
+        // in RedMPI, probe results are advisory: replicas may observe
+        // different instantaneous states, so applications must not let
+        // control flow diverge on iprobe outcomes.
+        let phys_src = match src {
+            RankSelector::Rank(v) => {
+                if v.index() >= self.vmap.n_virtual() {
+                    return Err(MpiError::InvalidRank {
+                        rank: v.index(),
+                        size: self.vmap.n_virtual(),
+                    });
+                }
+                RankSelector::Rank(self.vmap.replicas_of(v)[0])
+            }
+            RankSelector::Any => RankSelector::Any,
+        };
+        Ok(self.base.iprobe(phys_src, tag)?.map(|s| {
+            let (v, _) = self.vmap.owner_of(s.source);
+            Status { source: v, ..s }
+        }))
+    }
+
+    fn probe(&self, src: RankSelector, tag: TagSelector) -> Result<Status> {
+        let phys_src = match src {
+            RankSelector::Rank(v) => {
+                if v.index() >= self.vmap.n_virtual() {
+                    return Err(MpiError::InvalidRank {
+                        rank: v.index(),
+                        size: self.vmap.n_virtual(),
+                    });
+                }
+                RankSelector::Rank(self.vmap.replicas_of(v)[0])
+            }
+            RankSelector::Any => RankSelector::Any,
+        };
+        let s = self.base.probe(phys_src, tag)?;
+        let (v, _) = self.vmap.owner_of(s.source);
+        Ok(Status { source: v, ..s })
+    }
+
+    fn test(&self, req: Self::Request) -> Result<redcr_mpi::TestOutcome<Self::Request>> {
+        match req.0 {
+            RedRequestKind::Send => Ok(redcr_mpi::TestOutcome::Completed(None)),
+            RedRequestKind::Recv { src: RankSelector::Rank(v), tag } => {
+                // The primary copy's arrival is the completion signal; the
+                // sibling copies are (at most) a short blocking receive away.
+                if self.iprobe(RankSelector::Rank(v), tag)?.is_some() {
+                    let out = self.recv_specific(v, tag, Namespace::User)?;
+                    Ok(redcr_mpi::TestOutcome::Completed(Some(out)))
+                } else {
+                    Ok(redcr_mpi::TestOutcome::Pending(RedRequest(RedRequestKind::Recv {
+                        src: RankSelector::Rank(v),
+                        tag,
+                    })))
+                }
+            }
+            RedRequestKind::Recv { src: RankSelector::Any, tag } => {
+                // Wildcard receives must run the envelope-forwarding
+                // protocol on every replica in lock-step; testing them
+                // non-blockingly could diverge across replicas, so they are
+                // conservatively reported pending.
+                Ok(redcr_mpi::TestOutcome::Pending(RedRequest(RedRequestKind::Recv {
+                    src: RankSelector::Any,
+                    tag,
+                })))
+            }
+        }
+    }
+
+    fn next_collective_seq(&self) -> u64 {
+        let s = self.coll_seq.get();
+        self.coll_seq.set(s + 1);
+        s
+    }
+}

@@ -1,0 +1,255 @@
+//! Replication-layer statistics: message amplification and voting events.
+
+use std::cell::Cell;
+
+/// Counters maintained by one replica's [`ReplicaComm`](crate::ReplicaComm).
+///
+/// Rank-thread-local (like the communicator itself); aggregate across ranks
+/// via [`ReplicationStats::merge`].
+#[derive(Debug, Default, Clone)]
+pub struct ReplicationStats {
+    virtual_sends: Cell<u64>,
+    physical_sends: Cell<u64>,
+    virtual_recvs: Cell<u64>,
+    physical_recvs: Cell<u64>,
+    payload_bytes_sent: Cell<u64>,
+    hash_messages_sent: Cell<u64>,
+    votes: Cell<u64>,
+    mismatches_detected: Cell<u64>,
+    corrections: Cell<u64>,
+    wildcard_protocols: Cell<u64>,
+}
+
+impl ReplicationStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_virtual_send(&self) {
+        self.virtual_sends.set(self.virtual_sends.get() + 1);
+    }
+
+    pub(crate) fn record_physical_send(&self, bytes: usize, is_hash: bool) {
+        self.physical_sends.set(self.physical_sends.get() + 1);
+        self.payload_bytes_sent.set(self.payload_bytes_sent.get() + bytes as u64);
+        if is_hash {
+            self.hash_messages_sent.set(self.hash_messages_sent.get() + 1);
+        }
+    }
+
+    pub(crate) fn record_virtual_recv(&self, physical: usize) {
+        self.virtual_recvs.set(self.virtual_recvs.get() + 1);
+        self.physical_recvs.set(self.physical_recvs.get() + physical as u64);
+    }
+
+    pub(crate) fn record_vote(&self, unanimous: bool, corrected: bool) {
+        self.votes.set(self.votes.get() + 1);
+        if !unanimous {
+            self.mismatches_detected.set(self.mismatches_detected.get() + 1);
+            if corrected {
+                self.corrections.set(self.corrections.get() + 1);
+            }
+        }
+    }
+
+    pub(crate) fn record_wildcard_protocol(&self) {
+        self.wildcard_protocols.set(self.wildcard_protocols.get() + 1);
+    }
+
+    /// Number of application-level (virtual) sends.
+    pub fn virtual_sends(&self) -> u64 {
+        self.virtual_sends.get()
+    }
+
+    /// Number of physical messages injected on behalf of virtual sends.
+    pub fn physical_sends(&self) -> u64 {
+        self.physical_sends.get()
+    }
+
+    /// Number of application-level receives completed.
+    pub fn virtual_recvs(&self) -> u64 {
+        self.virtual_recvs.get()
+    }
+
+    /// Number of physical messages consumed by receives.
+    pub fn physical_recvs(&self) -> u64 {
+        self.physical_recvs.get()
+    }
+
+    /// Payload bytes injected (full payloads and hashes alike).
+    pub fn payload_bytes_sent(&self) -> u64 {
+        self.payload_bytes_sent.get()
+    }
+
+    /// Number of hash-only messages sent (Msg-PlusHash mode).
+    pub fn hash_messages_sent(&self) -> u64 {
+        self.hash_messages_sent.get()
+    }
+
+    /// Number of votes performed.
+    pub fn votes(&self) -> u64 {
+        self.votes.get()
+    }
+
+    /// Number of votes where at least one copy disagreed.
+    pub fn mismatches_detected(&self) -> u64 {
+        self.mismatches_detected.get()
+    }
+
+    /// Number of mismatches where a majority voted the corruption out.
+    pub fn corrections(&self) -> u64 {
+        self.corrections.get()
+    }
+
+    /// Number of wildcard (`ANY_SOURCE`) envelope protocols executed.
+    pub fn wildcard_protocols(&self) -> u64 {
+        self.wildcard_protocols.get()
+    }
+
+    /// Message amplification: physical sends per virtual send.
+    pub fn send_amplification(&self) -> f64 {
+        let v = self.virtual_sends.get();
+        if v == 0 {
+            0.0
+        } else {
+            self.physical_sends.get() as f64 / v as f64
+        }
+    }
+
+    /// A snapshot with every counter summed with `other`'s.
+    pub fn merge(&self, other: &ReplicationStats) -> ReplicationStats {
+        let out = ReplicationStats::new();
+        out.virtual_sends.set(self.virtual_sends.get() + other.virtual_sends.get());
+        out.physical_sends.set(self.physical_sends.get() + other.physical_sends.get());
+        out.virtual_recvs.set(self.virtual_recvs.get() + other.virtual_recvs.get());
+        out.physical_recvs.set(self.physical_recvs.get() + other.physical_recvs.get());
+        out.payload_bytes_sent
+            .set(self.payload_bytes_sent.get() + other.payload_bytes_sent.get());
+        out.hash_messages_sent
+            .set(self.hash_messages_sent.get() + other.hash_messages_sent.get());
+        out.votes.set(self.votes.get() + other.votes.get());
+        out.mismatches_detected
+            .set(self.mismatches_detected.get() + other.mismatches_detected.get());
+        out.corrections.set(self.corrections.get() + other.corrections.get());
+        out.wildcard_protocols
+            .set(self.wildcard_protocols.get() + other.wildcard_protocols.get());
+        out
+    }
+
+    /// A plain-old-data snapshot for sending across threads.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            virtual_sends: self.virtual_sends.get(),
+            physical_sends: self.physical_sends.get(),
+            virtual_recvs: self.virtual_recvs.get(),
+            physical_recvs: self.physical_recvs.get(),
+            payload_bytes_sent: self.payload_bytes_sent.get(),
+            hash_messages_sent: self.hash_messages_sent.get(),
+            votes: self.votes.get(),
+            mismatches_detected: self.mismatches_detected.get(),
+            corrections: self.corrections.get(),
+            wildcard_protocols: self.wildcard_protocols.get(),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`ReplicationStats`] (Send + Sync).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Application-level sends.
+    pub virtual_sends: u64,
+    /// Physical messages injected.
+    pub physical_sends: u64,
+    /// Application-level receives.
+    pub virtual_recvs: u64,
+    /// Physical messages consumed.
+    pub physical_recvs: u64,
+    /// Bytes injected.
+    pub payload_bytes_sent: u64,
+    /// Hash-only messages (Msg-PlusHash).
+    pub hash_messages_sent: u64,
+    /// Votes performed.
+    pub votes: u64,
+    /// Votes with disagreement.
+    pub mismatches_detected: u64,
+    /// Mismatches corrected by majority.
+    pub corrections: u64,
+    /// Wildcard protocols executed.
+    pub wildcard_protocols: u64,
+}
+
+impl StatsSnapshot {
+    /// Element-wise sum.
+    pub fn add(&self, other: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            virtual_sends: self.virtual_sends + other.virtual_sends,
+            physical_sends: self.physical_sends + other.physical_sends,
+            virtual_recvs: self.virtual_recvs + other.virtual_recvs,
+            physical_recvs: self.physical_recvs + other.physical_recvs,
+            payload_bytes_sent: self.payload_bytes_sent + other.payload_bytes_sent,
+            hash_messages_sent: self.hash_messages_sent + other.hash_messages_sent,
+            votes: self.votes + other.votes,
+            mismatches_detected: self.mismatches_detected + other.mismatches_detected,
+            corrections: self.corrections + other.corrections,
+            wildcard_protocols: self.wildcard_protocols + other.wildcard_protocols,
+        }
+    }
+
+    /// Message amplification: physical sends per virtual send.
+    pub fn send_amplification(&self) -> f64 {
+        if self.virtual_sends == 0 {
+            0.0
+        } else {
+            self.physical_sends as f64 / self.virtual_sends as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amplification_counts() {
+        let s = ReplicationStats::new();
+        s.record_virtual_send();
+        s.record_physical_send(10, false);
+        s.record_physical_send(10, false);
+        s.record_physical_send(8, true);
+        assert_eq!(s.send_amplification(), 3.0);
+        assert_eq!(s.payload_bytes_sent(), 28);
+        assert_eq!(s.hash_messages_sent(), 1);
+    }
+
+    #[test]
+    fn vote_counters() {
+        let s = ReplicationStats::new();
+        s.record_vote(true, false);
+        s.record_vote(false, true);
+        s.record_vote(false, false);
+        assert_eq!(s.votes(), 3);
+        assert_eq!(s.mismatches_detected(), 2);
+        assert_eq!(s.corrections(), 1);
+    }
+
+    #[test]
+    fn merge_and_snapshot_agree() {
+        let a = ReplicationStats::new();
+        a.record_virtual_send();
+        a.record_physical_send(4, false);
+        let b = ReplicationStats::new();
+        b.record_virtual_recv(2);
+        let merged = a.merge(&b);
+        let sum = a.snapshot().add(&b.snapshot());
+        assert_eq!(merged.snapshot(), sum);
+        assert_eq!(sum.virtual_sends, 1);
+        assert_eq!(sum.physical_recvs, 2);
+    }
+
+    #[test]
+    fn zero_division_guard() {
+        assert_eq!(ReplicationStats::new().send_amplification(), 0.0);
+        assert_eq!(StatsSnapshot::default().send_amplification(), 0.0);
+    }
+}

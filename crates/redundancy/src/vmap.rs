@@ -1,0 +1,164 @@
+//! Virtual ↔ physical rank mapping under (partial) redundancy.
+//!
+//! The physical world of `N_total` ranks (Eq. 8) is laid out as:
+//!
+//! * physical ranks `0..N` are the **primary** replicas — physical rank `v`
+//!   is replica 0 of virtual rank `v` (the paper's "active nodes");
+//! * physical ranks `N..N_total` are **shadow** replicas, assigned to
+//!   virtual ranks in ascending `(virtual rank, replica index)` order (the
+//!   paper's "redundant nodes").
+//!
+//! This mirrors RedMPI's division of `MPI_COMM_WORLD` into active and
+//! redundant partitions at `MPI_Init` time.
+
+use redcr_model::partition::RedundancyPartition;
+use redcr_mpi::Rank;
+
+/// The bidirectional mapping between virtual processes and their physical
+/// replicas.
+#[derive(Debug, Clone)]
+pub struct VirtualMap {
+    partition: RedundancyPartition,
+    /// `replicas[v]` = physical world ranks of virtual rank `v`, replica 0
+    /// first.
+    replicas: Vec<Vec<Rank>>,
+    /// `owner[p]` = (virtual rank, replica index) of physical rank `p`.
+    owner: Vec<(u32, u32)>,
+}
+
+impl VirtualMap {
+    /// Builds the map from a partial-redundancy partition.
+    pub fn new(partition: RedundancyPartition) -> Self {
+        let n = partition.n_virtual() as usize;
+        let total = partition.total_physical() as usize;
+        let mut replicas: Vec<Vec<Rank>> = (0..n).map(|v| vec![Rank::new(v as u32)]).collect();
+        let mut owner = vec![(0u32, 0u32); total];
+        for (v, item) in owner.iter_mut().enumerate().take(n) {
+            *item = (v as u32, 0);
+        }
+        let mut next_phys = n as u32;
+        for v in 0..n as u64 {
+            let count = partition.replicas_of(v);
+            for k in 1..count {
+                let p = Rank::new(next_phys);
+                replicas[v as usize].push(p);
+                owner[next_phys as usize] = (v as u32, k as u32);
+                next_phys += 1;
+            }
+        }
+        debug_assert_eq!(next_phys as usize, total);
+        VirtualMap { partition, replicas, owner }
+    }
+
+    /// The underlying partition (degree, set sizes).
+    pub fn partition(&self) -> &RedundancyPartition {
+        &self.partition
+    }
+
+    /// Number of virtual processes `N`.
+    pub fn n_virtual(&self) -> usize {
+        self.partition.n_virtual() as usize
+    }
+
+    /// Number of physical processes `N_total` (Eq. 8).
+    pub fn n_physical(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Physical world ranks of virtual rank `v`'s replicas (replica 0 first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn replicas_of(&self, v: Rank) -> &[Rank] {
+        &self.replicas[v.index()]
+    }
+
+    /// Number of replicas of virtual rank `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn replica_count(&self, v: Rank) -> usize {
+        self.replicas[v.index()].len()
+    }
+
+    /// The virtual rank and replica index of physical rank `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn owner_of(&self, p: Rank) -> (Rank, usize) {
+        let (v, k) = self.owner[p.index()];
+        (Rank::new(v), k as usize)
+    }
+
+    /// Iterates over `(virtual rank, replica slice)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Rank, &[Rank])> + '_ {
+        self.replicas.iter().enumerate().map(|(v, r)| (Rank::new(v as u32), r.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(n: u64, r: f64) -> VirtualMap {
+        VirtualMap::new(RedundancyPartition::new(n, r).unwrap())
+    }
+
+    #[test]
+    fn identity_at_degree_one() {
+        let m = map(4, 1.0);
+        assert_eq!(m.n_physical(), 4);
+        for v in 0..4u32 {
+            assert_eq!(m.replicas_of(Rank::new(v)), &[Rank::new(v)]);
+            assert_eq!(m.owner_of(Rank::new(v)), (Rank::new(v), 0));
+        }
+    }
+
+    #[test]
+    fn dual_redundancy_layout() {
+        let m = map(3, 2.0);
+        assert_eq!(m.n_physical(), 6);
+        // Primaries are identity; shadows assigned in order.
+        assert_eq!(m.replicas_of(Rank::new(0)), &[Rank::new(0), Rank::new(3)]);
+        assert_eq!(m.replicas_of(Rank::new(1)), &[Rank::new(1), Rank::new(4)]);
+        assert_eq!(m.replicas_of(Rank::new(2)), &[Rank::new(2), Rank::new(5)]);
+        assert_eq!(m.owner_of(Rank::new(4)), (Rank::new(1), 1));
+    }
+
+    #[test]
+    fn partial_degree_every_even_rank_replicated() {
+        // 1.5x over 4 virtual ranks: ranks 0 and 2 get shadows.
+        let m = map(4, 1.5);
+        assert_eq!(m.n_physical(), 6);
+        assert_eq!(m.replica_count(Rank::new(0)), 2);
+        assert_eq!(m.replica_count(Rank::new(1)), 1);
+        assert_eq!(m.replica_count(Rank::new(2)), 2);
+        assert_eq!(m.replica_count(Rank::new(3)), 1);
+        assert_eq!(m.replicas_of(Rank::new(0))[1], Rank::new(4));
+        assert_eq!(m.replicas_of(Rank::new(2))[1], Rank::new(5));
+    }
+
+    #[test]
+    fn owner_inverts_replicas() {
+        for r in [1.0, 1.25, 1.5, 2.0, 2.75, 3.0] {
+            let m = map(9, r);
+            for (v, reps) in m.iter() {
+                for (k, p) in reps.iter().enumerate() {
+                    assert_eq!(m.owner_of(*p), (v, k), "r={r} v={v} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triple_redundancy_counts() {
+        let m = map(5, 3.0);
+        assert_eq!(m.n_physical(), 15);
+        for v in 0..5u32 {
+            assert_eq!(m.replica_count(Rank::new(v)), 3);
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Launching a replicated world: spawns the physical ranks, constructs the
+//! per-rank [`ReplicaComm`], and aggregates results per virtual process.
+
+use std::sync::Arc;
+
+use redcr_model::partition::{AssignmentStrategy, RedundancyPartition};
+use redcr_mpi::{Comm, CostModel, MpiError, Result, World};
+
+use crate::corruption::CorruptionModel;
+use crate::replica_comm::ReplicaComm;
+use crate::stats::StatsSnapshot;
+use crate::vmap::VirtualMap;
+use crate::voting::{VoteCost, VotingMode};
+
+/// Entry point for running a replicated application.
+#[derive(Debug)]
+pub struct ReplicatedWorld;
+
+impl ReplicatedWorld {
+    /// Starts building a replicated world of `n_virtual` application
+    /// processes at redundancy degree `degree` (possibly fractional).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the degree is outside the supported range or
+    /// `n_virtual == 0` (see
+    /// [`RedundancyPartition::new`](redcr_model::partition::RedundancyPartition::new)).
+    pub fn builder(
+        n_virtual: u64,
+        degree: f64,
+    ) -> std::result::Result<ReplicatedWorldBuilder, redcr_model::ModelError> {
+        let partition = RedundancyPartition::new(n_virtual, degree)?;
+        Ok(ReplicatedWorldBuilder {
+            partition,
+            mode: VotingMode::default(),
+            vote_cost: VoteCost::default(),
+            corruption: None,
+            cost: CostModel::default(),
+            abort_horizon: f64::INFINITY,
+            start_time: 0.0,
+        })
+    }
+}
+
+/// Builder for a replicated run.
+#[derive(Debug, Clone)]
+pub struct ReplicatedWorldBuilder {
+    partition: RedundancyPartition,
+    mode: VotingMode,
+    vote_cost: VoteCost,
+    corruption: Option<CorruptionModel>,
+    cost: CostModel,
+    abort_horizon: f64,
+    start_time: f64,
+}
+
+impl ReplicatedWorldBuilder {
+    /// Uses an explicit replica placement strategy (default: the paper's
+    /// interleaved placement).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the partition cannot be rebuilt (should not
+    /// happen for parameters that already validated).
+    pub fn strategy(
+        mut self,
+        strategy: AssignmentStrategy,
+    ) -> std::result::Result<Self, redcr_model::ModelError> {
+        self.partition = RedundancyPartition::with_strategy(
+            self.partition.n_virtual(),
+            self.partition.degree(),
+            strategy,
+        )?;
+        Ok(self)
+    }
+
+    /// Sets the voting mode (default [`VotingMode::AllToAll`], as in the
+    /// paper's experiments).
+    pub fn voting_mode(mut self, mode: VotingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the communication cost model.
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the redundant-copy processing (voting) cost model. Use
+    /// [`VoteCost::zero`] for purely functional runs.
+    pub fn vote_cost(mut self, vote_cost: VoteCost) -> Self {
+        self.vote_cost = vote_cost;
+        self
+    }
+
+    /// Enables deterministic silent-data-corruption injection on outgoing
+    /// physical copies (RedMPI's SDC-detection scenario).
+    pub fn corruption(mut self, model: CorruptionModel) -> Self {
+        self.corruption = Some(model);
+        self
+    }
+
+    /// Sets the fail-stop abort horizon in virtual seconds (see
+    /// [`redcr_mpi::WorldBuilder::abort_horizon`]).
+    pub fn abort_horizon(mut self, t: f64) -> Self {
+        self.abort_horizon = t;
+        self
+    }
+
+    /// Starts all clocks at `t` virtual seconds (checkpoint resume).
+    pub fn start_time(mut self, t: f64) -> Self {
+        self.start_time = t;
+        self
+    }
+
+    /// Number of physical ranks this configuration will spawn.
+    pub fn n_physical(&self) -> usize {
+        self.partition.total_physical() as usize
+    }
+
+    /// Runs `f` on every physical replica. The closure sees the *virtual*
+    /// world through its [`ReplicaComm`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying world fails to run. Per-replica
+    /// application errors are reported in the returned
+    /// [`ReplicatedReport::results`].
+    pub fn run<T, F>(self, f: F) -> Result<ReplicatedReport<T>>
+    where
+        T: Send,
+        F: Fn(&ReplicaComm) -> Result<T> + Send + Sync,
+    {
+        let vmap = Arc::new(VirtualMap::new(self.partition.clone()));
+        let n_physical = vmap.n_physical();
+        let mode = self.mode;
+        let vote_cost = self.vote_cost;
+        let corruption = self.corruption;
+        let vmap_outer = Arc::clone(&vmap);
+        let f = &f;
+        let report = World::builder(n_physical)
+            .cost_model(self.cost)
+            .abort_horizon(self.abort_horizon)
+            .start_time(self.start_time)
+            .run(move |base: &Comm| {
+                let mut comm =
+                    ReplicaComm::with_vote_cost(base, Arc::clone(&vmap), mode, vote_cost);
+                if let Some(model) = corruption {
+                    comm = comm.with_corruption(model);
+                }
+                let out = f(&comm)?;
+                Ok((out, comm.stats().snapshot()))
+            })?;
+
+        let mut results = Vec::with_capacity(n_physical);
+        let mut stats = StatsSnapshot::default();
+        for r in report.results {
+            match r {
+                Ok((value, snap)) => {
+                    stats = stats.add(&snap);
+                    results.push(Ok(value));
+                }
+                Err(e) => results.push(Err(e)),
+            }
+        }
+        Ok(ReplicatedReport {
+            vmap: vmap_outer,
+            results,
+            stats,
+            max_virtual_time: report.max_virtual_time,
+            aborted: report.aborted,
+            physical_messages: report.messages_sent,
+            physical_bytes: report.bytes_sent,
+            n_physical,
+        })
+    }
+}
+
+/// Outcome of a replicated run.
+#[derive(Debug)]
+pub struct ReplicatedReport<T> {
+    vmap: Arc<VirtualMap>,
+    /// Per-*physical*-rank results.
+    pub results: Vec<Result<T>>,
+    /// Aggregated replication statistics over all replicas.
+    pub stats: StatsSnapshot,
+    /// Simulated wallclock of the run, seconds.
+    pub max_virtual_time: f64,
+    /// Whether the run aborted (fail-stop horizon or rank error).
+    pub aborted: bool,
+    /// Physical point-to-point messages injected (from the base runtime).
+    pub physical_messages: u64,
+    /// Physical payload bytes injected.
+    pub physical_bytes: u64,
+    /// Number of physical ranks that ran.
+    pub n_physical: usize,
+}
+
+impl<T> ReplicatedReport<T> {
+    /// The virtual↔physical map of the run.
+    pub fn vmap(&self) -> &VirtualMap {
+        &self.vmap
+    }
+
+    /// The result of virtual rank `v`'s primary replica (replica 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn primary_result(&self, v: u32) -> &Result<T> {
+        let phys = self.vmap.replicas_of(redcr_mpi::Rank::new(v))[0];
+        &self.results[phys.index()]
+    }
+
+    /// Results of every replica of virtual rank `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn replica_results(&self, v: u32) -> Vec<&Result<T>> {
+        self.vmap
+            .replicas_of(redcr_mpi::Rank::new(v))
+            .iter()
+            .map(|p| &self.results[p.index()])
+            .collect()
+    }
+
+    /// Primary-replica results for all virtual ranks, or the first error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-virtual-rank error if any primary failed.
+    pub fn into_primary_results(mut self) -> Result<Vec<T>>
+    where
+        T: Default,
+    {
+        let mut out = Vec::with_capacity(self.vmap.n_virtual());
+        for v in 0..self.vmap.n_virtual() {
+            let phys = self.vmap.replicas_of(redcr_mpi::Rank::new(v as u32))[0];
+            let slot = std::mem::replace(&mut self.results[phys.index()], Ok(T::default()));
+            out.push(slot?);
+        }
+        Ok(out)
+    }
+}
+
+// Keep MpiError in the public surface for doc links.
+const _: Option<MpiError> = None;

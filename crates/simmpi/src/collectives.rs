@@ -1,0 +1,179 @@
+//! Reduction operators and payload framing used by the collective
+//! operations.
+//!
+//! All collectives are implemented *over point-to-point messages* with fixed
+//! deterministic trees (see [`Communicator`](crate::Communicator)); this
+//! matches the paper's observation that "all collective communication in MPI
+//! is based on point-to-point MPI messages", which is what lets the
+//! replication layer cover collectives by interposing only on point-to-point
+//! calls.
+
+use bytes::Bytes;
+
+use crate::error::{MpiError, Result};
+
+/// Commutative, associative reduction operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise product.
+    Prod,
+    /// Element-wise minimum.
+    Min,
+    /// Element-wise maximum.
+    Max,
+}
+
+impl ReduceOp {
+    /// Combines two `f64` operands.
+    pub fn combine_f64(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Prod => a * b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+
+    /// Combines two `u64` operands (saturating for sum/product).
+    pub fn combine_u64(self, a: u64, b: u64) -> u64 {
+        match self {
+            ReduceOp::Sum => a.saturating_add(b),
+            ReduceOp::Prod => a.saturating_mul(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+
+    /// Element-wise in-place combination `acc[i] = op(acc[i], x[i])`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpiError::CollectiveMismatch`] when lengths differ.
+    pub fn fold_f64(self, acc: &mut [f64], x: &[f64]) -> Result<()> {
+        if acc.len() != x.len() {
+            return Err(MpiError::CollectiveMismatch { what: "reduce operand lengths differ" });
+        }
+        for (a, b) in acc.iter_mut().zip(x) {
+            *a = self.combine_f64(*a, *b);
+        }
+        Ok(())
+    }
+
+    /// Element-wise in-place combination for `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpiError::CollectiveMismatch`] when lengths differ.
+    pub fn fold_u64(self, acc: &mut [u64], x: &[u64]) -> Result<()> {
+        if acc.len() != x.len() {
+            return Err(MpiError::CollectiveMismatch { what: "reduce operand lengths differ" });
+        }
+        for (a, b) in acc.iter_mut().zip(x) {
+            *a = self.combine_u64(*a, *b);
+        }
+        Ok(())
+    }
+}
+
+/// Frames a list of byte chunks into one length-prefixed buffer
+/// (used by allgather: gather to root, broadcast the framed buffer).
+pub fn frame_parts(parts: &[Bytes]) -> Bytes {
+    let total: usize = parts.iter().map(|p| 8 + p.len()).sum();
+    let mut out = Vec::with_capacity(8 + total);
+    out.extend_from_slice(&(parts.len() as u64).to_le_bytes());
+    for p in parts {
+        out.extend_from_slice(&(p.len() as u64).to_le_bytes());
+        out.extend_from_slice(p);
+    }
+    Bytes::from(out)
+}
+
+/// Inverse of [`frame_parts`].
+///
+/// # Errors
+///
+/// Returns [`MpiError::DecodeError`] on malformed framing.
+pub fn unframe_parts(buf: &Bytes) -> Result<Vec<Bytes>> {
+    let err = || MpiError::DecodeError { what: "framed parts" };
+    let mut offset = 0usize;
+    let take8 = |offset: &mut usize| -> Result<u64> {
+        let end = offset.checked_add(8).ok_or_else(err)?;
+        if end > buf.len() {
+            return Err(err());
+        }
+        let v = u64::from_le_bytes(buf[*offset..end].try_into().expect("8 bytes"));
+        *offset = end;
+        Ok(v)
+    };
+    let count = take8(&mut offset)? as usize;
+    let mut parts = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let len = take8(&mut offset)? as usize;
+        let end = offset.checked_add(len).ok_or_else(err)?;
+        if end > buf.len() {
+            return Err(err());
+        }
+        parts.push(buf.slice(offset..end));
+        offset = end;
+    }
+    if offset != buf.len() {
+        return Err(err());
+    }
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_f64_ops() {
+        assert_eq!(ReduceOp::Sum.combine_f64(2.0, 3.0), 5.0);
+        assert_eq!(ReduceOp::Prod.combine_f64(2.0, 3.0), 6.0);
+        assert_eq!(ReduceOp::Min.combine_f64(2.0, 3.0), 2.0);
+        assert_eq!(ReduceOp::Max.combine_f64(2.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn combine_u64_saturates() {
+        assert_eq!(ReduceOp::Sum.combine_u64(u64::MAX, 1), u64::MAX);
+        assert_eq!(ReduceOp::Prod.combine_u64(u64::MAX, 2), u64::MAX);
+    }
+
+    #[test]
+    fn fold_checks_lengths() {
+        let mut acc = vec![1.0, 2.0];
+        assert!(ReduceOp::Sum.fold_f64(&mut acc, &[1.0]).is_err());
+        ReduceOp::Sum.fold_f64(&mut acc, &[10.0, 20.0]).unwrap();
+        assert_eq!(acc, vec![11.0, 22.0]);
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let parts =
+            vec![Bytes::from_static(b"a"), Bytes::new(), Bytes::from_static(b"hello")];
+        let framed = frame_parts(&parts);
+        let back = unframe_parts(&framed).unwrap();
+        assert_eq!(back, parts);
+    }
+
+    #[test]
+    fn frame_empty_list() {
+        let framed = frame_parts(&[]);
+        assert!(unframe_parts(&framed).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unframe_rejects_garbage() {
+        assert!(unframe_parts(&Bytes::from_static(b"abc")).is_err());
+        // Count says 1 part but no length follows.
+        let framed = Bytes::from(1u64.to_le_bytes().to_vec());
+        assert!(unframe_parts(&framed).is_err());
+        // Trailing junk.
+        let mut buf = frame_parts(&[Bytes::from_static(b"x")]).to_vec();
+        buf.push(0);
+        assert!(unframe_parts(&Bytes::from(buf)).is_err());
+    }
+}

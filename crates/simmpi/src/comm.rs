@@ -1,0 +1,586 @@
+//! Concrete communicators: the world communicator [`Comm`] and derived
+//! sub-communicators [`SubComm`].
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::communicator::Communicator;
+use crate::error::{MpiError, Result};
+use crate::mailbox::RecvOutcome;
+use crate::message::{Envelope, Status};
+use crate::rank::{Rank, RankSelector};
+use crate::request::{Request, RequestKind};
+use crate::tag::{Namespace, Tag, TagSelector};
+use crate::time::VirtualClock;
+use crate::world::Shared;
+
+/// The world communicator of one rank: every rank's closure receives one.
+///
+/// `Comm` is `Send` (it can be created on the rank's own thread) but not
+/// `Sync`: a rank's communicator belongs to that rank's thread alone, like
+/// an `MPI_COMM_WORLD` handle.
+#[derive(Debug)]
+pub struct Comm {
+    shared: Arc<Shared>,
+    rank: Rank,
+    clock: Rc<VirtualClock>,
+    coll_seq: Cell<u64>,
+    next_comm_id: Rc<Cell<u16>>,
+}
+
+impl Comm {
+    pub(crate) fn new(shared: Arc<Shared>, rank: u32, start_time: f64) -> Self {
+        Comm {
+            shared,
+            rank: Rank::new(rank),
+            clock: Rc::new(VirtualClock::starting_at(start_time)),
+            coll_seq: Cell::new(0),
+            next_comm_id: Rc::new(Cell::new(1)),
+        }
+    }
+
+    pub(crate) fn shared(&self) -> &Shared {
+        &self.shared
+    }
+
+    pub(crate) fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Splits the world into sub-communicators by `color`; ranks with equal
+    /// color form one group, ordered by `(key, world rank)`. Collective over
+    /// the world communicator.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the run aborted.
+    pub fn split(&self, color: u64, key: u64) -> Result<SubComm> {
+        let my = crate::datatype::encode_u64s(&[color, key, self.rank.as_u32() as u64]);
+        let all = self.allgather(Bytes::from(my))?;
+        let mut members: Vec<(u64, u32)> = Vec::new();
+        for part in &all {
+            let vals = crate::datatype::decode_u64s(part)?;
+            if vals.len() != 3 {
+                return Err(MpiError::CollectiveMismatch { what: "split exchange payload" });
+            }
+            if vals[0] == color {
+                members.push((vals[1], vals[2] as u32));
+            }
+        }
+        members.sort_unstable();
+        let world_ranks: Vec<Rank> = members.iter().map(|&(_, r)| Rank::new(r)).collect();
+        let comm_id = self.allocate_comm_id();
+        SubComm::derive(self, world_ranks, comm_id)
+    }
+
+    /// Duplicates the world communicator into an isolated tag space.
+    /// Collective over the world communicator.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the run aborted.
+    pub fn dup(&self) -> Result<SubComm> {
+        // Synchronize so every rank allocates the same comm id at the same
+        // point in its collective sequence.
+        self.barrier()?;
+        let world_ranks: Vec<Rank> = (0..self.size()).map(|i| Rank::new(i as u32)).collect();
+        let comm_id = self.allocate_comm_id();
+        SubComm::derive(self, world_ranks, comm_id)
+    }
+
+    fn allocate_comm_id(&self) -> u16 {
+        let id = self.next_comm_id.get();
+        self.next_comm_id.set(id.checked_add(1).expect("communicator id space exhausted"));
+        id
+    }
+
+    /// Observed communication fraction α of this rank so far.
+    pub fn comm_fraction(&self) -> f64 {
+        self.clock.comm_fraction()
+    }
+
+    /// Charges `seconds` of communication-side overhead to this rank's
+    /// clock (used by interposition layers for work they add on the message
+    /// path, e.g. redundant-copy comparison).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpiError::Aborted`] if the clock crosses the abort horizon.
+    pub fn charge_comm(&self, seconds: f64) -> Result<()> {
+        self.check_abort()?;
+        self.clock.advance_comm(seconds);
+        self.check_abort()
+    }
+
+    fn check_abort(&self) -> Result<()> {
+        check_abort(&self.shared, &self.clock, self.rank)
+    }
+}
+
+fn check_abort(shared: &Shared, clock: &VirtualClock, rank: Rank) -> Result<()> {
+    if clock.now() >= shared.abort_horizon {
+        shared.trigger_abort();
+        return Err(MpiError::Aborted { rank, at: clock.now() });
+    }
+    if shared.is_aborted() {
+        return Err(MpiError::Aborted { rank, at: clock.now() });
+    }
+    Ok(())
+}
+
+/// Shared implementation of the point-to-point primitives, parameterized by
+/// the rank translation of the communicator.
+struct Endpoint<'a> {
+    shared: &'a Shared,
+    clock: &'a VirtualClock,
+    /// This rank's world rank.
+    world_rank: Rank,
+    /// This rank's communicator-level rank (for error reporting).
+    comm_rank: Rank,
+    comm_id: u16,
+}
+
+impl Endpoint<'_> {
+    fn check_abort(&self) -> Result<()> {
+        check_abort(self.shared, self.clock, self.comm_rank)
+    }
+
+    fn send(&self, world_dest: Rank, tag: Tag, data: Bytes, ns: Namespace) -> Result<()> {
+        self.check_abort()?;
+        if world_dest.index() >= self.shared.n {
+            return Err(MpiError::InvalidRank { rank: world_dest.index(), size: self.shared.n });
+        }
+        self.clock.advance_comm(self.shared.cost.msg_overhead);
+        self.shared.msgs_sent.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.shared
+            .bytes_sent
+            .fetch_add(data.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        self.shared.mailboxes[world_dest.index()].push(Envelope {
+            src: self.world_rank,
+            wire_tag: tag.wire(self.comm_id, ns),
+            payload: data,
+            send_time: self.clock.now(),
+        });
+        Ok(())
+    }
+
+    /// Receives with `src` given as a *world-rank* selector plus an optional
+    /// membership filter for `ANY_SOURCE` in sub-communicators.
+    fn recv(
+        &self,
+        src: RankSelector,
+        tag: TagSelector,
+        ns: Namespace,
+        member_filter: Option<&dyn Fn(Rank) -> bool>,
+    ) -> Result<Envelope> {
+        self.check_abort()?;
+        let comm_id = self.comm_id;
+        let pred = |e: &Envelope| {
+            matches_wire(e, comm_id, ns, tag)
+                && src.matches(e.src)
+                && member_filter.is_none_or(|f| f(e.src))
+        };
+        let mailbox = &self.shared.mailboxes[self.world_rank.index()];
+        match mailbox.recv_match(pred, || self.shared.is_aborted()) {
+            RecvOutcome::Matched(env) => {
+                let avail = self.shared.cost.availability(env.send_time, env.len());
+                self.clock.sync_to(avail);
+                self.clock.advance_comm(self.shared.cost.msg_overhead);
+                self.check_abort()?;
+                Ok(env)
+            }
+            RecvOutcome::Aborted => {
+                Err(MpiError::Aborted { rank: self.comm_rank, at: self.clock.now() })
+            }
+        }
+    }
+
+    fn iprobe(
+        &self,
+        src: RankSelector,
+        tag: TagSelector,
+        ns: Namespace,
+        member_filter: Option<&dyn Fn(Rank) -> bool>,
+    ) -> Result<Option<Envelope>> {
+        self.check_abort()?;
+        let comm_id = self.comm_id;
+        let pred = |e: &Envelope| {
+            matches_wire(e, comm_id, ns, tag)
+                && src.matches(e.src)
+                && member_filter.is_none_or(|f| f(e.src))
+        };
+        let mailbox = &self.shared.mailboxes[self.world_rank.index()];
+        if let Some(env) = mailbox.try_probe_match(pred) {
+            let avail = self.shared.cost.availability(env.send_time, env.len());
+            self.clock.sync_to(avail);
+            Ok(Some(env))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Non-blocking matched receive: consumes and returns the first
+    /// matching envelope if one is buffered.
+    fn try_recv(
+        &self,
+        src: RankSelector,
+        tag: TagSelector,
+        ns: Namespace,
+        member_filter: Option<&dyn Fn(Rank) -> bool>,
+    ) -> Result<Option<Envelope>> {
+        self.check_abort()?;
+        let comm_id = self.comm_id;
+        let pred = |e: &Envelope| {
+            matches_wire(e, comm_id, ns, tag)
+                && src.matches(e.src)
+                && member_filter.is_none_or(|f| f(e.src))
+        };
+        let mailbox = &self.shared.mailboxes[self.world_rank.index()];
+        match mailbox.try_recv_match(pred) {
+            Some(env) => {
+                let avail = self.shared.cost.availability(env.send_time, env.len());
+                self.clock.sync_to(avail);
+                self.clock.advance_comm(self.shared.cost.msg_overhead);
+                self.check_abort()?;
+                Ok(Some(env))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn probe(
+        &self,
+        src: RankSelector,
+        tag: TagSelector,
+        ns: Namespace,
+        member_filter: Option<&dyn Fn(Rank) -> bool>,
+    ) -> Result<Envelope> {
+        self.check_abort()?;
+        let comm_id = self.comm_id;
+        let pred = |e: &Envelope| {
+            matches_wire(e, comm_id, ns, tag)
+                && src.matches(e.src)
+                && member_filter.is_none_or(|f| f(e.src))
+        };
+        let mailbox = &self.shared.mailboxes[self.world_rank.index()];
+        match mailbox.probe_match(pred, || self.shared.is_aborted()) {
+            RecvOutcome::Matched(env) => {
+                let avail = self.shared.cost.availability(env.send_time, env.len());
+                self.clock.sync_to(avail);
+                self.check_abort()?;
+                Ok(env)
+            }
+            RecvOutcome::Aborted => {
+                Err(MpiError::Aborted { rank: self.comm_rank, at: self.clock.now() })
+            }
+        }
+    }
+}
+
+fn matches_wire(e: &Envelope, comm_id: u16, ns: Namespace, tag: TagSelector) -> bool {
+    if e.wire_tag.comm_id() != comm_id || e.wire_tag.namespace() != ns as u64 {
+        return false;
+    }
+    match tag {
+        TagSelector::Tag(t) => e.wire_tag.value() == t.value(),
+        TagSelector::Any => true,
+    }
+}
+
+impl Communicator for Comm {
+    type Request = Request;
+
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.shared.n
+    }
+
+    fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    fn compute(&self, seconds: f64) -> Result<()> {
+        self.check_abort()?;
+        self.clock.advance_compute(seconds);
+        self.check_abort()
+    }
+
+    fn send_ns(&self, dest: Rank, tag: Tag, data: Bytes, ns: Namespace) -> Result<()> {
+        self.endpoint().send(dest, tag, data, ns)
+    }
+
+    fn recv_ns(
+        &self,
+        src: RankSelector,
+        tag: TagSelector,
+        ns: Namespace,
+    ) -> Result<(Bytes, Status)> {
+        let env = self.endpoint().recv(src, tag, ns, None)?;
+        Ok(self.envelope_to_result(env))
+    }
+
+    fn isend(&self, dest: Rank, tag: Tag, data: Bytes) -> Result<Self::Request> {
+        self.send_ns(dest, tag, data, Namespace::User)?;
+        Ok(Request(RequestKind::Send))
+    }
+
+    fn irecv(&self, src: RankSelector, tag: TagSelector) -> Result<Self::Request> {
+        self.check_abort()?;
+        Ok(Request(RequestKind::Recv { src, tag }))
+    }
+
+    fn wait(&self, req: Self::Request) -> Result<Option<(Bytes, Status)>> {
+        match req.0 {
+            RequestKind::Send => Ok(None),
+            RequestKind::Recv { src, tag } => {
+                let (bytes, status) = self.recv_ns(src, tag, Namespace::User)?;
+                Ok(Some((bytes, status)))
+            }
+        }
+    }
+
+    fn iprobe(&self, src: RankSelector, tag: TagSelector) -> Result<Option<Status>> {
+        let env = self.endpoint().iprobe(src, tag, Namespace::User, None)?;
+        Ok(env.map(|e| self.envelope_to_result(e).1))
+    }
+
+    fn probe(&self, src: RankSelector, tag: TagSelector) -> Result<Status> {
+        let env = self.endpoint().probe(src, tag, Namespace::User, None)?;
+        Ok(self.envelope_to_result(env).1)
+    }
+
+    fn test(&self, req: Self::Request) -> Result<crate::TestOutcome<Self::Request>> {
+        match req.0 {
+            RequestKind::Send => Ok(crate::TestOutcome::Completed(None)),
+            RequestKind::Recv { src, tag } => {
+                match self.endpoint().try_recv(src, tag, Namespace::User, None)? {
+                    Some(env) => {
+                        Ok(crate::TestOutcome::Completed(Some(self.envelope_to_result(env))))
+                    }
+                    None => Ok(crate::TestOutcome::Pending(Request(RequestKind::Recv {
+                        src,
+                        tag,
+                    }))),
+                }
+            }
+        }
+    }
+
+    fn next_collective_seq(&self) -> u64 {
+        let s = self.coll_seq.get();
+        self.coll_seq.set(s + 1);
+        s
+    }
+}
+
+impl Comm {
+    fn endpoint(&self) -> Endpoint<'_> {
+        Endpoint {
+            shared: &self.shared,
+            clock: &self.clock,
+            world_rank: self.rank,
+            comm_rank: self.rank,
+            comm_id: 0,
+        }
+    }
+
+    fn envelope_to_result(&self, env: Envelope) -> (Bytes, Status) {
+        let status = Status {
+            source: env.src,
+            tag: env.wire_tag.user_tag(),
+            len: env.payload.len(),
+            completed_at: self.clock.now(),
+        };
+        (env.payload, status)
+    }
+}
+
+/// A communicator derived from the world by [`Comm::split`] or
+/// [`Comm::dup`]: a subset of world ranks with renumbered ranks and an
+/// isolated tag space.
+#[derive(Debug)]
+pub struct SubComm {
+    shared: Arc<Shared>,
+    clock: Rc<VirtualClock>,
+    coll_seq: Cell<u64>,
+    comm_id: u16,
+    /// Members in sub-rank order (world ranks).
+    members: Vec<Rank>,
+    /// Reverse map: world rank index → sub rank.
+    reverse: Vec<Option<u32>>,
+    my_sub_rank: Rank,
+    my_world_rank: Rank,
+}
+
+impl SubComm {
+    fn derive(parent: &Comm, members: Vec<Rank>, comm_id: u16) -> Result<Self> {
+        let mut reverse = vec![None; parent.shared.n];
+        for (i, wr) in members.iter().enumerate() {
+            reverse[wr.index()] = Some(i as u32);
+        }
+        let my_sub_rank = reverse[parent.rank.index()].map(Rank::new).ok_or(
+            MpiError::InvalidRank { rank: parent.rank.index(), size: members.len() },
+        )?;
+        Ok(SubComm {
+            shared: Arc::clone(&parent.shared),
+            clock: Rc::clone(&parent.clock),
+            coll_seq: Cell::new(0),
+            comm_id,
+            members,
+            reverse,
+            my_sub_rank,
+            my_world_rank: parent.rank,
+        })
+    }
+
+    /// The world ranks of the members, in sub-rank order.
+    pub fn members(&self) -> &[Rank] {
+        &self.members
+    }
+
+    fn endpoint(&self) -> Endpoint<'_> {
+        Endpoint {
+            shared: &self.shared,
+            clock: &self.clock,
+            world_rank: self.my_world_rank,
+            comm_rank: self.my_sub_rank,
+            comm_id: self.comm_id,
+        }
+    }
+
+    fn to_world(&self, sub: Rank) -> Result<Rank> {
+        self.members
+            .get(sub.index())
+            .copied()
+            .ok_or(MpiError::InvalidRank { rank: sub.index(), size: self.members.len() })
+    }
+
+    fn to_sub(&self, world: Rank) -> Rank {
+        Rank::new(self.reverse[world.index()].expect("sender is a member"))
+    }
+
+    fn translate_selector(&self, src: RankSelector) -> Result<RankSelector> {
+        Ok(match src {
+            RankSelector::Rank(r) => RankSelector::Rank(self.to_world(r)?),
+            RankSelector::Any => RankSelector::Any,
+        })
+    }
+
+    fn envelope_to_result(&self, env: Envelope) -> (Bytes, Status) {
+        let status = Status {
+            source: self.to_sub(env.src),
+            tag: env.wire_tag.user_tag(),
+            len: env.payload.len(),
+            completed_at: self.clock.now(),
+        };
+        (env.payload, status)
+    }
+
+    fn member_filter(&self) -> impl Fn(Rank) -> bool + '_ {
+        move |world: Rank| self.reverse[world.index()].is_some()
+    }
+}
+
+impl Communicator for SubComm {
+    type Request = Request;
+
+    fn rank(&self) -> Rank {
+        self.my_sub_rank
+    }
+
+    fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    fn compute(&self, seconds: f64) -> Result<()> {
+        check_abort(&self.shared, &self.clock, self.my_sub_rank)?;
+        self.clock.advance_compute(seconds);
+        check_abort(&self.shared, &self.clock, self.my_sub_rank)
+    }
+
+    fn send_ns(&self, dest: Rank, tag: Tag, data: Bytes, ns: Namespace) -> Result<()> {
+        let world_dest = self.to_world(dest)?;
+        self.endpoint().send(world_dest, tag, data, ns)
+    }
+
+    fn recv_ns(
+        &self,
+        src: RankSelector,
+        tag: TagSelector,
+        ns: Namespace,
+    ) -> Result<(Bytes, Status)> {
+        let world_src = self.translate_selector(src)?;
+        let filter = self.member_filter();
+        let env = self.endpoint().recv(world_src, tag, ns, Some(&filter))?;
+        Ok(self.envelope_to_result(env))
+    }
+
+    fn isend(&self, dest: Rank, tag: Tag, data: Bytes) -> Result<Self::Request> {
+        self.send_ns(dest, tag, data, Namespace::User)?;
+        Ok(Request(RequestKind::Send))
+    }
+
+    fn irecv(&self, src: RankSelector, tag: TagSelector) -> Result<Self::Request> {
+        check_abort(&self.shared, &self.clock, self.my_sub_rank)?;
+        Ok(Request(RequestKind::Recv { src, tag }))
+    }
+
+    fn wait(&self, req: Self::Request) -> Result<Option<(Bytes, Status)>> {
+        match req.0 {
+            RequestKind::Send => Ok(None),
+            RequestKind::Recv { src, tag } => {
+                let (bytes, status) = self.recv_ns(src, tag, Namespace::User)?;
+                Ok(Some((bytes, status)))
+            }
+        }
+    }
+
+    fn iprobe(&self, src: RankSelector, tag: TagSelector) -> Result<Option<Status>> {
+        let world_src = self.translate_selector(src)?;
+        let filter = self.member_filter();
+        let env = self.endpoint().iprobe(world_src, tag, Namespace::User, Some(&filter))?;
+        Ok(env.map(|e| self.envelope_to_result(e).1))
+    }
+
+    fn probe(&self, src: RankSelector, tag: TagSelector) -> Result<Status> {
+        let world_src = self.translate_selector(src)?;
+        let filter = self.member_filter();
+        let env = self.endpoint().probe(world_src, tag, Namespace::User, Some(&filter))?;
+        Ok(self.envelope_to_result(env).1)
+    }
+
+    fn test(&self, req: Self::Request) -> Result<crate::TestOutcome<Self::Request>> {
+        match req.0 {
+            RequestKind::Send => Ok(crate::TestOutcome::Completed(None)),
+            RequestKind::Recv { src, tag } => {
+                let world_src = self.translate_selector(src)?;
+                let filter = self.member_filter();
+                match self.endpoint().try_recv(world_src, tag, Namespace::User, Some(&filter))? {
+                    Some(env) => {
+                        Ok(crate::TestOutcome::Completed(Some(self.envelope_to_result(env))))
+                    }
+                    None => Ok(crate::TestOutcome::Pending(Request(RequestKind::Recv {
+                        src,
+                        tag,
+                    }))),
+                }
+            }
+        }
+    }
+
+    fn next_collective_seq(&self) -> u64 {
+        let s = self.coll_seq.get();
+        self.coll_seq.set(s + 1);
+        s
+    }
+}

@@ -1,0 +1,653 @@
+//! The [`Communicator`] trait: the MPI-like call surface shared by the base
+//! runtime ([`Comm`](crate::Comm), [`SubComm`](crate::SubComm)) and the
+//! replication layer (`redcr_red::ReplicaComm`).
+//!
+//! Applications written against this trait run unchanged with or without
+//! redundancy — the transparency property of the paper's RedMPI design.
+
+use bytes::Bytes;
+
+use crate::collectives::{frame_parts, unframe_parts, ReduceOp};
+use crate::datatype;
+use crate::error::Result;
+use crate::message::Status;
+use crate::rank::{Rank, RankSelector};
+use crate::request::TestOutcome;
+use crate::tag::{Namespace, Tag, TagSelector};
+
+/// An MPI-like communicator.
+///
+/// # Required methods
+///
+/// Implementations provide point-to-point primitives (`send_ns`/`recv_ns`
+/// plus the non-blocking trio), clock access, and a deterministic collective
+/// sequence counter. Everything else — typed sends, send-receive, wait-all,
+/// and all collectives — is provided on top, so an implementation that
+/// interposes on the point-to-point primitives (like the replication layer)
+/// automatically covers the collectives as well.
+pub trait Communicator {
+    /// Handle for a pending non-blocking operation.
+    type Request;
+
+    /// This process's rank within the communicator.
+    fn rank(&self) -> Rank;
+
+    /// Number of ranks in the communicator.
+    fn size(&self) -> usize;
+
+    /// Current virtual time of this rank, seconds.
+    fn now(&self) -> f64;
+
+    /// Advances this rank's virtual clock by `seconds` of computation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpiError::Aborted`](crate::MpiError::Aborted) if the clock
+    /// crosses the abort horizon.
+    fn compute(&self, seconds: f64) -> Result<()>;
+
+    /// Sends `data` to `dest` with `tag` in namespace `ns`.
+    ///
+    /// Sends are eager and never block. This is the single choke point all
+    /// outgoing traffic (including collectives) flows through.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid destination or if the run aborted.
+    fn send_ns(&self, dest: Rank, tag: Tag, data: Bytes, ns: Namespace) -> Result<()>;
+
+    /// Receives the next message matching `src`/`tag` in namespace `ns`,
+    /// blocking until one arrives. This is the single choke point all
+    /// incoming traffic flows through.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the run aborted while waiting.
+    fn recv_ns(
+        &self,
+        src: RankSelector,
+        tag: TagSelector,
+        ns: Namespace,
+    ) -> Result<(Bytes, Status)>;
+
+    /// Starts a non-blocking send of user-namespace data.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`send_ns`](Self::send_ns).
+    fn isend(&self, dest: Rank, tag: Tag, data: Bytes) -> Result<Self::Request>;
+
+    /// Posts a non-blocking user-namespace receive.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the run aborted.
+    fn irecv(&self, src: RankSelector, tag: TagSelector) -> Result<Self::Request>;
+
+    /// Completes a non-blocking operation. Send requests yield `None`;
+    /// receive requests yield the payload and status.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the run aborted while waiting.
+    fn wait(&self, req: Self::Request) -> Result<Option<(Bytes, Status)>>;
+
+    /// Non-blocking probe for a matching user-namespace message.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the run aborted.
+    fn iprobe(&self, src: RankSelector, tag: TagSelector) -> Result<Option<Status>>;
+
+    /// Blocking probe: waits until a matching user-namespace message is
+    /// available and returns its status without consuming it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the run aborted while waiting.
+    fn probe(&self, src: RankSelector, tag: TagSelector) -> Result<Status>;
+
+    /// Non-blocking completion test, mirroring `MPI_Test`: completes the
+    /// operation if it can finish promptly, otherwise hands the request
+    /// back. Implementations may conservatively report
+    /// [`TestOutcome::Pending`] for operations they cannot test cheaply
+    /// (e.g. wildcard receives under replication).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the run aborted.
+    fn test(&self, req: Self::Request) -> Result<TestOutcome<Self::Request>>;
+
+    /// Returns the next collective sequence number. Every rank calls
+    /// collectives in the same order, so the sequence is identical across
+    /// ranks and yields collision-free collective tags.
+    fn next_collective_seq(&self) -> u64;
+
+    // ------------------------------------------------------------------
+    // Provided point-to-point conveniences
+    // ------------------------------------------------------------------
+
+    /// Blocking user-namespace send (copies `data`).
+    ///
+    /// # Errors
+    ///
+    /// See [`send_ns`](Self::send_ns).
+    fn send(&self, dest: Rank, tag: Tag, data: &[u8]) -> Result<()> {
+        self.send_ns(dest, tag, Bytes::copy_from_slice(data), Namespace::User)
+    }
+
+    /// Blocking user-namespace send of an owned buffer (no copy).
+    ///
+    /// # Errors
+    ///
+    /// See [`send_ns`](Self::send_ns).
+    fn send_bytes(&self, dest: Rank, tag: Tag, data: Bytes) -> Result<()> {
+        self.send_ns(dest, tag, data, Namespace::User)
+    }
+
+    /// Blocking user-namespace receive.
+    ///
+    /// # Errors
+    ///
+    /// See [`recv_ns`](Self::recv_ns).
+    fn recv(&self, src: RankSelector, tag: TagSelector) -> Result<(Bytes, Status)> {
+        self.recv_ns(src, tag, Namespace::User)
+    }
+
+    /// Combined send and receive (both complete before returning).
+    ///
+    /// # Errors
+    ///
+    /// See [`send_ns`](Self::send_ns) and [`recv_ns`](Self::recv_ns).
+    fn sendrecv(
+        &self,
+        dest: Rank,
+        send_tag: Tag,
+        data: &[u8],
+        src: RankSelector,
+        recv_tag: TagSelector,
+    ) -> Result<(Bytes, Status)> {
+        self.send(dest, send_tag, data)?;
+        self.recv(src, recv_tag)
+    }
+
+    /// Waits for *one* of the requests to complete, mirroring
+    /// `MPI_Waitany`: polls with [`test`](Self::test) a bounded number of
+    /// rounds, then blocks on the first remaining request. Returns the
+    /// completed request's index (within the input order), its result, and
+    /// the still-pending requests (in their original relative order).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error encountered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reqs` is empty.
+    #[allow(clippy::type_complexity)] // (index, recv payload, remaining) mirrors MPI_Waitany
+    fn waitany(
+        &self,
+        reqs: Vec<Self::Request>,
+    ) -> Result<(usize, Option<(Bytes, Status)>, Vec<Self::Request>)>
+    where
+        Self: Sized,
+    {
+        assert!(!reqs.is_empty(), "waitany needs at least one request");
+        let mut slots: Vec<Option<Self::Request>> = reqs.into_iter().map(Some).collect();
+        for _round in 0..64 {
+            for i in 0..slots.len() {
+                let req = slots[i].take().expect("slot filled until completed");
+                match self.test(req)? {
+                    TestOutcome::Completed(out) => {
+                        let rest: Vec<Self::Request> = slots.into_iter().flatten().collect();
+                        return Ok((i, out, rest));
+                    }
+                    TestOutcome::Pending(req) => slots[i] = Some(req),
+                }
+            }
+            std::thread::yield_now();
+        }
+        // Nothing completed promptly: block on the first request.
+        let first = slots[0].take().expect("first slot present");
+        let out = self.wait(first)?;
+        let rest: Vec<Self::Request> = slots.into_iter().flatten().collect();
+        Ok((0, out, rest))
+    }
+
+    /// Waits for every request, returning results in request order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error; remaining requests are abandoned.
+    fn waitall(
+        &self,
+        reqs: impl IntoIterator<Item = Self::Request>,
+    ) -> Result<Vec<Option<(Bytes, Status)>>>
+    where
+        Self: Sized,
+    {
+        reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Provided typed conveniences
+    // ------------------------------------------------------------------
+
+    /// Sends a slice of `f64` values.
+    ///
+    /// # Errors
+    ///
+    /// See [`send_ns`](Self::send_ns).
+    fn send_f64s(&self, dest: Rank, tag: Tag, values: &[f64]) -> Result<()> {
+        self.send_bytes(dest, tag, Bytes::from(datatype::encode_f64s(values)))
+    }
+
+    /// Receives a slice of `f64` values.
+    ///
+    /// # Errors
+    ///
+    /// Decoding fails if the payload length is not a multiple of 8.
+    fn recv_f64s(&self, src: RankSelector, tag: TagSelector) -> Result<(Vec<f64>, Status)> {
+        let (bytes, status) = self.recv(src, tag)?;
+        Ok((datatype::decode_f64s(&bytes)?, status))
+    }
+
+    /// Sends a slice of `u64` values.
+    ///
+    /// # Errors
+    ///
+    /// See [`send_ns`](Self::send_ns).
+    fn send_u64s(&self, dest: Rank, tag: Tag, values: &[u64]) -> Result<()> {
+        self.send_bytes(dest, tag, Bytes::from(datatype::encode_u64s(values)))
+    }
+
+    /// Receives a slice of `u64` values.
+    ///
+    /// # Errors
+    ///
+    /// Decoding fails if the payload length is not a multiple of 8.
+    fn recv_u64s(&self, src: RankSelector, tag: TagSelector) -> Result<(Vec<u64>, Status)> {
+        let (bytes, status) = self.recv(src, tag)?;
+        Ok((datatype::decode_u64s(&bytes)?, status))
+    }
+
+    // ------------------------------------------------------------------
+    // Provided collectives (deterministic trees over point-to-point)
+    // ------------------------------------------------------------------
+
+    /// Synchronizes all ranks (dissemination barrier, ⌈log₂ n⌉ rounds).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the run aborted.
+    fn barrier(&self) -> Result<()>
+    where
+        Self: Sized,
+    {
+        let n = self.size();
+        if n == 1 {
+            return Ok(());
+        }
+        let seq = self.next_collective_seq();
+        let me = self.rank();
+        let mut round = 0u64;
+        let mut dist = 1usize;
+        while dist < n {
+            let tag = coll_tag(seq, round);
+            let to = me.offset(dist as i64, n);
+            let from = me.offset(-(dist as i64), n);
+            self.send_ns(to, tag, Bytes::new(), Namespace::Collective)?;
+            self.recv_ns(RankSelector::Rank(from), TagSelector::Tag(tag), Namespace::Collective)?;
+            dist <<= 1;
+            round += 1;
+        }
+        Ok(())
+    }
+
+    /// Broadcasts `data` from `root` (binomial tree). Every rank returns the
+    /// broadcast payload; non-roots pass `Bytes::new()` (ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the run aborted.
+    fn bcast(&self, root: Rank, data: Bytes) -> Result<Bytes>
+    where
+        Self: Sized,
+    {
+        let n = self.size();
+        let seq = self.next_collective_seq();
+        let tag = coll_tag(seq, 0);
+        if n == 1 {
+            return Ok(data);
+        }
+        let me = self.rank().index();
+        let relative = (me + n - root.index()) % n;
+        let mut payload = data;
+
+        // Receive phase: find the bit that identifies our parent.
+        let mut mask = 1usize;
+        while mask < n {
+            if relative & mask != 0 {
+                let src = Rank::new(((relative - mask + root.index()) % n) as u32);
+                let (bytes, _) = self.recv_ns(
+                    RankSelector::Rank(src),
+                    TagSelector::Tag(tag),
+                    Namespace::Collective,
+                )?;
+                payload = bytes;
+                break;
+            }
+            mask <<= 1;
+        }
+        // Send phase: forward to children below our bit.
+        mask >>= 1;
+        while mask > 0 {
+            if relative + mask < n {
+                let dst = Rank::new(((relative + mask + root.index()) % n) as u32);
+                self.send_ns(dst, tag, payload.clone(), Namespace::Collective)?;
+            }
+            mask >>= 1;
+        }
+        Ok(payload)
+    }
+
+    /// Reduces element-wise to `root` (binomial tree, fixed combine order).
+    /// Returns `Some(result)` on the root, `None` elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on abort or operand length mismatch.
+    fn reduce_f64(&self, root: Rank, values: &[f64], op: ReduceOp) -> Result<Option<Vec<f64>>>
+    where
+        Self: Sized,
+    {
+        let n = self.size();
+        let seq = self.next_collective_seq();
+        let tag = coll_tag(seq, 0);
+        let me = self.rank().index();
+        let relative = (me + n - root.index()) % n;
+        let mut acc = values.to_vec();
+
+        let mut mask = 1usize;
+        while mask < n {
+            if relative & mask == 0 {
+                let source = relative | mask;
+                if source < n {
+                    let src = Rank::new(((source + root.index()) % n) as u32);
+                    let (bytes, _) = self.recv_ns(
+                        RankSelector::Rank(src),
+                        TagSelector::Tag(tag),
+                        Namespace::Collective,
+                    )?;
+                    let incoming = datatype::decode_f64s(&bytes)?;
+                    op.fold_f64(&mut acc, &incoming)?;
+                }
+            } else {
+                let dest_rel = relative & !mask;
+                let dst = Rank::new(((dest_rel + root.index()) % n) as u32);
+                self.send_ns(
+                    dst,
+                    tag,
+                    Bytes::from(datatype::encode_f64s(&acc)),
+                    Namespace::Collective,
+                )?;
+                return Ok(None);
+            }
+            mask <<= 1;
+        }
+        Ok(Some(acc))
+    }
+
+    /// All-reduce: reduce to rank 0 then broadcast (every rank returns the
+    /// reduced vector).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on abort or operand length mismatch.
+    fn allreduce_f64(&self, values: &[f64], op: ReduceOp) -> Result<Vec<f64>>
+    where
+        Self: Sized,
+    {
+        let root = Rank::new(0);
+        let reduced = self.reduce_f64(root, values, op)?;
+        let payload = match reduced {
+            Some(v) => Bytes::from(datatype::encode_f64s(&v)),
+            None => Bytes::new(),
+        };
+        let out = self.bcast(root, payload)?;
+        datatype::decode_f64s(&out)
+    }
+
+    /// All-reduce for `u64` vectors (used by coordination protocols).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on abort or operand length mismatch.
+    fn allreduce_u64(&self, values: &[u64], op: ReduceOp) -> Result<Vec<u64>>
+    where
+        Self: Sized,
+    {
+        let n = self.size();
+        let seq = self.next_collective_seq();
+        let tag = coll_tag(seq, 0);
+        let me = self.rank().index();
+        let mut acc = values.to_vec();
+        // Reduce to rank 0 (binomial, root fixed at 0).
+        let mut mask = 1usize;
+        let mut is_root_holder = true;
+        while mask < n {
+            if me & mask == 0 {
+                let source = me | mask;
+                if source < n {
+                    let (bytes, _) = self.recv_ns(
+                        RankSelector::Rank(Rank::new(source as u32)),
+                        TagSelector::Tag(tag),
+                        Namespace::Collective,
+                    )?;
+                    let incoming = datatype::decode_u64s(&bytes)?;
+                    op.fold_u64(&mut acc, &incoming)?;
+                }
+            } else {
+                let dst = Rank::new((me & !mask) as u32);
+                self.send_ns(
+                    dst,
+                    tag,
+                    Bytes::from(datatype::encode_u64s(&acc)),
+                    Namespace::Collective,
+                )?;
+                is_root_holder = false;
+                break;
+            }
+            mask <<= 1;
+        }
+        let payload = if is_root_holder && me == 0 {
+            Bytes::from(datatype::encode_u64s(&acc))
+        } else {
+            Bytes::new()
+        };
+        let out = self.bcast(Rank::new(0), payload)?;
+        datatype::decode_u64s(&out)
+    }
+
+    /// Gathers every rank's `data` to `root` (linear). Returns
+    /// `Some(parts_in_rank_order)` on the root, `None` elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the run aborted.
+    fn gather(&self, root: Rank, data: Bytes) -> Result<Option<Vec<Bytes>>>
+    where
+        Self: Sized,
+    {
+        let n = self.size();
+        let seq = self.next_collective_seq();
+        let tag = coll_tag(seq, 0);
+        if self.rank() == root {
+            let mut parts = Vec::with_capacity(n);
+            for i in 0..n {
+                if i == root.index() {
+                    parts.push(data.clone());
+                } else {
+                    let (bytes, _) = self.recv_ns(
+                        RankSelector::Rank(Rank::new(i as u32)),
+                        TagSelector::Tag(tag),
+                        Namespace::Collective,
+                    )?;
+                    parts.push(bytes);
+                }
+            }
+            Ok(Some(parts))
+        } else {
+            self.send_ns(root, tag, data, Namespace::Collective)?;
+            Ok(None)
+        }
+    }
+
+    /// All-gather: every rank returns all ranks' payloads in rank order
+    /// (gather to 0 + broadcast of the framed parts).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the run aborted.
+    fn allgather(&self, data: Bytes) -> Result<Vec<Bytes>>
+    where
+        Self: Sized,
+    {
+        let root = Rank::new(0);
+        let gathered = self.gather(root, data)?;
+        let framed = match gathered {
+            Some(parts) => frame_parts(&parts),
+            None => Bytes::new(),
+        };
+        let out = self.bcast(root, framed)?;
+        unframe_parts(&out)
+    }
+
+    /// Scatters `parts` from `root` (only the root's `parts` is consulted;
+    /// it must contain exactly `size()` entries). Returns this rank's part.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpiError::CollectiveMismatch`](crate::MpiError::CollectiveMismatch)
+    /// if the root's `parts` has the wrong length, or an abort error.
+    fn scatter(&self, root: Rank, parts: Option<Vec<Bytes>>) -> Result<Bytes>
+    where
+        Self: Sized,
+    {
+        let n = self.size();
+        let seq = self.next_collective_seq();
+        let tag = coll_tag(seq, 0);
+        if self.rank() == root {
+            let parts = parts.ok_or(crate::MpiError::CollectiveMismatch {
+                what: "scatter root must supply parts",
+            })?;
+            if parts.len() != n {
+                return Err(crate::MpiError::CollectiveMismatch {
+                    what: "scatter parts length != communicator size",
+                });
+            }
+            let mut own = Bytes::new();
+            for (i, part) in parts.into_iter().enumerate() {
+                if i == root.index() {
+                    own = part;
+                } else {
+                    self.send_ns(Rank::new(i as u32), tag, part, Namespace::Collective)?;
+                }
+            }
+            Ok(own)
+        } else {
+            let (bytes, _) = self.recv_ns(
+                RankSelector::Rank(root),
+                TagSelector::Tag(tag),
+                Namespace::Collective,
+            )?;
+            Ok(bytes)
+        }
+    }
+
+    /// All-to-all personalized exchange: `parts[i]` goes to rank `i`;
+    /// returns the parts received from each rank, in rank order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpiError::CollectiveMismatch`](crate::MpiError::CollectiveMismatch)
+    /// if `parts.len() != size()`, or an abort error.
+    fn alltoall(&self, parts: Vec<Bytes>) -> Result<Vec<Bytes>>
+    where
+        Self: Sized,
+    {
+        let n = self.size();
+        if parts.len() != n {
+            return Err(crate::MpiError::CollectiveMismatch {
+                what: "alltoall parts length != communicator size",
+            });
+        }
+        let seq = self.next_collective_seq();
+        let tag = coll_tag(seq, 0);
+        let me = self.rank().index();
+        let mut out: Vec<Option<Bytes>> = vec![None; n];
+        // Eager sends never block, so send everything first.
+        for (i, part) in parts.into_iter().enumerate() {
+            if i == me {
+                out[i] = Some(part);
+            } else {
+                self.send_ns(Rank::new(i as u32), tag, part, Namespace::Collective)?;
+            }
+        }
+        for (i, slot) in out.iter_mut().enumerate() {
+            if i != me {
+                let (bytes, _) = self.recv_ns(
+                    RankSelector::Rank(Rank::new(i as u32)),
+                    TagSelector::Tag(tag),
+                    Namespace::Collective,
+                )?;
+                *slot = Some(bytes);
+            }
+        }
+        Ok(out.into_iter().map(|o| o.expect("all slots filled")).collect())
+    }
+
+    /// Inclusive prefix reduction (linear chain): rank `i` returns
+    /// `op(values₀, …, valuesᵢ)` element-wise.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on abort or operand length mismatch.
+    fn scan_f64(&self, values: &[f64], op: ReduceOp) -> Result<Vec<f64>>
+    where
+        Self: Sized,
+    {
+        let n = self.size();
+        let seq = self.next_collective_seq();
+        let tag = coll_tag(seq, 0);
+        let me = self.rank().index();
+        let mut acc = values.to_vec();
+        if me > 0 {
+            let (bytes, _) = self.recv_ns(
+                RankSelector::Rank(Rank::new((me - 1) as u32)),
+                TagSelector::Tag(tag),
+                Namespace::Collective,
+            )?;
+            let prefix = datatype::decode_f64s(&bytes)?;
+            // acc = op(prefix, mine) — fixed order for determinism.
+            let mut combined = prefix;
+            op.fold_f64(&mut combined, &acc)?;
+            acc = combined;
+        }
+        if me + 1 < n {
+            self.send_ns(
+                Rank::new((me + 1) as u32),
+                tag,
+                Bytes::from(datatype::encode_f64s(&acc)),
+                Namespace::Collective,
+            )?;
+        }
+        Ok(acc)
+    }
+}
+
+/// Builds the collective wire tag for sequence `seq`, round `round`.
+pub(crate) fn coll_tag(seq: u64, round: u64) -> Tag {
+    debug_assert!(round < 64);
+    Tag::new(((seq << 6) | round) & crate::tag::MAX_USER_TAG)
+}

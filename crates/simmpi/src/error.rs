@@ -1,0 +1,100 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::rank::Rank;
+
+/// Result alias for runtime operations.
+pub type Result<T> = std::result::Result<T, MpiError>;
+
+/// Errors produced by the message-passing runtime.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MpiError {
+    /// The run crossed its abort horizon (fail-stop injection): the rank
+    /// observed a virtual time at or past the horizon, or was woken from a
+    /// blocking call because another rank aborted.
+    Aborted {
+        /// The rank that observed the abort.
+        rank: Rank,
+        /// The rank's virtual time when the abort was observed, seconds.
+        at: f64,
+    },
+    /// A rank index was outside the communicator.
+    InvalidRank {
+        /// The offending rank index.
+        rank: usize,
+        /// Size of the communicator.
+        size: usize,
+    },
+    /// A tag outside the user-allowed range was supplied.
+    InvalidTag {
+        /// The offending tag value.
+        tag: u64,
+    },
+    /// A payload failed typed decoding (length not a multiple of the item
+    /// size, or trailing bytes).
+    DecodeError {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// The application closure of another rank panicked or the runtime
+    /// state was poisoned.
+    RankPanicked {
+        /// The rank whose closure panicked.
+        rank: usize,
+    },
+    /// A collective was invoked with inconsistent arguments across ranks
+    /// (e.g. mismatched reduce lengths).
+    CollectiveMismatch {
+        /// Description of the inconsistency.
+        what: &'static str,
+    },
+    /// An application- or service-level failure surfaced through the
+    /// runtime (e.g. a checkpoint service error inside a rank closure).
+    App {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::Aborted { rank, at } => {
+                write!(f, "run aborted at virtual time {at:.6}s (observed by rank {rank})")
+            }
+            MpiError::InvalidRank { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+            MpiError::InvalidTag { tag } => write!(f, "tag {tag} outside the user tag range"),
+            MpiError::DecodeError { what } => write!(f, "failed to decode payload as {what}"),
+            MpiError::RankPanicked { rank } => write!(f, "rank {rank} panicked"),
+            MpiError::CollectiveMismatch { what } => {
+                write!(f, "collective argument mismatch: {what}")
+            }
+            MpiError::App { what } => write!(f, "application failure: {what}"),
+        }
+    }
+}
+
+impl Error for MpiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let e = MpiError::InvalidRank { rank: 9, size: 4 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+        let e = MpiError::Aborted { rank: Rank::new(2), at: 1.5 };
+        assert!(e.to_string().contains("aborted"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<MpiError>();
+    }
+}

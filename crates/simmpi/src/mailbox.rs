@@ -1,0 +1,208 @@
+//! Per-rank mailboxes: unbounded buffered delivery with predicate matching.
+//!
+//! Sends are *eager*: the sender deposits the envelope into the receiver's
+//! mailbox and continues (never blocks). Receives scan the mailbox for the
+//! first envelope matching a predicate — per-(source, tag) arrival order is
+//! the sender's send order, so matching is FIFO per channel like MPI — and
+//! block on a condition variable until a match arrives or the world aborts.
+
+use std::collections::VecDeque;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::message::Envelope;
+
+/// A rank's incoming-message buffer.
+#[derive(Debug, Default)]
+pub struct Mailbox {
+    inner: Mutex<VecDeque<Envelope>>,
+    cond: Condvar,
+}
+
+/// Outcome of a blocking matched receive.
+#[derive(Debug)]
+pub enum RecvOutcome {
+    /// A matching envelope was found and removed.
+    Matched(Envelope),
+    /// The world aborted while waiting.
+    Aborted,
+}
+
+impl Mailbox {
+    /// Creates an empty mailbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposits an envelope and wakes any waiting receiver.
+    pub fn push(&self, env: Envelope) {
+        let mut q = self.inner.lock();
+        q.push_back(env);
+        drop(q);
+        self.cond.notify_all();
+    }
+
+    /// Removes and returns the first envelope matching `pred`, blocking
+    /// until one arrives. `is_aborted` is polled on every wake-up; when it
+    /// returns true the wait ends with [`RecvOutcome::Aborted`].
+    pub fn recv_match(
+        &self,
+        mut pred: impl FnMut(&Envelope) -> bool,
+        is_aborted: impl Fn() -> bool,
+    ) -> RecvOutcome {
+        let mut q = self.inner.lock();
+        loop {
+            if let Some(pos) = q.iter().position(&mut pred) {
+                let env = q.remove(pos).expect("position just found");
+                return RecvOutcome::Matched(env);
+            }
+            if is_aborted() {
+                return RecvOutcome::Aborted;
+            }
+            self.cond.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking variant of [`recv_match`](Self::recv_match): removes and
+    /// returns the first match, or `None` if no envelope currently matches.
+    pub fn try_recv_match(&self, mut pred: impl FnMut(&Envelope) -> bool) -> Option<Envelope> {
+        let mut q = self.inner.lock();
+        let pos = q.iter().position(&mut pred)?;
+        q.remove(pos)
+    }
+
+    /// Blocking probe: waits until an envelope matches `pred` and returns a
+    /// *clone* of it without removing it from the mailbox.
+    pub fn probe_match(
+        &self,
+        mut pred: impl FnMut(&Envelope) -> bool,
+        is_aborted: impl Fn() -> bool,
+    ) -> RecvOutcome {
+        let mut q = self.inner.lock();
+        loop {
+            if let Some(env) = q.iter().find(|e| pred(e)) {
+                return RecvOutcome::Matched(env.clone());
+            }
+            if is_aborted() {
+                return RecvOutcome::Aborted;
+            }
+            self.cond.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking probe: clone of the first matching envelope, if any.
+    pub fn try_probe_match(&self, mut pred: impl FnMut(&Envelope) -> bool) -> Option<Envelope> {
+        let q = self.inner.lock();
+        q.iter().find(|e| pred(e)).cloned()
+    }
+
+    /// Wakes all waiters (used when the world aborts).
+    pub fn notify_all(&self) {
+        self.cond.notify_all();
+    }
+
+    /// Number of buffered envelopes (diagnostics / quiesce checks).
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the mailbox is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Drops all buffered envelopes (used between restart attempts).
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rank::Rank;
+    use crate::tag::{Namespace, Tag};
+    use bytes::Bytes;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    fn env(src: u32, tag: u64, data: &'static [u8]) -> Envelope {
+        Envelope {
+            src: Rank::new(src),
+            wire_tag: Tag::new(tag).wire(0, Namespace::User),
+            payload: Bytes::from_static(data),
+            send_time: 0.0,
+        }
+    }
+
+    #[test]
+    fn fifo_per_matching_predicate() {
+        let mb = Mailbox::new();
+        mb.push(env(0, 1, b"first"));
+        mb.push(env(0, 1, b"second"));
+        let got = mb.try_recv_match(|e| e.src == Rank::new(0)).unwrap();
+        assert_eq!(&got.payload[..], b"first");
+        let got = mb.try_recv_match(|e| e.src == Rank::new(0)).unwrap();
+        assert_eq!(&got.payload[..], b"second");
+        assert!(mb.try_recv_match(|_| true).is_none());
+    }
+
+    #[test]
+    fn matching_skips_non_matching_messages() {
+        let mb = Mailbox::new();
+        mb.push(env(1, 9, b"other"));
+        mb.push(env(0, 1, b"wanted"));
+        let got = mb.try_recv_match(|e| e.wire_tag.value() == 1).unwrap();
+        assert_eq!(&got.payload[..], b"wanted");
+        assert_eq!(mb.len(), 1, "non-matching message stays queued");
+    }
+
+    #[test]
+    fn probe_does_not_remove() {
+        let mb = Mailbox::new();
+        mb.push(env(2, 3, b"x"));
+        assert!(mb.try_probe_match(|_| true).is_some());
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_push() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || {
+            match mb2.recv_match(|e| e.wire_tag.value() == 5, || false) {
+                RecvOutcome::Matched(e) => e.payload,
+                RecvOutcome::Aborted => panic!("unexpected abort"),
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        mb.push(env(0, 5, b"late"));
+        assert_eq!(&handle.join().unwrap()[..], b"late");
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_abort() {
+        let mb = Arc::new(Mailbox::new());
+        let aborted = Arc::new(AtomicBool::new(false));
+        let (mb2, ab2) = (Arc::clone(&mb), Arc::clone(&aborted));
+        let handle = std::thread::spawn(move || {
+            matches!(
+                mb2.recv_match(|_| true, || ab2.load(Ordering::SeqCst)),
+                RecvOutcome::Aborted
+            )
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        aborted.store(true, Ordering::SeqCst);
+        mb.notify_all();
+        assert!(handle.join().unwrap());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mb = Mailbox::new();
+        mb.push(env(0, 0, b""));
+        assert!(!mb.is_empty());
+        mb.clear();
+        assert!(mb.is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Rank identifiers and receive-source selectors.
+
+use std::fmt;
+
+/// A process rank within a communicator.
+///
+/// A thin newtype over `u32` so that ranks cannot be confused with tags,
+/// sizes or byte counts at API boundaries.
+///
+/// ```
+/// use redcr_mpi::Rank;
+/// let r = Rank::new(3);
+/// assert_eq!(r.index(), 3);
+/// let next = r.offset(1, 8); // ring neighbour in a communicator of size 8
+/// assert_eq!(next.index(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Rank(u32);
+
+impl Rank {
+    /// Creates a rank from its index.
+    pub fn new(index: u32) -> Self {
+        Rank(index)
+    }
+
+    /// The rank's index as a `usize`, for indexing rank-ordered arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The rank's raw `u32` value.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// The rank at `(self + delta) mod size` — ring arithmetic used by
+    /// ring-based collectives and stencil neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn offset(self, delta: i64, size: usize) -> Rank {
+        assert!(size > 0, "communicator size must be positive");
+        let size = size as i64;
+        let idx = (self.0 as i64 + delta).rem_euclid(size);
+        Rank(idx as u32)
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for Rank {
+    fn from(v: u32) -> Self {
+        Rank(v)
+    }
+}
+
+impl From<Rank> for u32 {
+    fn from(r: Rank) -> u32 {
+        r.0
+    }
+}
+
+/// Source selector for receive operations: a specific rank or the wildcard
+/// (`MPI_ANY_SOURCE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RankSelector {
+    /// Match messages from this rank only.
+    Rank(Rank),
+    /// Match messages from any rank (`MPI_ANY_SOURCE`).
+    Any,
+}
+
+impl RankSelector {
+    /// Whether this selector matches messages from `src`.
+    pub fn matches(self, src: Rank) -> bool {
+        match self {
+            RankSelector::Rank(r) => r == src,
+            RankSelector::Any => true,
+        }
+    }
+
+    /// The specific rank, if this is not a wildcard.
+    pub fn rank(self) -> Option<Rank> {
+        match self {
+            RankSelector::Rank(r) => Some(r),
+            RankSelector::Any => None,
+        }
+    }
+}
+
+impl From<Rank> for RankSelector {
+    fn from(r: Rank) -> Self {
+        RankSelector::Rank(r)
+    }
+}
+
+impl From<u32> for RankSelector {
+    fn from(v: u32) -> Self {
+        RankSelector::Rank(Rank::new(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_round_trip() {
+        let r = Rank::new(17);
+        assert_eq!(r.index(), 17);
+        assert_eq!(u32::from(r), 17);
+        assert_eq!(Rank::from(17u32), r);
+        assert_eq!(r.to_string(), "17");
+    }
+
+    #[test]
+    fn ring_offset_wraps_both_ways() {
+        assert_eq!(Rank::new(7).offset(1, 8).index(), 0);
+        assert_eq!(Rank::new(0).offset(-1, 8).index(), 7);
+        assert_eq!(Rank::new(3).offset(-11, 8).index(), 0);
+        assert_eq!(Rank::new(3).offset(0, 8).index(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn offset_rejects_empty_comm() {
+        let _ = Rank::new(0).offset(1, 0);
+    }
+
+    #[test]
+    fn selector_matching() {
+        assert!(RankSelector::Any.matches(Rank::new(5)));
+        assert!(RankSelector::Rank(Rank::new(5)).matches(Rank::new(5)));
+        assert!(!RankSelector::Rank(Rank::new(4)).matches(Rank::new(5)));
+        assert_eq!(RankSelector::Any.rank(), None);
+        assert_eq!(RankSelector::from(Rank::new(2)).rank(), Some(Rank::new(2)));
+    }
+}

@@ -1,0 +1,85 @@
+//! Non-blocking request handles.
+//!
+//! `isend` is eager (the message is already in flight when the call
+//! returns), so a send request only carries the bookkeeping needed to report
+//! completion. `irecv` defers matching to `wait`: the request records the
+//! selectors, and the matching (plus the virtual-time arithmetic) happens
+//! when the request is waited on. This mirrors how the paper's apps use
+//! non-blocking MPI (post, then `MPI_Wait`/`MPI_Waitall`).
+
+use bytes::Bytes;
+
+use crate::message::Status;
+use crate::rank::RankSelector;
+use crate::tag::TagSelector;
+
+/// Outcome of a non-blocking completion test
+/// ([`Communicator::test`](crate::Communicator::test)).
+#[derive(Debug)]
+pub enum TestOutcome<R> {
+    /// The operation completed; receives carry their payload.
+    Completed(Option<(Bytes, Status)>),
+    /// Not complete yet; the request is handed back for a later test or
+    /// wait.
+    Pending(R),
+}
+
+impl<R> TestOutcome<R> {
+    /// Whether the operation completed.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, TestOutcome::Completed(_))
+    }
+}
+
+/// A pending non-blocking operation on a base communicator.
+///
+/// Obtained from [`Communicator::isend`](crate::Communicator::isend) /
+/// [`Communicator::irecv`](crate::Communicator::irecv); consumed by
+/// [`Communicator::wait`](crate::Communicator::wait). Requests are not
+/// `Clone`: each must be waited on exactly once (dropping one without
+/// waiting is allowed and simply abandons the receive).
+#[derive(Debug)]
+pub struct Request(pub(crate) RequestKind);
+
+#[derive(Debug)]
+pub(crate) enum RequestKind {
+    /// An eager send: already complete.
+    Send,
+    /// A deferred receive: matched at wait time.
+    Recv {
+        /// Source selector, already translated to world ranks.
+        src: RankSelector,
+        /// Tag selector (user namespace).
+        tag: TagSelector,
+    },
+}
+
+impl Request {
+    /// Whether this is a send request (completes without producing data).
+    pub fn is_send(&self) -> bool {
+        matches!(self.0, RequestKind::Send)
+    }
+
+    /// Whether this is a receive request.
+    pub fn is_recv(&self) -> bool {
+        matches!(self.0, RequestKind::Recv { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rank::Rank;
+
+    #[test]
+    fn kind_predicates() {
+        let s = Request(RequestKind::Send);
+        assert!(s.is_send());
+        assert!(!s.is_recv());
+        let r = Request(RequestKind::Recv {
+            src: RankSelector::Rank(Rank::new(0)),
+            tag: TagSelector::Any,
+        });
+        assert!(r.is_recv());
+    }
+}

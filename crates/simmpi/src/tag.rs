@@ -1,0 +1,205 @@
+//! Message tags, tag selectors and the internal tag-space layout.
+//!
+//! The wire tag is a `u64` partitioned into namespaces so that user
+//! messages, collective traffic, replication-protocol traffic and
+//! checkpoint-protocol traffic can never be confused, and so that distinct
+//! communicators (from `split`/`dup`) are isolated:
+//!
+//! ```text
+//! bits 63..48   communicator id (16 bits)
+//! bits 47..46   namespace: 0 = user, 1 = collective, 2 = protocol
+//! bits 45..0    tag value (user tag or sequence number)
+//! ```
+
+use std::fmt;
+
+/// Number of bits available to the in-namespace tag value.
+pub const TAG_VALUE_BITS: u32 = 46;
+/// Highest tag value a user may supply.
+pub const MAX_USER_TAG: u64 = (1 << TAG_VALUE_BITS) - 1;
+
+const NAMESPACE_SHIFT: u32 = TAG_VALUE_BITS;
+const COMM_SHIFT: u32 = 48;
+
+/// Internal tag namespaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u64)]
+pub enum Namespace {
+    /// Application-supplied tags.
+    User = 0,
+    /// Collectives implemented over point-to-point messages.
+    Collective = 1,
+    /// Runtime-internal protocols (replication control, checkpoint
+    /// coordination).
+    Protocol = 2,
+}
+
+/// A message tag.
+///
+/// User code constructs tags from small integers (`Tag::from(7u64)` or
+/// `7.into()`); the runtime derives namespaced wire tags internally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tag(u64);
+
+impl Tag {
+    /// Creates a user-namespace tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value > MAX_USER_TAG`. Use [`Tag::try_new`] to handle the
+    /// error instead.
+    pub fn new(value: u64) -> Self {
+        Self::try_new(value).expect("tag exceeds MAX_USER_TAG")
+    }
+
+    /// Creates a user-namespace tag, failing when out of range.
+    pub fn try_new(value: u64) -> Option<Self> {
+        if value <= MAX_USER_TAG {
+            Some(Tag(value))
+        } else {
+            None
+        }
+    }
+
+    /// Builds a namespaced wire tag for communicator `comm_id`.
+    pub(crate) fn wire(self, comm_id: u16, ns: Namespace) -> WireTag {
+        WireTag(((comm_id as u64) << COMM_SHIFT) | ((ns as u64) << NAMESPACE_SHIFT) | self.0)
+    }
+
+    /// The raw in-namespace tag value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Tag {
+    fn from(v: u64) -> Self {
+        Tag::new(v)
+    }
+}
+
+impl From<u32> for Tag {
+    fn from(v: u32) -> Self {
+        Tag(v as u64)
+    }
+}
+
+/// A fully-resolved tag as it appears on the wire (communicator id +
+/// namespace + value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WireTag(pub(crate) u64);
+
+impl WireTag {
+    /// The in-namespace tag value.
+    pub fn value(self) -> u64 {
+        self.0 & MAX_USER_TAG
+    }
+
+    /// Recovers the user-facing [`Tag`].
+    pub fn user_tag(self) -> Tag {
+        Tag(self.value())
+    }
+
+    /// The namespace bits.
+    pub fn namespace(self) -> u64 {
+        (self.0 >> NAMESPACE_SHIFT) & 0b11
+    }
+
+    /// The communicator id bits.
+    pub fn comm_id(self) -> u16 {
+        (self.0 >> COMM_SHIFT) as u16
+    }
+}
+
+/// Tag selector for receive operations: a specific tag or the wildcard
+/// (`MPI_ANY_TAG`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TagSelector {
+    /// Match messages with this tag only.
+    Tag(Tag),
+    /// Match any user tag (`MPI_ANY_TAG`). Only matches user-namespace
+    /// messages — protocol and collective traffic is never visible to
+    /// wildcard receives.
+    Any,
+}
+
+impl TagSelector {
+    /// Whether this selector matches wire tag `wt` within communicator
+    /// `comm_id`. User-namespace messages only: protocol and collective
+    /// traffic is never visible to user-level selectors.
+    pub fn matches(self, wt: WireTag, comm_id: u16) -> bool {
+        if wt.comm_id() != comm_id {
+            return false;
+        }
+        match self {
+            TagSelector::Tag(t) => {
+                wt.namespace() == Namespace::User as u64 && wt.value() == t.value()
+            }
+            TagSelector::Any => wt.namespace() == Namespace::User as u64,
+        }
+    }
+}
+
+impl From<Tag> for TagSelector {
+    fn from(t: Tag) -> Self {
+        TagSelector::Tag(t)
+    }
+}
+
+impl From<u64> for TagSelector {
+    fn from(v: u64) -> Self {
+        TagSelector::Tag(Tag::new(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_layout_round_trips() {
+        let t = Tag::new(12345);
+        let wt = t.wire(7, Namespace::Collective);
+        assert_eq!(wt.value(), 12345);
+        assert_eq!(wt.namespace(), Namespace::Collective as u64);
+        assert_eq!(wt.comm_id(), 7);
+        assert_eq!(wt.user_tag(), t);
+    }
+
+    #[test]
+    fn max_user_tag_accepted_and_beyond_rejected() {
+        assert!(Tag::try_new(MAX_USER_TAG).is_some());
+        assert!(Tag::try_new(MAX_USER_TAG + 1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_USER_TAG")]
+    fn new_panics_beyond_range() {
+        let _ = Tag::new(MAX_USER_TAG + 1);
+    }
+
+    #[test]
+    fn selector_respects_namespace_and_comm() {
+        let user = Tag::new(5).wire(1, Namespace::User);
+        let coll = Tag::new(5).wire(1, Namespace::Collective);
+        let other_comm = Tag::new(5).wire(2, Namespace::User);
+        assert!(TagSelector::Tag(Tag::new(5)).matches(user, 1));
+        assert!(!TagSelector::Tag(Tag::new(5)).matches(coll, 1));
+        assert!(!TagSelector::Tag(Tag::new(5)).matches(other_comm, 1));
+        assert!(TagSelector::Any.matches(user, 1));
+        assert!(!TagSelector::Any.matches(coll, 1));
+    }
+
+    #[test]
+    fn namespaces_are_disjoint_for_same_value() {
+        let a = Tag::new(9).wire(0, Namespace::User);
+        let b = Tag::new(9).wire(0, Namespace::Protocol);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,304 @@
+//! The world: shared runtime state, the thread runner, and run reports.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::comm::Comm;
+use crate::error::Result;
+use crate::mailbox::Mailbox;
+use crate::time::CostModel;
+
+/// Entry point for configuring and running a simulated MPI world.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug)]
+pub struct World;
+
+impl World {
+    /// Starts building a world with `n` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn builder(n: usize) -> WorldBuilder {
+        assert!(n > 0, "a world needs at least one rank");
+        WorldBuilder {
+            n,
+            cost: CostModel::default(),
+            abort_horizon: f64::INFINITY,
+            start_time: 0.0,
+        }
+    }
+}
+
+/// Builder for a simulated world.
+#[derive(Debug, Clone)]
+pub struct WorldBuilder {
+    n: usize,
+    cost: CostModel,
+    abort_horizon: f64,
+    start_time: f64,
+}
+
+impl WorldBuilder {
+    /// Sets the communication cost model (default:
+    /// [`CostModel::infiniband_qdr`]).
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the abort horizon: once any rank's virtual clock reaches this
+    /// time (seconds), the whole run aborts with
+    /// [`MpiError::Aborted`](crate::MpiError::Aborted). Used by the failure
+    /// injector to emulate whole-job fail-stop.
+    pub fn abort_horizon(mut self, t: f64) -> Self {
+        self.abort_horizon = t;
+        self
+    }
+
+    /// Starts every rank's virtual clock at `t` seconds instead of zero
+    /// (used when resuming a job from a checkpoint taken at virtual time
+    /// `t`).
+    pub fn start_time(mut self, t: f64) -> Self {
+        self.start_time = t;
+        self
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Spawns one thread per rank, runs `f` on each, and joins them.
+    ///
+    /// `f` receives the rank's [`Comm`] handle. The returned report contains
+    /// each rank's result and timing plus world-wide statistics.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any rank closure.
+    pub fn run<T, F>(self, f: F) -> Result<RunReport<T>>
+    where
+        T: Send,
+        F: Fn(&Comm) -> Result<T> + Send + Sync,
+    {
+        let shared = Arc::new(Shared::new(self.n, self.cost, self.abort_horizon));
+        let start_time = self.start_time;
+        let f = &f;
+        let mut slots: Vec<Option<(Result<T>, RankTiming)>> = Vec::new();
+        slots.resize_with(self.n, || None);
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.n);
+            for rank in 0..self.n {
+                let shared = Arc::clone(&shared);
+                handles.push(scope.spawn(move || {
+                    let comm = Comm::new(shared, rank as u32, start_time);
+                    let result = f(&comm);
+                    if result.is_err() {
+                        // A failing rank (abort or app error) must not leave
+                        // peers blocked in receives forever.
+                        comm.shared().trigger_abort();
+                    }
+                    let timing = RankTiming {
+                        finish: comm.clock().now(),
+                        busy: comm.clock().busy_time(),
+                        comm: comm.clock().comm_time(),
+                    };
+                    (result, timing)
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(slot) => slots[rank] = Some(slot),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+
+        let mut results = Vec::with_capacity(self.n);
+        let mut timings = Vec::with_capacity(self.n);
+        for slot in slots {
+            let (r, t) = slot.expect("every rank joined");
+            results.push(r);
+            timings.push(t);
+        }
+        let max_virtual_time =
+            timings.iter().map(|t| t.finish).fold(f64::NEG_INFINITY, f64::max);
+        Ok(RunReport {
+            results,
+            timings,
+            max_virtual_time,
+            aborted: shared.is_aborted(),
+            messages_sent: shared.msgs_sent.load(Ordering::Relaxed),
+            bytes_sent: shared.bytes_sent.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Per-rank timing extracted at finalize.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankTiming {
+    /// The rank's virtual clock when its closure returned, seconds.
+    pub finish: f64,
+    /// Time attributed to computation, seconds.
+    pub busy: f64,
+    /// Time attributed to communication, seconds.
+    pub comm: f64,
+}
+
+impl RankTiming {
+    /// Observed communication fraction `α` for this rank.
+    pub fn comm_fraction(&self) -> f64 {
+        let total = self.busy + self.comm;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.comm / total
+        }
+    }
+}
+
+/// The outcome of a world run.
+#[derive(Debug)]
+pub struct RunReport<T> {
+    /// Per-rank closure results, indexed by rank.
+    pub results: Vec<Result<T>>,
+    /// Per-rank timings, indexed by rank.
+    pub timings: Vec<RankTiming>,
+    /// Simulated wallclock: the maximum finish time over all ranks, seconds.
+    pub max_virtual_time: f64,
+    /// Whether the run crossed the abort horizon (or a rank failed).
+    pub aborted: bool,
+    /// Total number of point-to-point messages injected.
+    pub messages_sent: u64,
+    /// Total payload bytes injected.
+    pub bytes_sent: u64,
+}
+
+impl<T> RunReport<T> {
+    /// Returns all rank results, or the first error encountered.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-ranked error if any rank failed.
+    pub fn into_results(self) -> Result<Vec<T>> {
+        self.results.into_iter().collect()
+    }
+
+    /// The mean observed communication fraction `α` across ranks.
+    pub fn mean_comm_fraction(&self) -> f64 {
+        if self.timings.is_empty() {
+            return 0.0;
+        }
+        self.timings.iter().map(RankTiming::comm_fraction).sum::<f64>()
+            / self.timings.len() as f64
+    }
+}
+
+/// World state shared by all rank threads.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    pub(crate) n: usize,
+    pub(crate) cost: CostModel,
+    pub(crate) mailboxes: Vec<Mailbox>,
+    pub(crate) abort_horizon: f64,
+    aborted: AtomicBool,
+    pub(crate) msgs_sent: AtomicU64,
+    pub(crate) bytes_sent: AtomicU64,
+}
+
+impl Shared {
+    fn new(n: usize, cost: CostModel, abort_horizon: f64) -> Self {
+        Shared {
+            n,
+            cost,
+            mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
+            abort_horizon,
+            aborted: AtomicBool::new(false),
+            msgs_sent: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
+    }
+
+    /// Marks the world aborted and wakes every blocked receiver.
+    pub(crate) fn trigger_abort(&self) {
+        self.aborted.store(true, Ordering::SeqCst);
+        for mb in &self.mailboxes {
+            mb.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::communicator::Communicator;
+
+    #[test]
+    fn single_rank_world_runs() {
+        let report = World::builder(1)
+            .cost_model(CostModel::zero())
+            .run(|comm| {
+                comm.compute(2.0)?;
+                Ok(comm.rank().index())
+            })
+            .unwrap();
+        assert_eq!(report.results.len(), 1);
+        assert_eq!(report.max_virtual_time, 2.0);
+        assert!(!report.aborted);
+        assert_eq!(report.into_results().unwrap(), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = World::builder(0);
+    }
+
+    #[test]
+    fn start_time_offsets_clocks() {
+        let report = World::builder(2)
+            .cost_model(CostModel::zero())
+            .start_time(100.0)
+            .run(|comm| {
+                comm.compute(1.0)?;
+                Ok(comm.now())
+            })
+            .unwrap();
+        for r in report.into_results().unwrap() {
+            assert_eq!(r, 101.0);
+        }
+    }
+
+    #[test]
+    fn abort_horizon_stops_compute() {
+        let report = World::builder(1)
+            .cost_model(CostModel::zero())
+            .abort_horizon(5.0)
+            .run(|comm| {
+                for _ in 0..10 {
+                    comm.compute(1.0)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        assert!(report.aborted);
+        assert!(report.results[0].is_err());
+        // The rank stopped within one compute step of the horizon.
+        assert!(report.max_virtual_time <= 6.0);
+    }
+
+    #[test]
+    fn rank_timing_comm_fraction() {
+        let t = RankTiming { finish: 10.0, busy: 8.0, comm: 2.0 };
+        assert!((t.comm_fraction() - 0.2).abs() < 1e-12);
+        let idle = RankTiming { finish: 0.0, busy: 0.0, comm: 0.0 };
+        assert_eq!(idle.comm_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,629 @@
+//! Integration tests for the message-passing runtime: functional semantics,
+//! collectives, virtual-time accounting, sub-communicators and aborts.
+
+use bytes::Bytes;
+use redcr_mpi::collectives::ReduceOp;
+use redcr_mpi::{
+    Communicator, CostModel, MpiError, Rank, RankSelector, Tag, TagSelector, World,
+};
+
+fn tag(v: u64) -> Tag {
+    Tag::new(v)
+}
+
+#[test]
+fn ring_pass_around() {
+    let n = 8;
+    let report = World::builder(n)
+        .cost_model(CostModel::zero())
+        .run(|comm| {
+            let me = comm.rank();
+            let next = me.offset(1, comm.size());
+            let prev = me.offset(-1, comm.size());
+            comm.send_u64s(next, tag(1), &[me.as_u32() as u64])?;
+            let (vals, status) = comm.recv_u64s(prev.into(), tag(1).into())?;
+            assert_eq!(status.source, prev);
+            Ok(vals[0])
+        })
+        .unwrap();
+    let got = report.into_results().unwrap();
+    for (i, v) in got.iter().enumerate() {
+        assert_eq!(*v, ((i + 7) % 8) as u64);
+    }
+}
+
+#[test]
+fn messages_match_by_tag_not_arrival_order() {
+    let report = World::builder(2)
+        .cost_model(CostModel::zero())
+        .run(|comm| {
+            if comm.rank().index() == 0 {
+                comm.send(Rank::new(1), tag(10), b"ten")?;
+                comm.send(Rank::new(1), tag(20), b"twenty")?;
+                Ok(Vec::new())
+            } else {
+                // Receive in the opposite order from sending.
+                let (b20, _) = comm.recv(Rank::new(0).into(), tag(20).into())?;
+                let (b10, _) = comm.recv(Rank::new(0).into(), tag(10).into())?;
+                Ok(vec![b20.to_vec(), b10.to_vec()])
+            }
+        })
+        .unwrap();
+    let results = report.into_results().unwrap();
+    assert_eq!(results[1], vec![b"twenty".to_vec(), b"ten".to_vec()]);
+}
+
+#[test]
+fn wildcard_source_and_tag() {
+    let n = 4;
+    let report = World::builder(n)
+        .cost_model(CostModel::zero())
+        .run(|comm| {
+            if comm.rank().index() == 0 {
+                let mut sources = Vec::new();
+                for _ in 0..3 {
+                    let (_, status) = comm.recv(RankSelector::Any, TagSelector::Any)?;
+                    sources.push(status.source.index());
+                }
+                sources.sort_unstable();
+                Ok(sources)
+            } else {
+                comm.send(Rank::new(0), tag(comm.rank().as_u32() as u64), b"x")?;
+                Ok(Vec::new())
+            }
+        })
+        .unwrap();
+    assert_eq!(report.into_results().unwrap()[0], vec![1, 2, 3]);
+}
+
+#[test]
+fn nonblocking_post_then_waitall() {
+    let report = World::builder(3)
+        .cost_model(CostModel::zero())
+        .run(|comm| {
+            if comm.rank().index() == 0 {
+                let r1 = comm.irecv(Rank::new(1).into(), tag(1).into())?;
+                let r2 = comm.irecv(Rank::new(2).into(), tag(2).into())?;
+                let done = comm.waitall([r1, r2])?;
+                let a = done[0].as_ref().unwrap().0.to_vec();
+                let b = done[1].as_ref().unwrap().0.to_vec();
+                Ok((a, b))
+            } else {
+                let t = tag(comm.rank().as_u32() as u64);
+                let req = comm.isend(Rank::new(0), t, Bytes::from(vec![comm.rank().as_u32() as u8]))?;
+                comm.wait(req)?;
+                Ok((Vec::new(), Vec::new()))
+            }
+        })
+        .unwrap();
+    let (a, b) = report.into_results().unwrap().remove(0);
+    assert_eq!(a, vec![1]);
+    assert_eq!(b, vec![2]);
+}
+
+#[test]
+fn probe_reports_without_consuming() {
+    let report = World::builder(2)
+        .cost_model(CostModel::zero())
+        .run(|comm| {
+            if comm.rank().index() == 0 {
+                comm.send(Rank::new(1), tag(5), b"abc")?;
+                Ok(0)
+            } else {
+                let status = comm.probe(Rank::new(0).into(), tag(5).into())?;
+                assert_eq!(status.len, 3);
+                // Message still available after probing.
+                let (bytes, _) = comm.recv(Rank::new(0).into(), tag(5).into())?;
+                assert_eq!(&bytes[..], b"abc");
+                Ok(1)
+            }
+        })
+        .unwrap();
+    assert_eq!(report.into_results().unwrap(), vec![0, 1]);
+}
+
+#[test]
+fn iprobe_none_when_empty() {
+    World::builder(1)
+        .cost_model(CostModel::zero())
+        .run(|comm| {
+            assert!(comm.iprobe(RankSelector::Any, TagSelector::Any)?.is_none());
+            Ok(())
+        })
+        .unwrap()
+        .into_results()
+        .unwrap();
+}
+
+#[test]
+fn barrier_synchronizes_virtual_clocks() {
+    let cost = CostModel { latency: 1.0, byte_time: 0.0, msg_overhead: 0.0 };
+    let report = World::builder(4)
+        .cost_model(cost)
+        .run(|comm| {
+            // Rank i computes i seconds, then all ranks barrier.
+            comm.compute(comm.rank().index() as f64)?;
+            comm.barrier()?;
+            Ok(comm.now())
+        })
+        .unwrap();
+    let times = report.into_results().unwrap();
+    // After the barrier no rank's clock can be earlier than the slowest
+    // rank's pre-barrier time (3.0), and every rank other than the slowest
+    // waited at least one message latency past it.
+    for (i, t) in times.iter().enumerate() {
+        assert!(*t >= 3.0, "rank {i} clock {t} too early");
+        if i != 3 {
+            assert!(*t >= 4.0, "rank {i} clock {t} did not see rank 3's delay");
+        }
+    }
+}
+
+#[test]
+fn bcast_delivers_to_all_from_any_root() {
+    for root in 0..5u32 {
+        let report = World::builder(5)
+            .cost_model(CostModel::zero())
+            .run(|comm| {
+                let data = if comm.rank().as_u32() == root {
+                    Bytes::from_static(b"payload")
+                } else {
+                    Bytes::new()
+                };
+                let out = comm.bcast(Rank::new(root), data)?;
+                Ok(out.to_vec())
+            })
+            .unwrap();
+        for r in report.into_results().unwrap() {
+            assert_eq!(r, b"payload".to_vec(), "root {root}");
+        }
+    }
+}
+
+#[test]
+fn reduce_and_allreduce_sum() {
+    let n = 7;
+    let report = World::builder(n)
+        .cost_model(CostModel::zero())
+        .run(|comm| {
+            let me = comm.rank().index() as f64;
+            let reduced = comm.reduce_f64(Rank::new(0), &[me, 1.0], ReduceOp::Sum)?;
+            if comm.rank().index() == 0 {
+                let r = reduced.expect("root gets the result");
+                assert_eq!(r, vec![21.0, 7.0]);
+            } else {
+                assert!(reduced.is_none());
+            }
+            let all = comm.allreduce_f64(&[me], ReduceOp::Max)?;
+            Ok(all[0])
+        })
+        .unwrap();
+    for v in report.into_results().unwrap() {
+        assert_eq!(v, 6.0);
+    }
+}
+
+#[test]
+fn allreduce_is_bitwise_identical_across_ranks() {
+    // Deterministic tree => identical floating-point result on every rank,
+    // which the replication layer's voting relies on.
+    let vals: Vec<f64> = (0..64).map(|i| (i as f64) * 0.1 + 0.01).collect();
+    let report = World::builder(16)
+        .cost_model(CostModel::zero())
+        .run(|comm| {
+            let contribution = vec![vals[comm.rank().index() * 4]; 8];
+            let out = comm.allreduce_f64(&contribution, ReduceOp::Sum)?;
+            Ok(out.iter().map(|v| v.to_bits()).collect::<Vec<_>>())
+        })
+        .unwrap();
+    let results = report.into_results().unwrap();
+    for r in &results[1..] {
+        assert_eq!(r, &results[0]);
+    }
+}
+
+#[test]
+fn allreduce_u64_min_max() {
+    let report = World::builder(5)
+        .cost_model(CostModel::zero())
+        .run(|comm| {
+            let me = comm.rank().index() as u64;
+            let min = comm.allreduce_u64(&[me + 10], ReduceOp::Min)?;
+            let max = comm.allreduce_u64(&[me + 10], ReduceOp::Max)?;
+            let sum = comm.allreduce_u64(&[1], ReduceOp::Sum)?;
+            Ok((min[0], max[0], sum[0]))
+        })
+        .unwrap();
+    for (min, max, sum) in report.into_results().unwrap() {
+        assert_eq!((min, max, sum), (10, 14, 5));
+    }
+}
+
+#[test]
+fn gather_scatter_round_trip() {
+    let n = 6;
+    let report = World::builder(n)
+        .cost_model(CostModel::zero())
+        .run(|comm| {
+            let me = comm.rank().index() as u8;
+            let gathered = comm.gather(Rank::new(2), Bytes::from(vec![me, me]))?;
+            let parts = if comm.rank().index() == 2 {
+                let parts = gathered.expect("root sees parts");
+                assert_eq!(parts.len(), n);
+                for (i, p) in parts.iter().enumerate() {
+                    assert_eq!(&p[..], &[i as u8, i as u8]);
+                }
+                Some(parts)
+            } else {
+                assert!(gathered.is_none());
+                None
+            };
+            let mine = comm.scatter(Rank::new(2), parts)?;
+            Ok(mine.to_vec())
+        })
+        .unwrap();
+    for (i, part) in report.into_results().unwrap().into_iter().enumerate() {
+        assert_eq!(part, vec![i as u8, i as u8]);
+    }
+}
+
+#[test]
+fn allgather_returns_rank_ordered_parts() {
+    let n = 5;
+    let report = World::builder(n)
+        .cost_model(CostModel::zero())
+        .run(|comm| {
+            let me = comm.rank().index() as u8;
+            let parts = comm.allgather(Bytes::from(vec![me]))?;
+            Ok(parts.iter().map(|p| p[0]).collect::<Vec<u8>>())
+        })
+        .unwrap();
+    for r in report.into_results().unwrap() {
+        assert_eq!(r, vec![0, 1, 2, 3, 4]);
+    }
+}
+
+#[test]
+fn alltoall_personalized_exchange() {
+    let n = 4;
+    let report = World::builder(n)
+        .cost_model(CostModel::zero())
+        .run(|comm| {
+            let me = comm.rank().index() as u8;
+            let parts: Vec<Bytes> =
+                (0..n).map(|d| Bytes::from(vec![me, d as u8])).collect();
+            let got = comm.alltoall(parts)?;
+            for (src, p) in got.iter().enumerate() {
+                assert_eq!(&p[..], &[src as u8, me]);
+            }
+            Ok(())
+        })
+        .unwrap();
+    report.into_results().unwrap();
+}
+
+#[test]
+fn scan_prefix_sums() {
+    let n = 6;
+    let report = World::builder(n)
+        .cost_model(CostModel::zero())
+        .run(|comm| {
+            let me = comm.rank().index() as f64;
+            let s = comm.scan_f64(&[me], ReduceOp::Sum)?;
+            Ok(s[0])
+        })
+        .unwrap();
+    let expect: Vec<f64> = (0..6).map(|i| (0..=i).map(|j| j as f64).sum()).collect();
+    assert_eq!(report.into_results().unwrap(), expect);
+}
+
+#[test]
+fn virtual_time_includes_latency_and_bandwidth() {
+    let cost = CostModel { latency: 2.0, byte_time: 0.5, msg_overhead: 0.25 };
+    let report = World::builder(2)
+        .cost_model(cost)
+        .run(|comm| {
+            if comm.rank().index() == 0 {
+                comm.send(Rank::new(1), tag(1), &[0u8; 4])?; // 4 bytes
+                Ok(comm.now())
+            } else {
+                let (_, status) = comm.recv(Rank::new(0).into(), tag(1).into())?;
+                Ok(status.completed_at)
+            }
+        })
+        .unwrap();
+    let times = report.into_results().unwrap();
+    // Sender: one message overhead.
+    assert!((times[0] - 0.25).abs() < 1e-12);
+    // Receiver: send_time (0.25) + latency (2.0) + 4 bytes * 0.5 (2.0)
+    // + receive overhead (0.25) = 4.5.
+    assert!((times[1] - 4.5).abs() < 1e-12, "got {}", times[1]);
+}
+
+#[test]
+fn virtual_time_receiver_not_delayed_when_late() {
+    let cost = CostModel { latency: 1.0, byte_time: 0.0, msg_overhead: 0.0 };
+    let report = World::builder(2)
+        .cost_model(cost)
+        .run(|comm| {
+            if comm.rank().index() == 0 {
+                comm.send(Rank::new(1), tag(1), b"x")?;
+                Ok(0.0)
+            } else {
+                comm.compute(100.0)?; // receiver is late; message long since available
+                let (_, status) = comm.recv(Rank::new(0).into(), tag(1).into())?;
+                Ok(status.completed_at)
+            }
+        })
+        .unwrap();
+    let times = report.into_results().unwrap();
+    assert!((times[1] - 100.0).abs() < 1e-12, "got {}", times[1]);
+}
+
+#[test]
+fn comm_fraction_tracks_alpha() {
+    let cost = CostModel { latency: 0.0, byte_time: 0.0, msg_overhead: 0.5 };
+    let report = World::builder(2)
+        .cost_model(cost)
+        .run(|comm| {
+            // 8 seconds compute + 4 messages of 0.5 s overhead each = 2 s comm.
+            for _ in 0..4 {
+                comm.compute(2.0)?;
+                let peer = comm.rank().offset(1, 2);
+                comm.send(peer, tag(3), b"")?;
+                comm.recv(peer.into(), tag(3).into())?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    // alpha = comm / (comm + busy); comm >= 4 msgs * (0.5 send + 0.5 recv)... wait
+    // sender pays 0.5 per send, receiver 0.5 per recv: 4 sends + 4 recvs = 4.0 s.
+    let alpha = report.mean_comm_fraction();
+    assert!((alpha - 4.0 / 12.0).abs() < 0.05, "alpha = {alpha}");
+}
+
+#[test]
+fn abort_horizon_interrupts_blocked_receiver() {
+    let report = World::builder(2)
+        .cost_model(CostModel::zero())
+        .abort_horizon(5.0)
+        .run(|comm| {
+            if comm.rank().index() == 0 {
+                // Never sends; crosses the horizon by computing.
+                comm.compute(10.0)?;
+                Ok(())
+            } else {
+                // Blocks forever waiting for a message that never comes;
+                // must be woken by the abort.
+                comm.recv(Rank::new(0).into(), tag(1).into())?;
+                Ok(())
+            }
+        })
+        .unwrap();
+    assert!(report.aborted);
+    assert!(matches!(report.results[0], Err(MpiError::Aborted { .. })));
+    assert!(matches!(report.results[1], Err(MpiError::Aborted { .. })));
+}
+
+#[test]
+fn app_error_aborts_peers() {
+    let report = World::builder(2)
+        .cost_model(CostModel::zero())
+        .run(|comm| {
+            if comm.rank().index() == 0 {
+                Err(MpiError::DecodeError { what: "synthetic app failure" })
+            } else {
+                comm.recv(Rank::new(0).into(), tag(1).into())?;
+                Ok(())
+            }
+        })
+        .unwrap();
+    assert!(report.aborted);
+    assert!(report.results[1].is_err());
+}
+
+#[test]
+fn split_isolates_groups_and_renumbers() {
+    let report = World::builder(6)
+        .cost_model(CostModel::zero())
+        .run(|comm| {
+            let color = (comm.rank().index() % 2) as u64; // evens, odds
+            let sub = comm.split(color, comm.rank().index() as u64)?;
+            assert_eq!(sub.size(), 3);
+            // Sum of world ranks within the subgroup.
+            let sum = sub.allreduce_u64(&[comm.rank().index() as u64], ReduceOp::Sum)?;
+            Ok((sub.rank().index(), sum[0]))
+        })
+        .unwrap();
+    let results = report.into_results().unwrap();
+    for (world, (sub_rank, sum)) in results.iter().enumerate() {
+        assert_eq!(*sub_rank, world / 2);
+        let expect = if world % 2 == 0 { 2 + 4 } else { 1 + 3 + 5 };
+        assert_eq!(*sum, expect, "world rank {world}");
+    }
+}
+
+#[test]
+fn split_key_reorders_ranks() {
+    let report = World::builder(4)
+        .cost_model(CostModel::zero())
+        .run(|comm| {
+            // Same color, key reversing the order.
+            let key = (comm.size() - comm.rank().index()) as u64;
+            let sub = comm.split(0, key)?;
+            Ok(sub.rank().index())
+        })
+        .unwrap();
+    assert_eq!(report.into_results().unwrap(), vec![3, 2, 1, 0]);
+}
+
+#[test]
+fn dup_isolates_tag_space() {
+    let report = World::builder(2)
+        .cost_model(CostModel::zero())
+        .run(|comm| {
+            let dup = comm.dup()?;
+            if comm.rank().index() == 0 {
+                // Same tag on both communicators; receivers must not cross.
+                comm.send(Rank::new(1), tag(9), b"world")?;
+                dup.send(Rank::new(1), tag(9), b"dup")?;
+                Ok((Vec::new(), Vec::new()))
+            } else {
+                let (from_dup, _) = dup.recv(Rank::new(0).into(), tag(9).into())?;
+                let (from_world, _) = comm.recv(Rank::new(0).into(), tag(9).into())?;
+                Ok((from_world.to_vec(), from_dup.to_vec()))
+            }
+        })
+        .unwrap();
+    let results = report.into_results().unwrap();
+    assert_eq!(results[1].0, b"world".to_vec());
+    assert_eq!(results[1].1, b"dup".to_vec());
+}
+
+#[test]
+fn message_statistics_counted() {
+    let report = World::builder(2)
+        .cost_model(CostModel::zero())
+        .run(|comm| {
+            if comm.rank().index() == 0 {
+                comm.send(Rank::new(1), tag(1), &[0u8; 100])?;
+            } else {
+                comm.recv(Rank::new(0).into(), tag(1).into())?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(report.messages_sent, 1);
+    assert_eq!(report.bytes_sent, 100);
+}
+
+#[test]
+fn deterministic_virtual_time_across_runs() {
+    let run = || {
+        World::builder(8)
+            .run(|comm| {
+                let me = comm.rank().index();
+                comm.compute(0.001 * (me + 1) as f64)?;
+                let next = comm.rank().offset(1, comm.size());
+                let prev = comm.rank().offset(-1, comm.size());
+                comm.send_f64s(next, tag(2), &[me as f64; 128])?;
+                comm.recv_f64s(prev.into(), tag(2).into())?;
+                let s = comm.allreduce_f64(&[me as f64], ReduceOp::Sum)?;
+                assert_eq!(s[0], 28.0);
+                comm.barrier()?;
+                Ok(())
+            })
+            .unwrap()
+            .max_virtual_time
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "virtual time must be deterministic");
+    assert!(a > 0.0);
+}
+
+#[test]
+fn large_world_smoke() {
+    // 128 ranks, the paper's experimental scale.
+    let report = World::builder(128)
+        .run(|comm| {
+            let s = comm.allreduce_f64(&[1.0], ReduceOp::Sum)?;
+            assert_eq!(s[0], 128.0);
+            comm.barrier()?;
+            Ok(())
+        })
+        .unwrap();
+    report.into_results().unwrap();
+}
+
+#[test]
+fn test_reports_pending_then_completed() {
+    use redcr_mpi::TestOutcome;
+    World::builder(2)
+        .cost_model(CostModel::zero())
+        .run(|comm| {
+            if comm.rank().index() == 0 {
+                // Nothing sent yet: request must be pending.
+                let req = comm.irecv(Rank::new(1).into(), tag(5).into())?;
+                let req = match comm.test(req)? {
+                    TestOutcome::Pending(r) => r,
+                    TestOutcome::Completed(_) => panic!("nothing was sent yet"),
+                };
+                // Ask for the message, then poll until it lands.
+                comm.send(Rank::new(1), tag(4), b"go")?;
+                let mut req = req;
+                let payload = loop {
+                    match comm.test(req)? {
+                        TestOutcome::Completed(Some((bytes, status))) => {
+                            assert_eq!(status.source.index(), 1);
+                            break bytes;
+                        }
+                        TestOutcome::Completed(None) => panic!("recv yields payload"),
+                        TestOutcome::Pending(r) => {
+                            req = r;
+                            std::thread::yield_now();
+                        }
+                    }
+                };
+                assert_eq!(&payload[..], b"answer");
+            } else {
+                comm.recv(Rank::new(0).into(), tag(4).into())?;
+                comm.send(Rank::new(0), tag(5), b"answer")?;
+            }
+            Ok(())
+        })
+        .unwrap()
+        .into_results()
+        .unwrap();
+}
+
+#[test]
+fn send_requests_test_complete_immediately() {
+    
+    World::builder(2)
+        .cost_model(CostModel::zero())
+        .run(|comm| {
+            if comm.rank().index() == 0 {
+                let req = comm.isend(Rank::new(1), tag(1), Bytes::from_static(b"x"))?;
+                assert!(comm.test(req)?.is_completed());
+            } else {
+                comm.recv(Rank::new(0).into(), tag(1).into())?;
+            }
+            Ok(())
+        })
+        .unwrap()
+        .into_results()
+        .unwrap();
+}
+
+#[test]
+fn waitany_returns_the_ready_request() {
+    World::builder(3)
+        .cost_model(CostModel::zero())
+        .run(|comm| {
+            if comm.rank().index() == 0 {
+                // Rank 2 sends promptly; rank 1 only replies after we ack
+                // rank 2's message — so waitany must pick index 1 first.
+                let r1 = comm.irecv(Rank::new(1).into(), tag(1).into())?;
+                let r2 = comm.irecv(Rank::new(2).into(), tag(2).into())?;
+                let (idx, out, rest) = comm.waitany(vec![r1, r2])?;
+                assert_eq!(idx, 1, "rank 2's message arrives first");
+                assert_eq!(&out.unwrap().0[..], b"fast");
+                assert_eq!(rest.len(), 1);
+                comm.send(Rank::new(1), tag(9), b"ack")?;
+                let (idx2, out2, rest2) = comm.waitany(rest)?;
+                assert_eq!(idx2, 0);
+                assert_eq!(&out2.unwrap().0[..], b"slow");
+                assert!(rest2.is_empty());
+            } else if comm.rank().index() == 1 {
+                comm.recv(Rank::new(0).into(), tag(9).into())?;
+                comm.send(Rank::new(0), tag(1), b"slow")?;
+            } else {
+                comm.send(Rank::new(0), tag(2), b"fast")?;
+            }
+            Ok(())
+        })
+        .unwrap()
+        .into_results()
+        .unwrap();
+}

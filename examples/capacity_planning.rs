@@ -1,0 +1,62 @@
+//! Capacity planning: the wallclock-vs-resources trade-off the paper's
+//! conclusion describes, swept across scales — including the crossover
+//! points where dual and triple redundancy start paying for themselves and
+//! the "two jobs for the price of one" throughput landmark.
+//!
+//! ```text
+//! cargo run --example capacity_planning
+//! ```
+
+use redcr::model::combined::CombinedConfig;
+use redcr::model::optimizer::{crossover, throughput_break_even, time_at};
+use redcr::model::units;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = CombinedConfig::builder()
+        .virtual_processes(1_000)
+        .base_time_hours(128.0)
+        .node_mtbf_hours(units::hours_from_years(5.0))
+        .comm_fraction(0.24)
+        .checkpoint_cost_hours(units::hours_from_mins(10.0))
+        .restart_cost_hours(units::hours_from_mins(30.0))
+        .build()?;
+
+    println!("128-hour job, 5-year node MTBF — expected wallclock [hours]:");
+    println!("{:>10}  {:>8}  {:>8}  {:>8}", "processes", "1x", "2x", "3x");
+    for n in [1_000u64, 4_000, 16_000, 64_000, 128_000, 200_000] {
+        let fmt = |r: f64| match time_at(&cfg, n, r) {
+            Some(t) => format!("{t:8.1}"),
+            None => "     div".into(),
+        };
+        println!("{n:>10}  {}  {}  {}", fmt(1.0), fmt(2.0), fmt(3.0));
+    }
+
+    println!();
+    let x12 = crossover(&cfg, 1.0, 2.0, 100, 10_000_000)?;
+    let x13 = crossover(&cfg, 1.0, 3.0, 100, 10_000_000)?;
+    let x23 = crossover(&cfg, 2.0, 3.0, 100, 10_000_000)?;
+    let tbe = throughput_break_even(&cfg, 2.0, 2.0, 100, 2_000_000)?;
+    println!("dual redundancy beats plain C/R from   {x12:>9} processes");
+    println!("triple redundancy beats plain C/R from {x13:>9} processes");
+    println!("two 2x jobs beat one 1x job from       {tbe:>9} processes");
+    println!("triple beats dual from                 {x23:>9} processes");
+    println!();
+    println!(
+        "(paper landmarks: 4,351 / 12,551 / 78,536 / 771,251 — \
+         see EXPERIMENTS.md for the comparison)"
+    );
+
+    // The resource side of the knob: what does the speed cost in node-hours?
+    println!();
+    println!("at 100,000 processes:");
+    for r in [1.0, 1.5, 2.0, 2.5, 3.0] {
+        match cfg.with_virtual_processes(100_000).with_degree(r).evaluate() {
+            Ok(o) => println!(
+                "  {r:>4}x: {:>8.1} h wallclock, {:>12.0} node-hours ({} processes)",
+                o.total_time, o.node_hours, o.total_physical
+            ),
+            Err(_) => println!("  {r:>4}x: diverges"),
+        }
+    }
+    Ok(())
+}

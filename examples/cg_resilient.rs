@@ -1,0 +1,54 @@
+//! Full stack: run a distributed conjugate-gradient solve under transparent
+//! dual redundancy, coordinated checkpointing and Poisson fault injection —
+//! the paper's experimental setup, end to end.
+//!
+//! ```text
+//! cargo run --release --example cg_resilient
+//! ```
+
+use redcr::apps::cg::CgConfig;
+use redcr::core::apps::CgApp;
+use redcr::core::{ExecutorConfig, ResilientExecutor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // CG wrapped as a checkpointable application: 60 iterations, each
+    // padded to ~1 virtual second so the runtime is long enough to attract
+    // failures and checkpoints (the paper's "modified to run longer").
+    let app = CgApp::new(CgConfig::small(512), 60).with_step_pad(1.0);
+
+    // 8 virtual processes at 2x redundancy; each physical process has a
+    // 90-second MTBF over a ~60-second job, so individual replicas die
+    // regularly — but the job only restarts when a whole sphere is gone.
+    let config = ExecutorConfig::new(8, 2.0)
+        .node_mtbf(90.0)
+        .checkpoint_interval(10.0)
+        .checkpoint_cost(0.5)
+        .restart_cost(2.0)
+        .seed(2012);
+
+    let executor = ResilientExecutor::new(config);
+    let report = executor.run(&app)?;
+
+    println!("{report}");
+    println!();
+    println!("failure log:");
+    for event in report.failure_trace.events() {
+        println!(
+            "  attempt {:>2}  t={:>8.2}s  process {:>3} died{}",
+            event.attempt,
+            event.time,
+            event.process,
+            if event.killed_job { "  -> sphere dead, job restarted" } else { "" }
+        );
+    }
+    println!();
+    let state = &report.final_states[0];
+    println!(
+        "solver finished {} iterations, residual {:.3e} — identical on every rank \
+         and unaffected by {} restarts",
+        state.iteration,
+        state.residual_norm(),
+        report.failures
+    );
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Quickstart: ask the planner for the optimal redundancy degree and
+//! checkpoint interval for a large job, the paper's "tuning knob".
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use redcr::core::planner::Planner;
+use redcr::model::optimizer::CostWeights;
+use redcr::model::units;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 128-hour job on 100,000 processes, 5-year node MTBF — the scale of
+    // the paper's Figure 14.
+    let planner = Planner::new()
+        .virtual_processes(100_000)
+        .base_time_hours(128.0)
+        .node_mtbf_hours(units::hours_from_years(5.0))
+        .comm_fraction(0.2)
+        .checkpoint_cost_hours(units::hours_from_mins(10.0))
+        .restart_cost_hours(units::hours_from_mins(30.0));
+
+    let plan = planner.recommend()?;
+    println!("minimizing wallclock:");
+    println!("  degree      : {}x", plan.degree);
+    println!("  checkpoint δ: {:.2} h", plan.checkpoint_interval);
+    println!("  expected T  : {:.1} h", plan.predicted.total_time);
+    println!("  processes   : {}", plan.predicted.total_physical);
+    println!("  node-hours  : {:.0}", plan.predicted.node_hours);
+    println!("  exp failures: {:.1}", plan.predicted.expected_failures);
+    println!();
+    println!("full sweep (degree -> expected hours):");
+    for (degree, time) in &plan.sweep {
+        match time {
+            Some(t) => println!("  {degree:>5}x  {t:8.1} h"),
+            None => println!("  {degree:>5}x  diverges (job cannot finish)"),
+        }
+    }
+
+    // The same job optimized for node-hours instead.
+    let thrifty = planner.objective(CostWeights::resources_only()).recommend()?;
+    println!();
+    println!(
+        "minimizing node-hours instead: {}x, {:.0} node-hours ({:.1} h wallclock)",
+        thrifty.degree, thrifty.predicted.node_hours, thrifty.predicted.total_time
+    );
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! RedMPI-style message voting: how triple redundancy detects and corrects
+//! a silently corrupted message, and what the two wire modes cost.
+//!
+//! ```text
+//! cargo run --example redmpi_voting
+//! ```
+
+use bytes::Bytes;
+use redcr::mpi::collectives::ReduceOp;
+use redcr::mpi::{Communicator, CostModel};
+use redcr::red::voting::{vote_full, vote_hashed};
+use redcr::red::{hash_payload, ReplicatedWorld, VoteCost, VotingMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The voting primitive itself: three copies, one corrupted in
+    //    flight. The majority votes the corruption out.
+    let good = Bytes::from_static(b"matrix block 0x7f3a");
+    let mut corrupt = good.to_vec();
+    corrupt[7] ^= 0x40; // a flipped bit
+    let copies = vec![good.clone(), Bytes::from(corrupt), good.clone()];
+    let outcome = vote_full(&copies);
+    println!("all-to-all vote over 3 copies:");
+    println!("  winner copy   : {}", outcome.winner);
+    println!("  dissenters    : {:?}", outcome.dissenters);
+    println!("  corrected     : {}", outcome.majority && !outcome.unanimous());
+
+    // 2. The Msg-PlusHash variant: one full payload plus hashes.
+    let h = hash_payload(&good);
+    let outcome = vote_hashed(&good, 0, &[None, Some(h ^ 1), Some(h)]);
+    println!("msg-plus-hash vote: dissenting hash copies = {:?}", outcome.dissenters);
+
+    // 3. End to end: the same program at 3x redundancy in both modes; the
+    //    hash mode moves far fewer bytes for the same protection.
+    for mode in [VotingMode::AllToAll, VotingMode::MsgPlusHash] {
+        let report = ReplicatedWorld::builder(4, 3.0)?
+            .voting_mode(mode)
+            .vote_cost(VoteCost::zero())
+            .cost_model(CostModel::zero())
+            .run(|comm| {
+                let me = comm.rank().index() as f64;
+                // 64 KiB of "simulation data" around the ring + a reduce.
+                let next = comm.rank().offset(1, comm.size());
+                let prev = comm.rank().offset(-1, comm.size());
+                comm.send_f64s(next, redcr::mpi::Tag::new(1), &vec![me; 8192])?;
+                comm.recv_f64s(prev.into(), redcr::mpi::Tag::new(1).into())?;
+                comm.allreduce_f64(&[me], ReduceOp::Sum)?;
+                Ok(())
+            })?;
+        println!(
+            "{mode:?}: {} physical messages, {} bytes on the wire, \
+             {} votes, {} mismatches",
+            report.physical_messages,
+            report.physical_bytes,
+            report.stats.votes,
+            report.stats.mismatches_detected,
+        );
+    }
+    // 4. In-system corruption: one faulty replica flips bits in 20% of its
+    //    copies. At 3x the application never notices.
+    let report = ReplicatedWorld::builder(4, 3.0)?
+        .vote_cost(VoteCost::zero())
+        .cost_model(CostModel::zero())
+        .corruption(redcr::red::CorruptionModel::new(0.2, 42).only_replica(1))
+        .run(|comm| {
+            let me = comm.rank().index() as f64;
+            let mut acc = me;
+            for round in 0..20u64 {
+                let next = comm.rank().offset(1, comm.size());
+                let prev = comm.rank().offset(-1, comm.size());
+                comm.send_f64s(next, redcr::mpi::Tag::new(round), &[acc; 64])?;
+                let (vals, _) = comm.recv_f64s(prev.into(), redcr::mpi::Tag::new(round).into())?;
+                acc += vals[0] * 0.25;
+            }
+            Ok(acc)
+        })?;
+    println!();
+    println!(
+        "faulty-replica run: {} corrupted copies detected, {} corrected by \
+         majority vote — application output unaffected",
+        report.stats.mismatches_detected, report.stats.corrections
+    );
+    println!(
+        "with honest replicas every vote is unanimous; the 9x message count at \
+         3x redundancy is the paper's amplification cost, and Msg-PlusHash \
+         trades most of the bytes for 8-byte hashes"
+    );
+    Ok(())
+}

@@ -1,0 +1,177 @@
+//! Cross-crate integration tests through the `redcr` facade: the full
+//! stack (application + replication + coordinated C/R + fault injection)
+//! and the model/simulator agreement that constitutes the paper's central
+//! validation claim.
+
+use std::sync::Arc;
+
+use redcr::apps::cg::{CgConfig, CgSolver, CgState};
+use redcr::apps::jacobi::{JacobiConfig, JacobiSolver, JacobiState};
+use redcr::ckpt::storage::DiskStorage;
+use redcr::cluster::combined::simulate_combined;
+use redcr::cluster::job::FailureExposure;
+use redcr::core::{ExecutorConfig, ResilientApp, ResilientExecutor};
+use redcr::model::combined::CombinedConfig;
+use redcr::model::units;
+use redcr::mpi::Communicator;
+
+struct CgApp {
+    solver: CgSolver,
+    iterations: u64,
+    pad: f64,
+}
+
+impl ResilientApp for CgApp {
+    type State = CgState;
+
+    fn init<C: Communicator>(&self, comm: &C) -> redcr::mpi::Result<CgState> {
+        self.solver.init_state(comm)
+    }
+
+    fn step<C: Communicator>(&self, comm: &C, state: &mut CgState) -> redcr::mpi::Result<()> {
+        comm.compute(self.pad)?;
+        self.solver.step(comm, state)?;
+        Ok(())
+    }
+
+    fn is_done(&self, state: &CgState) -> bool {
+        state.iteration >= self.iterations
+    }
+}
+
+struct JacobiApp {
+    solver: JacobiSolver,
+    iterations: u64,
+    pad: f64,
+}
+
+impl ResilientApp for JacobiApp {
+    type State = JacobiState;
+
+    fn init<C: Communicator>(&self, _comm: &C) -> redcr::mpi::Result<JacobiState> {
+        Ok(self.solver.init_state())
+    }
+
+    fn step<C: Communicator>(
+        &self,
+        comm: &C,
+        state: &mut JacobiState,
+    ) -> redcr::mpi::Result<()> {
+        comm.compute(self.pad)?;
+        self.solver.step(comm, state)?;
+        Ok(())
+    }
+
+    fn is_done(&self, state: &JacobiState) -> bool {
+        state.iteration >= self.iterations
+    }
+}
+
+#[test]
+fn cg_survives_failures_under_partial_redundancy() {
+    // 1.5x partial redundancy: even virtual ranks replicated, odd ranks
+    // singletons — the paper's Figure 1(b) topology, under real failures.
+    let app = CgApp { solver: CgSolver::new(CgConfig::small(48)), iterations: 30, pad: 1.0 };
+    let cfg = ExecutorConfig::new(6, 1.5)
+        .node_mtbf(120.0)
+        .checkpoint_interval(6.0)
+        .checkpoint_cost(0.2)
+        .restart_cost(1.0)
+        .seed(99);
+    let report = ResilientExecutor::new(cfg).run(&app).unwrap();
+    assert_eq!(report.n_physical, 9, "6 virtual at 1.5x = 9 physical");
+    for state in &report.final_states {
+        assert_eq!(state.iteration, 30);
+    }
+    // The numerical answer matches a failure-free, unreplicated run.
+    let clean = ResilientExecutor::new(ExecutorConfig::new(6, 1.0))
+        .run(&CgApp { solver: CgSolver::new(CgConfig::small(48)), iterations: 30, pad: 0.0 })
+        .unwrap();
+    for (a, b) in report.final_states.iter().zip(&clean.final_states) {
+        for (x, y) in a.x.iter().zip(&b.x) {
+            assert_eq!(x.to_bits(), y.to_bits(), "bitwise identical trajectories");
+        }
+    }
+}
+
+#[test]
+fn jacobi_app_recovers_through_checkpoints() {
+    let app = JacobiApp {
+        solver: JacobiSolver::new(JacobiConfig::small(8)),
+        iterations: 50,
+        pad: 1.0,
+    };
+    let cfg = ExecutorConfig::new(4, 2.0)
+        .node_mtbf(60.0)
+        .checkpoint_interval(8.0)
+        .checkpoint_cost(0.3)
+        .restart_cost(1.5)
+        .seed(5);
+    let report = ResilientExecutor::new(cfg).run(&app).unwrap();
+    for state in &report.final_states {
+        assert_eq!(state.iteration, 50);
+    }
+    assert!(report.total_virtual_time >= 50.0);
+}
+
+#[test]
+fn checkpoints_survive_on_disk_storage() {
+    let dir = std::env::temp_dir().join(format!("redcr-int-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let storage = Arc::new(DiskStorage::open(&dir).unwrap());
+    let app = CgApp { solver: CgSolver::new(CgConfig::small(32)), iterations: 25, pad: 1.0 };
+    let cfg = ExecutorConfig::new(4, 2.0)
+        .node_mtbf(50.0)
+        .checkpoint_interval(5.0)
+        .checkpoint_cost(0.2)
+        .restart_cost(1.0)
+        .seed(17);
+    let report = ResilientExecutor::with_storage(cfg, storage.clone()).run(&app).unwrap();
+    assert!(report.checkpoints_committed > 0, "expected on-disk checkpoints");
+    // Image files really exist on disk.
+    let files = std::fs::read_dir(&dir).unwrap().count();
+    assert!(files > 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn model_and_monte_carlo_agree_across_degrees() {
+    // The paper's validation claim, exercised end to end: the closed-form
+    // Eq. 14 prediction and the event simulation agree at every degree.
+    let cfg = CombinedConfig::builder()
+        .virtual_processes(96)
+        .base_time_hours(8.0)
+        .node_mtbf_hours(400.0)
+        .comm_fraction(0.2)
+        .checkpoint_cost_hours(units::hours_from_secs(120.0))
+        .restart_cost_hours(units::hours_from_secs(500.0))
+        .build()
+        .unwrap();
+    for degree in [1.5, 2.0, 2.5, 3.0] {
+        let c = cfg.with_degree(degree);
+        let model = c.evaluate().unwrap().total_time;
+        let n = 24;
+        let mean = (0..n)
+            .map(|seed| {
+                simulate_combined(&c, FailureExposure::AllTime, seed).unwrap().total_time
+            })
+            .sum::<f64>()
+            / n as f64;
+        let rel = (mean - model).abs() / model;
+        assert!(rel < 0.2, "degree {degree}: model {model} vs MC {mean} (rel {rel:.3})");
+    }
+}
+
+#[test]
+fn facade_reexports_cover_the_stack() {
+    // Compile-time check that the five-layer story is reachable from the
+    // single `redcr` entry point.
+    let _ = redcr::model::units::hours_from_years(1.0);
+    let _ = redcr::mpi::CostModel::zero();
+    let _ = redcr::red::VotingMode::AllToAll;
+    let _ = redcr::ckpt::storage::StorageCostModel::zero();
+    let _ = redcr::fault::ReplicaGroups::uniform(2, 2);
+    let _ = redcr::cluster::job::FailureExposure::AllTime;
+    let _ = redcr::core::ExecutorConfig::new(2, 1.0);
+    let _ = redcr::apps::cg::CgConfig::small(8);
+}

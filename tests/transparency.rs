@@ -1,0 +1,121 @@
+//! Property-based cross-crate tests: replication transparency (any degree,
+//! any kernel, same answer) and checkpoint round-trip fidelity under
+//! arbitrary cut points.
+
+use proptest::prelude::*;
+
+use redcr::apps::cg::{CgConfig, CgSolver};
+use redcr::apps::ep::{EpConfig, EpKernel};
+use redcr::ckpt::{from_bytes, to_bytes};
+use redcr::mpi::CostModel;
+use redcr::red::{ReplicatedWorld, VoteCost};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The application-visible result of a CG solve is independent of the
+    /// redundancy degree (RedMPI's transparency property), for arbitrary
+    /// degrees and problem sizes.
+    #[test]
+    fn cg_answer_independent_of_degree(
+        quarter in 0usize..9,
+        n in 16usize..64,
+        seed in 0u64..1000,
+    ) {
+        let degree = 1.0 + 0.25 * quarter as f64;
+        let run = |deg: f64| {
+            let mut cfg = CgConfig::small(n);
+            cfg.seed = seed;
+            let solver = CgSolver::new(cfg);
+            let report = ReplicatedWorld::builder(4, deg)
+                .unwrap()
+                .cost_model(CostModel::zero())
+                .vote_cost(VoteCost::zero())
+                .run(move |comm| {
+                    let mut state = solver.init_state(comm)?;
+                    solver.run(comm, &mut state, 8)?;
+                    Ok(state.rho.to_bits())
+                })
+                .unwrap();
+            (0..4).map(|v| *report.primary_result(v).as_ref().unwrap()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(1.0), run(degree));
+    }
+
+    /// EP (communication-free) kernels agree bitwise across replicas too.
+    #[test]
+    fn ep_replicas_agree(pairs in 100u64..5000, seed in 0u64..100) {
+        let kernel = EpKernel::new(EpConfig {
+            pairs_per_batch: pairs,
+            seed,
+            compute: redcr::apps::compute::ComputeModel::zero(),
+        });
+        let report = ReplicatedWorld::builder(3, 2.0)
+            .unwrap()
+            .cost_model(CostModel::zero())
+            .vote_cost(VoteCost::zero())
+            .run(move |comm| {
+                let mut state = kernel.init_state();
+                kernel.step(comm, &mut state)?;
+                let pi = kernel.estimate(comm, &state)?;
+                Ok(pi.to_bits())
+            })
+            .unwrap();
+        for v in 0..3 {
+            let replicas = report.replica_results(v);
+            for r in &replicas[1..] {
+                prop_assert_eq!(
+                    *r.as_ref().unwrap(),
+                    *replicas[0].as_ref().unwrap(),
+                    "replica divergence at rank {}", v
+                );
+            }
+        }
+    }
+
+    /// Arbitrary CG states survive the checkpoint codec bit-exactly.
+    #[test]
+    fn cg_state_codec_round_trip(
+        iter in 0u64..10_000,
+        xs in prop::collection::vec(-1e12f64..1e12, 1..200),
+        rho in 0.0f64..1e30,
+    ) {
+        let state = redcr::apps::cg::CgState {
+            iteration: iter,
+            x: xs.clone(),
+            r: xs.iter().map(|v| v * 0.5).collect(),
+            p: xs.iter().map(|v| v - 1.0).collect(),
+            rho,
+        };
+        let bytes = to_bytes(&state).unwrap();
+        let back: redcr::apps::cg::CgState = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, state);
+    }
+
+    /// RLE compression is lossless for arbitrary byte strings.
+    #[test]
+    fn compression_lossless(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let packed = redcr::ckpt::compress::compress(&data);
+        let unpacked = redcr::ckpt::compress::decompress(&packed).unwrap();
+        prop_assert_eq!(unpacked, data);
+    }
+
+    /// Incremental chains reconstruct exactly for arbitrary mutation
+    /// sequences.
+    #[test]
+    fn incremental_chain_exact(
+        base in prop::collection::vec(any::<u8>(), 64..512),
+        mutations in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 0..20),
+    ) {
+        let mut engine = redcr::ckpt::incremental::IncrementalEngine::with_page_size(32);
+        let mut image = base;
+        let mut chain = vec![engine.checkpoint(&image)];
+        for (idx, value) in mutations {
+            let at = idx.index(image.len());
+            image[at] = value;
+            chain.push(engine.checkpoint(&image));
+        }
+        let rebuilt = redcr::ckpt::incremental::reconstruct(&chain, 32).unwrap();
+        prop_assert_eq!(rebuilt, image);
+    }
+}

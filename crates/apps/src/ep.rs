@@ -87,8 +87,7 @@ impl EpKernel {
     ///
     /// Propagates runtime errors (abort).
     pub fn estimate<C: Communicator>(&self, comm: &C, state: &EpState) -> Result<f64> {
-        let sums = comm
-            .allreduce_f64(&[state.inside as f64, state.total as f64], ReduceOp::Sum)?;
+        let sums = comm.allreduce_f64(&[state.inside as f64, state.total as f64], ReduceOp::Sum)?;
         Ok(4.0 * sums[0] / sums[1].max(1.0))
     }
 }

@@ -58,10 +58,10 @@ pub fn calibrate_cg_alpha(
     // log(secs_per_flop).
     let mut lo = 1e-12f64; // fast cpu -> high alpha
     let mut hi = 1e-3f64; // slow cpu -> low alpha
-    let mut best = (ComputeModel { secs_per_flop: lo }, AlphaMeasurement {
-        alpha: f64::NAN,
-        virtual_time: 0.0,
-    });
+    let mut best = (
+        ComputeModel { secs_per_flop: lo },
+        AlphaMeasurement { alpha: f64::NAN, virtual_time: 0.0 },
+    );
     for _ in 0..24 {
         let mid = (lo.ln() + hi.ln()) / 2.0;
         let model = ComputeModel { secs_per_flop: mid.exp() };
@@ -102,8 +102,7 @@ mod tests {
     #[test]
     fn calibration_hits_target() {
         let cfg = CgConfig::small(96);
-        let (model, m) =
-            calibrate_cg_alpha(4, &cfg, CostModel::infiniband_qdr(), 5, 0.2).unwrap();
+        let (model, m) = calibrate_cg_alpha(4, &cfg, CostModel::infiniband_qdr(), 5, 0.2).unwrap();
         assert!(model.secs_per_flop > 0.0);
         assert!((m.alpha - 0.2).abs() < 0.05, "calibrated alpha {}", m.alpha);
     }

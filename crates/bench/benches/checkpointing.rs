@@ -18,9 +18,7 @@ fn bench_codec(c: &mut Criterion) {
     let bytes = to_bytes(&state).unwrap();
     g.throughput(Throughput::Bytes(bytes.len() as u64));
     g.bench_function("serialize_800kB", |b| b.iter(|| to_bytes(&state).unwrap()));
-    g.bench_function("deserialize_800kB", |b| {
-        b.iter(|| from_bytes::<Vec<f64>>(&bytes).unwrap())
-    });
+    g.bench_function("deserialize_800kB", |b| b.iter(|| from_bytes::<Vec<f64>>(&bytes).unwrap()));
     g.finish();
 }
 

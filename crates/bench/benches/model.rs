@@ -25,9 +25,7 @@ fn cfg() -> CombinedConfig {
 fn bench_evaluate(c: &mut Criterion) {
     let mut g = c.benchmark_group("model/evaluate");
     let base = cfg();
-    g.bench_function("combined_single", |b| {
-        b.iter(|| base.with_degree(2.0).evaluate().unwrap())
-    });
+    g.bench_function("combined_single", |b| b.iter(|| base.with_degree(2.0).evaluate().unwrap()));
     g.bench_function("optimal_redundancy_9pt", |b| {
         b.iter(|| optimal_redundancy(&base, &RGrid::quarter_steps()).unwrap())
     });
@@ -78,9 +76,7 @@ fn bench_crossover(c: &mut Criterion) {
     g.sample_size(10);
     let base = cfg();
     g.bench_function("crossover_1x_2x", |b| {
-        b.iter(|| {
-            redcr_model::optimizer::crossover(&base, 1.0, 2.0, 100, 10_000_000).unwrap()
-        })
+        b.iter(|| redcr_model::optimizer::crossover(&base, 1.0, 2.0, 100, 10_000_000).unwrap())
     });
     g.finish();
 }

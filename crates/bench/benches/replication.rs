@@ -54,10 +54,7 @@ fn bench_wildcard_protocol(c: &mut Criterion) {
                 .run(|comm| {
                     if comm.rank().index() == 0 {
                         for _ in 0..30 {
-                            comm.recv(
-                                redcr_mpi::RankSelector::Any,
-                                redcr_mpi::TagSelector::Any,
-                            )?;
+                            comm.recv(redcr_mpi::RankSelector::Any, redcr_mpi::TagSelector::Any)?;
                         }
                     } else {
                         for i in 0..10u64 {

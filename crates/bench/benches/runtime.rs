@@ -129,11 +129,5 @@ fn bench_cost_model_ablation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_p2p,
-    bench_collectives,
-    bench_spawn,
-    bench_cost_model_ablation
-);
+criterion_group!(benches, bench_p2p, bench_collectives, bench_spawn, bench_cost_model_ablation);
 criterion_main!(benches);

@@ -46,10 +46,8 @@ fn bench_monte_carlo(c: &mut Criterion) {
     let config = cfg(10_000).with_degree(2.0);
     g.bench_function("64_runs_8_threads", |b| {
         b.iter(|| {
-            monte_carlo(64, 8, |seed| {
-                simulate_combined(&config, FailureExposure::AllTime, seed)
-            })
-            .unwrap()
+            monte_carlo(64, 8, |seed| simulate_combined(&config, FailureExposure::AllTime, seed))
+                .unwrap()
         })
     });
     g.finish();

@@ -36,9 +36,15 @@ fn main() {
     eprintln!("[10/12] figures 13-14");
     let marks = redcr_bench::fig13_14::find_landmarks();
     let d13 = redcr_bench::fig13_14::generate(30_000, 20);
-    redcr_bench::output::write_result("fig13.txt", &redcr_bench::fig13_14::render(&d13, 13, &marks));
+    redcr_bench::output::write_result(
+        "fig13.txt",
+        &redcr_bench::fig13_14::render(&d13, 13, &marks),
+    );
     let d14 = redcr_bench::fig13_14::generate(200_000, 24);
-    redcr_bench::output::write_result("fig14.txt", &redcr_bench::fig13_14::render(&d14, 14, &marks));
+    redcr_bench::output::write_result(
+        "fig14.txt",
+        &redcr_bench::fig13_14::render(&d14, 14, &marks),
+    );
     eprintln!("[11/12] figure 9 surface data");
     let mut f9 = String::from("# degree mtbf_hours minutes\n");
     for (mtbf, cells) in &t4.rows {
@@ -55,11 +61,7 @@ fn main() {
     let w_n = redcr_bench::window::sweep_processes(100, 2_000_000, 60);
     redcr_bench::output::write_result(
         "window.txt",
-        &format!(
-            "{}\n{}",
-            redcr_bench::window::render(&w_mtbf),
-            redcr_bench::window::render(&w_n)
-        ),
+        &format!("{}\n{}", redcr_bench::window::render(&w_mtbf), redcr_bench::window::render(&w_n)),
     );
     eprintln!("done; see {}", redcr_bench::output::results_dir().display());
 }

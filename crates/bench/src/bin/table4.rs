@@ -2,7 +2,10 @@
 fn main() {
     eprintln!("measuring failure-free overhead curve (Table 5 prerequisite)...");
     let t5 = redcr_bench::table5::generate();
-    eprintln!("running Monte-Carlo fault injection ({} seeds/cell)...", redcr_bench::calib::T4_SEEDS);
+    eprintln!(
+        "running Monte-Carlo fault injection ({} seeds/cell)...",
+        redcr_bench::calib::T4_SEEDS
+    );
     let t4 = redcr_bench::table4::generate(&t5, redcr_bench::calib::T4_SEEDS);
     let out = redcr_bench::table4::render(&t4);
     println!("{out}");

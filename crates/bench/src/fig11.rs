@@ -41,18 +41,19 @@ pub fn generate(form: SimplifiedForm) -> Fig11 {
 
 /// Renders the matrix.
 pub fn render(fig: &Fig11) -> String {
-    let mut t = TextTable::new().header(
-        std::iter::once("MTBF".to_string()).chain(DEGREES.iter().map(|d| format!("{d}x"))),
-    );
+    let mut t = TextTable::new()
+        .header(std::iter::once("MTBF".to_string()).chain(DEGREES.iter().map(|d| format!("{d}x"))));
     for (mtbf, row) in &fig.rows {
         let mut cells = vec![format!("{mtbf:.0} hrs")];
-        cells.extend(row.iter().map(|v| {
-            if v.is_finite() {
-                format!("{v:.1}")
-            } else {
-                "div".into()
-            }
-        }));
+        cells.extend(row.iter().map(
+            |v| {
+                if v.is_finite() {
+                    format!("{v:.1}")
+                } else {
+                    "div".into()
+                }
+            },
+        ));
         t.row(cells);
     }
     format!(
@@ -73,13 +74,12 @@ mod tests {
         let fig = generate(SimplifiedForm::Consistent);
         assert_eq!(fig.rows.len(), 5);
         // Higher MTBF -> faster at every degree.
-        for d in 0..DEGREES.len() {
+        for (d, degree) in DEGREES.iter().enumerate() {
             for w in fig.rows.windows(2) {
                 if w[0].1[d].is_finite() && w[1].1[d].is_finite() {
                     assert!(
                         w[1].1[d] <= w[0].1[d] + 1e-9,
-                        "degree {} should improve with MTBF",
-                        DEGREES[d]
+                        "degree {degree} should improve with MTBF"
                     );
                 }
             }

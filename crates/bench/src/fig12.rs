@@ -109,13 +109,15 @@ pub fn render(fig: &Fig12) -> String {
         row.extend(obs.iter().map(|v| crate::output::mins_or_div(*v)));
         t.row(row);
         let mut row = vec![format!("modeled  {mtbf:.0}h")];
-        row.extend(model.iter().map(|v| {
-            if v.is_finite() {
-                format!("{v:.1}")
-            } else {
-                "div".into()
-            }
-        }));
+        row.extend(model.iter().map(
+            |v| {
+                if v.is_finite() {
+                    format!("{v:.1}")
+                } else {
+                    "div".into()
+                }
+            },
+        ));
         t.row(row);
     }
     format!(

@@ -51,8 +51,7 @@ pub fn generate(max_n: u64, points: usize) -> ScalingData {
     let curves = CURVE_DEGREES
         .iter()
         .map(|&degree| {
-            let times =
-                process_counts.iter().map(|&n| time_at(&cfg, n, degree)).collect();
+            let times = process_counts.iter().map(|&n| time_at(&cfg, n, degree)).collect();
             (degree, times)
         })
         .collect();
@@ -139,10 +138,9 @@ mod tests {
         let t2_last = data.curves[2].1.last().unwrap().expect("2x converges at 200k");
         match last {
             None => {} // diverged outright — certainly "exponential increase"
-            Some(v) => assert!(
-                *v > 4.0 * t2_last,
-                "1x at 200k ({v} h) should dwarf 2x ({t2_last} h)"
-            ),
+            Some(v) => {
+                assert!(*v > 4.0 * t2_last, "1x at 200k ({v} h) should dwarf 2x ({t2_last} h)")
+            }
         }
     }
 

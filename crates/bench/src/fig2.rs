@@ -58,8 +58,7 @@ pub fn generate(n: u64, t: f64) -> Vec<Curve> {
 pub fn render(curves: &[Curve]) -> String {
     let degrees: Vec<f64> = crate::paper::DEGREES.to_vec();
     let mut t = TextTable::new().header(
-        std::iter::once("configuration".to_string())
-            .chain(degrees.iter().map(|d| format!("{d}x"))),
+        std::iter::once("configuration".to_string()).chain(degrees.iter().map(|d| format!("{d}x"))),
     );
     for curve in curves {
         let mut row = vec![curve.label.clone()];
@@ -102,11 +101,7 @@ mod tests {
         // Lower MTBF -> lower reliability at the same degree (the paper's
         // "node reliability alone demands triple redundancy at θ=2.5").
         let at = |c: &Curve, d: f64| {
-            c.samples
-                .iter()
-                .min_by(|a, b| (a.0 - d).abs().total_cmp(&(b.0 - d).abs()))
-                .unwrap()
-                .1
+            c.samples.iter().min_by(|a, b| (a.0 - d).abs().total_cmp(&(b.0 - d).abs())).unwrap().1
         };
         assert!(at(&curves[0], 2.0) < at(&curves[1], 2.0));
         // Higher α -> longer t_Red -> lower reliability at the same degree.

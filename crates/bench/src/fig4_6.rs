@@ -77,10 +77,8 @@ pub fn degree_grid() -> Vec<f64> {
 /// Generates one figure's sweep.
 pub fn generate(figure: u32) -> FigureData {
     let (label, cfg) = config(figure);
-    let sweep = degree_grid()
-        .into_iter()
-        .map(|d| (d, cfg.with_degree(d).evaluate().ok()))
-        .collect();
+    let sweep =
+        degree_grid().into_iter().map(|d| (d, cfg.with_degree(d).evaluate().ok())).collect();
     FigureData { figure, label, sweep }
 }
 
@@ -128,10 +126,7 @@ mod tests {
         for figure in [4, 5, 6] {
             let data = generate(figure);
             let (_, at) = data.t_min();
-            assert!(
-                (1.9..=2.15).contains(&at),
-                "figure {figure} minimum at r={at}, expected ~2"
-            );
+            assert!((1.9..=2.15).contains(&at), "figure {figure} minimum at r={at}, expected ~2");
         }
     }
 

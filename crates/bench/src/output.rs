@@ -11,9 +11,11 @@ pub fn results_dir() -> PathBuf {
     }
     // The bench crate lives at <root>/crates/bench.
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest.parent().and_then(|p| p.parent()).map(|root| root.join("results")).unwrap_or_else(
-        || PathBuf::from("results"),
-    )
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|root| root.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
 }
 
 /// Writes `content` to `results/<name>` (creating the directory), and

@@ -88,9 +88,8 @@ mod tests {
             assert_eq!(row.len(), DEGREES.len());
         }
         // Paper minima: 3x at 6h, 2.5x at 12h, 2x at 18-30h.
-        let argmin = |row: &[f64; 9]| {
-            row.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).unwrap().0
-        };
+        let argmin =
+            |row: &[f64; 9]| row.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
         assert_eq!(DEGREES[argmin(&TABLE4[0].1)], 3.0);
         assert_eq!(DEGREES[argmin(&TABLE4[1].1)], 2.5);
         for row in &TABLE4[2..] {

@@ -36,9 +36,7 @@ fn simulate_row(nodes: u64, job_hours: f64, mtbf_years: f64, seeds: usize) -> Br
     if cfg.evaluate().is_err() {
         return BreakdownRow { nodes, job_hours, mtbf_years, breakdown: None };
     }
-    let agg = monte_carlo(seeds, 8, |seed| {
-        simulate_combined(&cfg, FailureExposure::AllTime, seed)
-    });
+    let agg = monte_carlo(seeds, 8, |seed| simulate_combined(&cfg, FailureExposure::AllTime, seed));
     let breakdown = match agg {
         Ok(agg) if agg.completed > 0 => {
             let (w, c, r, rs) = agg.mean.breakdown();
@@ -98,9 +96,8 @@ fn render_rows(rows: &[BreakdownRow], label_nodes: bool) -> String {
 
 /// Renders Table 2 with the paper's reference values alongside.
 pub fn render_table2(rows: &[BreakdownRow]) -> String {
-    let mut out = String::from(
-        "Table 2. 168-hour job, 5-year node MTBF (Monte-Carlo, no redundancy)\n\n",
-    );
+    let mut out =
+        String::from("Table 2. 168-hour job, 5-year node MTBF (Monte-Carlo, no redundancy)\n\n");
     out.push_str(&render_rows(rows, true));
     out.push_str("\npaper reference: 96/1/3/0, 92/7/1/0, 75/15/6/4, 35/20/10/35\n");
     out
@@ -125,10 +122,8 @@ mod tests {
     #[test]
     fn efficiency_decays_with_node_count() {
         let rows = generate_table2(6);
-        let works: Vec<f64> = rows
-            .iter()
-            .map(|r| r.breakdown.map(|(w, _, _, _)| w).unwrap_or(0.0))
-            .collect();
+        let works: Vec<f64> =
+            rows.iter().map(|r| r.breakdown.map(|(w, _, _, _)| w).unwrap_or(0.0)).collect();
         // Work fraction must decay monotonically with scale (Table 2's
         // headline shape).
         for pair in works.windows(2) {

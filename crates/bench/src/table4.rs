@@ -56,24 +56,15 @@ impl Table4 {
 
 /// Simulates one cell: `t_Red` from the measured curve, failures from the
 /// per-process sphere sampler.
-pub fn simulate_cell(
-    t5: &Table5,
-    mtbf_hours: f64,
-    degree_idx: usize,
-    seeds: usize,
-) -> Cell {
+pub fn simulate_cell(t5: &Table5, mtbf_hours: f64, degree_idx: usize, seeds: usize) -> Cell {
     let degree = DEGREES[degree_idx];
     let cfg = experiment_config(mtbf_hours).with_degree(degree);
     // Work amount: the measured failure-free time at this degree, hours.
     let work_hours = t5.observed_minutes[degree_idx] / 60.0;
     // Daly interval from the analytic system MTBF at this degree.
-    let system = SystemModel::with_approximation(
-        cfg.n_virtual,
-        degree,
-        cfg.node_mtbf,
-        cfg.approximation,
-    )
-    .expect("valid system");
+    let system =
+        SystemModel::with_approximation(cfg.n_virtual, degree, cfg.node_mtbf, cfg.approximation)
+            .expect("valid system");
     let sys = system.evaluate(work_hours).expect("valid horizon");
     let interval = if sys.failure_rate == 0.0 {
         work_hours
@@ -111,8 +102,7 @@ pub fn generate(t5: &Table5, seeds: usize) -> Table4 {
     let rows = constants::MTBF_HOURS
         .iter()
         .map(|&mtbf| {
-            let cells =
-                (0..DEGREES.len()).map(|i| simulate_cell(t5, mtbf, i, seeds)).collect();
+            let cells = (0..DEGREES.len()).map(|i| simulate_cell(t5, mtbf, i, seeds)).collect();
             (mtbf, cells)
         })
         .collect();
@@ -121,9 +111,8 @@ pub fn generate(t5: &Table5, seeds: usize) -> Table4 {
 
 /// Renders the matrix with per-row minima and paper reference rows.
 pub fn render(t4: &Table4) -> String {
-    let mut t = TextTable::new().header(
-        std::iter::once("MTBF".to_string()).chain(DEGREES.iter().map(|d| format!("{d}x"))),
-    );
+    let mut t = TextTable::new()
+        .header(std::iter::once("MTBF".to_string()).chain(DEGREES.iter().map(|d| format!("{d}x"))));
     for (i, (mtbf, cells)) in t4.rows.iter().enumerate() {
         let min_degree = t4.argmin_degree(i);
         let mut row = vec![format!("{mtbf:.0} hrs")];
@@ -133,9 +122,8 @@ pub fn render(t4: &Table4) -> String {
         }
         t.row(row);
     }
-    let mut paper_t = TextTable::new().header(
-        std::iter::once("MTBF".to_string()).chain(DEGREES.iter().map(|d| format!("{d}x"))),
-    );
+    let mut paper_t = TextTable::new()
+        .header(std::iter::once("MTBF".to_string()).chain(DEGREES.iter().map(|d| format!("{d}x"))));
     for (mtbf, row) in TABLE4 {
         let mut cells = vec![format!("{mtbf:.0} hrs")];
         cells.extend(row.iter().map(|v| format!("{v:.0}")));

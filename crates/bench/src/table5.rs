@@ -83,9 +83,7 @@ pub fn render(t5: &Table5) -> String {
         std::iter::once("Degree".to_string()).chain(DEGREES.iter().map(|d| format!("{d}x"))),
     );
     let row = |label: &str, values: &[f64]| -> Vec<String> {
-        std::iter::once(label.to_string())
-            .chain(values.iter().map(|v| format!("{v:.0}")))
-            .collect()
+        std::iter::once(label.to_string()).chain(values.iter().map(|v| format!("{v:.0}"))).collect()
     };
     t.row(row("observed (ours)", &t5.observed_minutes));
     t.row(row("expected linear (Eq. 1)", &t5.expected_minutes));
@@ -121,8 +119,7 @@ mod tests {
         );
         // Super-linear first step: the 1x→1.25x jump beats the Eq. 1 slope
         // (the paper's observation (4) mechanism).
-        let eq1_step = (t5.expected_minutes[1] - t5.expected_minutes[0])
-            / t5.expected_minutes[0];
+        let eq1_step = (t5.expected_minutes[1] - t5.expected_minutes[0]) / t5.expected_minutes[0];
         let first_step = ratios[1] - 1.0;
         assert!(
             first_step > eq1_step,
@@ -130,13 +127,13 @@ mod tests {
         );
         // Observed sits above the linear expectation from 1.25x on
         // (Figure 10's gap).
-        for i in 1..9 {
+        for (i, degree) in DEGREES.iter().enumerate().take(9).skip(1) {
             assert!(
                 t5.observed_minutes[i] > t5.expected_minutes[i],
                 "observed {} <= expected {} at {}x",
                 t5.observed_minutes[i],
                 t5.expected_minutes[i],
-                DEGREES[i]
+                degree
             );
         }
         // α calibration held.

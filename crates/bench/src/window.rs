@@ -43,8 +43,10 @@ impl WindowStudy {
         if valid.is_empty() {
             return 0.0;
         }
-        let fractional =
-            valid.iter().filter(|d| !((*d * 4.0) as u64).is_multiple_of(4) && d.fract() != 0.0).count();
+        let fractional = valid
+            .iter()
+            .filter(|d| !((*d * 4.0) as u64).is_multiple_of(4) && d.fract() != 0.0)
+            .count();
         fractional as f64 / valid.len() as f64
     }
 
@@ -85,10 +87,7 @@ pub fn sweep_processes(lo: u64, hi: u64, points: usize) -> WindowStudy {
             let f = (lo as f64).ln()
                 + ((hi as f64).ln() - (lo as f64).ln()) * i as f64 / (points - 1) as f64;
             let n = f.exp().round() as u64;
-            WindowPoint {
-                x: n as f64,
-                best_degree: best_on_grid(&cfg.with_virtual_processes(n)),
-            }
+            WindowPoint { x: n as f64, best_degree: best_on_grid(&cfg.with_virtual_processes(n)) }
         })
         .collect();
     WindowStudy { axis: "process count", points: pts }

@@ -42,8 +42,7 @@ pub fn quiesce<C: Communicator>(comm: &CountingComm<'_, C>) -> Result<Vec<Channe
     // Drain until the totals equalize.
     loop {
         let received = comm.received_counts();
-        let all_equal =
-            (0..n).all(|p| received[p] >= expected[p]);
+        let all_equal = (0..n).all(|p| received[p] >= expected[p]);
         if all_equal {
             break;
         }

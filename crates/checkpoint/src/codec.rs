@@ -238,9 +238,8 @@ impl<'a> ser::Serializer for &'a mut Serializer {
     }
 
     fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap> {
-        let len = len.ok_or_else(|| {
-            CkptError::Codec("maps of unknown length are not supported".into())
-        })?;
+        let len =
+            len.ok_or_else(|| CkptError::Codec("maps of unknown length are not supported".into()))?;
         self.put_len(len);
         Ok(Compound { ser: self })
     }
@@ -655,7 +654,7 @@ mod tests {
         round_trip(42u8);
         round_trip(-1i64);
         round_trip(u64::MAX);
-        round_trip(3.141_592_653_589_793f64);
+        round_trip(std::f64::consts::PI);
         round_trip(f32::NEG_INFINITY);
         round_trip('λ');
         round_trip(String::from("hello checkpoint"));

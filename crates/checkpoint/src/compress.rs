@@ -69,9 +69,7 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
         i += 1;
         if c >= 0x80 {
             let run = (c - 0x80) as usize + MIN_RUN;
-            let b = *data
-                .get(i)
-                .ok_or_else(|| CkptError::Codec("rle: truncated run".into()))?;
+            let b = *data.get(i).ok_or_else(|| CkptError::Codec("rle: truncated run".into()))?;
             i += 1;
             out.resize(out.len() + run, b);
         } else {
@@ -119,9 +117,8 @@ mod tests {
     #[test]
     fn incompressible_data_bounded_overhead() {
         // Pseudo-random bytes: no runs of length >= 3.
-        let data: Vec<u8> = (0..10_000u32)
-            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8 ^ (i as u8))
-            .collect();
+        let data: Vec<u8> =
+            (0..10_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8 ^ (i as u8)).collect();
         let c = compress(&data);
         assert!(c.len() <= data.len() + data.len() / 100 + 16);
         round_trip(&data);

@@ -245,8 +245,7 @@ mod tests {
             .cost_model(CostModel::zero())
             .run(move |base| {
                 let comm = CountingComm::new(base);
-                let state =
-                    State { iter: 5, data: vec![comm.rank().index() as f64; 8] };
+                let state = State { iter: 5, data: vec![comm.rank().index() as f64; 8] };
                 coord2.checkpoint(&comm, 1, &state).unwrap();
                 let restored: Restored<State> = coord2.restore(comm.inner(), 1).unwrap();
                 assert_eq!(restored.state, state);
@@ -262,9 +261,8 @@ mod tests {
     #[test]
     fn checkpoint_cost_charged_to_virtual_time() {
         let storage: Arc<dyn StableStorage> = Arc::new(MemoryStorage::new());
-        let coord = CheckpointCoordinator::new(storage).cost_model(StorageCostModel::fixed(
-            120.0, 500.0,
-        ));
+        let coord =
+            CheckpointCoordinator::new(storage).cost_model(StorageCostModel::fixed(120.0, 500.0));
         let report = World::builder(2)
             .cost_model(CostModel::zero())
             .run(move |base| {
@@ -296,8 +294,7 @@ mod tests {
                     // Simulate restart: a fresh CountingComm primed with the
                     // restored channel state.
                     let restored: Restored<u64> = coord.restore(comm.inner(), 9).unwrap();
-                    let comm2 =
-                        CountingComm::with_restored_channel(comm.inner(), restored.channel);
+                    let comm2 = CountingComm::with_restored_channel(comm.inner(), restored.channel);
                     let (b, _) = comm2.recv(Rank::new(0).into(), Tag::new(4).into())?;
                     assert_eq!(&b[..], b"in-flight");
                 }

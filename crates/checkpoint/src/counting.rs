@@ -328,8 +328,7 @@ mod tests {
                     comm.drain_one()?;
                     assert_eq!(comm.channel_state().len(), 1);
                     // The app's receive is then served from the stash.
-                    let (bytes, status) =
-                        comm.recv(Rank::new(0).into(), Tag::new(5).into())?;
+                    let (bytes, status) = comm.recv(Rank::new(0).into(), Tag::new(5).into())?;
                     assert_eq!(status.source.index(), 0);
                     assert!(comm.channel_state().is_empty());
                     Ok(bytes.to_vec())

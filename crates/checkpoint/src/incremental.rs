@@ -244,7 +244,7 @@ mod tests {
     fn broken_chains_detected() {
         assert!(reconstruct(&[], 8).is_err());
         let delta = Increment::Delta { image_len: 8, pages: vec![] };
-        assert!(reconstruct(&[delta.clone()], 8).is_err());
+        assert!(reconstruct(std::slice::from_ref(&delta), 8).is_err());
         let full = Increment::Full { image: vec![0; 8] };
         let bad_len = Increment::Delta { image_len: 16, pages: vec![] };
         assert!(reconstruct(&[full.clone(), bad_len], 8).is_err());

@@ -68,13 +68,7 @@ impl ProcessImage {
         let mut bytes = codec::to_bytes(state)?;
         exclusions.apply(&mut bytes);
         let app_state = if compressed { compress::compress(&bytes) } else { bytes };
-        Ok(ProcessImage {
-            rank,
-            virtual_time,
-            app_state,
-            channel_state: Vec::new(),
-            compressed,
-        })
+        Ok(ProcessImage { rank, virtual_time, app_state, channel_state: Vec::new(), compressed })
     }
 
     /// Attaches drained channel state.

@@ -120,16 +120,11 @@ mod tests {
         let n = 40;
         let mut total = 0.0;
         for seed in 0..n {
-            total +=
-                simulate_combined(&cfg, FailureExposure::AllTime, seed).unwrap().total_time;
+            total += simulate_combined(&cfg, FailureExposure::AllTime, seed).unwrap().total_time;
         }
         let mean = total / n as f64;
         let rel = (mean - model.total_time).abs() / model.total_time;
-        assert!(
-            rel < 0.15,
-            "simulated mean {mean} vs model {} (rel {rel})",
-            model.total_time
-        );
+        assert!(rel < 0.15, "simulated mean {mean} vs model {} (rel {rel})", model.total_time);
     }
 
     #[test]

@@ -13,6 +13,16 @@ pub trait FailureSource {
     /// start, in exposure-clock units). `f64::INFINITY` means the attempt
     /// is failure-free.
     fn next_failure(&mut self, attempt: u64) -> f64;
+
+    /// Individual process deaths from the most recent [`next_failure`]
+    /// sample that occurred by exposure time `exposure` **without** killing
+    /// the job — deaths masked by surviving replicas. Sources without
+    /// process granularity report 0.
+    ///
+    /// [`next_failure`]: FailureSource::next_failure
+    fn masked_before(&self, _exposure: f64) -> u64 {
+        0
+    }
 }
 
 /// Memoryless system-level failures at a fixed rate (system MTBF `Θ`):
@@ -50,6 +60,9 @@ pub struct SphereSource {
     /// Fast path: when no process is replicated, the job failure time is
     /// the minimum of `N` i.i.d. exponentials — a single `Exp(θ/N)` draw.
     min_sampler: Option<ExpSampler>,
+    /// Most recent sample: `(schedule, killer_sphere, failure_time)`, kept
+    /// for masked-death accounting.
+    last: Option<(FailureSchedule, usize, f64)>,
 }
 
 impl SphereSource {
@@ -65,7 +78,7 @@ impl SphereSource {
         } else {
             None
         };
-        SphereSource { groups, sampler: ExpSampler::new(node_mtbf, seed), min_sampler }
+        SphereSource { groups, sampler: ExpSampler::new(node_mtbf, seed), min_sampler, last: None }
     }
 
     /// The sphere structure.
@@ -77,10 +90,35 @@ impl SphereSource {
 impl FailureSource for SphereSource {
     fn next_failure(&mut self, _attempt: u64) -> f64 {
         if let Some(min_sampler) = &mut self.min_sampler {
+            // Unreplicated fast path: the first death kills the job, so no
+            // death is ever masked and the schedule is not needed.
             return min_sampler.sample();
         }
         let schedule = FailureSchedule::sample(self.groups.n_physical(), &mut self.sampler);
-        schedule.job_failure(&self.groups).0
+        let (failure, killer) = schedule.job_failure(&self.groups);
+        self.last = Some((schedule, killer, failure));
+        failure
+    }
+
+    fn masked_before(&self, exposure: f64) -> u64 {
+        masked_in_schedule(self.last.as_ref(), &self.groups, exposure)
+    }
+}
+
+/// Counts the deaths in `last`'s schedule by `exposure` that did not kill
+/// the job: everything up to the failure time except the killer sphere's
+/// own members.
+fn masked_in_schedule(
+    last: Option<&(FailureSchedule, usize, f64)>,
+    groups: &ReplicaGroups,
+    exposure: f64,
+) -> u64 {
+    let Some((schedule, killer, failure)) = last else { return 0 };
+    if exposure >= *failure {
+        let dead = schedule.dead_by(*failure).len();
+        dead.saturating_sub(groups.members(*killer).len()) as u64
+    } else {
+        schedule.dead_by(exposure).len() as u64
     }
 }
 
@@ -93,6 +131,7 @@ pub struct NodeSphereSource {
     groups: ReplicaGroups,
     placement: NodePlacement,
     sampler: ExpSampler,
+    last: Option<(FailureSchedule, usize, f64)>,
 }
 
 impl NodeSphereSource {
@@ -103,14 +142,14 @@ impl NodeSphereSource {
     /// # Panics
     ///
     /// Panics if `node_mtbf` is not positive or replicas share a node.
-    pub fn new(
-        groups: ReplicaGroups,
-        procs_per_node: usize,
-        node_mtbf: f64,
-        seed: u64,
-    ) -> Self {
+    pub fn new(groups: ReplicaGroups, procs_per_node: usize, node_mtbf: f64, seed: u64) -> Self {
         let placement = NodePlacement::anti_affine(&groups, procs_per_node);
-        NodeSphereSource { groups, placement, sampler: ExpSampler::new(node_mtbf, seed) }
+        NodeSphereSource {
+            groups,
+            placement,
+            sampler: ExpSampler::new(node_mtbf, seed),
+            last: None,
+        }
     }
 
     /// The node placement in effect.
@@ -121,7 +160,14 @@ impl NodeSphereSource {
 
 impl FailureSource for NodeSphereSource {
     fn next_failure(&mut self, _attempt: u64) -> f64 {
-        self.placement.sample(&mut self.sampler).job_failure(&self.groups).0
+        let schedule = self.placement.sample(&mut self.sampler);
+        let (failure, killer) = schedule.job_failure(&self.groups);
+        self.last = Some((schedule, killer, failure));
+        failure
+    }
+
+    fn masked_before(&self, exposure: f64) -> u64 {
+        masked_in_schedule(self.last.as_ref(), &self.groups, exposure)
     }
 }
 
@@ -185,6 +231,29 @@ mod tests {
         // mean ≈ 94 at θ = 100 — nearly double the 1x lifetime.
         assert!(m2 > 1.6 * m1, "m2 = {m2}");
         assert!((m2 - 94.0).abs() < 15.0, "m2 = {m2}");
+    }
+
+    #[test]
+    fn sphere_source_counts_masked_deaths() {
+        // 2x spheres with a harsh MTBF: by the time the job dies, several
+        // processes outside the killer sphere usually died too — all of
+        // them masked. Before the failure, *every* sampled death is masked.
+        let mut s = SphereSource::new(ReplicaGroups::uniform(8, 2), 5.0, 4);
+        let mut saw_masked = false;
+        for attempt in 0..50 {
+            let failure = s.next_failure(attempt);
+            assert!(failure.is_finite());
+            assert_eq!(s.masked_before(0.0), 0, "no deaths at exposure 0");
+            let at_failure = s.masked_before(failure);
+            let just_before = s.masked_before(failure * (1.0 - 1e-12));
+            assert!(at_failure <= just_before, "the killer sphere is not masked");
+            saw_masked |= at_failure > 0;
+        }
+        assert!(saw_masked, "masked deaths must occur under mtbf 5 at 2x");
+        // The unreplicated fast path has nothing to mask.
+        let mut plain = SphereSource::new(ReplicaGroups::uniform(8, 1), 5.0, 4);
+        let failure = plain.next_failure(0);
+        assert_eq!(plain.masked_before(failure), 0);
     }
 
     #[test]

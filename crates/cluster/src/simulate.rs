@@ -88,6 +88,7 @@ pub fn simulate_job(cfg: &JobConfig, source: &mut dyn FailureSource) -> Result<J
                 stats.restart_time += partial;
                 stats.total_time += partial;
                 stats.failures += 1;
+                stats.masked_failures += source.masked_before(fail_at);
                 continue;
             }
             stats.restart_time += cfg.restart_cost;
@@ -106,6 +107,7 @@ pub fn simulate_job(cfg: &JobConfig, source: &mut dyn FailureSource) -> Result<J
                 account_work(&mut stats, position, done, &mut high_water);
                 stats.total_time += done;
                 stats.failures += 1;
+                stats.masked_failures += source.masked_before(fail_at);
                 failed = true;
                 break;
             }
@@ -124,6 +126,7 @@ pub fn simulate_job(cfg: &JobConfig, source: &mut dyn FailureSource) -> Result<J
                 stats.checkpoint_time += partial;
                 stats.total_time += partial;
                 stats.failures += 1;
+                stats.masked_failures += source.masked_before(fail_at);
                 failed = true;
                 break;
             }
@@ -137,6 +140,8 @@ pub fn simulate_job(cfg: &JobConfig, source: &mut dyn FailureSource) -> Result<J
         }
 
         if !failed {
+            // Deaths the completed attempt rode out were all masked.
+            stats.masked_failures += source.masked_before(exposure);
             debug_assert!(committed >= cfg.work - 1e-9);
             debug_assert!(stats.is_consistent(), "{stats:?}");
             debug_assert!(

@@ -18,6 +18,10 @@ pub struct JobStats {
     pub restart_time: f64,
     /// Number of failures endured.
     pub failures: u64,
+    /// Individual process deaths masked by redundancy (a replica died but
+    /// its sphere survived, so the job did not restart). Sources without
+    /// process granularity report 0.
+    pub masked_failures: u64,
     /// Number of checkpoints committed.
     pub checkpoints: u64,
     /// Number of attempts (1 = failure-free).
@@ -51,8 +55,7 @@ impl JobStats {
 
     /// Internal consistency: the buckets must sum to the total.
     pub fn is_consistent(&self) -> bool {
-        let sum =
-            self.work_time + self.checkpoint_time + self.recompute_time + self.restart_time;
+        let sum = self.work_time + self.checkpoint_time + self.recompute_time + self.restart_time;
         (sum - self.total_time).abs() <= 1e-6 * self.total_time.max(1.0)
     }
 }
@@ -70,6 +73,7 @@ mod tests {
             recompute_time: 10.0,
             restart_time: 35.0,
             failures: 5,
+            masked_failures: 2,
             checkpoints: 10,
             attempts: 6,
         };

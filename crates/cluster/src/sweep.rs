@@ -102,10 +102,7 @@ where
         mean_total = mean.total_time;
     }
     let variance = if completed > 1 {
-        completed_stats
-            .iter()
-            .map(|s| (s.total_time - mean_total).powi(2))
-            .sum::<f64>()
+        completed_stats.iter().map(|s| (s.total_time - mean_total).powi(2)).sum::<f64>()
             / (completed - 1) as f64
     } else {
         0.0

@@ -87,11 +87,7 @@ impl ResilientApp for JacobiApp {
         Ok(self.solver.init_state())
     }
 
-    fn step<C: Communicator>(
-        &self,
-        comm: &C,
-        state: &mut JacobiState,
-    ) -> redcr_mpi::Result<()> {
+    fn step<C: Communicator>(&self, comm: &C, state: &mut JacobiState) -> redcr_mpi::Result<()> {
         if self.pad_seconds > 0.0 {
             comm.compute(self.pad_seconds)?;
         }
@@ -174,8 +170,7 @@ mod tests {
     #[test]
     fn jacobi_adapter_runs() {
         let app = JacobiApp::new(JacobiConfig::small(6), 15).with_step_pad(0.5);
-        let report =
-            ResilientExecutor::new(ExecutorConfig::new(2, 1.0)).run(&app).unwrap();
+        let report = ResilientExecutor::new(ExecutorConfig::new(2, 1.0)).run(&app).unwrap();
         assert_eq!(report.final_states[0].iteration, 15);
     }
 

@@ -31,6 +31,11 @@ pub struct ExecutorConfig {
     pub seed: u64,
     /// Attempt budget before giving up.
     pub max_attempts: u64,
+    /// Livelock guard: abort with [`CoreError::NoProgress`] after this many
+    /// *consecutive* attempts that committed no new checkpoint.
+    ///
+    /// [`CoreError::NoProgress`]: crate::CoreError::NoProgress
+    pub no_progress_limit: u64,
 }
 
 impl ExecutorConfig {
@@ -49,6 +54,7 @@ impl ExecutorConfig {
             protocol: CoordinationProtocol::Bookmark,
             seed: 0,
             max_attempts: 10_000,
+            no_progress_limit: 64,
         }
     }
 
@@ -103,6 +109,13 @@ impl ExecutorConfig {
     /// Sets the attempt budget.
     pub fn max_attempts(mut self, attempts: u64) -> Self {
         self.max_attempts = attempts;
+        self
+    }
+
+    /// Sets the livelock guard: consecutive checkpoint-free attempts
+    /// tolerated before giving up.
+    pub fn no_progress_limit(mut self, attempts: u64) -> Self {
+        self.no_progress_limit = attempts;
         self
     }
 }

@@ -16,6 +16,13 @@ pub enum CoreError {
         /// Attempts performed.
         attempts: u64,
     },
+    /// Livelock guard: the configured number of consecutive attempts went
+    /// by without a single new checkpoint being committed — the job is
+    /// restarting in place and will never finish.
+    NoProgress {
+        /// Attempts performed when the guard fired.
+        attempts: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -27,6 +34,13 @@ impl fmt::Display for CoreError {
             CoreError::AttemptsExhausted { attempts } => {
                 write!(f, "job did not complete within {attempts} attempts")
             }
+            CoreError::NoProgress { attempts } => {
+                write!(
+                    f,
+                    "no checkpoint progress over consecutive restarts \
+                     (livelock detected after {attempts} attempts)"
+                )
+            }
         }
     }
 }
@@ -37,7 +51,7 @@ impl Error for CoreError {
             CoreError::Model(e) => Some(e),
             CoreError::Runtime(e) => Some(e),
             CoreError::Checkpoint(e) => Some(e),
-            CoreError::AttemptsExhausted { .. } => None,
+            CoreError::AttemptsExhausted { .. } | CoreError::NoProgress { .. } => None,
         }
     }
 }

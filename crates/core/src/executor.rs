@@ -43,8 +43,7 @@ pub trait ResilientApp: Sync {
     /// # Errors
     ///
     /// Propagates runtime errors.
-    fn step<C: Communicator>(&self, comm: &C, state: &mut Self::State)
-        -> redcr_mpi::Result<()>;
+    fn step<C: Communicator>(&self, comm: &C, state: &mut Self::State) -> redcr_mpi::Result<()>;
 
     /// Whether the application has finished.
     fn is_done(&self, state: &Self::State) -> bool;
@@ -73,15 +72,21 @@ impl ResilientExecutor {
         &self.config
     }
 
-    /// Runs `app` to completion: plans failure times per attempt, executes
-    /// the replicated application with the failure time as the fail-stop
-    /// horizon, checkpoints at the configured interval, and restarts from
-    /// the last complete checkpoint after each job failure.
+    /// Runs `app` to completion: plans per-process failure times per
+    /// attempt, injects them **live** into the replicated runtime (each
+    /// process fail-stops at its sampled time), checkpoints at the
+    /// configured interval, and restarts from the last complete checkpoint
+    /// whenever some sphere loses its *last* replica. Individual deaths
+    /// that redundancy masks do not restart anything — they only show up
+    /// in the report as [`masked_failures`] and degraded running time.
+    ///
+    /// [`masked_failures`]: ExecutionReport::masked_failures
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::AttemptsExhausted`] if the attempt budget runs
-    /// out, or the underlying model/runtime/checkpoint error.
+    /// out, [`CoreError::NoProgress`] if the livelock guard fires, or the
+    /// underlying model/runtime/checkpoint error.
     pub fn run<A: ResilientApp>(&self, app: &A) -> Result<ExecutionReport<A::State>> {
         let cfg = &self.config;
         let partition = RedundancyPartition::new(cfg.n_virtual, cfg.degree)?;
@@ -97,6 +102,10 @@ impl ResilientExecutor {
         let mut resume_time = 0.0f64;
         let mut attempts = 0u64;
         let mut failures = 0u64;
+        let mut masked_failures = 0u64;
+        let mut degraded_sphere_seconds = 0.0f64;
+        let mut stagnant = 0u64;
+        let mut last_committed: Option<u64> = None;
         let mut stats = redcr_red::stats::StatsSnapshot::default();
         let mut physical_messages = 0u64;
         let mut physical_bytes = 0u64;
@@ -118,12 +127,12 @@ impl ResilientExecutor {
             let report = ReplicatedWorld::builder(cfg.n_virtual, cfg.degree)?
                 .voting_mode(cfg.voting)
                 .cost_model(cfg.comm_cost)
-                .abort_horizon(plan.job_failure_time)
+                .death_times(plan.absolute_death_times())
                 .start_time(resume_time)
                 .run(move |comm| {
                     let n_ranks = comm.size() as u32;
-                    let latest =
-                        restart::latest_complete(storage.as_ref(), n_ranks).map_err(MpiError::from)?;
+                    let latest = restart::latest_complete(storage.as_ref(), n_ranks)
+                        .map_err(MpiError::from)?;
                     let (mut state, mut next_seq, counting) = match latest {
                         Some(seq) => {
                             // Restore: charges the read cost R to virtual
@@ -155,8 +164,7 @@ impl ResilientExecutor {
                         }
                         // Collective clock agreement so that every rank and
                         // replica takes the checkpoint decision together.
-                        let now_max =
-                            counting.allreduce_f64(&[counting.now()], ReduceOp::Max)?[0];
+                        let now_max = counting.allreduce_f64(&[counting.now()], ReduceOp::Max)?[0];
                         if now_max >= next_ckpt {
                             coordinator
                                 .checkpoint(&counting, next_seq, &state)
@@ -173,38 +181,102 @@ impl ResilientExecutor {
             physical_messages += report.physical_messages;
             physical_bytes += report.physical_bytes;
 
-            if report.aborted {
-                // Distinguish the planned fail-stop from genuine errors.
-                for r in &report.results {
-                    match r {
-                        Err(MpiError::Aborted { .. }) | Ok(_) => {}
-                        Err(other) => return Err(CoreError::Runtime(other.clone())),
+            // Any non-fail-stop error is a genuine bug, never a planned
+            // death (Dead/DeadPeer/SphereDead/Aborted are all expected
+            // outcomes of live injection).
+            for r in &report.results {
+                if let Err(e) = r {
+                    if !e.is_fail_stop() {
+                        return Err(CoreError::Runtime(e.clone()));
                     }
                 }
+            }
+
+            let vmap = report.vmap().clone();
+            // Completed iff no job abort was raised and every virtual rank
+            // kept at least one live replica to the end. A rank's *primary*
+            // may well be `Err(Dead)` — a surviving shadow carries the
+            // state then.
+            let completed = !report.aborted
+                && (0..cfg.n_virtual as u32).all(|v| {
+                    vmap.replicas_of(redcr_mpi::Rank::new(v))
+                        .iter()
+                        .any(|p| report.results[p.index()].is_ok())
+                });
+
+            // Where the attempt ended on the virtual clock. On a failure
+            // the survivors can be discovered slightly past the sampled
+            // sphere-death time (the death materializes at the next
+            // operation boundary), so take the max.
+            let attempt_end = if completed || !plan.job_failure_time.is_finite() {
+                report.max_virtual_time
+            } else {
+                report.max_virtual_time.max(plan.job_failure_time)
+            };
+            let end_rel = (attempt_end - plan.start_time).max(0.0);
+
+            // Degraded running time: for each sphere that lost a member
+            // during the attempt, the span from its first member death to
+            // its own death (or the end of the attempt, whichever first).
+            for members in injector.groups().iter() {
+                let times = members.iter().map(|&p| plan.schedule.death_times[p]);
+                let first = times.clone().fold(f64::INFINITY, f64::min);
+                if first.is_finite() && first < end_rel {
+                    let last = times.fold(f64::NEG_INFINITY, f64::max);
+                    degraded_sphere_seconds += last.min(end_rel) - first;
+                }
+            }
+
+            if !completed {
+                // Every process death up to the job failure that was NOT a
+                // member of the killer sphere was masked by redundancy.
                 failures += 1;
-                resume_time = plan.job_failure_time;
+                let rel_failure = plan.job_failure_time - plan.start_time;
+                if rel_failure.is_finite() {
+                    let dead = plan.schedule.dead_by(rel_failure).len();
+                    let fatal = injector.groups().members(plan.killer_sphere).len();
+                    masked_failures += dead.saturating_sub(fatal) as u64;
+                }
+                resume_time = attempt_end;
+
+                // Livelock guard: a restart that found no new checkpoint
+                // replays exactly the ground already lost.
+                let latest = restart::latest_complete(self.storage.as_ref(), cfg.n_virtual as u32)?;
+                if latest == last_committed {
+                    stagnant += 1;
+                    if stagnant >= cfg.no_progress_limit {
+                        return Err(CoreError::NoProgress { attempts });
+                    }
+                } else {
+                    last_committed = latest;
+                    stagnant = 0;
+                }
                 continue;
             }
 
-            // Completed: the planned failure never materialized; prune its
-            // never-observed death events from the log.
+            // Completed: every death that occurred during the attempt was
+            // masked; the planned *job* failure never materialized, so
+            // prune its never-observed events from the log.
+            masked_failures += plan.schedule.dead_by(end_rel).len() as u64;
             injector.trace_mut().truncate_attempt(plan.attempt, report.max_virtual_time);
             let total_time = report.max_virtual_time;
             let n_physical = report.n_physical;
-            let vmap = report.vmap().clone();
             let mut results = report.results;
             let mut final_states = Vec::with_capacity(cfg.n_virtual as usize);
             let mut checkpoints_committed = 0u64;
             for v in 0..cfg.n_virtual as u32 {
-                let phys = vmap.replicas_of(redcr_mpi::Rank::new(v))[0];
-                match results[phys.index()].take_ok() {
+                let live = vmap
+                    .replicas_of(redcr_mpi::Rank::new(v))
+                    .iter()
+                    .find_map(|p| results[p.index()].take_ok());
+                match live {
                     Some((state, ckpts)) => {
                         checkpoints_committed = checkpoints_committed.max(ckpts);
                         final_states.push(state);
                     }
                     None => {
                         return Err(CoreError::Runtime(MpiError::App {
-                            what: format!("primary replica of rank {v} produced no result"),
+                            what: format!("no live replica of rank {v} produced a result"),
                         }))
                     }
                 }
@@ -214,6 +286,8 @@ impl ResilientExecutor {
                 total_virtual_time: total_time,
                 attempts,
                 failures,
+                masked_failures,
+                degraded_sphere_seconds,
                 checkpoints_committed,
                 replication: stats,
                 physical_messages,
@@ -234,10 +308,7 @@ trait TakeOk<T> {
 
 impl<T> TakeOk<T> for redcr_mpi::Result<T> {
     fn take_ok(&mut self) -> Option<T> {
-        std::mem::replace(
-            self,
-            Err(MpiError::App { what: "result already taken".into() }),
-        ).ok()
+        std::mem::replace(self, Err(MpiError::App { what: "result already taken".into() })).ok()
     }
 }
 
@@ -262,11 +333,7 @@ mod tests {
             self.solver.init_state(comm)
         }
 
-        fn step<C: Communicator>(
-            &self,
-            comm: &C,
-            state: &mut CgState,
-        ) -> redcr_mpi::Result<()> {
+        fn step<C: Communicator>(&self, comm: &C, state: &mut CgState) -> redcr_mpi::Result<()> {
             comm.compute(self.pad_seconds)?;
             self.solver.step(comm, state)?;
             Ok(())
@@ -346,10 +413,7 @@ mod tests {
             fail1 += run(1.0, seed).failures;
             fail2 += run(2.0, seed).failures;
         }
-        assert!(
-            fail2 < fail1,
-            "dual redundancy must cut job failures: 1x={fail1} 2x={fail2}"
-        );
+        assert!(fail2 < fail1, "dual redundancy must cut job failures: 1x={fail1} 2x={fail2}");
     }
 
     #[test]
@@ -374,6 +438,43 @@ mod tests {
                 assert!((x - y).abs() < 1e-12, "numerics must survive restarts");
             }
         }
+    }
+
+    #[test]
+    fn masked_failures_counted_and_fatal_ones_excluded() {
+        // At 2x with a harsh MTBF some attempts restart (sphere deaths) and
+        // some individual deaths are masked; both tallies must be visible.
+        let cfg = ExecutorConfig::new(4, 2.0)
+            .node_mtbf(25.0)
+            .checkpoint_interval(4.0)
+            .checkpoint_cost(0.1)
+            .restart_cost(0.5)
+            .seed(8);
+        let report = ResilientExecutor::new(cfg).run(&cg_app(32, 30, 1.0)).unwrap();
+        assert!(report.masked_failures > 0, "2x under mtbf 25 must mask deaths: {report}");
+        assert!(report.degraded_sphere_seconds > 0.0);
+        for s in &report.final_states {
+            assert_eq!(s.iteration, 30);
+        }
+    }
+
+    #[test]
+    fn livelock_guard_reports_no_progress() {
+        // The job can never reach its first checkpoint, so every restart
+        // replays from scratch: the guard must fire before the (large)
+        // attempt budget.
+        let cfg = ExecutorConfig::new(4, 1.0)
+            .node_mtbf(0.5)
+            .checkpoint_interval(10.0)
+            .checkpoint_cost(1.0)
+            .restart_cost(1.0)
+            .max_attempts(10_000)
+            .no_progress_limit(6);
+        let err = ResilientExecutor::new(cfg).run(&cg_app(32, 1000, 1.0)).unwrap_err();
+        assert!(
+            matches!(err, CoreError::NoProgress { attempts: 6 }),
+            "expected the livelock guard, got: {err}"
+        );
     }
 
     #[test]

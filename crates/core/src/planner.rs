@@ -230,8 +230,7 @@ mod tests {
     #[test]
     fn resource_objective_lowers_degree() {
         let time_plan = planner().recommend().unwrap();
-        let resource_plan =
-            planner().objective(CostWeights::resources_only()).recommend().unwrap();
+        let resource_plan = planner().objective(CostWeights::resources_only()).recommend().unwrap();
         assert!(resource_plan.degree <= time_plan.degree);
     }
 

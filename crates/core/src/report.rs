@@ -15,6 +15,14 @@ pub struct ExecutionReport<S> {
     pub attempts: u64,
     /// Job failures endured (sphere deaths).
     pub failures: u64,
+    /// Individual process fail-stops that were **masked** by redundancy:
+    /// the process died but its sphere kept at least one live replica, so
+    /// the attempt did not have to restart because of it.
+    pub masked_failures: u64,
+    /// Total virtual seconds spheres spent running **degraded** (at least
+    /// one replica dead but the sphere still alive), summed over spheres
+    /// and attempts.
+    pub degraded_sphere_seconds: f64,
     /// Coordinated checkpoints committed in the final (successful) attempt
     /// history.
     pub checkpoints_committed: u64,
@@ -46,6 +54,11 @@ impl<S> fmt::Display for ExecutionReport<S> {
         writeln!(f, "resilient execution report")?;
         writeln!(f, "  wallclock        : {:.3} virtual s", self.total_virtual_time)?;
         writeln!(f, "  attempts         : {} ({} failures)", self.attempts, self.failures)?;
+        writeln!(
+            f,
+            "  masked failures  : {} ({:.3} degraded sphere-seconds)",
+            self.masked_failures, self.degraded_sphere_seconds
+        )?;
         writeln!(f, "  checkpoints      : {}", self.checkpoints_committed)?;
         writeln!(f, "  physical procs   : {}", self.n_physical)?;
         writeln!(f, "  node-seconds     : {:.3}", self.node_seconds)?;
@@ -74,6 +87,8 @@ mod tests {
             total_virtual_time: 12.5,
             attempts: 3,
             failures: 2,
+            masked_failures: 1,
+            degraded_sphere_seconds: 0.5,
             checkpoints_committed: 4,
             replication: StatsSnapshot::default(),
             physical_messages: 100,

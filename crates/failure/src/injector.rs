@@ -24,6 +24,21 @@ pub struct AttemptPlan {
     pub schedule: FailureSchedule,
 }
 
+impl AttemptPlan {
+    /// Per-process death times as **absolute** virtual seconds (the
+    /// schedule itself is relative to [`start_time`](Self::start_time)),
+    /// ready to hand to the runtime's live fail-stop injection
+    /// (`death_times` builders). Processes that never die stay at
+    /// `f64::INFINITY`.
+    pub fn absolute_death_times(&self) -> Vec<f64> {
+        self.schedule
+            .death_times
+            .iter()
+            .map(|&d| if d.is_finite() { self.start_time + d } else { f64::INFINITY })
+            .collect()
+    }
+}
+
 /// Samples fresh failure schedules per attempt and records the resulting
 /// event trace, mirroring the paper's injector semantics (spares replace
 /// failed nodes at restart, so every attempt starts fully alive).
@@ -118,6 +133,21 @@ mod tests {
     use super::*;
 
     #[test]
+    fn absolute_death_times_offset_by_start() {
+        let mut inj = FailureInjector::new(ReplicaGroups::uniform(3, 2), 500.0, 11);
+        let plan = inj.plan_attempt(100.0);
+        let abs = plan.absolute_death_times();
+        assert_eq!(abs.len(), 6);
+        for (a, d) in abs.iter().zip(&plan.schedule.death_times) {
+            if d.is_finite() {
+                assert_eq!(*a, 100.0 + d);
+            } else {
+                assert_eq!(*a, f64::INFINITY);
+            }
+        }
+    }
+
+    #[test]
     fn plans_are_sequential_and_fresh() {
         let mut inj = FailureInjector::new(ReplicaGroups::uniform(4, 2), 1000.0, 5);
         let a = inj.plan_attempt(0.0);
@@ -163,8 +193,7 @@ mod tests {
     #[test]
     fn higher_redundancy_survives_longer_on_average() {
         let horizon = |replicas: usize, seed: u64| {
-            let mut inj =
-                FailureInjector::new(ReplicaGroups::uniform(8, replicas), 100.0, seed);
+            let mut inj = FailureInjector::new(ReplicaGroups::uniform(8, replicas), 100.0, seed);
             (0..50).map(|i| inj.plan_attempt(i as f64).job_failure_time - i as f64).sum::<f64>()
         };
         let h1: f64 = (0..5).map(|s| horizon(1, s)).sum();

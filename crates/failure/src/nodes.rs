@@ -87,9 +87,7 @@ impl NodePlacement {
     /// Panics if `node_deaths.len() != n_nodes()`.
     pub fn expand(&self, node_deaths: &[f64]) -> FailureSchedule {
         assert_eq!(node_deaths.len(), self.n_nodes);
-        FailureSchedule {
-            death_times: self.node_of.iter().map(|&n| node_deaths[n]).collect(),
-        }
+        FailureSchedule { death_times: self.node_of.iter().map(|&n| node_deaths[n]).collect() }
     }
 
     /// Samples node-level failures (per-node MTBF `sampler.mean()`) and
@@ -153,20 +151,14 @@ mod tests {
         let mut node_sampler = ExpSampler::new(100.0, 1);
         let mut proc_sampler = ExpSampler::new(100.0, 1);
         let n = 2000;
-        let node_mean: f64 = (0..n)
-            .map(|_| placement.sample(&mut node_sampler).job_failure(&groups).0)
-            .sum::<f64>()
-            / n as f64;
+        let node_mean: f64 =
+            (0..n).map(|_| placement.sample(&mut node_sampler).job_failure(&groups).0).sum::<f64>()
+                / n as f64;
         let proc_mean: f64 = (0..n)
-            .map(|_| {
-                FailureSchedule::sample(28, &mut proc_sampler).job_failure(&groups).0
-            })
+            .map(|_| FailureSchedule::sample(28, &mut proc_sampler).job_failure(&groups).0)
             .sum::<f64>()
             / n as f64;
         // 2 failure units vs 28: expect roughly 14x longer lifetime.
-        assert!(
-            node_mean > 8.0 * proc_mean,
-            "node {node_mean} vs process {proc_mean}"
-        );
+        assert!(node_mean > 8.0 * proc_mean, "node {node_mean} vs process {proc_mean}");
     }
 }

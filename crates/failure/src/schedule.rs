@@ -152,12 +152,7 @@ impl FailureSchedule {
 
     /// Physical processes dead by time `t`.
     pub fn dead_by(&self, t: f64) -> Vec<usize> {
-        self.death_times
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| **d <= t)
-            .map(|(p, _)| p)
-            .collect()
+        self.death_times.iter().enumerate().filter(|(_, d)| **d <= t).map(|(p, _)| p).collect()
     }
 }
 

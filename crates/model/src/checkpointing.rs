@@ -38,7 +38,7 @@ pub fn lost_work(delta: f64, c: f64, theta: f64) -> Result<f64> {
         return Ok(delta * (delta / 2.0 + c) / dc);
     }
     let denom = -(-dc / theta).exp_m1(); // 1 - e^{-dc/Θ}, precise for small dc/Θ
-    // num = Θ·(1 − e^{−δ/Θ}) − δ·e^{−(δ+c)/Θ}, via expm1 for precision.
+                                         // num = Θ·(1 − e^{−δ/Θ}) − δ·e^{−(δ+c)/Θ}, via expm1 for precision.
     let num = -theta * (-delta / theta).exp_m1() - delta * (-dc / theta).exp();
     Ok((num / denom).clamp(0.0, delta))
 }
@@ -333,10 +333,7 @@ mod tests {
         let (c, theta) = (0.2, 100.0);
         let daly = daly_interval(c, theta).unwrap();
         let num = optimal_interval_numeric(c, theta).unwrap();
-        assert!(
-            (num - daly).abs() / daly < 0.15,
-            "numeric {num} vs daly {daly}"
-        );
+        assert!((num - daly).abs() / daly < 0.15, "numeric {num} vs daly {daly}");
     }
 
     #[test]

@@ -488,5 +488,4 @@ mod tests {
         assert_eq!(c3.n_virtual, 999);
         assert_eq!(c3.degree, cfg.degree);
     }
-
 }

@@ -312,11 +312,10 @@ mod tests {
     #[test]
     fn resource_weighting_prefers_lower_degree() {
         let cfg = scaling_config().with_virtual_processes(50_000);
-        let by_time = optimal_by_cost(&cfg, &RGrid::half_steps(), &CostWeights::time_only())
-            .unwrap();
+        let by_time =
+            optimal_by_cost(&cfg, &RGrid::half_steps(), &CostWeights::time_only()).unwrap();
         let by_resources =
-            optimal_by_cost(&cfg, &RGrid::half_steps(), &CostWeights::resources_only())
-                .unwrap();
+            optimal_by_cost(&cfg, &RGrid::half_steps(), &CostWeights::resources_only()).unwrap();
         assert!(by_resources.degree <= by_time.degree);
     }
 

@@ -95,8 +95,7 @@ impl RedundancyPartition {
         // Eq. 6: N_floor = floor((ceil(r) - r) * N). For integral r the term
         // (ceil(r) - r) is zero, so N_floor = 0 as the paper's special case
         // requires.
-        let n_floor_set =
-            ((ceil_replicas as f64 - degree) * n_virtual as f64).floor() as u64;
+        let n_floor_set = ((ceil_replicas as f64 - degree) * n_virtual as f64).floor() as u64;
         let n_floor_set = n_floor_set.min(n_virtual);
         let n_ceil_set = n_virtual - n_floor_set; // Eq. 7
 
@@ -244,8 +243,7 @@ mod tests {
 
     #[test]
     fn blocked_assigns_prefix() {
-        let p =
-            RedundancyPartition::with_strategy(8, 1.5, AssignmentStrategy::Blocked).unwrap();
+        let p = RedundancyPartition::with_strategy(8, 1.5, AssignmentStrategy::Blocked).unwrap();
         let counts: Vec<u64> = (0..8).map(|v| p.replicas_of(v)).collect();
         assert_eq!(counts, vec![2, 2, 2, 2, 1, 1, 1, 1]);
     }

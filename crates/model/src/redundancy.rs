@@ -136,10 +136,9 @@ impl SystemModel {
         let pf = node_failure_probability(t_red, self.node_mtbf, self.approx)?;
         let p = &self.partition;
         let mut neg_log = 0.0f64;
-        for (count, replicas) in [
-            (p.n_floor_set(), p.floor_replicas()),
-            (p.n_ceil_set(), p.ceil_replicas()),
-        ] {
+        for (count, replicas) in
+            [(p.n_floor_set(), p.floor_replicas()), (p.n_ceil_set(), p.ceil_replicas())]
+        {
             if count == 0 {
                 continue;
             }

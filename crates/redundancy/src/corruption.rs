@@ -66,12 +66,7 @@ impl CorruptionInjector {
     /// Decides (deterministically) whether the next physical copy sent by
     /// `sender_replica` from physical rank `phys` should be corrupted; if
     /// so, returns the byte index to flip within a payload of `len` bytes.
-    pub(crate) fn corrupt_at(
-        &self,
-        phys: u32,
-        sender_replica: usize,
-        len: usize,
-    ) -> Option<usize> {
+    pub(crate) fn corrupt_at(&self, phys: u32, sender_replica: usize, len: usize) -> Option<usize> {
         let n = self.counter.get();
         self.counter.set(n + 1);
         if len == 0 || self.model.rate == 0.0 {

@@ -8,8 +8,7 @@ use bytes::Bytes;
 
 use redcr_mpi::tag::Namespace;
 use redcr_mpi::{
-    datatype, Comm, Communicator, MpiError, Rank, RankSelector, Result, Status, Tag,
-    TagSelector,
+    datatype, Comm, Communicator, MpiError, Rank, RankSelector, Result, Status, Tag, TagSelector,
 };
 
 use crate::corruption::{CorruptionInjector, CorruptionModel};
@@ -103,11 +102,7 @@ impl<'a> ReplicaComm<'a> {
     /// Applies the SDC injector to one outgoing physical copy.
     fn maybe_corrupt(&self, data: Bytes) -> Bytes {
         let Some(injector) = &self.corruption else { return data };
-        match injector.corrupt_at(
-            self.base.rank().as_u32(),
-            self.my_replica,
-            data.len(),
-        ) {
+        match injector.corrupt_at(self.base.rank().as_u32(), self.my_replica, data.len()) {
             Some(at) => {
                 let mut owned = data.to_vec();
                 owned[at] ^= 0x01; // a single flipped bit
@@ -164,6 +159,12 @@ impl<'a> ReplicaComm<'a> {
     /// message from `src_v` with resolved user tag `tag`, skipping replica
     /// `already` (already consumed by a wildcard match, supplied as
     /// `copies[already]`), then votes and returns the winning payload.
+    ///
+    /// **Live degradation:** a sender replica that fail-stopped simply
+    /// contributes no copy — the vote proceeds over the surviving copies
+    /// (3 → 2 → 1). Only when *every* replica of the source sphere is dead
+    /// does the receive escalate: the job cannot continue, so the whole run
+    /// aborts and [`MpiError::SphereDead`] is returned.
     fn gather_copies_and_vote(
         &self,
         src_v: Rank,
@@ -181,46 +182,71 @@ impl<'a> ReplicaComm<'a> {
             if raw[j].is_some() {
                 continue;
             }
-            let (bytes, _) = self.base.recv_ns(
-                RankSelector::Rank(*phys),
-                TagSelector::Tag(tag),
-                ns,
-            )?;
-            raw[j] = Some(bytes);
+            match self.base.recv_ns(RankSelector::Rank(*phys), TagSelector::Tag(tag), ns) {
+                Ok((bytes, _)) => raw[j] = Some(bytes),
+                Err(MpiError::DeadPeer { .. }) => self.stats.record_missing_copy(),
+                Err(e) => return Err(e),
+            }
         }
-        let raw: Vec<Bytes> = raw.into_iter().map(|b| b.expect("all copies filled")).collect();
-        self.stats.record_virtual_recv(r_send);
+        let present: Vec<usize> = (0..r_send).filter(|&j| raw[j].is_some()).collect();
+        if present.is_empty() {
+            self.base.abort_job();
+            return Err(MpiError::SphereDead { virtual_rank: src_v, at: self.base.now() });
+        }
+        self.stats.record_virtual_recv(present.len());
         // Processing the redundant copies (extra buffer handling plus the
         // byte-wise comparison) happens serially on the receive path.
-        let payload_len = raw.iter().map(Bytes::len).max().unwrap_or(0);
-        let processing = self.vote_cost.cost(r_send, payload_len);
+        let payload_len =
+            present.iter().map(|&j| raw[j].as_ref().expect("present").len()).max().unwrap_or(0);
+        let processing = self.vote_cost.cost(present.len(), payload_len);
         if processing > 0.0 {
             self.base.charge_comm(processing)?;
         }
 
         let payload = match self.mode {
             VotingMode::AllToAll => {
-                let outcome = vote_full(&raw);
+                let copies: Vec<Bytes> =
+                    present.iter().map(|&j| raw[j].clone().expect("present")).collect();
+                let outcome = vote_full(&copies);
                 self.stats.record_vote(outcome.unanimous(), outcome.majority);
-                raw[outcome.winner].clone()
+                copies[outcome.winner].clone()
             }
             VotingMode::MsgPlusHash => {
                 if r_send == 1 {
                     self.stats.record_vote(true, false);
-                    raw[0].clone()
+                    raw[0].clone().expect("present")
                 } else {
+                    // The pairing rule is fixed at sphere creation (senders
+                    // cannot renegotiate it without communicating), so the
+                    // designated full-copy sender does not change when
+                    // replicas die. If that sender is dead, the surviving
+                    // hashes cannot reconstruct the payload: this is the
+                    // documented Msg-PlusHash degradation limit and the
+                    // failure is unmaskable.
                     let full_idx = self.my_replica % r_send;
-                    let mut hashes: Vec<Option<u64>> = Vec::with_capacity(r_send);
-                    for (j, bytes) in raw.iter().enumerate() {
+                    let Some(full) = raw[full_idx].clone() else {
+                        self.base.abort_job();
+                        return Err(MpiError::DeadPeer {
+                            peer: senders[full_idx],
+                            at: self.base.now(),
+                        });
+                    };
+                    // Vote over the *present* copies only, so dead replicas
+                    // do not count against the majority.
+                    let full_pos =
+                        present.iter().position(|&j| j == full_idx).expect("full is present");
+                    let mut hashes: Vec<Option<u64>> = Vec::with_capacity(present.len());
+                    for &j in &present {
                         if j == full_idx {
                             hashes.push(None);
                         } else {
+                            let bytes = raw[j].as_ref().expect("present");
                             hashes.push(Some(datatype::decode_u64(bytes)?));
                         }
                     }
-                    let outcome = vote_hashed(&raw[full_idx], full_idx, &hashes);
+                    let outcome = vote_hashed(&full, full_pos, &hashes);
                     self.stats.record_vote(outcome.unanimous(), outcome.majority);
-                    raw[full_idx].clone()
+                    full
                 }
             }
         };
@@ -240,37 +266,65 @@ impl<'a> ReplicaComm<'a> {
         self.wildcard_seq.set(wseq + 1);
         let envelope_tag = Tag::new(ENVELOPE_TAG_BASE | (wseq & (ENVELOPE_TAG_BASE - 1)));
 
-        let (src_v, resolved_tag, pre_matched) = if self.my_replica == 0 {
-            // Step 1: the leader posts the single wildcard receive.
-            let (bytes, status) = self.base.recv_ns(RankSelector::Any, tag, ns)?;
-            let (src_v, k) = self.vmap.owner_of(status.source);
-            // Step 2: forward the resolved envelope to our own replicas.
-            let envelope =
-                datatype::encode_u64s(&[src_v.as_u32() as u64, status.tag.value(), k as u64]);
-            for replica in &my_replicas[1..] {
-                self.base.send_ns(
-                    *replica,
-                    envelope_tag,
-                    Bytes::from(envelope.clone()),
-                    Namespace::Protocol,
-                )?;
-            }
-            (src_v, status.tag, Some((k, bytes)))
-        } else {
-            // Step 3: non-leaders learn the envelope and post specific
-            // receives.
-            let leader = my_replicas[0];
-            let (bytes, _) = self.base.recv_ns(
-                RankSelector::Rank(leader),
+        // Leadership with failover: the acting leader is the lowest-indexed
+        // *live* replica of this sphere. A non-zero replica tries to learn
+        // the resolved envelope from each lower-indexed candidate in order;
+        // a candidate that fail-stopped without forwarding yields DeadPeer
+        // and the search moves on. If every lower candidate is dead, this
+        // replica becomes the leader and resolves the wildcard itself.
+        let mut learned: Option<(Rank, Tag)> = None;
+        for &cand in &my_replicas[..self.my_replica] {
+            match self.base.recv_ns(
+                RankSelector::Rank(cand),
                 TagSelector::Tag(envelope_tag),
                 Namespace::Protocol,
-            )?;
-            let vals = datatype::decode_u64s(&bytes)?;
-            if vals.len() != 3 {
-                return Err(MpiError::DecodeError { what: "wildcard envelope" });
+            ) {
+                Ok((bytes, _)) => {
+                    let vals = datatype::decode_u64s(&bytes)?;
+                    if vals.len() != 3 {
+                        return Err(MpiError::DecodeError { what: "wildcard envelope" });
+                    }
+                    learned = Some((Rank::new(vals[0] as u32), Tag::new(vals[1])));
+                    break;
+                }
+                Err(MpiError::DeadPeer { .. }) => continue,
+                Err(e) => return Err(e),
             }
-            (Rank::new(vals[0] as u32), Tag::new(vals[1]), None)
+        }
+
+        let (src_v, resolved_tag, pre_matched) = match learned {
+            None => {
+                // Acting leader (replica 0, or every lower replica is
+                // dead): post the single wildcard receive.
+                let (bytes, status) = self.base.recv_ns(RankSelector::Any, tag, ns)?;
+                let (src_v, k) = self.vmap.owner_of(status.source);
+                (src_v, status.tag, Some((k, bytes)))
+            }
+            Some((src_v, t)) => (src_v, t, None),
         };
+
+        // Relay the resolved envelope to every higher-indexed replica —
+        // even when we learned it ourselves. A leader (or relayer) can
+        // fail-stop partway through its forwarding loop; unconditional
+        // relaying guarantees that the lowest live replica's resolution
+        // reaches every live replica above it, so the sphere never diverges
+        // and never deadlocks waiting on a forward that will not come.
+        let envelope = datatype::encode_u64s(&[
+            src_v.as_u32() as u64,
+            resolved_tag.value(),
+            pre_matched.as_ref().map_or(0, |(k, _)| *k as u64),
+        ]);
+        for replica in &my_replicas[self.my_replica + 1..] {
+            match self.base.send_ns(
+                *replica,
+                envelope_tag,
+                Bytes::from(envelope.clone()),
+                Namespace::Protocol,
+            ) {
+                Ok(()) | Err(MpiError::DeadPeer { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
 
         let payload = self.gather_copies_and_vote(src_v, resolved_tag, ns, pre_matched)?;
         let status = Status {
@@ -291,20 +345,37 @@ impl<'a> ReplicaComm<'a> {
         ns: Namespace,
     ) -> Result<(Bytes, Status)> {
         if src_v.index() >= self.vmap.n_virtual() {
-            return Err(MpiError::InvalidRank {
-                rank: src_v.index(),
-                size: self.vmap.n_virtual(),
-            });
+            return Err(MpiError::InvalidRank { rank: src_v.index(), size: self.vmap.n_virtual() });
         }
         let (resolved_tag, pre_matched) = match tag {
             TagSelector::Tag(t) => (t, None),
             TagSelector::Any => {
-                // Match the first replica's copy with ANY_TAG to fix the
-                // tag, then collect the rest with the resolved tag.
-                let first = self.vmap.replicas_of(src_v)[0];
-                let (bytes, status) =
-                    self.base.recv_ns(RankSelector::Rank(first), TagSelector::Any, ns)?;
-                (status.tag, Some((0usize, bytes)))
+                // Match one replica's copy with ANY_TAG to fix the tag,
+                // then collect the rest with the resolved tag. Normally the
+                // first replica resolves; if it fail-stopped without a
+                // buffered copy, fail over to the next live sender replica.
+                let senders = self.vmap.replicas_of(src_v);
+                let mut resolved = None;
+                for (k, phys) in senders.iter().enumerate() {
+                    match self.base.recv_ns(RankSelector::Rank(*phys), TagSelector::Any, ns) {
+                        Ok((bytes, status)) => {
+                            resolved = Some((status.tag, Some((k, bytes))));
+                            break;
+                        }
+                        Err(MpiError::DeadPeer { .. }) => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+                match resolved {
+                    Some(r) => r,
+                    None => {
+                        self.base.abort_job();
+                        return Err(MpiError::SphereDead {
+                            virtual_rank: src_v,
+                            at: self.base.now(),
+                        });
+                    }
+                }
             }
         };
         let payload = self.gather_copies_and_vote(src_v, resolved_tag, ns, pre_matched)?;
@@ -359,27 +430,57 @@ impl Communicator for ReplicaComm<'_> {
         self.stats.record_virtual_send();
         let receivers = self.vmap.replicas_of(dest);
         let r_send = self.vmap.replica_count(self.my_virtual);
+        // Live degradation: copies destined to a fail-stopped replica are
+        // skipped (the runtime reports them as DeadPeer). The corruption
+        // injector is still consulted for skipped copies so its counter
+        // stream — and therefore the payloads delivered to survivors —
+        // stays identical to the failure-free run. Only when *no* replica
+        // of the destination sphere accepted a copy is the failure
+        // unmaskable and escalated to a job abort.
+        let mut delivered = 0usize;
         match self.mode {
             VotingMode::AllToAll => {
                 for phys in receivers {
-                    self.stats.record_physical_send(data.len(), false);
                     let copy = self.maybe_corrupt(data.clone());
-                    self.base.send_ns(*phys, tag, copy, ns)?;
+                    match self.base.send_ns(*phys, tag, copy, ns) {
+                        Ok(()) => {
+                            self.stats.record_physical_send(data.len(), false);
+                            delivered += 1;
+                        }
+                        Err(MpiError::DeadPeer { .. }) => self.stats.record_dead_peer_send(),
+                        Err(e) => return Err(e),
+                    }
                 }
             }
             VotingMode::MsgPlusHash => {
                 let hash = Bytes::from(datatype::encode_u64(hash_payload(&data)));
                 for (i, phys) in receivers.iter().enumerate() {
                     if r_send == 1 || Self::pairs_full(self.my_replica, i, r_send) {
-                        self.stats.record_physical_send(data.len(), false);
                         let copy = self.maybe_corrupt(data.clone());
-                        self.base.send_ns(*phys, tag, copy, ns)?;
+                        match self.base.send_ns(*phys, tag, copy, ns) {
+                            Ok(()) => {
+                                self.stats.record_physical_send(data.len(), false);
+                                delivered += 1;
+                            }
+                            Err(MpiError::DeadPeer { .. }) => self.stats.record_dead_peer_send(),
+                            Err(e) => return Err(e),
+                        }
                     } else {
-                        self.stats.record_physical_send(hash.len(), true);
-                        self.base.send_ns(*phys, tag, hash.clone(), ns)?;
+                        match self.base.send_ns(*phys, tag, hash.clone(), ns) {
+                            Ok(()) => {
+                                self.stats.record_physical_send(hash.len(), true);
+                                delivered += 1;
+                            }
+                            Err(MpiError::DeadPeer { .. }) => self.stats.record_dead_peer_send(),
+                            Err(e) => return Err(e),
+                        }
                     }
                 }
             }
+        }
+        if delivered == 0 {
+            self.base.abort_job();
+            return Err(MpiError::SphereDead { virtual_rank: dest, at: self.base.now() });
         }
         Ok(())
     }
@@ -416,11 +517,17 @@ impl Communicator for ReplicaComm<'_> {
     }
 
     fn iprobe(&self, src: RankSelector, tag: TagSelector) -> Result<Option<Status>> {
-        // Probe the primary replica of the (virtual) source. Note that, as
-        // in RedMPI, probe results are advisory: replicas may observe
-        // different instantaneous states, so applications must not let
-        // control flow diverge on iprobe outcomes.
-        let phys_src = match src {
+        // Probe the primary replica of the (virtual) source, failing over
+        // to the next replica when the probed one is dead with nothing
+        // buffered. Note that, as in RedMPI, probe results are advisory:
+        // replicas may observe different instantaneous states, so
+        // applications must not let control flow diverge on iprobe
+        // outcomes.
+        let virtualize = |s: Status| {
+            let (v, _) = self.vmap.owner_of(s.source);
+            Status { source: v, ..s }
+        };
+        match src {
             RankSelector::Rank(v) => {
                 if v.index() >= self.vmap.n_virtual() {
                     return Err(MpiError::InvalidRank {
@@ -428,18 +535,26 @@ impl Communicator for ReplicaComm<'_> {
                         size: self.vmap.n_virtual(),
                     });
                 }
-                RankSelector::Rank(self.vmap.replicas_of(v)[0])
+                for phys in self.vmap.replicas_of(v) {
+                    if let Some(s) = self.base.iprobe(RankSelector::Rank(*phys), tag)? {
+                        return Ok(Some(virtualize(s)));
+                    }
+                    if !self.base.peer_dead_by_now(*phys) {
+                        // Live replica with nothing buffered: the message
+                        // has not arrived yet.
+                        return Ok(None);
+                    }
+                    // Dead with nothing buffered: this replica will never
+                    // deliver — consult the next one.
+                }
+                Ok(None)
             }
-            RankSelector::Any => RankSelector::Any,
-        };
-        Ok(self.base.iprobe(phys_src, tag)?.map(|s| {
-            let (v, _) = self.vmap.owner_of(s.source);
-            Status { source: v, ..s }
-        }))
+            RankSelector::Any => Ok(self.base.iprobe(RankSelector::Any, tag)?.map(virtualize)),
+        }
     }
 
     fn probe(&self, src: RankSelector, tag: TagSelector) -> Result<Status> {
-        let phys_src = match src {
+        match src {
             RankSelector::Rank(v) => {
                 if v.index() >= self.vmap.n_virtual() {
                     return Err(MpiError::InvalidRank {
@@ -447,13 +562,27 @@ impl Communicator for ReplicaComm<'_> {
                         size: self.vmap.n_virtual(),
                     });
                 }
-                RankSelector::Rank(self.vmap.replicas_of(v)[0])
+                // Blocking probe with replica failover, mirroring
+                // `gather_copies_and_vote`'s degradation.
+                for phys in self.vmap.replicas_of(v) {
+                    match self.base.probe(RankSelector::Rank(*phys), tag) {
+                        Ok(s) => {
+                            let (v, _) = self.vmap.owner_of(s.source);
+                            return Ok(Status { source: v, ..s });
+                        }
+                        Err(MpiError::DeadPeer { .. }) => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+                self.base.abort_job();
+                Err(MpiError::SphereDead { virtual_rank: v, at: self.base.now() })
             }
-            RankSelector::Any => RankSelector::Any,
-        };
-        let s = self.base.probe(phys_src, tag)?;
-        let (v, _) = self.vmap.owner_of(s.source);
-        Ok(Status { source: v, ..s })
+            RankSelector::Any => {
+                let s = self.base.probe(RankSelector::Any, tag)?;
+                let (v, _) = self.vmap.owner_of(s.source);
+                Ok(Status { source: v, ..s })
+            }
+        }
     }
 
     fn test(&self, req: Self::Request) -> Result<redcr_mpi::TestOutcome<Self::Request>> {

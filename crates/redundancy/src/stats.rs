@@ -18,6 +18,8 @@ pub struct ReplicationStats {
     mismatches_detected: Cell<u64>,
     corrections: Cell<u64>,
     wildcard_protocols: Cell<u64>,
+    dead_peer_sends: Cell<u64>,
+    missing_copies: Cell<u64>,
 }
 
 impl ReplicationStats {
@@ -55,6 +57,14 @@ impl ReplicationStats {
 
     pub(crate) fn record_wildcard_protocol(&self) {
         self.wildcard_protocols.set(self.wildcard_protocols.get() + 1);
+    }
+
+    pub(crate) fn record_dead_peer_send(&self) {
+        self.dead_peer_sends.set(self.dead_peer_sends.get() + 1);
+    }
+
+    pub(crate) fn record_missing_copy(&self) {
+        self.missing_copies.set(self.missing_copies.get() + 1);
     }
 
     /// Number of application-level (virtual) sends.
@@ -107,6 +117,18 @@ impl ReplicationStats {
         self.wildcard_protocols.get()
     }
 
+    /// Number of physical copies *not* sent because the receiving replica
+    /// was already dead (live degradation on the send path).
+    pub fn dead_peer_sends(&self) -> u64 {
+        self.dead_peer_sends.get()
+    }
+
+    /// Number of redundant copies a receive went without because the
+    /// sending replica was dead (live degradation on the receive path).
+    pub fn missing_copies(&self) -> u64 {
+        self.missing_copies.get()
+    }
+
     /// Message amplification: physical sends per virtual send.
     pub fn send_amplification(&self) -> f64 {
         let v = self.virtual_sends.get();
@@ -124,16 +146,15 @@ impl ReplicationStats {
         out.physical_sends.set(self.physical_sends.get() + other.physical_sends.get());
         out.virtual_recvs.set(self.virtual_recvs.get() + other.virtual_recvs.get());
         out.physical_recvs.set(self.physical_recvs.get() + other.physical_recvs.get());
-        out.payload_bytes_sent
-            .set(self.payload_bytes_sent.get() + other.payload_bytes_sent.get());
-        out.hash_messages_sent
-            .set(self.hash_messages_sent.get() + other.hash_messages_sent.get());
+        out.payload_bytes_sent.set(self.payload_bytes_sent.get() + other.payload_bytes_sent.get());
+        out.hash_messages_sent.set(self.hash_messages_sent.get() + other.hash_messages_sent.get());
         out.votes.set(self.votes.get() + other.votes.get());
         out.mismatches_detected
             .set(self.mismatches_detected.get() + other.mismatches_detected.get());
         out.corrections.set(self.corrections.get() + other.corrections.get());
-        out.wildcard_protocols
-            .set(self.wildcard_protocols.get() + other.wildcard_protocols.get());
+        out.wildcard_protocols.set(self.wildcard_protocols.get() + other.wildcard_protocols.get());
+        out.dead_peer_sends.set(self.dead_peer_sends.get() + other.dead_peer_sends.get());
+        out.missing_copies.set(self.missing_copies.get() + other.missing_copies.get());
         out
     }
 
@@ -150,6 +171,8 @@ impl ReplicationStats {
             mismatches_detected: self.mismatches_detected.get(),
             corrections: self.corrections.get(),
             wildcard_protocols: self.wildcard_protocols.get(),
+            dead_peer_sends: self.dead_peer_sends.get(),
+            missing_copies: self.missing_copies.get(),
         }
     }
 }
@@ -177,6 +200,10 @@ pub struct StatsSnapshot {
     pub corrections: u64,
     /// Wildcard protocols executed.
     pub wildcard_protocols: u64,
+    /// Physical copies skipped because the receiver replica was dead.
+    pub dead_peer_sends: u64,
+    /// Redundant copies missing because the sender replica was dead.
+    pub missing_copies: u64,
 }
 
 impl StatsSnapshot {
@@ -193,6 +220,8 @@ impl StatsSnapshot {
             mismatches_detected: self.mismatches_detected + other.mismatches_detected,
             corrections: self.corrections + other.corrections,
             wildcard_protocols: self.wildcard_protocols + other.wildcard_protocols,
+            dead_peer_sends: self.dead_peer_sends + other.dead_peer_sends,
+            missing_copies: self.missing_copies + other.missing_copies,
         }
     }
 

@@ -38,6 +38,7 @@ impl ReplicatedWorld {
             cost: CostModel::default(),
             abort_horizon: f64::INFINITY,
             start_time: 0.0,
+            death_times: None,
         })
     }
 }
@@ -52,6 +53,7 @@ pub struct ReplicatedWorldBuilder {
     cost: CostModel,
     abort_horizon: f64,
     start_time: f64,
+    death_times: Option<Vec<f64>>,
 }
 
 impl ReplicatedWorldBuilder {
@@ -114,6 +116,17 @@ impl ReplicatedWorldBuilder {
         self
     }
 
+    /// Sets **per-physical-rank fail-stop times** (absolute virtual
+    /// seconds, `f64::INFINITY` = never; indexed by physical rank, i.e.
+    /// the virtual map's layout). A dead replica degrades its sphere live:
+    /// surviving replicas keep the run going, voting over fewer copies,
+    /// until the *last* replica of some sphere dies — only then does the
+    /// job abort. See [`redcr_mpi::WorldBuilder::death_times`].
+    pub fn death_times(mut self, times: Vec<f64>) -> Self {
+        self.death_times = Some(times);
+        self
+    }
+
     /// Number of physical ranks this configuration will spawn.
     pub fn n_physical(&self) -> usize {
         self.partition.total_physical() as usize
@@ -139,19 +152,21 @@ impl ReplicatedWorldBuilder {
         let corruption = self.corruption;
         let vmap_outer = Arc::clone(&vmap);
         let f = &f;
-        let report = World::builder(n_physical)
+        let mut world = World::builder(n_physical)
             .cost_model(self.cost)
             .abort_horizon(self.abort_horizon)
-            .start_time(self.start_time)
-            .run(move |base: &Comm| {
-                let mut comm =
-                    ReplicaComm::with_vote_cost(base, Arc::clone(&vmap), mode, vote_cost);
-                if let Some(model) = corruption {
-                    comm = comm.with_corruption(model);
-                }
-                let out = f(&comm)?;
-                Ok((out, comm.stats().snapshot()))
-            })?;
+            .start_time(self.start_time);
+        if let Some(times) = self.death_times {
+            world = world.death_times(times);
+        }
+        let report = world.run(move |base: &Comm| {
+            let mut comm = ReplicaComm::with_vote_cost(base, Arc::clone(&vmap), mode, vote_cost);
+            if let Some(model) = corruption {
+                comm = comm.with_corruption(model);
+            }
+            let out = f(&comm)?;
+            Ok((out, comm.stats().snapshot()))
+        })?;
 
         let mut results = Vec::with_capacity(n_physical);
         let mut stats = StatsSnapshot::default();
@@ -170,6 +185,7 @@ impl ReplicatedWorldBuilder {
             stats,
             max_virtual_time: report.max_virtual_time,
             aborted: report.aborted,
+            dead_ranks: report.dead_ranks,
             physical_messages: report.messages_sent,
             physical_bytes: report.bytes_sent,
             n_physical,
@@ -187,8 +203,12 @@ pub struct ReplicatedReport<T> {
     pub stats: StatsSnapshot,
     /// Simulated wallclock of the run, seconds.
     pub max_virtual_time: f64,
-    /// Whether the run aborted (fail-stop horizon or rank error).
+    /// Whether the run aborted (fail-stop horizon, sphere death, or rank
+    /// error).
     pub aborted: bool,
+    /// Physical ranks that fail-stopped at their injected death time
+    /// during the run (ascending order).
+    pub dead_ranks: Vec<usize>,
     /// Physical point-to-point messages injected (from the base runtime).
     pub physical_messages: u64,
     /// Physical payload bytes injected.

@@ -1,0 +1,206 @@
+//! Live-degradation tests: replicas fail-stop mid-run and the surviving
+//! replicas keep the job going (3 → 2 → 1 voting), the sphere aborts only
+//! when its *last* replica dies, and SDC voting still behaves sensibly on
+//! degraded spheres.
+
+use redcr_mpi::{Communicator, CostModel, MpiError, Rank, RankSelector, Tag, TagSelector};
+use redcr_red::{CorruptionModel, ReplicatedWorld, VoteCost};
+
+fn tag(v: u64) -> Tag {
+    Tag::new(v)
+}
+
+/// A deterministic stepped exchange: each step computes for one virtual
+/// second, sends to the next virtual rank, and folds in the value received
+/// from the previous one. Step `k` happens at virtual time `k + 1`.
+fn stepped_ring(comm: &impl Communicator, steps: u64) -> redcr_mpi::Result<f64> {
+    let mut acc = comm.rank().index() as f64 + 1.0;
+    for step in 0..steps {
+        comm.compute(1.0)?;
+        let next = comm.rank().offset(1, comm.size());
+        let prev = comm.rank().offset(-1, comm.size());
+        comm.send_f64s(next, tag(100 + step), &[acc])?;
+        let (vals, _) = comm.recv_f64s(prev.into(), tag(100 + step).into())?;
+        acc = acc * 0.5 + vals[0];
+    }
+    Ok(acc)
+}
+
+#[test]
+fn dead_shadow_replica_is_masked_live() {
+    // 2 virtual ranks at 2x: v0 = {phys 0, 2}, v1 = {phys 1, 3}. Kill
+    // v0's shadow (phys 2) at t = 2.5 — mid-run, between steps 2 and 3.
+    let no_deaths = ReplicatedWorld::builder(2, 2.0)
+        .unwrap()
+        .cost_model(CostModel::zero())
+        .vote_cost(VoteCost::zero())
+        .run(|comm| stepped_ring(comm, 5))
+        .unwrap();
+    let mut deaths = vec![f64::INFINITY; 4];
+    deaths[2] = 2.5;
+    let degraded = ReplicatedWorld::builder(2, 2.0)
+        .unwrap()
+        .cost_model(CostModel::zero())
+        .vote_cost(VoteCost::zero())
+        .death_times(deaths)
+        .run(|comm| stepped_ring(comm, 5))
+        .unwrap();
+
+    assert!(!degraded.aborted, "one dead replica of a 2x sphere must be masked");
+    assert_eq!(degraded.dead_ranks, vec![2]);
+    assert!(matches!(degraded.results[2], Err(MpiError::Dead { .. })));
+    // Every survivor finishes with the same value as the failure-free run.
+    for phys in [0usize, 1, 3] {
+        assert_eq!(
+            degraded.results[phys].as_ref().unwrap(),
+            no_deaths.results[phys].as_ref().unwrap(),
+            "survivor {phys} diverged from the failure-free run"
+        );
+    }
+    // Degradation was actually exercised on both paths.
+    assert!(degraded.stats.missing_copies > 0, "receives should have noted missing copies");
+    assert!(degraded.stats.dead_peer_sends > 0, "sends should have skipped the dead replica");
+    assert_eq!(no_deaths.stats.missing_copies, 0);
+    assert_eq!(no_deaths.stats.dead_peer_sends, 0);
+}
+
+#[test]
+fn triple_sphere_degrades_to_two_then_completes() {
+    // 2 virtual ranks at 3x: v0 = {0, 2, 3}, v1 = {1, 4, 5}. Kill one
+    // replica of each sphere at different times; both spheres still have
+    // survivors, so the run completes and survivors agree.
+    let mut deaths = vec![f64::INFINITY; 6];
+    deaths[3] = 1.5; // v0 replica 2
+    deaths[4] = 3.5; // v1 replica 1
+    let report = ReplicatedWorld::builder(2, 3.0)
+        .unwrap()
+        .cost_model(CostModel::zero())
+        .vote_cost(VoteCost::zero())
+        .death_times(deaths)
+        .run(|comm| stepped_ring(comm, 5))
+        .unwrap();
+    assert!(!report.aborted);
+    assert_eq!(report.dead_ranks, vec![3, 4]);
+    for v in 0..2u32 {
+        let live: Vec<f64> =
+            report.replica_results(v).iter().filter_map(|r| r.as_ref().ok().copied()).collect();
+        assert!(live.len() >= 2, "virtual rank {v} should keep two live replicas");
+        for x in &live[1..] {
+            assert_eq!(*x, live[0], "survivors of virtual rank {v} diverged");
+        }
+    }
+}
+
+#[test]
+fn job_aborts_only_when_last_replica_of_sphere_dies() {
+    // Kill BOTH replicas of v0: phys 0 at t=0.5 (before its first send)
+    // and phys 2 at t=1.5 (after one step). v1 survives step 0 on the
+    // single remaining copy, then finds the sphere dead at step 1.
+    let mut deaths = vec![f64::INFINITY; 4];
+    deaths[0] = 0.5;
+    deaths[2] = 1.5;
+    let report = ReplicatedWorld::builder(2, 2.0)
+        .unwrap()
+        .cost_model(CostModel::zero())
+        .vote_cost(VoteCost::zero())
+        .death_times(deaths)
+        .run(|comm| stepped_ring(comm, 5))
+        .unwrap();
+    assert!(report.aborted, "death of a sphere's last replica must abort the job");
+    // Rank 0 certainly crossed its death time; rank 2 may be pre-empted by
+    // the abort (a peer's clock can pass 2's death time — and declare the
+    // sphere dead — while 2's own clock is still behind it).
+    assert!(report.dead_ranks.contains(&0));
+    let sphere_dead_seen = report.results.iter().any(|r| {
+        matches!(r, Err(MpiError::SphereDead { virtual_rank, .. }) if virtual_rank.index() == 0)
+    });
+    assert!(sphere_dead_seen, "some survivor should have reported SphereDead for rank 0");
+}
+
+#[test]
+fn wildcard_leader_failover_after_leader_death() {
+    // v0 = {phys 0, 2} receives with ANY_SOURCE; its leader (phys 0) dies
+    // before the receive. The shadow must take over leadership, resolve
+    // the wildcard itself, and still produce the right payload.
+    let mut deaths = vec![f64::INFINITY; 4];
+    deaths[0] = 0.5;
+    let report = ReplicatedWorld::builder(2, 2.0)
+        .unwrap()
+        .cost_model(CostModel::zero())
+        .vote_cost(VoteCost::zero())
+        .death_times(deaths)
+        .run(|comm| {
+            comm.compute(1.0)?;
+            if comm.rank().index() == 0 {
+                let (bytes, status) = comm.recv(RankSelector::Any, TagSelector::Any)?;
+                assert_eq!(status.source, Rank::new(1));
+                assert_eq!(status.tag.value(), 42);
+                Ok(bytes.to_vec())
+            } else {
+                comm.send(Rank::new(0), tag(42), b"failover")?;
+                Ok(Vec::new())
+            }
+        })
+        .unwrap();
+    assert!(!report.aborted);
+    assert_eq!(report.dead_ranks, vec![0]);
+    // phys 2 is v0's shadow replica: it took over and got the payload.
+    assert_eq!(report.results[2].as_ref().unwrap(), b"failover");
+}
+
+#[test]
+fn triple_redundancy_votes_out_corruption() {
+    // Baseline SDC behaviour (no deaths): replica 0 of every sphere
+    // corrupts each outgoing copy; the other two copies outvote it.
+    let report = ReplicatedWorld::builder(2, 3.0)
+        .unwrap()
+        .cost_model(CostModel::zero())
+        .vote_cost(VoteCost::zero())
+        .corruption(CorruptionModel::new(1.0, 9).only_replica(0))
+        .run(|comm| stepped_ring(comm, 3))
+        .unwrap();
+    assert!(!report.aborted);
+    assert!(report.stats.mismatches_detected > 0, "corruption should be seen");
+    assert_eq!(
+        report.stats.corrections, report.stats.mismatches_detected,
+        "with three copies every mismatch is outvoted"
+    );
+    // The corrupted copies never won a vote: all replicas agree on the
+    // clean value.
+    for v in 0..2u32 {
+        let vals: Vec<f64> =
+            report.replica_results(v).iter().map(|r| *r.as_ref().unwrap()).collect();
+        for x in &vals[1..] {
+            assert_eq!(*x, vals[0]);
+        }
+    }
+}
+
+#[test]
+fn degraded_dual_survivors_detect_but_cannot_correct() {
+    // 3x sphere degraded to two survivors, one of which corrupts: the
+    // receive detects the mismatch (it is NOT silently accepted) but a
+    // 1-vs-1 vote cannot correct it — the documented dual-redundancy
+    // limit, now reached *live* through degradation.
+    let mut deaths = vec![f64::INFINITY; 6];
+    deaths[3] = 0.5; // v0 replica 2 dies before ever sending
+    let report = ReplicatedWorld::builder(2, 3.0)
+        .unwrap()
+        .cost_model(CostModel::zero())
+        .vote_cost(VoteCost::zero())
+        .corruption(CorruptionModel::new(1.0, 9).only_replica(0))
+        .death_times(deaths)
+        .run(|comm| stepped_ring(comm, 3))
+        .unwrap();
+    assert!(!report.aborted, "the degraded sphere still has survivors");
+    assert_eq!(report.dead_ranks, vec![3]);
+    assert!(report.stats.missing_copies > 0);
+    assert!(
+        report.stats.mismatches_detected > 0,
+        "corruption on a degraded sphere must still be detected"
+    );
+    assert!(
+        report.stats.corrections < report.stats.mismatches_detected,
+        "two-copy votes cannot correct every mismatch"
+    );
+}

@@ -45,9 +45,8 @@ fn transparency_same_answer_at_every_degree() {
                 assert_eq!(*x, r[0], "replica divergence at degree {degree} rank {v}");
             }
         }
-        let primaries: Vec<f64> = (0..6)
-            .map(|v| *report.primary_result(v).as_ref().unwrap())
-            .collect();
+        let primaries: Vec<f64> =
+            (0..6).map(|v| *report.primary_result(v).as_ref().unwrap()).collect();
         answers.push(primaries);
     }
     for a in &answers[1..] {
@@ -156,11 +155,8 @@ fn wildcard_receive_consistent_across_replicas() {
             }
         })
         .unwrap();
-    let replica_views: Vec<_> = report
-        .replica_results(0)
-        .iter()
-        .map(|r| r.as_ref().unwrap().clone())
-        .collect();
+    let replica_views: Vec<_> =
+        report.replica_results(0).iter().map(|r| r.as_ref().unwrap().clone()).collect();
     assert_eq!(replica_views.len(), 2);
     assert_eq!(replica_views[0], replica_views[1], "replicas saw different wildcard orders");
     // All three messages arrived, each consistent (source, tag, payload).
@@ -327,12 +323,9 @@ fn triple_redundancy_corrects_injected_sdc() {
     // With three copies per message the receivers vote the corruption out:
     // the application answer is identical to the clean run.
     let run = |corrupt: bool| {
-        let mut builder = ReplicatedWorld::builder(4, 3.0)
-            .unwrap()
-            .cost_model(CostModel::zero());
+        let mut builder = ReplicatedWorld::builder(4, 3.0).unwrap().cost_model(CostModel::zero());
         if corrupt {
-            builder = builder
-                .corruption(redcr_red::CorruptionModel::new(0.3, 99).only_replica(1));
+            builder = builder.corruption(redcr_red::CorruptionModel::new(0.3, 99).only_replica(1));
         }
         builder
             .run(|comm| {

@@ -152,8 +152,7 @@ mod tests {
 
     #[test]
     fn frame_round_trip() {
-        let parts =
-            vec![Bytes::from_static(b"a"), Bytes::new(), Bytes::from_static(b"hello")];
+        let parts = vec![Bytes::from_static(b"a"), Bytes::new(), Bytes::from_static(b"hello")];
         let framed = frame_parts(&parts);
         let back = unframe_parts(&framed).unwrap();
         assert_eq!(back, parts);

@@ -116,17 +116,49 @@ impl Comm {
     }
 
     fn check_abort(&self) -> Result<()> {
-        check_abort(&self.shared, &self.clock, self.rank)
+        check_abort(&self.shared, &self.clock, self.rank, self.rank)
+    }
+
+    /// Marks the whole job aborted (fail-stop escalation) and wakes every
+    /// blocked rank. Used by interposition layers when a failure can no
+    /// longer be masked (e.g. the last replica of a sphere died).
+    pub fn abort_job(&self) {
+        self.shared.trigger_abort();
+    }
+
+    /// Whether `peer`'s sampled death time is at or before this rank's
+    /// current virtual time — the deterministic "is that rank dead from my
+    /// point of view" test used on send paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer` is out of range.
+    pub fn peer_dead_by_now(&self, peer: Rank) -> bool {
+        self.shared.death_time(peer) <= self.clock.now()
     }
 }
 
-fn check_abort(shared: &Shared, clock: &VirtualClock, rank: Rank) -> Result<()> {
-    if clock.now() >= shared.abort_horizon {
+fn check_abort(
+    shared: &Shared,
+    clock: &VirtualClock,
+    comm_rank: Rank,
+    world_rank: Rank,
+) -> Result<()> {
+    let now = clock.now();
+    let death = shared.death_time(world_rank);
+    if now >= death {
+        // This rank's own fail-stop: flag it (waking receivers blocked on
+        // it) and stop executing. Deliberately *not* a world abort — peers
+        // keep running and observe the death per-operation.
+        shared.mark_dead(world_rank);
+        return Err(MpiError::Dead { rank: world_rank, at: death });
+    }
+    if now >= shared.abort_horizon {
         shared.trigger_abort();
-        return Err(MpiError::Aborted { rank, at: clock.now() });
+        return Err(MpiError::Aborted { rank: comm_rank, at: now });
     }
     if shared.is_aborted() {
-        return Err(MpiError::Aborted { rank, at: clock.now() });
+        return Err(MpiError::Aborted { rank: comm_rank, at: now });
     }
     Ok(())
 }
@@ -145,7 +177,17 @@ struct Endpoint<'a> {
 
 impl Endpoint<'_> {
     fn check_abort(&self) -> Result<()> {
-        check_abort(self.shared, self.clock, self.comm_rank)
+        check_abort(self.shared, self.clock, self.comm_rank, self.world_rank)
+    }
+
+    /// Returns the awaited world rank if `src` names a specific sender that
+    /// has fail-stopped (receives use this to stop waiting: a dead rank has
+    /// already deposited everything it will ever send).
+    fn dead_source(&self, src: RankSelector) -> Option<Rank> {
+        match src {
+            RankSelector::Rank(r) if self.shared.is_dead(r) => Some(r),
+            _ => None,
+        }
     }
 
     fn send(&self, world_dest: Rank, tag: Tag, data: Bytes, ns: Namespace) -> Result<()> {
@@ -153,11 +195,17 @@ impl Endpoint<'_> {
         if world_dest.index() >= self.shared.n {
             return Err(MpiError::InvalidRank { rank: world_dest.index(), size: self.shared.n });
         }
+        // Deterministic dead-peer detection: the destination is dead from
+        // this rank's point of view once its sampled death time is at or
+        // before this rank's clock. (Delivery to a peer that dies *later*
+        // in virtual time stays valid: the message is either consumed
+        // before the peer's death or sits unread in its mailbox.)
+        if self.shared.death_time(world_dest) <= self.clock.now() {
+            return Err(MpiError::DeadPeer { peer: world_dest, at: self.clock.now() });
+        }
         self.clock.advance_comm(self.shared.cost.msg_overhead);
         self.shared.msgs_sent.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        self.shared
-            .bytes_sent
-            .fetch_add(data.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        self.shared.bytes_sent.fetch_add(data.len() as u64, std::sync::atomic::Ordering::Relaxed);
         self.shared.mailboxes[world_dest.index()].push(Envelope {
             src: self.world_rank,
             wire_tag: tag.wire(self.comm_id, ns),
@@ -184,7 +232,7 @@ impl Endpoint<'_> {
                 && member_filter.is_none_or(|f| f(e.src))
         };
         let mailbox = &self.shared.mailboxes[self.world_rank.index()];
-        match mailbox.recv_match(pred, || self.shared.is_aborted()) {
+        match mailbox.recv_match(pred, || self.shared.is_aborted(), || self.dead_source(src)) {
             RecvOutcome::Matched(env) => {
                 let avail = self.shared.cost.availability(env.send_time, env.len());
                 self.clock.sync_to(avail);
@@ -195,6 +243,7 @@ impl Endpoint<'_> {
             RecvOutcome::Aborted => {
                 Err(MpiError::Aborted { rank: self.comm_rank, at: self.clock.now() })
             }
+            RecvOutcome::SourceDead(peer) => Err(MpiError::DeadPeer { peer, at: self.clock.now() }),
         }
     }
 
@@ -266,7 +315,7 @@ impl Endpoint<'_> {
                 && member_filter.is_none_or(|f| f(e.src))
         };
         let mailbox = &self.shared.mailboxes[self.world_rank.index()];
-        match mailbox.probe_match(pred, || self.shared.is_aborted()) {
+        match mailbox.probe_match(pred, || self.shared.is_aborted(), || self.dead_source(src)) {
             RecvOutcome::Matched(env) => {
                 let avail = self.shared.cost.availability(env.send_time, env.len());
                 self.clock.sync_to(avail);
@@ -276,6 +325,7 @@ impl Endpoint<'_> {
             RecvOutcome::Aborted => {
                 Err(MpiError::Aborted { rank: self.comm_rank, at: self.clock.now() })
             }
+            RecvOutcome::SourceDead(peer) => Err(MpiError::DeadPeer { peer, at: self.clock.now() }),
         }
     }
 }
@@ -363,10 +413,9 @@ impl Communicator for Comm {
                     Some(env) => {
                         Ok(crate::TestOutcome::Completed(Some(self.envelope_to_result(env))))
                     }
-                    None => Ok(crate::TestOutcome::Pending(Request(RequestKind::Recv {
-                        src,
-                        tag,
-                    }))),
+                    None => {
+                        Ok(crate::TestOutcome::Pending(Request(RequestKind::Recv { src, tag })))
+                    }
                 }
             }
         }
@@ -424,9 +473,9 @@ impl SubComm {
         for (i, wr) in members.iter().enumerate() {
             reverse[wr.index()] = Some(i as u32);
         }
-        let my_sub_rank = reverse[parent.rank.index()].map(Rank::new).ok_or(
-            MpiError::InvalidRank { rank: parent.rank.index(), size: members.len() },
-        )?;
+        let my_sub_rank = reverse[parent.rank.index()]
+            .map(Rank::new)
+            .ok_or(MpiError::InvalidRank { rank: parent.rank.index(), size: members.len() })?;
         Ok(SubComm {
             shared: Arc::clone(&parent.shared),
             clock: Rc::clone(&parent.clock),
@@ -503,9 +552,9 @@ impl Communicator for SubComm {
     }
 
     fn compute(&self, seconds: f64) -> Result<()> {
-        check_abort(&self.shared, &self.clock, self.my_sub_rank)?;
+        check_abort(&self.shared, &self.clock, self.my_sub_rank, self.my_world_rank)?;
         self.clock.advance_compute(seconds);
-        check_abort(&self.shared, &self.clock, self.my_sub_rank)
+        check_abort(&self.shared, &self.clock, self.my_sub_rank, self.my_world_rank)
     }
 
     fn send_ns(&self, dest: Rank, tag: Tag, data: Bytes, ns: Namespace) -> Result<()> {
@@ -531,7 +580,7 @@ impl Communicator for SubComm {
     }
 
     fn irecv(&self, src: RankSelector, tag: TagSelector) -> Result<Self::Request> {
-        check_abort(&self.shared, &self.clock, self.my_sub_rank)?;
+        check_abort(&self.shared, &self.clock, self.my_sub_rank, self.my_world_rank)?;
         Ok(Request(RequestKind::Recv { src, tag }))
     }
 
@@ -569,10 +618,9 @@ impl Communicator for SubComm {
                     Some(env) => {
                         Ok(crate::TestOutcome::Completed(Some(self.envelope_to_result(env))))
                     }
-                    None => Ok(crate::TestOutcome::Pending(Request(RequestKind::Recv {
-                        src,
-                        tag,
-                    }))),
+                    None => {
+                        Ok(crate::TestOutcome::Pending(Request(RequestKind::Recv { src, tag })))
+                    }
                 }
             }
         }

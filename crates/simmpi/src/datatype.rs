@@ -27,7 +27,10 @@ pub fn decode_f64s(bytes: &[u8]) -> Result<Vec<f64>> {
     if !bytes.len().is_multiple_of(8) {
         return Err(MpiError::DecodeError { what: "f64 slice" });
     }
-    Ok(bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8"))).collect())
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect())
 }
 
 /// Encodes a slice of `u64` as little-endian bytes.
@@ -48,7 +51,10 @@ pub fn decode_u64s(bytes: &[u8]) -> Result<Vec<u64>> {
     if !bytes.len().is_multiple_of(8) {
         return Err(MpiError::DecodeError { what: "u64 slice" });
     }
-    Ok(bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8"))).collect())
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect())
 }
 
 /// Encodes a slice of `i64` as little-endian bytes.
@@ -69,7 +75,10 @@ pub fn decode_i64s(bytes: &[u8]) -> Result<Vec<i64>> {
     if !bytes.len().is_multiple_of(8) {
         return Err(MpiError::DecodeError { what: "i64 slice" });
     }
-    Ok(bytes.chunks_exact(8).map(|c| i64::from_le_bytes(c.try_into().expect("chunk of 8"))).collect())
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| i64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect())
 }
 
 /// Encodes a single `f64`.
@@ -110,7 +119,7 @@ mod tests {
 
     #[test]
     fn f64_round_trip() {
-        let xs = vec![0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, 3.141_592_653_589_793];
+        let xs = vec![0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, std::f64::consts::PI];
         assert_eq!(decode_f64s(&encode_f64s(&xs)).unwrap(), xs);
     }
 

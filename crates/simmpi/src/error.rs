@@ -19,6 +19,36 @@ pub enum MpiError {
         /// The rank's virtual time when the abort was observed, seconds.
         at: f64,
     },
+    /// This rank reached its own sampled death time (per-rank fail-stop
+    /// injection): it must stop executing immediately. Unlike
+    /// [`Aborted`](MpiError::Aborted), the death of one rank does **not**
+    /// stop its peers — survivors observe it per-operation as
+    /// [`DeadPeer`](MpiError::DeadPeer).
+    Dead {
+        /// The rank that died (world rank).
+        rank: Rank,
+        /// The sampled death time, virtual seconds.
+        at: f64,
+    },
+    /// A point-to-point operation targeted a peer that has fail-stopped.
+    /// Sends observe this when the destination's death time has passed;
+    /// receives observe it when the awaited sender died without having sent
+    /// a matching message.
+    DeadPeer {
+        /// The dead peer (world rank).
+        peer: Rank,
+        /// This rank's virtual time when the death was observed, seconds.
+        at: f64,
+    },
+    /// Every replica of a virtual peer is dead: the replica sphere — and
+    /// with it the job — cannot make progress. Raised by interposition
+    /// layers that map several physical ranks onto one logical peer.
+    SphereDead {
+        /// The virtual rank whose sphere died.
+        virtual_rank: Rank,
+        /// Virtual time when the sphere death was observed, seconds.
+        at: f64,
+    },
     /// A rank index was outside the communicator.
     InvalidRank {
         /// The offending rank index.
@@ -63,6 +93,19 @@ impl fmt::Display for MpiError {
             MpiError::Aborted { rank, at } => {
                 write!(f, "run aborted at virtual time {at:.6}s (observed by rank {rank})")
             }
+            MpiError::Dead { rank, at } => {
+                write!(f, "rank {rank} fail-stopped at virtual time {at:.6}s")
+            }
+            MpiError::DeadPeer { peer, at } => {
+                write!(f, "peer rank {peer} is dead (observed at virtual time {at:.6}s)")
+            }
+            MpiError::SphereDead { virtual_rank, at } => {
+                write!(
+                    f,
+                    "all replicas of virtual rank {virtual_rank} are dead \
+                     (observed at virtual time {at:.6}s)"
+                )
+            }
             MpiError::InvalidRank { rank, size } => {
                 write!(f, "rank {rank} out of range for communicator of size {size}")
             }
@@ -74,6 +117,22 @@ impl fmt::Display for MpiError {
             }
             MpiError::App { what } => write!(f, "application failure: {what}"),
         }
+    }
+}
+
+impl MpiError {
+    /// Whether this error is a planned fail-stop outcome — an injected
+    /// death or its downstream observation — rather than a genuine
+    /// application or runtime error. Restart-driving layers use this to
+    /// separate "the failure we injected" from real bugs.
+    pub fn is_fail_stop(&self) -> bool {
+        matches!(
+            self,
+            MpiError::Aborted { .. }
+                | MpiError::Dead { .. }
+                | MpiError::DeadPeer { .. }
+                | MpiError::SphereDead { .. }
+        )
     }
 }
 

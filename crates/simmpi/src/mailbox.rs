@@ -26,6 +26,9 @@ pub enum RecvOutcome {
     Matched(Envelope),
     /// The world aborted while waiting.
     Aborted,
+    /// The awaited sender fail-stopped without a matching message buffered:
+    /// nothing matching can ever arrive. Carries the dead sender's rank.
+    SourceDead(crate::rank::Rank),
 }
 
 impl Mailbox {
@@ -44,11 +47,16 @@ impl Mailbox {
 
     /// Removes and returns the first envelope matching `pred`, blocking
     /// until one arrives. `is_aborted` is polled on every wake-up; when it
-    /// returns true the wait ends with [`RecvOutcome::Aborted`].
+    /// returns true the wait ends with [`RecvOutcome::Aborted`]. `dead_src`
+    /// is polled likewise: when it reports the awaited (specific) sender as
+    /// dead and nothing matching is buffered, the wait ends with
+    /// [`RecvOutcome::SourceDead`] — a dead rank has already deposited
+    /// everything it will ever send, so no match can arrive later.
     pub fn recv_match(
         &self,
         mut pred: impl FnMut(&Envelope) -> bool,
         is_aborted: impl Fn() -> bool,
+        dead_src: impl Fn() -> Option<crate::rank::Rank>,
     ) -> RecvOutcome {
         let mut q = self.inner.lock();
         loop {
@@ -58,6 +66,9 @@ impl Mailbox {
             }
             if is_aborted() {
                 return RecvOutcome::Aborted;
+            }
+            if let Some(peer) = dead_src() {
+                return RecvOutcome::SourceDead(peer);
             }
             self.cond.wait(&mut q);
         }
@@ -72,11 +83,14 @@ impl Mailbox {
     }
 
     /// Blocking probe: waits until an envelope matches `pred` and returns a
-    /// *clone* of it without removing it from the mailbox.
+    /// *clone* of it without removing it from the mailbox. Unblocks like
+    /// [`recv_match`](Self::recv_match) when the world aborts or the
+    /// awaited sender is dead.
     pub fn probe_match(
         &self,
         mut pred: impl FnMut(&Envelope) -> bool,
         is_aborted: impl Fn() -> bool,
+        dead_src: impl Fn() -> Option<crate::rank::Rank>,
     ) -> RecvOutcome {
         let mut q = self.inner.lock();
         loop {
@@ -85,6 +99,9 @@ impl Mailbox {
             }
             if is_aborted() {
                 return RecvOutcome::Aborted;
+            }
+            if let Some(peer) = dead_src() {
+                return RecvOutcome::SourceDead(peer);
             }
             self.cond.wait(&mut q);
         }
@@ -170,9 +187,9 @@ mod tests {
         let mb = Arc::new(Mailbox::new());
         let mb2 = Arc::clone(&mb);
         let handle = std::thread::spawn(move || {
-            match mb2.recv_match(|e| e.wire_tag.value() == 5, || false) {
+            match mb2.recv_match(|e| e.wire_tag.value() == 5, || false, || None) {
                 RecvOutcome::Matched(e) => e.payload,
-                RecvOutcome::Aborted => panic!("unexpected abort"),
+                other => panic!("unexpected outcome {other:?}"),
             }
         });
         std::thread::sleep(std::time::Duration::from_millis(20));
@@ -187,7 +204,7 @@ mod tests {
         let (mb2, ab2) = (Arc::clone(&mb), Arc::clone(&aborted));
         let handle = std::thread::spawn(move || {
             matches!(
-                mb2.recv_match(|_| true, || ab2.load(Ordering::SeqCst)),
+                mb2.recv_match(|_| true, || ab2.load(Ordering::SeqCst), || None),
                 RecvOutcome::Aborted
             )
         });
@@ -195,6 +212,40 @@ mod tests {
         aborted.store(true, Ordering::SeqCst);
         mb.notify_all();
         assert!(handle.join().unwrap());
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_dead_source() {
+        let mb = Arc::new(Mailbox::new());
+        let dead = Arc::new(AtomicBool::new(false));
+        let (mb2, dead2) = (Arc::clone(&mb), Arc::clone(&dead));
+        let handle = std::thread::spawn(move || {
+            let dead_src = || if dead2.load(Ordering::SeqCst) { Some(Rank::new(7)) } else { None };
+            matches!(
+                mb2.recv_match(|e| e.src == Rank::new(7), || false, dead_src),
+                RecvOutcome::SourceDead(peer) if peer == Rank::new(7)
+            )
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        dead.store(true, Ordering::SeqCst);
+        mb.notify_all();
+        assert!(handle.join().unwrap());
+    }
+
+    #[test]
+    fn buffered_message_beats_dead_source() {
+        // A message deposited before the sender died must still be
+        // delivered; only an *empty* channel from a dead sender errors.
+        let mb = Mailbox::new();
+        mb.push(env(7, 1, b"pre-death"));
+        let outcome = mb.recv_match(|e| e.src == Rank::new(7), || false, || Some(Rank::new(7)));
+        match outcome {
+            RecvOutcome::Matched(e) => assert_eq!(&e.payload[..], b"pre-death"),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        // Nothing buffered any more: now the dead source surfaces.
+        let outcome = mb.recv_match(|e| e.src == Rank::new(7), || false, || Some(Rank::new(7)));
+        assert!(matches!(outcome, RecvOutcome::SourceDead(_)));
     }
 
     #[test]

@@ -27,6 +27,7 @@ impl World {
             cost: CostModel::default(),
             abort_horizon: f64::INFINITY,
             start_time: 0.0,
+            death_times: None,
         }
     }
 }
@@ -38,6 +39,7 @@ pub struct WorldBuilder {
     cost: CostModel,
     abort_horizon: f64,
     start_time: f64,
+    death_times: Option<Vec<f64>>,
 }
 
 impl WorldBuilder {
@@ -65,6 +67,26 @@ impl WorldBuilder {
         self
     }
 
+    /// Sets **per-rank fail-stop times** (absolute virtual seconds,
+    /// `f64::INFINITY` = never dies). Unlike
+    /// [`abort_horizon`](Self::abort_horizon), a rank's death does not stop
+    /// the world: the dying rank's closure returns
+    /// [`MpiError::Dead`](crate::MpiError::Dead) the first time its clock
+    /// reaches its death time, while the remaining ranks keep running.
+    /// Survivors observe the death per-operation: sends to a dead peer and
+    /// receives whose (specific) sender died without a matching buffered
+    /// message return [`MpiError::DeadPeer`](crate::MpiError::DeadPeer)
+    /// instead of blocking or silently succeeding.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in [`run`](Self::run)) if the vector length differs from the
+    /// world size.
+    pub fn death_times(mut self, times: Vec<f64>) -> Self {
+        self.death_times = Some(times);
+        self
+    }
+
     /// Number of ranks.
     pub fn size(&self) -> usize {
         self.n
@@ -83,7 +105,14 @@ impl WorldBuilder {
         T: Send,
         F: Fn(&Comm) -> Result<T> + Send + Sync,
     {
-        let shared = Arc::new(Shared::new(self.n, self.cost, self.abort_horizon));
+        let death_times = match self.death_times {
+            Some(times) => {
+                assert_eq!(times.len(), self.n, "death_times must list one time per rank");
+                times
+            }
+            None => vec![f64::INFINITY; self.n],
+        };
+        let shared = Arc::new(Shared::new(self.n, self.cost, self.abort_horizon, death_times));
         let start_time = self.start_time;
         let f = &f;
         let mut slots: Vec<Option<(Result<T>, RankTiming)>> = Vec::new();
@@ -96,10 +125,16 @@ impl WorldBuilder {
                 handles.push(scope.spawn(move || {
                     let comm = Comm::new(shared, rank as u32, start_time);
                     let result = f(&comm);
-                    if result.is_err() {
-                        // A failing rank (abort or app error) must not leave
-                        // peers blocked in receives forever.
-                        comm.shared().trigger_abort();
+                    match &result {
+                        // An injected per-rank death is survivable by
+                        // design: peers detect it through the dead flag
+                        // (set when the rank crossed its death time), so
+                        // the world keeps running.
+                        Err(crate::MpiError::Dead { .. }) => {}
+                        // Any other failing rank (abort or app error) must
+                        // not leave peers blocked in receives forever.
+                        Err(_) => comm.shared().trigger_abort(),
+                        Ok(_) => {}
                     }
                     let timing = RankTiming {
                         finish: comm.clock().now(),
@@ -124,13 +159,15 @@ impl WorldBuilder {
             results.push(r);
             timings.push(t);
         }
-        let max_virtual_time =
-            timings.iter().map(|t| t.finish).fold(f64::NEG_INFINITY, f64::max);
+        let max_virtual_time = timings.iter().map(|t| t.finish).fold(f64::NEG_INFINITY, f64::max);
+        let dead_ranks =
+            (0..self.n).filter(|&r| shared.is_dead(crate::Rank::new(r as u32))).collect();
         Ok(RunReport {
             results,
             timings,
             max_virtual_time,
             aborted: shared.is_aborted(),
+            dead_ranks,
             messages_sent: shared.msgs_sent.load(Ordering::Relaxed),
             bytes_sent: shared.bytes_sent.load(Ordering::Relaxed),
         })
@@ -171,6 +208,10 @@ pub struct RunReport<T> {
     pub max_virtual_time: f64,
     /// Whether the run crossed the abort horizon (or a rank failed).
     pub aborted: bool,
+    /// Ranks that fail-stopped at their sampled death time during the run
+    /// (ascending rank order). Empty unless
+    /// [`WorldBuilder::death_times`] was used.
+    pub dead_ranks: Vec<usize>,
     /// Total number of point-to-point messages injected.
     pub messages_sent: u64,
     /// Total payload bytes injected.
@@ -192,8 +233,7 @@ impl<T> RunReport<T> {
         if self.timings.is_empty() {
             return 0.0;
         }
-        self.timings.iter().map(RankTiming::comm_fraction).sum::<f64>()
-            / self.timings.len() as f64
+        self.timings.iter().map(RankTiming::comm_fraction).sum::<f64>() / self.timings.len() as f64
     }
 }
 
@@ -204,18 +244,27 @@ pub(crate) struct Shared {
     pub(crate) cost: CostModel,
     pub(crate) mailboxes: Vec<Mailbox>,
     pub(crate) abort_horizon: f64,
+    /// `death_times[r]`: absolute virtual time at which rank `r`
+    /// fail-stops (INFINITY = never).
+    pub(crate) death_times: Vec<f64>,
+    /// `dead[r]` is set (by rank `r`'s own thread) once `r` observed its
+    /// own death, i.e. all messages `r` will ever send are already in
+    /// mailboxes. Receivers use this flag to stop waiting on `r`.
+    dead: Vec<AtomicBool>,
     aborted: AtomicBool,
     pub(crate) msgs_sent: AtomicU64,
     pub(crate) bytes_sent: AtomicU64,
 }
 
 impl Shared {
-    fn new(n: usize, cost: CostModel, abort_horizon: f64) -> Self {
+    fn new(n: usize, cost: CostModel, abort_horizon: f64, death_times: Vec<f64>) -> Self {
         Shared {
             n,
             cost,
             mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
             abort_horizon,
+            death_times,
+            dead: (0..n).map(|_| AtomicBool::new(false)).collect(),
             aborted: AtomicBool::new(false),
             msgs_sent: AtomicU64::new(0),
             bytes_sent: AtomicU64::new(0),
@@ -231,6 +280,27 @@ impl Shared {
         self.aborted.store(true, Ordering::SeqCst);
         for mb in &self.mailboxes {
             mb.notify_all();
+        }
+    }
+
+    /// The sampled death time of `rank`.
+    pub(crate) fn death_time(&self, rank: crate::Rank) -> f64 {
+        self.death_times[rank.index()]
+    }
+
+    /// Whether `rank` has observed its own death (its thread crossed its
+    /// death time in program order).
+    pub(crate) fn is_dead(&self, rank: crate::Rank) -> bool {
+        self.dead[rank.index()].load(Ordering::SeqCst)
+    }
+
+    /// Marks `rank` dead (called by `rank`'s own thread) and wakes every
+    /// blocked receiver so waits on the dead rank re-evaluate.
+    pub(crate) fn mark_dead(&self, rank: crate::Rank) {
+        if !self.dead[rank.index()].swap(true, Ordering::SeqCst) {
+            for mb in &self.mailboxes {
+                mb.notify_all();
+            }
         }
     }
 }
@@ -292,6 +362,106 @@ mod tests {
         assert!(report.results[0].is_err());
         // The rank stopped within one compute step of the horizon.
         assert!(report.max_virtual_time <= 6.0);
+    }
+
+    #[test]
+    fn rank_death_does_not_abort_world() {
+        let report = World::builder(3)
+            .cost_model(CostModel::zero())
+            .death_times(vec![f64::INFINITY, 5.0, f64::INFINITY])
+            .run(|comm| {
+                for _ in 0..10 {
+                    comm.compute(1.0)?;
+                }
+                Ok(comm.rank().index())
+            })
+            .unwrap();
+        assert!(!report.aborted, "a single rank death must not abort the world");
+        assert_eq!(report.dead_ranks, vec![1]);
+        assert!(matches!(
+            report.results[1],
+            Err(crate::MpiError::Dead { rank, at }) if rank == crate::Rank::new(1) && at == 5.0
+        ));
+        assert_eq!(*report.results[0].as_ref().unwrap(), 0);
+        assert_eq!(*report.results[2].as_ref().unwrap(), 2);
+    }
+
+    #[test]
+    fn send_to_dead_peer_reports_dead_peer() {
+        let report = World::builder(2)
+            .cost_model(CostModel::zero())
+            .death_times(vec![f64::INFINITY, 1.0])
+            .run(|comm| {
+                if comm.rank().index() == 0 {
+                    // Advance past the peer's death time, then try to send.
+                    comm.compute(2.0)?;
+                    match comm.send(crate::Rank::new(1), crate::Tag::new(0), b"hi") {
+                        Err(crate::MpiError::DeadPeer { peer, .. }) => {
+                            assert_eq!(peer, crate::Rank::new(1));
+                            Ok(true)
+                        }
+                        other => panic!("expected DeadPeer, got {other:?}"),
+                    }
+                } else {
+                    comm.compute(2.0)?; // dies at t=1.0
+                    Ok(false)
+                }
+            })
+            .unwrap();
+        assert!(!report.aborted);
+        assert!(report.results[0].as_ref().unwrap());
+        assert!(matches!(report.results[1], Err(crate::MpiError::Dead { .. })));
+    }
+
+    #[test]
+    fn recv_from_dead_sender_unblocks() {
+        // Rank 1 dies before ever sending; rank 0's blocking receive must
+        // unblock with DeadPeer instead of hanging forever.
+        let report = World::builder(2)
+            .cost_model(CostModel::zero())
+            .death_times(vec![f64::INFINITY, 1.0])
+            .run(|comm| {
+                if comm.rank().index() == 0 {
+                    match comm.recv(crate::Rank::new(1).into(), crate::Tag::new(0).into()) {
+                        Err(crate::MpiError::DeadPeer { peer, .. }) => {
+                            assert_eq!(peer, crate::Rank::new(1));
+                            Ok(())
+                        }
+                        other => panic!("expected DeadPeer, got {other:?}"),
+                    }
+                } else {
+                    comm.compute(5.0)?; // crosses death time, returns Dead
+                    Ok(())
+                }
+            })
+            .unwrap();
+        assert!(!report.aborted);
+        assert!(report.results[0].is_ok());
+    }
+
+    #[test]
+    fn message_sent_before_death_still_delivered() {
+        // Rank 1 sends, then dies. Rank 0 must receive the buffered message
+        // even though the sender is long dead by the time it looks.
+        let report = World::builder(2)
+            .cost_model(CostModel::zero())
+            .death_times(vec![f64::INFINITY, 2.0])
+            .run(|comm| {
+                if comm.rank().index() == 0 {
+                    let (payload, _) =
+                        comm.recv(crate::Rank::new(1).into(), crate::Tag::new(0).into())?;
+                    assert_eq!(&payload[..], b"legacy");
+                    Ok(())
+                } else {
+                    comm.compute(1.0)?;
+                    comm.send(crate::Rank::new(0), crate::Tag::new(0), b"legacy")?;
+                    comm.compute(5.0)?; // now cross the death time
+                    Ok(())
+                }
+            })
+            .unwrap();
+        assert!(report.results[0].is_ok());
+        assert!(matches!(report.results[1], Err(crate::MpiError::Dead { .. })));
     }
 
     #[test]

@@ -3,9 +3,7 @@
 
 use bytes::Bytes;
 use redcr_mpi::collectives::ReduceOp;
-use redcr_mpi::{
-    Communicator, CostModel, MpiError, Rank, RankSelector, Tag, TagSelector, World,
-};
+use redcr_mpi::{Communicator, CostModel, MpiError, Rank, RankSelector, Tag, TagSelector, World};
 
 fn tag(v: u64) -> Tag {
     Tag::new(v)
@@ -90,7 +88,8 @@ fn nonblocking_post_then_waitall() {
                 Ok((a, b))
             } else {
                 let t = tag(comm.rank().as_u32() as u64);
-                let req = comm.isend(Rank::new(0), t, Bytes::from(vec![comm.rank().as_u32() as u8]))?;
+                let req =
+                    comm.isend(Rank::new(0), t, Bytes::from(vec![comm.rank().as_u32() as u8]))?;
                 comm.wait(req)?;
                 Ok((Vec::new(), Vec::new()))
             }
@@ -290,8 +289,7 @@ fn alltoall_personalized_exchange() {
         .cost_model(CostModel::zero())
         .run(|comm| {
             let me = comm.rank().index() as u8;
-            let parts: Vec<Bytes> =
-                (0..n).map(|d| Bytes::from(vec![me, d as u8])).collect();
+            let parts: Vec<Bytes> = (0..n).map(|d| Bytes::from(vec![me, d as u8])).collect();
             let got = comm.alltoall(parts)?;
             for (src, p) in got.iter().enumerate() {
                 assert_eq!(&p[..], &[src as u8, me]);
@@ -579,7 +577,6 @@ fn test_reports_pending_then_completed() {
 
 #[test]
 fn send_requests_test_complete_immediately() {
-    
     World::builder(2)
         .cost_model(CostModel::zero())
         .run(|comm| {

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use redcr::apps::cg::{CgConfig, CgSolver};
 use redcr::apps::ep::{EpConfig, EpKernel};
 use redcr::ckpt::{from_bytes, to_bytes};
-use redcr::mpi::CostModel;
+use redcr::mpi::{Communicator, CostModel};
 use redcr::red::{ReplicatedWorld, VoteCost};
 
 proptest! {
@@ -40,6 +40,57 @@ proptest! {
             (0..4).map(|v| *report.primary_result(v).as_ref().unwrap()).collect::<Vec<_>>()
         };
         prop_assert_eq!(run(1.0), run(degree));
+    }
+
+    /// Transparency survives live degradation: fail-stopping any single
+    /// shadow replica at an arbitrary mid-run time leaves every survivor's
+    /// CG answer bitwise identical to the unreplicated run.
+    #[test]
+    fn cg_answer_unchanged_when_a_shadow_dies(
+        victim in 4usize..8,
+        tenths in 5u64..75,
+        n in 16usize..48,
+        seed in 0u64..500,
+    ) {
+        let run = |deg: f64, death: Option<(usize, f64)>| {
+            let mut cfg = CgConfig::small(n);
+            cfg.seed = seed;
+            let solver = CgSolver::new(cfg);
+            let mut builder = ReplicatedWorld::builder(4, deg)
+                .unwrap()
+                .cost_model(CostModel::zero())
+                .vote_cost(VoteCost::zero());
+            if let Some((phys, t)) = death {
+                let mut times = vec![f64::INFINITY; 8];
+                times[phys] = t;
+                builder = builder.death_times(times);
+            }
+            let report = builder
+                .run(move |comm| {
+                    let mut state = solver.init_state(comm)?;
+                    for _ in 0..8 {
+                        comm.compute(1.0)?;
+                        solver.step(comm, &mut state)?;
+                    }
+                    Ok(state.rho.to_bits())
+                })
+                .unwrap();
+            let survivors: Vec<u64> = (0..4)
+                .map(|v| {
+                    *report
+                        .replica_results(v)
+                        .iter()
+                        .find_map(|r| r.as_ref().ok())
+                        .expect("every sphere keeps a live replica")
+                })
+                .collect();
+            (report.aborted, survivors)
+        };
+        // Physical ranks 4..8 are the shadow replicas of virtual 0..4.
+        let (aborted, degraded) = run(2.0, Some((victim, tenths as f64 / 10.0)));
+        prop_assert!(!aborted, "a single shadow death must be masked");
+        let (_, plain) = run(1.0, None);
+        prop_assert_eq!(degraded, plain);
     }
 
     /// EP (communication-free) kernels agree bitwise across replicas too.

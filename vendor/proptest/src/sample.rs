@@ -1,0 +1,28 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::{Arbitrary, TestRng};
+
+/// An index into a collection of as-yet-unknown size: stores raw entropy
+/// and projects it onto `0..len` on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    /// Projects onto `0..len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.raw % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index { raw: rng.next_u64() }
+    }
+}

@@ -1,0 +1,259 @@
+//! Vendored, dependency-free stand-in for the subset of `rand` 0.8 this
+//! workspace uses: `StdRng::seed_from_u64`, `Rng::gen` and
+//! `Rng::gen_range` over integer and float ranges.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace ships this shim. The generator is xoshiro256** seeded via
+//! SplitMix64 — deterministic for a given seed, which is all the
+//! simulators need. Streams do NOT match upstream `rand`; all seeds in
+//! this repository are interpreted relative to this generator.
+
+use std::ops::Range;
+
+/// Low-level entropy source.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction (the only constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of a standard-distributed type: `f64`/`f32` uniform
+    /// in `[0, 1)`, integers uniform over their full range, `bool` fair.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Fair coin flip.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Types `Rng::gen` can produce.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 53 top bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u8 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges `Rng::gen_range` accepts.
+pub trait SampleRange {
+    /// Element type of the range.
+    type Output;
+
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! int_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange for Range<$ty> {
+            type Output = $ty;
+
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                // Modulo with a 64-bit draw: bias is negligible for the
+                // span sizes the simulators use.
+                self.start.wrapping_add((rng.next_u64() % span) as $ty)
+            }
+        }
+    )*};
+}
+
+int_range!(usize, u64, u32, u16, u8);
+
+macro_rules! signed_int_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange for Range<$ty> {
+            type Output = $ty;
+
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (rng.next_u64() % span) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+signed_int_range!(isize, i64, i32, i16, i8);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let u = f64::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<f32> {
+    type Output = f32;
+
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let u = f32::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256**
+    /// seeded via SplitMix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let i = r.gen_range(3usize..17);
+            assert!((3..17).contains(&i));
+            let f = r.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let s = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn coverage_of_small_range() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

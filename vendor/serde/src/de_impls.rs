@@ -1,0 +1,337 @@
+//! `Deserialize` impls for the std types the workspace checkpoints.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+use std::marker::PhantomData;
+
+use crate::de::{Deserialize, Deserializer, Error, MapAccess, SeqAccess, Visitor};
+
+macro_rules! primitive_deserialize {
+    ($($ty:ty => ($method:ident, $visit:ident, $expecting:literal),)*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> Visitor<'de> for V {
+                    type Value = $ty;
+
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str($expecting)
+                    }
+
+                    fn $visit<E: Error>(self, v: $ty) -> Result<$ty, E> {
+                        Ok(v)
+                    }
+                }
+                deserializer.$method(V)
+            }
+        }
+    )*};
+}
+
+primitive_deserialize! {
+    bool => (deserialize_bool, visit_bool, "a bool"),
+    i8 => (deserialize_i8, visit_i8, "an i8"),
+    i16 => (deserialize_i16, visit_i16, "an i16"),
+    i32 => (deserialize_i32, visit_i32, "an i32"),
+    i64 => (deserialize_i64, visit_i64, "an i64"),
+    u8 => (deserialize_u8, visit_u8, "a u8"),
+    u16 => (deserialize_u16, visit_u16, "a u16"),
+    u32 => (deserialize_u32, visit_u32, "a u32"),
+    u64 => (deserialize_u64, visit_u64, "a u64"),
+    f32 => (deserialize_f32, visit_f32, "an f32"),
+    f64 => (deserialize_f64, visit_f64, "an f64"),
+    char => (deserialize_char, visit_char, "a char"),
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = usize;
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a usize")
+            }
+
+            fn visit_u64<E: Error>(self, v: u64) -> Result<usize, E> {
+                usize::try_from(v).map_err(|_| E::custom(format!("{v} overflows usize")))
+            }
+        }
+        deserializer.deserialize_u64(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = isize;
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an isize")
+            }
+
+            fn visit_i64<E: Error>(self, v: i64) -> Result<isize, E> {
+                isize::try_from(v).map_err(|_| E::custom(format!("{v} overflows isize")))
+            }
+        }
+        deserializer.deserialize_i64(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = String;
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a string")
+            }
+
+            fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+
+            fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = ();
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("unit")
+            }
+
+            fn visit_unit<E: Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(V)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Option<T>;
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an option")
+            }
+
+            fn visit_none<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+
+            fn visit_unit<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+
+            fn visit_some<D: Deserializer<'de>>(
+                self,
+                deserializer: D,
+            ) -> Result<Option<T>, D::Error> {
+                T::deserialize(deserializer).map(Some)
+            }
+        }
+        deserializer.deserialize_option(V(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T> Deserialize<'de> for PhantomData<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T> Visitor<'de> for V<T> {
+            type Value = PhantomData<T>;
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("unit")
+            }
+
+            fn visit_unit<E: Error>(self) -> Result<PhantomData<T>, E> {
+                Ok(PhantomData)
+            }
+        }
+        deserializer.deserialize_unit_struct("PhantomData", V(PhantomData))
+    }
+}
+
+macro_rules! seq_deserialize {
+    ($($container:ident [$($bound:tt)*],)*) => {$(
+        impl<'de, T: Deserialize<'de> $($bound)*> Deserialize<'de> for $container<T> {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V<T>(PhantomData<T>);
+                impl<'de, T: Deserialize<'de> $($bound)*> Visitor<'de> for V<T> {
+                    type Value = $container<T>;
+
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str("a sequence")
+                    }
+
+                    fn visit_seq<A: SeqAccess<'de>>(
+                        self,
+                        mut seq: A,
+                    ) -> Result<Self::Value, A::Error> {
+                        let mut out = $container::<T>::new();
+                        while let Some(item) = seq.next_element::<T>()? {
+                            out.extend(std::iter::once(item));
+                        }
+                        Ok(out)
+                    }
+                }
+                deserializer.deserialize_seq(V::<T>(PhantomData))
+            }
+        }
+    )*};
+}
+
+seq_deserialize! {
+    Vec [],
+    VecDeque [],
+    BTreeSet [+ Ord],
+}
+
+impl<'de, T, H> Deserialize<'de> for HashSet<T, H>
+where
+    T: Deserialize<'de> + Eq + Hash,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T, H>(PhantomData<(T, H)>);
+        impl<'de, T, H> Visitor<'de> for V<T, H>
+        where
+            T: Deserialize<'de> + Eq + Hash,
+            H: BuildHasher + Default,
+        {
+            type Value = HashSet<T, H>;
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a set")
+            }
+
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = HashSet::with_hasher(H::default());
+                while let Some(item) = seq.next_element::<T>()? {
+                    out.insert(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(V::<T, H>(PhantomData))
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct MV<K, V>(PhantomData<(K, V)>);
+        impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Visitor<'de> for MV<K, V> {
+            type Value = BTreeMap<K, V>;
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = BTreeMap::new();
+                while let Some((k, v)) = map.next_entry::<K, V>()? {
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(MV::<K, V>(PhantomData))
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct MV<K, V, H>(PhantomData<(K, V, H)>);
+        impl<'de, K, V, H> Visitor<'de> for MV<K, V, H>
+        where
+            K: Deserialize<'de> + Eq + Hash,
+            V: Deserialize<'de>,
+            H: BuildHasher + Default,
+        {
+            type Value = HashMap<K, V, H>;
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = HashMap::with_hasher(H::default());
+                while let Some((k, v)) = map.next_entry::<K, V>()? {
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(MV::<K, V, H>(PhantomData))
+    }
+}
+
+macro_rules! tuple_deserialize {
+    ($($len:expr => ($($name:ident)+),)*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V<$($name),+>(PhantomData<($($name,)+)>);
+                impl<'de, $($name: Deserialize<'de>),+> Visitor<'de> for V<$($name),+> {
+                    type Value = ($($name,)+);
+
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        write!(f, "a tuple of {} elements", $len)
+                    }
+
+                    fn visit_seq<A: SeqAccess<'de>>(
+                        self,
+                        mut seq: A,
+                    ) -> Result<Self::Value, A::Error> {
+                        Ok(($(
+                            match seq.next_element::<$name>()? {
+                                Some(v) => v,
+                                None => return Err(A::Error::invalid_length(
+                                    $len,
+                                    "a full tuple",
+                                )),
+                            },
+                        )+))
+                    }
+                }
+                deserializer.deserialize_tuple($len, V(PhantomData))
+            }
+        }
+    )*};
+}
+
+tuple_deserialize! {
+    1 => (T0),
+    2 => (T0 T1),
+    3 => (T0 T1 T2),
+    4 => (T0 T1 T2 T3),
+    5 => (T0 T1 T2 T3 T4),
+    6 => (T0 T1 T2 T3 T4 T5),
+    7 => (T0 T1 T2 T3 T4 T5 T6),
+    8 => (T0 T1 T2 T3 T4 T5 T6 T7),
+}

@@ -1,0 +1,24 @@
+//! Vendored, dependency-free reimplementation of the subset of the serde
+//! data model this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace ships this stand-in. It provides the `Serialize` /
+//! `Deserialize` traits, the full `Serializer` / `Deserializer` visitor
+//! machinery that `redcr_ckpt::codec` implements, impls for the std types
+//! the checkpointed states contain, and (behind the `derive` feature)
+//! `#[derive(Serialize, Deserialize)]` proc-macros.
+//!
+//! Wire compatibility with upstream serde is irrelevant here: the only
+//! (de)serializer in the tree is the repository's own codec.
+
+pub mod de;
+pub mod ser;
+
+mod de_impls;
+mod ser_impls;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,581 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The build environment has no network access to crates.io, so this
+//! crate re-implements the subset of serde_derive the workspace needs —
+//! plain (non-generic) structs and enums, no `#[serde(...)]` attributes —
+//! by hand-parsing the input token stream (no syn/quote available) and
+//! emitting code as strings.
+//!
+//! Supported shapes: unit/tuple/named structs, enums whose variants are
+//! unit, newtype, tuple, or struct-like. Field order is the wire order,
+//! matching what `redcr_ckpt::codec` encodes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[derive(Debug, Clone)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Unnamed(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    data: Data,
+}
+
+/// Derives `serde::Serialize` for non-generic structs and enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated Serialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` for non-generic structs and enums.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(item) => gen_deserialize(&item).parse().expect("generated Deserialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("compile_error parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" {
+                    break;
+                }
+                return Err(format!("unexpected token `{kw}` before struct/enum"));
+            }
+            _ => return Err("expected `struct` or `enum`".into()),
+        }
+    }
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        _ => unreachable!(),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("derive does not support generic type `{name}`"));
+        }
+    }
+
+    let data = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Fields::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Fields::Unnamed(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Struct(Fields::Unit),
+            _ => return Err("malformed struct body".into()),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err("malformed enum body".into()),
+        }
+    };
+
+    Ok(Input { name, data })
+}
+
+/// Parses `name: Type, ...` bodies, returning the field names in order.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{field}`")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        names.push(field);
+    }
+    Ok(names)
+}
+
+/// Counts comma-separated fields in a tuple-struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut has_content = false;
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                has_content = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                has_content = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if has_content {
+                    count += 1;
+                    has_content = false;
+                }
+            }
+            _ => has_content = true,
+        }
+    }
+    if has_content {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // variant attribute, e.g. #[default] or a doc comment
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let fields = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        Fields::Unnamed(count_tuple_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        Fields::Named(parse_named_fields(g.stream())?)
+                    }
+                    _ => Fields::Unit,
+                };
+                // Skip an explicit discriminant (`= expr`) if present.
+                if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+                    if p.as_char() == '=' {
+                        i += 1;
+                        while i < tokens.len() {
+                            if let TokenTree::Punct(p) = &tokens[i] {
+                                if p.as_char() == ',' {
+                                    break;
+                                }
+                            }
+                            i += 1;
+                        }
+                    }
+                }
+                variants.push(Variant { name, fields });
+            }
+            other => return Err(format!("unexpected token `{other}` in enum body")),
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Struct(Fields::Unit) => {
+            format!("__serializer.serialize_unit_struct({name:?})")
+        }
+        Data::Struct(Fields::Named(fields)) => {
+            let mut b = String::new();
+            let _ = write!(
+                b,
+                "let mut __st = ::serde::Serializer::serialize_struct(\
+                 __serializer, {name:?}, {})?;",
+                fields.len()
+            );
+            for f in fields {
+                let _ = write!(
+                    b,
+                    "::serde::ser::SerializeStruct::serialize_field(\
+                     &mut __st, {f:?}, &self.{f})?;"
+                );
+            }
+            b.push_str("::serde::ser::SerializeStruct::end(__st)");
+            b
+        }
+        Data::Struct(Fields::Unnamed(n)) => {
+            let mut b = String::new();
+            let _ = write!(
+                b,
+                "let mut __st = ::serde::Serializer::serialize_tuple_struct(\
+                 __serializer, {name:?}, {n})?;"
+            );
+            for idx in 0..*n {
+                let _ = write!(
+                    b,
+                    "::serde::ser::SerializeTupleStruct::serialize_field(\
+                     &mut __st, &self.{idx})?;"
+                );
+            }
+            b.push_str("::serde::ser::SerializeTupleStruct::end(__st)");
+            b
+        }
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for (vi, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(\
+                             __serializer, {name:?}, {vi}u32, {vname:?}),"
+                        );
+                    }
+                    Fields::Unnamed(1) => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}(__f0) => \
+                             ::serde::Serializer::serialize_newtype_variant(\
+                             __serializer, {name:?}, {vi}u32, {vname:?}, __f0),"
+                        );
+                    }
+                    Fields::Unnamed(n) => {
+                        let pats: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}({pat}) => {{ \
+                             let mut __st = ::serde::Serializer::serialize_tuple_variant(\
+                             __serializer, {name:?}, {vi}u32, {vname:?}, {n})?;",
+                            pat = pats.join(", ")
+                        );
+                        for p in &pats {
+                            let _ = write!(
+                                arms,
+                                "::serde::ser::SerializeTupleVariant::serialize_field(\
+                                 &mut __st, {p})?;"
+                            );
+                        }
+                        arms.push_str("::serde::ser::SerializeTupleVariant::end(__st) },");
+                    }
+                    Fields::Named(fields) => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} {{ {pat} }} => {{ \
+                             let mut __st = ::serde::Serializer::serialize_struct_variant(\
+                             __serializer, {name:?}, {vi}u32, {vname:?}, {n})?;",
+                            pat = fields.join(", "),
+                            n = fields.len()
+                        );
+                        for f in fields {
+                            let _ = write!(
+                                arms,
+                                "::serde::ser::SerializeStructVariant::serialize_field(\
+                                 &mut __st, {f:?}, {f})?;"
+                            );
+                        }
+                        arms.push_str("::serde::ser::SerializeStructVariant::end(__st) },");
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+                 -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+/// `field: <next element or error>,` constructors shared by struct-like
+/// shapes; `path` names the thing being built for error messages.
+fn named_ctor(fields: &[String], path: &str) -> String {
+    let mut b = String::new();
+    for f in fields {
+        let _ = write!(
+            b,
+            "{f}: match ::serde::de::SeqAccess::next_element(&mut __seq)? {{ \
+             ::std::option::Option::Some(__v) => __v, \
+             ::std::option::Option::None => return ::std::result::Result::Err(\
+             ::serde::de::Error::custom(\"missing field `{f}` of {path}\")) }},"
+        );
+    }
+    b
+}
+
+fn unnamed_ctor(n: usize, path: &str) -> String {
+    let mut b = String::new();
+    for idx in 0..n {
+        let _ = write!(
+            b,
+            "match ::serde::de::SeqAccess::next_element(&mut __seq)? {{ \
+             ::std::option::Option::Some(__v) => __v, \
+             ::std::option::Option::None => return ::std::result::Result::Err(\
+             ::serde::de::Error::custom(\"missing field {idx} of {path}\")) }},"
+        );
+    }
+    b
+}
+
+fn quoted_list(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| format!("{s:?}")).collect();
+    format!("&[{}]", quoted.join(", "))
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Struct(Fields::Unit) => format!(
+            "struct __V;\n\
+             impl<'de> ::serde::de::Visitor<'de> for __V {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut ::std::fmt::Formatter)\n\
+                     -> ::std::fmt::Result {{ __f.write_str(\"unit struct {name}\") }}\n\
+                 fn visit_unit<__E: ::serde::de::Error>(self)\n\
+                     -> ::std::result::Result<{name}, __E> {{\n\
+                     ::std::result::Result::Ok({name})\n\
+                 }}\n\
+             }}\n\
+             ::serde::Deserializer::deserialize_unit_struct(__deserializer, {name:?}, __V)"
+        ),
+        Data::Struct(Fields::Named(fields)) => {
+            let ctor = named_ctor(fields, &format!("struct {name}"));
+            format!(
+                "struct __V;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __V {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut ::std::fmt::Formatter)\n\
+                         -> ::std::fmt::Result {{ __f.write_str(\"struct {name}\") }}\n\
+                     fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                         -> ::std::result::Result<{name}, __A::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {ctor} }})\n\
+                     }}\n\
+                 }}\n\
+                 ::serde::Deserializer::deserialize_struct(\
+                 __deserializer, {name:?}, {fields}, __V)",
+                fields = quoted_list(fields)
+            )
+        }
+        Data::Struct(Fields::Unnamed(n)) => {
+            let ctor = unnamed_ctor(*n, &format!("struct {name}"));
+            format!(
+                "struct __V;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __V {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut ::std::fmt::Formatter)\n\
+                         -> ::std::fmt::Result {{ __f.write_str(\"tuple struct {name}\") }}\n\
+                     fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                         -> ::std::result::Result<{name}, __A::Error> {{\n\
+                         ::std::result::Result::Ok({name}({ctor}))\n\
+                     }}\n\
+                 }}\n\
+                 ::serde::Deserializer::deserialize_tuple_struct(\
+                 __deserializer, {name:?}, {n}, __V)"
+            )
+        }
+        Data::Enum(variants) => {
+            let variant_names: Vec<String> = variants.iter().map(|v| v.name.clone()).collect();
+            let mut arms = String::new();
+            for (vi, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{vi}u32 => {{ \
+                             ::serde::de::VariantAccess::unit_variant(__variant)?; \
+                             ::std::result::Result::Ok({name}::{vname}) }},"
+                        );
+                    }
+                    Fields::Unnamed(1) => {
+                        let _ = write!(
+                            arms,
+                            "{vi}u32 => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::de::VariantAccess::newtype_variant(__variant)?)),"
+                        );
+                    }
+                    Fields::Unnamed(n) => {
+                        let ctor = unnamed_ctor(*n, &format!("variant {name}::{vname}"));
+                        let _ = write!(
+                            arms,
+                            "{vi}u32 => {{\n\
+                             struct __TV{vi};\n\
+                             impl<'de> ::serde::de::Visitor<'de> for __TV{vi} {{\n\
+                                 type Value = {name};\n\
+                                 fn expecting(&self, __f: &mut ::std::fmt::Formatter)\n\
+                                     -> ::std::fmt::Result {{\n\
+                                     __f.write_str(\"variant {name}::{vname}\")\n\
+                                 }}\n\
+                                 fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(\
+                                     self, mut __seq: __A)\n\
+                                     -> ::std::result::Result<{name}, __A::Error> {{\n\
+                                     ::std::result::Result::Ok({name}::{vname}({ctor}))\n\
+                                 }}\n\
+                             }}\n\
+                             ::serde::de::VariantAccess::tuple_variant(\
+                             __variant, {n}, __TV{vi})\n\
+                             }},"
+                        );
+                    }
+                    Fields::Named(fields) => {
+                        let ctor = named_ctor(fields, &format!("variant {name}::{vname}"));
+                        let _ = write!(
+                            arms,
+                            "{vi}u32 => {{\n\
+                             struct __SV{vi};\n\
+                             impl<'de> ::serde::de::Visitor<'de> for __SV{vi} {{\n\
+                                 type Value = {name};\n\
+                                 fn expecting(&self, __f: &mut ::std::fmt::Formatter)\n\
+                                     -> ::std::fmt::Result {{\n\
+                                     __f.write_str(\"variant {name}::{vname}\")\n\
+                                 }}\n\
+                                 fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(\
+                                     self, mut __seq: __A)\n\
+                                     -> ::std::result::Result<{name}, __A::Error> {{\n\
+                                     ::std::result::Result::Ok(\
+                                     {name}::{vname} {{ {ctor} }})\n\
+                                 }}\n\
+                             }}\n\
+                             ::serde::de::VariantAccess::struct_variant(\
+                             __variant, {fields}, __SV{vi})\n\
+                             }},",
+                            fields = quoted_list(fields)
+                        );
+                    }
+                }
+            }
+            format!(
+                "struct __V;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __V {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut ::std::fmt::Formatter)\n\
+                         -> ::std::fmt::Result {{ __f.write_str(\"enum {name}\") }}\n\
+                     fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __data: __A)\n\
+                         -> ::std::result::Result<{name}, __A::Error> {{\n\
+                         let (__idx, __variant): (u32, _) =\n\
+                             ::serde::de::EnumAccess::variant(__data)?;\n\
+                         match __idx {{\n\
+                             {arms}\n\
+                             __other => ::std::result::Result::Err(\
+                             ::serde::de::Error::custom(::std::format!(\
+                             \"invalid variant index {{}} for enum {name}\", __other))),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+                 ::serde::Deserializer::deserialize_enum(\
+                 __deserializer, {name:?}, {variants}, __V)",
+                variants = quoted_list(&variant_names)
+            )
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::std::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

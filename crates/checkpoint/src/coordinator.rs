@@ -162,6 +162,9 @@ impl CheckpointCoordinator {
         C: Communicator,
         S: Serialize,
     {
+        if let Some(rec) = comm.recorder() {
+            rec.record(comm.now(), redcr_mpi::trace::EventKind::CheckpointBegin { seq });
+        }
         let channel = match self.protocol {
             CoordinationProtocol::Bookmark => bookmark::quiesce(comm)?,
             CoordinationProtocol::ChandyLamport => chandy_lamport::snapshot(comm, seq)?,
@@ -184,6 +187,18 @@ impl CheckpointCoordinator {
         comm.compute(cost)?;
         self.storage.store(SnapshotKey::new(seq, comm.rank().as_u32()), &bytes)?;
         comm.barrier()?;
+        // Recorded only after the commit barrier: a rank that dies
+        // mid-checkpoint never emits a commit event.
+        if let Some(rec) = comm.recorder() {
+            rec.record(
+                comm.now(),
+                redcr_mpi::trace::EventKind::CheckpointCommit {
+                    seq,
+                    bytes: bytes.len() as u64,
+                    cost,
+                },
+            );
+        }
         Ok(CheckpointReceipt { stored_bytes: bytes.len(), cost_seconds: cost, channel_messages })
     }
 
@@ -204,6 +219,12 @@ impl CheckpointCoordinator {
         comm.compute(cost)?;
         let image = ProcessImage::from_stored_bytes(&bytes)?;
         let state = image.restore()?;
+        if let Some(rec) = comm.recorder() {
+            rec.record(
+                comm.now(),
+                redcr_mpi::trace::EventKind::Restore { seq, cut: image.virtual_time },
+            );
+        }
         Ok(Restored {
             state,
             channel: image.channel_state,

@@ -231,6 +231,10 @@ impl<C: Communicator> Communicator for CountingComm<'_, C> {
     fn next_collective_seq(&self) -> u64 {
         self.inner.next_collective_seq()
     }
+
+    fn recorder(&self) -> Option<&redcr_mpi::trace::Recorder> {
+        self.inner.recorder()
+    }
 }
 
 impl<C: Communicator> CountingComm<'_, C> {

@@ -81,14 +81,29 @@ where
     let mut mean_total = 0.0;
     if completed > 0 {
         for s in &completed_stats {
-            mean.total_time += s.total_time;
-            mean.work_time += s.work_time;
-            mean.checkpoint_time += s.checkpoint_time;
-            mean.recompute_time += s.recompute_time;
-            mean.restart_time += s.restart_time;
-            mean.failures += s.failures;
-            mean.checkpoints += s.checkpoints;
-            mean.attempts += s.attempts;
+            // Exhaustive destructuring: adding a field to `JobStats`
+            // without aggregating it here is a compile error, not a
+            // silently-zero mean (masked_failures was once dropped here).
+            let JobStats {
+                total_time,
+                work_time,
+                checkpoint_time,
+                recompute_time,
+                restart_time,
+                failures,
+                masked_failures,
+                checkpoints,
+                attempts,
+            } = *s;
+            mean.total_time += total_time;
+            mean.work_time += work_time;
+            mean.checkpoint_time += checkpoint_time;
+            mean.recompute_time += recompute_time;
+            mean.restart_time += restart_time;
+            mean.failures += failures;
+            mean.masked_failures += masked_failures;
+            mean.checkpoints += checkpoints;
+            mean.attempts += attempts;
         }
         let n = completed as f64;
         mean.total_time /= n;
@@ -97,6 +112,7 @@ where
         mean.recompute_time /= n;
         mean.restart_time /= n;
         mean.failures = (mean.failures as f64 / n).round() as u64;
+        mean.masked_failures = (mean.masked_failures as f64 / n).round() as u64;
         mean.checkpoints = (mean.checkpoints as f64 / n).round() as u64;
         mean.attempts = (mean.attempts as f64 / n).round() as u64;
         mean_total = mean.total_time;
@@ -168,6 +184,36 @@ mod tests {
         .unwrap();
         assert_eq!(agg.completed, 4);
         assert!((agg.completion_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masked_failures_survive_aggregation() {
+        // Regression: the mean loop used to drop masked_failures, so 2x
+        // sweeps always reported a mean of zero masked deaths. Under a
+        // harsh MTBF at dual redundancy nearly every run masks something.
+        use redcr_fault::ReplicaGroups;
+
+        use crate::failure_source::SphereSource;
+
+        let cfg = JobConfig {
+            work: 50.0,
+            checkpoint_cost: 0.2,
+            checkpoint_interval: 2.0,
+            restart_cost: 0.5,
+            exposure: FailureExposure::AllTime,
+            max_attempts: 1_000_000,
+        };
+        let agg = monte_carlo(32, 4, |seed| {
+            let mut src = SphereSource::new(ReplicaGroups::uniform(8, 2), 6.0, seed);
+            simulate_job(&cfg, &mut src)
+        })
+        .unwrap();
+        assert_eq!(agg.completed, 32);
+        assert!(
+            agg.mean.masked_failures > 0,
+            "2x redundancy at mtbf 6 must mask deaths on average: {:?}",
+            agg.mean
+        );
     }
 
     #[test]

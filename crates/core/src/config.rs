@@ -36,6 +36,11 @@ pub struct ExecutorConfig {
     ///
     /// [`CoreError::NoProgress`]: crate::CoreError::NoProgress
     pub no_progress_limit: u64,
+    /// Whether to run the flight recorder: when set, every layer emits
+    /// virtual-time events and the report carries the full
+    /// [`Trace`](redcr_mpi::trace::Trace) in
+    /// [`ExecutionReport::trace`](crate::ExecutionReport::trace).
+    pub tracing: bool,
 }
 
 impl ExecutorConfig {
@@ -55,6 +60,7 @@ impl ExecutorConfig {
             seed: 0,
             max_attempts: 10_000,
             no_progress_limit: 64,
+            tracing: false,
         }
     }
 
@@ -116,6 +122,12 @@ impl ExecutorConfig {
     /// tolerated before giving up.
     pub fn no_progress_limit(mut self, attempts: u64) -> Self {
         self.no_progress_limit = attempts;
+        self
+    }
+
+    /// Enables (or disables) the flight recorder for this execution.
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
         self
     }
 }

@@ -23,6 +23,17 @@ pub enum CoreError {
         /// Attempts performed when the guard fired.
         attempts: u64,
     },
+    /// Live replicas of a virtual rank finished the run disagreeing on how
+    /// many checkpoints were committed. The commit barrier makes the count
+    /// a collective property, so divergence means the run is corrupt and
+    /// must not be silently papered over with a `max`.
+    CheckpointDivergence {
+        /// The virtual rank whose replicas disagree (or the first rank
+        /// whose agreed count differs from the rest of the job).
+        virtual_rank: u32,
+        /// The committed-checkpoint counts observed, in replica order.
+        counts: Vec<u64>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -41,6 +52,13 @@ impl fmt::Display for CoreError {
                      (livelock detected after {attempts} attempts)"
                 )
             }
+            CoreError::CheckpointDivergence { virtual_rank, counts } => {
+                write!(
+                    f,
+                    "replicas of virtual rank {virtual_rank} disagree on the \
+                     committed checkpoint count: {counts:?}"
+                )
+            }
         }
     }
 }
@@ -51,7 +69,9 @@ impl Error for CoreError {
             CoreError::Model(e) => Some(e),
             CoreError::Runtime(e) => Some(e),
             CoreError::Checkpoint(e) => Some(e),
-            CoreError::AttemptsExhausted { .. } | CoreError::NoProgress { .. } => None,
+            CoreError::AttemptsExhausted { .. }
+            | CoreError::NoProgress { .. }
+            | CoreError::CheckpointDivergence { .. } => None,
         }
     }
 }

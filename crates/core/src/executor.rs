@@ -15,6 +15,7 @@ use redcr_ckpt::CountingComm;
 use redcr_fault::{FailureInjector, ReplicaGroups};
 use redcr_model::partition::RedundancyPartition;
 use redcr_mpi::collectives::ReduceOp;
+use redcr_mpi::trace::{Collector, EventKind};
 use redcr_mpi::{Communicator, MpiError};
 use redcr_red::ReplicatedWorld;
 
@@ -99,6 +100,19 @@ impl ResilientExecutor {
             .cost_model(storage_cost)
             .protocol(cfg.protocol);
 
+        let collector = cfg.tracing.then(|| Arc::new(Collector::new()));
+        if let Some(c) = &collector {
+            for (v, members) in injector.groups().iter().enumerate() {
+                for (replica, &p) in members.iter().enumerate() {
+                    c.record(
+                        0.0,
+                        Some(p as u32),
+                        EventKind::Topology { sphere: v as u32, replica: replica as u32 },
+                    );
+                }
+            }
+        }
+
         let mut resume_time = 0.0f64;
         let mut attempts = 0u64;
         let mut failures = 0u64;
@@ -117,6 +131,18 @@ impl ResilientExecutor {
             attempts += 1;
             let plan = injector.plan_attempt(resume_time);
             let first_attempt = attempts == 1;
+            if let Some(c) = &collector {
+                c.record(plan.start_time, None, EventKind::AttemptStart { attempt: plan.attempt });
+                for (p, &d) in plan.schedule.death_times.iter().enumerate() {
+                    if d.is_finite() {
+                        c.record(
+                            plan.start_time + d,
+                            Some(p as u32),
+                            EventKind::Injected { rel: d },
+                        );
+                    }
+                }
+            }
 
             let coordinator = &coordinator;
             let storage = &self.storage;
@@ -124,58 +150,60 @@ impl ResilientExecutor {
             let restart_cost = cfg.restart_cost;
             let app_ref = app;
 
-            let report = ReplicatedWorld::builder(cfg.n_virtual, cfg.degree)?
+            let mut builder = ReplicatedWorld::builder(cfg.n_virtual, cfg.degree)?
                 .voting_mode(cfg.voting)
                 .cost_model(cfg.comm_cost)
                 .death_times(plan.absolute_death_times())
-                .start_time(resume_time)
-                .run(move |comm| {
-                    let n_ranks = comm.size() as u32;
-                    let latest = restart::latest_complete(storage.as_ref(), n_ranks)
-                        .map_err(MpiError::from)?;
-                    let (mut state, mut next_seq, counting) = match latest {
-                        Some(seq) => {
-                            // Restore: charges the read cost R to virtual
-                            // time and primes the channel state.
-                            let restored: redcr_ckpt::coordinator::Restored<A::State> =
-                                coordinator.restore(comm, seq).map_err(MpiError::from)?;
-                            let counting =
-                                CountingComm::with_restored_channel(comm, restored.channel);
-                            (restored.state, seq + 1, counting)
-                        }
-                        None => {
-                            if !first_attempt {
-                                // Restarting from scratch still pays the
-                                // restart overhead (process re-launch).
-                                comm.compute(restart_cost)?;
-                            }
-                            let counting = CountingComm::new(comm);
-                            let state = app_ref.init(&counting)?;
-                            (state, 0, counting)
-                        }
-                    };
-
-                    let mut checkpoints = 0u64;
-                    let mut next_ckpt = comm.now() + interval;
-                    loop {
-                        app_ref.step(&counting, &mut state)?;
-                        if app_ref.is_done(&state) {
-                            break;
-                        }
-                        // Collective clock agreement so that every rank and
-                        // replica takes the checkpoint decision together.
-                        let now_max = counting.allreduce_f64(&[counting.now()], ReduceOp::Max)?[0];
-                        if now_max >= next_ckpt {
-                            coordinator
-                                .checkpoint(&counting, next_seq, &state)
-                                .map_err(MpiError::from)?;
-                            next_seq += 1;
-                            checkpoints += 1;
-                            next_ckpt = now_max + interval;
-                        }
+                .start_time(resume_time);
+            if let Some(c) = &collector {
+                builder = builder.trace(Arc::clone(c));
+            }
+            let report = builder.run(move |comm| {
+                let n_ranks = comm.size() as u32;
+                let latest =
+                    restart::latest_complete(storage.as_ref(), n_ranks).map_err(MpiError::from)?;
+                let (mut state, mut next_seq, counting) = match latest {
+                    Some(seq) => {
+                        // Restore: charges the read cost R to virtual
+                        // time and primes the channel state.
+                        let restored: redcr_ckpt::coordinator::Restored<A::State> =
+                            coordinator.restore(comm, seq).map_err(MpiError::from)?;
+                        let counting = CountingComm::with_restored_channel(comm, restored.channel);
+                        (restored.state, seq + 1, counting)
                     }
-                    Ok((state, checkpoints))
-                })?;
+                    None => {
+                        if !first_attempt {
+                            // Restarting from scratch still pays the
+                            // restart overhead (process re-launch).
+                            comm.compute(restart_cost)?;
+                        }
+                        let counting = CountingComm::new(comm);
+                        let state = app_ref.init(&counting)?;
+                        (state, 0, counting)
+                    }
+                };
+
+                let mut checkpoints = 0u64;
+                let mut next_ckpt = comm.now() + interval;
+                loop {
+                    app_ref.step(&counting, &mut state)?;
+                    if app_ref.is_done(&state) {
+                        break;
+                    }
+                    // Collective clock agreement so that every rank and
+                    // replica takes the checkpoint decision together.
+                    let now_max = counting.allreduce_f64(&[counting.now()], ReduceOp::Max)?[0];
+                    if now_max >= next_ckpt {
+                        coordinator
+                            .checkpoint(&counting, next_seq, &state)
+                            .map_err(MpiError::from)?;
+                        next_seq += 1;
+                        checkpoints += 1;
+                        next_ckpt = now_max + interval;
+                    }
+                }
+                Ok((state, checkpoints))
+            })?;
 
             stats = stats.add(&report.stats);
             physical_messages += report.physical_messages;
@@ -214,24 +242,44 @@ impl ResilientExecutor {
                 report.max_virtual_time.max(plan.job_failure_time)
             };
             let end_rel = (attempt_end - plan.start_time).max(0.0);
+            let rel_failure = plan.job_failure_time - plan.start_time;
+            if let Some(c) = &collector {
+                // Carries the exact relative values the accounting below
+                // compares, so the trace analyzer reproduces it bit-for-bit.
+                c.record(
+                    attempt_end,
+                    None,
+                    EventKind::AttemptEnd {
+                        attempt: plan.attempt,
+                        completed,
+                        rel_end: end_rel,
+                        rel_failure,
+                        killer: (!completed && rel_failure.is_finite())
+                            .then_some(plan.killer_sphere as u32),
+                    },
+                );
+            }
 
             // Degraded running time: for each sphere that lost a member
             // during the attempt, the span from its first member death to
             // its own death (or the end of the attempt, whichever first).
+            // Summed per attempt first, in the same order the trace
+            // analyzer uses, so the floating-point totals match bit-for-bit.
+            let mut attempt_degraded = 0.0f64;
             for members in injector.groups().iter() {
                 let times = members.iter().map(|&p| plan.schedule.death_times[p]);
                 let first = times.clone().fold(f64::INFINITY, f64::min);
                 if first.is_finite() && first < end_rel {
                     let last = times.fold(f64::NEG_INFINITY, f64::max);
-                    degraded_sphere_seconds += last.min(end_rel) - first;
+                    attempt_degraded += last.min(end_rel) - first;
                 }
             }
+            degraded_sphere_seconds += attempt_degraded;
 
             if !completed {
                 // Every process death up to the job failure that was NOT a
                 // member of the killer sphere was masked by redundancy.
                 failures += 1;
-                let rel_failure = plan.job_failure_time - plan.start_time;
                 if rel_failure.is_finite() {
                     let dead = plan.schedule.dead_by(rel_failure).len();
                     let fatal = injector.groups().members(plan.killer_sphere).len();
@@ -263,24 +311,43 @@ impl ResilientExecutor {
             let n_physical = report.n_physical;
             let mut results = report.results;
             let mut final_states = Vec::with_capacity(cfg.n_virtual as usize);
-            let mut checkpoints_committed = 0u64;
+            // The checkpoint decision is a collective (allreduce) and the
+            // commit is post-barrier, so every live replica of every
+            // virtual rank must report the same committed count. Divergence
+            // is corruption and must surface, not vanish under a `max`.
+            let mut checkpoints_agreed: Option<u64> = None;
             for v in 0..cfg.n_virtual as u32 {
-                let live = vmap
-                    .replicas_of(redcr_mpi::Rank::new(v))
-                    .iter()
-                    .find_map(|p| results[p.index()].take_ok());
-                match live {
-                    Some((state, ckpts)) => {
-                        checkpoints_committed = checkpoints_committed.max(ckpts);
-                        final_states.push(state);
-                    }
-                    None => {
-                        return Err(CoreError::Runtime(MpiError::App {
-                            what: format!("no live replica of rank {v} produced a result"),
-                        }))
+                let mut state = None;
+                let mut counts: Vec<u64> = Vec::new();
+                for p in vmap.replicas_of(redcr_mpi::Rank::new(v)) {
+                    if let Some((s, ckpts)) = results[p.index()].take_ok() {
+                        if state.is_none() {
+                            state = Some(s);
+                        }
+                        counts.push(ckpts);
                     }
                 }
+                let Some(state) = state else {
+                    return Err(CoreError::Runtime(MpiError::App {
+                        what: format!("no live replica of rank {v} produced a result"),
+                    }));
+                };
+                if counts.windows(2).any(|w| w[0] != w[1]) {
+                    return Err(CoreError::CheckpointDivergence { virtual_rank: v, counts });
+                }
+                match checkpoints_agreed {
+                    None => checkpoints_agreed = Some(counts[0]),
+                    Some(agreed) if agreed != counts[0] => {
+                        return Err(CoreError::CheckpointDivergence {
+                            virtual_rank: v,
+                            counts: vec![agreed, counts[0]],
+                        });
+                    }
+                    Some(_) => {}
+                }
+                final_states.push(state);
             }
+            let checkpoints_committed = checkpoints_agreed.unwrap_or(0);
 
             return Ok(ExecutionReport {
                 total_virtual_time: total_time,
@@ -295,6 +362,7 @@ impl ResilientExecutor {
                 n_physical,
                 node_seconds: n_physical as f64 * total_time,
                 failure_trace: injector.trace().clone(),
+                trace: collector.as_ref().map(|c| c.take()),
                 final_states,
             });
         }

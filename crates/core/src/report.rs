@@ -38,6 +38,11 @@ pub struct ExecutionReport<S> {
     pub node_seconds: f64,
     /// The failure injector's event log.
     pub failure_trace: FailureTrace,
+    /// The flight-recorder trace, present iff
+    /// [`ExecutorConfig::tracing`](crate::ExecutorConfig::tracing) was set.
+    /// Feed it to [`redcr_mpi::trace::Analysis::analyze`] to rebuild
+    /// per-attempt timelines and derived quantities.
+    pub trace: Option<redcr_mpi::trace::Trace>,
     /// Final application state of each virtual rank (primary replicas).
     pub final_states: Vec<S>,
 }
@@ -96,6 +101,7 @@ mod tests {
             n_physical: 8,
             node_seconds: 100.0,
             failure_trace: FailureTrace::new(),
+            trace: None,
             final_states: vec![],
         };
         let s = report.to_string();

@@ -147,6 +147,18 @@ impl<'a> ReplicaComm<'a> {
         self.base
     }
 
+    /// Records one vote outcome in the statistics and, when tracing is on,
+    /// as a flight-recorder event.
+    fn record_vote(&self, copies: usize, unanimous: bool, corrected: bool) {
+        self.stats.record_vote(unanimous, corrected);
+        if let Some(rec) = self.base.recorder() {
+            rec.record(
+                self.base.now(),
+                redcr_mpi::trace::EventKind::Vote { copies: copies as u32, unanimous, corrected },
+            );
+        }
+    }
+
     /// Whether sender replica `j` (of `r_send`) sends the full payload to
     /// receiver replica `i` (hash otherwise) in Msg-PlusHash mode. The
     /// pairing rule is shared by sender and receiver: receiver `i` gets the
@@ -208,12 +220,12 @@ impl<'a> ReplicaComm<'a> {
                 let copies: Vec<Bytes> =
                     present.iter().map(|&j| raw[j].clone().expect("present")).collect();
                 let outcome = vote_full(&copies);
-                self.stats.record_vote(outcome.unanimous(), outcome.majority);
+                self.record_vote(copies.len(), outcome.unanimous(), outcome.majority);
                 copies[outcome.winner].clone()
             }
             VotingMode::MsgPlusHash => {
                 if r_send == 1 {
-                    self.stats.record_vote(true, false);
+                    self.record_vote(1, true, false);
                     raw[0].clone().expect("present")
                 } else {
                     // The pairing rule is fixed at sphere creation (senders
@@ -245,7 +257,7 @@ impl<'a> ReplicaComm<'a> {
                         }
                     }
                     let outcome = vote_hashed(&full, full_pos, &hashes);
-                    self.stats.record_vote(outcome.unanimous(), outcome.majority);
+                    self.record_vote(present.len(), outcome.unanimous(), outcome.majority);
                     full
                 }
             }
@@ -296,6 +308,18 @@ impl<'a> ReplicaComm<'a> {
             None => {
                 // Acting leader (replica 0, or every lower replica is
                 // dead): post the single wildcard receive.
+                if self.my_replica > 0 {
+                    // Leadership moved to this replica — every lower-indexed
+                    // replica of the sphere died.
+                    if let Some(rec) = self.base.recorder() {
+                        rec.record(
+                            self.base.now(),
+                            redcr_mpi::trace::EventKind::Failover {
+                                sphere: self.my_virtual.as_u32(),
+                            },
+                        );
+                    }
+                }
                 let (bytes, status) = self.base.recv_ns(RankSelector::Any, tag, ns)?;
                 let (src_v, k) = self.vmap.owner_of(status.source);
                 (src_v, status.tag, Some((k, bytes)))
@@ -618,5 +642,9 @@ impl Communicator for ReplicaComm<'_> {
         let s = self.coll_seq.get();
         self.coll_seq.set(s + 1);
         s
+    }
+
+    fn recorder(&self) -> Option<&redcr_mpi::trace::Recorder> {
+        self.base.recorder()
     }
 }

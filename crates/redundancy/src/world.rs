@@ -4,6 +4,7 @@
 use std::sync::Arc;
 
 use redcr_model::partition::{AssignmentStrategy, RedundancyPartition};
+use redcr_mpi::trace::Collector;
 use redcr_mpi::{Comm, CostModel, MpiError, Result, World};
 
 use crate::corruption::CorruptionModel;
@@ -39,6 +40,7 @@ impl ReplicatedWorld {
             abort_horizon: f64::INFINITY,
             start_time: 0.0,
             death_times: None,
+            trace: None,
         })
     }
 }
@@ -54,6 +56,7 @@ pub struct ReplicatedWorldBuilder {
     abort_horizon: f64,
     start_time: f64,
     death_times: Option<Vec<f64>>,
+    trace: Option<Arc<Collector>>,
 }
 
 impl ReplicatedWorldBuilder {
@@ -127,6 +130,15 @@ impl ReplicatedWorldBuilder {
         self
     }
 
+    /// Enables flight recording into `collector` (see
+    /// [`redcr_mpi::WorldBuilder::trace`]). The replication layer adds its
+    /// own events on top of the base runtime's: per-message vote outcomes
+    /// and wildcard-receive leader failovers.
+    pub fn trace(mut self, collector: Arc<Collector>) -> Self {
+        self.trace = Some(collector);
+        self
+    }
+
     /// Number of physical ranks this configuration will spawn.
     pub fn n_physical(&self) -> usize {
         self.partition.total_physical() as usize
@@ -158,6 +170,9 @@ impl ReplicatedWorldBuilder {
             .start_time(self.start_time);
         if let Some(times) = self.death_times {
             world = world.death_times(times);
+        }
+        if let Some(collector) = self.trace {
+            world = world.trace(collector);
         }
         let report = world.run(move |base: &Comm| {
             let mut comm = ReplicaComm::with_vote_cost(base, Arc::clone(&vmap), mode, vote_cost);

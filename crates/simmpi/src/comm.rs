@@ -6,6 +6,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use bytes::Bytes;
+use redcr_trace::{EventKind, Recorder};
 
 use crate::communicator::Communicator;
 use crate::error::{MpiError, Result};
@@ -29,16 +30,23 @@ pub struct Comm {
     clock: Rc<VirtualClock>,
     coll_seq: Cell<u64>,
     next_comm_id: Rc<Cell<u16>>,
+    recorder: Option<Rc<Recorder>>,
 }
 
 impl Comm {
-    pub(crate) fn new(shared: Arc<Shared>, rank: u32, start_time: f64) -> Self {
+    pub(crate) fn new(
+        shared: Arc<Shared>,
+        rank: u32,
+        start_time: f64,
+        recorder: Option<Rc<Recorder>>,
+    ) -> Self {
         Comm {
             shared,
             rank: Rank::new(rank),
             clock: Rc::new(VirtualClock::starting_at(start_time)),
             coll_seq: Cell::new(0),
             next_comm_id: Rc::new(Cell::new(1)),
+            recorder,
         }
     }
 
@@ -116,7 +124,7 @@ impl Comm {
     }
 
     fn check_abort(&self) -> Result<()> {
-        check_abort(&self.shared, &self.clock, self.rank, self.rank)
+        check_abort(&self.shared, &self.clock, self.rank, self.rank, self.recorder.as_deref())
     }
 
     /// Marks the whole job aborted (fail-stop escalation) and wakes every
@@ -143,6 +151,7 @@ fn check_abort(
     clock: &VirtualClock,
     comm_rank: Rank,
     world_rank: Rank,
+    recorder: Option<&Recorder>,
 ) -> Result<()> {
     let now = clock.now();
     let death = shared.death_time(world_rank);
@@ -150,7 +159,11 @@ fn check_abort(
         // This rank's own fail-stop: flag it (waking receivers blocked on
         // it) and stop executing. Deliberately *not* a world abort — peers
         // keep running and observe the death per-operation.
-        shared.mark_dead(world_rank);
+        if shared.mark_dead(world_rank) {
+            if let Some(rec) = recorder {
+                rec.record(death, EventKind::Death);
+            }
+        }
         return Err(MpiError::Dead { rank: world_rank, at: death });
     }
     if now >= shared.abort_horizon {
@@ -173,11 +186,12 @@ struct Endpoint<'a> {
     /// This rank's communicator-level rank (for error reporting).
     comm_rank: Rank,
     comm_id: u16,
+    recorder: Option<&'a Recorder>,
 }
 
 impl Endpoint<'_> {
     fn check_abort(&self) -> Result<()> {
-        check_abort(self.shared, self.clock, self.comm_rank, self.world_rank)
+        check_abort(self.shared, self.clock, self.comm_rank, self.world_rank, self.recorder)
     }
 
     /// Returns the awaited world rank if `src` names a specific sender that
@@ -206,12 +220,16 @@ impl Endpoint<'_> {
         self.clock.advance_comm(self.shared.cost.msg_overhead);
         self.shared.msgs_sent.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.shared.bytes_sent.fetch_add(data.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        let bytes = data.len() as u64;
         self.shared.mailboxes[world_dest.index()].push(Envelope {
             src: self.world_rank,
             wire_tag: tag.wire(self.comm_id, ns),
             payload: data,
             send_time: self.clock.now(),
         });
+        if let Some(rec) = self.recorder {
+            rec.record(self.clock.now(), EventKind::Send { to: world_dest.as_u32(), bytes });
+        }
         Ok(())
     }
 
@@ -238,12 +256,22 @@ impl Endpoint<'_> {
                 self.clock.sync_to(avail);
                 self.clock.advance_comm(self.shared.cost.msg_overhead);
                 self.check_abort()?;
+                self.record_recv(&env);
                 Ok(env)
             }
             RecvOutcome::Aborted => {
                 Err(MpiError::Aborted { rank: self.comm_rank, at: self.clock.now() })
             }
             RecvOutcome::SourceDead(peer) => Err(MpiError::DeadPeer { peer, at: self.clock.now() }),
+        }
+    }
+
+    fn record_recv(&self, env: &Envelope) {
+        if let Some(rec) = self.recorder {
+            rec.record(
+                self.clock.now(),
+                EventKind::Recv { from: env.src.as_u32(), bytes: env.payload.len() as u64 },
+            );
         }
     }
 
@@ -294,6 +322,7 @@ impl Endpoint<'_> {
                 self.clock.sync_to(avail);
                 self.clock.advance_comm(self.shared.cost.msg_overhead);
                 self.check_abort()?;
+                self.record_recv(&env);
                 Ok(Some(env))
             }
             None => Ok(None),
@@ -426,6 +455,10 @@ impl Communicator for Comm {
         self.coll_seq.set(s + 1);
         s
     }
+
+    fn recorder(&self) -> Option<&Recorder> {
+        self.recorder.as_deref()
+    }
 }
 
 impl Comm {
@@ -436,6 +469,7 @@ impl Comm {
             world_rank: self.rank,
             comm_rank: self.rank,
             comm_id: 0,
+            recorder: self.recorder.as_deref(),
         }
     }
 
@@ -465,6 +499,7 @@ pub struct SubComm {
     reverse: Vec<Option<u32>>,
     my_sub_rank: Rank,
     my_world_rank: Rank,
+    recorder: Option<Rc<Recorder>>,
 }
 
 impl SubComm {
@@ -485,6 +520,7 @@ impl SubComm {
             reverse,
             my_sub_rank,
             my_world_rank: parent.rank,
+            recorder: parent.recorder.clone(),
         })
     }
 
@@ -500,6 +536,7 @@ impl SubComm {
             world_rank: self.my_world_rank,
             comm_rank: self.my_sub_rank,
             comm_id: self.comm_id,
+            recorder: self.recorder.as_deref(),
         }
     }
 
@@ -534,6 +571,16 @@ impl SubComm {
     fn member_filter(&self) -> impl Fn(Rank) -> bool + '_ {
         move |world: Rank| self.reverse[world.index()].is_some()
     }
+
+    fn check_abort(&self) -> Result<()> {
+        check_abort(
+            &self.shared,
+            &self.clock,
+            self.my_sub_rank,
+            self.my_world_rank,
+            self.recorder.as_deref(),
+        )
+    }
 }
 
 impl Communicator for SubComm {
@@ -552,9 +599,9 @@ impl Communicator for SubComm {
     }
 
     fn compute(&self, seconds: f64) -> Result<()> {
-        check_abort(&self.shared, &self.clock, self.my_sub_rank, self.my_world_rank)?;
+        self.check_abort()?;
         self.clock.advance_compute(seconds);
-        check_abort(&self.shared, &self.clock, self.my_sub_rank, self.my_world_rank)
+        self.check_abort()
     }
 
     fn send_ns(&self, dest: Rank, tag: Tag, data: Bytes, ns: Namespace) -> Result<()> {
@@ -580,7 +627,7 @@ impl Communicator for SubComm {
     }
 
     fn irecv(&self, src: RankSelector, tag: TagSelector) -> Result<Self::Request> {
-        check_abort(&self.shared, &self.clock, self.my_sub_rank, self.my_world_rank)?;
+        self.check_abort()?;
         Ok(Request(RequestKind::Recv { src, tag }))
     }
 
@@ -630,5 +677,9 @@ impl Communicator for SubComm {
         let s = self.coll_seq.get();
         self.coll_seq.set(s + 1);
         s
+    }
+
+    fn recorder(&self) -> Option<&Recorder> {
+        self.recorder.as_deref()
     }
 }

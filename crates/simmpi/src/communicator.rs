@@ -123,6 +123,14 @@ pub trait Communicator {
     /// ranks and yields collision-free collective tags.
     fn next_collective_seq(&self) -> u64;
 
+    /// This rank's flight recorder, when the world was built with tracing
+    /// enabled (see `WorldBuilder::trace`). Interposition layers emit their
+    /// own events (votes, failovers, checkpoint commits) through this hook;
+    /// the default is no recorder, so tracing costs nothing unless enabled.
+    fn recorder(&self) -> Option<&redcr_trace::Recorder> {
+        None
+    }
+
     // ------------------------------------------------------------------
     // Provided point-to-point conveniences
     // ------------------------------------------------------------------

@@ -76,6 +76,11 @@ mod comm;
 mod communicator;
 mod error;
 
+/// The flight-recorder layer (re-exported from `redcr-trace`): enable it
+/// with [`WorldBuilder::trace`], pull events out of the
+/// [`trace::Collector`] afterwards.
+pub use redcr_trace as trace;
+
 pub use comm::{Comm, SubComm};
 pub use communicator::Communicator;
 pub use error::{MpiError, Result};

@@ -1,7 +1,10 @@
 //! The world: shared runtime state, the thread runner, and run reports.
 
+use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+use redcr_trace::{Collector, EventKind, Recorder};
 
 use crate::comm::Comm;
 use crate::error::Result;
@@ -28,6 +31,7 @@ impl World {
             abort_horizon: f64::INFINITY,
             start_time: 0.0,
             death_times: None,
+            trace: None,
         }
     }
 }
@@ -40,6 +44,7 @@ pub struct WorldBuilder {
     abort_horizon: f64,
     start_time: f64,
     death_times: Option<Vec<f64>>,
+    trace: Option<Arc<Collector>>,
 }
 
 impl WorldBuilder {
@@ -87,6 +92,17 @@ impl WorldBuilder {
         self
     }
 
+    /// Enables flight recording into `collector`: every rank gets a
+    /// thread-local [`Recorder`] whose events (sends, receives, deaths,
+    /// plus whatever interposition layers emit through
+    /// [`Communicator::recorder`](crate::Communicator::recorder)) are
+    /// merged into the collector at rank teardown, closed by one
+    /// [`EventKind::RankFinish`] carrying the rank's busy/comm split.
+    pub fn trace(mut self, collector: Arc<Collector>) -> Self {
+        self.trace = Some(collector);
+        self
+    }
+
     /// Number of ranks.
     pub fn size(&self) -> usize {
         self.n
@@ -114,6 +130,8 @@ impl WorldBuilder {
         };
         let shared = Arc::new(Shared::new(self.n, self.cost, self.abort_horizon, death_times));
         let start_time = self.start_time;
+        let trace = self.trace;
+        let trace = trace.as_ref();
         let f = &f;
         let mut slots: Vec<Option<(Result<T>, RankTiming)>> = Vec::new();
         slots.resize_with(self.n, || None);
@@ -123,7 +141,8 @@ impl WorldBuilder {
             for rank in 0..self.n {
                 let shared = Arc::clone(&shared);
                 handles.push(scope.spawn(move || {
-                    let comm = Comm::new(shared, rank as u32, start_time);
+                    let recorder = trace.map(|_| Rc::new(Recorder::new(rank as u32)));
+                    let comm = Comm::new(shared, rank as u32, start_time, recorder.clone());
                     let result = f(&comm);
                     match &result {
                         // An injected per-rank death is survivable by
@@ -141,6 +160,13 @@ impl WorldBuilder {
                         busy: comm.clock().busy_time(),
                         comm: comm.clock().comm_time(),
                     };
+                    if let (Some(collector), Some(rec)) = (trace, recorder) {
+                        rec.record(
+                            timing.finish,
+                            EventKind::RankFinish { busy: timing.busy, comm: timing.comm },
+                        );
+                        collector.absorb(rec.drain());
+                    }
                     (result, timing)
                 }));
             }
@@ -295,12 +321,17 @@ impl Shared {
     }
 
     /// Marks `rank` dead (called by `rank`'s own thread) and wakes every
-    /// blocked receiver so waits on the dead rank re-evaluate.
-    pub(crate) fn mark_dead(&self, rank: crate::Rank) {
+    /// blocked receiver so waits on the dead rank re-evaluate. Returns
+    /// `true` the first time the rank is marked (so the caller can record
+    /// the death exactly once).
+    pub(crate) fn mark_dead(&self, rank: crate::Rank) -> bool {
         if !self.dead[rank.index()].swap(true, Ordering::SeqCst) {
             for mb in &self.mailboxes {
                 mb.notify_all();
             }
+            true
+        } else {
+            false
         }
     }
 }

@@ -1,0 +1,501 @@
+//! Replays a [`Trace`] into per-attempt, per-rank timelines and derives
+//! the paper's measured quantities from the events alone.
+//!
+//! The replay is **order-based**, not time-based: a trace is collected so
+//! that every rank event of an attempt sits between that attempt's
+//! `AttemptStart` and `AttemptEnd` (rank recorders are drained into the
+//! collector at rank teardown, before the executor records the attempt
+//! end). The analyzer therefore walks the event list sequentially and
+//! brackets attempts by position. Within an attempt, per-rank timelines
+//! can be re-sorted by time on demand ([`AttemptSummary::rank_timeline`]).
+//!
+//! The masked-death and degraded-time derivations reproduce the resilient
+//! executor's accounting *bit for bit*: they use the same relative times
+//! the executor compared (carried verbatim on [`EventKind::Injected`] and
+//! [`EventKind::AttemptEnd`]) and accumulate in the same order, so
+//! [`Analysis::totals`] can be asserted **exactly equal** to the
+//! `ExecutionReport` counters of the run that produced the trace.
+
+use crate::event::{Event, EventKind};
+use crate::jsonl::TraceError;
+use crate::recorder::Trace;
+
+/// The result of replaying one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// Sphere membership: `spheres[v]` lists the physical ranks serving
+    /// virtual rank `v` (from `Topology` events; empty if none recorded).
+    pub spheres: Vec<Vec<u32>>,
+    /// One summary per attempt, in execution order.
+    pub attempts: Vec<AttemptSummary>,
+}
+
+/// Everything the analyzer derives about one execution attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptSummary {
+    /// Attempt number (from the bracket events).
+    pub attempt: u64,
+    /// Absolute virtual time the attempt started.
+    pub start: f64,
+    /// Absolute virtual time the attempt ended.
+    pub end: f64,
+    /// Whether the application completed in this attempt.
+    pub completed: bool,
+    /// Attempt end relative to its start (the executor's `end_rel`).
+    pub rel_end: f64,
+    /// Planned job-failure time relative to the start (`INFINITY` when the
+    /// schedule was failure-free).
+    pub rel_failure: f64,
+    /// The sphere whose last replica died, for failed attempts.
+    pub killer: Option<u32>,
+    /// Checkpoint sequence restored from at attempt start, if any.
+    pub restored_from: Option<u64>,
+    /// Scheduled fail-stops this attempt: `(physical rank, relative death
+    /// time)`, finite only.
+    pub injected: Vec<(u32, f64)>,
+    /// Number of `Death` events actually observed by rank threads (a rank
+    /// scheduled to die *after* the attempt ends never observes its death).
+    pub deaths_observed: u64,
+    /// Distinct checkpoint sequences committed during this attempt, sorted.
+    pub committed_seqs: Vec<u64>,
+    /// Per-rank, per-sequence checkpoint commit latency: virtual seconds
+    /// from `CheckpointBegin` to the matching post-barrier
+    /// `CheckpointCommit` on the same rank.
+    pub commit_latencies: Vec<f64>,
+    /// Per-rank observed communication fraction `(rank, α)` where
+    /// `α = comm / (busy + comm)` from that rank's `RankFinish` split —
+    /// the measured counterpart of the paper's communication-to-computation
+    /// ratio (Eq. 1's α input).
+    pub alphas: Vec<(u32, f64)>,
+    /// Wildcard-receive leader failovers observed.
+    pub failovers: u64,
+    /// Receive-path votes taken.
+    pub votes: u64,
+    /// Masked process deaths attributed to this attempt, by the executor's
+    /// exact rule (see [`Analysis::totals`]).
+    pub masked: u64,
+    /// Degraded-sphere seconds accrued this attempt: for each sphere that
+    /// lost a member, the span from its first member death to its own death
+    /// or the attempt end, whichever came first.
+    pub degraded_seconds: f64,
+    /// For failed attempts: virtual seconds of progress lost, i.e. from the
+    /// last checkpoint commit of the attempt (or its start, if none
+    /// committed) to the attempt end. Zero for completed attempts.
+    pub lost_work: f64,
+    /// All rank-level events of the attempt, in collection order.
+    pub events: Vec<Event>,
+}
+
+impl AttemptSummary {
+    /// The events emitted by `rank` during this attempt, sorted by virtual
+    /// time (stable, so equal-time events keep collection order).
+    pub fn rank_timeline(&self, rank: u32) -> Vec<Event> {
+        let mut out: Vec<Event> =
+            self.events.iter().filter(|e| e.rank == Some(rank)).cloned().collect();
+        out.sort_by(|a, b| a.time.total_cmp(&b.time));
+        out
+    }
+}
+
+/// Totals derived purely from the trace, field-for-field comparable with
+/// the producing run's `ExecutionReport`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivedTotals {
+    /// Number of attempts.
+    pub attempts: u64,
+    /// Number of failed (restarted) attempts.
+    pub failures: u64,
+    /// Process deaths masked by redundancy.
+    pub masked_failures: u64,
+    /// Checkpoints committed during the final (successful) attempt.
+    pub checkpoints_committed: u64,
+    /// Total degraded-sphere running time, virtual seconds.
+    pub degraded_sphere_seconds: f64,
+}
+
+impl Analysis {
+    /// Replays `trace` into per-attempt summaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Malformed`] when the bracket structure is
+    /// broken (an `AttemptEnd` without a matching `AttemptStart`, or
+    /// mismatched attempt numbers).
+    pub fn analyze(trace: &Trace) -> Result<Analysis, TraceError> {
+        let mut spheres: Vec<Vec<u32>> = Vec::new();
+        let mut attempts: Vec<AttemptSummary> = Vec::new();
+        // (attempt number, start time, bracketed events)
+        let mut open: Option<(u64, f64, Vec<Event>)> = None;
+
+        for event in &trace.events {
+            match &event.kind {
+                EventKind::Topology { sphere, replica: _ } => {
+                    let s = *sphere as usize;
+                    if spheres.len() <= s {
+                        spheres.resize(s + 1, Vec::new());
+                    }
+                    if let Some(rank) = event.rank {
+                        spheres[s].push(rank);
+                    }
+                }
+                EventKind::AttemptStart { attempt } => {
+                    if let Some((prev, _, _)) = open {
+                        return Err(TraceError::Malformed {
+                            what: format!("attempt {attempt} started while {prev} still open"),
+                        });
+                    }
+                    open = Some((*attempt, event.time, Vec::new()));
+                }
+                EventKind::AttemptEnd { attempt, completed, rel_end, rel_failure, killer } => {
+                    let Some((number, start, events)) = open.take() else {
+                        return Err(TraceError::Malformed {
+                            what: format!("attempt {attempt} ended without a start"),
+                        });
+                    };
+                    if number != *attempt {
+                        return Err(TraceError::Malformed {
+                            what: format!("attempt {attempt} ended while {number} was open"),
+                        });
+                    }
+                    attempts.push(summarize(
+                        number,
+                        start,
+                        event.time,
+                        *completed,
+                        *rel_end,
+                        *rel_failure,
+                        *killer,
+                        events,
+                        &spheres,
+                    ));
+                }
+                _ => {
+                    if let Some((_, _, events)) = open.as_mut() {
+                        events.push(event.clone());
+                    }
+                }
+            }
+        }
+
+        if let Some((number, _, _)) = open {
+            return Err(TraceError::Malformed { what: format!("attempt {number} never ended") });
+        }
+        Ok(Analysis { spheres, attempts })
+    }
+
+    /// The trace-derived totals, accumulated in the executor's order so
+    /// every field (including the `f64` one) matches the producing run's
+    /// `ExecutionReport` exactly.
+    pub fn totals(&self) -> DerivedTotals {
+        let mut masked = 0u64;
+        let mut degraded = 0.0f64;
+        for a in &self.attempts {
+            masked += a.masked;
+            degraded += a.degraded_seconds;
+        }
+        DerivedTotals {
+            attempts: self.attempts.len() as u64,
+            failures: self.attempts.iter().filter(|a| !a.completed).count() as u64,
+            masked_failures: masked,
+            checkpoints_committed: self
+                .attempts
+                .last()
+                .filter(|a| a.completed)
+                .map_or(0, |a| a.committed_seqs.len() as u64),
+            degraded_sphere_seconds: degraded,
+        }
+    }
+}
+
+/// Builds one attempt's summary from its bracketed events.
+#[allow(clippy::too_many_arguments)]
+fn summarize(
+    attempt: u64,
+    start: f64,
+    end: f64,
+    completed: bool,
+    rel_end: f64,
+    rel_failure: f64,
+    killer: Option<u32>,
+    events: Vec<Event>,
+    spheres: &[Vec<u32>],
+) -> AttemptSummary {
+    let mut injected: Vec<(u32, f64)> = Vec::new();
+    let mut deaths_observed = 0u64;
+    let mut committed_seqs: Vec<u64> = Vec::new();
+    let mut begins: Vec<(u32, u64, f64)> = Vec::new();
+    let mut commit_latencies: Vec<f64> = Vec::new();
+    let mut alphas: Vec<(u32, f64)> = Vec::new();
+    let mut failovers = 0u64;
+    let mut votes = 0u64;
+    let mut restored_from: Option<u64> = None;
+    let mut last_commit_time = f64::NEG_INFINITY;
+
+    for e in &events {
+        match &e.kind {
+            EventKind::Injected { rel } => {
+                if let Some(rank) = e.rank {
+                    injected.push((rank, *rel));
+                }
+            }
+            EventKind::Death => deaths_observed += 1,
+            EventKind::CheckpointBegin { seq } => {
+                if let Some(rank) = e.rank {
+                    begins.push((rank, *seq, e.time));
+                }
+            }
+            EventKind::CheckpointCommit { seq, .. } => {
+                if let Err(at) = committed_seqs.binary_search(seq) {
+                    committed_seqs.insert(at, *seq);
+                }
+                if let Some(rank) = e.rank {
+                    if let Some(i) = begins.iter().position(|&(r, s, _)| r == rank && s == *seq) {
+                        commit_latencies.push(e.time - begins.swap_remove(i).2);
+                    }
+                }
+                last_commit_time = last_commit_time.max(e.time);
+            }
+            EventKind::Restore { seq, .. } => {
+                restored_from = Some(restored_from.map_or(*seq, |r| r.max(*seq)));
+            }
+            EventKind::RankFinish { busy, comm } => {
+                if let Some(rank) = e.rank {
+                    let total = busy + comm;
+                    alphas.push((rank, if total > 0.0 { comm / total } else { 0.0 }));
+                }
+            }
+            EventKind::Failover { .. } => failovers += 1,
+            EventKind::Vote { .. } => votes += 1,
+            _ => {}
+        }
+    }
+    alphas.sort_by_key(|&(rank, _)| rank);
+
+    // Masked deaths, by the executor's exact rule: on a completed attempt
+    // every scheduled death with `rel <= rel_end` was masked; on a failed
+    // attempt, every death up to the job failure minus the killer sphere's
+    // own members.
+    let masked = if completed {
+        injected.iter().filter(|&&(_, rel)| rel <= rel_end).count() as u64
+    } else if rel_failure.is_finite() {
+        let dead = injected.iter().filter(|&&(_, rel)| rel <= rel_failure).count();
+        let fatal = killer.map_or(0, |k| spheres.get(k as usize).map_or(0, Vec::len));
+        dead.saturating_sub(fatal) as u64
+    } else {
+        0
+    };
+
+    // Degraded-sphere time, by the executor's exact rule: per sphere, the
+    // span from its first member death to its last (a member that never
+    // dies holds the sphere's death at INFINITY), clipped to the attempt.
+    // Iteration order (spheres ascending, then f64 min/max over members)
+    // matches the executor, so the floating-point sum does too.
+    let mut degraded_seconds = 0.0f64;
+    for members in spheres {
+        let times = members.iter().map(|&m| {
+            injected.iter().find(|&&(rank, _)| rank == m).map_or(f64::INFINITY, |&(_, rel)| rel)
+        });
+        let first = times.clone().fold(f64::INFINITY, f64::min);
+        if first.is_finite() && first < rel_end {
+            let last = times.fold(f64::NEG_INFINITY, f64::max);
+            degraded_seconds += last.min(rel_end) - first;
+        }
+    }
+
+    let lost_work = if completed { 0.0 } else { end - last_commit_time.max(start) };
+
+    AttemptSummary {
+        attempt,
+        start,
+        end,
+        completed,
+        rel_end,
+        rel_failure,
+        killer,
+        restored_from,
+        injected,
+        deaths_observed,
+        committed_seqs,
+        commit_latencies,
+        alphas,
+        failovers,
+        votes,
+        masked,
+        degraded_seconds,
+        lost_work,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: f64, rank: Option<u32>, kind: EventKind) -> Event {
+        Event { time, rank, kind }
+    }
+
+    /// 2 spheres × 2 replicas: sphere 0 = ranks {0, 2}, sphere 1 = {1, 3}.
+    fn topology() -> Vec<Event> {
+        vec![
+            ev(0.0, Some(0), EventKind::Topology { sphere: 0, replica: 0 }),
+            ev(0.0, Some(1), EventKind::Topology { sphere: 1, replica: 0 }),
+            ev(0.0, Some(2), EventKind::Topology { sphere: 0, replica: 1 }),
+            ev(0.0, Some(3), EventKind::Topology { sphere: 1, replica: 1 }),
+        ]
+    }
+
+    #[test]
+    fn failed_then_completed_attempt_accounting() {
+        let mut events = topology();
+        // Attempt 0: ranks 0 and 2 both die (sphere 0 exhausted at t=4),
+        // rank 1's death at rel 2.0 is masked. Job fails at rel 4.0.
+        events.extend([
+            ev(0.0, None, EventKind::AttemptStart { attempt: 0 }),
+            ev(2.0, Some(1), EventKind::Injected { rel: 2.0 }),
+            ev(3.0, Some(0), EventKind::Injected { rel: 3.0 }),
+            ev(4.0, Some(2), EventKind::Injected { rel: 4.0 }),
+            ev(1.0, Some(0), EventKind::CheckpointBegin { seq: 0 }),
+            ev(1.5, Some(0), EventKind::CheckpointCommit { seq: 0, bytes: 100, cost: 0.5 }),
+            ev(2.0, Some(1), EventKind::Death),
+            ev(3.0, Some(0), EventKind::Death),
+            ev(4.0, Some(2), EventKind::Death),
+            ev(
+                4.5,
+                None,
+                EventKind::AttemptEnd {
+                    attempt: 0,
+                    completed: false,
+                    rel_end: 4.5,
+                    rel_failure: 4.0,
+                    killer: Some(0),
+                },
+            ),
+        ]);
+        // Attempt 1: restores from seq 0, rank 3 dies at rel 1.0 (masked),
+        // completes at rel 6.0 with one more checkpoint.
+        events.extend([
+            ev(4.5, None, EventKind::AttemptStart { attempt: 1 }),
+            ev(5.5, Some(3), EventKind::Injected { rel: 1.0 }),
+            ev(4.5, Some(0), EventKind::Restore { seq: 0, cut: 1.5 }),
+            ev(5.5, Some(3), EventKind::Death),
+            ev(7.0, Some(0), EventKind::CheckpointBegin { seq: 1 }),
+            ev(7.25, Some(0), EventKind::CheckpointCommit { seq: 1, bytes: 100, cost: 0.25 }),
+            ev(9.0, Some(0), EventKind::RankFinish { busy: 3.0, comm: 1.0 }),
+            ev(
+                10.5,
+                None,
+                EventKind::AttemptEnd {
+                    attempt: 1,
+                    completed: true,
+                    rel_end: 6.0,
+                    rel_failure: f64::INFINITY,
+                    killer: None,
+                },
+            ),
+        ]);
+
+        let analysis = Analysis::analyze(&Trace { events }).unwrap();
+        assert_eq!(analysis.spheres, vec![vec![0, 2], vec![1, 3]]);
+        assert_eq!(analysis.attempts.len(), 2);
+
+        let a0 = &analysis.attempts[0];
+        // 3 dead by rel_failure, minus the killer sphere's 2 members.
+        assert_eq!(a0.masked, 1);
+        assert_eq!(a0.committed_seqs, vec![0]);
+        assert_eq!(a0.commit_latencies, vec![0.5]);
+        assert_eq!(a0.deaths_observed, 3);
+        // Sphere 0 degraded from 3.0 to 4.0; sphere 1 from 2.0 to rel_end.
+        assert!((a0.degraded_seconds - (1.0 + 2.5)).abs() < 1e-12);
+        // Lost work: end 4.5 minus last commit at 1.5.
+        assert!((a0.lost_work - 3.0).abs() < 1e-12);
+
+        let a1 = &analysis.attempts[1];
+        assert_eq!(a1.masked, 1, "rank 3's death was masked");
+        assert_eq!(a1.restored_from, Some(0));
+        assert_eq!(a1.alphas, vec![(0, 0.25)]);
+        assert_eq!(a1.lost_work, 0.0);
+        // Sphere 1 degraded from rel 1.0 to rel_end 6.0 (rank 1 never dies
+        // this attempt, so the sphere survives past the end).
+        assert!((a1.degraded_seconds - 5.0).abs() < 1e-12);
+
+        let totals = analysis.totals();
+        assert_eq!(totals.attempts, 2);
+        assert_eq!(totals.failures, 1);
+        assert_eq!(totals.masked_failures, 2);
+        // Only the final attempt's commits count.
+        assert_eq!(totals.checkpoints_committed, 1);
+        assert!((totals.degraded_sphere_seconds - 8.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn death_after_attempt_end_not_masked() {
+        let mut events = topology();
+        events.extend([
+            ev(0.0, None, EventKind::AttemptStart { attempt: 0 }),
+            ev(9.0, Some(2), EventKind::Injected { rel: 9.0 }),
+            ev(
+                5.0,
+                None,
+                EventKind::AttemptEnd {
+                    attempt: 0,
+                    completed: true,
+                    rel_end: 5.0,
+                    rel_failure: f64::INFINITY,
+                    killer: None,
+                },
+            ),
+        ]);
+        let analysis = Analysis::analyze(&Trace { events }).unwrap();
+        assert_eq!(analysis.attempts[0].masked, 0);
+        assert_eq!(analysis.attempts[0].degraded_seconds, 0.0);
+        assert_eq!(analysis.totals().masked_failures, 0);
+    }
+
+    #[test]
+    fn rank_timeline_sorted_by_time() {
+        let events = vec![
+            ev(0.0, None, EventKind::AttemptStart { attempt: 0 }),
+            ev(2.0, Some(0), EventKind::Send { to: 1, bytes: 8 }),
+            ev(1.0, Some(0), EventKind::Recv { from: 1, bytes: 8 }),
+            ev(1.5, Some(1), EventKind::Send { to: 0, bytes: 8 }),
+            ev(
+                3.0,
+                None,
+                EventKind::AttemptEnd {
+                    attempt: 0,
+                    completed: true,
+                    rel_end: 3.0,
+                    rel_failure: f64::INFINITY,
+                    killer: None,
+                },
+            ),
+        ];
+        let analysis = Analysis::analyze(&Trace { events }).unwrap();
+        let timeline = analysis.attempts[0].rank_timeline(0);
+        assert_eq!(timeline.len(), 2);
+        assert!(matches!(timeline[0].kind, EventKind::Recv { .. }));
+        assert!(matches!(timeline[1].kind, EventKind::Send { .. }));
+    }
+
+    #[test]
+    fn malformed_brackets_rejected() {
+        let end = ev(
+            1.0,
+            None,
+            EventKind::AttemptEnd {
+                attempt: 0,
+                completed: true,
+                rel_end: 1.0,
+                rel_failure: f64::INFINITY,
+                killer: None,
+            },
+        );
+        let err = Analysis::analyze(&Trace { events: vec![end] }).unwrap_err();
+        assert!(matches!(err, TraceError::Malformed { .. }), "{err}");
+
+        let start = ev(0.0, None, EventKind::AttemptStart { attempt: 0 });
+        let err = Analysis::analyze(&Trace { events: vec![start] }).unwrap_err();
+        assert!(matches!(err, TraceError::Malformed { .. }), "{err}");
+    }
+}

@@ -1,0 +1,148 @@
+//! The event schema: one variant per observable action in the stack.
+
+/// One recorded flight-recorder event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Absolute virtual time of the event, seconds.
+    pub time: f64,
+    /// Physical rank that emitted the event; `None` for executor-level
+    /// events that are not tied to a single rank (attempt brackets,
+    /// topology is per-rank but injected by the executor with a rank).
+    pub rank: Option<u32>,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The observable actions recorded across the stack.
+///
+/// Emitters by layer: `Send`/`Recv`/`Death`/`RankFinish` come from the
+/// message runtime, `Vote`/`Failover` from the replication layer,
+/// `CheckpointBegin`/`CheckpointCommit`/`Restore` from the checkpoint
+/// coordinator, and `Topology`/`AttemptStart`/`Injected`/`AttemptEnd` from
+/// the resilient executor.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// A physical point-to-point message was injected.
+    Send {
+        /// Destination physical (world) rank.
+        to: u32,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// A physical message was consumed from the transport.
+    Recv {
+        /// Source physical (world) rank.
+        from: u32,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// The emitting rank observed its own fail-stop. The event time is the
+    /// sampled death time, recorded exactly once per rank per run.
+    Death,
+    /// A receive-path vote over the redundant copies of one virtual
+    /// message.
+    Vote {
+        /// Number of copies that participated (live sender replicas).
+        copies: u32,
+        /// Whether every copy agreed bit-for-bit.
+        unanimous: bool,
+        /// Whether a majority existed despite a mismatch (SDC corrected).
+        corrected: bool,
+    },
+    /// The emitting replica became the acting leader of a wildcard receive
+    /// because every lower-indexed replica of its sphere had died.
+    Failover {
+        /// The sphere (virtual rank) whose leadership moved.
+        sphere: u32,
+    },
+    /// Coordinated checkpoint `seq` started on this rank (quiesce begins).
+    CheckpointBegin {
+        /// Checkpoint sequence number.
+        seq: u64,
+    },
+    /// Checkpoint `seq` committed on this rank — recorded **after** the
+    /// commit barrier, so a rank that dies mid-checkpoint never emits one.
+    CheckpointCommit {
+        /// Checkpoint sequence number.
+        seq: u64,
+        /// Stored image size in bytes.
+        bytes: u64,
+        /// Virtual-time write cost charged, seconds.
+        cost: f64,
+    },
+    /// State restored from checkpoint `seq` at the start of an attempt.
+    Restore {
+        /// Checkpoint sequence number restored from.
+        seq: u64,
+        /// Virtual time at which the restored cut was originally taken.
+        cut: f64,
+    },
+    /// Rank teardown: the rank's cumulative busy/comm split, for deriving
+    /// its observed communication fraction `α = comm / (busy + comm)`.
+    RankFinish {
+        /// Seconds attributed to computation.
+        busy: f64,
+        /// Seconds attributed to communication.
+        comm: f64,
+    },
+    /// Executor: sphere membership of one physical rank (emitted once per
+    /// run, before the first attempt).
+    Topology {
+        /// The sphere (virtual rank) this physical rank serves.
+        sphere: u32,
+        /// Replica index within the sphere (0 = primary).
+        replica: u32,
+    },
+    /// Executor: an attempt started (time = absolute attempt start).
+    AttemptStart {
+        /// Attempt number (0-based, as planned by the injector).
+        attempt: u64,
+    },
+    /// Executor: a fail-stop was scheduled for the event's rank this
+    /// attempt. The event time is absolute; `rel` is the schedule's
+    /// relative death time — the exact value the executor's masked-death
+    /// accounting compares. Only finite (i.e. actually scheduled) deaths
+    /// are recorded.
+    Injected {
+        /// Death time relative to the attempt start, seconds.
+        rel: f64,
+    },
+    /// Executor: an attempt ended.
+    AttemptEnd {
+        /// Attempt number (matches the opening `AttemptStart`).
+        attempt: u64,
+        /// Whether the application completed (vs a sphere death restart).
+        completed: bool,
+        /// End of the attempt relative to its start, seconds (clamped
+        /// non-negative) — the executor's `end_rel`.
+        rel_end: f64,
+        /// Planned job-failure time relative to the attempt start
+        /// (`INFINITY` when the attempt was planned failure-free) — the
+        /// executor's `rel_failure`.
+        rel_failure: f64,
+        /// The sphere whose last replica died, for failed attempts.
+        killer: Option<u32>,
+    },
+}
+
+impl Event {
+    /// The JSONL discriminator string of this event's kind.
+    pub fn kind_name(&self) -> &'static str {
+        match self.kind {
+            EventKind::Send { .. } => "send",
+            EventKind::Recv { .. } => "recv",
+            EventKind::Death => "death",
+            EventKind::Vote { .. } => "vote",
+            EventKind::Failover { .. } => "failover",
+            EventKind::CheckpointBegin { .. } => "ckpt_begin",
+            EventKind::CheckpointCommit { .. } => "ckpt_commit",
+            EventKind::Restore { .. } => "restore",
+            EventKind::RankFinish { .. } => "rank_finish",
+            EventKind::Topology { .. } => "topology",
+            EventKind::AttemptStart { .. } => "attempt_start",
+            EventKind::Injected { .. } => "injected",
+            EventKind::AttemptEnd { .. } => "attempt_end",
+        }
+    }
+}

@@ -1,0 +1,481 @@
+//! JSONL export and import of traces.
+//!
+//! The workspace vendors no JSON library, so the line format is written and
+//! parsed by hand: one flat JSON object per event, no nesting, no string
+//! escapes beyond what the fixed `ev` discriminators need. Finite `f64`s
+//! are written with Rust's shortest round-trip `Display`; non-finite values
+//! (only `rel_failure` can legitimately be `INFINITY`) are written as
+//! `null` and read back as `INFINITY`, so a parsed trace analyzes
+//! identically to the in-memory one.
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::event::{Event, EventKind};
+use crate::recorder::Trace;
+
+/// Errors from parsing or replaying a trace.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// A JSONL line did not parse as an event.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        what: String,
+    },
+    /// The event stream is structurally invalid (e.g. an `AttemptEnd`
+    /// without a matching `AttemptStart`).
+    Malformed {
+        /// What went wrong.
+        what: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Parse { line, what } => write!(f, "trace line {line}: {what}"),
+            TraceError::Malformed { what } => write!(f, "malformed trace: {what}"),
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+/// Writes a finite float with round-trip `Display`, non-finite as `null`.
+fn push_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let _ = write!(out, "{x}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl Trace {
+    /// Serializes the trace as JSONL: one event object per line, in
+    /// collection order (the order matters — see [`crate::analyzer`]).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 64);
+        for e in &self.events {
+            out.push_str("{\"t\":");
+            push_f64(&mut out, e.time);
+            out.push_str(",\"rank\":");
+            match e.rank {
+                Some(r) => {
+                    let _ = write!(out, "{r}");
+                }
+                None => out.push_str("null"),
+            }
+            let _ = write!(out, ",\"ev\":\"{}\"", e.kind_name());
+            match &e.kind {
+                EventKind::Send { to, bytes } => {
+                    let _ = write!(out, ",\"to\":{to},\"bytes\":{bytes}");
+                }
+                EventKind::Recv { from, bytes } => {
+                    let _ = write!(out, ",\"from\":{from},\"bytes\":{bytes}");
+                }
+                EventKind::Death => {}
+                EventKind::Vote { copies, unanimous, corrected } => {
+                    let _ = write!(
+                        out,
+                        ",\"copies\":{copies},\"unanimous\":{unanimous},\"corrected\":{corrected}"
+                    );
+                }
+                EventKind::Failover { sphere } => {
+                    let _ = write!(out, ",\"sphere\":{sphere}");
+                }
+                EventKind::CheckpointBegin { seq } => {
+                    let _ = write!(out, ",\"seq\":{seq}");
+                }
+                EventKind::CheckpointCommit { seq, bytes, cost } => {
+                    let _ = write!(out, ",\"seq\":{seq},\"bytes\":{bytes},\"cost\":");
+                    push_f64(&mut out, *cost);
+                }
+                EventKind::Restore { seq, cut } => {
+                    let _ = write!(out, ",\"seq\":{seq},\"cut\":");
+                    push_f64(&mut out, *cut);
+                }
+                EventKind::RankFinish { busy, comm } => {
+                    out.push_str(",\"busy\":");
+                    push_f64(&mut out, *busy);
+                    out.push_str(",\"comm\":");
+                    push_f64(&mut out, *comm);
+                }
+                EventKind::Topology { sphere, replica } => {
+                    let _ = write!(out, ",\"sphere\":{sphere},\"replica\":{replica}");
+                }
+                EventKind::AttemptStart { attempt } => {
+                    let _ = write!(out, ",\"attempt\":{attempt}");
+                }
+                EventKind::Injected { rel } => {
+                    out.push_str(",\"rel\":");
+                    push_f64(&mut out, *rel);
+                }
+                EventKind::AttemptEnd { attempt, completed, rel_end, rel_failure, killer } => {
+                    let _ = write!(out, ",\"attempt\":{attempt},\"completed\":{completed}");
+                    out.push_str(",\"rel_end\":");
+                    push_f64(&mut out, *rel_end);
+                    out.push_str(",\"rel_failure\":");
+                    push_f64(&mut out, *rel_failure);
+                    out.push_str(",\"killer\":");
+                    match killer {
+                        Some(k) => {
+                            let _ = write!(out, "{k}");
+                        }
+                        None => out.push_str("null"),
+                    }
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Parses a JSONL trace written by [`to_jsonl`](Trace::to_jsonl).
+    /// Blank lines are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Parse`] with the offending 1-based line number
+    /// on any syntax or schema violation.
+    pub fn from_jsonl(s: &str) -> Result<Trace, TraceError> {
+        let mut events = Vec::new();
+        for (i, line) in s.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields =
+                parse_object(line).map_err(|what| TraceError::Parse { line: i + 1, what })?;
+            let event = event_from_fields(&fields)
+                .map_err(|what| TraceError::Parse { line: i + 1, what })?;
+            events.push(event);
+        }
+        Ok(Trace { events })
+    }
+}
+
+/// A parsed flat-JSON value.
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    Num(f64),
+    Bool(bool),
+    Null,
+    Str(String),
+}
+
+/// Field accessors over one parsed object.
+struct Fields(Vec<(String, Val)>);
+
+impl Fields {
+    fn get(&self, key: &str) -> Option<&Val> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// A required numeric field; `null` decodes as `INFINITY` (the writer's
+    /// encoding for non-finite floats).
+    fn num(&self, key: &str) -> Result<f64, String> {
+        match self.get(key) {
+            Some(Val::Num(x)) => Ok(*x),
+            Some(Val::Null) => Ok(f64::INFINITY),
+            Some(v) => Err(format!("field {key:?}: expected number, got {v:?}")),
+            None => Err(format!("missing field {key:?}")),
+        }
+    }
+
+    /// A required integer field (rejects `null`).
+    fn int(&self, key: &str) -> Result<u64, String> {
+        match self.get(key) {
+            Some(Val::Num(x)) if *x >= 0.0 && x.fract() == 0.0 => Ok(*x as u64),
+            Some(v) => Err(format!("field {key:?}: expected integer, got {v:?}")),
+            None => Err(format!("missing field {key:?}")),
+        }
+    }
+
+    /// A required nullable integer field.
+    fn opt_int(&self, key: &str) -> Result<Option<u64>, String> {
+        match self.get(key) {
+            Some(Val::Null) => Ok(None),
+            _ => self.int(key).map(Some),
+        }
+    }
+
+    fn boolean(&self, key: &str) -> Result<bool, String> {
+        match self.get(key) {
+            Some(Val::Bool(b)) => Ok(*b),
+            Some(v) => Err(format!("field {key:?}: expected bool, got {v:?}")),
+            None => Err(format!("missing field {key:?}")),
+        }
+    }
+
+    fn string(&self, key: &str) -> Result<&str, String> {
+        match self.get(key) {
+            Some(Val::Str(s)) => Ok(s),
+            Some(v) => Err(format!("field {key:?}: expected string, got {v:?}")),
+            None => Err(format!("missing field {key:?}")),
+        }
+    }
+}
+
+/// Parses one flat JSON object (`{"k":v,...}`) into its fields.
+fn parse_object(line: &str) -> Result<Fields, String> {
+    let mut sc = Scanner { bytes: line.as_bytes(), pos: 0 };
+    sc.skip_ws();
+    sc.expect(b'{')?;
+    let mut fields = Vec::new();
+    sc.skip_ws();
+    if sc.peek() == Some(b'}') {
+        sc.next();
+    } else {
+        loop {
+            sc.skip_ws();
+            let key = sc.parse_string()?;
+            sc.skip_ws();
+            sc.expect(b':')?;
+            sc.skip_ws();
+            let val = sc.parse_value()?;
+            fields.push((key, val));
+            sc.skip_ws();
+            match sc.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    sc.skip_ws();
+    if sc.pos != sc.bytes.len() {
+        return Err("trailing characters after object".into());
+    }
+    Ok(Fields(fields))
+}
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Scanner<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.next() {
+            Some(got) if got == b => Ok(()),
+            got => Err(format!("expected {:?}, got {got:?}", b as char)),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(c) => out.push(c as char),
+                    None => return Err("unterminated escape".into()),
+                },
+                Some(c) => out.push(c as char),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, val: Val) -> Result<Val, String> {
+        for expected in word.bytes() {
+            if self.next() != Some(expected) {
+                return Err(format!("invalid literal (expected {word:?})"));
+            }
+        }
+        Ok(val)
+    }
+
+    fn parse_value(&mut self) -> Result<Val, String> {
+        match self.peek() {
+            Some(b'"') => self.parse_string().map(Val::Str),
+            Some(b't') => self.parse_keyword("true", Val::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Val::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Val::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "non-utf8 number".to_string())?;
+                text.parse::<f64>().map(Val::Num).map_err(|e| format!("bad number {text:?}: {e}"))
+            }
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+}
+
+fn event_from_fields(fields: &Fields) -> Result<Event, String> {
+    let time = fields.num("t")?;
+    let rank = fields.opt_int("rank")?.map(|r| r as u32);
+    let kind = match fields.string("ev")? {
+        "send" => EventKind::Send { to: fields.int("to")? as u32, bytes: fields.int("bytes")? },
+        "recv" => EventKind::Recv { from: fields.int("from")? as u32, bytes: fields.int("bytes")? },
+        "death" => EventKind::Death,
+        "vote" => EventKind::Vote {
+            copies: fields.int("copies")? as u32,
+            unanimous: fields.boolean("unanimous")?,
+            corrected: fields.boolean("corrected")?,
+        },
+        "failover" => EventKind::Failover { sphere: fields.int("sphere")? as u32 },
+        "ckpt_begin" => EventKind::CheckpointBegin { seq: fields.int("seq")? },
+        "ckpt_commit" => EventKind::CheckpointCommit {
+            seq: fields.int("seq")?,
+            bytes: fields.int("bytes")?,
+            cost: fields.num("cost")?,
+        },
+        "restore" => EventKind::Restore { seq: fields.int("seq")?, cut: fields.num("cut")? },
+        "rank_finish" => {
+            EventKind::RankFinish { busy: fields.num("busy")?, comm: fields.num("comm")? }
+        }
+        "topology" => EventKind::Topology {
+            sphere: fields.int("sphere")? as u32,
+            replica: fields.int("replica")? as u32,
+        },
+        "attempt_start" => EventKind::AttemptStart { attempt: fields.int("attempt")? },
+        "injected" => EventKind::Injected { rel: fields.num("rel")? },
+        "attempt_end" => EventKind::AttemptEnd {
+            attempt: fields.int("attempt")?,
+            completed: fields.boolean("completed")?,
+            rel_end: fields.num("rel_end")?,
+            rel_failure: fields.num("rel_failure")?,
+            killer: fields.opt_int("killer")?.map(|k| k as u32),
+        },
+        other => return Err(format!("unknown event kind {other:?}")),
+    };
+    Ok(Event { time, rank, kind })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            events: vec![
+                Event {
+                    time: 0.0,
+                    rank: Some(0),
+                    kind: EventKind::Topology { sphere: 0, replica: 0 },
+                },
+                Event { time: 0.0, rank: None, kind: EventKind::AttemptStart { attempt: 0 } },
+                Event { time: 3.75, rank: Some(1), kind: EventKind::Injected { rel: 3.75 } },
+                Event { time: 0.5, rank: Some(0), kind: EventKind::Send { to: 1, bytes: 64 } },
+                Event { time: 0.75, rank: Some(1), kind: EventKind::Recv { from: 0, bytes: 64 } },
+                Event {
+                    time: 0.75,
+                    rank: Some(1),
+                    kind: EventKind::Vote { copies: 2, unanimous: true, corrected: false },
+                },
+                Event { time: 3.75, rank: Some(1), kind: EventKind::Death },
+                Event { time: 3.8, rank: Some(0), kind: EventKind::Failover { sphere: 0 } },
+                Event { time: 4.0, rank: Some(0), kind: EventKind::CheckpointBegin { seq: 0 } },
+                Event {
+                    time: 4.25,
+                    rank: Some(0),
+                    kind: EventKind::CheckpointCommit { seq: 0, bytes: 1024, cost: 0.1 },
+                },
+                Event { time: 5.0, rank: Some(0), kind: EventKind::Restore { seq: 0, cut: 4.1 } },
+                Event {
+                    time: 6.0,
+                    rank: Some(0),
+                    kind: EventKind::RankFinish { busy: 5.0, comm: 1.0 },
+                },
+                Event {
+                    time: 6.0,
+                    rank: None,
+                    kind: EventKind::AttemptEnd {
+                        attempt: 0,
+                        completed: true,
+                        rel_end: 6.0,
+                        rel_failure: f64::INFINITY,
+                        killer: None,
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_kind() {
+        let trace = sample_trace();
+        let text = trace.to_jsonl();
+        assert_eq!(text.lines().count(), trace.len());
+        let parsed = Trace::from_jsonl(&text).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn infinity_round_trips_as_null() {
+        let trace = Trace {
+            events: vec![Event {
+                time: 1.0,
+                rank: None,
+                kind: EventKind::AttemptEnd {
+                    attempt: 2,
+                    completed: false,
+                    rel_end: 1.5,
+                    rel_failure: f64::INFINITY,
+                    killer: Some(3),
+                },
+            }],
+        };
+        let text = trace.to_jsonl();
+        assert!(text.contains("\"rel_failure\":null"), "{text}");
+        let parsed = Trace::from_jsonl(&text).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn extreme_floats_round_trip_exactly() {
+        let values = [1e-300, 1.0 / 3.0, 123_456_789.123_456_78, f64::MAX, 5e-324];
+        for v in values {
+            let trace =
+                Trace { events: vec![Event { time: v, rank: Some(0), kind: EventKind::Death }] };
+            let parsed = Trace::from_jsonl(&trace.to_jsonl()).unwrap();
+            assert_eq!(parsed.events[0].time.to_bits(), v.to_bits(), "{v}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err =
+            Trace::from_jsonl("{\"t\":0,\"rank\":null,\"ev\":\"death\"}\nnot json\n").unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 2, .. }), "{err}");
+        let err = Trace::from_jsonl("{\"t\":0,\"rank\":0,\"ev\":\"warp\"}\n").unwrap_err();
+        assert!(err.to_string().contains("warp"), "{err}");
+        let err = Trace::from_jsonl("{\"t\":0,\"ev\":\"send\",\"rank\":0,\"to\":1}\n").unwrap_err();
+        assert!(err.to_string().contains("bytes"), "{err}");
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let parsed = Trace::from_jsonl(
+            "\n{\"t\":0,\"rank\":null,\"ev\":\"attempt_start\",\"attempt\":0}\n\n",
+        )
+        .unwrap();
+        assert_eq!(parsed.len(), 1);
+    }
+}

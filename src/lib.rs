@@ -18,6 +18,7 @@
 //! * [`apps`] — CG / Jacobi / EP kernels.
 //! * [`cluster`] — discrete-event job simulator at exascale node counts.
 //! * [`core`] — the combined planner + resilient executor.
+//! * [`trace`] — virtual-time flight recorder, JSONL export and analyzer.
 //!
 //! # Quickstart
 //!
@@ -51,3 +52,4 @@ pub use redcr_fault as fault;
 pub use redcr_model as model;
 pub use redcr_mpi as mpi;
 pub use redcr_red as red;
+pub use redcr_trace as trace;

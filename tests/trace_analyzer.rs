@@ -1,0 +1,171 @@
+//! Flight-recorder integration tests through the `redcr` facade: a seeded
+//! storm run's trace, replayed by the analyzer, must reproduce the
+//! `ExecutionReport` counters **exactly** — including the floating-point
+//! degraded-sphere total — and survive a JSONL round trip unchanged.
+
+use redcr::apps::cg::{CgConfig, CgSolver, CgState};
+use redcr::core::{ExecutorConfig, ResilientApp, ResilientExecutor};
+use redcr::mpi::Communicator;
+use redcr::trace::{Analysis, EventKind, Trace};
+
+struct CgApp {
+    solver: CgSolver,
+    iterations: u64,
+    pad: f64,
+}
+
+impl ResilientApp for CgApp {
+    type State = CgState;
+
+    fn init<C: Communicator>(&self, comm: &C) -> redcr::mpi::Result<CgState> {
+        self.solver.init_state(comm)
+    }
+
+    fn step<C: Communicator>(&self, comm: &C, state: &mut CgState) -> redcr::mpi::Result<()> {
+        comm.compute(self.pad)?;
+        self.solver.step(comm, state)?;
+        Ok(())
+    }
+
+    fn is_done(&self, state: &CgState) -> bool {
+        state.iteration >= self.iterations
+    }
+}
+
+fn cg_app(n: usize, iterations: u64, pad: f64) -> CgApp {
+    CgApp { solver: CgSolver::new(CgConfig::small(n)), iterations, pad }
+}
+
+/// A 2x run under harsh MTBF: several restarts, several masked deaths.
+fn storm_config() -> ExecutorConfig {
+    ExecutorConfig::new(4, 2.0)
+        .node_mtbf(25.0)
+        .checkpoint_interval(4.0)
+        .checkpoint_cost(0.1)
+        .restart_cost(0.5)
+        .seed(8)
+        .tracing(true)
+}
+
+#[test]
+fn analyzer_totals_match_execution_report_exactly() {
+    let report = ResilientExecutor::new(storm_config()).run(&cg_app(32, 30, 1.0)).unwrap();
+    assert!(report.failures > 0, "storm run must see failures: {report}");
+    assert!(report.masked_failures > 0, "storm run must mask deaths: {report}");
+    let trace = report.trace.as_ref().expect("tracing was enabled");
+    assert!(!trace.is_empty());
+
+    let analysis = Analysis::analyze(trace).unwrap();
+    let totals = analysis.totals();
+    // Exact equality, not approximate: the analyzer replays the executor's
+    // own accounting from the recorded relative times, in the same order.
+    assert_eq!(totals.attempts, report.attempts);
+    assert_eq!(totals.failures, report.failures);
+    assert_eq!(totals.masked_failures, report.masked_failures);
+    assert_eq!(totals.checkpoints_committed, report.checkpoints_committed);
+    assert_eq!(
+        totals.degraded_sphere_seconds.to_bits(),
+        report.degraded_sphere_seconds.to_bits(),
+        "degraded time must match bit-for-bit: trace {} vs report {}",
+        totals.degraded_sphere_seconds,
+        report.degraded_sphere_seconds
+    );
+
+    // Send events are recorded at the same site as the physical counters.
+    let sends: Vec<&redcr::trace::Event> =
+        trace.events.iter().filter(|e| matches!(e.kind, EventKind::Send { .. })).collect();
+    assert_eq!(sends.len() as u64, report.physical_messages);
+    let bytes: u64 = sends
+        .iter()
+        .map(|e| match e.kind {
+            EventKind::Send { bytes, .. } => bytes,
+            _ => unreachable!(),
+        })
+        .sum();
+    assert_eq!(bytes, report.physical_bytes);
+
+    // Votes are recorded alongside the replication statistics, but a rank
+    // that fail-stops loses its stats snapshot (the closure returns `Err`)
+    // while its recorder is still drained at teardown — so the trace sees
+    // at least as many votes as the surviving ranks' aggregate.
+    let votes: u64 = analysis.attempts.iter().map(|a| a.votes).sum();
+    assert!(
+        votes >= report.replication.votes,
+        "trace votes {votes} < stats votes {}",
+        report.replication.votes
+    );
+
+    // Structural sanity of the per-attempt summaries.
+    assert_eq!(analysis.spheres.len(), 4);
+    assert!(analysis.spheres.iter().all(|s| s.len() == 2), "2x: two replicas per sphere");
+    let last = analysis.attempts.last().unwrap();
+    assert!(last.completed, "the final attempt completed");
+    for a in &analysis.attempts {
+        for &(_, alpha) in &a.alphas {
+            assert!((0.0..=1.0).contains(&alpha), "alpha out of range: {alpha}");
+        }
+        for &l in &a.commit_latencies {
+            assert!(l >= 0.0, "negative commit latency: {l}");
+        }
+        assert!(a.end >= a.start);
+    }
+    // Some failed attempt must have restored from a checkpoint or lost
+    // work from scratch; either way lost_work is positive for failures.
+    for a in analysis.attempts.iter().filter(|a| !a.completed) {
+        assert!(a.lost_work > 0.0, "a failed attempt loses work");
+    }
+}
+
+#[test]
+fn failure_free_trace_matches_stats_exactly() {
+    // Without deaths every rank's stats snapshot survives, so the trace's
+    // vote count equals the replication aggregate exactly.
+    let cfg = ExecutorConfig::new(4, 2.0).tracing(true);
+    let report = ResilientExecutor::new(cfg).run(&cg_app(32, 10, 0.0)).unwrap();
+    let trace = report.trace.as_ref().unwrap();
+    let analysis = Analysis::analyze(trace).unwrap();
+    assert_eq!(analysis.attempts.len(), 1);
+    let votes: u64 = analysis.attempts.iter().map(|a| a.votes).sum();
+    assert_eq!(votes, report.replication.votes);
+    let totals = analysis.totals();
+    assert_eq!(totals.attempts, 1);
+    assert_eq!(totals.failures, 0);
+    assert_eq!(totals.masked_failures, 0);
+    assert_eq!(totals.degraded_sphere_seconds, 0.0);
+}
+
+#[test]
+fn jsonl_round_trip_preserves_trace_and_totals() {
+    let report = ResilientExecutor::new(storm_config()).run(&cg_app(32, 30, 1.0)).unwrap();
+    let trace = report.trace.expect("tracing was enabled");
+
+    let jsonl = trace.to_jsonl();
+    assert!(jsonl.lines().count() == trace.events.len());
+    let parsed = Trace::from_jsonl(&jsonl).unwrap();
+    assert_eq!(parsed, trace, "JSONL round trip must be lossless");
+
+    let a = Analysis::analyze(&parsed).unwrap();
+    let totals = a.totals();
+    assert_eq!(totals.attempts, report.attempts);
+    assert_eq!(totals.masked_failures, report.masked_failures);
+    assert_eq!(totals.degraded_sphere_seconds.to_bits(), report.degraded_sphere_seconds.to_bits());
+}
+
+#[test]
+fn tracing_disabled_leaves_no_trace_and_costs_nothing() {
+    let cfg = ExecutorConfig::new(4, 2.0)
+        .node_mtbf(25.0)
+        .checkpoint_interval(4.0)
+        .checkpoint_cost(0.1)
+        .restart_cost(0.5)
+        .seed(8);
+    let plain = ResilientExecutor::new(cfg).run(&cg_app(32, 30, 1.0)).unwrap();
+    assert!(plain.trace.is_none());
+
+    // Recording must not perturb the virtual-time simulation.
+    let traced = ResilientExecutor::new(storm_config()).run(&cg_app(32, 30, 1.0)).unwrap();
+    assert_eq!(plain.total_virtual_time.to_bits(), traced.total_virtual_time.to_bits());
+    assert_eq!(plain.attempts, traced.attempts);
+    assert_eq!(plain.masked_failures, traced.masked_failures);
+    assert_eq!(plain.checkpoints_committed, traced.checkpoints_committed);
+}

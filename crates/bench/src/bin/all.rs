@@ -3,37 +3,37 @@ use redcr_model::combined::SimplifiedForm;
 
 fn main() {
     let seeds = redcr_bench::calib::T4_SEEDS;
-    eprintln!("[1/12] table 1");
+    eprintln!("[1/13] table 1");
     redcr_bench::output::write_result("table1.txt", &redcr_bench::table1::render());
-    eprintln!("[2/12] table 2");
+    eprintln!("[2/13] table 2");
     let t2 = redcr_bench::table2_3::generate_table2(seeds);
     redcr_bench::output::write_result("table2.txt", &redcr_bench::table2_3::render_table2(&t2));
-    eprintln!("[3/12] table 3");
+    eprintln!("[3/13] table 3");
     let t3 = redcr_bench::table2_3::generate_table3(seeds);
     redcr_bench::output::write_result("table3.txt", &redcr_bench::table2_3::render_table3(&t3));
-    eprintln!("[4/12] table 5 / figure 10 (runtime measurement)");
+    eprintln!("[4/13] table 5 / figure 10 (runtime measurement)");
     let t5 = redcr_bench::table5::generate();
     redcr_bench::output::write_result("table5.txt", &redcr_bench::table5::render(&t5));
-    eprintln!("[5/12] table 4 / figures 8-9 (Monte-Carlo fault injection)");
+    eprintln!("[5/13] table 4 / figures 8-9 (Monte-Carlo fault injection)");
     let t4 = redcr_bench::table4::generate(&t5, seeds);
     redcr_bench::output::write_result("table4.txt", &redcr_bench::table4::render(&t4));
-    eprintln!("[6/12] figure 2");
+    eprintln!("[6/13] figure 2");
     let curves = redcr_bench::fig2::generate(10_000, 128.0);
     redcr_bench::output::write_result("fig2.txt", &redcr_bench::fig2::render(&curves));
-    eprintln!("[7/12] figures 4-6");
+    eprintln!("[7/13] figures 4-6");
     let mut f46 = String::new();
     for figure in [4u32, 5, 6] {
         f46.push_str(&redcr_bench::fig4_6::render(&redcr_bench::fig4_6::generate(figure)));
         f46.push('\n');
     }
     redcr_bench::output::write_result("fig4_6.txt", &f46);
-    eprintln!("[8/12] figure 11");
+    eprintln!("[8/13] figure 11");
     let f11 = redcr_bench::fig11::generate(SimplifiedForm::Consistent);
     redcr_bench::output::write_result("fig11.txt", &redcr_bench::fig11::render(&f11));
-    eprintln!("[9/12] figure 12");
+    eprintln!("[9/13] figure 12");
     let f12 = redcr_bench::fig12::generate_from(&t4, &redcr_bench::paper::constants::MTBF_HOURS);
     redcr_bench::output::write_result("fig12.txt", &redcr_bench::fig12::render(&f12));
-    eprintln!("[10/12] figures 13-14");
+    eprintln!("[10/13] figures 13-14");
     let marks = redcr_bench::fig13_14::find_landmarks();
     let d13 = redcr_bench::fig13_14::generate(30_000, 20);
     redcr_bench::output::write_result(
@@ -45,7 +45,7 @@ fn main() {
         "fig14.txt",
         &redcr_bench::fig13_14::render(&d14, 14, &marks),
     );
-    eprintln!("[11/12] figure 9 surface data");
+    eprintln!("[11/13] figure 9 surface data");
     let mut f9 = String::from("# degree mtbf_hours minutes\n");
     for (mtbf, cells) in &t4.rows {
         for c in cells {
@@ -56,12 +56,16 @@ fn main() {
         f9.push('\n');
     }
     redcr_bench::output::write_result("fig9.dat", &f9);
-    eprintln!("[12/12] partial-redundancy window study");
+    eprintln!("[12/13] partial-redundancy window study");
     let w_mtbf = redcr_bench::window::sweep_mtbf(2.0, 48.0, 47);
     let w_n = redcr_bench::window::sweep_processes(100, 2_000_000, 60);
     redcr_bench::output::write_result(
         "window.txt",
         &format!("{}\n{}", redcr_bench::window::render(&w_mtbf), redcr_bench::window::render(&w_n)),
     );
+    eprintln!("[13/13] measured-vs-model validation");
+    let runs = redcr_bench::validation::generate();
+    redcr_bench::output::write_result("validation.txt", &redcr_bench::validation::render(&runs));
+    redcr_bench::validation::write_sidecars(&runs);
     eprintln!("done; see {}", redcr_bench::output::results_dir().display());
 }

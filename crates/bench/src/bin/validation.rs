@@ -1,0 +1,17 @@
+//! Runs the measured-vs-model validation scenarios, writes the
+//! `*_validation.json` sidecars into `results/`, and fails (exit 1) if the
+//! failure-free prediction misses the observed runtime by 20% or more.
+fn main() {
+    let runs = redcr_bench::validation::generate();
+    print!("{}", redcr_bench::validation::render(&runs));
+    for path in redcr_bench::validation::write_sidecars(&runs) {
+        println!("wrote {}", path.display());
+    }
+    let free = runs.iter().find(|r| r.name == "cg").expect("failure-free scenario");
+    let err = free.validation.relative_error;
+    if err.is_nan() || err.abs() >= 0.2 {
+        eprintln!("FAIL: failure-free relative error {err:+.3} exceeds the 20% bound");
+        std::process::exit(1);
+    }
+    println!("failure-free relative error {:+.2}% — within the 20% bound", err * 100.0);
+}

@@ -32,4 +32,5 @@ pub mod table1;
 pub mod table2_3;
 pub mod table4;
 pub mod table5;
+pub mod validation;
 pub mod window;

@@ -1,0 +1,93 @@
+//! Measured-vs-model validation runs: executes the paper's CG setup on the
+//! resilient executor with the flight recorder and metrics plane on, feeds
+//! the measured α, checkpoint cost and failure counts back into Eqs. 1 and
+//! 14, and writes a `*_validation.json` sidecar per run into `results/`
+//! (see `results/README.md`).
+//!
+//! Two scenarios bracket the model:
+//!
+//! * `cg` — failure-free (per-node MTBF 10⁹ s): the prediction must land
+//!   within 20% of the observed runtime (asserted by the `validation`
+//!   binary and CI);
+//! * `cg_failures` — the stormy `cg_resilient` setup (90 s MTBF): the
+//!   sidecar records how far a single noisy sample strays from the
+//!   expectation (no bound asserted — one seed is not an ensemble).
+
+use std::path::PathBuf;
+
+use redcr_apps::cg::CgConfig;
+use redcr_core::apps::CgApp;
+use redcr_core::{ExecutorConfig, ModelValidation, ResilientExecutor};
+
+use crate::output;
+
+/// One executed validation scenario.
+#[derive(Debug, Clone)]
+pub struct ValidationRun {
+    /// Artifact stem (`results/<name>_validation.json`).
+    pub name: &'static str,
+    /// The measured-vs-model comparison.
+    pub validation: ModelValidation,
+}
+
+fn run(name: &'static str, cfg: ExecutorConfig) -> ValidationRun {
+    let app = CgApp::new(CgConfig::small(256), 40).with_step_pad(1.0);
+    let report = ResilientExecutor::new(cfg.clone()).run(&app).expect("validation run");
+    let validation = ModelValidation::from_run(&cfg, &report).expect("validation report");
+    ValidationRun { name, validation }
+}
+
+/// Executes both scenarios (a few virtual minutes of simulated CG each).
+pub fn generate() -> Vec<ValidationRun> {
+    let base = ExecutorConfig::new(8, 2.0)
+        .checkpoint_interval(10.0)
+        .checkpoint_cost(0.5)
+        .restart_cost(2.0)
+        .tracing(true)
+        .metrics(true);
+    vec![
+        run("cg", base.clone().node_mtbf(1e9).seed(1)),
+        run("cg_failures", base.node_mtbf(90.0).seed(2012)),
+    ]
+}
+
+/// Renders the printable report.
+pub fn render(runs: &[ValidationRun]) -> String {
+    let mut out = String::from("measured-vs-model validation (Eqs. 1, 9-10, 12-14)\n\n");
+    for r in runs {
+        out.push_str(&format!("== {} ==\n{}\n\n", r.name, r.validation));
+    }
+    out
+}
+
+/// Writes each run's JSON sidecar into `results/`, returning the paths.
+pub fn write_sidecars(runs: &[ValidationRun]) -> Vec<PathBuf> {
+    runs.iter()
+        .map(|r| {
+            output::write_result(&format!("{}_validation.json", r.name), &r.validation.to_json())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_free_scenario_validates_within_bound() {
+        let cfg = ExecutorConfig::new(4, 2.0)
+            .node_mtbf(1e9)
+            .checkpoint_interval(8.0)
+            .checkpoint_cost(0.2)
+            .restart_cost(1.0)
+            .seed(3)
+            .tracing(true)
+            .metrics(true);
+        let app = CgApp::new(CgConfig::small(64), 12).with_step_pad(1.0);
+        let report = ResilientExecutor::new(cfg.clone()).run(&app).unwrap();
+        let v = ModelValidation::from_run(&cfg, &report).unwrap();
+        assert_eq!(v.failures, 0);
+        assert!(v.relative_error.abs() < 0.2, "relative error {}", v.relative_error);
+        assert!(v.to_json().contains("redcr-model-validation/1"));
+    }
+}

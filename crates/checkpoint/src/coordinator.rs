@@ -162,8 +162,9 @@ impl CheckpointCoordinator {
         C: Communicator,
         S: Serialize,
     {
+        let begin = comm.now();
         if let Some(rec) = comm.recorder() {
-            rec.record(comm.now(), redcr_mpi::trace::EventKind::CheckpointBegin { seq });
+            rec.record(begin, redcr_mpi::trace::EventKind::CheckpointBegin { seq });
         }
         let channel = match self.protocol {
             CoordinationProtocol::Bookmark => bookmark::quiesce(comm)?,
@@ -199,6 +200,11 @@ impl CheckpointCoordinator {
                 },
             );
         }
+        if let Some(m) = comm.metrics() {
+            let now = comm.now();
+            m.inc(redcr_mpi::metrics::CounterKey::CheckpointCommits, now);
+            m.observe(redcr_mpi::metrics::HistKey::CommitLatency, now - begin);
+        }
         Ok(CheckpointReceipt { stored_bytes: bytes.len(), cost_seconds: cost, channel_messages })
     }
 
@@ -224,6 +230,9 @@ impl CheckpointCoordinator {
                 comm.now(),
                 redcr_mpi::trace::EventKind::Restore { seq, cut: image.virtual_time },
             );
+        }
+        if let Some(m) = comm.metrics() {
+            m.inc(redcr_mpi::metrics::CounterKey::Restores, comm.now());
         }
         Ok(Restored {
             state,

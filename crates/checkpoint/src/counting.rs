@@ -235,6 +235,10 @@ impl<C: Communicator> Communicator for CountingComm<'_, C> {
     fn recorder(&self) -> Option<&redcr_mpi::trace::Recorder> {
         self.inner.recorder()
     }
+
+    fn metrics(&self) -> Option<&redcr_mpi::metrics::RankMetrics> {
+        self.inner.metrics()
+    }
 }
 
 impl<C: Communicator> CountingComm<'_, C> {

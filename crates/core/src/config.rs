@@ -41,6 +41,17 @@ pub struct ExecutorConfig {
     /// [`Trace`](redcr_mpi::trace::Trace) in
     /// [`ExecutionReport::trace`](crate::ExecutionReport::trace).
     pub tracing: bool,
+    /// Whether to run the metrics plane: when set, every layer counts its
+    /// operations into a virtual-time
+    /// [`MetricsRegistry`](redcr_mpi::metrics::MetricsRegistry) and the
+    /// report carries totals plus the scraped time series in
+    /// [`ExecutionReport::metrics`](crate::ExecutionReport::metrics).
+    /// Metrics never advance a virtual clock, so enabling them does not
+    /// change any reported total.
+    pub metrics: bool,
+    /// Virtual-second cadence of the metrics scraper (counter time-series
+    /// grid spacing). Ignored unless [`metrics`](Self::metrics) is set.
+    pub scrape_interval: f64,
 }
 
 impl ExecutorConfig {
@@ -61,6 +72,8 @@ impl ExecutorConfig {
             max_attempts: 10_000,
             no_progress_limit: 64,
             tracing: false,
+            metrics: false,
+            scrape_interval: 1.0,
         }
     }
 
@@ -128,6 +141,18 @@ impl ExecutorConfig {
     /// Enables (or disables) the flight recorder for this execution.
     pub fn tracing(mut self, on: bool) -> Self {
         self.tracing = on;
+        self
+    }
+
+    /// Enables (or disables) the metrics plane for this execution.
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
+    }
+
+    /// Sets the metrics scraper cadence (virtual seconds per sample).
+    pub fn scrape_interval(mut self, seconds: f64) -> Self {
+        self.scrape_interval = seconds;
         self
     }
 }

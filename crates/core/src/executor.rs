@@ -15,6 +15,7 @@ use redcr_ckpt::CountingComm;
 use redcr_fault::{FailureInjector, ReplicaGroups};
 use redcr_model::partition::RedundancyPartition;
 use redcr_mpi::collectives::ReduceOp;
+use redcr_mpi::metrics::{CounterKey, HistKey, MetricsRegistry};
 use redcr_mpi::trace::{Collector, EventKind};
 use redcr_mpi::{Communicator, MpiError};
 use redcr_red::ReplicatedWorld;
@@ -100,6 +101,7 @@ impl ResilientExecutor {
             .cost_model(storage_cost)
             .protocol(cfg.protocol);
 
+        let registry = cfg.metrics.then(|| Arc::new(MetricsRegistry::new()));
         let collector = cfg.tracing.then(|| Arc::new(Collector::new()));
         if let Some(c) = &collector {
             for (v, members) in injector.groups().iter().enumerate() {
@@ -157,6 +159,9 @@ impl ResilientExecutor {
                 .start_time(resume_time);
             if let Some(c) = &collector {
                 builder = builder.trace(Arc::clone(c));
+            }
+            if let Some(r) = &registry {
+                builder = builder.metrics(Arc::clone(r));
             }
             let report = builder.run(move |comm| {
                 let n_ranks = comm.size() as u32;
@@ -272,9 +277,16 @@ impl ResilientExecutor {
                 if first.is_finite() && first < end_rel {
                     let last = times.fold(f64::NEG_INFINITY, f64::max);
                     attempt_degraded += last.min(end_rel) - first;
+                    if let Some(r) = &registry {
+                        r.observe(HistKey::DegradedInterval, last.min(end_rel) - first);
+                    }
                 }
             }
             degraded_sphere_seconds += attempt_degraded;
+
+            if let Some(r) = &registry {
+                r.inc(CounterKey::Attempts, attempt_end);
+            }
 
             if !completed {
                 // Every process death up to the job failure that was NOT a
@@ -284,6 +296,16 @@ impl ResilientExecutor {
                     let dead = plan.schedule.dead_by(rel_failure).len();
                     let fatal = injector.groups().members(plan.killer_sphere).len();
                     masked_failures += dead.saturating_sub(fatal) as u64;
+                    if let Some(r) = &registry {
+                        r.add(
+                            CounterKey::MaskedFailures,
+                            dead.saturating_sub(fatal) as u64,
+                            attempt_end,
+                        );
+                    }
+                }
+                if let Some(r) = &registry {
+                    r.inc(CounterKey::Restarts, attempt_end);
                 }
                 resume_time = attempt_end;
 
@@ -306,6 +328,13 @@ impl ResilientExecutor {
             // masked; the planned *job* failure never materialized, so
             // prune its never-observed events from the log.
             masked_failures += plan.schedule.dead_by(end_rel).len() as u64;
+            if let Some(r) = &registry {
+                r.add(
+                    CounterKey::MaskedFailures,
+                    plan.schedule.dead_by(end_rel).len() as u64,
+                    attempt_end,
+                );
+            }
             injector.trace_mut().truncate_attempt(plan.attempt, report.max_virtual_time);
             let total_time = report.max_virtual_time;
             let n_physical = report.n_physical;
@@ -363,6 +392,7 @@ impl ResilientExecutor {
                 node_seconds: n_physical as f64 * total_time,
                 failure_trace: injector.trace().clone(),
                 trace: collector.as_ref().map(|c| c.take()),
+                metrics: registry.as_ref().map(|r| r.report(cfg.scrape_interval)),
                 final_states,
             });
         }

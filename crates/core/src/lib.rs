@@ -50,11 +50,13 @@ pub mod config;
 pub mod executor;
 pub mod planner;
 pub mod report;
+pub mod validation;
 
 pub use config::ExecutorConfig;
 pub use executor::{ResilientApp, ResilientExecutor};
 pub use planner::{Plan, Planner};
 pub use report::ExecutionReport;
+pub use validation::{ModelValidation, ValidationError};
 
 mod error;
 

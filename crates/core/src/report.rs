@@ -43,6 +43,10 @@ pub struct ExecutionReport<S> {
     /// Feed it to [`redcr_mpi::trace::Analysis::analyze`] to rebuild
     /// per-attempt timelines and derived quantities.
     pub trace: Option<redcr_mpi::trace::Trace>,
+    /// The metrics report (totals, per-rank counters and the scraped
+    /// virtual-time series), present iff
+    /// [`ExecutorConfig::metrics`](crate::ExecutorConfig::metrics) was set.
+    pub metrics: Option<redcr_mpi::metrics::MetricsReport>,
     /// Final application state of each virtual rank (primary replicas).
     pub final_states: Vec<S>,
 }
@@ -51,6 +55,39 @@ impl<S> ExecutionReport<S> {
     /// Simulated wallclock in virtual hours.
     pub fn total_hours(&self) -> f64 {
         self.total_virtual_time / 3600.0
+    }
+
+    /// A one-screen human-readable summary: the [`Display`](fmt::Display)
+    /// block plus, when the metrics plane ran, a compact metrics section
+    /// (votes, checkpoint commit latency, message latency).
+    pub fn summarize(&self) -> String {
+        use redcr_mpi::metrics::{CounterKey, HistKey};
+        let mut out = self.to_string();
+        if let Some(m) = &self.metrics {
+            let t = &m.totals;
+            out.push('\n');
+            out.push_str(&format!(
+                "  metrics          : {} sends / {} recvs across {} ranks ({} samples @ {} s)\n",
+                t.counter(CounterKey::Sends),
+                t.counter(CounterKey::Recvs),
+                m.per_rank.len(),
+                m.series.len(),
+                m.scrape_interval,
+            ));
+            out.push_str(&format!(
+                "  votes / commits  : {} votes (mean {:.3e} s), {} commits (mean {:.3e} s)\n",
+                t.counter(CounterKey::Votes),
+                t.histogram(HistKey::VoteLatency).mean(),
+                t.counter(CounterKey::CheckpointCommits),
+                t.histogram(HistKey::CommitLatency).mean(),
+            ));
+            out.push_str(&format!(
+                "  message latency  : mean {:.3e} s over {} receives",
+                t.histogram(HistKey::MessageLatency).mean(),
+                t.histogram(HistKey::MessageLatency).count(),
+            ));
+        }
+        out
     }
 }
 
@@ -102,11 +139,14 @@ mod tests {
             node_seconds: 100.0,
             failure_trace: FailureTrace::new(),
             trace: None,
+            metrics: None,
             final_states: vec![],
         };
         let s = report.to_string();
         assert!(s.contains("attempts"));
         assert!(s.contains('3'));
         assert!((report.total_hours() - 12.5 / 3600.0).abs() < 1e-15);
+        // Without metrics, summarize() is exactly the Display block.
+        assert_eq!(report.summarize(), s);
     }
 }

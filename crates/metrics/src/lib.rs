@@ -1,0 +1,215 @@
+//! # redcr-metrics — a virtual-time metrics plane for the redcr stack
+//!
+//! Monotonic counters, gauges and log2-bucketed histograms, collected the
+//! same way the flight recorder and the replication statistics are: each
+//! rank thread owns a lock-free [`RankMetrics`] shard (plain `Cell`s and a
+//! `Vec` push on the hot path — no atomics, no locks), drained into a
+//! shared [`MetricsRegistry`] exactly once at rank teardown. Layers above
+//! the runtime reach the shard through
+//! `Communicator::metrics()` (the same hook pattern as the recorder), so
+//! when metrics are off the entire plane costs one `Option` check.
+//!
+//! Counter increments carry their **virtual-time** stamp, which is what
+//! makes the registry scrapeable after the fact: [`MetricsRegistry::scrape`]
+//! replays the merged increment stream at a fixed virtual-second cadence
+//! and yields a monotone time series whose final sample equals the drained
+//! totals exactly.
+//!
+//! Nothing in this crate advances a virtual clock: enabling metrics never
+//! changes what a run computes, only what it reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod registry;
+mod shard;
+
+pub use histogram::Histogram;
+pub use registry::{MetricsRegistry, MetricsReport, MetricsSnapshot, ScrapePoint};
+pub use shard::{RankDrain, RankMetrics, Sample};
+
+/// Monotonic counters tracked per rank and in the registry totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterKey {
+    /// Physical point-to-point messages sent.
+    Sends,
+    /// Physical point-to-point messages received.
+    Recvs,
+    /// Physical payload bytes sent.
+    BytesSent,
+    /// Physical payload bytes received.
+    BytesReceived,
+    /// Rank fail-stops observed (each rank records its own death once).
+    Deaths,
+    /// Receive-path votes over redundant copies.
+    Votes,
+    /// Wildcard-receive leader failovers.
+    Failovers,
+    /// Coordinated checkpoints committed (post-barrier, per rank).
+    CheckpointCommits,
+    /// Checkpoint restores performed.
+    Restores,
+    /// Execution attempts started.
+    Attempts,
+    /// Restarts (failed attempts).
+    Restarts,
+    /// Process deaths masked by redundancy.
+    MaskedFailures,
+}
+
+impl CounterKey {
+    /// Number of counter keys.
+    pub const COUNT: usize = 12;
+
+    /// Every counter key, in index order.
+    pub const ALL: [CounterKey; CounterKey::COUNT] = [
+        CounterKey::Sends,
+        CounterKey::Recvs,
+        CounterKey::BytesSent,
+        CounterKey::BytesReceived,
+        CounterKey::Deaths,
+        CounterKey::Votes,
+        CounterKey::Failovers,
+        CounterKey::CheckpointCommits,
+        CounterKey::Restores,
+        CounterKey::Attempts,
+        CounterKey::Restarts,
+        CounterKey::MaskedFailures,
+    ];
+
+    /// Stable snake_case name (used in exports and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterKey::Sends => "sends_total",
+            CounterKey::Recvs => "recvs_total",
+            CounterKey::BytesSent => "bytes_sent_total",
+            CounterKey::BytesReceived => "bytes_received_total",
+            CounterKey::Deaths => "deaths_total",
+            CounterKey::Votes => "votes_total",
+            CounterKey::Failovers => "failovers_total",
+            CounterKey::CheckpointCommits => "checkpoint_commits_total",
+            CounterKey::Restores => "restores_total",
+            CounterKey::Attempts => "attempts_total",
+            CounterKey::Restarts => "restarts_total",
+            CounterKey::MaskedFailures => "masked_failures_total",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            CounterKey::Sends => 0,
+            CounterKey::Recvs => 1,
+            CounterKey::BytesSent => 2,
+            CounterKey::BytesReceived => 3,
+            CounterKey::Deaths => 4,
+            CounterKey::Votes => 5,
+            CounterKey::Failovers => 6,
+            CounterKey::CheckpointCommits => 7,
+            CounterKey::Restores => 8,
+            CounterKey::Attempts => 9,
+            CounterKey::Restarts => 10,
+            CounterKey::MaskedFailures => 11,
+        }
+    }
+}
+
+/// Last-value gauges (merged by latest virtual-time stamp).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GaugeKey {
+    /// The rank's virtual clock at teardown, seconds.
+    VirtualTime,
+}
+
+impl GaugeKey {
+    /// Number of gauge keys.
+    pub const COUNT: usize = 1;
+
+    /// Every gauge key, in index order.
+    pub const ALL: [GaugeKey; GaugeKey::COUNT] = [GaugeKey::VirtualTime];
+
+    /// Stable snake_case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GaugeKey::VirtualTime => "virtual_time_seconds",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            GaugeKey::VirtualTime => 0,
+        }
+    }
+}
+
+/// Log2-bucketed histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HistKey {
+    /// Virtual seconds from message injection to receive completion.
+    MessageLatency,
+    /// Payload size of sent messages, bytes.
+    PayloadSize,
+    /// Virtual seconds one receive-path vote took (gather + compare).
+    VoteLatency,
+    /// Virtual seconds from checkpoint begin to post-barrier commit.
+    CommitLatency,
+    /// Length of one sphere's degraded interval, virtual seconds.
+    DegradedInterval,
+}
+
+impl HistKey {
+    /// Number of histogram keys.
+    pub const COUNT: usize = 5;
+
+    /// Every histogram key, in index order.
+    pub const ALL: [HistKey; HistKey::COUNT] = [
+        HistKey::MessageLatency,
+        HistKey::PayloadSize,
+        HistKey::VoteLatency,
+        HistKey::CommitLatency,
+        HistKey::DegradedInterval,
+    ];
+
+    /// Stable snake_case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            HistKey::MessageLatency => "message_latency_seconds",
+            HistKey::PayloadSize => "payload_size_bytes",
+            HistKey::VoteLatency => "vote_latency_seconds",
+            HistKey::CommitLatency => "commit_latency_seconds",
+            HistKey::DegradedInterval => "degraded_interval_seconds",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            HistKey::MessageLatency => 0,
+            HistKey::PayloadSize => 1,
+            HistKey::VoteLatency => 2,
+            HistKey::CommitLatency => 3,
+            HistKey::DegradedInterval => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_indices_are_dense_and_distinct() {
+        let mut seen = [false; CounterKey::COUNT];
+        for k in CounterKey::ALL {
+            assert!(!seen[k.index()], "duplicate index for {k:?}");
+            seen[k.index()] = true;
+            assert!(!k.name().is_empty());
+        }
+        assert!(seen.iter().all(|&s| s));
+        for (i, k) in HistKey::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        for (i, k) in GaugeKey::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+}

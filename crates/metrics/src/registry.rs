@@ -1,0 +1,311 @@
+//! The shared registry: drained shards merge here; the scraper replays the
+//! merged increment stream on a virtual-time grid.
+
+use parking_lot::Mutex;
+
+use crate::histogram::Histogram;
+use crate::shard::{RankDrain, Sample};
+use crate::{CounterKey, GaugeKey, HistKey};
+
+/// The world-shared metrics sink. Rank shards are absorbed at teardown (one
+/// lock per rank per run); layers without a rank thread (the executor)
+/// record directly. Cheap to share: `Arc<MetricsRegistry>` mirrors how the
+/// trace `Collector` travels.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    counters: [u64; CounterKey::COUNT],
+    gauges: [(f64, f64); GaugeKey::COUNT],
+    hists: [Histogram; HistKey::COUNT],
+    /// Per-rank counter totals, sorted by rank.
+    per_rank: Vec<(u32, [u64; CounterKey::COUNT])>,
+    /// The merged increment stream (unsorted; ranks drain at different
+    /// times).
+    samples: Vec<Sample>,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            counters: [0; CounterKey::COUNT],
+            gauges: [(f64::NAN, f64::NEG_INFINITY); GaugeKey::COUNT],
+            hists: std::array::from_fn(|_| Histogram::new()),
+            per_rank: Vec::new(),
+            samples: Vec::new(),
+        }
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Merges a drained rank shard: counters and histograms add, gauges
+    /// keep the later-stamped value, samples append.
+    pub fn absorb(&self, drain: RankDrain) {
+        let mut inner = self.inner.lock();
+        for i in 0..CounterKey::COUNT {
+            inner.counters[i] += drain.counters[i];
+        }
+        for (i, &(value, time)) in drain.gauges.iter().enumerate() {
+            if time > inner.gauges[i].1 {
+                inner.gauges[i] = (value, time);
+            }
+        }
+        for (i, h) in drain.hists.iter().enumerate() {
+            inner.hists[i].merge(h);
+        }
+        match inner.per_rank.binary_search_by_key(&drain.rank, |&(r, _)| r) {
+            Ok(at) => {
+                for i in 0..CounterKey::COUNT {
+                    inner.per_rank[at].1[i] += drain.counters[i];
+                }
+            }
+            Err(at) => inner.per_rank.insert(at, (drain.rank, drain.counters)),
+        }
+        inner.samples.extend(drain.samples);
+    }
+
+    /// Increments `key` by one at virtual time `time` (rank-less; used by
+    /// layers that are not a rank thread, like the executor).
+    pub fn inc(&self, key: CounterKey, time: f64) {
+        self.add(key, 1, time);
+    }
+
+    /// Increments `key` by `delta` at virtual time `time` (rank-less).
+    pub fn add(&self, key: CounterKey, delta: u64, time: f64) {
+        if delta == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.counters[key.index()] += delta;
+        inner.samples.push(Sample { time, key, delta });
+    }
+
+    /// Records one rank-less histogram observation.
+    pub fn observe(&self, key: HistKey, value: f64) {
+        self.inner.lock().hists[key.index()].observe(value);
+    }
+
+    /// A copy of the current totals.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        MetricsSnapshot {
+            counters: inner.counters,
+            gauges: inner.gauges,
+            hists: inner.hists.clone(),
+        }
+    }
+
+    /// Replays the merged increment stream on a virtual-time grid of
+    /// spacing `interval` seconds: sample `k` holds every counter's value
+    /// at virtual time `k·interval` (increments stamped exactly on a grid
+    /// point are included in that point). The series is monotone
+    /// non-decreasing by construction and its final sample equals the
+    /// drained totals exactly.
+    ///
+    /// A non-positive or non-finite `interval` collapses the grid to a
+    /// single final sample. A grid that would exceed one million points is
+    /// coarsened to that bound (the totals are unaffected).
+    pub fn scrape(&self, interval: f64) -> Vec<ScrapePoint> {
+        let inner = self.inner.lock();
+        let mut samples: Vec<Sample> = inner.samples.clone();
+        drop(inner);
+        samples.sort_by(|a, b| a.time.total_cmp(&b.time));
+        let end = samples.last().map_or(0.0, |s| s.time).max(0.0);
+
+        const MAX_POINTS: f64 = 1_000_000.0;
+        let interval = if interval.is_finite() && interval > 0.0 {
+            if end / interval > MAX_POINTS {
+                end / MAX_POINTS
+            } else {
+                interval
+            }
+        } else {
+            // One point at the end of the run.
+            end.max(1.0)
+        };
+
+        let mut points = Vec::new();
+        let mut acc = [0u64; CounterKey::COUNT];
+        let mut next = 0usize;
+        for k in 0u64.. {
+            let t = k as f64 * interval;
+            while next < samples.len() && samples[next].time <= t {
+                acc[samples[next].key.index()] += samples[next].delta;
+                next += 1;
+            }
+            points.push(ScrapePoint { time: t, counters: acc });
+            if t >= end {
+                break;
+            }
+        }
+        points
+    }
+
+    /// Bundles totals, per-rank counters and the scraped series into one
+    /// detached report.
+    pub fn report(&self, scrape_interval: f64) -> MetricsReport {
+        let series = self.scrape(scrape_interval);
+        let inner = self.inner.lock();
+        MetricsReport {
+            totals: MetricsSnapshot {
+                counters: inner.counters,
+                gauges: inner.gauges,
+                hists: inner.hists.clone(),
+            },
+            per_rank: inner.per_rank.clone(),
+            scrape_interval,
+            series,
+        }
+    }
+}
+
+/// A point-in-time copy of every metric's total.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    counters: [u64; CounterKey::COUNT],
+    gauges: [(f64, f64); GaugeKey::COUNT],
+    hists: [Histogram; HistKey::COUNT],
+}
+
+impl MetricsSnapshot {
+    /// Value of counter `key`.
+    pub fn counter(&self, key: CounterKey) -> u64 {
+        self.counters[key.index()]
+    }
+
+    /// Last value of gauge `key`, if it was ever set.
+    pub fn gauge(&self, key: GaugeKey) -> Option<f64> {
+        let (value, time) = self.gauges[key.index()];
+        time.is_finite().then_some(value)
+    }
+
+    /// The histogram for `key`.
+    pub fn histogram(&self, key: HistKey) -> &Histogram {
+        &self.hists[key.index()]
+    }
+}
+
+/// One sample of the scraped time series: every counter's value at virtual
+/// time `time`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScrapePoint {
+    /// Grid time, virtual seconds.
+    pub time: f64,
+    /// Counter values at `time`, indexed like [`CounterKey::ALL`].
+    pub counters: [u64; CounterKey::COUNT],
+}
+
+impl ScrapePoint {
+    /// Value of counter `key` at this point.
+    pub fn counter(&self, key: CounterKey) -> u64 {
+        self.counters[key.index()]
+    }
+}
+
+/// A detached metrics report: what an execution hands back when metrics
+/// were enabled.
+#[derive(Debug, Clone)]
+pub struct MetricsReport {
+    /// Final totals across all ranks and layers.
+    pub totals: MetricsSnapshot,
+    /// Per-rank counter totals, sorted by rank. Executor-level (rank-less)
+    /// increments are only in [`totals`](MetricsReport::totals).
+    pub per_rank: Vec<(u32, [u64; CounterKey::COUNT])>,
+    /// The grid spacing the series was scraped at, virtual seconds.
+    pub scrape_interval: f64,
+    /// The scraped counter time series.
+    pub series: Vec<ScrapePoint>,
+}
+
+impl MetricsReport {
+    /// Per-rank value of counter `key`, as `(rank, value)` pairs.
+    pub fn per_rank_counter(&self, key: CounterKey) -> Vec<(u32, u64)> {
+        self.per_rank.iter().map(|&(r, ref c)| (r, c[key.index()])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RankMetrics;
+
+    #[test]
+    fn absorb_merges_counters_per_rank_and_histograms() {
+        let reg = MetricsRegistry::new();
+        let a = RankMetrics::new(0);
+        a.inc(CounterKey::Sends, 1.0);
+        a.observe(HistKey::PayloadSize, 8.0);
+        a.set_gauge(GaugeKey::VirtualTime, 5.0, 5.0);
+        let b = RankMetrics::new(1);
+        b.inc(CounterKey::Sends, 2.0);
+        b.inc(CounterKey::Recvs, 2.5);
+        b.observe(HistKey::PayloadSize, 16.0);
+        b.set_gauge(GaugeKey::VirtualTime, 7.0, 7.0);
+        reg.absorb(a.drain());
+        reg.absorb(b.drain());
+        reg.inc(CounterKey::Attempts, 7.0);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(CounterKey::Sends), 2);
+        assert_eq!(snap.counter(CounterKey::Recvs), 1);
+        assert_eq!(snap.counter(CounterKey::Attempts), 1);
+        assert_eq!(snap.gauge(GaugeKey::VirtualTime), Some(7.0), "later stamp wins");
+        assert_eq!(snap.histogram(HistKey::PayloadSize).count(), 2);
+
+        let report = reg.report(1.0);
+        assert_eq!(report.per_rank_counter(CounterKey::Sends), vec![(0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn scrape_is_monotone_and_final_sample_equals_totals() {
+        let reg = MetricsRegistry::new();
+        let m = RankMetrics::new(0);
+        for i in 0..10 {
+            m.inc(CounterKey::Sends, i as f64 * 0.7);
+            m.add(CounterKey::BytesSent, 100, i as f64 * 0.7);
+        }
+        reg.absorb(m.drain());
+        reg.inc(CounterKey::Attempts, 6.5);
+
+        let series = reg.scrape(1.0);
+        assert!(series.len() >= 7, "6.3s of samples on a 1s grid: {}", series.len());
+        for pair in series.windows(2) {
+            assert!(pair[1].time > pair[0].time);
+            for k in CounterKey::ALL {
+                assert!(pair[1].counter(k) >= pair[0].counter(k), "{k:?} not monotone");
+            }
+        }
+        let totals = reg.snapshot();
+        let last = series.last().unwrap();
+        for k in CounterKey::ALL {
+            assert_eq!(last.counter(k), totals.counter(k), "{k:?} final sample != total");
+        }
+        // Boundary stamps are included in the grid point they land on.
+        let at_0 = &series[0];
+        assert_eq!(at_0.counter(CounterKey::Sends), 1, "t=0 increment included at t=0");
+    }
+
+    #[test]
+    fn degenerate_intervals_collapse_to_final_sample() {
+        let reg = MetricsRegistry::new();
+        reg.add(CounterKey::Sends, 3, 2.0);
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let series = reg.scrape(bad);
+            let last = series.last().unwrap();
+            assert_eq!(last.counter(CounterKey::Sends), 3, "interval {bad}");
+        }
+        // Empty registry still yields one (all-zero) sample.
+        let empty = MetricsRegistry::new();
+        let series = empty.scrape(1.0);
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].counter(CounterKey::Sends), 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-rank thread-local metric shards.
+
+use std::cell::{Cell, RefCell};
+
+use crate::histogram::Histogram;
+use crate::{CounterKey, GaugeKey, HistKey};
+
+/// One timestamped counter increment (the unit the virtual-time scraper
+/// replays).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Virtual time of the increment, seconds (the emitting rank's clock).
+    pub time: f64,
+    /// Which counter.
+    pub key: CounterKey,
+    /// Increment amount.
+    pub delta: u64,
+}
+
+/// A rank thread's private metric shard: `Send` (created on the rank's own
+/// thread) but not `Sync`, exactly like the flight recorder's `Recorder`.
+/// Every operation is a `Cell` update plus, for counters, one `Vec` push —
+/// no locks or atomics on the hot path.
+#[derive(Debug)]
+pub struct RankMetrics {
+    rank: u32,
+    counters: [Cell<u64>; CounterKey::COUNT],
+    /// `(value, time)` per gauge; unset = `(NAN, NEG_INFINITY)`.
+    gauges: [Cell<(f64, f64)>; GaugeKey::COUNT],
+    hists: RefCell<[Histogram; HistKey::COUNT]>,
+    samples: RefCell<Vec<Sample>>,
+}
+
+impl RankMetrics {
+    /// An empty shard attributing everything to `rank`.
+    pub fn new(rank: u32) -> Self {
+        RankMetrics {
+            rank,
+            counters: std::array::from_fn(|_| Cell::new(0)),
+            gauges: std::array::from_fn(|_| Cell::new((f64::NAN, f64::NEG_INFINITY))),
+            hists: RefCell::new(std::array::from_fn(|_| Histogram::new())),
+            samples: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The owning rank.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Increments `key` by one at virtual time `time`.
+    pub fn inc(&self, key: CounterKey, time: f64) {
+        self.add(key, 1, time);
+    }
+
+    /// Increments `key` by `delta` at virtual time `time`. A zero delta is
+    /// a no-op (it would only bloat the sample stream).
+    pub fn add(&self, key: CounterKey, delta: u64, time: f64) {
+        if delta == 0 {
+            return;
+        }
+        let c = &self.counters[key.index()];
+        c.set(c.get() + delta);
+        self.samples.borrow_mut().push(Sample { time, key, delta });
+    }
+
+    /// Sets gauge `key` to `value` at virtual time `time`.
+    pub fn set_gauge(&self, key: GaugeKey, value: f64, time: f64) {
+        self.gauges[key.index()].set((value, time));
+    }
+
+    /// Records one histogram observation.
+    pub fn observe(&self, key: HistKey, value: f64) {
+        self.hists.borrow_mut()[key.index()].observe(value);
+    }
+
+    /// Current value of counter `key`.
+    pub fn counter(&self, key: CounterKey) -> u64 {
+        self.counters[key.index()].get()
+    }
+
+    /// Moves everything out of the shard (for
+    /// [`MetricsRegistry::absorb`](crate::MetricsRegistry::absorb)),
+    /// leaving it empty — a second drain contributes nothing.
+    pub fn drain(&self) -> RankDrain {
+        RankDrain {
+            rank: self.rank,
+            counters: std::array::from_fn(|i| self.counters[i].replace(0)),
+            gauges: std::array::from_fn(|i| self.gauges[i].replace((f64::NAN, f64::NEG_INFINITY))),
+            hists: std::mem::replace(
+                &mut *self.hists.borrow_mut(),
+                std::array::from_fn(|_| Histogram::new()),
+            ),
+            samples: std::mem::take(&mut *self.samples.borrow_mut()),
+        }
+    }
+}
+
+/// Everything one shard accumulated, detached for the trip into the
+/// registry.
+#[derive(Debug, Clone)]
+pub struct RankDrain {
+    /// The rank the shard belonged to.
+    pub rank: u32,
+    /// Counter totals, indexed like [`CounterKey::ALL`].
+    pub counters: [u64; CounterKey::COUNT],
+    /// `(value, time)` per gauge; unset = `(NAN, NEG_INFINITY)`.
+    pub gauges: [(f64, f64); GaugeKey::COUNT],
+    /// Histograms, indexed like [`HistKey::ALL`].
+    pub hists: [Histogram; HistKey::COUNT],
+    /// The timestamped increment stream.
+    pub samples: Vec<Sample>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_stamp_samples() {
+        let m = RankMetrics::new(3);
+        m.inc(CounterKey::Sends, 1.0);
+        m.add(CounterKey::BytesSent, 64, 1.0);
+        m.add(CounterKey::BytesSent, 0, 2.0); // no-op
+        m.inc(CounterKey::Sends, 2.0);
+        assert_eq!(m.counter(CounterKey::Sends), 2);
+        assert_eq!(m.counter(CounterKey::BytesSent), 64);
+        let d = m.drain();
+        assert_eq!(d.rank, 3);
+        assert_eq!(d.samples.len(), 3, "zero deltas emit no sample");
+        assert_eq!(d.counters[CounterKey::Sends.index()], 2);
+        // Drained: a second drain is empty.
+        let d2 = m.drain();
+        assert_eq!(d2.counters[CounterKey::Sends.index()], 0);
+        assert!(d2.samples.is_empty());
+    }
+
+    #[test]
+    fn gauges_and_histograms_travel_in_the_drain() {
+        let m = RankMetrics::new(0);
+        m.set_gauge(GaugeKey::VirtualTime, 12.5, 12.5);
+        m.observe(HistKey::PayloadSize, 64.0);
+        m.observe(HistKey::PayloadSize, f64::NAN);
+        let d = m.drain();
+        assert_eq!(d.gauges[GaugeKey::VirtualTime.index()], (12.5, 12.5));
+        let h = &d.hists[HistKey::PayloadSize.index()];
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quarantined(), 1);
+    }
+}

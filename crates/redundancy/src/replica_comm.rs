@@ -147,8 +147,8 @@ impl<'a> ReplicaComm<'a> {
         self.base
     }
 
-    /// Records one vote outcome in the statistics and, when tracing is on,
-    /// as a flight-recorder event.
+    /// Records one vote outcome in the statistics and, when tracing or
+    /// metrics are on, as a flight-recorder event / counter increment.
     fn record_vote(&self, copies: usize, unanimous: bool, corrected: bool) {
         self.stats.record_vote(unanimous, corrected);
         if let Some(rec) = self.base.recorder() {
@@ -156,6 +156,9 @@ impl<'a> ReplicaComm<'a> {
                 self.base.now(),
                 redcr_mpi::trace::EventKind::Vote { copies: copies as u32, unanimous, corrected },
             );
+        }
+        if let Some(m) = self.base.metrics() {
+            m.inc(redcr_mpi::metrics::CounterKey::Votes, self.base.now());
         }
     }
 
@@ -184,6 +187,7 @@ impl<'a> ReplicaComm<'a> {
         ns: Namespace,
         pre_matched: Option<(usize, Bytes)>,
     ) -> Result<Bytes> {
+        let vote_t0 = self.base.now();
         let senders = self.vmap.replicas_of(src_v);
         let r_send = senders.len();
         let mut raw: Vec<Option<Bytes>> = vec![None; r_send];
@@ -262,6 +266,9 @@ impl<'a> ReplicaComm<'a> {
                 }
             }
         };
+        if let Some(m) = self.base.metrics() {
+            m.observe(redcr_mpi::metrics::HistKey::VoteLatency, self.base.now() - vote_t0);
+        }
         Ok(payload)
     }
 
@@ -318,6 +325,9 @@ impl<'a> ReplicaComm<'a> {
                                 sphere: self.my_virtual.as_u32(),
                             },
                         );
+                    }
+                    if let Some(m) = self.base.metrics() {
+                        m.inc(redcr_mpi::metrics::CounterKey::Failovers, self.base.now());
                     }
                 }
                 let (bytes, status) = self.base.recv_ns(RankSelector::Any, tag, ns)?;
@@ -646,5 +656,9 @@ impl Communicator for ReplicaComm<'_> {
 
     fn recorder(&self) -> Option<&redcr_mpi::trace::Recorder> {
         self.base.recorder()
+    }
+
+    fn metrics(&self) -> Option<&redcr_mpi::metrics::RankMetrics> {
+        self.base.metrics()
     }
 }

@@ -4,6 +4,7 @@
 use std::sync::Arc;
 
 use redcr_model::partition::{AssignmentStrategy, RedundancyPartition};
+use redcr_mpi::metrics::MetricsRegistry;
 use redcr_mpi::trace::Collector;
 use redcr_mpi::{Comm, CostModel, MpiError, Result, World};
 
@@ -41,6 +42,7 @@ impl ReplicatedWorld {
             start_time: 0.0,
             death_times: None,
             trace: None,
+            metrics: None,
         })
     }
 }
@@ -57,6 +59,7 @@ pub struct ReplicatedWorldBuilder {
     start_time: f64,
     death_times: Option<Vec<f64>>,
     trace: Option<Arc<Collector>>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl ReplicatedWorldBuilder {
@@ -139,6 +142,15 @@ impl ReplicatedWorldBuilder {
         self
     }
 
+    /// Enables metrics collection into `registry` (see
+    /// [`redcr_mpi::WorldBuilder::metrics`]). The replication layer adds
+    /// its own counters on top of the base runtime's: votes, wildcard
+    /// leader failovers, and per-receive vote latency.
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
     /// Number of physical ranks this configuration will spawn.
     pub fn n_physical(&self) -> usize {
         self.partition.total_physical() as usize
@@ -173,6 +185,9 @@ impl ReplicatedWorldBuilder {
         }
         if let Some(collector) = self.trace {
             world = world.trace(collector);
+        }
+        if let Some(registry) = self.metrics {
+            world = world.metrics(registry);
         }
         let report = world.run(move |base: &Comm| {
             let mut comm = ReplicaComm::with_vote_cost(base, Arc::clone(&vmap), mode, vote_cost);

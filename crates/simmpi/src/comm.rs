@@ -6,6 +6,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use bytes::Bytes;
+use redcr_metrics::{CounterKey, HistKey, RankMetrics};
 use redcr_trace::{EventKind, Recorder};
 
 use crate::communicator::Communicator;
@@ -31,6 +32,7 @@ pub struct Comm {
     coll_seq: Cell<u64>,
     next_comm_id: Rc<Cell<u16>>,
     recorder: Option<Rc<Recorder>>,
+    metrics: Option<Rc<RankMetrics>>,
 }
 
 impl Comm {
@@ -39,6 +41,7 @@ impl Comm {
         rank: u32,
         start_time: f64,
         recorder: Option<Rc<Recorder>>,
+        metrics: Option<Rc<RankMetrics>>,
     ) -> Self {
         Comm {
             shared,
@@ -47,6 +50,7 @@ impl Comm {
             coll_seq: Cell::new(0),
             next_comm_id: Rc::new(Cell::new(1)),
             recorder,
+            metrics,
         }
     }
 
@@ -124,7 +128,14 @@ impl Comm {
     }
 
     fn check_abort(&self) -> Result<()> {
-        check_abort(&self.shared, &self.clock, self.rank, self.rank, self.recorder.as_deref())
+        check_abort(
+            &self.shared,
+            &self.clock,
+            self.rank,
+            self.rank,
+            self.recorder.as_deref(),
+            self.metrics.as_deref(),
+        )
     }
 
     /// Marks the whole job aborted (fail-stop escalation) and wakes every
@@ -152,6 +163,7 @@ fn check_abort(
     comm_rank: Rank,
     world_rank: Rank,
     recorder: Option<&Recorder>,
+    metrics: Option<&RankMetrics>,
 ) -> Result<()> {
     let now = clock.now();
     let death = shared.death_time(world_rank);
@@ -162,6 +174,9 @@ fn check_abort(
         if shared.mark_dead(world_rank) {
             if let Some(rec) = recorder {
                 rec.record(death, EventKind::Death);
+            }
+            if let Some(m) = metrics {
+                m.inc(CounterKey::Deaths, death);
             }
         }
         return Err(MpiError::Dead { rank: world_rank, at: death });
@@ -187,11 +202,19 @@ struct Endpoint<'a> {
     comm_rank: Rank,
     comm_id: u16,
     recorder: Option<&'a Recorder>,
+    metrics: Option<&'a RankMetrics>,
 }
 
 impl Endpoint<'_> {
     fn check_abort(&self) -> Result<()> {
-        check_abort(self.shared, self.clock, self.comm_rank, self.world_rank, self.recorder)
+        check_abort(
+            self.shared,
+            self.clock,
+            self.comm_rank,
+            self.world_rank,
+            self.recorder,
+            self.metrics,
+        )
     }
 
     /// Returns the awaited world rank if `src` names a specific sender that
@@ -229,6 +252,12 @@ impl Endpoint<'_> {
         });
         if let Some(rec) = self.recorder {
             rec.record(self.clock.now(), EventKind::Send { to: world_dest.as_u32(), bytes });
+        }
+        if let Some(m) = self.metrics {
+            let now = self.clock.now();
+            m.inc(CounterKey::Sends, now);
+            m.add(CounterKey::BytesSent, bytes, now);
+            m.observe(HistKey::PayloadSize, bytes as f64);
         }
         Ok(())
     }
@@ -272,6 +301,12 @@ impl Endpoint<'_> {
                 self.clock.now(),
                 EventKind::Recv { from: env.src.as_u32(), bytes: env.payload.len() as u64 },
             );
+        }
+        if let Some(m) = self.metrics {
+            let now = self.clock.now();
+            m.inc(CounterKey::Recvs, now);
+            m.add(CounterKey::BytesReceived, env.payload.len() as u64, now);
+            m.observe(HistKey::MessageLatency, now - env.send_time);
         }
     }
 
@@ -459,6 +494,10 @@ impl Communicator for Comm {
     fn recorder(&self) -> Option<&Recorder> {
         self.recorder.as_deref()
     }
+
+    fn metrics(&self) -> Option<&RankMetrics> {
+        self.metrics.as_deref()
+    }
 }
 
 impl Comm {
@@ -470,6 +509,7 @@ impl Comm {
             comm_rank: self.rank,
             comm_id: 0,
             recorder: self.recorder.as_deref(),
+            metrics: self.metrics.as_deref(),
         }
     }
 
@@ -500,6 +540,7 @@ pub struct SubComm {
     my_sub_rank: Rank,
     my_world_rank: Rank,
     recorder: Option<Rc<Recorder>>,
+    metrics: Option<Rc<RankMetrics>>,
 }
 
 impl SubComm {
@@ -521,6 +562,7 @@ impl SubComm {
             my_sub_rank,
             my_world_rank: parent.rank,
             recorder: parent.recorder.clone(),
+            metrics: parent.metrics.clone(),
         })
     }
 
@@ -537,6 +579,7 @@ impl SubComm {
             comm_rank: self.my_sub_rank,
             comm_id: self.comm_id,
             recorder: self.recorder.as_deref(),
+            metrics: self.metrics.as_deref(),
         }
     }
 
@@ -579,6 +622,7 @@ impl SubComm {
             self.my_sub_rank,
             self.my_world_rank,
             self.recorder.as_deref(),
+            self.metrics.as_deref(),
         )
     }
 }
@@ -681,5 +725,9 @@ impl Communicator for SubComm {
 
     fn recorder(&self) -> Option<&Recorder> {
         self.recorder.as_deref()
+    }
+
+    fn metrics(&self) -> Option<&RankMetrics> {
+        self.metrics.as_deref()
     }
 }

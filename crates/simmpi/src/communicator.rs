@@ -131,6 +131,15 @@ pub trait Communicator {
         None
     }
 
+    /// This rank's metrics shard, when the world was built with metrics
+    /// enabled (see `WorldBuilder::metrics`). Interposition layers count
+    /// their own events (votes, failovers, checkpoint commits) through this
+    /// hook; the default is no shard, so metrics cost one `Option` check
+    /// unless enabled.
+    fn metrics(&self) -> Option<&redcr_metrics::RankMetrics> {
+        None
+    }
+
     // ------------------------------------------------------------------
     // Provided point-to-point conveniences
     // ------------------------------------------------------------------

@@ -81,6 +81,11 @@ mod error;
 /// [`trace::Collector`] afterwards.
 pub use redcr_trace as trace;
 
+/// The metrics layer (re-exported from `redcr-metrics`): enable it with
+/// [`WorldBuilder::metrics`], pull totals and the virtual-time series out of
+/// the [`metrics::MetricsRegistry`] afterwards.
+pub use redcr_metrics as metrics;
+
 pub use comm::{Comm, SubComm};
 pub use communicator::Communicator;
 pub use error::{MpiError, Result};

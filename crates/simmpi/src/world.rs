@@ -4,6 +4,7 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use redcr_metrics::{GaugeKey, MetricsRegistry, RankMetrics};
 use redcr_trace::{Collector, EventKind, Recorder};
 
 use crate::comm::Comm;
@@ -32,6 +33,7 @@ impl World {
             start_time: 0.0,
             death_times: None,
             trace: None,
+            metrics: None,
         }
     }
 }
@@ -45,6 +47,7 @@ pub struct WorldBuilder {
     start_time: f64,
     death_times: Option<Vec<f64>>,
     trace: Option<Arc<Collector>>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl WorldBuilder {
@@ -103,6 +106,19 @@ impl WorldBuilder {
         self
     }
 
+    /// Enables metrics collection into `registry`: every rank gets a
+    /// thread-local [`RankMetrics`] shard (reachable through
+    /// [`Communicator::metrics`](crate::Communicator::metrics)) whose
+    /// counters, histograms and timestamped increments are absorbed into
+    /// the registry at rank teardown, after stamping the rank's final
+    /// virtual time into the [`GaugeKey::VirtualTime`] gauge. Metrics never
+    /// advance a virtual clock, so enabling them does not change what the
+    /// run computes.
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
     /// Number of ranks.
     pub fn size(&self) -> usize {
         self.n
@@ -132,6 +148,8 @@ impl WorldBuilder {
         let start_time = self.start_time;
         let trace = self.trace;
         let trace = trace.as_ref();
+        let metrics = self.metrics;
+        let metrics = metrics.as_ref();
         let f = &f;
         let mut slots: Vec<Option<(Result<T>, RankTiming)>> = Vec::new();
         slots.resize_with(self.n, || None);
@@ -142,7 +160,9 @@ impl WorldBuilder {
                 let shared = Arc::clone(&shared);
                 handles.push(scope.spawn(move || {
                     let recorder = trace.map(|_| Rc::new(Recorder::new(rank as u32)));
-                    let comm = Comm::new(shared, rank as u32, start_time, recorder.clone());
+                    let shard = metrics.map(|_| Rc::new(RankMetrics::new(rank as u32)));
+                    let comm =
+                        Comm::new(shared, rank as u32, start_time, recorder.clone(), shard.clone());
                     let result = f(&comm);
                     match &result {
                         // An injected per-rank death is survivable by
@@ -166,6 +186,10 @@ impl WorldBuilder {
                             EventKind::RankFinish { busy: timing.busy, comm: timing.comm },
                         );
                         collector.absorb(rec.drain());
+                    }
+                    if let (Some(registry), Some(shard)) = (metrics, shard) {
+                        shard.set_gauge(GaugeKey::VirtualTime, timing.finish, timing.finish);
+                        registry.absorb(shard.drain());
                     }
                     (result, timing)
                 }));

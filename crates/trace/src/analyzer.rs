@@ -16,9 +16,89 @@
 //! [`Analysis::totals`] can be asserted **exactly equal** to the
 //! `ExecutionReport` counters of the run that produced the trace.
 
+use std::fmt;
+
 use crate::event::{Event, EventKind};
-use crate::jsonl::TraceError;
 use crate::recorder::Trace;
+
+/// Structural defects [`Analysis::analyze`] rejects (it never panics on a
+/// malformed trace). Convertible into
+/// [`TraceError`](crate::TraceError) for callers that mix parse and replay
+/// errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalyzeError {
+    /// The trace contains no events at all.
+    EmptyTrace,
+    /// An `AttemptStart` arrived while an earlier attempt was still open.
+    NestedStart {
+        /// The attempt still open.
+        open: u64,
+        /// The attempt that tried to start.
+        attempt: u64,
+    },
+    /// An `AttemptEnd` arrived with no attempt open.
+    UnmatchedEnd {
+        /// The attempt the stray end named.
+        attempt: u64,
+    },
+    /// An `AttemptEnd` named a different attempt than the open one.
+    MismatchedEnd {
+        /// The attempt that was open.
+        open: u64,
+        /// The attempt the end named.
+        attempt: u64,
+    },
+    /// The trace ended with an attempt still open.
+    NeverEnded {
+        /// The attempt left open.
+        attempt: u64,
+    },
+    /// Attempt numbers went backwards (they must strictly increase).
+    OutOfOrder {
+        /// The previously completed attempt.
+        prev: u64,
+        /// The attempt that started out of order.
+        attempt: u64,
+    },
+    /// A rank emitted an event after its own `RankFinish` within the same
+    /// attempt — rank streams are drained exactly once at teardown, so
+    /// this can only come from a corrupted or hand-edited trace.
+    EventAfterTeardown {
+        /// The offending rank.
+        rank: u32,
+        /// The attempt it happened in.
+        attempt: u64,
+    },
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::EmptyTrace => write!(f, "trace has no events"),
+            AnalyzeError::NestedStart { open, attempt } => {
+                write!(f, "attempt {attempt} started while {open} still open")
+            }
+            AnalyzeError::UnmatchedEnd { attempt } => {
+                write!(f, "attempt {attempt} ended without a start")
+            }
+            AnalyzeError::MismatchedEnd { open, attempt } => {
+                write!(f, "attempt {attempt} ended while {open} was open")
+            }
+            AnalyzeError::NeverEnded { attempt } => {
+                write!(f, "attempt {attempt} never ended")
+            }
+            AnalyzeError::OutOfOrder { prev, attempt } => {
+                write!(f, "attempt {attempt} started after attempt {prev} (must increase)")
+            }
+            AnalyzeError::EventAfterTeardown { rank, attempt } => {
+                write!(f, "rank {rank} emitted an event after its teardown in attempt {attempt}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
 
 /// The result of replaying one trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -118,14 +198,23 @@ impl Analysis {
     ///
     /// # Errors
     ///
-    /// Returns [`TraceError::Malformed`] when the bracket structure is
-    /// broken (an `AttemptEnd` without a matching `AttemptStart`, or
-    /// mismatched attempt numbers).
-    pub fn analyze(trace: &Trace) -> Result<Analysis, TraceError> {
+    /// Returns a typed [`AnalyzeError`] when the trace is structurally
+    /// invalid: empty, broken attempt brackets (nested, unmatched,
+    /// mismatched, never-ended or out-of-order), or a rank event after
+    /// that rank's teardown. Malformed traces are rejected, never panicked
+    /// on.
+    pub fn analyze(trace: &Trace) -> Result<Analysis, AnalyzeError> {
+        if trace.events.is_empty() {
+            return Err(AnalyzeError::EmptyTrace);
+        }
         let mut spheres: Vec<Vec<u32>> = Vec::new();
         let mut attempts: Vec<AttemptSummary> = Vec::new();
         // (attempt number, start time, bracketed events)
         let mut open: Option<(u64, f64, Vec<Event>)> = None;
+        let mut last_attempt: Option<u64> = None;
+        // Ranks whose RankFinish was seen in the open attempt: their
+        // recorder was drained, so no further event of theirs may follow.
+        let mut finished: Vec<u32> = Vec::new();
 
         for event in &trace.events {
             match &event.kind {
@@ -140,23 +229,27 @@ impl Analysis {
                 }
                 EventKind::AttemptStart { attempt } => {
                     if let Some((prev, _, _)) = open {
-                        return Err(TraceError::Malformed {
-                            what: format!("attempt {attempt} started while {prev} still open"),
-                        });
+                        return Err(AnalyzeError::NestedStart { open: prev, attempt: *attempt });
+                    }
+                    if let Some(prev) = last_attempt {
+                        if *attempt <= prev {
+                            return Err(AnalyzeError::OutOfOrder { prev, attempt: *attempt });
+                        }
                     }
                     open = Some((*attempt, event.time, Vec::new()));
+                    finished.clear();
                 }
                 EventKind::AttemptEnd { attempt, completed, rel_end, rel_failure, killer } => {
                     let Some((number, start, events)) = open.take() else {
-                        return Err(TraceError::Malformed {
-                            what: format!("attempt {attempt} ended without a start"),
-                        });
+                        return Err(AnalyzeError::UnmatchedEnd { attempt: *attempt });
                     };
                     if number != *attempt {
-                        return Err(TraceError::Malformed {
-                            what: format!("attempt {attempt} ended while {number} was open"),
+                        return Err(AnalyzeError::MismatchedEnd {
+                            open: number,
+                            attempt: *attempt,
                         });
                     }
+                    last_attempt = Some(number);
                     attempts.push(summarize(
                         number,
                         start,
@@ -169,8 +262,19 @@ impl Analysis {
                         &spheres,
                     ));
                 }
-                _ => {
-                    if let Some((_, _, events)) = open.as_mut() {
+                kind => {
+                    if let Some((number, _, events)) = open.as_mut() {
+                        if let Some(rank) = event.rank {
+                            if finished.contains(&rank) {
+                                return Err(AnalyzeError::EventAfterTeardown {
+                                    rank,
+                                    attempt: *number,
+                                });
+                            }
+                            if matches!(kind, EventKind::RankFinish { .. }) {
+                                finished.push(rank);
+                            }
+                        }
                         events.push(event.clone());
                     }
                 }
@@ -178,7 +282,7 @@ impl Analysis {
         }
 
         if let Some((number, _, _)) = open {
-            return Err(TraceError::Malformed { what: format!("attempt {number} never ended") });
+            return Err(AnalyzeError::NeverEnded { attempt: number });
         }
         Ok(Analysis { spheres, attempts })
     }
@@ -478,24 +582,97 @@ mod tests {
         assert!(matches!(timeline[1].kind, EventKind::Send { .. }));
     }
 
-    #[test]
-    fn malformed_brackets_rejected() {
-        let end = ev(
-            1.0,
+    fn end(time: f64, attempt: u64) -> Event {
+        ev(
+            time,
             None,
             EventKind::AttemptEnd {
-                attempt: 0,
+                attempt,
                 completed: true,
-                rel_end: 1.0,
+                rel_end: time,
                 rel_failure: f64::INFINITY,
                 killer: None,
             },
-        );
-        let err = Analysis::analyze(&Trace { events: vec![end] }).unwrap_err();
-        assert!(matches!(err, TraceError::Malformed { .. }), "{err}");
+        )
+    }
+
+    #[test]
+    fn malformed_brackets_rejected() {
+        let err = Analysis::analyze(&Trace { events: vec![end(1.0, 0)] }).unwrap_err();
+        assert_eq!(err, AnalyzeError::UnmatchedEnd { attempt: 0 });
 
         let start = ev(0.0, None, EventKind::AttemptStart { attempt: 0 });
-        let err = Analysis::analyze(&Trace { events: vec![start] }).unwrap_err();
-        assert!(matches!(err, TraceError::Malformed { .. }), "{err}");
+        let err = Analysis::analyze(&Trace { events: vec![start.clone()] }).unwrap_err();
+        assert_eq!(err, AnalyzeError::NeverEnded { attempt: 0 });
+
+        let nested = ev(0.5, None, EventKind::AttemptStart { attempt: 1 });
+        let err = Analysis::analyze(&Trace { events: vec![start.clone(), nested] }).unwrap_err();
+        assert_eq!(err, AnalyzeError::NestedStart { open: 0, attempt: 1 });
+
+        let err = Analysis::analyze(&Trace { events: vec![start, end(1.0, 7)] }).unwrap_err();
+        assert_eq!(err, AnalyzeError::MismatchedEnd { open: 0, attempt: 7 });
+    }
+
+    #[test]
+    fn empty_trace_rejected() {
+        let err = Analysis::analyze(&Trace { events: vec![] }).unwrap_err();
+        assert_eq!(err, AnalyzeError::EmptyTrace);
+        assert_eq!(err.to_string(), "trace has no events");
+    }
+
+    #[test]
+    fn out_of_order_attempts_rejected() {
+        let events = vec![
+            ev(0.0, None, EventKind::AttemptStart { attempt: 2 }),
+            end(1.0, 2),
+            ev(1.0, None, EventKind::AttemptStart { attempt: 1 }),
+            end(2.0, 1),
+        ];
+        let err = Analysis::analyze(&Trace { events }).unwrap_err();
+        assert_eq!(err, AnalyzeError::OutOfOrder { prev: 2, attempt: 1 });
+
+        // A repeated attempt number is also out of order.
+        let events = vec![
+            ev(0.0, None, EventKind::AttemptStart { attempt: 0 }),
+            end(1.0, 0),
+            ev(1.0, None, EventKind::AttemptStart { attempt: 0 }),
+            end(2.0, 0),
+        ];
+        let err = Analysis::analyze(&Trace { events }).unwrap_err();
+        assert_eq!(err, AnalyzeError::OutOfOrder { prev: 0, attempt: 0 });
+    }
+
+    #[test]
+    fn event_after_rank_teardown_rejected() {
+        let events = vec![
+            ev(0.0, None, EventKind::AttemptStart { attempt: 0 }),
+            ev(1.0, Some(0), EventKind::RankFinish { busy: 1.0, comm: 0.0 }),
+            ev(1.5, Some(0), EventKind::Send { to: 1, bytes: 8 }),
+            end(2.0, 0),
+        ];
+        let err = Analysis::analyze(&Trace { events }).unwrap_err();
+        assert_eq!(err, AnalyzeError::EventAfterTeardown { rank: 0, attempt: 0 });
+
+        // A *different* rank is still free to emit after rank 0 finishes,
+        // and a fresh attempt resets the teardown set.
+        let events = vec![
+            ev(0.0, None, EventKind::AttemptStart { attempt: 0 }),
+            ev(1.0, Some(0), EventKind::RankFinish { busy: 1.0, comm: 0.0 }),
+            ev(1.5, Some(1), EventKind::RankFinish { busy: 1.5, comm: 0.0 }),
+            end(2.0, 0),
+            ev(2.0, None, EventKind::AttemptStart { attempt: 1 }),
+            ev(3.0, Some(0), EventKind::Send { to: 1, bytes: 8 }),
+            ev(3.5, Some(0), EventKind::RankFinish { busy: 1.0, comm: 0.5 }),
+            end(4.0, 1),
+        ];
+        let analysis = Analysis::analyze(&Trace { events }).unwrap();
+        assert_eq!(analysis.attempts.len(), 2);
+    }
+
+    #[test]
+    fn analyze_error_converts_into_trace_error() {
+        let e: crate::TraceError = AnalyzeError::EmptyTrace.into();
+        assert!(matches!(e, crate::TraceError::Analyze(AnalyzeError::EmptyTrace)));
+        assert_eq!(e.to_string(), "malformed trace: trace has no events");
     }
 }

@@ -32,6 +32,9 @@ pub enum TraceError {
         /// What went wrong.
         what: String,
     },
+    /// The trace parsed but failed structural replay (see
+    /// [`AnalyzeError`](crate::analyzer::AnalyzeError)).
+    Analyze(crate::analyzer::AnalyzeError),
 }
 
 impl fmt::Display for TraceError {
@@ -39,11 +42,18 @@ impl fmt::Display for TraceError {
         match self {
             TraceError::Parse { line, what } => write!(f, "trace line {line}: {what}"),
             TraceError::Malformed { what } => write!(f, "malformed trace: {what}"),
+            TraceError::Analyze(e) => write!(f, "malformed trace: {e}"),
         }
     }
 }
 
 impl Error for TraceError {}
+
+impl From<crate::analyzer::AnalyzeError> for TraceError {
+    fn from(e: crate::analyzer::AnalyzeError) -> Self {
+        TraceError::Analyze(e)
+    }
+}
 
 /// Writes a finite float with round-trip `Display`, non-finite as `null`.
 fn push_f64(out: &mut String, x: f64) {

@@ -31,9 +31,11 @@
 pub mod analyzer;
 mod event;
 mod jsonl;
+pub mod perfetto;
 mod recorder;
 
-pub use analyzer::{Analysis, AttemptSummary, DerivedTotals};
+pub use analyzer::{Analysis, AnalyzeError, AttemptSummary, DerivedTotals};
 pub use event::{Event, EventKind};
 pub use jsonl::TraceError;
+pub use perfetto::PerfettoSummary;
 pub use recorder::{Collector, Recorder, Trace};

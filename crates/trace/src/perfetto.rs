@@ -1,0 +1,748 @@
+//! Chrome/Perfetto `trace_event` JSON export of a [`Trace`].
+//!
+//! [`export`] renders a flight-recorder trace as a JSON array in the
+//! [Trace Event Format](https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+//! that both `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev)
+//! open directly:
+//!
+//! - one **track per physical rank** (thread `rank + 1` of process 0),
+//!   named with the rank's sphere and replica index, plus an `executor`
+//!   track (thread 0) carrying one slice per attempt;
+//! - `X` (complete) slices for attempts and for `CheckpointBegin` →
+//!   `CheckpointCommit` windows on each rank;
+//! - `i` (instant) markers for deaths, scheduled fail-stops, wildcard
+//!   leader failovers and checkpoint restores;
+//! - **flow arrows** (`s`/`f` pairs bound to 1 µs `send`/`recv` slices)
+//!   for every matched physical message, paired FIFO per
+//!   `(sender, receiver)` channel within an attempt.
+//!
+//! Timestamps are **virtual microseconds** (virtual seconds × 10⁶), so the
+//! Perfetto timeline reads directly in the paper's virtual time.
+//!
+//! [`validate`] re-parses an emitted document with a small self-contained
+//! JSON reader (the workspace vendors no JSON library) and checks the
+//! structural invariants above, returning a [`PerfettoSummary`] of what it
+//! found — the CI smoke test and the acceptance tests run every export
+//! through it.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::analyzer::{Analysis, AnalyzeError};
+use crate::event::EventKind;
+use crate::recorder::Trace;
+
+/// Virtual seconds → trace microseconds.
+const US: f64 = 1e6;
+
+/// Renders `trace` as a Chrome `trace_event` JSON array.
+///
+/// The trace is replayed through [`Analysis::analyze`] first (for sphere
+/// membership and attempt brackets), so a structurally broken trace is
+/// rejected instead of exported.
+///
+/// # Errors
+///
+/// Returns the [`AnalyzeError`] of the underlying replay when the trace is
+/// malformed.
+pub fn export(trace: &Trace) -> Result<String, AnalyzeError> {
+    let analysis = Analysis::analyze(trace)?;
+
+    // rank -> (sphere, replica) from the recorded topology.
+    let mut roles: BTreeMap<u32, (u32, u32)> = BTreeMap::new();
+    for (sphere, members) in analysis.spheres.iter().enumerate() {
+        for (replica, &rank) in members.iter().enumerate() {
+            roles.insert(rank, (sphere as u32, replica as u32));
+        }
+    }
+    // Every rank that ever emitted an event gets a track, topology or not.
+    for a in &analysis.attempts {
+        for e in &a.events {
+            if let Some(rank) = e.rank {
+                roles.entry(rank).or_insert((u32::MAX, u32::MAX));
+            }
+        }
+    }
+
+    let mut out = String::with_capacity(trace.events.len() * 96 + 1024);
+    out.push_str("[\n");
+    let mut first = true;
+
+    // Track metadata: the executor lane and one lane per physical rank.
+    push_meta(&mut out, &mut first, "process_name", 0, "redcr virtual-time run");
+    push_meta(&mut out, &mut first, "thread_name", 0, "executor");
+    for (&rank, &(sphere, replica)) in &roles {
+        let name = if sphere == u32::MAX {
+            format!("rank {rank}")
+        } else {
+            format!("rank {rank} (sphere {sphere}, replica {replica})")
+        };
+        push_meta(&mut out, &mut first, "thread_name", rank + 1, &name);
+    }
+
+    let mut flow_id = 0u64;
+    for a in &analysis.attempts {
+        // Executor lane: one slice per attempt.
+        push_event(
+            &mut out,
+            &mut first,
+            &[
+                ("name", Js::Str(format!("attempt {}", a.attempt))),
+                ("cat", Js::Raw("\"attempt\"")),
+                ("ph", Js::Raw("\"X\"")),
+                ("ts", Js::Num(a.start * US)),
+                ("dur", Js::Num(((a.end - a.start) * US).max(1.0))),
+                ("pid", Js::Int(0)),
+                ("tid", Js::Int(0)),
+                (
+                    "args",
+                    Js::Args(vec![
+                        ("completed", Js::Bool(a.completed)),
+                        ("rel_end", Js::Num(a.rel_end)),
+                    ]),
+                ),
+            ],
+        );
+
+        // FIFO channel pairing: k-th send on (src, dst) matches the k-th
+        // receive of dst from src. Per-rank event order is time order, so
+        // each channel's send and receive lists are already sorted.
+        let mut sends: BTreeMap<(u32, u32), Vec<(f64, u64)>> = BTreeMap::new();
+        let mut recvs: BTreeMap<(u32, u32), Vec<(f64, u64)>> = BTreeMap::new();
+        // Open checkpoint windows: (rank, seq, begin time).
+        let mut begins: Vec<(u32, u64, f64)> = Vec::new();
+
+        for e in &a.events {
+            let Some(rank) = e.rank else { continue };
+            let tid = rank + 1;
+            let ts = e.time * US;
+            match &e.kind {
+                EventKind::Send { to, bytes } => {
+                    sends.entry((rank, *to)).or_default().push((e.time, *bytes));
+                }
+                EventKind::Recv { from, bytes } => {
+                    recvs.entry((*from, rank)).or_default().push((e.time, *bytes));
+                }
+                EventKind::Death => push_instant(&mut out, &mut first, "death", tid, ts, &[]),
+                EventKind::Injected { rel } => {
+                    push_instant(
+                        &mut out,
+                        &mut first,
+                        "injected",
+                        tid,
+                        ts,
+                        &[("rel", Js::Num(*rel))],
+                    );
+                }
+                EventKind::Failover { sphere } => {
+                    push_instant(
+                        &mut out,
+                        &mut first,
+                        "failover",
+                        tid,
+                        ts,
+                        &[("sphere", Js::Int(u64::from(*sphere)))],
+                    );
+                }
+                EventKind::Restore { seq, cut } => {
+                    push_instant(
+                        &mut out,
+                        &mut first,
+                        "restore",
+                        tid,
+                        ts,
+                        &[("seq", Js::Int(*seq)), ("cut", Js::Num(*cut))],
+                    );
+                }
+                EventKind::CheckpointBegin { seq } => begins.push((rank, *seq, e.time)),
+                EventKind::CheckpointCommit { seq, bytes, cost } => {
+                    // Close this rank's open window for `seq`, if any.
+                    let begin = begins
+                        .iter()
+                        .position(|&(r, s, _)| r == rank && s == *seq)
+                        .map(|i| begins.swap_remove(i).2)
+                        .unwrap_or(e.time);
+                    push_event(
+                        &mut out,
+                        &mut first,
+                        &[
+                            ("name", Js::Str(format!("checkpoint {seq}"))),
+                            ("cat", Js::Raw("\"checkpoint\"")),
+                            ("ph", Js::Raw("\"X\"")),
+                            ("ts", Js::Num(begin * US)),
+                            ("dur", Js::Num(((e.time - begin) * US).max(1.0))),
+                            ("pid", Js::Int(0)),
+                            ("tid", Js::Int(u64::from(tid))),
+                            (
+                                "args",
+                                Js::Args(vec![
+                                    ("bytes", Js::Int(*bytes)),
+                                    ("cost", Js::Num(*cost)),
+                                ]),
+                            ),
+                        ],
+                    );
+                }
+                _ => {}
+            }
+        }
+        // A rank that died mid-checkpoint leaves its begin unmatched.
+        for (rank, seq, time) in begins {
+            push_instant(
+                &mut out,
+                &mut first,
+                "checkpoint begin (no commit)",
+                rank + 1,
+                time * US,
+                &[("seq", Js::Int(seq))],
+            );
+        }
+
+        for ((src, dst), tx) in &sends {
+            let empty = Vec::new();
+            let rx = recvs.get(&(*src, *dst)).unwrap_or(&empty);
+            for (i, &(send_t, bytes)) in tx.iter().enumerate() {
+                let matched = rx.get(i);
+                // The 1 µs anchor slice the flow endpoints bind to.
+                push_event(
+                    &mut out,
+                    &mut first,
+                    &[
+                        ("name", Js::Str(format!("send → {dst}"))),
+                        ("cat", Js::Raw("\"comm\"")),
+                        ("ph", Js::Raw("\"X\"")),
+                        ("ts", Js::Num(send_t * US)),
+                        ("dur", Js::Num(1.0)),
+                        ("pid", Js::Int(0)),
+                        ("tid", Js::Int(u64::from(src + 1))),
+                        ("args", Js::Args(vec![("bytes", Js::Int(bytes))])),
+                    ],
+                );
+                let Some(&(recv_t, _)) = matched else { continue };
+                push_event(
+                    &mut out,
+                    &mut first,
+                    &[
+                        ("name", Js::Str(format!("recv ← {src}"))),
+                        ("cat", Js::Raw("\"comm\"")),
+                        ("ph", Js::Raw("\"X\"")),
+                        ("ts", Js::Num(recv_t * US)),
+                        ("dur", Js::Num(1.0)),
+                        ("pid", Js::Int(0)),
+                        ("tid", Js::Int(u64::from(dst + 1))),
+                        ("args", Js::Args(vec![("bytes", Js::Int(bytes))])),
+                    ],
+                );
+                for (ph, tid, t) in [("\"s\"", src + 1, send_t), ("\"f\"", dst + 1, recv_t)] {
+                    let mut fields = vec![
+                        ("name", Js::Raw("\"msg\"")),
+                        ("cat", Js::Raw("\"msg\"")),
+                        ("ph", Js::Raw(ph)),
+                    ];
+                    if ph == "\"f\"" {
+                        fields.push(("bp", Js::Raw("\"e\"")));
+                    }
+                    fields.extend([
+                        ("id", Js::Int(flow_id)),
+                        ("ts", Js::Num(t * US)),
+                        ("pid", Js::Int(0)),
+                        ("tid", Js::Int(u64::from(tid))),
+                    ]);
+                    push_event(&mut out, &mut first, &fields);
+                }
+                flow_id += 1;
+            }
+        }
+    }
+
+    out.push_str("\n]\n");
+    Ok(out)
+}
+
+/// A JSON fragment to emit: exact integers, floats, strings or raw tokens.
+enum Js {
+    Int(u64),
+    Num(f64),
+    Bool(bool),
+    Str(String),
+    /// A pre-quoted literal (static names, `ph` tags).
+    Raw(&'static str),
+    Args(Vec<(&'static str, Js)>),
+}
+
+fn push_value(out: &mut String, v: &Js) {
+    match v {
+        Js::Int(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Js::Num(x) => {
+            if x.is_finite() {
+                let _ = write!(out, "{x}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Js::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Js::Str(s) => {
+            // Track and slice names are generated ASCII without quotes or
+            // backslashes, so no escaping is needed.
+            let _ = write!(out, "\"{s}\"");
+        }
+        Js::Raw(s) => out.push_str(s),
+        Js::Args(fields) => {
+            out.push('{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{k}\":");
+                push_value(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn push_event(out: &mut String, first: &mut bool, fields: &[(&'static str, Js)]) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push('{');
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{k}\":");
+        push_value(out, v);
+    }
+    out.push('}');
+}
+
+fn push_meta(out: &mut String, first: &mut bool, what: &'static str, tid: u32, name: &str) {
+    push_event(
+        out,
+        first,
+        &[
+            (
+                "name",
+                Js::Raw(match what {
+                    "process_name" => "\"process_name\"",
+                    _ => "\"thread_name\"",
+                }),
+            ),
+            ("ph", Js::Raw("\"M\"")),
+            ("pid", Js::Int(0)),
+            ("tid", Js::Int(u64::from(tid))),
+            ("args", Js::Args(vec![("name", Js::Str(name.to_string()))])),
+        ],
+    );
+}
+
+fn push_instant(
+    out: &mut String,
+    first: &mut bool,
+    name: &'static str,
+    tid: u32,
+    ts: f64,
+    args: &[(&'static str, Js)],
+) {
+    let mut fields = vec![
+        ("name", Js::Raw("")),
+        ("cat", Js::Raw("\"mark\"")),
+        ("ph", Js::Raw("\"i\"")),
+        ("s", Js::Raw("\"t\"")),
+        ("ts", Js::Num(ts)),
+        ("pid", Js::Int(0)),
+        ("tid", Js::Int(u64::from(tid))),
+    ];
+    fields[0].1 = Js::Str(name.to_string());
+    if !args.is_empty() {
+        let owned: Vec<(&'static str, Js)> = args.iter().map(|(k, v)| (*k, clone_js(v))).collect();
+        fields.push(("args", Js::Args(owned)));
+    }
+    push_event(out, first, &fields);
+}
+
+fn clone_js(v: &Js) -> Js {
+    match v {
+        Js::Int(x) => Js::Int(*x),
+        Js::Num(x) => Js::Num(*x),
+        Js::Bool(b) => Js::Bool(*b),
+        Js::Str(s) => Js::Str(s.clone()),
+        Js::Raw(s) => Js::Raw(s),
+        Js::Args(fields) => Js::Args(fields.iter().map(|(k, v)| (*k, clone_js(v))).collect()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+/// What [`validate`] found in an exported document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerfettoSummary {
+    /// Total trace events (including metadata).
+    pub events: usize,
+    /// `thread_name` tracks whose name starts with `"rank "` — one per
+    /// physical rank.
+    pub rank_tracks: usize,
+    /// Complete (`X`) slices.
+    pub slices: usize,
+    /// Instant (`i`) markers.
+    pub instants: usize,
+    /// Flow arrows with both endpoints present (an `s` and an `f` event
+    /// sharing an id).
+    pub flow_pairs: usize,
+}
+
+impl fmt::Display for PerfettoSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} events: {} rank tracks, {} slices, {} instants, {} flow pairs",
+            self.events, self.rank_tracks, self.slices, self.instants, self.flow_pairs
+        )
+    }
+}
+
+/// Structurally validates an exported Perfetto document without any JSON
+/// library: the top level must be an array of objects, every event needs a
+/// `ph` tag, non-metadata events need numeric `ts`/`pid`/`tid`, `X` slices
+/// need a `dur`, and flow endpoints must carry ids.
+///
+/// # Errors
+///
+/// Returns a description of the first violation (or JSON syntax error)
+/// found.
+pub fn validate(json: &str) -> Result<PerfettoSummary, String> {
+    let doc = JsonParser { bytes: json.as_bytes(), pos: 0 }.parse_document()?;
+    let Json::Arr(events) = doc else {
+        return Err("top level is not an array".into());
+    };
+    let mut summary = PerfettoSummary {
+        events: events.len(),
+        rank_tracks: 0,
+        slices: 0,
+        instants: 0,
+        flow_pairs: 0,
+    };
+    let mut starts: Vec<u64> = Vec::new();
+    let mut finishes: Vec<u64> = Vec::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        let Json::Obj(fields) = ev else {
+            return Err(format!("event {i}: not an object"));
+        };
+        let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let num = |key: &str| match get(key) {
+            Some(Json::Num(x)) => Ok(*x),
+            other => Err(format!("event {i}: field {key:?} not a number ({other:?})")),
+        };
+        let Some(Json::Str(ph)) = get("ph") else {
+            return Err(format!("event {i}: missing \"ph\""));
+        };
+        if ph != "M" {
+            num("ts")?;
+            num("pid")?;
+            num("tid")?;
+        }
+        match ph.as_str() {
+            "M" => {
+                let Some(Json::Obj(args)) = get("args") else {
+                    return Err(format!("event {i}: metadata without args"));
+                };
+                if let Some(Json::Str(name)) =
+                    args.iter().find(|(k, _)| k == "name").map(|(_, v)| v)
+                {
+                    if name.starts_with("rank ") {
+                        summary.rank_tracks += 1;
+                    }
+                } else {
+                    return Err(format!("event {i}: metadata args without name"));
+                }
+            }
+            "X" => {
+                num("dur")?;
+                summary.slices += 1;
+            }
+            "i" => summary.instants += 1,
+            "s" | "f" => {
+                let id = num("id")? as u64;
+                if ph == "s" { &mut starts } else { &mut finishes }.push(id);
+            }
+            other => return Err(format!("event {i}: unknown phase {other:?}")),
+        }
+    }
+
+    starts.sort_unstable();
+    finishes.sort_unstable();
+    summary.flow_pairs = finishes.iter().filter(|id| starts.binary_search(id).is_ok()).count();
+    if finishes.len() != summary.flow_pairs || starts.len() != summary.flow_pairs {
+        return Err(format!(
+            "unbalanced flows: {} starts, {} finishes, {} pairs",
+            starts.len(),
+            finishes.len(),
+            summary.flow_pairs
+        ));
+    }
+    Ok(summary)
+}
+
+/// A fully parsed JSON value (validator-side; supports nesting, unlike the
+/// flat JSONL scanner).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn parse_document(mut self) -> Result<Json, String> {
+        let v = self.value()?;
+        self.ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing characters at byte {}", self.pos));
+        }
+        Ok(v)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.bump() {
+            Some(got) if got == b => Ok(()),
+            got => Err(format!("byte {}: expected {:?}, got {got:?}", self.pos, b as char)),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, val: Json) -> Result<Json, String> {
+        for expected in word.bytes() {
+            if self.bump() != Some(expected) {
+                return Err(format!("byte {}: bad literal (expected {word:?})", self.pos));
+            }
+        }
+        Ok(val)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(c) => out.push(c as char),
+                    None => return Err("unterminated escape".into()),
+                },
+                Some(c) => out.push(c as char),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.ws();
+        match self.peek() {
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(Json::Arr(items)),
+                        other => {
+                            return Err(format!(
+                                "byte {}: expected ',' or ']', got {other:?}",
+                                self.pos
+                            ))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.ws();
+                    let key = self.string()?;
+                    self.ws();
+                    self.expect(b':')?;
+                    let val = self.value()?;
+                    fields.push((key, val));
+                    self.ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b'}') => return Ok(Json::Obj(fields)),
+                        other => {
+                            return Err(format!(
+                                "byte {}: expected ',' or '}}', got {other:?}",
+                                self.pos
+                            ))
+                        }
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "non-utf8 number".to_string())?;
+                text.parse::<f64>().map(Json::Num).map_err(|e| format!("bad number {text:?}: {e}"))
+            }
+            other => Err(format!("byte {}: unexpected value start {other:?}", self.pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn ev(time: f64, rank: Option<u32>, kind: EventKind) -> Event {
+        Event { time, rank, kind }
+    }
+
+    fn small_trace() -> Trace {
+        Trace {
+            events: vec![
+                ev(0.0, Some(0), EventKind::Topology { sphere: 0, replica: 0 }),
+                ev(0.0, Some(1), EventKind::Topology { sphere: 1, replica: 0 }),
+                ev(0.0, None, EventKind::AttemptStart { attempt: 0 }),
+                // Rank 0's stream (drained first), then rank 1's: per-rank
+                // time order, not globally sorted — as collected.
+                ev(0.5, Some(0), EventKind::Send { to: 1, bytes: 64 }),
+                ev(1.0, Some(0), EventKind::Send { to: 1, bytes: 32 }),
+                ev(2.0, Some(0), EventKind::CheckpointBegin { seq: 0 }),
+                ev(2.5, Some(0), EventKind::CheckpointCommit { seq: 0, bytes: 128, cost: 0.5 }),
+                ev(3.0, Some(0), EventKind::RankFinish { busy: 2.0, comm: 1.0 }),
+                ev(0.6, Some(1), EventKind::Recv { from: 0, bytes: 64 }),
+                ev(1.1, Some(1), EventKind::Recv { from: 0, bytes: 32 }),
+                ev(2.8, Some(1), EventKind::Death),
+                ev(
+                    3.0,
+                    None,
+                    EventKind::AttemptEnd {
+                        attempt: 0,
+                        completed: true,
+                        rel_end: 3.0,
+                        rel_failure: f64::INFINITY,
+                        killer: None,
+                    },
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn export_validates_with_expected_counts() {
+        let json = export(&small_trace()).unwrap();
+        let summary = validate(&json).unwrap();
+        assert_eq!(summary.rank_tracks, 2);
+        // 1 attempt + 1 checkpoint + 2 send + 2 recv anchor slices.
+        assert_eq!(summary.slices, 6);
+        assert_eq!(summary.flow_pairs, 2, "{summary}");
+        assert_eq!(summary.instants, 1, "one death marker");
+    }
+
+    #[test]
+    fn fifo_pairing_matches_kth_send_to_kth_recv() {
+        let json = export(&small_trace()).unwrap();
+        // The first flow start sits at the first send (0.5 s = 500000 µs)
+        // and its finish at the first receive (0.6 s).
+        let s = json.lines().find(|l| l.contains("\"ph\":\"s\"")).unwrap();
+        assert!(s.contains("\"ts\":500000"), "{s}");
+        let f = json.lines().find(|l| l.contains("\"ph\":\"f\"")).unwrap();
+        assert!(f.contains("\"ts\":600000"), "{f}");
+        assert!(f.contains("\"bp\":\"e\""), "{f}");
+    }
+
+    #[test]
+    fn unmatched_send_gets_slice_but_no_flow() {
+        let events = vec![
+            ev(0.0, None, EventKind::AttemptStart { attempt: 0 }),
+            ev(0.5, Some(0), EventKind::Send { to: 1, bytes: 8 }),
+            ev(
+                1.0,
+                None,
+                EventKind::AttemptEnd {
+                    attempt: 0,
+                    completed: true,
+                    rel_end: 1.0,
+                    rel_failure: f64::INFINITY,
+                    killer: None,
+                },
+            ),
+        ];
+        let json = export(&Trace { events }).unwrap();
+        let summary = validate(&json).unwrap();
+        assert_eq!(summary.flow_pairs, 0);
+        assert!(json.contains("send \u{2192} 1"));
+    }
+
+    #[test]
+    fn malformed_trace_refused() {
+        let err = export(&Trace { events: vec![] }).unwrap_err();
+        assert_eq!(err, AnalyzeError::EmptyTrace);
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        assert!(validate("{}").unwrap_err().contains("not an array"));
+        assert!(validate("[1]").unwrap_err().contains("not an object"));
+        assert!(validate("[{\"no_ph\":1}]").unwrap_err().contains("ph"));
+        // An X slice without dur.
+        let bad = "[{\"ph\":\"X\",\"ts\":0,\"pid\":0,\"tid\":1,\"name\":\"x\"}]";
+        assert!(validate(bad).unwrap_err().contains("dur"));
+        // A flow start with no finish.
+        let bad = "[{\"ph\":\"s\",\"ts\":0,\"pid\":0,\"tid\":1,\"id\":7}]";
+        assert!(validate(bad).unwrap_err().contains("unbalanced"));
+    }
+}

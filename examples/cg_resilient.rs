@@ -24,12 +24,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .checkpoint_interval(10.0)
         .checkpoint_cost(0.5)
         .restart_cost(2.0)
-        .seed(2012);
+        .seed(2012)
+        .metrics(true);
 
     let executor = ResilientExecutor::new(config);
     let report = executor.run(&app)?;
 
-    println!("{report}");
+    println!("{}", report.summarize());
     println!();
     println!("failure log:");
     for event in report.failure_trace.events() {

@@ -5,7 +5,10 @@
 //! cargo run --example quickstart
 //! ```
 
+use redcr::apps::cg::CgConfig;
+use redcr::core::apps::CgApp;
 use redcr::core::planner::Planner;
+use redcr::core::{ExecutorConfig, ResilientExecutor};
 use redcr::model::optimizer::CostWeights;
 use redcr::model::units;
 
@@ -44,5 +47,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "minimizing node-hours instead: {}x, {:.0} node-hours ({:.1} h wallclock)",
         thrifty.degree, thrifty.predicted.node_hours, thrifty.predicted.total_time
     );
+
+    // Then actually *run* a pocket-sized job at the recommended shape on
+    // the virtual-time executor, with the metrics plane on, and print the
+    // human-readable summary.
+    let app = CgApp::new(CgConfig::small(64), 10).with_step_pad(1.0);
+    let config = ExecutorConfig::new(4, plan.degree)
+        .node_mtbf(120.0)
+        .checkpoint_interval(5.0)
+        .checkpoint_cost(0.2)
+        .restart_cost(1.0)
+        .seed(7)
+        .metrics(true);
+    let report = ResilientExecutor::new(config).run(&app)?;
+    println!();
+    println!("a pocket-sized run at {}x on the simulator:", plan.degree);
+    println!("{}", report.summarize());
     Ok(())
 }

@@ -18,7 +18,10 @@
 //! * [`apps`] — CG / Jacobi / EP kernels.
 //! * [`cluster`] — discrete-event job simulator at exascale node counts.
 //! * [`core`] — the combined planner + resilient executor.
-//! * [`trace`] — virtual-time flight recorder, JSONL export and analyzer.
+//! * [`trace`] — virtual-time flight recorder, JSONL/Perfetto export and
+//!   analyzer.
+//! * [`metrics`] — virtual-time metrics registry (counters, gauges, log2
+//!   histograms) with a configurable-cadence scraper.
 //!
 //! # Quickstart
 //!
@@ -49,6 +52,7 @@ pub use redcr_ckpt as ckpt;
 pub use redcr_cluster as cluster;
 pub use redcr_core as core;
 pub use redcr_fault as fault;
+pub use redcr_metrics as metrics;
 pub use redcr_model as model;
 pub use redcr_mpi as mpi;
 pub use redcr_red as red;

@@ -1,0 +1,164 @@
+//! Metrics-plane acceptance tests through the `redcr` facade:
+//!
+//! * toggling [`ExecutorConfig::metrics`] must leave every
+//!   `ExecutionReport` total **bit-identical** — the metrics plane reads
+//!   virtual clocks, it never advances one;
+//! * the virtual-time scraper's counter series must be monotone
+//!   non-decreasing with its final sample equal to the drained totals;
+//! * a traced storm run must export valid Perfetto JSON (one track per
+//!   physical rank, at least one matched send/recv flow pair);
+//! * the validation sidecar's per-rank α must match the trace analyzer's
+//!   derivation exactly (same bits).
+
+use redcr::apps::cg::{CgConfig, CgSolver, CgState};
+use redcr::core::{ExecutorConfig, ModelValidation, ResilientApp, ResilientExecutor};
+use redcr::metrics::{CounterKey, HistKey};
+use redcr::mpi::Communicator;
+use redcr::trace::{perfetto, Analysis};
+
+struct CgApp {
+    solver: CgSolver,
+    iterations: u64,
+    pad: f64,
+}
+
+impl ResilientApp for CgApp {
+    type State = CgState;
+
+    fn init<C: Communicator>(&self, comm: &C) -> redcr::mpi::Result<CgState> {
+        self.solver.init_state(comm)
+    }
+
+    fn step<C: Communicator>(&self, comm: &C, state: &mut CgState) -> redcr::mpi::Result<()> {
+        comm.compute(self.pad)?;
+        self.solver.step(comm, state)?;
+        Ok(())
+    }
+
+    fn is_done(&self, state: &CgState) -> bool {
+        state.iteration >= self.iterations
+    }
+}
+
+fn cg_app(n: usize, iterations: u64, pad: f64) -> CgApp {
+    CgApp { solver: CgSolver::new(CgConfig::small(n)), iterations, pad }
+}
+
+/// The trace_analyzer storm: 2x redundancy under a harsh MTBF — restarts,
+/// masked deaths, checkpoints, the lot.
+fn storm_config() -> ExecutorConfig {
+    ExecutorConfig::new(4, 2.0)
+        .node_mtbf(25.0)
+        .checkpoint_interval(4.0)
+        .checkpoint_cost(0.1)
+        .restart_cost(0.5)
+        .seed(8)
+}
+
+#[test]
+fn metrics_toggle_leaves_report_totals_bit_identical() {
+    let app = cg_app(32, 30, 1.0);
+    let off = ResilientExecutor::new(storm_config()).run(&app).unwrap();
+    let on = ResilientExecutor::new(storm_config().metrics(true)).run(&app).unwrap();
+
+    assert!(off.metrics.is_none());
+    assert!(on.metrics.is_some());
+    assert!(on.failures > 0, "storm run must see failures");
+
+    assert_eq!(on.total_virtual_time.to_bits(), off.total_virtual_time.to_bits());
+    assert_eq!(on.degraded_sphere_seconds.to_bits(), off.degraded_sphere_seconds.to_bits());
+    assert_eq!(on.node_seconds.to_bits(), off.node_seconds.to_bits());
+    assert_eq!(on.attempts, off.attempts);
+    assert_eq!(on.failures, off.failures);
+    assert_eq!(on.masked_failures, off.masked_failures);
+    assert_eq!(on.checkpoints_committed, off.checkpoints_committed);
+    assert_eq!(on.physical_messages, off.physical_messages);
+    assert_eq!(on.physical_bytes, off.physical_bytes);
+    assert_eq!(on.replication.votes, off.replication.votes);
+}
+
+#[test]
+fn metrics_totals_agree_with_report_counters() {
+    let report =
+        ResilientExecutor::new(storm_config().metrics(true)).run(&cg_app(32, 30, 1.0)).unwrap();
+    let m = report.metrics.as_ref().unwrap();
+    let t = &m.totals;
+    assert_eq!(t.counter(CounterKey::Sends), report.physical_messages);
+    assert_eq!(t.counter(CounterKey::BytesSent), report.physical_bytes);
+    // Replication stats drop the snapshots of ranks that died mid-attempt;
+    // the metrics shard is drained at teardown regardless, so it sees at
+    // least as many votes.
+    assert!(t.counter(CounterKey::Votes) >= report.replication.votes);
+    assert_eq!(t.counter(CounterKey::Attempts), report.attempts);
+    assert_eq!(t.counter(CounterKey::Restarts), report.failures);
+    assert_eq!(t.counter(CounterKey::MaskedFailures), report.masked_failures);
+    assert!(t.counter(CounterKey::CheckpointCommits) > 0);
+    assert_eq!(
+        t.histogram(HistKey::MessageLatency).count(),
+        t.counter(CounterKey::Recvs),
+        "every receive observes one latency"
+    );
+    // Per-rank counters decompose the totals.
+    let per_rank_sends: u64 = m.per_rank_counter(CounterKey::Sends).iter().map(|&(_, v)| v).sum();
+    assert_eq!(per_rank_sends, report.physical_messages);
+}
+
+#[test]
+fn scraped_series_is_monotone_and_lands_on_totals() {
+    let report =
+        ResilientExecutor::new(storm_config().metrics(true)).run(&cg_app(32, 30, 1.0)).unwrap();
+    let m = report.metrics.as_ref().unwrap();
+    assert!(m.series.len() > 2, "a multi-second run scrapes several samples");
+
+    for key in CounterKey::ALL {
+        let mut prev_t = f64::NEG_INFINITY;
+        let mut prev_v = 0u64;
+        for p in &m.series {
+            assert!(p.time >= prev_t, "scrape grid must not go backwards");
+            let v = p.counter(key);
+            assert!(v >= prev_v, "{}: {} < {} at t={}", key.name(), v, prev_v, p.time);
+            prev_t = p.time;
+            prev_v = v;
+        }
+        assert_eq!(
+            m.series.last().unwrap().counter(key),
+            m.totals.counter(key),
+            "{}: final sample must equal the drained total",
+            key.name()
+        );
+    }
+}
+
+#[test]
+fn storm_trace_exports_valid_perfetto_json() {
+    let cfg = storm_config().tracing(true);
+    let n_physical = (cfg.n_virtual as f64 * cfg.degree).ceil() as usize;
+    let report = ResilientExecutor::new(cfg).run(&cg_app(32, 30, 1.0)).unwrap();
+    let trace = report.trace.as_ref().unwrap();
+
+    let json = perfetto::export(trace).unwrap();
+    let summary = perfetto::validate(&json).expect("export must pass its own validator");
+    assert_eq!(summary.rank_tracks, n_physical, "one track per physical rank");
+    assert!(summary.flow_pairs >= 1, "at least one matched send/recv flow: {summary}");
+    assert!(summary.slices > 0 && summary.instants > 0, "{summary}");
+}
+
+#[test]
+fn validation_sidecar_alphas_match_analyzer_exactly() {
+    let cfg = storm_config().tracing(true).metrics(true);
+    let report = ResilientExecutor::new(cfg.clone()).run(&cg_app(32, 30, 1.0)).unwrap();
+    let trace = report.trace.as_ref().unwrap();
+    let analysis = Analysis::analyze(trace).unwrap();
+
+    let v = ModelValidation::from_run(&cfg, &report).unwrap();
+    let expected = &analysis.attempts.last().unwrap().alphas;
+    assert_eq!(v.ranks.len(), expected.len());
+    for (m, &(rank, alpha)) in v.ranks.iter().zip(expected) {
+        assert_eq!(m.rank, rank);
+        assert_eq!(m.alpha.to_bits(), alpha.to_bits(), "rank {rank} α must be verbatim");
+    }
+    assert_eq!(v.failures, report.failures);
+    assert_eq!(v.masked_failures, report.masked_failures);
+    assert!(v.predicted_total.is_finite() && v.predicted_total > 0.0);
+    assert!(v.to_json().contains("\"schema\": \"redcr-model-validation/1\""));
+}

@@ -17,7 +17,6 @@
 //! saves, and resuming from a restored state continues the solve
 //! identically.
 
-use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 use redcr_mpi::collectives::ReduceOp;
@@ -132,7 +131,7 @@ impl CgSolver {
         debug_assert_eq!(state.p.len(), hi - lo);
 
         // 1. Assemble the full search direction p (irregular exchange).
-        let parts = comm.allgather(Bytes::from(datatype::encode_f64s(&state.p)))?;
+        let parts = comm.allgather(datatype::f64s_to_bytes(&state.p))?;
         let mut p_full = Vec::with_capacity(n);
         for part in &parts {
             p_full.extend(datatype::decode_f64s(part)?);
@@ -197,7 +196,7 @@ impl CgSolver {
     ///
     /// Propagates runtime errors (abort).
     pub fn verify<C: Communicator>(&self, comm: &C, state: &CgState) -> Result<f64> {
-        let parts = comm.allgather(Bytes::from(datatype::encode_f64s(&state.x)))?;
+        let parts = comm.allgather(datatype::f64s_to_bytes(&state.x))?;
         let mut x_full = Vec::with_capacity(self.config.n);
         for part in &parts {
             x_full.extend(datatype::decode_f64s(part)?);

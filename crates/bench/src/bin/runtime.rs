@@ -1,0 +1,63 @@
+//! Wall-clock runtime benchmark: measures how fast the simulator itself
+//! runs (not virtual time) and writes `BENCH_runtime.json` at the repo
+//! root, preserving the committed pre-change baseline so every run reports
+//! a speedup trajectory.
+//!
+//! ```text
+//! cargo run --release -p redcr-bench --bin runtime            # full preset
+//! cargo run --release -p redcr-bench --bin runtime -- smoke   # CI preset
+//! ```
+//!
+//! Set `REDCR_BENCH_RESET_BASELINE=1` to overwrite the stored baseline
+//! with this run's numbers (used exactly once, before a perf change, to
+//! capture the "before" measurement).
+
+use std::path::PathBuf;
+
+use redcr_bench::runtime::{self, Preset, Recorded};
+
+/// Locates the repo root by walking up from the manifest dir (falling back
+/// to the current directory) until a `.git` is found.
+fn repo_root() -> PathBuf {
+    let start = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut dir = start.clone();
+    loop {
+        if dir.join(".git").exists() {
+            return dir;
+        }
+        if !dir.pop() {
+            return std::env::current_dir().unwrap_or(start);
+        }
+    }
+}
+
+fn main() {
+    let preset = std::env::args()
+        .nth(1)
+        .map(|s| Preset::parse(&s).unwrap_or_else(|| panic!("unknown preset {s:?}")))
+        .unwrap_or(Preset::Full);
+
+    let path = repo_root().join("BENCH_runtime.json");
+    let existing = std::fs::read_to_string(&path).ok();
+    let reset = std::env::var("REDCR_BENCH_RESET_BASELINE").is_ok_and(|v| v == "1");
+    let stored = if reset { None } else { existing.as_deref().and_then(runtime::parse_baseline) };
+
+    eprintln!("running runtime benchmark ({} preset)...", preset.name());
+    let current = runtime::run_all(preset);
+
+    // A stored baseline only compares against a run of the same preset;
+    // otherwise (first run, reset, or preset switch) this run seeds it.
+    let (note, baseline): (String, Recorded) = match stored {
+        Some((p, note, set)) if p == preset.name() => (note, set),
+        _ => (
+            "pre-change baseline: flat Mutex<VecDeque> mailbox with notify_all broadcast"
+                .to_string(),
+            current.iter().map(|s| (s.name.to_string(), s.m)).collect(),
+        ),
+    };
+
+    print!("{}", runtime::render_table(&current, &baseline));
+    let doc = runtime::render_json(preset, &baseline, &note, &current);
+    std::fs::write(&path, &doc).expect("write BENCH_runtime.json");
+    println!("\nwrote {}", path.display());
+}

@@ -28,9 +28,17 @@ pub mod fig2;
 pub mod fig4_6;
 pub mod output;
 pub mod paper;
+pub mod runtime;
 pub mod table1;
 pub mod table2_3;
 pub mod table4;
 pub mod table5;
 pub mod validation;
 pub mod window;
+
+/// Worker-thread count for Monte-Carlo sweeps: the machine's available
+/// parallelism, clamped to `[1, 64]`, falling back to 8 when the host
+/// cannot report it.
+pub fn worker_threads() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(8).clamp(1, 64)
+}

@@ -36,7 +36,9 @@ fn simulate_row(nodes: u64, job_hours: f64, mtbf_years: f64, seeds: usize) -> Br
     if cfg.evaluate().is_err() {
         return BreakdownRow { nodes, job_hours, mtbf_years, breakdown: None };
     }
-    let agg = monte_carlo(seeds, 8, |seed| simulate_combined(&cfg, FailureExposure::AllTime, seed));
+    let agg = monte_carlo(seeds, crate::worker_threads(), |seed| {
+        simulate_combined(&cfg, FailureExposure::AllTime, seed)
+    });
     let breakdown = match agg {
         Ok(agg) if agg.completed > 0 => {
             let (w, c, r, rs) = agg.mean.breakdown();

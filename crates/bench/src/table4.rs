@@ -85,7 +85,7 @@ pub fn simulate_cell(t5: &Table5, mtbf_hours: f64, degree_idx: usize, seeds: usi
         max_attempts: 200_000,
     };
     let node_mtbf = cfg.node_mtbf;
-    let agg = monte_carlo(seeds, 8, |seed| {
+    let agg = monte_carlo(seeds, crate::worker_threads(), |seed| {
         let groups = ReplicaGroups::from_counts(&counts);
         let mut source = SphereSource::new(groups, node_mtbf, seed);
         simulate_job(&job, &mut source)

@@ -14,7 +14,13 @@ use redcr_mpi::{
 use crate::corruption::{CorruptionInjector, CorruptionModel};
 use crate::stats::ReplicationStats;
 use crate::vmap::VirtualMap;
-use crate::voting::{hash_payload, vote_full, vote_hashed, VoteCost, VotingMode};
+use crate::voting::{hash_payload, vote_hashed, vote_present, VoteCost, VotingMode};
+
+/// Stack capacity for per-receive copy buffers: spheres up to this degree
+/// gather and vote without touching the allocator (the receive path runs
+/// once per virtual message — with the old per-receive `Vec`s the malloc
+/// traffic dominated the replicated hot path's user time).
+const STACK_COPIES: usize = 8;
 
 /// Base of the protocol-namespace tag subrange reserved for the replication
 /// layer's wildcard envelope forwarding (bit 45 set). Other protocol users
@@ -190,7 +196,17 @@ impl<'a> ReplicaComm<'a> {
         let vote_t0 = self.base.now();
         let senders = self.vmap.replicas_of(src_v);
         let r_send = senders.len();
-        let mut raw: Vec<Option<Bytes>> = vec![None; r_send];
+        // Copies live in a stack buffer (sparse: `None` = sender replica
+        // dead) — the common degrees must not touch the allocator on the
+        // per-virtual-message path.
+        let mut stack: [Option<Bytes>; STACK_COPIES] = std::array::from_fn(|_| None);
+        let mut heap: Vec<Option<Bytes>>;
+        let raw: &mut [Option<Bytes>] = if r_send <= STACK_COPIES {
+            &mut stack[..r_send]
+        } else {
+            heap = vec![None; r_send];
+            &mut heap
+        };
         if let Some((k, payload)) = pre_matched {
             raw[k] = Some(payload);
         }
@@ -204,33 +220,30 @@ impl<'a> ReplicaComm<'a> {
                 Err(e) => return Err(e),
             }
         }
-        let present: Vec<usize> = (0..r_send).filter(|&j| raw[j].is_some()).collect();
-        if present.is_empty() {
+        let present = raw.iter().flatten().count();
+        if present == 0 {
             self.base.abort_job();
             return Err(MpiError::SphereDead { virtual_rank: src_v, at: self.base.now() });
         }
-        self.stats.record_virtual_recv(present.len());
+        self.stats.record_virtual_recv(present);
         // Processing the redundant copies (extra buffer handling plus the
         // byte-wise comparison) happens serially on the receive path.
-        let payload_len =
-            present.iter().map(|&j| raw[j].as_ref().expect("present").len()).max().unwrap_or(0);
-        let processing = self.vote_cost.cost(present.len(), payload_len);
+        let payload_len = raw.iter().flatten().map(Bytes::len).max().unwrap_or(0);
+        let processing = self.vote_cost.cost(present, payload_len);
         if processing > 0.0 {
             self.base.charge_comm(processing)?;
         }
 
         let payload = match self.mode {
             VotingMode::AllToAll => {
-                let copies: Vec<Bytes> =
-                    present.iter().map(|&j| raw[j].clone().expect("present")).collect();
-                let outcome = vote_full(&copies);
-                self.record_vote(copies.len(), outcome.unanimous(), outcome.majority);
-                copies[outcome.winner].clone()
+                let outcome = vote_present(raw);
+                self.record_vote(present, outcome.unanimous, outcome.majority);
+                raw[outcome.winner].take().expect("winner is present")
             }
             VotingMode::MsgPlusHash => {
                 if r_send == 1 {
                     self.record_vote(1, true, false);
-                    raw[0].clone().expect("present")
+                    raw[0].take().expect("present")
                 } else {
                     // The pairing rule is fixed at sphere creation (senders
                     // cannot renegotiate it without communicating), so the
@@ -240,7 +253,7 @@ impl<'a> ReplicaComm<'a> {
                     // documented Msg-PlusHash degradation limit and the
                     // failure is unmaskable.
                     let full_idx = self.my_replica % r_send;
-                    let Some(full) = raw[full_idx].clone() else {
+                    let Some(full) = raw[full_idx].take() else {
                         self.base.abort_job();
                         return Err(MpiError::DeadPeer {
                             peer: senders[full_idx],
@@ -248,20 +261,31 @@ impl<'a> ReplicaComm<'a> {
                         });
                     };
                     // Vote over the *present* copies only, so dead replicas
-                    // do not count against the majority.
-                    let full_pos =
-                        present.iter().position(|&j| j == full_idx).expect("full is present");
-                    let mut hashes: Vec<Option<u64>> = Vec::with_capacity(present.len());
-                    for &j in &present {
+                    // do not count against the majority. `raw[full_idx]` was
+                    // just taken, so walk `raw` and keep the full copy's
+                    // slot as the `None` hole `vote_hashed` expects.
+                    let mut hash_stack: [Option<u64>; STACK_COPIES] = [None; STACK_COPIES];
+                    let mut hash_heap: Vec<Option<u64>>;
+                    let hashes: &mut [Option<u64>] = if r_send <= STACK_COPIES {
+                        &mut hash_stack[..r_send]
+                    } else {
+                        hash_heap = vec![None; r_send];
+                        &mut hash_heap
+                    };
+                    let mut full_pos = 0;
+                    let mut filled = 0usize;
+                    for (j, c) in raw.iter().enumerate() {
                         if j == full_idx {
-                            hashes.push(None);
-                        } else {
-                            let bytes = raw[j].as_ref().expect("present");
-                            hashes.push(Some(datatype::decode_u64(bytes)?));
+                            full_pos = filled;
+                            hashes[filled] = None;
+                            filled += 1;
+                        } else if let Some(bytes) = c {
+                            hashes[filled] = Some(datatype::decode_u64(bytes)?);
+                            filled += 1;
                         }
                     }
-                    let outcome = vote_hashed(&full, full_pos, &hashes);
-                    self.record_vote(present.len(), outcome.unanimous(), outcome.majority);
+                    let outcome = vote_hashed(&full, full_pos, &hashes[..filled]);
+                    self.record_vote(present, outcome.unanimous(), outcome.majority);
                     full
                 }
             }
@@ -343,18 +367,15 @@ impl<'a> ReplicaComm<'a> {
         // relaying guarantees that the lowest live replica's resolution
         // reaches every live replica above it, so the sphere never diverges
         // and never deadlocks waiting on a forward that will not come.
-        let envelope = datatype::encode_u64s(&[
+        // Encode once and fan the same shared buffer out to every replica
+        // (a `Bytes` clone is a refcount bump, not a copy).
+        let envelope = datatype::u64s_to_bytes(&[
             src_v.as_u32() as u64,
             resolved_tag.value(),
             pre_matched.as_ref().map_or(0, |(k, _)| *k as u64),
         ]);
         for replica in &my_replicas[self.my_replica + 1..] {
-            match self.base.send_ns(
-                *replica,
-                envelope_tag,
-                Bytes::from(envelope.clone()),
-                Namespace::Protocol,
-            ) {
+            match self.base.send_ns(*replica, envelope_tag, envelope.clone(), Namespace::Protocol) {
                 Ok(()) | Err(MpiError::DeadPeer { .. }) => {}
                 Err(e) => return Err(e),
             }
@@ -487,7 +508,7 @@ impl Communicator for ReplicaComm<'_> {
                 }
             }
             VotingMode::MsgPlusHash => {
-                let hash = Bytes::from(datatype::encode_u64(hash_payload(&data)));
+                let hash = datatype::u64s_to_bytes(&[hash_payload(&data)]);
                 for (i, phys) in receivers.iter().enumerate() {
                     if r_send == 1 || Self::pairs_full(self.my_replica, i, r_send) {
                         let copy = self.maybe_corrupt(data.clone());

@@ -116,6 +116,60 @@ pub fn vote_full(copies: &[Bytes]) -> VoteOutcome {
     VoteOutcome { winner, dissenters, majority: counts[winner] * 2 > n }
 }
 
+/// Allocation-free vote outcome for the receive hot path (no dissenter
+/// list — the callers there only need the winner and the two flags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuickVote {
+    /// Index **into the sparse copy slice** of the winning payload.
+    pub winner: usize,
+    /// Whether all present copies agreed.
+    pub unanimous: bool,
+    /// Whether the winner was backed by a strict majority of present copies.
+    pub majority: bool,
+}
+
+/// [`vote_full`] over a sparse copy list (`None` = copy missing because its
+/// sender replica died), allocation-free. Present copies participate in
+/// index order, so the winner/tie-break behaviour is exactly
+/// [`vote_full`]'s run on the dense list of present copies; the returned
+/// `winner` indexes `raw` directly.
+///
+/// The unanimous case (every present copy bitwise-equal) is decided with a
+/// single comparison pass; only an actual mismatch — silent data corruption,
+/// by construction — pays for per-copy agreement counting.
+///
+/// # Panics
+///
+/// Panics if no copy is present.
+pub fn vote_present(raw: &[Option<Bytes>]) -> QuickVote {
+    let first = raw.iter().position(Option::is_some).expect("cannot vote among zero copies");
+    let reference = raw[first].as_ref().expect("present");
+    let mut n = 0usize;
+    let mut unanimous = true;
+    for c in raw.iter().flatten() {
+        n += 1;
+        if c != reference {
+            unanimous = false;
+        }
+    }
+    if unanimous {
+        return QuickVote { winner: first, unanimous: true, majority: true };
+    }
+    // Mismatch: count agreements pairwise, exactly like `vote_full` on the
+    // dense present list (most votes wins, ties break to the lowest index).
+    let mut winner = first;
+    let mut winner_count = 0usize;
+    for (i, a) in raw.iter().enumerate() {
+        let Some(a) = a else { continue };
+        let count = raw.iter().flatten().filter(|b| *b == a).count();
+        if count > winner_count {
+            winner = i;
+            winner_count = count;
+        }
+    }
+    QuickVote { winner, unanimous: false, majority: winner_count * 2 > n }
+}
+
 /// Votes among one full payload (`full_idx` within the logical copy list)
 /// and hashes for the remaining copies, as received in Msg-PlusHash mode.
 /// `hashes[i]` is `None` for the full copy's own slot.

@@ -75,6 +75,42 @@ impl ReduceOp {
         }
         Ok(())
     }
+
+    /// [`fold_f64`](Self::fold_f64) with the operand still in its
+    /// little-endian wire encoding: combines element-by-element straight
+    /// out of the receive buffer, skipping the intermediate decoded
+    /// vector the reduction trees would otherwise allocate every round.
+    /// Identical combine order, so results are bit-for-bit the same.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpiError::CollectiveMismatch`] when the encoded operand
+    /// length differs from `acc`.
+    pub fn fold_f64_bytes(self, acc: &mut [f64], bytes: &[u8]) -> Result<()> {
+        if bytes.len() != acc.len() * 8 {
+            return Err(MpiError::CollectiveMismatch { what: "reduce operand lengths differ" });
+        }
+        for (a, c) in acc.iter_mut().zip(bytes.chunks_exact(8)) {
+            *a = self.combine_f64(*a, f64::from_le_bytes(c.try_into().expect("chunk of 8")));
+        }
+        Ok(())
+    }
+
+    /// [`fold_u64`](Self::fold_u64) straight from the wire encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpiError::CollectiveMismatch`] when the encoded operand
+    /// length differs from `acc`.
+    pub fn fold_u64_bytes(self, acc: &mut [u64], bytes: &[u8]) -> Result<()> {
+        if bytes.len() != acc.len() * 8 {
+            return Err(MpiError::CollectiveMismatch { what: "reduce operand lengths differ" });
+        }
+        for (a, c) in acc.iter_mut().zip(bytes.chunks_exact(8)) {
+            *a = self.combine_u64(*a, u64::from_le_bytes(c.try_into().expect("chunk of 8")));
+        }
+        Ok(())
+    }
 }
 
 /// Frames a list of byte chunks into one length-prefixed buffer

@@ -11,13 +11,43 @@ use redcr_trace::{EventKind, Recorder};
 
 use crate::communicator::Communicator;
 use crate::error::{MpiError, Result};
-use crate::mailbox::RecvOutcome;
+use crate::mailbox::{MatchSpec, Outcome, PeekInfo};
 use crate::message::{Envelope, Status};
 use crate::rank::{Rank, RankSelector};
 use crate::request::{Request, RequestKind};
 use crate::tag::{Namespace, Tag, TagSelector};
 use crate::time::VirtualClock;
 use crate::world::Shared;
+
+/// Rank-local send totals, merged into the world-shared counters when the
+/// rank's last communicator handle drops. The totals are only read after
+/// every rank has joined, so batching them here keeps atomic read-modify-
+/// write traffic off the per-send hot path.
+#[derive(Debug)]
+pub(crate) struct SendCounters {
+    msgs: Cell<u64>,
+    bytes: Cell<u64>,
+    shared: Arc<Shared>,
+}
+
+impl SendCounters {
+    fn new(shared: Arc<Shared>) -> Self {
+        SendCounters { msgs: Cell::new(0), bytes: Cell::new(0), shared }
+    }
+
+    fn record(&self, bytes: u64) {
+        self.msgs.set(self.msgs.get() + 1);
+        self.bytes.set(self.bytes.get() + bytes);
+    }
+}
+
+impl Drop for SendCounters {
+    fn drop(&mut self) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.shared.msgs_sent.fetch_add(self.msgs.get(), Relaxed);
+        self.shared.bytes_sent.fetch_add(self.bytes.get(), Relaxed);
+    }
+}
 
 /// The world communicator of one rank: every rank's closure receives one.
 ///
@@ -31,6 +61,7 @@ pub struct Comm {
     clock: Rc<VirtualClock>,
     coll_seq: Cell<u64>,
     next_comm_id: Rc<Cell<u16>>,
+    counters: Rc<SendCounters>,
     recorder: Option<Rc<Recorder>>,
     metrics: Option<Rc<RankMetrics>>,
 }
@@ -43,12 +74,14 @@ impl Comm {
         recorder: Option<Rc<Recorder>>,
         metrics: Option<Rc<RankMetrics>>,
     ) -> Self {
+        let counters = Rc::new(SendCounters::new(Arc::clone(&shared)));
         Comm {
             shared,
             rank: Rank::new(rank),
             clock: Rc::new(VirtualClock::starting_at(start_time)),
             coll_seq: Cell::new(0),
             next_comm_id: Rc::new(Cell::new(1)),
+            counters,
             recorder,
             metrics,
         }
@@ -201,6 +234,7 @@ struct Endpoint<'a> {
     /// This rank's communicator-level rank (for error reporting).
     comm_rank: Rank,
     comm_id: u16,
+    counters: &'a SendCounters,
     recorder: Option<&'a Recorder>,
     metrics: Option<&'a RankMetrics>,
 }
@@ -241,9 +275,8 @@ impl Endpoint<'_> {
             return Err(MpiError::DeadPeer { peer: world_dest, at: self.clock.now() });
         }
         self.clock.advance_comm(self.shared.cost.msg_overhead);
-        self.shared.msgs_sent.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        self.shared.bytes_sent.fetch_add(data.len() as u64, std::sync::atomic::Ordering::Relaxed);
         let bytes = data.len() as u64;
+        self.counters.record(bytes);
         self.shared.mailboxes[world_dest.index()].push(Envelope {
             src: self.world_rank,
             wire_tag: tag.wire(self.comm_id, ns),
@@ -262,6 +295,18 @@ impl Endpoint<'_> {
         Ok(())
     }
 
+    /// The structural match specification for a receive or probe posted on
+    /// this endpoint's communicator.
+    fn spec<'a>(
+        &self,
+        src: RankSelector,
+        tag: TagSelector,
+        ns: Namespace,
+        member_filter: Option<&'a dyn Fn(Rank) -> bool>,
+    ) -> MatchSpec<'a> {
+        MatchSpec { comm_id: self.comm_id, ns, src, tag, member: member_filter }
+    }
+
     /// Receives with `src` given as a *world-rank* selector plus an optional
     /// membership filter for `ANY_SOURCE` in sub-communicators.
     fn recv(
@@ -272,15 +317,10 @@ impl Endpoint<'_> {
         member_filter: Option<&dyn Fn(Rank) -> bool>,
     ) -> Result<Envelope> {
         self.check_abort()?;
-        let comm_id = self.comm_id;
-        let pred = |e: &Envelope| {
-            matches_wire(e, comm_id, ns, tag)
-                && src.matches(e.src)
-                && member_filter.is_none_or(|f| f(e.src))
-        };
+        let spec = self.spec(src, tag, ns, member_filter);
         let mailbox = &self.shared.mailboxes[self.world_rank.index()];
-        match mailbox.recv_match(pred, || self.shared.is_aborted(), || self.dead_source(src)) {
-            RecvOutcome::Matched(env) => {
+        match mailbox.recv_match(&spec, || self.shared.is_aborted(), || self.dead_source(src)) {
+            Outcome::Matched(env) => {
                 let avail = self.shared.cost.availability(env.send_time, env.len());
                 self.clock.sync_to(avail);
                 self.clock.advance_comm(self.shared.cost.msg_overhead);
@@ -288,10 +328,10 @@ impl Endpoint<'_> {
                 self.record_recv(&env);
                 Ok(env)
             }
-            RecvOutcome::Aborted => {
+            Outcome::Aborted => {
                 Err(MpiError::Aborted { rank: self.comm_rank, at: self.clock.now() })
             }
-            RecvOutcome::SourceDead(peer) => Err(MpiError::DeadPeer { peer, at: self.clock.now() }),
+            Outcome::SourceDead(peer) => Err(MpiError::DeadPeer { peer, at: self.clock.now() }),
         }
     }
 
@@ -316,19 +356,14 @@ impl Endpoint<'_> {
         tag: TagSelector,
         ns: Namespace,
         member_filter: Option<&dyn Fn(Rank) -> bool>,
-    ) -> Result<Option<Envelope>> {
+    ) -> Result<Option<PeekInfo>> {
         self.check_abort()?;
-        let comm_id = self.comm_id;
-        let pred = |e: &Envelope| {
-            matches_wire(e, comm_id, ns, tag)
-                && src.matches(e.src)
-                && member_filter.is_none_or(|f| f(e.src))
-        };
+        let spec = self.spec(src, tag, ns, member_filter);
         let mailbox = &self.shared.mailboxes[self.world_rank.index()];
-        if let Some(env) = mailbox.try_probe_match(pred) {
-            let avail = self.shared.cost.availability(env.send_time, env.len());
+        if let Some(info) = mailbox.try_peek_match(&spec) {
+            let avail = self.shared.cost.availability(info.send_time, info.len);
             self.clock.sync_to(avail);
-            Ok(Some(env))
+            Ok(Some(info))
         } else {
             Ok(None)
         }
@@ -344,14 +379,9 @@ impl Endpoint<'_> {
         member_filter: Option<&dyn Fn(Rank) -> bool>,
     ) -> Result<Option<Envelope>> {
         self.check_abort()?;
-        let comm_id = self.comm_id;
-        let pred = |e: &Envelope| {
-            matches_wire(e, comm_id, ns, tag)
-                && src.matches(e.src)
-                && member_filter.is_none_or(|f| f(e.src))
-        };
+        let spec = self.spec(src, tag, ns, member_filter);
         let mailbox = &self.shared.mailboxes[self.world_rank.index()];
-        match mailbox.try_recv_match(pred) {
+        match mailbox.try_recv_match(&spec) {
             Some(env) => {
                 let avail = self.shared.cost.availability(env.send_time, env.len());
                 self.clock.sync_to(avail);
@@ -370,37 +400,22 @@ impl Endpoint<'_> {
         tag: TagSelector,
         ns: Namespace,
         member_filter: Option<&dyn Fn(Rank) -> bool>,
-    ) -> Result<Envelope> {
+    ) -> Result<PeekInfo> {
         self.check_abort()?;
-        let comm_id = self.comm_id;
-        let pred = |e: &Envelope| {
-            matches_wire(e, comm_id, ns, tag)
-                && src.matches(e.src)
-                && member_filter.is_none_or(|f| f(e.src))
-        };
+        let spec = self.spec(src, tag, ns, member_filter);
         let mailbox = &self.shared.mailboxes[self.world_rank.index()];
-        match mailbox.probe_match(pred, || self.shared.is_aborted(), || self.dead_source(src)) {
-            RecvOutcome::Matched(env) => {
-                let avail = self.shared.cost.availability(env.send_time, env.len());
+        match mailbox.peek_match(&spec, || self.shared.is_aborted(), || self.dead_source(src)) {
+            Outcome::Matched(info) => {
+                let avail = self.shared.cost.availability(info.send_time, info.len);
                 self.clock.sync_to(avail);
                 self.check_abort()?;
-                Ok(env)
+                Ok(info)
             }
-            RecvOutcome::Aborted => {
+            Outcome::Aborted => {
                 Err(MpiError::Aborted { rank: self.comm_rank, at: self.clock.now() })
             }
-            RecvOutcome::SourceDead(peer) => Err(MpiError::DeadPeer { peer, at: self.clock.now() }),
+            Outcome::SourceDead(peer) => Err(MpiError::DeadPeer { peer, at: self.clock.now() }),
         }
-    }
-}
-
-fn matches_wire(e: &Envelope, comm_id: u16, ns: Namespace, tag: TagSelector) -> bool {
-    if e.wire_tag.comm_id() != comm_id || e.wire_tag.namespace() != ns as u64 {
-        return false;
-    }
-    match tag {
-        TagSelector::Tag(t) => e.wire_tag.value() == t.value(),
-        TagSelector::Any => true,
     }
 }
 
@@ -460,13 +475,13 @@ impl Communicator for Comm {
     }
 
     fn iprobe(&self, src: RankSelector, tag: TagSelector) -> Result<Option<Status>> {
-        let env = self.endpoint().iprobe(src, tag, Namespace::User, None)?;
-        Ok(env.map(|e| self.envelope_to_result(e).1))
+        let info = self.endpoint().iprobe(src, tag, Namespace::User, None)?;
+        Ok(info.map(|i| self.peek_to_status(i)))
     }
 
     fn probe(&self, src: RankSelector, tag: TagSelector) -> Result<Status> {
-        let env = self.endpoint().probe(src, tag, Namespace::User, None)?;
-        Ok(self.envelope_to_result(env).1)
+        let info = self.endpoint().probe(src, tag, Namespace::User, None)?;
+        Ok(self.peek_to_status(info))
     }
 
     fn test(&self, req: Self::Request) -> Result<crate::TestOutcome<Self::Request>> {
@@ -508,6 +523,7 @@ impl Comm {
             world_rank: self.rank,
             comm_rank: self.rank,
             comm_id: 0,
+            counters: &self.counters,
             recorder: self.recorder.as_deref(),
             metrics: self.metrics.as_deref(),
         }
@@ -521,6 +537,15 @@ impl Comm {
             completed_at: self.clock.now(),
         };
         (env.payload, status)
+    }
+
+    fn peek_to_status(&self, info: PeekInfo) -> Status {
+        Status {
+            source: info.src,
+            tag: info.wire_tag.user_tag(),
+            len: info.len,
+            completed_at: self.clock.now(),
+        }
     }
 }
 
@@ -539,6 +564,7 @@ pub struct SubComm {
     reverse: Vec<Option<u32>>,
     my_sub_rank: Rank,
     my_world_rank: Rank,
+    counters: Rc<SendCounters>,
     recorder: Option<Rc<Recorder>>,
     metrics: Option<Rc<RankMetrics>>,
 }
@@ -561,6 +587,7 @@ impl SubComm {
             reverse,
             my_sub_rank,
             my_world_rank: parent.rank,
+            counters: Rc::clone(&parent.counters),
             recorder: parent.recorder.clone(),
             metrics: parent.metrics.clone(),
         })
@@ -578,6 +605,7 @@ impl SubComm {
             world_rank: self.my_world_rank,
             comm_rank: self.my_sub_rank,
             comm_id: self.comm_id,
+            counters: &self.counters,
             recorder: self.recorder.as_deref(),
             metrics: self.metrics.as_deref(),
         }
@@ -609,6 +637,15 @@ impl SubComm {
             completed_at: self.clock.now(),
         };
         (env.payload, status)
+    }
+
+    fn peek_to_status(&self, info: PeekInfo) -> Status {
+        Status {
+            source: self.to_sub(info.src),
+            tag: info.wire_tag.user_tag(),
+            len: info.len,
+            completed_at: self.clock.now(),
+        }
     }
 
     fn member_filter(&self) -> impl Fn(Rank) -> bool + '_ {
@@ -688,15 +725,15 @@ impl Communicator for SubComm {
     fn iprobe(&self, src: RankSelector, tag: TagSelector) -> Result<Option<Status>> {
         let world_src = self.translate_selector(src)?;
         let filter = self.member_filter();
-        let env = self.endpoint().iprobe(world_src, tag, Namespace::User, Some(&filter))?;
-        Ok(env.map(|e| self.envelope_to_result(e).1))
+        let info = self.endpoint().iprobe(world_src, tag, Namespace::User, Some(&filter))?;
+        Ok(info.map(|i| self.peek_to_status(i)))
     }
 
     fn probe(&self, src: RankSelector, tag: TagSelector) -> Result<Status> {
         let world_src = self.translate_selector(src)?;
         let filter = self.member_filter();
-        let env = self.endpoint().probe(world_src, tag, Namespace::User, Some(&filter))?;
-        Ok(self.envelope_to_result(env).1)
+        let info = self.endpoint().probe(world_src, tag, Namespace::User, Some(&filter))?;
+        Ok(self.peek_to_status(info))
     }
 
     fn test(&self, req: Self::Request) -> Result<crate::TestOutcome<Self::Request>> {

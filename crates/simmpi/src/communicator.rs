@@ -256,7 +256,7 @@ pub trait Communicator {
     ///
     /// See [`send_ns`](Self::send_ns).
     fn send_f64s(&self, dest: Rank, tag: Tag, values: &[f64]) -> Result<()> {
-        self.send_bytes(dest, tag, Bytes::from(datatype::encode_f64s(values)))
+        self.send_bytes(dest, tag, datatype::f64s_to_bytes(values))
     }
 
     /// Receives a slice of `f64` values.
@@ -275,7 +275,7 @@ pub trait Communicator {
     ///
     /// See [`send_ns`](Self::send_ns).
     fn send_u64s(&self, dest: Rank, tag: Tag, values: &[u64]) -> Result<()> {
-        self.send_bytes(dest, tag, Bytes::from(datatype::encode_u64s(values)))
+        self.send_bytes(dest, tag, datatype::u64s_to_bytes(values))
     }
 
     /// Receives a slice of `u64` values.
@@ -396,18 +396,12 @@ pub trait Communicator {
                         TagSelector::Tag(tag),
                         Namespace::Collective,
                     )?;
-                    let incoming = datatype::decode_f64s(&bytes)?;
-                    op.fold_f64(&mut acc, &incoming)?;
+                    op.fold_f64_bytes(&mut acc, &bytes)?;
                 }
             } else {
                 let dest_rel = relative & !mask;
                 let dst = Rank::new(((dest_rel + root.index()) % n) as u32);
-                self.send_ns(
-                    dst,
-                    tag,
-                    Bytes::from(datatype::encode_f64s(&acc)),
-                    Namespace::Collective,
-                )?;
+                self.send_ns(dst, tag, datatype::f64s_to_bytes(&acc), Namespace::Collective)?;
                 return Ok(None);
             }
             mask <<= 1;
@@ -428,7 +422,7 @@ pub trait Communicator {
         let root = Rank::new(0);
         let reduced = self.reduce_f64(root, values, op)?;
         let payload = match reduced {
-            Some(v) => Bytes::from(datatype::encode_f64s(&v)),
+            Some(v) => datatype::f64s_to_bytes(&v),
             None => Bytes::new(),
         };
         let out = self.bcast(root, payload)?;
@@ -461,27 +455,18 @@ pub trait Communicator {
                         TagSelector::Tag(tag),
                         Namespace::Collective,
                     )?;
-                    let incoming = datatype::decode_u64s(&bytes)?;
-                    op.fold_u64(&mut acc, &incoming)?;
+                    op.fold_u64_bytes(&mut acc, &bytes)?;
                 }
             } else {
                 let dst = Rank::new((me & !mask) as u32);
-                self.send_ns(
-                    dst,
-                    tag,
-                    Bytes::from(datatype::encode_u64s(&acc)),
-                    Namespace::Collective,
-                )?;
+                self.send_ns(dst, tag, datatype::u64s_to_bytes(&acc), Namespace::Collective)?;
                 is_root_holder = false;
                 break;
             }
             mask <<= 1;
         }
-        let payload = if is_root_holder && me == 0 {
-            Bytes::from(datatype::encode_u64s(&acc))
-        } else {
-            Bytes::new()
-        };
+        let payload =
+            if is_root_holder && me == 0 { datatype::u64s_to_bytes(&acc) } else { Bytes::new() };
         let out = self.bcast(Rank::new(0), payload)?;
         datatype::decode_u64s(&out)
     }
@@ -655,7 +640,7 @@ pub trait Communicator {
             self.send_ns(
                 Rank::new((me + 1) as u32),
                 tag,
-                Bytes::from(datatype::encode_f64s(&acc)),
+                datatype::f64s_to_bytes(&acc),
                 Namespace::Collective,
             )?;
         }

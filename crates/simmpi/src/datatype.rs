@@ -7,7 +7,43 @@
 //! bitwise-identical messages regardless of host (a prerequisite for the
 //! replication layer's message voting).
 
+use bytes::Bytes;
+
 use crate::error::{MpiError, Result};
+
+/// Slices of up to this many 8-byte words encode through a stack buffer
+/// straight into an inline [`Bytes`] — no heap allocation. Matches
+/// [`bytes::INLINE_CAP`]; the scalar payloads of reduction collectives
+/// (dot products, norms, counters) all fit.
+const INLINE_WORDS: usize = bytes::INLINE_CAP / 8;
+
+/// Encodes a slice of `f64` directly as a message payload. Small slices
+/// (≤ [`INLINE_WORDS`]) take an allocation-free inline path.
+pub fn f64s_to_bytes(values: &[f64]) -> Bytes {
+    if values.len() <= INLINE_WORDS {
+        let mut buf = [0u8; INLINE_WORDS * 8];
+        for (chunk, v) in buf.chunks_exact_mut(8).zip(values) {
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        Bytes::copy_from_slice(&buf[..values.len() * 8])
+    } else {
+        Bytes::from(encode_f64s(values))
+    }
+}
+
+/// Encodes a slice of `u64` directly as a message payload. Small slices
+/// (≤ [`INLINE_WORDS`]) take an allocation-free inline path.
+pub fn u64s_to_bytes(values: &[u64]) -> Bytes {
+    if values.len() <= INLINE_WORDS {
+        let mut buf = [0u8; INLINE_WORDS * 8];
+        for (chunk, v) in buf.chunks_exact_mut(8).zip(values) {
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        Bytes::copy_from_slice(&buf[..values.len() * 8])
+    } else {
+        Bytes::from(encode_u64s(values))
+    }
+}
 
 /// Encodes a slice of `f64` as little-endian bytes.
 pub fn encode_f64s(values: &[f64]) -> Vec<u8> {
@@ -153,6 +189,20 @@ mod tests {
     fn empty_slices_ok() {
         assert!(decode_f64s(&[]).unwrap().is_empty());
         assert!(encode_f64s(&[]).is_empty());
+    }
+
+    #[test]
+    fn to_bytes_matches_encode() {
+        // Inline-path (small) and heap-path (large) payloads must be
+        // byte-identical to the Vec encoders: voting compares raw bytes.
+        let small = [1.5f64, -2.25, 3.0];
+        assert_eq!(&f64s_to_bytes(&small)[..], encode_f64s(&small).as_slice());
+        let large: Vec<f64> = (0..64).map(f64::from).collect();
+        assert_eq!(&f64s_to_bytes(&large)[..], encode_f64s(&large).as_slice());
+        let us = [7u64, u64::MAX];
+        assert_eq!(&u64s_to_bytes(&us)[..], encode_u64s(&us).as_slice());
+        let ul: Vec<u64> = (0..64).collect();
+        assert_eq!(&u64s_to_bytes(&ul)[..], encode_u64s(&ul).as_slice());
     }
 
     #[test]

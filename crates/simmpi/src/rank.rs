@@ -19,7 +19,7 @@ pub struct Rank(u32);
 
 impl Rank {
     /// Creates a rank from its index.
-    pub fn new(index: u32) -> Self {
+    pub const fn new(index: u32) -> Self {
         Rank(index)
     }
 

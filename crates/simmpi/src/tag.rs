@@ -48,12 +48,12 @@ impl Tag {
     ///
     /// Panics if `value > MAX_USER_TAG`. Use [`Tag::try_new`] to handle the
     /// error instead.
-    pub fn new(value: u64) -> Self {
+    pub const fn new(value: u64) -> Self {
         Self::try_new(value).expect("tag exceeds MAX_USER_TAG")
     }
 
     /// Creates a user-namespace tag, failing when out of range.
-    pub fn try_new(value: u64) -> Option<Self> {
+    pub const fn try_new(value: u64) -> Option<Self> {
         if value <= MAX_USER_TAG {
             Some(Tag(value))
         } else {

@@ -151,6 +151,7 @@ impl WorldBuilder {
         let metrics = self.metrics;
         let metrics = metrics.as_ref();
         let f = &f;
+        type Slot<T> = (Result<T>, RankTiming, Option<Vec<redcr_trace::Event>>);
         let mut slots: Vec<Option<(Result<T>, RankTiming)>> = Vec::new();
         slots.resize_with(self.n, || None);
 
@@ -180,23 +181,34 @@ impl WorldBuilder {
                         busy: comm.clock().busy_time(),
                         comm: comm.clock().comm_time(),
                     };
-                    if let (Some(collector), Some(rec)) = (trace, recorder) {
+                    // Drain this rank's events but do NOT absorb them here:
+                    // teardown order is wall-clock scheduling dependent, so
+                    // absorbing at join time (below, in rank order) is what
+                    // keeps the collected trace deterministic run-to-run.
+                    let events = if let Some(rec) = recorder.filter(|_| trace.is_some()) {
                         rec.record(
                             timing.finish,
                             EventKind::RankFinish { busy: timing.busy, comm: timing.comm },
                         );
-                        collector.absorb(rec.drain());
-                    }
+                        Some(rec.drain())
+                    } else {
+                        None
+                    };
                     if let (Some(registry), Some(shard)) = (metrics, shard) {
                         shard.set_gauge(GaugeKey::VirtualTime, timing.finish, timing.finish);
                         registry.absorb(shard.drain());
                     }
-                    (result, timing)
+                    (result, timing, events) as Slot<T>
                 }));
             }
             for (rank, h) in handles.into_iter().enumerate() {
                 match h.join() {
-                    Ok(slot) => slots[rank] = Some(slot),
+                    Ok((result, timing, events)) => {
+                        if let (Some(collector), Some(events)) = (trace, events) {
+                            collector.absorb(events);
+                        }
+                        slots[rank] = Some((result, timing));
+                    }
                     Err(payload) => std::panic::resume_unwind(payload),
                 }
             }
@@ -329,7 +341,7 @@ impl Shared {
     pub(crate) fn trigger_abort(&self) {
         self.aborted.store(true, Ordering::SeqCst);
         for mb in &self.mailboxes {
-            mb.notify_all();
+            mb.wake_all();
         }
     }
 
@@ -344,14 +356,16 @@ impl Shared {
         self.dead[rank.index()].load(Ordering::SeqCst)
     }
 
-    /// Marks `rank` dead (called by `rank`'s own thread) and wakes every
-    /// blocked receiver so waits on the dead rank re-evaluate. Returns
-    /// `true` the first time the rank is marked (so the caller can record
-    /// the death exactly once).
+    /// Marks `rank` dead (called by `rank`'s own thread) and wakes only
+    /// the receivers parked on that specific source, so their waits
+    /// re-evaluate to `SourceDead`. Receivers parked on other sources or
+    /// on wildcards are left alone — a death can never unblock them.
+    /// Returns `true` the first time the rank is marked (so the caller can
+    /// record the death exactly once).
     pub(crate) fn mark_dead(&self, rank: crate::Rank) -> bool {
         if !self.dead[rank.index()].swap(true, Ordering::SeqCst) {
             for mb in &self.mailboxes {
-                mb.notify_all();
+                mb.wake_for_death(rank);
             }
             true
         } else {

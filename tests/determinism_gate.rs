@@ -1,0 +1,95 @@
+//! Determinism gate for the simmpi delivery-path overhaul.
+//!
+//! The channel-indexed mailbox (per-(source, wire-tag) FIFO queues with a
+//! global arrival sequence number, targeted wakeups) must not change any
+//! virtual-time result. This test pins, bit-for-bit, the `ExecutionReport`
+//! totals and the JSONL flight-recorder trace of a CG run **with live
+//! failures at r=2** as they were produced by the flat `Mutex<VecDeque>`
+//! mailbox *before* the swap. The constants below were captured on that
+//! baseline (30/30 identical runs) and must keep holding afterwards.
+//!
+//! Scenario notes: the run injects three node deaths, all masked by the
+//! r=2 replicas (live failover, degraded spheres, three committed
+//! checkpoints) in a single attempt. Runs whose failure *forces a
+//! restart* are excluded on purpose: the restart path has a pre-existing
+//! wall-clock race (physical arrival order of in-flight messages at the
+//! abort edge feeds back into virtual time through order-dependent
+//! receive accounting), so those traces were not byte-stable even before
+//! the mailbox swap. What the gate proves is that the swap itself is
+//! semantics-preserving wherever the old path was deterministic.
+
+use redcr_apps::cg::{CgConfig, CgState};
+use redcr_core::apps::CgApp;
+use redcr_core::{ExecutorConfig, ResilientExecutor};
+use redcr_trace::Trace;
+
+/// FNV-1a over the JSONL bytes — tiny, dependency-free, and stable.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn gate_run() -> redcr_core::ExecutionReport<CgState> {
+    let cfg = ExecutorConfig::new(8, 2.0)
+        .node_mtbf(150.0)
+        .checkpoint_interval(10.0)
+        .checkpoint_cost(0.5)
+        .restart_cost(2.0)
+        .seed(7)
+        .tracing(true);
+    let app = CgApp::new(CgConfig::small(256), 40).with_step_pad(1.0);
+    ResilientExecutor::new(cfg).run(&app).expect("gate run")
+}
+
+// Captured on the pre-swap mailbox (flat Mutex<VecDeque>, notify_all),
+// 30/30 identical repetitions.
+const PRE_SWAP_TOTAL_BITS: u64 = 0x4044c01fa3bce69a; // 41.500965564 s
+const PRE_SWAP_DEGRADED_BITS: u64 = 0x405276e3bd7a12a0; // 73.857650155 s
+const PRE_SWAP_TRACE_LINES: usize = 20263;
+const PRE_SWAP_TRACE_FNV: u64 = 0xade83d686de079ae;
+
+#[test]
+fn report_totals_match_pre_swap_capture_bit_for_bit() {
+    let report = gate_run();
+    assert_eq!(report.total_virtual_time.to_bits(), PRE_SWAP_TOTAL_BITS);
+    assert_eq!(report.degraded_sphere_seconds.to_bits(), PRE_SWAP_DEGRADED_BITS);
+    assert_eq!(report.attempts, 1);
+    assert_eq!(report.failures, 0);
+    assert_eq!(report.masked_failures, 3);
+    assert_eq!(report.checkpoints_committed, 3);
+    assert_eq!(report.physical_messages, 7911);
+    assert_eq!(report.physical_bytes, 2_353_184);
+}
+
+#[test]
+fn trace_jsonl_matches_pre_swap_capture_and_round_trips() {
+    let report = gate_run();
+    let trace = report.trace.as_ref().expect("tracing was on");
+    let jsonl = trace.to_jsonl();
+    assert_eq!(jsonl.lines().count(), PRE_SWAP_TRACE_LINES);
+    assert_eq!(
+        fnv1a(jsonl.as_bytes()),
+        PRE_SWAP_TRACE_FNV,
+        "trace JSONL bytes differ from the pre-swap capture"
+    );
+    // redcr-trace round-trip: parsing the pinned bytes and re-rendering
+    // them must reproduce the same bytes, so the hash pins the *trace*,
+    // not an accident of the serializer.
+    let reparsed = Trace::from_jsonl(&jsonl).expect("round-trip parse");
+    assert_eq!(reparsed.to_jsonl(), jsonl);
+}
+
+#[test]
+fn gate_scenario_is_run_to_run_deterministic() {
+    // Two in-process runs (fresh executor each) must agree byte-for-byte —
+    // guards against wall-clock scheduling leaking into virtual time
+    // independently of the pinned constants above.
+    let a = gate_run();
+    let b = gate_run();
+    assert_eq!(a.total_virtual_time.to_bits(), b.total_virtual_time.to_bits());
+    assert_eq!(a.trace.as_ref().unwrap().to_jsonl(), b.trace.as_ref().unwrap().to_jsonl());
+}

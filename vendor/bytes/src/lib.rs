@@ -23,9 +23,16 @@ pub struct Bytes {
     len: usize,
 }
 
+/// Payloads up to this long are stored inline in the `Bytes` value itself —
+/// no heap allocation, and clones are plain copies. Sized so the scalar
+/// payloads dominating collective traffic (one to three little-endian
+/// `f64`/`u64` words) always take the inline path.
+pub const INLINE_CAP: usize = 24;
+
 #[derive(Clone)]
 enum Repr {
     Static(&'static [u8]),
+    Inline { buf: [u8; INLINE_CAP], init: u8 },
     Shared(Arc<Vec<u8>>),
 }
 
@@ -40,9 +47,17 @@ impl Bytes {
         Bytes { data: Repr::Static(bytes), offset: 0, len: bytes.len() }
     }
 
-    /// Copies a slice into a new shared buffer.
+    /// Copies a slice into a new buffer — inline (allocation-free) when it
+    /// fits, shared otherwise.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes::from(data.to_vec())
+        if data.len() <= INLINE_CAP {
+            let mut buf = [0u8; INLINE_CAP];
+            buf[..data.len()].copy_from_slice(data);
+            Bytes { data: Repr::Inline { buf, init: data.len() as u8 }, offset: 0, len: data.len() }
+        } else {
+            let len = data.len();
+            Bytes { data: Repr::Shared(Arc::new(data.to_vec())), offset: 0, len }
+        }
     }
 
     /// Number of bytes in the view.
@@ -69,6 +84,7 @@ impl Bytes {
     fn as_slice(&self) -> &[u8] {
         let full: &[u8] = match &self.data {
             Repr::Static(s) => s,
+            Repr::Inline { buf, init } => &buf[..usize::from(*init)],
             Repr::Shared(v) => v.as_slice(),
         };
         &full[self.offset..self.offset + self.len]
@@ -103,6 +119,9 @@ impl Default for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
+        if v.len() <= INLINE_CAP {
+            return Bytes::copy_from_slice(&v);
+        }
         let len = v.len();
         Bytes { data: Repr::Shared(Arc::new(v)), offset: 0, len }
     }
@@ -236,6 +255,18 @@ mod tests {
         assert_eq!(&b[..], b"abc");
         assert!(Bytes::new().is_empty());
         assert_eq!(Bytes::copy_from_slice(b"xy").to_vec(), b"xy".to_vec());
+    }
+
+    #[test]
+    fn inline_round_trips_and_slices() {
+        let small: Vec<u8> = (0..INLINE_CAP as u8).collect();
+        let b = Bytes::from(small.clone());
+        assert_eq!(b.to_vec(), small, "inline storage preserves contents");
+        assert_eq!(b.slice(3..7).to_vec(), small[3..7].to_vec());
+        let big: Vec<u8> = (0..=255u8).collect();
+        let c = Bytes::from(big.clone());
+        assert_eq!(c.to_vec(), big, "oversize payloads still round-trip");
+        assert_eq!(Bytes::copy_from_slice(&small), b, "inline and copied compare equal");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Restart support: locating the newest *complete* coordinated checkpoint
 //! (every rank's image present) on stable storage.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::storage::{SnapshotKey, StableStorage};
 use crate::Result;
@@ -13,17 +13,22 @@ use crate::Result;
 /// are skipped — the stable-storage property the paper's recovery relies
 /// on.
 ///
+/// The per-sequence tally is a `BTreeMap` so the quorum count is
+/// aggregated and drained in sorted order no matter what order the
+/// backend lists keys in — restart selection must not depend on
+/// directory-listing or hash-iteration order.
+///
 /// # Errors
 ///
 /// Returns storage backend errors.
 pub fn latest_complete(storage: &dyn StableStorage, n_ranks: u32) -> Result<Option<u64>> {
-    let mut per_seq: HashMap<u64, u32> = HashMap::new();
+    let mut per_seq: BTreeMap<u64, u32> = BTreeMap::new();
     for key in storage.list()? {
         if key.rank < n_ranks {
             *per_seq.entry(key.seq).or_insert(0) += 1;
         }
     }
-    Ok(per_seq.into_iter().filter(|&(_, count)| count >= n_ranks).map(|(seq, _)| seq).max())
+    Ok(per_seq.into_iter().filter(|&(_, count)| count >= n_ranks).map(|(seq, _)| seq).next_back())
 }
 
 /// Loads every rank's raw image bytes for checkpoint `seq`.
@@ -77,6 +82,58 @@ mod tests {
         assert_eq!(latest_complete(&s, 2).unwrap(), None);
         // For a 1-rank world, rank 0 present: complete.
         assert_eq!(latest_complete(&s, 1).unwrap(), Some(5));
+    }
+
+    /// A storage wrapper whose `list()` returns keys in an arbitrary,
+    /// adversarial order — simulating backends (directory listings, hash
+    /// maps) with no order guarantee.
+    #[derive(Debug)]
+    struct ScrambledList<S: StableStorage> {
+        inner: S,
+        /// Deterministic scramble: rotate by `rot` then reverse.
+        rot: usize,
+    }
+
+    impl<S: StableStorage> StableStorage for ScrambledList<S> {
+        fn store(&self, key: SnapshotKey, data: &[u8]) -> crate::Result<()> {
+            self.inner.store(key, data)
+        }
+        fn load(&self, key: SnapshotKey) -> crate::Result<Vec<u8>> {
+            self.inner.load(key)
+        }
+        fn list(&self) -> crate::Result<Vec<SnapshotKey>> {
+            let mut keys = self.inner.list()?;
+            if !keys.is_empty() {
+                let r = self.rot % keys.len();
+                keys.rotate_left(r);
+                keys.reverse();
+            }
+            Ok(keys)
+        }
+        fn delete(&self, key: SnapshotKey) -> crate::Result<()> {
+            self.inner.delete(key)
+        }
+    }
+
+    #[test]
+    fn quorum_counting_is_iteration_order_independent() {
+        // Seq 3 complete, seq 4 incomplete (missing rank 2), seq 2
+        // complete: the answer must be 3 under every listing order.
+        let populate = |s: &dyn StableStorage| {
+            for rank in 0..3u32 {
+                s.store(SnapshotKey::new(2, rank), b"x").unwrap();
+                s.store(SnapshotKey::new(3, rank), b"x").unwrap();
+            }
+            s.store(SnapshotKey::new(4, 0), b"x").unwrap();
+            s.store(SnapshotKey::new(4, 1), b"x").unwrap();
+        };
+        let mut answers = Vec::new();
+        for rot in 0..11 {
+            let s = ScrambledList { inner: MemoryStorage::new(), rot };
+            populate(&s);
+            answers.push(latest_complete(&s, 3).unwrap());
+        }
+        assert!(answers.iter().all(|a| *a == Some(3)), "order-dependent result: {answers:?}");
     }
 
     #[test]

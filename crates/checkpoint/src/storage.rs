@@ -9,7 +9,7 @@
 //! (contributing to `R`), which is how storage bandwidth enters the paper's
 //! model.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{Read, Write};
 use std::path::PathBuf;
@@ -160,9 +160,15 @@ pub trait StableStorage: Send + Sync + fmt::Debug {
 }
 
 /// In-memory stable storage (a shared map).
+///
+/// The image map is a `BTreeMap` so `list()` (and everything downstream —
+/// `prune_before`, restart quorum counting, snapshot drains) observes keys
+/// in sorted order rather than hash-iteration order. `MemoryStorage` backs
+/// simulations whose reports must be bit-identical across runs; a
+/// `HashMap` here would leak `RandomState` ordering into them.
 #[derive(Debug, Default)]
 pub struct MemoryStorage {
-    images: Mutex<HashMap<SnapshotKey, Vec<u8>>>,
+    images: Mutex<BTreeMap<SnapshotKey, Vec<u8>>>,
 }
 
 impl MemoryStorage {
@@ -233,6 +239,7 @@ impl StableStorage for DiskStorage {
         // same key concurrently (their images are equivalent), and must not
         // trip over each other's rename.
         static WRITER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        // detlint::allow(R6, reason = "pure uniqueness counter: the value only names a temp file and orders nothing cross-thread; fetch_add is atomic at every ordering")
         let writer = WRITER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let final_path = self.dir.join(key.file_name());
         let tmp_path = self.dir.join(format!("{}.{writer}.tmp", key.file_name()));

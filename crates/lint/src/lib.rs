@@ -1,0 +1,153 @@
+//! `redcr-lint` (`detlint`): a dependency-free determinism & concurrency
+//! static-analysis pass enforcing the workspace's virtual-time contract.
+//!
+//! Everything this reproduction claims — bit-identical `ExecutionReport`s,
+//! the trace-FNV determinism gate, measured-vs-model validation — rests on
+//! one invariant: no wall-clock time, no unordered iteration, and no
+//! unseeded randomness may leak into the virtual-time domain. The
+//! determinism gate catches a drift *after* it ships; `detlint` catches
+//! the hazard *patterns* statically, before any test runs.
+//!
+//! # Rules
+//!
+//! | id | domain        | pattern |
+//! |----|---------------|---------|
+//! | R1 | hot + virtual | `std::time::Instant` / `SystemTime` (wall clock) |
+//! | R2 | hot + virtual | `std::collections::HashMap` / `HashSet` (RandomState iteration order) |
+//! | R3 | hot + virtual | `rand::thread_rng` / `rand::random` / `RandomState` / `from_entropy` (unseeded entropy) |
+//! | R4 | hot only      | `.unwrap()` / `.expect()` / `panic!`-family in rank-thread paths |
+//! | R5 | hot + virtual | lock-order cycles in the inter-crate lock graph |
+//! | R6 | hot + virtual | `Ordering::Relaxed` atomics (advisory) |
+//!
+//! Domains are assigned per crate in `detlint.toml`. Suppress a finding
+//! with `// detlint::allow(<rule>, reason = "…")` on the same or the
+//! preceding line; the reason is mandatory — an allow without one
+//! suppresses nothing and is reported as malformed.
+
+mod config;
+mod lexer;
+mod lockorder;
+mod report;
+mod rules;
+
+pub use config::{Config, Domain};
+pub use report::{BadSuppression, LockEdge, Report, Violation};
+
+use std::path::{Path, PathBuf};
+
+/// Lints a whole workspace rooted at `root` (the directory containing
+/// `detlint.toml`).
+///
+/// # Errors
+///
+/// Returns a message for config or I/O failures. Individual unreadable
+/// files abort the run — a lint that silently skips files is worse than
+/// one that fails loudly.
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    let cfg = Config::load(&root.join("detlint.toml"))?;
+    lint_workspace_with(root, &cfg)
+}
+
+/// Like [`lint_workspace`], with an explicit config.
+///
+/// # Errors
+///
+/// See [`lint_workspace`].
+pub fn lint_workspace_with(root: &Path, cfg: &Config) -> Result<Report, String> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &cfg.exclude, &mut files)?;
+    files.sort();
+
+    let mut report = Report::default();
+    let mut lock_seqs = Vec::new();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("{}: {e}", rel.display()))?;
+        let rel_str = rel_display(rel);
+        let domain = cfg.domain_for(rel);
+        let lexed = lexer::lex(&src);
+        let skip = rules::test_skip_mask(&lexed);
+        let outcome = rules::check_file(&rel_str, domain, &lexed, &skip);
+        report.violations.extend(outcome.violations);
+        // Suppression health is only meaningful where rules fire; in
+        // tooling/test files every allow-shaped comment (including the
+        // linter's own docs describing the syntax) would read as stale.
+        if !matches!(domain, Domain::Tooling | Domain::Test) {
+            report.bad_suppressions.extend(outcome.bad_suppressions);
+        }
+        report.suppressions_used += outcome.suppressions_used;
+        if matches!(domain, Domain::Hot | Domain::Virtual) {
+            let crate_name = crate_of(rel);
+            lock_seqs.extend(lockorder::extract(&rel_str, &crate_name, &lexed, &skip));
+        }
+        report.files_scanned += 1;
+    }
+
+    let (classes, edges, cycle_violations) = lockorder::analyze(&lock_seqs);
+    report.lock_classes = classes;
+    report.lock_edges = edges;
+    report.violations.extend(cycle_violations);
+    Ok(report)
+}
+
+/// Lints one in-memory source file under `domain` — the fixture-test and
+/// seeded-violation entry point. R5 runs over just this file.
+pub fn lint_source(rel_name: &str, domain: Domain, src: &str) -> Report {
+    let lexed = lexer::lex(src);
+    let skip = rules::test_skip_mask(&lexed);
+    let outcome = rules::check_file(rel_name, domain, &lexed, &skip);
+    let mut report = Report {
+        violations: outcome.violations,
+        bad_suppressions: outcome.bad_suppressions,
+        suppressions_used: outcome.suppressions_used,
+        files_scanned: 1,
+        ..Report::default()
+    };
+    if matches!(domain, Domain::Hot | Domain::Virtual) {
+        let seqs = lockorder::extract(rel_name, "fixture", &lexed, &skip);
+        let (classes, edges, cycles) = lockorder::analyze(&seqs);
+        report.lock_classes = classes;
+        report.lock_edges = edges;
+        report.violations.extend(cycles);
+    }
+    report
+}
+
+fn rel_display(rel: &Path) -> String {
+    rel.iter().filter_map(|c| c.to_str()).collect::<Vec<_>>().join("/")
+}
+
+fn crate_of(rel: &Path) -> String {
+    let comps: Vec<&str> = rel.iter().filter_map(|c| c.to_str()).collect();
+    match comps.as_slice() {
+        ["crates", name, ..] => (*name).to_string(),
+        _ => "root".to_string(),
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping excluded and
+/// hidden directories. Deterministic: entries are sorted.
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    exclude: &[String],
+    out: &mut Vec<PathBuf>,
+) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name.starts_with('.') || exclude.iter().any(|x| x == name) {
+                continue;
+            }
+            collect_rs_files(root, &path, exclude, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}

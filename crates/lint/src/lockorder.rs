@@ -1,0 +1,491 @@
+//! R5: the lock-order pass.
+//!
+//! Extracts `Mutex`/`RwLock` acquisition sites (`….lock()`, `….read()`,
+//! `….write()` are all treated as `.lock()`-like; only `.lock()` exists in
+//! this workspace) per function, tracks which guards are *held* when a
+//! second lock is taken, builds the inter-crate lock graph over *lock
+//! classes* (`crate::receiver-field`), and reports any cycle.
+//!
+//! Heuristics (documented so their limits are explicit):
+//!
+//! * a lock bound by `let g = x.lock();` (or reassigned `g = x.lock();`)
+//!   is held until `drop(g)` or the end of the function — scopes are not
+//!   modelled, which over-approximates hold ranges (safe direction: may
+//!   report an edge that a tight scope actually prevents, never misses a
+//!   real nesting);
+//! * a lock used as a temporary (`x.lock().method(…)`) is released at the
+//!   end of its statement and creates no edge to later acquisitions;
+//! * lock classes are named by the receiver field/variable, qualified by
+//!   crate — two same-named fields in one crate would merge (none do
+//!   today).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Lexed, Tok, Token};
+use crate::report::{LockEdge, Violation};
+use crate::rules::{match_brace, RATIONALE_R5};
+
+/// One acquisition event inside a function.
+#[derive(Debug, Clone)]
+pub struct Acquire {
+    /// Lock class (`crate::field`).
+    pub class: String,
+    /// Line of the `.lock()` call.
+    pub line: u32,
+    /// Guard binding name when bound (`let g = …` / `g = …`).
+    pub binding: Option<String>,
+    /// True when the guard is a statement temporary.
+    pub temporary: bool,
+}
+
+/// A function's ordered lock events.
+#[derive(Debug, Clone)]
+pub struct FnLockSeq {
+    /// Workspace-relative file.
+    pub file: String,
+    /// Function name.
+    pub func: String,
+    /// Events in source order: acquisitions and explicit `drop(…)`s.
+    pub events: Vec<Event>,
+}
+
+/// An event in a function body.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A lock acquisition.
+    Acquire(Acquire),
+    /// `drop(binding)`.
+    Drop(String),
+}
+
+/// Extracts lock sequences for every function in a file. `skip` masks
+/// test-only tokens.
+pub fn extract(rel: &str, crate_name: &str, lexed: &Lexed, skip: &[bool]) -> Vec<FnLockSeq> {
+    let toks = &lexed.tokens;
+    // Locate fn bodies (start, end) in token indices.
+    let mut spans: Vec<(usize, usize, String)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_fn = matches!(&toks[i].tok, Tok::Ident(s) if s == "fn") && !skip[i];
+        if !is_fn {
+            i += 1;
+            continue;
+        }
+        let name = match toks.get(i + 1).map(|t| &t.tok) {
+            Some(Tok::Ident(n)) => n.clone(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        // Scan to the body `{` or a `;` (trait method without body).
+        let mut j = i + 2;
+        let mut body = None;
+        while j < toks.len() {
+            match toks[j].tok {
+                Tok::Punct('{') => {
+                    body = Some(j);
+                    break;
+                }
+                Tok::Punct(';') => break,
+                _ => j += 1,
+            }
+        }
+        if let Some(open) = body {
+            let close = match_brace(toks, open);
+            spans.push((open, close, name));
+            i = open + 1; // nested fns get their own span
+        } else {
+            i = j + 1;
+        }
+    }
+
+    // Assign each acquisition to the innermost enclosing fn.
+    let innermost = |idx: usize| -> Option<usize> {
+        spans
+            .iter()
+            .enumerate()
+            .filter(|(_, (s, e, _))| *s <= idx && idx <= *e)
+            .min_by_key(|(_, (s, e, _))| e - s)
+            .map(|(k, _)| k)
+    };
+
+    let mut seqs: Vec<FnLockSeq> = spans
+        .iter()
+        .map(|(_, _, name)| FnLockSeq {
+            file: rel.to_string(),
+            func: name.clone(),
+            events: Vec::new(),
+        })
+        .collect();
+
+    let mut k = 0usize;
+    while k + 3 < toks.len() {
+        if skip[k] {
+            k += 1;
+            continue;
+        }
+        // `drop ( ident )`
+        if let Tok::Ident(id) = &toks[k].tok {
+            if id == "drop"
+                && matches!(toks[k + 1].tok, Tok::Punct('('))
+                && matches!(&toks[k + 2].tok, Tok::Ident(_))
+                && matches!(toks[k + 3].tok, Tok::Punct(')'))
+            {
+                if let (Some(f), Tok::Ident(b)) = (innermost(k), &toks[k + 2].tok) {
+                    seqs[f].events.push(Event::Drop(b.clone()));
+                }
+                k += 4;
+                continue;
+            }
+        }
+        // `. lock ( )`
+        let is_lock = matches!(toks[k].tok, Tok::Punct('.'))
+            && matches!(&toks[k + 1].tok, Tok::Ident(s) if s == "lock")
+            && matches!(toks[k + 2].tok, Tok::Punct('('))
+            && matches!(toks[k + 3].tok, Tok::Punct(')'));
+        if !is_lock {
+            k += 1;
+            continue;
+        }
+        let Some(f) = innermost(k) else {
+            k += 4;
+            continue;
+        };
+        let receiver = receiver_name(toks, k);
+        let class = format!("{crate_name}::{receiver}");
+        // Temporary vs bound: look past trailing `.unwrap()` / `.expect(…)`.
+        let mut after = k + 4;
+        loop {
+            let adapter = matches!(toks.get(after).map(|t| &t.tok), Some(Tok::Punct('.')))
+                && matches!(
+                    toks.get(after + 1).map(|t| &t.tok),
+                    Some(Tok::Ident(s)) if s == "unwrap" || s == "expect"
+                );
+            if !adapter {
+                break;
+            }
+            // Skip `.name ( … )` with balanced parens.
+            let mut p = after + 2;
+            if matches!(toks.get(p).map(|t| &t.tok), Some(Tok::Punct('('))) {
+                let mut depth = 0i32;
+                while p < toks.len() {
+                    match toks[p].tok {
+                        Tok::Punct('(') => depth += 1,
+                        Tok::Punct(')') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                p += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    p += 1;
+                }
+            }
+            after = p;
+        }
+        let temporary = matches!(toks.get(after).map(|t| &t.tok), Some(Tok::Punct('.')));
+        let binding = if temporary { None } else { binding_name(toks, k) };
+        seqs[f].events.push(Event::Acquire(Acquire {
+            class,
+            line: toks[k + 1].line,
+            binding,
+            temporary,
+        }));
+        k += 4;
+    }
+
+    seqs.retain(|s| !s.events.is_empty());
+    seqs
+}
+
+/// Walks back from the `.` of `.lock()` to name the receiver: the nearest
+/// field/variable identifier, skipping over index expressions.
+fn receiver_name(toks: &[Token], dot: usize) -> String {
+    let mut j = dot;
+    loop {
+        if j == 0 {
+            return "<expr>".into();
+        }
+        j -= 1;
+        match &toks[j].tok {
+            Tok::Ident(s) if s == "self" => return "self".into(),
+            Tok::Ident(s) => return s.clone(),
+            Tok::Punct(']') => {
+                // Skip the index expression to its `[`.
+                let mut depth = 0i32;
+                while j > 0 {
+                    match toks[j].tok {
+                        Tok::Punct(']') => depth += 1,
+                        Tok::Punct('[') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j -= 1;
+                }
+            }
+            Tok::Punct(')') => {
+                let mut depth = 0i32;
+                while j > 0 {
+                    match toks[j].tok {
+                        Tok::Punct(')') => depth += 1,
+                        Tok::Punct('(') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j -= 1;
+                }
+            }
+            Tok::Punct('.') => {}
+            _ => return "<expr>".into(),
+        }
+    }
+}
+
+/// Finds the binding a lock expression is assigned to: walk back over the
+/// receiver chain to `=`, then take the identifier before it.
+fn binding_name(toks: &[Token], dot: usize) -> Option<String> {
+    let mut j = dot;
+    // Walk back over the receiver chain (idents / `.` / index brackets).
+    while j > 0 {
+        j -= 1;
+        match &toks[j].tok {
+            Tok::Ident(_) | Tok::Punct('.') => {}
+            Tok::Punct(']') => {
+                let mut depth = 0i32;
+                while j > 0 {
+                    match toks[j].tok {
+                        Tok::Punct(']') => depth += 1,
+                        Tok::Punct('[') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j -= 1;
+                }
+            }
+            Tok::Punct('=') => {
+                // Exclude `==`, `!=`, `<=`, `>=`, `+=`-style tokens.
+                if j > 0
+                    && matches!(
+                        toks[j - 1].tok,
+                        Tok::Punct('=')
+                            | Tok::Punct('!')
+                            | Tok::Punct('<')
+                            | Tok::Punct('>')
+                            | Tok::Punct('+')
+                            | Tok::Punct('-')
+                            | Tok::Punct('*')
+                            | Tok::Punct('/')
+                    )
+                {
+                    return None;
+                }
+                if let Some(Tok::Ident(name)) = toks.get(j - 1).map(|t| &t.tok) {
+                    return Some(name.clone());
+                }
+                return None;
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Builds the lock graph from all functions' sequences and reports cycles.
+pub fn analyze(seqs: &[FnLockSeq]) -> (Vec<String>, Vec<LockEdge>, Vec<Violation>) {
+    let mut classes: BTreeSet<String> = BTreeSet::new();
+    let mut edges: BTreeMap<(String, String), LockEdge> = BTreeMap::new();
+
+    for seq in seqs {
+        // (class, binding) currently presumed held.
+        let mut held: Vec<(String, Option<String>)> = Vec::new();
+        for ev in &seq.events {
+            match ev {
+                Event::Drop(name) => {
+                    held.retain(|(_, b)| b.as_deref() != Some(name.as_str()));
+                }
+                Event::Acquire(a) => {
+                    classes.insert(a.class.clone());
+                    for (h, _) in &held {
+                        if *h != a.class {
+                            edges.entry((h.clone(), a.class.clone())).or_insert_with(|| LockEdge {
+                                held: h.clone(),
+                                acquired: a.class.clone(),
+                                file: seq.file.clone(),
+                                line: a.line,
+                                func: seq.func.clone(),
+                            });
+                        }
+                    }
+                    if !a.temporary {
+                        // A rebind of the same name replaces the old guard.
+                        if let Some(b) = &a.binding {
+                            held.retain(|(_, hb)| hb.as_deref() != Some(b.as_str()));
+                        }
+                        held.push((a.class.clone(), a.binding.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    let edge_list: Vec<LockEdge> = edges.values().cloned().collect();
+    let violations = find_cycles(&classes, &edges);
+    (classes.into_iter().collect(), edge_list, violations)
+}
+
+/// DFS cycle detection over the class graph; one violation per cycle
+/// found, anchored at a representative edge site.
+fn find_cycles(
+    classes: &BTreeSet<String>,
+    edges: &BTreeMap<(String, String), LockEdge>,
+) -> Vec<Violation> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (h, a) in edges.keys() {
+        adj.entry(h.as_str()).or_default().push(a.as_str());
+    }
+    let mut violations = Vec::new();
+    let mut color: BTreeMap<&str, u8> = classes.iter().map(|c| (c.as_str(), 0u8)).collect();
+    let mut stack: Vec<&str> = Vec::new();
+
+    fn dfs<'a>(
+        node: &'a str,
+        adj: &BTreeMap<&'a str, Vec<&'a str>>,
+        color: &mut BTreeMap<&'a str, u8>,
+        stack: &mut Vec<&'a str>,
+        cycles: &mut Vec<Vec<String>>,
+    ) {
+        color.insert(node, 1);
+        stack.push(node);
+        for &next in adj.get(node).map(Vec::as_slice).unwrap_or_default() {
+            match color.get(next).copied().unwrap_or(0) {
+                0 => dfs(next, adj, color, stack, cycles),
+                1 => {
+                    let pos = stack.iter().position(|&n| n == next).unwrap_or(0);
+                    let mut cycle: Vec<String> =
+                        stack[pos..].iter().map(|s| (*s).to_string()).collect();
+                    cycle.push(next.to_string());
+                    cycles.push(cycle);
+                }
+                _ => {}
+            }
+        }
+        stack.pop();
+        color.insert(node, 2);
+    }
+
+    let mut cycles: Vec<Vec<String>> = Vec::new();
+    for c in classes {
+        if color.get(c.as_str()).copied().unwrap_or(0) == 0 {
+            dfs(c.as_str(), &adj, &mut color, &mut stack, &mut cycles);
+        }
+    }
+    for cycle in cycles {
+        // Anchor at the edge closing the cycle.
+        let anchor = edges
+            .get(&(cycle[cycle.len() - 2].clone(), cycle[cycle.len() - 1].clone()))
+            .or_else(|| edges.values().next());
+        let (file, line) = anchor.map(|e| (e.file.clone(), e.line)).unwrap_or_default();
+        violations.push(Violation {
+            rule: "R5",
+            file,
+            line,
+            advisory: false,
+            message: format!("lock-order cycle: {}", cycle.join(" -> ")),
+            rationale: RATIONALE_R5,
+            suppressed: None,
+        });
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_skip_mask;
+
+    fn run(src: &str) -> (Vec<String>, Vec<LockEdge>, Vec<Violation>) {
+        let lexed = lex(src);
+        let skip = test_skip_mask(&lexed);
+        let seqs = extract("t.rs", "t", &lexed, &skip);
+        analyze(&seqs)
+    }
+
+    #[test]
+    fn nested_acquisition_produces_edge() {
+        let src = "fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }";
+        let (classes, edges, v) = run(src);
+        assert_eq!(classes, vec!["t::alpha", "t::beta"]);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].held, "t::alpha");
+        assert_eq!(edges[0].acquired, "t::beta");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_creates_no_edge() {
+        let src = "fn f(&self) { self.alpha.lock().push(1); let b = self.beta.lock(); }";
+        let (_, edges, v) = run(src);
+        assert!(edges.is_empty(), "{edges:?}");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn drop_releases_guard() {
+        let src = "fn f(&self) { let a = self.alpha.lock(); drop(a); let b = self.beta.lock(); }";
+        let (_, edges, _) = run(src);
+        assert!(edges.is_empty(), "{edges:?}");
+    }
+
+    #[test]
+    fn opposite_orders_report_cycle() {
+        let src = "
+            fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }
+            fn g(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); }
+        ";
+        let (_, edges, v) = run(src);
+        assert_eq!(edges.len(), 2);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "R5");
+        assert!(v[0].message.contains("alpha"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn reassignment_replaces_guard() {
+        let src = "fn f(&self) { let mut a = self.alpha.lock(); a = self.alpha.lock(); let b = self.beta.lock(); }";
+        let (_, edges, _) = run(src);
+        // alpha held (rebind, not doubled) → one edge alpha→beta.
+        assert_eq!(edges.len(), 1);
+    }
+
+    #[test]
+    fn test_code_is_masked() {
+        let src = "#[cfg(test)] mod tests { fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); } }";
+        let (classes, edges, _) = run(src);
+        assert!(classes.is_empty());
+        assert!(edges.is_empty());
+    }
+
+    #[test]
+    fn indexed_receiver_resolves_to_field() {
+        let src =
+            "fn f(&self, i: usize) { let g = self.boxes[i].lock(); let h = self.world.lock(); }";
+        let (classes, _, _) = run(src);
+        assert!(classes.contains(&"t::boxes".to_string()), "{classes:?}");
+    }
+}

@@ -1,0 +1,256 @@
+//! Lint findings and report rendering: human text and the repo's
+//! established dependency-free JSONL.
+
+use std::fmt::Write as _;
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule id (`R1`…`R6`).
+    pub rule: &'static str,
+    /// Workspace-relative file path (slash-separated).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Advisory findings still require a fix or a reasoned suppression,
+    /// but are labelled so readers know they encode a judgement call.
+    pub advisory: bool,
+    /// What was found, e.g. "`std::time::Instant` referenced".
+    pub message: String,
+    /// Why the pattern is hazardous in this domain.
+    pub rationale: &'static str,
+    /// `Some(reason)` when a well-formed suppression covers this finding.
+    pub suppressed: Option<String>,
+}
+
+/// A suppression comment that matched no finding (stale), or one missing
+/// its mandatory reason (malformed — suppresses nothing).
+#[derive(Debug, Clone)]
+pub struct BadSuppression {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Line of the comment.
+    pub line: u32,
+    /// Rule it names.
+    pub rule: String,
+    /// True when the comment lacks a `reason = "…"`.
+    pub missing_reason: bool,
+}
+
+/// One observed nested lock acquisition: `held` was locked when `acquired`
+/// was taken.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    /// Lock class already held (`crate::field`).
+    pub held: String,
+    /// Lock class acquired under it.
+    pub acquired: String,
+    /// Representative site.
+    pub file: String,
+    /// Line of the inner acquisition.
+    pub line: u32,
+    /// Enclosing function name.
+    pub func: String,
+}
+
+/// Full lint report for a workspace run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, suppressed ones included.
+    pub violations: Vec<Violation>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Stale or malformed suppressions.
+    pub bad_suppressions: Vec<BadSuppression>,
+    /// Count of suppressions that matched a finding (with reason).
+    pub suppressions_used: usize,
+    /// All distinct lock classes seen by the R5 pass.
+    pub lock_classes: Vec<String>,
+    /// Nested-acquisition edges observed (the inter-crate lock graph).
+    pub lock_edges: Vec<LockEdge>,
+}
+
+impl Report {
+    /// Findings not covered by a reasoned suppression.
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Violation> {
+        self.violations.iter().filter(|v| v.suppressed.is_none())
+    }
+
+    /// Whether the run should exit 0. Malformed suppressions (no reason)
+    /// leave their finding unsuppressed, so they fail through that path;
+    /// stale suppressions are reported but do not fail the run.
+    pub fn is_clean(&self) -> bool {
+        self.unsuppressed().next().is_none()
+    }
+
+    /// Human-readable rendering.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for v in self.unsuppressed() {
+            let sev = if v.advisory { "advisory" } else { "deny" };
+            let _ = writeln!(
+                out,
+                "{}:{}: {} [{}] {}\n    rationale: {}",
+                v.file, v.line, v.rule, sev, v.message, v.rationale
+            );
+        }
+        for b in &self.bad_suppressions {
+            if b.missing_reason {
+                let _ = writeln!(
+                    out,
+                    "{}:{}: malformed detlint::allow({}) — missing `reason = \"…\"`; suppresses nothing",
+                    b.file, b.line, b.rule
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "{}:{}: stale detlint::allow({}) — matched no finding",
+                    b.file, b.line, b.rule
+                );
+            }
+        }
+        let suppressed: Vec<&Violation> =
+            self.violations.iter().filter(|v| v.suppressed.is_some()).collect();
+        if !suppressed.is_empty() {
+            let _ = writeln!(out, "suppressed findings ({}):", suppressed.len());
+            for v in &suppressed {
+                let _ = writeln!(
+                    out,
+                    "  {}:{}: {} — allowed: {}",
+                    v.file,
+                    v.line,
+                    v.rule,
+                    v.suppressed.as_deref().unwrap_or("")
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "lock graph: {} classes, {} nested acquisitions",
+            self.lock_classes.len(),
+            self.lock_edges.len()
+        );
+        for e in &self.lock_edges {
+            let _ = writeln!(
+                out,
+                "  {} -> {} ({}:{} in {})",
+                e.held, e.acquired, e.file, e.line, e.func
+            );
+        }
+        let unsup = self.unsuppressed().count();
+        let _ = writeln!(
+            out,
+            "detlint: {} files, {} findings ({} suppressed with reason), {} unsuppressed — {}",
+            self.files_scanned,
+            self.violations.len(),
+            self.suppressions_used,
+            unsup,
+            if self.is_clean() { "OK" } else { "FAIL" }
+        );
+        out
+    }
+
+    /// JSONL rendering: one object per finding (suppressed included),
+    /// then one object per lock edge, then a summary object.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"violation\",\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"advisory\":{},\"suppressed\":{},\"reason\":{},\"message\":\"{}\",\"rationale\":\"{}\"}}",
+                v.rule,
+                esc(&v.file),
+                v.line,
+                v.advisory,
+                v.suppressed.is_some(),
+                match &v.suppressed {
+                    Some(r) => format!("\"{}\"", esc(r)),
+                    None => "null".to_string(),
+                },
+                esc(&v.message),
+                esc(v.rationale),
+            );
+        }
+        for e in &self.lock_edges {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"lock_edge\",\"held\":\"{}\",\"acquired\":\"{}\",\"file\":\"{}\",\"line\":{},\"fn\":\"{}\"}}",
+                esc(&e.held),
+                esc(&e.acquired),
+                esc(&e.file),
+                e.line,
+                esc(&e.func),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"summary\",\"files\":{},\"findings\":{},\"suppressed\":{},\"unsuppressed\":{},\"lock_classes\":{},\"lock_edges\":{},\"clean\":{}}}",
+            self.files_scanned,
+            self.violations.len(),
+            self.suppressions_used,
+            self.unsuppressed().count(),
+            self.lock_classes.len(),
+            self.lock_edges.len(),
+            self.is_clean(),
+        );
+        out
+    }
+}
+
+/// Minimal JSON string escaping (mirrors `trace::jsonl`).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_escapes_and_summarizes() {
+        let mut r = Report { files_scanned: 1, ..Report::default() };
+        r.violations.push(Violation {
+            rule: "R1",
+            file: "a\"b.rs".into(),
+            line: 3,
+            advisory: false,
+            message: "x".into(),
+            rationale: "y",
+            suppressed: None,
+        });
+        let j = r.to_jsonl();
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.lines().last().unwrap().contains("\"clean\":false"));
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn suppressed_findings_are_clean() {
+        let mut r = Report::default();
+        r.violations.push(Violation {
+            rule: "R4",
+            file: "f.rs".into(),
+            line: 1,
+            advisory: false,
+            message: "m".into(),
+            rationale: "r",
+            suppressed: Some("invariant".into()),
+        });
+        assert!(r.is_clean());
+        assert!(r.render_human().contains("allowed: invariant"));
+    }
+}

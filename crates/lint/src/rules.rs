@@ -1,0 +1,646 @@
+//! Per-file rule pass: the banned-path rules R1–R3 and R6, the no-panic
+//! rule R4, test-code masking, `use`-resolution, and suppression
+//! application. The lock-order pass R5 lives in [`crate::lockorder`] and
+//! shares the test mask computed here.
+
+use std::collections::BTreeMap;
+
+use crate::config::Domain;
+use crate::lexer::{Lexed, Tok, Token};
+use crate::report::{BadSuppression, Violation};
+
+/// Why each rule exists, printed with every finding.
+pub const RATIONALE_R1: &str =
+    "wall-clock reads leak host timing into the virtual-time domain and break bit-identical replay";
+pub const RATIONALE_R2: &str = "HashMap/HashSet iteration order is seeded per process (RandomState); any ordered drain diverges between runs — use BTreeMap or a sorted drain";
+pub const RATIONALE_R3: &str =
+    "unseeded randomness breaks deterministic replay; all entropy must flow from an explicit seed";
+pub const RATIONALE_R4: &str = "a panicking rank never reaches the teardown protocol, deadlocking its peers — propagate a typed error instead";
+pub const RATIONALE_R5: &str =
+    "inconsistent lock acquisition order across threads can deadlock the rank fleet";
+pub const RATIONALE_R6: &str = "Relaxed ordering provides no happens-before; cross-thread control-flow flags may observe stale values (advisory)";
+
+/// A banned fully-qualified path prefix.
+struct BannedPath {
+    rule: &'static str,
+    /// Matches the resolved path exactly or on a `::` segment boundary.
+    prefix: &'static str,
+    advisory: bool,
+    rationale: &'static str,
+}
+
+const BANNED_PATHS: &[BannedPath] = &[
+    BannedPath {
+        rule: "R1",
+        prefix: "std::time::Instant",
+        advisory: false,
+        rationale: RATIONALE_R1,
+    },
+    BannedPath {
+        rule: "R1",
+        prefix: "std::time::SystemTime",
+        advisory: false,
+        rationale: RATIONALE_R1,
+    },
+    BannedPath {
+        rule: "R2",
+        prefix: "std::collections::HashMap",
+        advisory: false,
+        rationale: RATIONALE_R2,
+    },
+    BannedPath {
+        rule: "R2",
+        prefix: "std::collections::HashSet",
+        advisory: false,
+        rationale: RATIONALE_R2,
+    },
+    BannedPath { rule: "R3", prefix: "rand::thread_rng", advisory: false, rationale: RATIONALE_R3 },
+    BannedPath { rule: "R3", prefix: "rand::random", advisory: false, rationale: RATIONALE_R3 },
+    BannedPath {
+        rule: "R3",
+        prefix: "std::collections::hash_map::RandomState",
+        advisory: false,
+        rationale: RATIONALE_R3,
+    },
+    BannedPath {
+        rule: "R6",
+        prefix: "std::sync::atomic::Ordering::Relaxed",
+        advisory: true,
+        rationale: RATIONALE_R6,
+    },
+];
+
+/// Bare method/function segments banned by R3 wherever they appear (they
+/// draw from OS entropy regardless of the receiver type).
+const BANNED_SEGMENTS_R3: &[&str] = &["thread_rng", "from_entropy"];
+
+/// Whether `rule` applies to files in `domain`.
+pub fn rule_active(rule: &str, domain: Domain) -> bool {
+    match domain {
+        Domain::Hot => matches!(rule, "R1" | "R2" | "R3" | "R4" | "R6"),
+        Domain::Virtual => matches!(rule, "R1" | "R2" | "R3" | "R6"),
+        Domain::Wallclock | Domain::Tooling | Domain::Test => false,
+    }
+}
+
+/// Result of linting one file (R5 input is extracted separately).
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    /// Findings with suppressions already applied.
+    pub violations: Vec<Violation>,
+    /// Malformed / stale suppressions.
+    pub bad_suppressions: Vec<BadSuppression>,
+    /// Suppressions that covered at least one finding.
+    pub suppressions_used: usize,
+}
+
+/// Computes the mask of tokens inside test-only code: items annotated
+/// `#[test]`, `#[cfg(test)]` (including `#[cfg(all(test, …))]`), or any
+/// `…::test` attribute path. `#[cfg(not(test))]` is production code and is
+/// NOT masked.
+pub fn test_skip_mask(lexed: &Lexed) -> Vec<bool> {
+    let toks = &lexed.tokens;
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !is_attr_start(toks, i) {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let (ids, mut j) = parse_attr(toks, i);
+        if !is_test_attr(&ids) {
+            i = j;
+            continue;
+        }
+        // Consume any further attributes on the same item.
+        while is_attr_start(toks, j) {
+            let (_, nj) = parse_attr(toks, j);
+            j = nj;
+        }
+        // Find the end of the annotated item: first `;` (e.g. `mod t;`,
+        // `use …;`) or the close of the first `{…}` block (fn/mod body).
+        let mut k = j;
+        let mut end = toks.len();
+        while k < toks.len() {
+            match toks[k].tok {
+                Tok::Punct(';') => {
+                    end = k + 1;
+                    break;
+                }
+                Tok::Punct('{') => {
+                    end = match_brace(toks, k) + 1;
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+        for m in &mut mask[attr_start..end.min(toks.len())] {
+            *m = true;
+        }
+        i = end;
+    }
+    mask
+}
+
+fn is_attr_start(toks: &[Token], i: usize) -> bool {
+    matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct('#')))
+        && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('[')))
+}
+
+/// Parses `#[…]` starting at the `#`; returns the idents inside and the
+/// index just past the closing `]`.
+fn parse_attr(toks: &[Token], i: usize) -> (Vec<String>, usize) {
+    let mut ids = Vec::new();
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (ids, j + 1);
+                }
+            }
+            Tok::Ident(s) => ids.push(s.clone()),
+            _ => {}
+        }
+        j += 1;
+    }
+    (ids, j)
+}
+
+fn is_test_attr(ids: &[String]) -> bool {
+    if ids.iter().any(|s| s == "not") {
+        return false;
+    }
+    match ids.first().map(String::as_str) {
+        Some("test") => true,
+        Some("cfg") => ids.iter().any(|s| s == "test"),
+        // `#[tokio::test]`-style paths.
+        _ => ids.last().is_some_and(|s| s == "test"),
+    }
+}
+
+/// Finds the index of the `}` matching the `{` at `open`.
+pub fn match_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len() - 1
+}
+
+/// One resolved import: local alias → full path segments.
+#[derive(Debug)]
+struct Import {
+    alias: String,
+    path: Vec<String>,
+    line: u32,
+    token_index: usize,
+}
+
+/// Parses every `use` declaration; returns imports and the mask of tokens
+/// belonging to use declarations (so the expression scan skips them).
+fn parse_uses(toks: &[Token]) -> (Vec<Import>, Vec<bool>) {
+    let mut imports = Vec::new();
+    let mut in_use = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_use = matches!(&toks[i].tok, Tok::Ident(s) if s == "use");
+        if !is_use {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        // Find terminating `;` (use decls contain no semicolons inside).
+        let mut end = i + 1;
+        while end < toks.len() && !matches!(toks[end].tok, Tok::Punct(';')) {
+            end += 1;
+        }
+        for m in &mut in_use[start..=end.min(toks.len() - 1)] {
+            *m = true;
+        }
+        parse_use_tree(toks, i + 1, end, &mut Vec::new(), &mut imports);
+        i = end + 1;
+    }
+    (imports, in_use)
+}
+
+/// Recursive-descent over one use tree between `i` and `end` (exclusive).
+/// Returns the index after the parsed tree.
+fn parse_use_tree(
+    toks: &[Token],
+    mut i: usize,
+    end: usize,
+    prefix: &mut Vec<String>,
+    out: &mut Vec<Import>,
+) -> usize {
+    let depth_at_entry = prefix.len();
+    while i < end {
+        match &toks[i].tok {
+            Tok::Ident(s) => {
+                prefix.push(s.clone());
+                i += 1;
+                if matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct(':')))
+                    && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(':')))
+                {
+                    i += 2;
+                    continue;
+                }
+                // `as` rename?
+                if let Some(Tok::Ident(kw)) = toks.get(i).map(|t| &t.tok) {
+                    if kw == "as" {
+                        if let Some(Tok::Ident(alias)) = toks.get(i + 1).map(|t| &t.tok) {
+                            out.push(Import {
+                                alias: alias.clone(),
+                                path: prefix.clone(),
+                                line: toks[i + 1].line,
+                                token_index: i + 1,
+                            });
+                            prefix.truncate(depth_at_entry);
+                            return i + 2;
+                        }
+                    }
+                }
+                // Leaf without rename.
+                out.push(Import {
+                    alias: prefix.last().cloned().unwrap_or_default(),
+                    path: prefix.clone(),
+                    line: toks[i - 1].line,
+                    token_index: i - 1,
+                });
+                prefix.truncate(depth_at_entry);
+                return i;
+            }
+            Tok::Punct('{') => {
+                i += 1;
+                loop {
+                    if i >= end {
+                        break;
+                    }
+                    if matches!(toks[i].tok, Tok::Punct('}')) {
+                        i += 1;
+                        break;
+                    }
+                    i = parse_use_tree(toks, i, end, prefix, out);
+                    if matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct(','))) {
+                        i += 1;
+                    }
+                }
+                prefix.truncate(depth_at_entry);
+                return i;
+            }
+            Tok::Punct('*') => {
+                // Glob: unresolvable, ignore.
+                prefix.truncate(depth_at_entry);
+                return i + 1;
+            }
+            _ => {
+                prefix.truncate(depth_at_entry);
+                return i + 1;
+            }
+        }
+    }
+    prefix.truncate(depth_at_entry);
+    i
+}
+
+/// Checks a resolved path against the banned table; returns the match.
+fn banned_match(full: &str, domain: Domain) -> Option<&'static BannedPath> {
+    BANNED_PATHS.iter().find(|b| {
+        rule_active(b.rule, domain)
+            && (full == b.prefix
+                || (full.starts_with(b.prefix) && full[b.prefix.len()..].starts_with("::")))
+    })
+}
+
+/// Runs R1–R4 and R6 over one lexed file.
+pub fn check_file(rel: &str, domain: Domain, lexed: &Lexed, skip: &[bool]) -> FileOutcome {
+    let mut out = FileOutcome::default();
+    let toks = &lexed.tokens;
+    let (imports, in_use) = parse_uses(toks);
+
+    // Alias map: local name → full path. `self`/`crate`/`super`-rooted
+    // paths can never resolve to std/rand, but keeping them is harmless.
+    let mut use_map: BTreeMap<&str, String> = BTreeMap::new();
+    for imp in &imports {
+        use_map.insert(imp.alias.as_str(), imp.path.join("::"));
+    }
+
+    // Banned imports at the `use` site itself.
+    for imp in &imports {
+        if skip.get(imp.token_index).copied().unwrap_or(false) {
+            continue;
+        }
+        let full = imp.path.join("::");
+        if let Some(b) = banned_match(&full, domain) {
+            out.violations.push(Violation {
+                rule: b.rule,
+                file: rel.to_string(),
+                line: imp.line,
+                advisory: b.advisory,
+                message: format!("import of `{full}`"),
+                rationale: b.rationale,
+                suppressed: None,
+            });
+        } else if rule_active("R3", domain)
+            && imp.path.iter().any(|s| BANNED_SEGMENTS_R3.contains(&s.as_str()))
+        {
+            out.violations.push(Violation {
+                rule: "R3",
+                file: rel.to_string(),
+                line: imp.line,
+                advisory: false,
+                message: format!("import of `{full}`"),
+                rationale: RATIONALE_R3,
+                suppressed: None,
+            });
+        }
+    }
+
+    // Expression scan: resolved path chains + R4 panic patterns.
+    let mut i = 0usize;
+    while i < toks.len() {
+        if skip[i] || in_use[i] {
+            i += 1;
+            continue;
+        }
+        match &toks[i].tok {
+            Tok::Ident(first) => {
+                // R4: bare panic-family macros.
+                if rule_active("R4", domain)
+                    && matches!(first.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
+                    && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('!')))
+                {
+                    out.violations.push(Violation {
+                        rule: "R4",
+                        file: rel.to_string(),
+                        line: toks[i].line,
+                        advisory: false,
+                        message: format!("`{first}!` in rank-thread hot path"),
+                        rationale: RATIONALE_R4,
+                        suppressed: None,
+                    });
+                    i += 2;
+                    continue;
+                }
+                // Collect the `a::b::c` chain.
+                let line = toks[i].line;
+                let mut chain = vec![first.clone()];
+                let mut j = i + 1;
+                while matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Punct(':')))
+                    && matches!(toks.get(j + 1).map(|t| &t.tok), Some(Tok::Punct(':')))
+                {
+                    match toks.get(j + 2).map(|t| &t.tok) {
+                        Some(Tok::Ident(s)) => {
+                            chain.push(s.clone());
+                            j += 3;
+                        }
+                        _ => break,
+                    }
+                }
+                // Resolve through the alias map.
+                let full = match use_map.get(chain[0].as_str()) {
+                    Some(expansion) if chain.len() > 1 => {
+                        let mut f = expansion.clone();
+                        for seg in &chain[1..] {
+                            f.push_str("::");
+                            f.push_str(seg);
+                        }
+                        f
+                    }
+                    Some(expansion) => expansion.clone(),
+                    None => chain.join("::"),
+                };
+                if let Some(b) = banned_match(&full, domain) {
+                    out.violations.push(Violation {
+                        rule: b.rule,
+                        file: rel.to_string(),
+                        line,
+                        advisory: b.advisory,
+                        message: format!("reference to `{full}`"),
+                        rationale: b.rationale,
+                        suppressed: None,
+                    });
+                } else if rule_active("R3", domain)
+                    && chain.iter().any(|s| BANNED_SEGMENTS_R3.contains(&s.as_str()))
+                {
+                    out.violations.push(Violation {
+                        rule: "R3",
+                        file: rel.to_string(),
+                        line,
+                        advisory: false,
+                        message: format!("call of `{full}`"),
+                        rationale: RATIONALE_R3,
+                        suppressed: None,
+                    });
+                }
+                i = j;
+            }
+            Tok::Punct('.') => {
+                // R4: `.unwrap()` / `.expect(`.
+                if rule_active("R4", domain) {
+                    if let Some(Tok::Ident(m)) = toks.get(i + 1).map(|t| &t.tok) {
+                        if (m == "unwrap" || m == "expect")
+                            && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Punct('(')))
+                        {
+                            out.violations.push(Violation {
+                                rule: "R4",
+                                file: rel.to_string(),
+                                line: toks[i + 1].line,
+                                advisory: false,
+                                message: format!("`.{m}()` in rank-thread hot path"),
+                                rationale: RATIONALE_R4,
+                                suppressed: None,
+                            });
+                            i += 3;
+                            continue;
+                        }
+                    }
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+
+    apply_suppressions(rel, lexed, &mut out);
+    out
+}
+
+/// Applies `detlint::allow` comments: a suppression on line N covers
+/// findings for its rule on line N (trailing) and line N+1 (preceding).
+/// Suppressions without a reason cover nothing and are reported; unused
+/// suppressions are reported as stale.
+fn apply_suppressions(rel: &str, lexed: &Lexed, out: &mut FileOutcome) {
+    let mut used = vec![false; lexed.suppressions.len()];
+    for v in &mut out.violations {
+        for (si, s) in lexed.suppressions.iter().enumerate() {
+            if s.rule == v.rule && (v.line == s.line || v.line == s.line + 1) {
+                if let Some(reason) = &s.reason {
+                    v.suppressed = Some(reason.clone());
+                    used[si] = true;
+                    break;
+                }
+            }
+        }
+    }
+    for (si, s) in lexed.suppressions.iter().enumerate() {
+        if s.reason.is_none() {
+            out.bad_suppressions.push(BadSuppression {
+                file: rel.to_string(),
+                line: s.line,
+                rule: s.rule.clone(),
+                missing_reason: true,
+            });
+        } else if used[si] {
+            out.suppressions_used += 1;
+        } else {
+            out.bad_suppressions.push(BadSuppression {
+                file: rel.to_string(),
+                line: s.line,
+                rule: s.rule.clone(),
+                missing_reason: false,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(domain: Domain, src: &str) -> Vec<Violation> {
+        let lexed = lex(src);
+        let skip = test_skip_mask(&lexed);
+        check_file("t.rs", domain, &lexed, &skip).violations
+    }
+
+    #[test]
+    fn instant_flagged_in_virtual_not_wallclock() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        let vs = run(Domain::Virtual, src);
+        assert_eq!(vs.len(), 2, "{vs:?}");
+        assert!(vs.iter().all(|v| v.rule == "R1"));
+        assert_eq!(vs[0].line, 1);
+        assert_eq!(vs[1].line, 2);
+        assert!(run(Domain::Wallclock, src).is_empty());
+    }
+
+    #[test]
+    fn hashmap_alias_resolved() {
+        let src = "use std::collections::HashMap as Map;\nfn f() { let m: Map<u32, u32> = Map::new(); }\n";
+        let vs = run(Domain::Virtual, src);
+        assert!(vs.iter().all(|v| v.rule == "R2"));
+        assert_eq!(vs.len(), 3, "{vs:?}"); // import + 2 references
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n  use std::collections::HashMap;\n  #[test]\n  fn t() { let _ = HashMap::<u8, u8>::new(); x.unwrap(); }\n}\n";
+        assert!(run(Domain::Hot, src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "#[cfg(not(test))]\nfn f() { x.unwrap(); }\n";
+        let vs = run(Domain::Hot, src);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, "R4");
+    }
+
+    #[test]
+    fn panic_family_flagged_only_in_hot() {
+        let src = "fn f() { panic!(\"boom\"); y.expect(\"msg\"); }\n";
+        let vs = run(Domain::Hot, src);
+        assert_eq!(vs.len(), 2, "{vs:?}");
+        assert!(run(Domain::Virtual, src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_is_advisory() {
+        let src = "use std::sync::atomic::Ordering;\nfn f() { x.load(Ordering::Relaxed); x.load(Ordering::SeqCst); }\n";
+        let vs = run(Domain::Virtual, src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, "R6");
+        assert!(vs[0].advisory);
+    }
+
+    #[test]
+    fn cmp_ordering_not_confused_with_atomic() {
+        let src = "use std::cmp::Ordering;\nfn f() -> Ordering { Ordering::Less }\n";
+        assert!(run(Domain::Virtual, src).is_empty());
+    }
+
+    #[test]
+    fn suppression_with_reason_clears_finding() {
+        let src = "// detlint::allow(R2, reason = \"keyed access only; never iterated\")\nuse std::collections::HashMap;\n";
+        let lexed = lex(src);
+        let skip = test_skip_mask(&lexed);
+        let out = check_file("t.rs", Domain::Virtual, &lexed, &skip);
+        assert_eq!(out.violations.len(), 1);
+        assert!(out.violations[0].suppressed.is_some());
+        assert_eq!(out.suppressions_used, 1);
+        assert!(out.bad_suppressions.is_empty());
+    }
+
+    #[test]
+    fn suppression_without_reason_does_not_clear() {
+        let src = "// detlint::allow(R2)\nuse std::collections::HashSet;\n";
+        let lexed = lex(src);
+        let skip = test_skip_mask(&lexed);
+        let out = check_file("t.rs", Domain::Virtual, &lexed, &skip);
+        assert!(out.violations[0].suppressed.is_none());
+        assert!(out.bad_suppressions.iter().any(|b| b.missing_reason));
+    }
+
+    #[test]
+    fn stale_suppression_reported() {
+        let src = "// detlint::allow(R1, reason = \"nothing here\")\nfn f() {}\n";
+        let lexed = lex(src);
+        let skip = test_skip_mask(&lexed);
+        let out = check_file("t.rs", Domain::Virtual, &lexed, &skip);
+        assert!(out.violations.is_empty());
+        assert_eq!(out.bad_suppressions.len(), 1);
+        assert!(!out.bad_suppressions[0].missing_reason);
+    }
+
+    #[test]
+    fn group_use_resolves_each_leaf() {
+        let src = "use std::collections::{BTreeMap, HashMap, hash_map::RandomState};\n";
+        let vs = run(Domain::Virtual, src);
+        let rules: Vec<&str> = vs.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"R2"));
+        assert!(rules.contains(&"R3"));
+        assert_eq!(vs.len(), 2, "{vs:?}");
+    }
+
+    #[test]
+    fn thread_rng_segment_flagged() {
+        let src = "fn f() { let mut rng = rand::thread_rng(); }\n";
+        let vs = run(Domain::Virtual, src);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, "R3");
+    }
+
+    #[test]
+    fn seeded_rng_ok() {
+        let src =
+            "use rand::SeedableRng;\nfn f(seed: u64) { let rng = StdRng::seed_from_u64(seed); }\n";
+        assert!(run(Domain::Virtual, src).is_empty());
+    }
+}

@@ -1,0 +1,9 @@
+// R1 negative fixture: wall-clock *mentions* that must not fire.
+
+/// Doc text naming Instant::now() and std::time::SystemTime is fine.
+pub fn virtual_now(clock: f64) -> f64 {
+    let msg = "never call std::time::Instant::now() here";
+    let raw = r#"SystemTime::now() inside a raw string"#;
+    let _ = (msg, raw);
+    clock + 1.0
+}

@@ -1,0 +1,8 @@
+// R1 positive fixture: wall-clock reads in a virtual-time domain.
+use std::time::Instant;
+
+pub fn measure() -> f64 {
+    let start = Instant::now();
+    let _boot = std::time::SystemTime::now();
+    start.elapsed().as_secs_f64()
+}

@@ -1,0 +1,14 @@
+// R2 negative fixture: ordered containers and textual mentions only.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn tally(keys: &[u64]) -> usize {
+    let note = "a HashMap would be nondeterministic here";
+    let _ = note;
+    let mut counts: BTreeMap<u64, u32> = BTreeMap::new();
+    let mut seen = BTreeSet::new();
+    for &k in keys {
+        *counts.entry(k).or_insert(0) += 1;
+        seen.insert(k);
+    }
+    seen.len()
+}

@@ -1,0 +1,13 @@
+// R2 positive fixture: RandomState-iteration-order containers.
+use std::collections::HashMap;
+use std::collections::HashSet as Seen;
+
+pub fn tally(keys: &[u64]) -> usize {
+    let mut counts: HashMap<u64, u32> = HashMap::new();
+    let mut seen = Seen::new();
+    for &k in keys {
+        *counts.entry(k).or_insert(0) += 1;
+        seen.insert(k);
+    }
+    seen.len()
+}

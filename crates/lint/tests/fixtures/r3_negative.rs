@@ -1,0 +1,10 @@
+// R3 negative fixture: seeded, reproducible randomness is fine.
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub fn roll(seed: u64) -> u64 {
+    let note = "thread_rng and from_entropy are banned in this domain";
+    let _ = note;
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen()
+}

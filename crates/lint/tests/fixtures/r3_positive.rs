@@ -1,0 +1,10 @@
+// R3 positive fixture: unseeded entropy sources.
+use std::collections::hash_map::RandomState;
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    let extra: u64 = rand::random();
+    let _state = RandomState::new();
+    let _ = &mut rng;
+    extra
+}

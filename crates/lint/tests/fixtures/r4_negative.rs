@@ -1,0 +1,17 @@
+// R4 negative fixture: fallible handling, and unwraps confined to tests.
+pub fn deliver(slot: Option<u64>, buf: &[u8]) -> Option<u64> {
+    let head = slot.unwrap_or(0);
+    let tail = buf.last().copied().unwrap_or_else(|| 0);
+    head.checked_add(u64::from(tail))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u64> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let r: Result<u64, ()> = Ok(2);
+        assert_eq!(r.expect("ok"), 2);
+    }
+}

@@ -1,0 +1,9 @@
+// R4 positive fixture: abort-the-rank escape hatches on the hot path.
+pub fn deliver(slot: Option<u64>, buf: &[u8]) -> u64 {
+    if buf.is_empty() {
+        panic!("empty buffer");
+    }
+    let head = slot.unwrap();
+    let tail = buf.last().copied().expect("non-empty checked above");
+    head + u64::from(tail)
+}

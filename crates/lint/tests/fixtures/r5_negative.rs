@@ -1,0 +1,22 @@
+// R5 negative fixture: every path honors the same alpha-before-beta
+// acquisition order, so the lock graph has edges but no cycle.
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn sum(&self) -> u64 {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        *a + *b
+    }
+
+    pub fn diff(&self) -> u64 {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        *a - *b
+    }
+}

@@ -1,0 +1,22 @@
+// R5 positive fixture: two paths acquire the same two locks in opposite
+// orders — a textbook ABBA deadlock.
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u64 {
+        let b = self.beta.lock().unwrap();
+        let a = self.alpha.lock().unwrap();
+        *a - *b
+    }
+}

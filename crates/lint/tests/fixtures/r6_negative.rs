@@ -1,0 +1,6 @@
+// R6 negative fixture: sequentially consistent atomics draw no advisory.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::SeqCst)
+}

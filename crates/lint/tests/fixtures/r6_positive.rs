@@ -1,0 +1,6 @@
+// R6 positive fixture: Relaxed atomics (advisory finding).
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}

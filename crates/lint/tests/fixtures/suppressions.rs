@@ -1,0 +1,21 @@
+// Suppression fixture: one well-formed trailing allow, one well-formed
+// preceding-line allow, one malformed allow (no reason — suppresses
+// nothing), and one stale allow on a clean line.
+
+pub fn suppressed_trailing(v: Option<u64>) -> u64 {
+    v.unwrap() // detlint::allow(R4, reason = "fixture: invariant documented elsewhere")
+}
+
+pub fn suppressed_preceding(v: Option<u64>) -> u64 {
+    // detlint::allow(R4, reason = "fixture: covers the next line")
+    v.unwrap()
+}
+
+pub fn malformed_allow(v: Option<u64>) -> u64 {
+    v.unwrap() // detlint::allow(R4)
+}
+
+pub fn stale_allow(v: u64) -> u64 {
+    // detlint::allow(R4, reason = "fixture: nothing fires here, so this is stale")
+    v + 1
+}

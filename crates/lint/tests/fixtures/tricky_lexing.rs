@@ -1,0 +1,34 @@
+// Tricky-lexing fixture: every banned pattern below lives inside string
+// literals, raw strings, byte strings, char context, or (nested) comments
+// — none may fire. The single REAL violation at the bottom proves the
+// lexer resynchronized correctly after all of it.
+
+/* Outer comment.
+   /* Nested comment mentioning Instant::now() and HashMap::new(). */
+   Still the outer comment: x.unwrap() and panic!("boom").
+*/
+
+pub fn decoys() -> usize {
+    let plain = "std::time::Instant::now() and thread_rng() in a string";
+    let escaped = "say \"HashMap\" with .unwrap() escaped \\";
+    let raw = r#"raw: SystemTime::now(); panic!("x"); Ordering::Relaxed"#;
+    let hashed = r##"r# inside: rand::random() and .expect("no") "# still raw"##;
+    let bytes = b"byte string: HashSet::new() .unwrap()";
+    let byte_char = b'"';
+    let quote_char = '"';
+    let lifetime: &'static str = "lifetime tick is not a char literal";
+    // Line comment decoy: let t = Instant::now(); HashMap::default();
+    let instant_like = plain.len(); // identifier merely *containing* names
+    plain.len()
+        + escaped.len()
+        + raw.len()
+        + hashed.len()
+        + bytes.len()
+        + usize::from(byte_char == quote_char as u8)
+        + lifetime.len()
+        + instant_like
+}
+
+pub fn real_violation(v: Option<u64>) -> u64 {
+    v.unwrap()
+}

@@ -91,6 +91,7 @@ impl ReduceOp {
             return Err(MpiError::CollectiveMismatch { what: "reduce operand lengths differ" });
         }
         for (a, c) in acc.iter_mut().zip(bytes.chunks_exact(8)) {
+            // detlint::allow(R4, reason = "infallible: chunks_exact(8) yields exactly 8-byte slices")
             *a = self.combine_f64(*a, f64::from_le_bytes(c.try_into().expect("chunk of 8")));
         }
         Ok(())
@@ -107,6 +108,7 @@ impl ReduceOp {
             return Err(MpiError::CollectiveMismatch { what: "reduce operand lengths differ" });
         }
         for (a, c) in acc.iter_mut().zip(bytes.chunks_exact(8)) {
+            // detlint::allow(R4, reason = "infallible: chunks_exact(8) yields exactly 8-byte slices")
             *a = self.combine_u64(*a, u64::from_le_bytes(c.try_into().expect("chunk of 8")));
         }
         Ok(())
@@ -139,6 +141,7 @@ pub fn unframe_parts(buf: &Bytes) -> Result<Vec<Bytes>> {
         if end > buf.len() {
             return Err(err());
         }
+        // detlint::allow(R4, reason = "infallible: the slice is exactly 8 bytes, bounds-checked against buf.len() just above")
         let v = u64::from_le_bytes(buf[*offset..end].try_into().expect("8 bytes"));
         *offset = end;
         Ok(v)

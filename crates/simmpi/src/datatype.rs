@@ -65,6 +65,7 @@ pub fn decode_f64s(bytes: &[u8]) -> Result<Vec<f64>> {
     }
     Ok(bytes
         .chunks_exact(8)
+        // detlint::allow(R4, reason = "infallible: chunks_exact(8) yields exactly 8-byte slices")
         .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
         .collect())
 }
@@ -89,6 +90,7 @@ pub fn decode_u64s(bytes: &[u8]) -> Result<Vec<u64>> {
     }
     Ok(bytes
         .chunks_exact(8)
+        // detlint::allow(R4, reason = "infallible: chunks_exact(8) yields exactly 8-byte slices")
         .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
         .collect())
 }
@@ -113,6 +115,7 @@ pub fn decode_i64s(bytes: &[u8]) -> Result<Vec<i64>> {
     }
     Ok(bytes
         .chunks_exact(8)
+        // detlint::allow(R4, reason = "infallible: chunks_exact(8) yields exactly 8-byte slices")
         .map(|c| i64::from_le_bytes(c.try_into().expect("chunk of 8")))
         .collect())
 }

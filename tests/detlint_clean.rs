@@ -1,0 +1,89 @@
+//! Tier-1 gate: the workspace must pass its own determinism lints.
+//!
+//! Runs the full `redcr-lint` pass in-process (no subprocess, no
+//! `cargo run`) over the repository root and fails the build if any
+//! unsuppressed violation, malformed suppression (missing `reason`), or
+//! stale suppression exists. A second test seeds a synthetic violation
+//! through [`redcr_lint::lint_source`] to prove the analyzer actually
+//! fires — a lint pass that silently matched nothing would otherwise
+//! look identical to a clean tree.
+
+use redcr_lint::{lint_source, lint_workspace, Domain};
+
+fn repo_root() -> std::path::PathBuf {
+    // CARGO_MANIFEST_DIR of a workspace-root integration test is the
+    // workspace root itself.
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_is_detlint_clean() {
+    let report = lint_workspace(&repo_root()).expect("lint pass runs");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}): exclude list or walk is broken",
+        report.files_scanned
+    );
+    let unsuppressed: Vec<_> = report.unsuppressed().collect();
+    assert!(
+        unsuppressed.is_empty(),
+        "detlint found {} unsuppressed violation(s):\n{}",
+        unsuppressed.len(),
+        unsuppressed
+            .iter()
+            .map(|v| format!("  {}:{}: {} — {}", v.file, v.line, v.rule, v.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.bad_suppressions.is_empty(),
+        "malformed or stale detlint suppressions:\n{}",
+        report
+            .bad_suppressions
+            .iter()
+            .map(|b| format!("  {}:{}: {}", b.file, b.line, b.rule))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Every suppression that is in use must carry a reason; the lexer
+    // treats reason-less allows as malformed, so reaching here with a
+    // non-empty suppression list means they all had one. Sanity-check the
+    // invariant anyway.
+    for v in &report.violations {
+        if let Some(reason) = &v.suppressed {
+            assert!(!reason.trim().is_empty(), "{}:{}: empty suppression reason", v.file, v.line);
+        }
+    }
+}
+
+#[test]
+fn seeded_wallclock_violation_is_caught() {
+    // A virtual-time crate sneaking in a wall-clock read must trip R1
+    // with the right rule id and line number.
+    let src = "use std::time::Instant;\n\
+               \n\
+               pub fn now_ms() -> u128 {\n\
+                   let t = Instant::now();\n\
+                   t.elapsed().as_millis()\n\
+               }\n";
+    let report = lint_source("crates/simmpi/src/seeded.rs", Domain::Hot, src);
+    let r1: Vec<_> = report.unsuppressed().filter(|v| v.rule == "R1").collect();
+    assert!(!r1.is_empty(), "seeded Instant usage not caught: {report:?}");
+    assert!(
+        r1.iter().any(|v| v.line == 1),
+        "the `use std::time::Instant` import on line 1 should be flagged: {r1:?}"
+    );
+    assert!(
+        r1.iter().any(|v| v.line == 4),
+        "the `Instant::now()` call on line 4 should be flagged: {r1:?}"
+    );
+    assert!(!report.is_clean(), "report with unsuppressed violations must not be clean");
+}
+
+#[test]
+fn seeded_violation_in_wallclock_domain_is_fine() {
+    // The same source is legal in the bench (wallclock) domain.
+    let src = "use std::time::Instant;\npub fn t() -> Instant { Instant::now() }\n";
+    let report = lint_source("crates/bench/src/seeded.rs", Domain::Wallclock, src);
+    assert!(report.is_clean(), "wallclock domain must allow Instant: {report:?}");
+}

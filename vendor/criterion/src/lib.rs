@@ -8,6 +8,10 @@
 //! fixed iteration budget and prints one line per benchmark — enough to
 //! compare runs by hand, with the same bench-source API as upstream.
 
+// A wall-clock bench harness is the other sanctioned wall-clock domain
+// besides crates/bench (see clippy.toml): measuring the host is its job.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

@@ -1,0 +1,22 @@
+//! Runs the chaos-mode kill/heal sweep: each seeded race scenario twice,
+//! gated on bit-determinism (report totals and trace FNV must repeat) and
+//! on the race actually materializing. Exits 1 on any violation.
+fn main() {
+    let outcomes = redcr_bench::chaos::generate();
+    print!("{}", redcr_bench::chaos::render(&outcomes));
+    let mut failed = false;
+    for o in &outcomes {
+        if !o.deterministic {
+            eprintln!("FAIL: {} did not repeat bit-for-bit", o.name);
+            failed = true;
+        }
+        if !o.expectation_met {
+            eprintln!("FAIL: {} did not produce its kill/heal race", o.name);
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("all {} chaos scenarios deterministic and on script", outcomes.len());
+}

@@ -14,4 +14,19 @@ fn main() {
         std::process::exit(1);
     }
     println!("failure-free relative error {:+.2}% — within the 20% bound", err * 100.0);
+    let heal = runs.iter().find(|r| r.name == "cg_heal").expect("healing scenario");
+    let herr = heal.validation.relative_error;
+    if heal.validation.respawns == 0 {
+        eprintln!("FAIL: healing scenario produced no respawns");
+        std::process::exit(1);
+    }
+    if herr.is_nan() || herr.abs() >= 0.2 {
+        eprintln!("FAIL: healing relative error {herr:+.3} exceeds the 20% bound");
+        std::process::exit(1);
+    }
+    println!(
+        "healing relative error {:+.2}% ({} respawns, repair-extended model) — within the 20% bound",
+        herr * 100.0,
+        heal.validation.respawns
+    );
 }

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod calib;
+pub mod chaos;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13_14;

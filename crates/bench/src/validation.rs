@@ -11,13 +11,19 @@
 //!   binary and CI);
 //! * `cg_failures` — the stormy `cg_resilient` setup (90 s MTBF): the
 //!   sidecar records how far a single noisy sample strays from the
-//!   expectation (no bound asserted — one seed is not an ensemble).
+//!   expectation (no bound asserted — one seed is not an ensemble);
+//! * `cg_heal` — the same storm under triple redundancy with `OnDegrade`
+//!   self-healing: replicas die, are respawned from surviving donors and
+//!   rejoin, and the **repair-extended** model (Eqs. 9–14 with the measured
+//!   repair rate `μ`, see `redcr_model::repair`) must land within the same
+//!   20% bound (asserted by the `validation` binary and CI).
 
 use std::path::PathBuf;
 
 use redcr_apps::cg::CgConfig;
 use redcr_core::apps::CgApp;
 use redcr_core::{ExecutorConfig, ModelValidation, ResilientExecutor};
+use redcr_red::HealPolicy;
 
 use crate::output;
 
@@ -31,7 +37,11 @@ pub struct ValidationRun {
 }
 
 fn run(name: &'static str, cfg: ExecutorConfig) -> ValidationRun {
-    let app = CgApp::new(CgConfig::small(256), 40).with_step_pad(1.0);
+    run_sized(name, cfg, 256, 40)
+}
+
+fn run_sized(name: &'static str, cfg: ExecutorConfig, n: usize, iterations: u64) -> ValidationRun {
+    let app = CgApp::new(CgConfig::small(n), iterations).with_step_pad(1.0);
     let report = ResilientExecutor::new(cfg.clone()).run(&app).expect("validation run");
     let validation = ModelValidation::from_run(&cfg, &report).expect("validation report");
     ValidationRun { name, validation }
@@ -45,9 +55,23 @@ pub fn generate() -> Vec<ValidationRun> {
         .restart_cost(2.0)
         .tracing(true)
         .metrics(true);
+    let heal = ExecutorConfig::new(4, 3.0)
+        .node_mtbf(60.0)
+        .checkpoint_interval(6.0)
+        .checkpoint_cost(0.2)
+        .restart_cost(1.0)
+        .seed(0)
+        .tracing(true)
+        .metrics(true)
+        .heal_policy(HealPolicy::OnDegrade)
+        .heartbeat_period(0.5)
+        .suspicion_timeout(0.5)
+        .respawn_cost(0.5)
+        .transfer_cost_per_byte(1e-4);
     vec![
         run("cg", base.clone().node_mtbf(1e9).seed(1)),
         run("cg_failures", base.node_mtbf(90.0).seed(2012)),
+        run_sized("cg_heal", heal, 32, 20),
     ]
 }
 

@@ -2,7 +2,7 @@
 
 use redcr_ckpt::coordinator::CoordinationProtocol;
 use redcr_mpi::CostModel;
-use redcr_red::VotingMode;
+use redcr_red::{HealPolicy, VotingMode};
 
 /// Full configuration of a resilient execution. All durations are
 /// **virtual seconds** (the executor lives at runtime granularity; the
@@ -52,6 +52,24 @@ pub struct ExecutorConfig {
     /// Virtual-second cadence of the metrics scraper (counter time-series
     /// grid spacing). Ignored unless [`metrics`](Self::metrics) is set.
     pub scrape_interval: f64,
+    /// Self-healing policy: whether (and when) dead replicas are respawned
+    /// mid-attempt instead of leaving their sphere degraded for the rest of
+    /// the run. [`HealPolicy::Never`] reproduces the legacy fault path
+    /// bit for bit.
+    pub heal_policy: HealPolicy,
+    /// Modeled heartbeat period of the failure detector, virtual seconds.
+    /// Ignored unless [`heal_policy`](Self::heal_policy) heals.
+    pub heartbeat_period: f64,
+    /// Suspicion timeout after the last heartbeat, virtual seconds. Values
+    /// below the period are clamped up to it, which guarantees no false
+    /// suspicion of a live replica.
+    pub suspicion_timeout: f64,
+    /// Fixed cost of allocating and booting a replacement process,
+    /// virtual seconds per heal cycle.
+    pub respawn_cost: f64,
+    /// Modeled state-transfer cost, virtual seconds per serialized
+    /// checkpoint-image byte shipped from the donor replica.
+    pub transfer_cost_per_byte: f64,
 }
 
 impl ExecutorConfig {
@@ -74,6 +92,11 @@ impl ExecutorConfig {
             tracing: false,
             metrics: false,
             scrape_interval: 1.0,
+            heal_policy: HealPolicy::Never,
+            heartbeat_period: 1.0,
+            suspicion_timeout: 1.0,
+            respawn_cost: 0.0,
+            transfer_cost_per_byte: 0.0,
         }
     }
 
@@ -155,6 +178,36 @@ impl ExecutorConfig {
         self.scrape_interval = seconds;
         self
     }
+
+    /// Sets the self-healing policy.
+    pub fn heal_policy(mut self, policy: HealPolicy) -> Self {
+        self.heal_policy = policy;
+        self
+    }
+
+    /// Sets the failure-detector heartbeat period (virtual seconds).
+    pub fn heartbeat_period(mut self, seconds: f64) -> Self {
+        self.heartbeat_period = seconds;
+        self
+    }
+
+    /// Sets the failure-detector suspicion timeout (virtual seconds).
+    pub fn suspicion_timeout(mut self, seconds: f64) -> Self {
+        self.suspicion_timeout = seconds;
+        self
+    }
+
+    /// Sets the fixed respawn cost per heal cycle (virtual seconds).
+    pub fn respawn_cost(mut self, seconds: f64) -> Self {
+        self.respawn_cost = seconds;
+        self
+    }
+
+    /// Sets the modeled transfer cost (virtual seconds per image byte).
+    pub fn transfer_cost_per_byte(mut self, seconds: f64) -> Self {
+        self.transfer_cost_per_byte = seconds;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -169,11 +222,31 @@ mod tests {
             .checkpoint_cost(2.0)
             .restart_cost(5.0)
             .seed(7)
-            .max_attempts(100);
+            .max_attempts(100)
+            .heal_policy(HealPolicy::OnDegrade)
+            .heartbeat_period(0.5)
+            .suspicion_timeout(2.0)
+            .respawn_cost(1.5)
+            .transfer_cost_per_byte(1e-6);
         assert_eq!(cfg.n_virtual, 8);
         assert_eq!(cfg.degree, 2.0);
         assert_eq!(cfg.node_mtbf, 3600.0);
         assert_eq!(cfg.checkpoint_interval, 60.0);
         assert_eq!(cfg.max_attempts, 100);
+        assert_eq!(cfg.heal_policy, HealPolicy::OnDegrade);
+        assert_eq!(cfg.heartbeat_period, 0.5);
+        assert_eq!(cfg.suspicion_timeout, 2.0);
+        assert_eq!(cfg.respawn_cost, 1.5);
+        assert_eq!(cfg.transfer_cost_per_byte, 1e-6);
+    }
+
+    #[test]
+    fn heal_defaults_to_never() {
+        let cfg = ExecutorConfig::new(4, 2.0);
+        assert_eq!(cfg.heal_policy, HealPolicy::Never);
+        assert_eq!(cfg.heartbeat_period, 1.0);
+        assert_eq!(cfg.suspicion_timeout, 1.0);
+        assert_eq!(cfg.respawn_cost, 0.0);
+        assert_eq!(cfg.transfer_cost_per_byte, 0.0);
     }
 }

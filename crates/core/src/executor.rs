@@ -8,17 +8,19 @@ use std::sync::Arc;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
+use redcr_ckpt::bookmark;
 use redcr_ckpt::coordinator::CheckpointCoordinator;
 use redcr_ckpt::restart;
+use redcr_ckpt::snapshot::{ChannelMessage, ProcessImage};
 use redcr_ckpt::storage::{MemoryStorage, StableStorage, StorageCostModel};
 use redcr_ckpt::CountingComm;
-use redcr_fault::{FailureInjector, ReplicaGroups};
+use redcr_fault::{FailureEvent, FailureInjector, ReplicaGroups};
 use redcr_model::partition::RedundancyPartition;
 use redcr_mpi::collectives::ReduceOp;
 use redcr_mpi::metrics::{CounterKey, HistKey, MetricsRegistry};
-use redcr_mpi::trace::{Collector, EventKind};
+use redcr_mpi::trace::{heal, Collector, EventKind};
 use redcr_mpi::{Communicator, MpiError};
-use redcr_red::ReplicatedWorld;
+use redcr_red::{DetectorParams, HealPolicy, ReplicatedWorld};
 
 use crate::config::ExecutorConfig;
 use crate::report::ExecutionReport;
@@ -49,6 +51,110 @@ pub trait ResilientApp: Sync {
 
     /// Whether the application has finished.
     fn is_done(&self, state: &Self::State) -> bool;
+}
+
+/// What one world segment of an attempt produced on each rank. An attempt
+/// is a sequence of segments: the failure detector splits it at heal
+/// boundaries, and only the last segment runs the application to
+/// completion.
+enum SegmentOutcome<S> {
+    /// The application finished; `checkpoints` counts commits across the
+    /// whole attempt (carried over heal relaunches).
+    Done { state: S, checkpoints: u64 },
+    /// The failure detector fired at the collective boundary: the segment
+    /// quiesced its channels so the executor can respawn the suspected
+    /// replicas and relaunch every rank from live state.
+    Heal {
+        state: S,
+        channel: Vec<ChannelMessage>,
+        boundary: f64,
+        next_seq: u64,
+        next_ckpt: f64,
+        checkpoints: u64,
+    },
+}
+
+/// Live state carried across a heal relaunch: one serialized checkpoint
+/// image per virtual rank (the donor replica's snapshot — the checkpoint
+/// codec doubles as the state-transfer wire format) plus the checkpoint
+/// cursor of the quiesced segment.
+struct HealSeed {
+    images: Vec<Vec<u8>>,
+    next_seq: u64,
+    next_ckpt: f64,
+    checkpoints: u64,
+}
+
+/// Failure-detector inputs of one segment. Present only when the policy
+/// heals, so the legacy `Never` path performs zero extra work.
+struct HealCtx {
+    policy: HealPolicy,
+    params: DetectorParams,
+    attempt_start: f64,
+    deaths: Vec<f64>,
+}
+
+impl HealCtx {
+    /// Whether any replica's suspicion deadline has elapsed at the agreed
+    /// clock boundary `now_max`. Pure in the boundary and the (identical)
+    /// death schedule, so every rank takes the same branch without any
+    /// extra communication.
+    fn suspects_at(&self, now_max: f64) -> bool {
+        self.deaths.iter().any(|&d| self.params.suspicion_time(self.attempt_start, d) <= now_max)
+    }
+}
+
+/// Absolute job-failure time of the current death timeline: the earliest
+/// moment any sphere loses its last replica (max member death, minimized
+/// over spheres; ties resolve to the lower sphere, matching the sampled
+/// schedule's own `job_failure`).
+fn job_failure_abs(groups: &ReplicaGroups, deaths_abs: &[f64]) -> (f64, usize) {
+    let mut when = f64::INFINITY;
+    let mut who = usize::MAX;
+    for (v, members) in groups.iter().enumerate() {
+        let dead_at = members
+            .iter()
+            .map(|&p| deaths_abs.get(p).copied().unwrap_or(f64::INFINITY))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if dead_at < when {
+            when = dead_at;
+            who = v;
+        }
+    }
+    (when, who)
+}
+
+/// Rewrites an attempt's failure log against its *current* timeline. A heal
+/// commit changes which deaths occur and which one (if any) kills the job,
+/// so the events recorded at plan time are dropped and re-recorded from the
+/// live death list, with `killed_job` pointing at the recomputed killer.
+fn rebuild_failure_log(
+    injector: &mut FailureInjector,
+    attempt: u64,
+    deaths_log: &[(u32, f64)],
+    job_fail_abs: f64,
+    killer: usize,
+) {
+    let fatal: Vec<usize> = if job_fail_abs.is_finite() {
+        injector.groups().members(killer).to_vec()
+    } else {
+        Vec::new()
+    };
+    let trace = injector.trace_mut();
+    trace.truncate_attempt(attempt, f64::NEG_INFINITY);
+    if !job_fail_abs.is_finite() {
+        return;
+    }
+    for &(p, abs) in deaths_log {
+        if abs <= job_fail_abs {
+            trace.record(FailureEvent {
+                attempt,
+                time: abs,
+                process: p as usize,
+                killed_job: abs == job_fail_abs && fatal.contains(&(p as usize)),
+            });
+        }
+    }
 }
 
 /// Runs [`ResilientApp`]s to completion under failures.
@@ -100,6 +206,20 @@ impl ResilientExecutor {
         let coordinator = CheckpointCoordinator::new(Arc::clone(&self.storage))
             .cost_model(storage_cost)
             .protocol(cfg.protocol);
+        let params = DetectorParams::new(cfg.heartbeat_period, cfg.suspicion_timeout);
+        // Sphere membership in the two shapes the heal paths need: members
+        // per sphere (as u32, for the shared heal accounting) and sphere
+        // per physical rank.
+        let spheres: Vec<Vec<u32>> =
+            injector.groups().iter().map(|m| m.iter().map(|&p| p as u32).collect()).collect();
+        let mut sphere_of = vec![0usize; spheres.iter().map(Vec::len).sum()];
+        for (v, members) in injector.groups().iter().enumerate() {
+            for &p in members {
+                if let Some(slot) = sphere_of.get_mut(p) {
+                    *slot = v;
+                }
+            }
+        }
 
         let registry = cfg.metrics.then(|| Arc::new(MetricsRegistry::new()));
         let collector = cfg.tracing.then(|| Arc::new(Collector::new()));
@@ -125,6 +245,9 @@ impl ResilientExecutor {
         let mut stats = redcr_red::stats::StatsSnapshot::default();
         let mut physical_messages = 0u64;
         let mut physical_bytes = 0u64;
+        let mut respawns_total = 0u64;
+        let mut heal_latency_total = 0.0f64;
+        let mut recovered_total = 0.0f64;
 
         loop {
             if attempts >= cfg.max_attempts {
@@ -146,108 +269,363 @@ impl ResilientExecutor {
                 }
             }
 
+            // The attempt's *mutable* timeline: per-process absolute deaths
+            // (updated by respawns), the death log in trace-emission order
+            // (relative for the shared heal accounting, absolute for the
+            // failure log), and the heal commits so far.
+            let mut deaths_abs = plan.absolute_death_times();
+            let mut deaths_rel: Vec<(u32, f64)> = Vec::new();
+            let mut deaths_log: Vec<(u32, f64)> = Vec::new();
+            for (p, &d) in plan.schedule.death_times.iter().enumerate() {
+                if d.is_finite() {
+                    deaths_rel.push((p as u32, d));
+                    deaths_log.push((p as u32, plan.start_time + d));
+                }
+            }
+            let mut heal_commits: Vec<(u32, f64)> = Vec::new();
+            // Summed per attempt, folded into the run total once the
+            // attempt ends — the same float-addition order the trace
+            // analyzer uses, so the two stay bit-identical.
+            let mut attempt_heal_latency = 0.0f64;
+            let mut job_fail_abs = plan.job_failure_time;
+            let mut killer = plan.killer_sphere;
+            let mut seed: Option<Arc<HealSeed>> = None;
+            let mut seg_start = resume_time;
+
             let coordinator = &coordinator;
             let storage = &self.storage;
             let interval = cfg.checkpoint_interval;
             let restart_cost = cfg.restart_cost;
             let app_ref = app;
 
-            let mut builder = ReplicatedWorld::builder(cfg.n_virtual, cfg.degree)?
-                .voting_mode(cfg.voting)
-                .cost_model(cfg.comm_cost)
-                .death_times(plan.absolute_death_times())
-                .start_time(resume_time);
-            if let Some(c) = &collector {
-                builder = builder.trace(Arc::clone(c));
-            }
-            if let Some(r) = &registry {
-                builder = builder.metrics(Arc::clone(r));
-            }
-            let report = builder.run(move |comm| {
-                let n_ranks = comm.size() as u32;
-                let latest =
-                    restart::latest_complete(storage.as_ref(), n_ranks).map_err(MpiError::from)?;
-                let (mut state, mut next_seq, counting) = match latest {
-                    Some(seq) => {
-                        // Restore: charges the read cost R to virtual
-                        // time and primes the channel state.
-                        let restored: redcr_ckpt::coordinator::Restored<A::State> =
-                            coordinator.restore(comm, seq).map_err(MpiError::from)?;
-                        let counting = CountingComm::with_restored_channel(comm, restored.channel);
-                        (restored.state, seq + 1, counting)
-                    }
-                    None => {
-                        if !first_attempt {
-                            // Restarting from scratch still pays the
-                            // restart overhead (process re-launch).
-                            comm.compute(restart_cost)?;
-                        }
-                        let counting = CountingComm::new(comm);
-                        let state = app_ref.init(&counting)?;
-                        (state, 0, counting)
-                    }
-                };
+            // One attempt is a sequence of world segments: the first starts
+            // from stable storage (or scratch); each heal cycle quiesces
+            // its segment, respawns the suspects, and relaunches the next
+            // segment from transferred live state.
+            let (report, completed) = loop {
+                let mut builder = ReplicatedWorld::builder(cfg.n_virtual, cfg.degree)?
+                    .voting_mode(cfg.voting)
+                    .cost_model(cfg.comm_cost)
+                    .death_times(deaths_abs.clone())
+                    .start_time(seg_start);
+                if let Some(c) = &collector {
+                    builder = builder.trace(Arc::clone(c));
+                }
+                if let Some(r) = &registry {
+                    builder = builder.metrics(Arc::clone(r));
+                }
+                let heal_ctx = (cfg.heal_policy != HealPolicy::Never).then(|| HealCtx {
+                    policy: cfg.heal_policy,
+                    params,
+                    attempt_start: plan.start_time,
+                    deaths: deaths_abs.clone(),
+                });
+                let seed_ref = seed.clone();
+                let mut report = builder.run(move |comm| {
+                    let (mut state, mut next_seq, mut next_ckpt, mut checkpoints, counting) =
+                        match &seed_ref {
+                            Some(seed) => {
+                                // Heal relaunch: every rank — respawned or
+                                // survivor — resumes from its sphere's
+                                // transferred image. The transfer itself is
+                                // charged on the executor side through the
+                                // segment's start time, not here.
+                                let v = comm.rank().index();
+                                let bytes = seed.images.get(v).ok_or_else(|| MpiError::App {
+                                    what: format!("no heal image for virtual rank {v}"),
+                                })?;
+                                let image = ProcessImage::from_stored_bytes(bytes)
+                                    .map_err(MpiError::from)?;
+                                let state: A::State = image.restore().map_err(MpiError::from)?;
+                                let counting =
+                                    CountingComm::with_restored_channel(comm, image.channel_state);
+                                (state, seed.next_seq, seed.next_ckpt, seed.checkpoints, counting)
+                            }
+                            None => {
+                                let n_ranks = comm.size() as u32;
+                                let latest = restart::latest_complete(storage.as_ref(), n_ranks)
+                                    .map_err(MpiError::from)?;
+                                match latest {
+                                    Some(seq) => {
+                                        // Restore: charges the read cost R to
+                                        // virtual time and primes the channel
+                                        // state.
+                                        let restored: redcr_ckpt::coordinator::Restored<A::State> =
+                                            coordinator
+                                                .restore(comm, seq)
+                                                .map_err(MpiError::from)?;
+                                        let counting = CountingComm::with_restored_channel(
+                                            comm,
+                                            restored.channel,
+                                        );
+                                        let next_ckpt = comm.now() + interval;
+                                        (restored.state, seq + 1, next_ckpt, 0, counting)
+                                    }
+                                    None => {
+                                        if !first_attempt {
+                                            // Restarting from scratch still
+                                            // pays the restart overhead
+                                            // (process re-launch).
+                                            comm.compute(restart_cost)?;
+                                        }
+                                        let counting = CountingComm::new(comm);
+                                        let state = app_ref.init(&counting)?;
+                                        let next_ckpt = comm.now() + interval;
+                                        (state, 0, next_ckpt, 0, counting)
+                                    }
+                                }
+                            }
+                        };
 
-                let mut checkpoints = 0u64;
-                let mut next_ckpt = comm.now() + interval;
-                loop {
-                    app_ref.step(&counting, &mut state)?;
-                    if app_ref.is_done(&state) {
+                    loop {
+                        app_ref.step(&counting, &mut state)?;
+                        if app_ref.is_done(&state) {
+                            return Ok(SegmentOutcome::Done { state, checkpoints });
+                        }
+                        // Collective clock agreement so that every rank and
+                        // replica takes the checkpoint decision together.
+                        let now_max = counting.allreduce_f64(&[counting.now()], ReduceOp::Max)?[0];
+                        if let Some(ctx) = &heal_ctx {
+                            let due = ctx.suspects_at(now_max)
+                                && (ctx.policy != HealPolicy::AtCheckpoint || now_max >= next_ckpt);
+                            if due {
+                                // Every rank reaches this decision from the
+                                // same agreed boundary, so the quiesce is
+                                // collectively consistent.
+                                let channel = bookmark::quiesce(&counting)?;
+                                return Ok(SegmentOutcome::Heal {
+                                    state,
+                                    channel,
+                                    boundary: now_max,
+                                    next_seq,
+                                    next_ckpt,
+                                    checkpoints,
+                                });
+                            }
+                        }
+                        if now_max >= next_ckpt {
+                            coordinator
+                                .checkpoint(&counting, next_seq, &state)
+                                .map_err(MpiError::from)?;
+                            next_seq += 1;
+                            checkpoints += 1;
+                            next_ckpt = now_max + interval;
+                        }
+                    }
+                })?;
+
+                stats = stats.add(&report.stats);
+                physical_messages += report.physical_messages;
+                physical_bytes += report.physical_bytes;
+
+                // Any non-fail-stop error is a genuine bug, never a planned
+                // death (Dead/DeadPeer/SphereDead/Aborted are all expected
+                // outcomes of live injection).
+                for r in &report.results {
+                    if let Err(e) = r {
+                        if !e.is_fail_stop() {
+                            return Err(CoreError::Runtime(e.clone()));
+                        }
+                    }
+                }
+
+                let healing = !report.aborted
+                    && report.results.iter().any(|r| matches!(r, Ok(SegmentOutcome::Heal { .. })));
+                if !healing {
+                    // Completed iff no job abort was raised and every
+                    // virtual rank kept at least one live replica running
+                    // to `Done`. A rank's *primary* may well be `Err(Dead)`
+                    // — a surviving shadow carries the state then.
+                    let vmap = report.vmap().clone();
+                    let completed = !report.aborted
+                        && (0..cfg.n_virtual as u32).all(|v| {
+                            vmap.replicas_of(redcr_mpi::Rank::new(v)).iter().any(|p| {
+                                matches!(report.results[p.index()], Ok(SegmentOutcome::Done { .. }))
+                            })
+                        });
+                    break (report, completed);
+                }
+
+                // === Heal cycle ===
+                // The boundary the detector fired at: the agreed clock
+                // maximum, advanced past the quiesce drain.
+                let mut boundary = report.max_virtual_time;
+                for r in &report.results {
+                    if let Ok(SegmentOutcome::Heal { boundary: b, .. }) = r {
+                        boundary = boundary.max(*b);
+                    }
+                }
+                // Replicas whose suspicion deadline has elapsed at the
+                // boundary; everyone else is a potential donor.
+                let suspects: Vec<usize> = (0..deaths_abs.len())
+                    .filter(|&p| params.suspicion_time(plan.start_time, deaths_abs[p]) <= boundary)
+                    .collect();
+
+                // Capture one canonical image per virtual rank from its
+                // lowest-ranked replica that reached the quiesce (the
+                // donor). Only images of healing spheres count as transfer
+                // bytes — survivors keep their state in place.
+                let vmap = report.vmap().clone();
+                let mut images: Vec<Vec<u8>> = Vec::with_capacity(cfg.n_virtual as usize);
+                let mut transfer_bytes = 0u64;
+                let mut cursor: Option<(u64, f64, u64)> = None;
+                for v in 0..cfg.n_virtual as u32 {
+                    let mut donor_bytes = None;
+                    for p in vmap.replicas_of(redcr_mpi::Rank::new(v)) {
+                        let Some(outcome) = report.results[p.index()].take_ok() else { continue };
+                        let SegmentOutcome::Heal {
+                            state,
+                            channel,
+                            next_seq,
+                            next_ckpt,
+                            checkpoints,
+                            ..
+                        } = outcome
+                        else {
+                            continue;
+                        };
+                        let image =
+                            ProcessImage::capture(v, boundary, &state)?.with_channel_state(channel);
+                        donor_bytes = Some(image.to_stored_bytes()?);
+                        cursor = Some((next_seq, next_ckpt, checkpoints));
                         break;
                     }
-                    // Collective clock agreement so that every rank and
-                    // replica takes the checkpoint decision together.
-                    let now_max = counting.allreduce_f64(&[counting.now()], ReduceOp::Max)?[0];
-                    if now_max >= next_ckpt {
-                        coordinator
-                            .checkpoint(&counting, next_seq, &state)
-                            .map_err(MpiError::from)?;
-                        next_seq += 1;
-                        checkpoints += 1;
-                        next_ckpt = now_max + interval;
+                    let Some(bytes) = donor_bytes else {
+                        return Err(CoreError::Runtime(MpiError::App {
+                            what: format!("no live donor replica for virtual rank {v}"),
+                        }));
+                    };
+                    if suspects.iter().any(|&p| sphere_of.get(p) == Some(&(v as usize))) {
+                        transfer_bytes += bytes.len() as u64;
+                    }
+                    images.push(bytes);
+                }
+                let Some((next_seq, next_ckpt, checkpoints)) = cursor else {
+                    return Err(CoreError::Runtime(MpiError::App {
+                        what: "heal cycle found no checkpoint cursor".into(),
+                    }));
+                };
+
+                // The respawn commits after the modeled repair work: fresh
+                // process allocation plus shipping the donor images.
+                let commit = boundary
+                    + cfg.respawn_cost
+                    + cfg.transfer_cost_per_byte * transfer_bytes as f64;
+
+                // Detection happened and the respawn began regardless of
+                // whether the transfer survives; record both per suspect.
+                for &p in &suspects {
+                    let sphere = sphere_of.get(p).copied().unwrap_or(0) as u32;
+                    let suspected_at = params.suspicion_time(plan.start_time, deaths_abs[p]);
+                    if let Some(c) = &collector {
+                        c.record(suspected_at, Some(p as u32), EventKind::HeartbeatMiss { sphere });
+                        c.record(boundary, Some(p as u32), EventKind::RespawnBegin { sphere });
+                    }
+                    if let Some(r) = &registry {
+                        r.inc(CounterKey::Suspicions, suspected_at);
                     }
                 }
-                Ok((state, checkpoints))
-            })?;
 
-            stats = stats.add(&report.stats);
-            physical_messages += report.physical_messages;
-            physical_bytes += report.physical_bytes;
-
-            // Any non-fail-stop error is a genuine bug, never a planned
-            // death (Dead/DeadPeer/SphereDead/Aborted are all expected
-            // outcomes of live injection).
-            for r in &report.results {
-                if let Err(e) = r {
-                    if !e.is_fail_stop() {
-                        return Err(CoreError::Runtime(e.clone()));
-                    }
-                }
-            }
-
-            let vmap = report.vmap().clone();
-            // Completed iff no job abort was raised and every virtual rank
-            // kept at least one live replica to the end. A rank's *primary*
-            // may well be `Err(Dead)` — a surviving shadow carries the
-            // state then.
-            let completed = !report.aborted
-                && (0..cfg.n_virtual as u32).all(|v| {
-                    vmap.replicas_of(redcr_mpi::Rank::new(v))
+                // Kill-during-transfer race: a sphere survives the heal iff
+                // some replica that is not itself being respawned outlives
+                // the commit. Otherwise the job dies mid-heal, at the
+                // moment its last donor went.
+                let mut kill_time = f64::INFINITY;
+                let mut kill_sphere = usize::MAX;
+                for (v, members) in injector.groups().iter().enumerate() {
+                    let last_donor = members
                         .iter()
-                        .any(|p| report.results[p.index()].is_ok())
-                });
+                        .filter(|p| !suspects.contains(p))
+                        .map(|&p| deaths_abs.get(p).copied().unwrap_or(f64::INFINITY))
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    if last_donor.is_finite() && last_donor <= commit && last_donor < kill_time {
+                        kill_time = last_donor;
+                        kill_sphere = v;
+                    }
+                }
+                if kill_sphere != usize::MAX {
+                    // The respawn never commits; the attempt fails like any
+                    // sphere death, at the new (earlier) failure time.
+                    job_fail_abs = kill_time;
+                    killer = kill_sphere;
+                    rebuild_failure_log(
+                        &mut injector,
+                        plan.attempt,
+                        &deaths_log,
+                        job_fail_abs,
+                        killer,
+                    );
+                    break (report, false);
+                }
+
+                // Commit: respawn every suspect, drawing each incarnation's
+                // lifetime from the injector's deterministic stream, and
+                // replay the virtual map back to full voting strength.
+                for &p in &suspects {
+                    let sphere = sphere_of.get(p).copied().unwrap_or(0) as u32;
+                    let died_at = deaths_abs[p];
+                    let rebirth = commit + injector.resample_death();
+                    deaths_abs[p] = rebirth;
+                    let rel_rebirth = rebirth - plan.start_time;
+                    if rel_rebirth.is_finite() {
+                        deaths_rel.push((p as u32, rel_rebirth));
+                        deaths_log.push((p as u32, rebirth));
+                    }
+                    let latency = commit - died_at;
+                    let rel_commit = commit - plan.start_time;
+                    if let Some(c) = &collector {
+                        if rel_rebirth.is_finite() {
+                            c.record(
+                                rebirth,
+                                Some(p as u32),
+                                EventKind::Injected { rel: rel_rebirth },
+                            );
+                        }
+                        c.record(
+                            commit,
+                            Some(p as u32),
+                            EventKind::RespawnCommit { sphere, rel: rel_commit, latency },
+                        );
+                        let copies = spheres.get(sphere as usize).map(Vec::len).unwrap_or(0) as u32;
+                        c.record(commit, Some(p as u32), EventKind::RejoinVote { sphere, copies });
+                    }
+                    if let Some(r) = &registry {
+                        r.inc(CounterKey::Respawns, commit);
+                        r.observe(HistKey::HealLatency, latency);
+                    }
+                    respawns_total += 1;
+                    attempt_heal_latency += latency;
+                    // One commit per healed sphere per cycle: a cycle that
+                    // respawns two replicas of one sphere commits it once.
+                    let key = (sphere, rel_commit);
+                    if !heal_commits.contains(&key) {
+                        heal_commits.push(key);
+                    }
+                }
+
+                // The timeline changed: recompute when (and whether) the
+                // job now fails, and rewrite the failure log to match.
+                let (when, who) = job_failure_abs(injector.groups(), &deaths_abs);
+                job_fail_abs = when;
+                killer = who;
+                rebuild_failure_log(&mut injector, plan.attempt, &deaths_log, job_fail_abs, killer);
+
+                seed = Some(Arc::new(HealSeed { images, next_seq, next_ckpt, checkpoints }));
+                seg_start = commit;
+            };
 
             // Where the attempt ended on the virtual clock. On a failure
             // the survivors can be discovered slightly past the sampled
             // sphere-death time (the death materializes at the next
             // operation boundary), so take the max.
-            let attempt_end = if completed || !plan.job_failure_time.is_finite() {
+            heal_latency_total += attempt_heal_latency;
+            let attempt_end = if completed || !job_fail_abs.is_finite() {
                 report.max_virtual_time
             } else {
-                report.max_virtual_time.max(plan.job_failure_time)
+                report.max_virtual_time.max(job_fail_abs)
             };
             let end_rel = (attempt_end - plan.start_time).max(0.0);
-            let rel_failure = plan.job_failure_time - plan.start_time;
+            let rel_failure = job_fail_abs - plan.start_time;
             if let Some(c) = &collector {
                 // Carries the exact relative values the accounting below
                 // compares, so the trace analyzer reproduces it bit-for-bit.
@@ -259,28 +637,38 @@ impl ResilientExecutor {
                         completed,
                         rel_end: end_rel,
                         rel_failure,
-                        killer: (!completed && rel_failure.is_finite())
-                            .then_some(plan.killer_sphere as u32),
+                        killer: (!completed && rel_failure.is_finite()).then_some(killer as u32),
                     },
                 );
             }
 
-            // Degraded running time: for each sphere that lost a member
-            // during the attempt, the span from its first member death to
-            // its own death (or the end of the attempt, whichever first).
-            // Summed per attempt first, in the same order the trace
-            // analyzer uses, so the floating-point totals match bit-for-bit.
+            // Degraded running time. Without heal commits, the legacy
+            // first-to-last-death sweep over the sampled schedule (the
+            // bit-exact path the determinism gate pins); with commits, the
+            // heal-aware interval sweep shared with the trace analyzer.
             let mut attempt_degraded = 0.0f64;
-            for members in injector.groups().iter() {
-                let times = members.iter().map(|&p| plan.schedule.death_times[p]);
-                let first = times.clone().fold(f64::INFINITY, f64::min);
-                if first.is_finite() && first < end_rel {
-                    let last = times.fold(f64::NEG_INFINITY, f64::max);
-                    attempt_degraded += last.min(end_rel) - first;
-                    if let Some(r) = &registry {
-                        r.observe(HistKey::DegradedInterval, last.min(end_rel) - first);
+            if heal_commits.is_empty() {
+                for members in injector.groups().iter() {
+                    let times = members.iter().map(|&p| plan.schedule.death_times[p]);
+                    let first = times.clone().fold(f64::INFINITY, f64::min);
+                    if first.is_finite() && first < end_rel {
+                        let last = times.fold(f64::NEG_INFINITY, f64::max);
+                        attempt_degraded += last.min(end_rel) - first;
+                        if let Some(r) = &registry {
+                            r.observe(HistKey::DegradedInterval, last.min(end_rel) - first);
+                        }
                     }
                 }
+            } else {
+                let spans = heal::degraded_spans(&spheres, &deaths_rel, &heal_commits, end_rel);
+                if let Some(r) = &registry {
+                    for &span in &spans {
+                        r.observe(HistKey::DegradedInterval, span);
+                    }
+                }
+                attempt_degraded = spans.iter().fold(0.0f64, |acc, &s| acc + s);
+                recovered_total +=
+                    heal::recovered_seconds(&spheres, &deaths_rel, &heal_commits, end_rel);
             }
             degraded_sphere_seconds += attempt_degraded;
 
@@ -293,8 +681,8 @@ impl ResilientExecutor {
                 // member of the killer sphere was masked by redundancy.
                 failures += 1;
                 if rel_failure.is_finite() {
-                    let dead = plan.schedule.dead_by(rel_failure).len();
-                    let fatal = injector.groups().members(plan.killer_sphere).len();
+                    let dead = deaths_rel.iter().filter(|&&(_, d)| d <= rel_failure).count();
+                    let fatal = injector.groups().members(killer).len();
                     masked_failures += dead.saturating_sub(fatal) as u64;
                     if let Some(r) = &registry {
                         r.add(
@@ -327,17 +715,15 @@ impl ResilientExecutor {
             // Completed: every death that occurred during the attempt was
             // masked; the planned *job* failure never materialized, so
             // prune its never-observed events from the log.
-            masked_failures += plan.schedule.dead_by(end_rel).len() as u64;
+            let dead = deaths_rel.iter().filter(|&&(_, d)| d <= end_rel).count() as u64;
+            masked_failures += dead;
             if let Some(r) = &registry {
-                r.add(
-                    CounterKey::MaskedFailures,
-                    plan.schedule.dead_by(end_rel).len() as u64,
-                    attempt_end,
-                );
+                r.add(CounterKey::MaskedFailures, dead, attempt_end);
             }
             injector.trace_mut().truncate_attempt(plan.attempt, report.max_virtual_time);
             let total_time = report.max_virtual_time;
             let n_physical = report.n_physical;
+            let vmap = report.vmap().clone();
             let mut results = report.results;
             let mut final_states = Vec::with_capacity(cfg.n_virtual as usize);
             // The checkpoint decision is a collective (allreduce) and the
@@ -349,7 +735,9 @@ impl ResilientExecutor {
                 let mut state = None;
                 let mut counts: Vec<u64> = Vec::new();
                 for p in vmap.replicas_of(redcr_mpi::Rank::new(v)) {
-                    if let Some((s, ckpts)) = results[p.index()].take_ok() {
+                    if let Some(SegmentOutcome::Done { state: s, checkpoints: ckpts }) =
+                        results[p.index()].take_ok()
+                    {
                         if state.is_none() {
                             state = Some(s);
                         }
@@ -385,6 +773,9 @@ impl ResilientExecutor {
                 masked_failures,
                 degraded_sphere_seconds,
                 checkpoints_committed,
+                respawns: respawns_total,
+                heal_latency_seconds: heal_latency_total,
+                recovered_voting_seconds: recovered_total,
                 replication: stats,
                 physical_messages,
                 physical_bytes,

@@ -26,6 +26,19 @@ pub struct ExecutionReport<S> {
     /// Coordinated checkpoints committed in the final (successful) attempt
     /// history.
     pub checkpoints_committed: u64,
+    /// Replicas respawned and rejoined by the self-healing layer, across
+    /// all attempts. Zero unless
+    /// [`ExecutorConfig::heal_policy`](crate::ExecutorConfig::heal_policy)
+    /// heals.
+    pub respawns: u64,
+    /// Total heal latency, virtual seconds: for each respawn, the span
+    /// from the replica's death to its rejoin commit, summed across all
+    /// attempts.
+    pub heal_latency_seconds: f64,
+    /// Recovered voting-seconds: virtual seconds healed spheres spent back
+    /// at full voting strength that they would have spent degraded (or
+    /// dead) without healing, summed across all attempts.
+    pub recovered_voting_seconds: f64,
     /// Aggregated replication-layer statistics across all attempts.
     pub replication: StatsSnapshot,
     /// Physical messages injected across all attempts.
@@ -102,6 +115,13 @@ impl<S> fmt::Display for ExecutionReport<S> {
             self.masked_failures, self.degraded_sphere_seconds
         )?;
         writeln!(f, "  checkpoints      : {}", self.checkpoints_committed)?;
+        if self.respawns > 0 {
+            writeln!(
+                f,
+                "  respawns         : {} ({:.3} s heal latency, {:.3} s recovered voting)",
+                self.respawns, self.heal_latency_seconds, self.recovered_voting_seconds
+            )?;
+        }
         writeln!(f, "  physical procs   : {}", self.n_physical)?;
         writeln!(f, "  node-seconds     : {:.3}", self.node_seconds)?;
         writeln!(
@@ -132,6 +152,9 @@ mod tests {
             masked_failures: 1,
             degraded_sphere_seconds: 0.5,
             checkpoints_committed: 4,
+            respawns: 2,
+            heal_latency_seconds: 1.25,
+            recovered_voting_seconds: 3.5,
             replication: StatsSnapshot::default(),
             physical_messages: 100,
             physical_bytes: 1000,
@@ -145,6 +168,8 @@ mod tests {
         let s = report.to_string();
         assert!(s.contains("attempts"));
         assert!(s.contains('3'));
+        assert!(s.contains("respawns"));
+        assert!(s.contains("1.250"));
         assert!((report.total_hours() - 12.5 / 3600.0).abs() < 1e-15);
         // Without metrics, summarize() is exactly the Display block.
         assert_eq!(report.summarize(), s);

@@ -11,7 +11,10 @@
 //!
 //! * Eq. 1 (`t_Red = (1−α)·t + α·t·r`) per rank, taking the slowest rank
 //!   as the measured redundant execution time,
-//! * Eqs. 9–10 for the system failure rate `λ` at the configured degree,
+//! * Eqs. 9–10 for the system failure rate `λ` at the configured degree
+//!   (replaced by the repair-extended birth–death model of
+//!   [`redcr_model::repair`] when the run healed: `μ` is measured as
+//!   respawns over total heal latency),
 //! * Eqs. 12–13 for the expected lost work and restart+rework phases, and
 //! * Eq. 14 for the predicted total time,
 //!
@@ -25,6 +28,7 @@ use std::fmt::Write as _;
 
 use redcr_model::checkpointing::{lost_work, restart_rework, total_time};
 use redcr_model::redundancy::{redundant_time, SystemModel};
+use redcr_model::repair::RepairModel;
 use redcr_mpi::trace::{Analysis, AnalyzeError, EventKind};
 
 use crate::config::ExecutorConfig;
@@ -113,6 +117,18 @@ pub struct ModelValidation {
     pub failures: u64,
     /// Process failures masked by redundancy.
     pub masked_failures: u64,
+    /// Replicas respawned by the self-healing layer (report echo).
+    pub respawns: u64,
+    /// Total heal latency, virtual seconds (report echo).
+    pub heal_latency_seconds: f64,
+    /// Recovered voting-seconds (report echo).
+    pub recovered_voting_seconds: f64,
+    /// Measured heal stall: virtual seconds the run paid inside heal
+    /// cycles (respawn-begin → rejoin-commit spans, from the trace).
+    pub heal_stall_seconds: f64,
+    /// Measured repair rate `μ` fed to the repair-extended model:
+    /// `respawns / heal_latency_seconds`, or 0 when the run never healed.
+    pub repair_rate: f64,
     /// Eq. 1 applied per rank to the de-amplified solo time, slowest rank:
     /// the measured redundant execution time (includes checkpoint costs).
     pub t_red: f64,
@@ -170,11 +186,19 @@ impl ModelValidation {
             .filter(|a| a.completed)
             .ok_or(ValidationError::NoCompletedAttempt)?;
 
-        // Busy/comm splits of the final attempt, keyed by rank.
+        // Busy/comm splits of the final attempt, keyed by rank. A heal
+        // relaunch makes a rank finish once per segment, so the splits
+        // aggregate across its `RankFinish` events (the same merge the
+        // trace analyzer applies before deriving α).
         let mut splits: Vec<(u32, f64, f64)> = Vec::new();
         for e in &last.events {
             if let (Some(rank), EventKind::RankFinish { busy, comm }) = (e.rank, &e.kind) {
-                splits.push((rank, *busy, *comm));
+                if let Some(s) = splits.iter_mut().find(|s| s.0 == rank) {
+                    s.1 += busy;
+                    s.2 += comm;
+                } else {
+                    splits.push((rank, *busy, *comm));
+                }
             }
         }
         if splits.is_empty() {
@@ -233,14 +257,32 @@ impl ModelValidation {
         // what remains is the model's checkpoint-free application time.
         let t_app = (t_red - commits as f64 * commit_latency_mean).max(f64::MIN_POSITIVE);
 
-        // Eqs. 9–10: system failure rate at the measured horizon. An
-        // infinite node MTBF short-circuits to a failure-free system (the
-        // closed forms degenerate to 0·∞ there).
+        // Self-healing measurements: the repair rate is respawns over the
+        // total death→rejoin latency, and the stall is what the run paid
+        // inside heal cycles (neither shows up in any rank's busy/comm).
+        let repair_rate = if report.respawns > 0 && report.heal_latency_seconds > 0.0 {
+            report.respawns as f64 / report.heal_latency_seconds
+        } else {
+            0.0
+        };
+        let heal_stall_seconds: f64 = analysis.attempts.iter().map(|a| a.heal_stall_seconds).sum();
+
+        // Eqs. 9–10: system failure rate at the measured horizon — or, when
+        // the run healed, the repair-extended birth–death rates at the
+        // measured `μ`. An infinite node MTBF short-circuits to a
+        // failure-free system (the closed forms degenerate to 0·∞ there).
         let (lambda, system_mtbf) = if cfg.node_mtbf.is_finite() && t_red > 0.0 {
-            let sys = SystemModel::new(cfg.n_virtual, cfg.degree, cfg.node_mtbf)
-                .map_err(model)?
-                .evaluate(t_red)
-                .map_err(model)?;
+            let sys = if repair_rate > 0.0 {
+                RepairModel::new(cfg.n_virtual, cfg.degree, cfg.node_mtbf, repair_rate)
+                    .map_err(model)?
+                    .evaluate(t_red)
+                    .map_err(model)?
+            } else {
+                SystemModel::new(cfg.n_virtual, cfg.degree, cfg.node_mtbf)
+                    .map_err(model)?
+                    .evaluate(t_red)
+                    .map_err(model)?
+            };
             (sys.failure_rate, sys.mtbf)
         } else {
             (0.0, f64::INFINITY)
@@ -257,7 +299,10 @@ impl ModelValidation {
                 (0.0, 0.0)
             };
 
-        // Eq. 14.
+        // Eq. 14, plus the measured heal stall: the repair model prices
+        // healing into `λ` (fewer restarts), while the stall the run paid
+        // waiting on respawn+transfer is a flat measured addition the
+        // checkpointing chain does not see.
         let predicted_total = total_time(
             t_app,
             commit_latency_mean,
@@ -265,7 +310,8 @@ impl ModelValidation {
             lambda,
             t_restart_rework,
         )
-        .map_err(model)?;
+        .map_err(model)?
+            + heal_stall_seconds;
 
         let observed_total = report.total_virtual_time;
         let relative_error = if observed_total > 0.0 {
@@ -288,6 +334,11 @@ impl ModelValidation {
             attempts: report.attempts,
             failures: report.failures,
             masked_failures: report.masked_failures,
+            respawns: report.respawns,
+            heal_latency_seconds: report.heal_latency_seconds,
+            recovered_voting_seconds: report.recovered_voting_seconds,
+            heal_stall_seconds,
+            repair_rate,
             t_red,
             t_app,
             lambda,
@@ -344,12 +395,20 @@ impl ModelValidation {
             ",\n    \"commits\": {}, \"attempts\": {}, \"failures\": {}, \"masked_failures\": {},",
             self.commits, self.attempts, self.failures, self.masked_failures
         );
-        o.push_str("\n    \"observed_total\": ");
+        let _ = write!(o, "\n    \"respawns\": {}, \"heal_latency_seconds\": ", self.respawns);
+        num(&mut o, self.heal_latency_seconds);
+        o.push_str(", \"recovered_voting_seconds\": ");
+        num(&mut o, self.recovered_voting_seconds);
+        o.push_str(", \"heal_stall_seconds\": ");
+        num(&mut o, self.heal_stall_seconds);
+        o.push_str(",\n    \"observed_total\": ");
         num(&mut o, self.observed_total);
         o.push_str("\n  },\n  \"model\": {\n    \"t_red\": ");
         num(&mut o, self.t_red);
         o.push_str(",\n    \"t_app\": ");
         num(&mut o, self.t_app);
+        o.push_str(",\n    \"repair_rate\": ");
+        num(&mut o, self.repair_rate);
         o.push_str(",\n    \"lambda\": ");
         num(&mut o, self.lambda);
         o.push_str(",\n    \"system_mtbf\": ");
@@ -384,6 +443,16 @@ impl fmt::Display for ModelValidation {
             self.failures,
             self.masked_failures
         )?;
+        if self.respawns > 0 {
+            writeln!(
+                f,
+                "  healing  : {} respawns, μ={:.3e}/s, stall {:.3} s, recovered {:.3} s",
+                self.respawns,
+                self.repair_rate,
+                self.heal_stall_seconds,
+                self.recovered_voting_seconds
+            )?;
+        }
         writeln!(
             f,
             "  model    : t_red={:.3} s, t_app={:.3} s, λ={:.3e}/s, t_RR={:.3} s",
@@ -418,6 +487,9 @@ mod tests {
             masked_failures: 0,
             degraded_sphere_seconds: 0.0,
             checkpoints_committed: 1,
+            respawns: 0,
+            heal_latency_seconds: 0.0,
+            recovered_voting_seconds: 0.0,
             replication: StatsSnapshot::default(),
             physical_messages: 0,
             physical_bytes: 0,

@@ -92,6 +92,15 @@ impl FailureInjector {
         &mut self.trace
     }
 
+    /// Draws one fresh exponential lifetime from the injector's stream:
+    /// the time-to-failure of a respawned replica, **relative to its rejoin
+    /// commit**. The self-healing executor uses this so respawned
+    /// incarnations fail at the same per-process MTBF as the original
+    /// processes, from the same deterministic seed sequence.
+    pub fn resample_death(&mut self) -> f64 {
+        self.sampler.sample()
+    }
+
     /// Plans the next attempt starting at absolute virtual time
     /// `start_time`: samples fresh per-process failures and computes when
     /// the job would die.

@@ -56,11 +56,15 @@ pub enum CounterKey {
     Restarts,
     /// Process deaths masked by redundancy.
     MaskedFailures,
+    /// Replicas respawned and rejoined by the self-healing layer.
+    Respawns,
+    /// Heartbeat suspicion deadlines that elapsed (dead replicas detected).
+    Suspicions,
 }
 
 impl CounterKey {
     /// Number of counter keys.
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 14;
 
     /// Every counter key, in index order.
     pub const ALL: [CounterKey; CounterKey::COUNT] = [
@@ -76,6 +80,8 @@ impl CounterKey {
         CounterKey::Attempts,
         CounterKey::Restarts,
         CounterKey::MaskedFailures,
+        CounterKey::Respawns,
+        CounterKey::Suspicions,
     ];
 
     /// Stable snake_case name (used in exports and reports).
@@ -93,6 +99,8 @@ impl CounterKey {
             CounterKey::Attempts => "attempts_total",
             CounterKey::Restarts => "restarts_total",
             CounterKey::MaskedFailures => "masked_failures_total",
+            CounterKey::Respawns => "respawns_total",
+            CounterKey::Suspicions => "suspicions_total",
         }
     }
 
@@ -110,6 +118,8 @@ impl CounterKey {
             CounterKey::Attempts => 9,
             CounterKey::Restarts => 10,
             CounterKey::MaskedFailures => 11,
+            CounterKey::Respawns => 12,
+            CounterKey::Suspicions => 13,
         }
     }
 }
@@ -155,11 +165,14 @@ pub enum HistKey {
     CommitLatency,
     /// Length of one sphere's degraded interval, virtual seconds.
     DegradedInterval,
+    /// Heal latency: virtual seconds from a replica's death to its
+    /// respawned incarnation's rejoin commit.
+    HealLatency,
 }
 
 impl HistKey {
     /// Number of histogram keys.
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 6;
 
     /// Every histogram key, in index order.
     pub const ALL: [HistKey; HistKey::COUNT] = [
@@ -168,6 +181,7 @@ impl HistKey {
         HistKey::VoteLatency,
         HistKey::CommitLatency,
         HistKey::DegradedInterval,
+        HistKey::HealLatency,
     ];
 
     /// Stable snake_case name.
@@ -178,6 +192,7 @@ impl HistKey {
             HistKey::VoteLatency => "vote_latency_seconds",
             HistKey::CommitLatency => "commit_latency_seconds",
             HistKey::DegradedInterval => "degraded_interval_seconds",
+            HistKey::HealLatency => "heal_latency_seconds",
         }
     }
 
@@ -188,6 +203,7 @@ impl HistKey {
             HistKey::VoteLatency => 2,
             HistKey::CommitLatency => 3,
             HistKey::DegradedInterval => 4,
+            HistKey::HealLatency => 5,
         }
     }
 }

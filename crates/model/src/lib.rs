@@ -16,6 +16,9 @@
 //! * [`reliability`] — Eqs. 2–4: node and replica-sphere reliability.
 //! * [`redundancy`] — Eq. 1 (redundant execution time) and Eqs. 9–10
 //!   (system reliability, failure rate and MTBF under partial redundancy).
+//! * [`repair`] — the repair-rate extension of Eqs. 9–10: sphere lifetimes
+//!   as absorbing birth–death chains when the self-healing layer respawns
+//!   dead replicas at rate `μ`.
 //! * [`checkpointing`] — Eqs. 12–14 (expected lost work, restart+rework,
 //!   total time under periodic checkpointing) and Eq. 15 (Daly's optimal
 //!   checkpoint interval), plus Young's first-order interval.
@@ -67,6 +70,7 @@ pub mod optimizer;
 pub mod partition;
 pub mod redundancy;
 pub mod reliability;
+pub mod repair;
 pub mod units;
 
 mod error;

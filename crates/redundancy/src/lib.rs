@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod corruption;
+pub mod heartbeat;
 pub mod stats;
 pub mod vmap;
 pub mod voting;
@@ -68,6 +69,7 @@ mod replica_comm;
 mod world;
 
 pub use corruption::CorruptionModel;
+pub use heartbeat::{DetectorParams, FailureDetector, HealPolicy};
 pub use replica_comm::{RedRequest, ReplicaComm};
 pub use stats::ReplicationStats;
 pub use vmap::VirtualMap;

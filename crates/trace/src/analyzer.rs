@@ -162,6 +162,23 @@ pub struct AttemptSummary {
     /// last checkpoint commit of the attempt (or its start, if none
     /// committed) to the attempt end. Zero for completed attempts.
     pub lost_work: f64,
+    /// Replicas respawned by heal cycles this attempt (one per
+    /// `RespawnCommit` event).
+    pub respawns: u64,
+    /// Total heal latency (each respawned replica's death to its rejoin
+    /// commit), summed in `RespawnCommit` emission order.
+    pub heal_latency_seconds: f64,
+    /// Heal commits as `(sphere, relative commit time)` in emission order,
+    /// same-cycle duplicates collapsed — the analyzer-side mirror of the
+    /// executor's commit list fed to [`crate::heal`].
+    pub heal_commits: Vec<(u32, f64)>,
+    /// Virtual seconds the attempt stalled inside heal cycles: deduped
+    /// respawn-begin → respawn-commit spans, paired in order (a begin with
+    /// no matching commit — a kill during transfer — contributes nothing).
+    pub heal_stall_seconds: f64,
+    /// Recovered voting-seconds: post-commit full-strength running time of
+    /// healed spheres. Zero without heal commits.
+    pub recovered_voting_seconds: f64,
     /// All rank-level events of the attempt, in collection order.
     pub events: Vec<Event>,
 }
@@ -191,6 +208,12 @@ pub struct DerivedTotals {
     pub checkpoints_committed: u64,
     /// Total degraded-sphere running time, virtual seconds.
     pub degraded_sphere_seconds: f64,
+    /// Replicas respawned and rejoined by the self-healing layer.
+    pub respawns: u64,
+    /// Total heal latency, virtual seconds.
+    pub heal_latency_seconds: f64,
+    /// Recovered voting-seconds across all attempts.
+    pub recovered_voting_seconds: f64,
 }
 
 impl Analysis {
@@ -264,6 +287,18 @@ impl Analysis {
                 }
                 kind => {
                     if let Some((number, _, events)) = open.as_mut() {
+                        if matches!(
+                            kind,
+                            EventKind::HeartbeatMiss { .. }
+                                | EventKind::RespawnBegin { .. }
+                                | EventKind::RespawnCommit { .. }
+                                | EventKind::RejoinVote { .. }
+                        ) {
+                            // A heal cycle relaunches every rank mid-attempt,
+                            // so earlier teardowns no longer terminate their
+                            // event streams.
+                            finished.clear();
+                        }
                         if let Some(rank) = event.rank {
                             if finished.contains(&rank) {
                                 return Err(AnalyzeError::EventAfterTeardown {
@@ -293,9 +328,15 @@ impl Analysis {
     pub fn totals(&self) -> DerivedTotals {
         let mut masked = 0u64;
         let mut degraded = 0.0f64;
+        let mut respawns = 0u64;
+        let mut heal_latency = 0.0f64;
+        let mut recovered = 0.0f64;
         for a in &self.attempts {
             masked += a.masked;
             degraded += a.degraded_seconds;
+            respawns += a.respawns;
+            heal_latency += a.heal_latency_seconds;
+            recovered += a.recovered_voting_seconds;
         }
         DerivedTotals {
             attempts: self.attempts.len() as u64,
@@ -307,6 +348,9 @@ impl Analysis {
                 .filter(|a| a.completed)
                 .map_or(0, |a| a.committed_seqs.len() as u64),
             degraded_sphere_seconds: degraded,
+            respawns,
+            heal_latency_seconds: heal_latency,
+            recovered_voting_seconds: recovered,
         }
     }
 }
@@ -329,11 +373,18 @@ fn summarize(
     let mut committed_seqs: Vec<u64> = Vec::new();
     let mut begins: Vec<(u32, u64, f64)> = Vec::new();
     let mut commit_latencies: Vec<f64> = Vec::new();
-    let mut alphas: Vec<(u32, f64)> = Vec::new();
+    // Per-rank busy/comm splits: with heal relaunches a rank finishes once
+    // per segment, so splits aggregate across its `RankFinish` events.
+    let mut splits: Vec<(u32, f64, f64)> = Vec::new();
     let mut failovers = 0u64;
     let mut votes = 0u64;
     let mut restored_from: Option<u64> = None;
     let mut last_commit_time = f64::NEG_INFINITY;
+    let mut respawns = 0u64;
+    let mut heal_latency_seconds = 0.0f64;
+    let mut heal_commits: Vec<(u32, f64)> = Vec::new();
+    let mut heal_begin_times: Vec<f64> = Vec::new();
+    let mut heal_commit_times: Vec<f64> = Vec::new();
 
     for e in &events {
         match &e.kind {
@@ -364,16 +415,46 @@ fn summarize(
             }
             EventKind::RankFinish { busy, comm } => {
                 if let Some(rank) = e.rank {
-                    let total = busy + comm;
-                    alphas.push((rank, if total > 0.0 { comm / total } else { 0.0 }));
+                    if let Some(s) = splits.iter_mut().find(|s| s.0 == rank) {
+                        s.1 += busy;
+                        s.2 += comm;
+                    } else {
+                        splits.push((rank, *busy, *comm));
+                    }
                 }
             }
             EventKind::Failover { .. } => failovers += 1,
             EventKind::Vote { .. } => votes += 1,
+            EventKind::RespawnBegin { .. } if !heal_begin_times.contains(&e.time) => {
+                heal_begin_times.push(e.time);
+            }
+            EventKind::RespawnCommit { sphere, rel, latency } => {
+                respawns += 1;
+                heal_latency_seconds += latency;
+                let key = (*sphere, *rel);
+                if !heal_commits.contains(&key) {
+                    heal_commits.push(key);
+                }
+                if !heal_commit_times.contains(&e.time) {
+                    heal_commit_times.push(e.time);
+                }
+            }
             _ => {}
         }
     }
+    let mut alphas: Vec<(u32, f64)> = splits
+        .iter()
+        .map(|&(rank, busy, comm)| {
+            let total = busy + comm;
+            (rank, if total > 0.0 { comm / total } else { 0.0 })
+        })
+        .collect();
     alphas.sort_by_key(|&(rank, _)| rank);
+    let heal_stall_seconds = heal_commit_times
+        .iter()
+        .zip(&heal_begin_times)
+        .map(|(c, b)| c - b)
+        .fold(0.0f64, |acc, s| acc + s);
 
     // Masked deaths, by the executor's exact rule: on a completed attempt
     // every scheduled death with `rel <= rel_end` was masked; on a failed
@@ -389,22 +470,32 @@ fn summarize(
         0
     };
 
-    // Degraded-sphere time, by the executor's exact rule: per sphere, the
-    // span from its first member death to its last (a member that never
-    // dies holds the sphere's death at INFINITY), clipped to the attempt.
-    // Iteration order (spheres ascending, then f64 min/max over members)
-    // matches the executor, so the floating-point sum does too.
-    let mut degraded_seconds = 0.0f64;
-    for members in spheres {
-        let times = members.iter().map(|&m| {
-            injected.iter().find(|&&(rank, _)| rank == m).map_or(f64::INFINITY, |&(_, rel)| rel)
-        });
-        let first = times.clone().fold(f64::INFINITY, f64::min);
-        if first.is_finite() && first < rel_end {
-            let last = times.fold(f64::NEG_INFINITY, f64::max);
-            degraded_seconds += last.min(rel_end) - first;
+    // Degraded-sphere time, by the executor's exact rule. Without heal
+    // commits: per sphere, the span from its first member death to its
+    // last (a member that never dies holds the sphere's death at
+    // INFINITY), clipped to the attempt; iteration order (spheres
+    // ascending, then f64 min/max over members) matches the executor, so
+    // the floating-point sum does too. With commits, executor and analyzer
+    // both call the shared [`crate::heal`] sweep over the same inputs.
+    let (degraded_seconds, recovered_voting_seconds) = if heal_commits.is_empty() {
+        let mut degraded = 0.0f64;
+        for members in spheres {
+            let times = members.iter().map(|&m| {
+                injected.iter().find(|&&(rank, _)| rank == m).map_or(f64::INFINITY, |&(_, rel)| rel)
+            });
+            let first = times.clone().fold(f64::INFINITY, f64::min);
+            if first.is_finite() && first < rel_end {
+                let last = times.fold(f64::NEG_INFINITY, f64::max);
+                degraded += last.min(rel_end) - first;
+            }
         }
-    }
+        (degraded, 0.0)
+    } else {
+        (
+            crate::heal::degraded_seconds(spheres, &injected, &heal_commits, rel_end),
+            crate::heal::recovered_seconds(spheres, &injected, &heal_commits, rel_end),
+        )
+    };
 
     let lost_work = if completed { 0.0 } else { end - last_commit_time.max(start) };
 
@@ -427,6 +518,11 @@ fn summarize(
         masked,
         degraded_seconds,
         lost_work,
+        respawns,
+        heal_latency_seconds,
+        heal_commits,
+        heal_stall_seconds,
+        recovered_voting_seconds,
         events,
     }
 }

@@ -108,6 +108,46 @@ pub enum EventKind {
         /// Death time relative to the attempt start, seconds.
         rel: f64,
     },
+    /// Executor: the failure detector's suspicion deadline for the event's
+    /// (dead) rank elapsed with no heartbeat. The event time is the
+    /// modeled suspicion time (last heartbeat before the death plus the
+    /// suspicion timeout); the decision itself is taken at the next agreed
+    /// step boundary (see [`RespawnBegin`](Self::RespawnBegin)).
+    HeartbeatMiss {
+        /// The sphere (virtual rank) of the suspected replica.
+        sphere: u32,
+    },
+    /// Executor: a respawn-and-rejoin cycle started for the event's rank.
+    /// The event time is the agreed step boundary at which the heal
+    /// decision was taken (state transfer from a surviving replica starts
+    /// here). A `RespawnBegin` without a matching
+    /// [`RespawnCommit`](Self::RespawnCommit) means the donor sphere died
+    /// mid-transfer and the attempt failed instead.
+    RespawnBegin {
+        /// The sphere being healed.
+        sphere: u32,
+    },
+    /// Executor: the respawned replica committed its rejoin (time = the
+    /// boundary plus the modeled respawn and transfer costs). Carries the
+    /// exact relative values the executor's heal accounting uses, so the
+    /// analyzer reproduces the repair totals bit-for-bit.
+    RespawnCommit {
+        /// The sphere that was healed.
+        sphere: u32,
+        /// Commit time relative to the attempt start, seconds.
+        rel: f64,
+        /// Heal latency: seconds from the replica's death to this commit.
+        latency: f64,
+    },
+    /// Executor: the healed sphere votes at full strength again (same time
+    /// as the commit; recorded separately so voting-strength transitions
+    /// are visible without joining against topology).
+    RejoinVote {
+        /// The sphere whose voting strength recovered.
+        sphere: u32,
+        /// Live copies after the rejoin (the sphere's full replica count).
+        copies: u32,
+    },
     /// Executor: an attempt ended.
     AttemptEnd {
         /// Attempt number (matches the opening `AttemptStart`).
@@ -142,6 +182,10 @@ impl Event {
             EventKind::Topology { .. } => "topology",
             EventKind::AttemptStart { .. } => "attempt_start",
             EventKind::Injected { .. } => "injected",
+            EventKind::HeartbeatMiss { .. } => "heartbeat_miss",
+            EventKind::RespawnBegin { .. } => "respawn_begin",
+            EventKind::RespawnCommit { .. } => "respawn_commit",
+            EventKind::RejoinVote { .. } => "rejoin_vote",
             EventKind::AttemptEnd { .. } => "attempt_end",
         }
     }

@@ -1,0 +1,199 @@
+//! Shared heal-aware accounting: the exact arithmetic behind
+//! `degraded_sphere_seconds` and `recovered_voting_seconds` once respawns
+//! enter the picture.
+//!
+//! The resilient executor and the trace [`analyzer`](crate::analyzer) must
+//! agree on these totals **bit for bit** (the cross-check suite asserts
+//! exact equality), so both call the same pure functions over the same
+//! inputs in the same order:
+//!
+//! * `deaths` — every scheduled fail-stop of the attempt, including the
+//!   re-sampled deaths of respawned incarnations, as `(physical rank,
+//!   time relative to the attempt start)` in **emission order** (the order
+//!   `Injected` events appear in the trace: the initial schedule in rank
+//!   order, then each heal cycle's fresh samples in suspect order).
+//! * `commits` — one `(sphere, relative commit time)` entry per healed
+//!   sphere per heal cycle, in emission order with same-cycle duplicates
+//!   collapsed (a cycle healing two replicas of one sphere commits that
+//!   sphere once).
+//!
+//! A sphere's degraded interval opens at its first member death from full
+//! strength and closes either at a heal commit (back to `r` live copies)
+//! or at the sphere's own death; the residual tail is clipped to the
+//! attempt end, exactly like the legacy accounting. With zero commits the
+//! caller must use the legacy first-to-last-death formula instead — that
+//! path is pinned bit-for-bit by the determinism gate and is *not*
+//! re-derived here.
+
+/// Per-sphere degraded intervals, in sphere order then chronological
+/// order, each clipped to `rel_end` (the attempt end relative to its
+/// start). The caller sums them with a left fold (see
+/// [`degraded_seconds`]) and may also feed each span to the
+/// degraded-interval histogram.
+pub fn degraded_spans(
+    spheres: &[Vec<u32>],
+    deaths: &[(u32, f64)],
+    commits: &[(u32, f64)],
+    rel_end: f64,
+) -> Vec<f64> {
+    let mut spans = Vec::new();
+    for (v, members) in spheres.iter().enumerate() {
+        let full = members.len();
+        if full == 0 {
+            continue;
+        }
+        // Merge this sphere's member deaths and heal commits into one
+        // chronological sweep; at equal times the death sorts first (a
+        // commit can only answer a death that already happened).
+        let mut events: Vec<(f64, bool)> = deaths
+            .iter()
+            .filter(|(r, _)| members.contains(r))
+            .map(|&(_, t)| (t, false))
+            .chain(commits.iter().filter(|&&(s, _)| s as usize == v).map(|&(_, t)| (t, true)))
+            .collect();
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        let mut live = full;
+        let mut open: Option<f64> = None;
+        let mut dead = false;
+        for (t, is_commit) in events {
+            if t > rel_end {
+                break;
+            }
+            if is_commit {
+                if let Some(o) = open.take() {
+                    spans.push(t - o);
+                }
+                live = full;
+            } else {
+                if live == full {
+                    open = Some(t);
+                }
+                live = live.saturating_sub(1);
+                if live == 0 {
+                    // Sphere death: the degraded interval ends with it.
+                    if let Some(o) = open.take() {
+                        spans.push(t - o);
+                    }
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if !dead {
+            if let Some(o) = open {
+                spans.push(rel_end - o);
+            }
+        }
+    }
+    spans
+}
+
+/// Total degraded-sphere seconds: the left fold of [`degraded_spans`].
+/// Executor and analyzer both call this, so the floating-point sum is
+/// formed in one canonical order.
+pub fn degraded_seconds(
+    spheres: &[Vec<u32>],
+    deaths: &[(u32, f64)],
+    commits: &[(u32, f64)],
+    rel_end: f64,
+) -> f64 {
+    degraded_spans(spheres, deaths, commits, rel_end).iter().fold(0.0f64, |acc, &s| acc + s)
+}
+
+/// Recovered voting-seconds: for each heal commit, the span the healed
+/// sphere subsequently ran at full voting strength — from the commit to
+/// the sphere's next member death (a fresh incarnation sample after the
+/// commit) or the attempt end, whichever comes first. Summed in commit
+/// emission order.
+pub fn recovered_seconds(
+    spheres: &[Vec<u32>],
+    deaths: &[(u32, f64)],
+    commits: &[(u32, f64)],
+    rel_end: f64,
+) -> f64 {
+    let mut total = 0.0f64;
+    for &(s, c) in commits {
+        let Some(members) = spheres.get(s as usize) else {
+            continue;
+        };
+        let next = deaths
+            .iter()
+            .filter(|(r, t)| members.contains(r) && *t > c)
+            .map(|&(_, t)| t)
+            .fold(f64::INFINITY, f64::min);
+        let upto = next.min(rel_end);
+        if upto > c {
+            total += upto - c;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2 spheres × 2 replicas: sphere 0 = {0, 2}, sphere 1 = {1, 3}.
+    fn spheres() -> Vec<Vec<u32>> {
+        vec![vec![0, 2], vec![1, 3]]
+    }
+
+    #[test]
+    fn commit_closes_degraded_interval() {
+        // Rank 0 dies at 2, its sphere heals at 5, attempt ends at 10.
+        let deaths = [(0, 2.0)];
+        let commits = [(0, 5.0)];
+        let spans = degraded_spans(&spheres(), &deaths, &commits, 10.0);
+        assert_eq!(spans, vec![3.0]);
+        assert_eq!(degraded_seconds(&spheres(), &deaths, &commits, 10.0), 3.0);
+    }
+
+    #[test]
+    fn unhealed_interval_runs_to_attempt_end() {
+        let deaths = [(0, 2.0), (1, 4.0)];
+        let commits = [(0, 5.0)];
+        // Sphere 0: 2→5 healed. Sphere 1: 4→end (never healed).
+        let spans = degraded_spans(&spheres(), &deaths, &commits, 10.0);
+        assert_eq!(spans, vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn redeath_after_heal_reopens_interval() {
+        // Rank 0 dies at 2, heals at 5, its incarnation dies again at 7.
+        let deaths = [(0, 2.0), (0, 7.0)];
+        let commits = [(0, 5.0)];
+        let spans = degraded_spans(&spheres(), &deaths, &commits, 10.0);
+        assert_eq!(spans, vec![3.0, 3.0]);
+        // Recovered: commit 5 → next death 7.
+        assert_eq!(recovered_seconds(&spheres(), &deaths, &commits, 10.0), 2.0);
+    }
+
+    #[test]
+    fn sphere_death_closes_interval_without_tail() {
+        // Both members of sphere 0 die: the interval is death-to-death,
+        // no residual to rel_end.
+        let deaths = [(0, 2.0), (2, 6.0)];
+        let spans = degraded_spans(&spheres(), &deaths, &[], 10.0);
+        assert_eq!(spans, vec![4.0]);
+    }
+
+    #[test]
+    fn events_past_attempt_end_ignored() {
+        let deaths = [(0, 12.0)];
+        assert!(degraded_spans(&spheres(), &deaths, &[], 10.0).is_empty());
+        // A commit past the end leaves the interval clipped at rel_end.
+        let deaths = [(0, 2.0)];
+        let commits = [(0, 11.0)];
+        assert_eq!(degraded_spans(&spheres(), &deaths, &commits, 10.0), vec![8.0]);
+    }
+
+    #[test]
+    fn recovered_clips_to_attempt_end() {
+        let deaths = [(0, 2.0)];
+        let commits = [(0, 5.0)];
+        assert_eq!(recovered_seconds(&spheres(), &deaths, &commits, 10.0), 5.0);
+        // Unknown sphere entries are skipped, not panicked on.
+        assert_eq!(recovered_seconds(&spheres(), &deaths, &[(9, 5.0)], 10.0), 0.0);
+    }
+}

@@ -124,6 +124,21 @@ impl Trace {
                     out.push_str(",\"rel\":");
                     push_f64(&mut out, *rel);
                 }
+                EventKind::HeartbeatMiss { sphere } => {
+                    let _ = write!(out, ",\"sphere\":{sphere}");
+                }
+                EventKind::RespawnBegin { sphere } => {
+                    let _ = write!(out, ",\"sphere\":{sphere}");
+                }
+                EventKind::RespawnCommit { sphere, rel, latency } => {
+                    let _ = write!(out, ",\"sphere\":{sphere},\"rel\":");
+                    push_f64(&mut out, *rel);
+                    out.push_str(",\"latency\":");
+                    push_f64(&mut out, *latency);
+                }
+                EventKind::RejoinVote { sphere, copies } => {
+                    let _ = write!(out, ",\"sphere\":{sphere},\"copies\":{copies}");
+                }
                 EventKind::AttemptEnd { attempt, completed, rel_end, rel_failure, killer } => {
                     let _ = write!(out, ",\"attempt\":{attempt},\"completed\":{completed}");
                     out.push_str(",\"rel_end\":");
@@ -366,6 +381,17 @@ fn event_from_fields(fields: &Fields) -> Result<Event, String> {
         },
         "attempt_start" => EventKind::AttemptStart { attempt: fields.int("attempt")? },
         "injected" => EventKind::Injected { rel: fields.num("rel")? },
+        "heartbeat_miss" => EventKind::HeartbeatMiss { sphere: fields.int("sphere")? as u32 },
+        "respawn_begin" => EventKind::RespawnBegin { sphere: fields.int("sphere")? as u32 },
+        "respawn_commit" => EventKind::RespawnCommit {
+            sphere: fields.int("sphere")? as u32,
+            rel: fields.num("rel")?,
+            latency: fields.num("latency")?,
+        },
+        "rejoin_vote" => EventKind::RejoinVote {
+            sphere: fields.int("sphere")? as u32,
+            copies: fields.int("copies")? as u32,
+        },
         "attempt_end" => EventKind::AttemptEnd {
             attempt: fields.int("attempt")?,
             completed: fields.boolean("completed")?,
@@ -408,6 +434,18 @@ mod tests {
                     kind: EventKind::CheckpointCommit { seq: 0, bytes: 1024, cost: 0.1 },
                 },
                 Event { time: 5.0, rank: Some(0), kind: EventKind::Restore { seq: 0, cut: 4.1 } },
+                Event { time: 5.25, rank: Some(1), kind: EventKind::HeartbeatMiss { sphere: 0 } },
+                Event { time: 5.3, rank: Some(1), kind: EventKind::RespawnBegin { sphere: 0 } },
+                Event {
+                    time: 5.5,
+                    rank: Some(1),
+                    kind: EventKind::RespawnCommit { sphere: 0, rel: 5.5, latency: 1.75 },
+                },
+                Event {
+                    time: 5.5,
+                    rank: Some(1),
+                    kind: EventKind::RejoinVote { sphere: 0, copies: 2 },
+                },
                 Event {
                     time: 6.0,
                     rank: Some(0),

@@ -30,6 +30,7 @@
 
 pub mod analyzer;
 mod event;
+pub mod heal;
 mod jsonl;
 pub mod perfetto;
 mod recorder;

@@ -155,6 +155,49 @@ pub fn export(trace: &Trace) -> Result<String, AnalyzeError> {
                         &[("seq", Js::Int(*seq)), ("cut", Js::Num(*cut))],
                     );
                 }
+                EventKind::HeartbeatMiss { sphere } => {
+                    push_instant(
+                        &mut out,
+                        &mut first,
+                        "heartbeat_miss",
+                        tid,
+                        ts,
+                        &[("sphere", Js::Int(u64::from(*sphere)))],
+                    );
+                }
+                EventKind::RespawnBegin { sphere } => {
+                    push_instant(
+                        &mut out,
+                        &mut first,
+                        "respawn_begin",
+                        tid,
+                        ts,
+                        &[("sphere", Js::Int(u64::from(*sphere)))],
+                    );
+                }
+                EventKind::RespawnCommit { sphere, rel: _, latency } => {
+                    push_instant(
+                        &mut out,
+                        &mut first,
+                        "respawn_commit",
+                        tid,
+                        ts,
+                        &[("sphere", Js::Int(u64::from(*sphere))), ("latency", Js::Num(*latency))],
+                    );
+                }
+                EventKind::RejoinVote { sphere, copies } => {
+                    push_instant(
+                        &mut out,
+                        &mut first,
+                        "rejoin_vote",
+                        tid,
+                        ts,
+                        &[
+                            ("sphere", Js::Int(u64::from(*sphere))),
+                            ("copies", Js::Int(u64::from(*copies))),
+                        ],
+                    );
+                }
                 EventKind::CheckpointBegin { seq } => begins.push((rank, *seq, e.time)),
                 EventKind::CheckpointCommit { seq, bytes, cost } => {
                     // Close this rank's open window for `seq`, if any.

@@ -155,6 +155,46 @@ fn scraped_series_is_monotone_and_lands_on_totals() {
     }
 }
 
+/// A 3x self-healing run: the storm MTBF with OnDegrade respawns.
+fn heal_config() -> ExecutorConfig {
+    ExecutorConfig::new(4, 3.0)
+        .node_mtbf(60.0)
+        .checkpoint_interval(6.0)
+        .checkpoint_cost(0.2)
+        .restart_cost(1.0)
+        .seed(0)
+        .heal_policy(redcr::red::HealPolicy::OnDegrade)
+        .heartbeat_period(0.5)
+        .suspicion_timeout(0.5)
+        .respawn_cost(0.5)
+        .transfer_cost_per_byte(1e-4)
+}
+
+#[test]
+fn heal_counters_agree_with_report_and_toggle_is_bit_identical() {
+    let app = cg_app(32, 20, 1.0);
+    let off = ResilientExecutor::new(heal_config()).run(&app).unwrap();
+    let on = ResilientExecutor::new(heal_config().metrics(true)).run(&app).unwrap();
+    assert!(on.respawns > 0, "the heal scenario must actually respawn");
+
+    // The metrics plane observes healing without perturbing it.
+    assert_eq!(on.total_virtual_time.to_bits(), off.total_virtual_time.to_bits());
+    assert_eq!(on.degraded_sphere_seconds.to_bits(), off.degraded_sphere_seconds.to_bits());
+    assert_eq!(on.heal_latency_seconds.to_bits(), off.heal_latency_seconds.to_bits());
+    assert_eq!(on.recovered_voting_seconds.to_bits(), off.recovered_voting_seconds.to_bits());
+    assert_eq!(on.respawns, off.respawns);
+    assert_eq!(on.masked_failures, off.masked_failures);
+
+    // The heal counters mirror the report, and every respawn observed one
+    // latency sample whose sum is the report's total.
+    let t = &on.metrics.as_ref().unwrap().totals;
+    assert_eq!(t.counter(CounterKey::Respawns), on.respawns);
+    assert_eq!(t.counter(CounterKey::Suspicions), on.respawns, "one suspicion per heal here");
+    let h = t.histogram(HistKey::HealLatency);
+    assert_eq!(h.count(), on.respawns);
+    assert!((h.sum() - on.heal_latency_seconds).abs() < 1e-9);
+}
+
 #[test]
 fn storm_trace_exports_valid_perfetto_json() {
     let cfg = storm_config().tracing(true);

@@ -1,0 +1,86 @@
+//! Capacity-planner sweep: reproduces the paper's Figures 9–14 grid as
+//! one command through the `redcr-sweep` batch engine and result cache,
+//! writing `results/sweep_fig9_14.json` (or `sweep_smoke.json`).
+//!
+//! ```text
+//! cargo run --release -p redcr-bench --bin sweep                # full grid
+//! cargo run --release -p redcr-bench --bin sweep -- smoke       # CI subgrid
+//! cargo run --release -p redcr-bench --bin sweep -- smoke --require-warm
+//! cargo run --release -p redcr-bench --bin sweep -- fig9_14 --cache /tmp/c.jsonl
+//! ```
+//!
+//! The run is deterministic: invoked twice back-to-back, the second run
+//! reports 100% cache hits and writes a byte-identical document.
+//! `--require-warm` turns that property into an exit code (non-zero on
+//! any cold miss) for the CI gate; `--cache PATH` overrides the per-preset
+//! default `results/sweep_cache_<preset>.jsonl`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use redcr_bench::sweepbench::{self, SweepPreset};
+
+fn main() -> ExitCode {
+    let mut preset = SweepPreset::Fig9_14;
+    let mut cache_path: Option<PathBuf> = None;
+    let mut require_warm = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--require-warm" => require_warm = true,
+            "--cache" => match args.next() {
+                Some(p) => cache_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--cache requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => match SweepPreset::parse(other) {
+                Some(p) => preset = p,
+                None => {
+                    eprintln!("unknown argument {other:?} (expected fig9_14|smoke, --cache PATH, --require-warm)");
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+    }
+
+    let cache_path = cache_path.unwrap_or_else(|| preset.default_cache_path());
+    eprintln!(
+        "running {} sweep (cache {}, {} threads)...",
+        preset.name(),
+        cache_path.display(),
+        redcr_bench::worker_threads()
+    );
+
+    let (report, doc) = match sweepbench::run(preset, &cache_path, redcr_bench::worker_threads()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let front = redcr_sweep::frontier(&report.entries);
+    println!("Global Pareto frontier (wallclock vs node-hours vs completion):");
+    print!("{}", sweepbench::render_pareto_table(&report, &front));
+    println!();
+    let groups = redcr_sweep::grouped_frontiers(&report.entries);
+    println!("Per-family redundancy frontiers (non-dominated r per backend/N/MTBF):");
+    print!("{}", sweepbench::render_group_table(&report, &groups));
+    println!();
+    println!("{}", sweepbench::render_stats(&report));
+
+    let path = redcr_bench::output::write_result(preset.output_name(), &doc);
+    println!("wrote {}", path.display());
+
+    if require_warm && !report.stats.all_warm() {
+        eprintln!(
+            "--require-warm: {} cold misses (expected a fully warm cache)",
+            report.stats.cold_misses
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

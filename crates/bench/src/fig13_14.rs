@@ -35,19 +35,26 @@ pub struct Landmarks {
     pub triple_best_beyond: Option<u64>,
 }
 
-/// Generates the sweep for process counts up to `max_n` with `points`
-/// logarithmically spaced samples.
-pub fn generate(max_n: u64, points: usize) -> ScalingData {
-    let cfg = scaling_config();
+/// The figures' logarithmically spaced process-count samples: `points`
+/// values from 100 to `max_n` inclusive (also the grid the sweep service
+/// reproduces, so the spacing is shared).
+pub fn process_grid(max_n: u64, points: usize) -> Vec<u64> {
     let min_n = 100u64;
     let log_lo = (min_n as f64).ln();
     let log_hi = (max_n as f64).ln();
-    let process_counts: Vec<u64> = (0..points)
+    (0..points)
         .map(|i| {
             let f = log_lo + (log_hi - log_lo) * i as f64 / (points - 1) as f64;
             f.exp().round() as u64
         })
-        .collect();
+        .collect()
+}
+
+/// Generates the sweep for process counts up to `max_n` with `points`
+/// logarithmically spaced samples.
+pub fn generate(max_n: u64, points: usize) -> ScalingData {
+    let cfg = scaling_config();
+    let process_counts = process_grid(max_n, points);
     let curves = CURVE_DEGREES
         .iter()
         .map(|&degree| {

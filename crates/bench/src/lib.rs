@@ -30,6 +30,7 @@ pub mod fig4_6;
 pub mod output;
 pub mod paper;
 pub mod runtime;
+pub mod sweepbench;
 pub mod table1;
 pub mod table2_3;
 pub mod table4;

@@ -257,12 +257,21 @@ fn render_set(out: &mut String, indent: &str, set: &[(String, Measurement)]) {
 /// `baseline` is the preserved pre-change measurement set (falling back to
 /// `current` when none was ever recorded — i.e. the very first capture
 /// becomes its own baseline), `current` is this invocation.
+///
+/// Every block — `baseline`, `current`, `speedup`, `units` — is emitted in
+/// canonical sorted scenario order. (The `baseline` block always was, by
+/// virtue of [`Recorded`] being a `BTreeMap`; `current` used to come out
+/// in run order, which made the two sets needlessly hard to diff and made
+/// the committed file's shape depend on scenario registration order.)
 pub fn render_json(
     preset: Preset,
     baseline: &Recorded,
     baseline_note: &str,
     current: &[Scenario],
 ) -> String {
+    let mut by_name: Vec<&Scenario> = current.iter().collect();
+    by_name.sort_by_key(|s| s.name);
+
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"schema\": \"redcr-bench-runtime/1\",");
@@ -275,11 +284,11 @@ pub fn render_json(
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"current\": {{");
     let cur: Vec<(String, Measurement)> =
-        current.iter().map(|s| (s.name.to_string(), s.m)).collect();
+        by_name.iter().map(|s| (s.name.to_string(), s.m)).collect();
     render_set(&mut out, "    ", &cur);
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"speedup\": {{");
-    let speedups: Vec<(String, f64)> = current
+    let speedups: Vec<(String, f64)> = by_name
         .iter()
         .filter_map(|s| baseline.get(s.name).map(|b| (s.name.to_string(), b.wall_s / s.m.wall_s)))
         .collect();
@@ -289,8 +298,8 @@ pub fn render_json(
     }
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"units\": {{");
-    for (i, s) in current.iter().enumerate() {
-        let comma = if i + 1 == current.len() { "" } else { "," };
+    for (i, s) in by_name.iter().enumerate() {
+        let comma = if i + 1 == by_name.len() { "" } else { "," };
         let _ = writeln!(out, "    \"{}\": {}{comma}", s.name, quote(s.unit));
     }
     let _ = writeln!(out, "  }}");
@@ -455,6 +464,49 @@ mod tests {
         baseline.insert("cg_r3".into(), Measurement { wall_s: 4.0, throughput: 10.0 });
         let doc = render_json(Preset::Full, &baseline, "", &current);
         assert!(doc.contains("\"cg_r3\": 2.000000"), "{doc}");
+    }
+
+    #[test]
+    fn all_blocks_share_canonical_sorted_order() {
+        // Scenarios deliberately registered out of sorted order, as
+        // `run_all` does (pingpong before allreduce): every emitted block
+        // must still come out sorted, matching the BTreeMap baseline.
+        let scenarios = vec![
+            Scenario {
+                name: "pingpong",
+                what: "w",
+                unit: "msgs/s",
+                m: Measurement { wall_s: 1.0, throughput: 1.0 },
+            },
+            Scenario {
+                name: "allreduce",
+                what: "w",
+                unit: "allreduce/s",
+                m: Measurement { wall_s: 2.0, throughput: 2.0 },
+            },
+            Scenario {
+                name: "cg_r1",
+                what: "w",
+                unit: "vsec/s",
+                m: Measurement { wall_s: 3.0, throughput: 3.0 },
+            },
+        ];
+        let baseline: Recorded = scenarios.iter().map(|s| (s.name.to_string(), s.m)).collect();
+        let doc = render_json(Preset::Full, &baseline, "", &scenarios);
+        let keys_of = |block: &str| -> Vec<String> {
+            section(&doc, block)
+                .expect(block)
+                .lines()
+                .filter_map(|l| {
+                    let l = l.trim_start();
+                    l.strip_prefix('"').and_then(|r| r.split('"').next()).map(str::to_string)
+                })
+                .collect()
+        };
+        let sorted = vec!["allreduce".to_string(), "cg_r1".into(), "pingpong".into()];
+        for block in ["baseline", "current", "speedup", "units"] {
+            assert_eq!(keys_of(block), sorted, "block {block:?} must be sorted");
+        }
     }
 
     #[test]

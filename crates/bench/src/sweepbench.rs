@@ -1,0 +1,376 @@
+//! The capacity-planner sweep: one command reproducing the paper's
+//! Figures 9–14 grid through `redcr-sweep`.
+//!
+//! Two scenario families make up the grid:
+//!
+//! * the **Section 6 experiment surface** (Figures 9, 11–12 / Table 4):
+//!   the CG workload at 128 processes, MTBF ∈ {6, 12, 18, 24, 30} h,
+//!   degrees 1x–3x in quarter steps — evaluated by *both* the closed-form
+//!   model and the Monte-Carlo cluster simulator;
+//! * the **weak-scaling curves** (Figures 13–14): the calibrated 128-hour
+//!   job at 5-year node MTBF, degrees {1, 1.5, 2, 2.5, 3}, process counts
+//!   log-spaced to 30k and 200k — model backend. The two figures share
+//!   their low-N rows, so the submitted batch deliberately contains
+//!   duplicates for the dedup front-end to collapse.
+//!
+//! Alongside the raw grid the output document records the optimizer's
+//! landmark points (1x/2x and 1x/3x crossovers, the two-jobs-for-one
+//! throughput break-even, the per-MTBF optimal degree) and the Pareto
+//! frontiers over (wallclock, node-hours, completion rate) — the global
+//! frontier plus one per knob family (scenarios differing only in the
+//! redundancy degree), which is the planner's actual tuning question.
+//!
+//! Everything here is deterministic: a repeated invocation against a warm
+//! cache reports 100% hits and writes byte-identical JSON.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use redcr_model::optimizer::{crossover, optimal_redundancy, throughput_break_even, RGrid};
+use redcr_sweep::cache::ResultCache;
+use redcr_sweep::engine::{run_sweep, SweepError, SweepReport};
+use redcr_sweep::pareto::{self, GroupFrontier, ParetoPoint};
+use redcr_sweep::spec::{Backend, ScenarioSpec, SpecPolicy, Workload};
+
+use crate::calib::{self, F13_ALPHA, F13_CHECKPOINT_MINS, F13_RESTART_MINS, T4_SEEDS};
+use crate::fig13_14::{process_grid, CURVE_DEGREES};
+use crate::output::TextTable;
+use crate::paper::constants;
+
+/// Sweep sizing preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepPreset {
+    /// The full Figures 9–14 grid.
+    Fig9_14,
+    /// A CI-sized subgrid exercising both backends and the dedup path.
+    Smoke,
+}
+
+impl SweepPreset {
+    /// Parses `"fig9_14"`/`"smoke"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "fig9_14" => Some(SweepPreset::Fig9_14),
+            "smoke" => Some(SweepPreset::Smoke),
+            _ => None,
+        }
+    }
+
+    /// Stable preset name (used in the JSON document).
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepPreset::Fig9_14 => "fig9_14",
+            SweepPreset::Smoke => "smoke",
+        }
+    }
+
+    /// Output file name under `results/`.
+    pub fn output_name(self) -> &'static str {
+        match self {
+            SweepPreset::Fig9_14 => "sweep_fig9_14.json",
+            SweepPreset::Smoke => "sweep_smoke.json",
+        }
+    }
+
+    /// Default persistent cache path under `results/` (per preset, so a
+    /// smoke run never warms or dirties the committed full-grid cache).
+    pub fn default_cache_path(self) -> PathBuf {
+        crate::output::results_dir().join(match self {
+            SweepPreset::Fig9_14 => "sweep_cache_fig9_14.jsonl",
+            SweepPreset::Smoke => "sweep_cache_smoke.jsonl",
+        })
+    }
+}
+
+/// The Section 6 CG workload as a sweep [`Workload`].
+pub fn experiment_workload() -> Workload {
+    Workload {
+        base_time_hours: constants::BASE_TIME_MINS / 60.0,
+        alpha: constants::ALPHA,
+        checkpoint_cost_hours: constants::CHECKPOINT_SECS / 3600.0,
+        restart_cost_hours: constants::RESTART_SECS / 3600.0,
+    }
+}
+
+/// The Figures 13–14 weak-scaling workload as a sweep [`Workload`].
+pub fn scaling_workload() -> Workload {
+    Workload {
+        base_time_hours: 128.0,
+        alpha: F13_ALPHA,
+        checkpoint_cost_hours: F13_CHECKPOINT_MINS / 60.0,
+        restart_cost_hours: F13_RESTART_MINS / 60.0,
+    }
+}
+
+/// Per-node MTBF of the weak-scaling figures (5 years, hours).
+pub const SCALING_MTBF_HOURS: f64 = 5.0 * 365.0 * 24.0;
+
+/// Per-preset grid sizing: experiment-surface MTBFs and degrees, seeds
+/// per simulator point, and the two weak-scaling sub-grids as
+/// `(max_n, points)`.
+struct GridParams {
+    mtbf_grid: &'static [f64],
+    degree_grid: Vec<f64>,
+    seeds: u32,
+    scaling: [(u64, usize); 2],
+}
+
+/// Builds the submitted scenario batch of `preset` (duplicates included —
+/// dedup is the engine's job).
+pub fn grid(preset: SweepPreset) -> Vec<ScenarioSpec> {
+    let GridParams { mtbf_grid, degree_grid, seeds, scaling } = match preset {
+        SweepPreset::Fig9_14 => GridParams {
+            mtbf_grid: &constants::MTBF_HOURS,
+            degree_grid: RGrid::quarter_steps().degrees().to_vec(),
+            seeds: T4_SEEDS as u32,
+            scaling: [(30_000, 20), (200_000, 24)],
+        },
+        SweepPreset::Smoke => GridParams {
+            mtbf_grid: &[6.0, 12.0],
+            degree_grid: vec![1.0, 2.0, 3.0],
+            seeds: 8,
+            scaling: [(4_000, 4), (10_000, 5)],
+        },
+    };
+
+    let mut specs = Vec::new();
+    // Experiment surface: both backends over MTBF × degree.
+    let workload = experiment_workload();
+    for &mtbf in mtbf_grid {
+        for &degree in &degree_grid {
+            for backend in [Backend::Model, Backend::Simulator] {
+                specs.push(ScenarioSpec {
+                    backend,
+                    n_virtual: constants::N_PROCESSES,
+                    degree,
+                    policy: SpecPolicy::Daly,
+                    node_mtbf_hours: mtbf,
+                    workload,
+                    seeds,
+                });
+            }
+        }
+    }
+    // Weak-scaling curves: model backend over N × degree, one sub-batch
+    // per figure. The figures overlap at the low end (both grids start at
+    // N = 100), so the submitted batch carries genuine duplicates.
+    let workload = scaling_workload();
+    for (max_n, points) in scaling {
+        for n in process_grid(max_n, points) {
+            for &degree in &CURVE_DEGREES {
+                specs.push(ScenarioSpec {
+                    backend: Backend::Model,
+                    n_virtual: n,
+                    degree,
+                    policy: SpecPolicy::Daly,
+                    node_mtbf_hours: SCALING_MTBF_HOURS,
+                    workload,
+                    seeds: 0,
+                });
+            }
+        }
+    }
+    specs
+}
+
+/// The optimizer landmarks recorded alongside the grid: scaling
+/// crossovers/break-even plus the model's optimal degree at each
+/// experiment MTBF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepLandmarks {
+    /// First N where 2x completes no later than 1x.
+    pub cross_1x_2x: Option<u64>,
+    /// First N where 3x completes no later than 1x.
+    pub cross_1x_3x: Option<u64>,
+    /// First N where one 1x job takes at least twice a 2x job.
+    pub throughput_2x: Option<u64>,
+    /// First N where 3x beats 2x.
+    pub triple_best_beyond: Option<u64>,
+    /// `(mtbf_hours, optimal degree)` over the experiment grid.
+    pub optimal_degree_by_mtbf: Vec<(f64, f64)>,
+}
+
+/// Computes the landmarks for `preset`'s MTBF grid.
+pub fn landmarks(preset: SweepPreset) -> SweepLandmarks {
+    let cfg = calib::scaling_config();
+    let mtbf_grid: &[f64] = match preset {
+        SweepPreset::Fig9_14 => &constants::MTBF_HOURS,
+        SweepPreset::Smoke => &[6.0, 12.0],
+    };
+    let optimal_degree_by_mtbf = mtbf_grid
+        .iter()
+        .map(|&mtbf| {
+            let degree =
+                optimal_redundancy(&calib::experiment_config(mtbf), &RGrid::quarter_steps())
+                    .map(|b| b.degree)
+                    .unwrap_or(f64::NAN);
+            (mtbf, degree)
+        })
+        .collect();
+    SweepLandmarks {
+        cross_1x_2x: crossover(&cfg, 1.0, 2.0, 100, 10_000_000).ok(),
+        cross_1x_3x: crossover(&cfg, 1.0, 3.0, 100, 10_000_000).ok(),
+        throughput_2x: throughput_break_even(&cfg, 2.0, 2.0, 100, 2_000_000).ok(),
+        triple_best_beyond: crossover(&cfg, 2.0, 3.0, 100, 10_000_000).ok(),
+        optimal_degree_by_mtbf,
+    }
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    v.map(|n| n.to_string()).unwrap_or_else(|| "null".into())
+}
+
+/// Renders the full output document (canonical key order, one scenario
+/// per line). Cache hit/miss accounting is deliberately *not* part of the
+/// document: warm and cold runs must produce byte-identical files.
+pub fn render_doc(
+    preset: SweepPreset,
+    report: &SweepReport,
+    front: &[ParetoPoint],
+    groups: &[GroupFrontier],
+    marks: &SweepLandmarks,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"redcr-sweep-grid/1\",");
+    let _ = writeln!(out, "  \"preset\": \"{}\",", preset.name());
+    let _ = writeln!(out, "  \"landmarks\": {{");
+    let _ = writeln!(out, "    \"cross_1x_2x\": {},", opt_u64(marks.cross_1x_2x));
+    let _ = writeln!(out, "    \"cross_1x_3x\": {},", opt_u64(marks.cross_1x_3x));
+    let _ = writeln!(out, "    \"throughput_2x\": {},", opt_u64(marks.throughput_2x));
+    let _ = writeln!(out, "    \"triple_best_beyond\": {},", opt_u64(marks.triple_best_beyond));
+    out.push_str("    \"optimal_degree_by_mtbf\": [");
+    for (i, (mtbf, degree)) in marks.optimal_degree_by_mtbf.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{mtbf},{degree}]");
+    }
+    out.push_str("]\n  },\n");
+    let _ = writeln!(out, "  \"scenarios\": [");
+    for (i, e) in report.entries.iter().enumerate() {
+        let comma = if i + 1 == report.entries.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"hash\":\"{:016x}\",\"multiplicity\":{},\"spec\":{},\"result\":{}}}{comma}",
+            e.hash,
+            e.multiplicity,
+            e.spec.render_json(),
+            e.result.render_json()
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"pareto\": {},", pareto::render_json(front));
+    let _ = writeln!(out, "  \"pareto_groups\": {}", pareto::render_groups_json(groups));
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the human-readable Pareto-frontier table.
+pub fn render_pareto_table(report: &SweepReport, front: &[ParetoPoint]) -> String {
+    let mut t =
+        TextTable::new().header(["backend", "N", "r", "mtbf h", "T h", "node-h", "completion"]);
+    for p in front {
+        let e = &report.entries[p.entry_index];
+        t.row([
+            e.spec.backend.name().to_string(),
+            e.spec.n_virtual.to_string(),
+            format!("{}", e.spec.degree),
+            format!("{}", e.spec.node_mtbf_hours),
+            format!("{:.2}", p.total_time_hours),
+            format!("{:.0}", p.node_hours),
+            format!("{:.3}", p.completion_rate),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders the per-knob-family frontiers compactly: one row per family
+/// (backend, scale, MTBF), listing the non-dominated redundancy degrees
+/// and the family's best wallclock.
+pub fn render_group_table(report: &SweepReport, groups: &[GroupFrontier]) -> String {
+    let mut t = TextTable::new().header(["backend", "N", "mtbf h", "frontier r", "best T h"]);
+    for g in groups {
+        let lead = &report.entries[g.first_entry_index].spec;
+        let degrees: Vec<String> = g
+            .points
+            .iter()
+            .map(|p| format!("{}", report.entries[p.entry_index].spec.degree))
+            .collect();
+        let best_t = g
+            .points
+            .first()
+            .map(|p| format!("{:.2}", p.total_time_hours))
+            .unwrap_or_else(|| "-".into());
+        t.row([
+            lead.backend.name().to_string(),
+            lead.n_virtual.to_string(),
+            format!("{}", lead.node_mtbf_hours),
+            degrees.join(" "),
+            best_t,
+        ]);
+    }
+    t.render()
+}
+
+/// Renders the one-line cache accounting summary.
+pub fn render_stats(report: &SweepReport) -> String {
+    let s = &report.stats;
+    format!(
+        "cache: {} hits, {} misses ({} submitted, {} unique, {} duplicates collapsed)",
+        s.cache_hits,
+        s.cold_misses,
+        s.submitted,
+        s.unique,
+        s.submitted - s.unique
+    )
+}
+
+/// Runs the preset's grid against the cache at `cache_path` and returns
+/// the report plus the rendered output document.
+///
+/// # Errors
+///
+/// Propagates engine and cache errors.
+pub fn run(
+    preset: SweepPreset,
+    cache_path: &std::path::Path,
+    threads: usize,
+) -> Result<(SweepReport, String), SweepError> {
+    let mut cache = ResultCache::open(cache_path)?;
+    let report = run_sweep(&grid(preset), threads, &mut cache)?;
+    let front = pareto::frontier(&report.entries);
+    let groups = pareto::grouped_frontiers(&report.entries);
+    let marks = landmarks(preset);
+    let doc = render_doc(preset, &report, &front, &groups, &marks);
+    Ok((report, doc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_contains_duplicates_for_dedup() {
+        let specs = grid(SweepPreset::Smoke);
+        let d = redcr_sweep::dedup(&specs);
+        assert!(d.duplicates() > 0, "figure sub-grids must overlap at low N");
+        assert!(d.unique.len() > 20);
+    }
+
+    #[test]
+    fn full_grid_shape() {
+        let specs = grid(SweepPreset::Fig9_14);
+        // 5 MTBFs × 9 degrees × 2 backends + (20 + 24) N-points × 5 degrees.
+        assert_eq!(specs.len(), 5 * 9 * 2 + (20 + 24) * 5);
+        let d = redcr_sweep::dedup(&specs);
+        assert!(d.duplicates() >= 5, "fig13/fig14 share at least N=100 rows");
+    }
+
+    #[test]
+    fn preset_parses() {
+        assert_eq!(SweepPreset::parse("FIG9_14"), Some(SweepPreset::Fig9_14));
+        assert_eq!(SweepPreset::parse("smoke"), Some(SweepPreset::Smoke));
+        assert_eq!(SweepPreset::parse("x"), None);
+    }
+}

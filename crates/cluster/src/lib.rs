@@ -63,3 +63,4 @@ pub use failure_source::{
 pub use job::{FailureExposure, JobConfig};
 pub use simulate::{simulate_job, SimError};
 pub use stats::JobStats;
+pub use sweep::{monte_carlo, Aggregate, CountMeans};

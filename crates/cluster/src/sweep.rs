@@ -4,6 +4,24 @@
 use crate::simulate::SimError;
 use crate::stats::JobStats;
 
+/// Fractional (expected-value) means of the per-run event counts.
+///
+/// [`JobStats`] stores counts as `u64`, so the element-wise mean in
+/// [`Aggregate::mean`] has to round — which reported rare events (true
+/// mean < 0.5) as exactly 0 across a whole sweep. These are the unrounded
+/// means; use them whenever the magnitude matters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CountMeans {
+    /// Mean failures endured per completed run.
+    pub failures: f64,
+    /// Mean masked (redundancy-absorbed) process deaths per completed run.
+    pub masked_failures: f64,
+    /// Mean checkpoints committed per completed run.
+    pub checkpoints: f64,
+    /// Mean attempts per completed run (1 = failure-free).
+    pub attempts: f64,
+}
+
 /// Aggregate of a Monte-Carlo batch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Aggregate {
@@ -15,8 +33,13 @@ pub struct Aggregate {
     pub mean_total_time: f64,
     /// Sample standard deviation of the total time.
     pub std_total_time: f64,
-    /// Element-wise mean of the completed runs' stats.
+    /// Element-wise mean of the completed runs' stats. The `u64` count
+    /// fields are **rounded** to the nearest integer; read
+    /// [`Aggregate::mean_counts`] for the exact fractional means.
     pub mean: JobStats,
+    /// Unrounded means of the count fields (failures, masked failures,
+    /// checkpoints, attempts).
+    pub mean_counts: CountMeans,
 }
 
 impl Aggregate {
@@ -78,6 +101,7 @@ where
 
     let completed = completed_stats.len();
     let mut mean = JobStats::default();
+    let mut mean_counts = CountMeans::default();
     let mut mean_total = 0.0;
     if completed > 0 {
         for s in &completed_stats {
@@ -111,10 +135,20 @@ where
         mean.checkpoint_time /= n;
         mean.recompute_time /= n;
         mean.restart_time /= n;
-        mean.failures = (mean.failures as f64 / n).round() as u64;
-        mean.masked_failures = (mean.masked_failures as f64 / n).round() as u64;
-        mean.checkpoints = (mean.checkpoints as f64 / n).round() as u64;
-        mean.attempts = (mean.attempts as f64 / n).round() as u64;
+        // The fractional means are the real aggregate; the `u64` fields of
+        // `mean` can only hold a rounded copy (a rare event with true mean
+        // 0.2 used to vanish to 0 here — keep both, rounded for the
+        // integer-typed struct, exact in `mean_counts`).
+        mean_counts = CountMeans {
+            failures: mean.failures as f64 / n,
+            masked_failures: mean.masked_failures as f64 / n,
+            checkpoints: mean.checkpoints as f64 / n,
+            attempts: mean.attempts as f64 / n,
+        };
+        mean.failures = mean_counts.failures.round() as u64;
+        mean.masked_failures = mean_counts.masked_failures.round() as u64;
+        mean.checkpoints = mean_counts.checkpoints.round() as u64;
+        mean.attempts = mean_counts.attempts.round() as u64;
         mean_total = mean.total_time;
     }
     let variance = if completed > 1 {
@@ -130,6 +164,7 @@ where
         mean_total_time: mean_total,
         std_total_time: variance.sqrt(),
         mean,
+        mean_counts,
     })
 }
 
@@ -214,6 +249,48 @@ mod tests {
             "2x redundancy at mtbf 6 must mask deaths on average: {:?}",
             agg.mean
         );
+    }
+
+    #[test]
+    fn rare_events_keep_fractional_means() {
+        // Regression: the count means were rounded to u64, so any event
+        // rarer than 0.5 per run reported as exactly 0 across an entire
+        // sweep. At MTBF 1000 h a 50 h job fails in roughly 5% of runs —
+        // rare, but emphatically not never.
+        let cfg = JobConfig {
+            work: 50.0,
+            checkpoint_cost: 0.2,
+            checkpoint_interval: 2.0,
+            restart_cost: 0.5,
+            exposure: FailureExposure::AllTime,
+            max_attempts: 1_000_000,
+        };
+        let agg = monte_carlo(256, 8, |seed| {
+            let mut src = PoissonSource::new(1000.0, seed);
+            simulate_job(&cfg, &mut src)
+        })
+        .unwrap();
+        assert_eq!(agg.completed, 256);
+        assert_eq!(agg.mean.failures, 0, "rounded mean hides the rare failures");
+        assert!(
+            agg.mean_counts.failures > 0.0 && agg.mean_counts.failures < 0.5,
+            "fractional mean must surface them: {:?}",
+            agg.mean_counts
+        );
+        // attempts = failures + 1 run-for-run, so the means must agree.
+        assert!(
+            (agg.mean_counts.attempts - 1.0 - agg.mean_counts.failures).abs() < 1e-12,
+            "{:?}",
+            agg.mean_counts
+        );
+    }
+
+    #[test]
+    fn fractional_and_rounded_means_agree_when_events_are_common() {
+        let agg = monte_carlo(64, 8, run_one).unwrap();
+        assert_eq!(agg.mean.checkpoints, agg.mean_counts.checkpoints.round() as u64);
+        assert_eq!(agg.mean.attempts, agg.mean_counts.attempts.round() as u64);
+        assert!(agg.mean_counts.checkpoints > 0.0);
     }
 
     #[test]

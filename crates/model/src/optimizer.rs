@@ -357,6 +357,108 @@ mod tests {
         assert!(matches!(err, ModelError::NoSolution { .. }));
     }
 
+    /// A regime so hostile (minutes-scale node MTBF at a million nodes)
+    /// that no degree in the paper's grid can make progress.
+    fn hopeless_config() -> CombinedConfig {
+        CombinedConfig::builder()
+            .virtual_processes(1_000_000)
+            .base_time_hours(128.0)
+            .node_mtbf_hours(0.05)
+            .comm_fraction(0.2)
+            .checkpoint_cost_hours(0.1)
+            .restart_cost_hours(0.1)
+            .interval_policy(IntervalPolicy::Daly)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn every_degree_diverging_is_no_solution_with_full_sweep() {
+        let cfg = hopeless_config();
+        for &r in RGrid::quarter_steps().degrees() {
+            assert!(time_at(&cfg, 1_000_000, r).is_none(), "degree {r} should diverge");
+        }
+        let err = optimal_redundancy(&cfg, &RGrid::quarter_steps()).unwrap_err();
+        assert!(matches!(err, ModelError::NoSolution { .. }), "{err:?}");
+        // The weighted variant takes the same path.
+        let err =
+            optimal_by_cost(&cfg, &RGrid::integral(), &CostWeights::resources_only()).unwrap_err();
+        assert!(matches!(err, ModelError::NoSolution { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn crossover_degenerate_and_invalid_ranges() {
+        let cfg = scaling_config();
+        // Single-point range where 2x already wins: returned as-is.
+        let deep = 1_000_000;
+        assert_eq!(crossover(&cfg, 1.0, 2.0, deep, deep).unwrap(), deep);
+        // Single-point range where it doesn't: NoSolution, not a probe
+        // outside [lo, hi].
+        let err = crossover(&cfg, 1.0, 2.0, 100, 100).unwrap_err();
+        assert!(matches!(err, ModelError::NoSolution { .. }));
+        // lo = 0 and inverted ranges are parameter errors.
+        assert!(matches!(
+            crossover(&cfg, 1.0, 2.0, 0, 100).unwrap_err(),
+            ModelError::InvalidParameter { .. }
+        ));
+        assert!(matches!(
+            crossover(&cfg, 1.0, 2.0, 200, 100).unwrap_err(),
+            ModelError::InvalidParameter { .. }
+        ));
+    }
+
+    #[test]
+    fn crossover_at_lower_bound_returns_lo_exactly() {
+        let cfg = scaling_config();
+        // Find the true crossover, then search a window starting at it: the
+        // bound itself must come back, not bound+1.
+        let x = crossover(&cfg, 1.0, 2.0, 100, 1_000_000).unwrap();
+        assert_eq!(crossover(&cfg, 1.0, 2.0, x, 1_000_000).unwrap(), x);
+        // And a window starting just past it still reports its own lo.
+        assert_eq!(crossover(&cfg, 1.0, 2.0, x + 1, 1_000_000).unwrap(), x + 1);
+    }
+
+    #[test]
+    fn throughput_break_even_bounds_and_invalid_factor() {
+        let cfg = scaling_config();
+        assert!(matches!(
+            throughput_break_even(&cfg, 2.0, 0.0, 100, 1_000).unwrap_err(),
+            ModelError::InvalidParameter { .. }
+        ));
+        assert!(matches!(
+            throughput_break_even(&cfg, 2.0, -1.0, 100, 1_000).unwrap_err(),
+            ModelError::InvalidParameter { .. }
+        ));
+        // Degenerate single-point range behaves like crossover's.
+        let n = throughput_break_even(&cfg, 2.0, 2.0, 1_000, 10_000_000).unwrap();
+        assert_eq!(throughput_break_even(&cfg, 2.0, 2.0, n, n).unwrap(), n);
+        let err = throughput_break_even(&cfg, 2.0, 2.0, 1_000, 1_000).unwrap_err();
+        assert!(matches!(err, ModelError::NoSolution { .. }));
+    }
+
+    #[test]
+    fn blend_endpoints_match_the_pure_weightings() {
+        // blend(1) is time-only, blend(0) is resources-only — both as
+        // weights and through the optimizer.
+        assert_eq!(CostWeights::blend(1.0).unwrap(), CostWeights::time_only());
+        assert_eq!(CostWeights::blend(0.0).unwrap(), CostWeights::resources_only());
+        let cfg = scaling_config().with_virtual_processes(50_000);
+        let grid = RGrid::half_steps();
+        let t = optimal_by_cost(&cfg, &grid, &CostWeights::blend(1.0).unwrap()).unwrap();
+        assert_eq!(
+            t.degree,
+            optimal_by_cost(&cfg, &grid, &CostWeights::time_only()).unwrap().degree
+        );
+        let r = optimal_by_cost(&cfg, &grid, &CostWeights::blend(0.0).unwrap()).unwrap();
+        assert_eq!(
+            r.degree,
+            optimal_by_cost(&cfg, &grid, &CostWeights::resources_only()).unwrap().degree
+        );
+        // Boundary validation: exactly 0 and 1 are legal, just outside is not.
+        assert!(CostWeights::blend(-f64::EPSILON).is_err());
+        assert!(CostWeights::blend(1.0 + f64::EPSILON).is_err());
+    }
+
     #[test]
     fn time_at_none_on_divergence() {
         // Catastrophic MTBF so 1x diverges at scale.

@@ -18,7 +18,7 @@ use crate::error::{MpiError, Result};
 const INLINE_WORDS: usize = bytes::INLINE_CAP / 8;
 
 /// Encodes a slice of `f64` directly as a message payload. Small slices
-/// (≤ [`INLINE_WORDS`]) take an allocation-free inline path.
+/// (≤ `INLINE_WORDS`) take an allocation-free inline path.
 pub fn f64s_to_bytes(values: &[f64]) -> Bytes {
     if values.len() <= INLINE_WORDS {
         let mut buf = [0u8; INLINE_WORDS * 8];
@@ -32,7 +32,7 @@ pub fn f64s_to_bytes(values: &[f64]) -> Bytes {
 }
 
 /// Encodes a slice of `u64` directly as a message payload. Small slices
-/// (≤ [`INLINE_WORDS`]) take an allocation-free inline path.
+/// (≤ `INLINE_WORDS`) take an allocation-free inline path.
 pub fn u64s_to_bytes(values: &[u64]) -> Bytes {
     if values.len() <= INLINE_WORDS {
         let mut buf = [0u8; INLINE_WORDS * 8];

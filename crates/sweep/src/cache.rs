@@ -1,0 +1,327 @@
+//! Persistent JSONL result cache keyed by scenario hash.
+//!
+//! One line per scenario: `{"hash":"<16 hex>","spec":{…},"result":{…}}`.
+//! Warm lookups serve results without touching a backend; cold misses are
+//! appended after the batch completes, in deterministic submission order.
+//! The `spec` object is stored for auditability (a cache line is
+//! self-describing); lookups go through the hash alone.
+//!
+//! The file format is append-only and tolerant: unparsable lines are
+//! counted and skipped, never served. A later line for the same hash wins
+//! (re-appends after a version bump of the encoding simply shadow).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::spec::ScenarioSpec;
+
+/// The outcome of one scenario, as cached and as returned by the engine.
+///
+/// Count means are **fractional** (expected values), never rounded: a rare
+/// event with true mean 0.2 must report 0.2, not 0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioResult {
+    /// Expected wallclock, hours; `None` when the scenario diverges
+    /// (model Eq. 14 blow-up, or no simulated run completed).
+    pub total_time_hours: Option<f64>,
+    /// Expected resource usage `N_physical × T_total`, node-hours;
+    /// `None` when divergent.
+    pub node_hours: Option<f64>,
+    /// Fraction of runs that completed (model: 1.0 or 0.0).
+    pub completion_rate: f64,
+    /// Mean unmasked failures per run.
+    pub mean_failures: f64,
+    /// Mean masked (redundancy-absorbed) process deaths per run.
+    pub mean_masked_failures: f64,
+    /// Mean checkpoints committed per run.
+    pub mean_checkpoints: f64,
+    /// Mean attempts per run (1 = failure-free).
+    pub mean_attempts: f64,
+}
+
+impl ScenarioResult {
+    /// Canonical JSON object: fixed key order, shortest round-trip float
+    /// formatting, `null` for divergent wallclock/resources.
+    pub fn render_json(&self) -> String {
+        let opt = |v: Option<f64>| match v {
+            Some(x) if x.is_finite() => format!("{x}"),
+            _ => "null".into(),
+        };
+        format!(
+            "{{\"total_time_hours\":{},\"node_hours\":{},\"completion_rate\":{},\
+             \"mean_failures\":{},\"mean_masked_failures\":{},\"mean_checkpoints\":{},\
+             \"mean_attempts\":{}}}",
+            opt(self.total_time_hours),
+            opt(self.node_hours),
+            self.completion_rate,
+            self.mean_failures,
+            self.mean_masked_failures,
+            self.mean_checkpoints,
+            self.mean_attempts,
+        )
+    }
+}
+
+/// Renders one full cache line (no trailing newline).
+pub fn render_line(spec: &ScenarioSpec, result: &ScenarioResult) -> String {
+    let mut out = String::with_capacity(256);
+    let _ = write!(
+        out,
+        "{{\"hash\":\"{}\",\"spec\":{},\"result\":{}}}",
+        spec.hash_hex(),
+        spec.render_json(),
+        result.render_json()
+    );
+    out
+}
+
+/// Parses the `"hash"` and `"result"` fields of a cache line.
+pub fn parse_line(line: &str) -> Option<(u64, ScenarioResult)> {
+    let hash_str = str_field(line, "hash")?;
+    if hash_str.len() != 16 {
+        return None;
+    }
+    let hash = u64::from_str_radix(hash_str, 16).ok()?;
+    let marker = "\"result\":{";
+    let start = line.find(marker)? + marker.len();
+    let body = &line[start..line.len().checked_sub(1)?];
+    let result = ScenarioResult {
+        total_time_hours: opt_number_field(body, "total_time_hours")?,
+        node_hours: opt_number_field(body, "node_hours")?,
+        completion_rate: opt_number_field(body, "completion_rate")??,
+        mean_failures: opt_number_field(body, "mean_failures")??,
+        mean_masked_failures: opt_number_field(body, "mean_masked_failures")??,
+        mean_checkpoints: opt_number_field(body, "mean_checkpoints")??,
+        mean_attempts: opt_number_field(body, "mean_attempts")??,
+    };
+    Some((hash, result))
+}
+
+fn str_field<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
+    let marker = format!("\"{key}\":\"");
+    let start = doc.find(&marker)? + marker.len();
+    let rest = &doc[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// `Some(Some(v))` for a number, `Some(None)` for `null`, `None` when the
+/// key is missing or malformed.
+fn opt_number_field(body: &str, key: &str) -> Option<Option<f64>> {
+    let marker = format!("\"{key}\":");
+    let start = body.find(&marker)? + marker.len();
+    let rest = &body[start..];
+    if let Some(stripped) = rest.strip_prefix("null") {
+        // Guard against a key that merely *starts* like null (e.g. a
+        // string value): the next char must terminate the field.
+        if stripped.is_empty() || stripped.starts_with([',', '}']) {
+            return Some(None);
+        }
+        return None;
+    }
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok().map(Some)
+}
+
+/// The persistent scenario-result store.
+#[derive(Debug)]
+pub struct ResultCache {
+    path: Option<PathBuf>,
+    entries: BTreeMap<u64, ScenarioResult>,
+    malformed: usize,
+}
+
+impl ResultCache {
+    /// An ephemeral cache that never touches disk (tests, one-shot runs).
+    pub fn in_memory() -> Self {
+        Self { path: None, entries: BTreeMap::new(), malformed: 0 }
+    }
+
+    /// Opens (or lazily creates) the JSONL cache at `path`, loading every
+    /// parsable line. A missing file is an empty cache, not an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than "not found".
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut entries = BTreeMap::new();
+        let mut malformed = 0usize;
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                for line in text.lines() {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match parse_line(line) {
+                        Some((hash, result)) => {
+                            entries.insert(hash, result);
+                        }
+                        None => malformed += 1,
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok(Self { path: Some(path), entries, malformed })
+    }
+
+    /// Number of cached scenarios.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lines that failed to parse when the cache was opened.
+    pub fn malformed_lines(&self) -> usize {
+        self.malformed
+    }
+
+    /// Looks up a scenario hash.
+    pub fn get(&self, hash: u64) -> Option<&ScenarioResult> {
+        self.entries.get(&hash)
+    }
+
+    /// Inserts `batch` and appends the new lines to the backing file in
+    /// the given (deterministic) order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; the in-memory view is updated regardless, so
+    /// a failed append degrades to a warm-for-this-process cache.
+    pub fn append_batch(&mut self, batch: &[(ScenarioSpec, ScenarioResult)]) -> io::Result<()> {
+        let mut text = String::new();
+        for (spec, result) in batch {
+            let _ = writeln!(text, "{}", render_line(spec, result));
+            self.entries.insert(spec.hash(), *result);
+        }
+        if let Some(path) = &self.path {
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir)?;
+                }
+            }
+            use std::io::Write as _;
+            let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+            file.write_all(text.as_bytes())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Backend, SpecPolicy, Workload};
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec {
+            backend: Backend::Model,
+            n_virtual: 1000,
+            degree: 2.0,
+            policy: SpecPolicy::Daly,
+            node_mtbf_hours: 43_800.0,
+            workload: Workload {
+                base_time_hours: 128.0,
+                alpha: 0.24,
+                checkpoint_cost_hours: 1.0 / 6.0,
+                restart_cost_hours: 0.5,
+            },
+            seeds: 0,
+        }
+    }
+
+    fn result() -> ScenarioResult {
+        ScenarioResult {
+            total_time_hours: Some(130.25),
+            node_hours: Some(260_500.0),
+            completion_rate: 1.0,
+            mean_failures: 0.0625,
+            mean_masked_failures: 1.5,
+            mean_checkpoints: 12.0,
+            mean_attempts: 1.0625,
+        }
+    }
+
+    #[test]
+    fn line_round_trips() {
+        let line = render_line(&spec(), &result());
+        let (hash, parsed) = parse_line(&line).expect("parses");
+        assert_eq!(hash, spec().hash());
+        assert_eq!(parsed, result());
+    }
+
+    #[test]
+    fn divergent_round_trips_as_null() {
+        let r = ScenarioResult {
+            total_time_hours: None,
+            node_hours: None,
+            completion_rate: 0.0,
+            mean_failures: 0.0,
+            mean_masked_failures: 0.0,
+            mean_checkpoints: 0.0,
+            mean_attempts: 0.0,
+        };
+        let line = render_line(&spec(), &r);
+        assert!(line.contains("\"total_time_hours\":null"));
+        let (_, parsed) = parse_line(&line).expect("parses");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn rendering_is_byte_stable_through_a_parse_cycle() {
+        // Warm runs re-render parsed results; Display → parse → Display
+        // must be the identity for the output to stay byte-identical.
+        let line = render_line(&spec(), &result());
+        let (_, parsed) = parse_line(&line).expect("parses");
+        assert_eq!(render_line(&spec(), &parsed), line);
+    }
+
+    #[test]
+    fn persistent_cache_round_trips() {
+        let dir =
+            std::env::temp_dir().join(format!("redcr_sweep_cache_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("cache.jsonl");
+
+        let mut cache = ResultCache::open(&path).expect("open missing file");
+        assert!(cache.is_empty());
+        cache.append_batch(&[(spec(), result())]).expect("append");
+
+        let reopened = ResultCache::open(&path).expect("reopen");
+        assert_eq!(reopened.len(), 1);
+        assert_eq!(reopened.malformed_lines(), 0);
+        assert_eq!(reopened.get(spec().hash()), Some(&result()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped_not_served() {
+        let dir = std::env::temp_dir()
+            .join(format!("redcr_sweep_cache_malformed_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.jsonl");
+        let good = render_line(&spec(), &result());
+        std::fs::write(&path, format!("not json\n{good}\n{{\"hash\":\"zz\"}}\n")).unwrap();
+        let cache = ResultCache::open(&path).expect("open");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.malformed_lines(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_memory_cache_never_persists() {
+        let mut cache = ResultCache::in_memory();
+        cache.append_batch(&[(spec(), result())]).expect("append");
+        assert_eq!(cache.get(spec().hash()), Some(&result()));
+    }
+}

@@ -1,0 +1,121 @@
+//! Dedup front-end: collapses identical submitted scenario points before
+//! they reach the cache or a backend.
+//!
+//! Batch submitters routinely overlap (two figures sharing their low-N
+//! grid rows, retried queries, fan-in from many users asking the same
+//! what-if). Deduplication keys on the canonical scenario hash, keeps the
+//! *first* submission order (so output stays deterministic and
+//! submission-shaped), and records multiplicity so callers can still
+//! answer every submitted point.
+
+use std::collections::BTreeMap;
+
+use crate::spec::ScenarioSpec;
+
+/// A deduplicated batch.
+#[derive(Debug, Clone)]
+pub struct DedupedBatch {
+    /// Unique scenarios in first-submission order.
+    pub unique: Vec<ScenarioSpec>,
+    /// How many submitted points collapsed into each unique scenario
+    /// (parallel to `unique`; sums to `submitted`).
+    pub multiplicity: Vec<usize>,
+    /// Index into `unique` for every submitted point, in submission order.
+    pub assignment: Vec<usize>,
+    /// Number of points submitted.
+    pub submitted: usize,
+}
+
+impl DedupedBatch {
+    /// Submitted points that were collapsed away.
+    pub fn duplicates(&self) -> usize {
+        self.submitted - self.unique.len()
+    }
+}
+
+/// Collapses `submitted` by canonical scenario hash.
+pub fn dedup(submitted: &[ScenarioSpec]) -> DedupedBatch {
+    let mut by_hash: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut unique = Vec::new();
+    let mut multiplicity = Vec::new();
+    let mut assignment = Vec::with_capacity(submitted.len());
+    for spec in submitted {
+        let hash = spec.hash();
+        let idx = *by_hash.entry(hash).or_insert_with(|| {
+            unique.push(*spec);
+            multiplicity.push(0);
+            unique.len() - 1
+        });
+        debug_assert_eq!(
+            unique[idx].canonical_bytes(),
+            spec.canonical_bytes(),
+            "FNV-64 collision between distinct scenarios"
+        );
+        multiplicity[idx] += 1;
+        assignment.push(idx);
+    }
+    DedupedBatch { unique, multiplicity, assignment, submitted: submitted.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Backend, SpecPolicy, Workload};
+
+    fn spec(n: u64, degree: f64) -> ScenarioSpec {
+        ScenarioSpec {
+            backend: Backend::Model,
+            n_virtual: n,
+            degree,
+            policy: SpecPolicy::Daly,
+            node_mtbf_hours: 43_800.0,
+            workload: Workload {
+                base_time_hours: 128.0,
+                alpha: 0.24,
+                checkpoint_cost_hours: 1.0 / 6.0,
+                restart_cost_hours: 0.5,
+            },
+            seeds: 0,
+        }
+    }
+
+    #[test]
+    fn collapses_identical_points_preserving_order() {
+        let batch = [spec(100, 1.0), spec(200, 2.0), spec(100, 1.0), spec(100, 1.0)];
+        let d = dedup(&batch);
+        assert_eq!(d.submitted, 4);
+        assert_eq!(d.unique.len(), 2);
+        assert_eq!(d.duplicates(), 2);
+        assert_eq!(d.unique[0], spec(100, 1.0));
+        assert_eq!(d.unique[1], spec(200, 2.0));
+        assert_eq!(d.multiplicity, vec![3, 1]);
+        assert_eq!(d.assignment, vec![0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn distinct_points_pass_through() {
+        let batch = [spec(100, 1.0), spec(100, 1.5), spec(100, 2.0)];
+        let d = dedup(&batch);
+        assert_eq!(d.unique.len(), 3);
+        assert_eq!(d.duplicates(), 0);
+        assert_eq!(d.multiplicity, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let d = dedup(&[]);
+        assert_eq!(d.submitted, 0);
+        assert!(d.unique.is_empty());
+    }
+
+    #[test]
+    fn model_seed_count_is_not_an_identity() {
+        // The closed-form backend canonicalizes seeds away: the same model
+        // point submitted with different Monte-Carlo budgets is one query.
+        let a = ScenarioSpec { seeds: 4, ..spec(100, 1.0) };
+        let b = ScenarioSpec { seeds: 64, ..spec(100, 1.0) };
+        let d = dedup(&[a, b]);
+        assert_eq!(d.unique.len(), 1);
+        assert_eq!(d.multiplicity, vec![2]);
+    }
+}

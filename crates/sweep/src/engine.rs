@@ -1,0 +1,384 @@
+//! Batch execution engine: dedup → cache lookup → multi-core cold-miss
+//! evaluation → cache append.
+//!
+//! The engine is the serving core of the capacity planner. A submitted
+//! batch is deduplicated by canonical hash, warm scenarios are answered
+//! straight from the [`ResultCache`], and the cold remainder is drained by
+//! a work queue across worker threads. Determinism contract: the report —
+//! and the bytes appended to the cache — depend only on the submitted
+//! specs and prior cache contents, never on thread count or scheduling
+//! (every simulator scenario draws its Monte-Carlo seeds as `0..seeds`,
+//! and results land in per-scenario slots).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use redcr_cluster::combined::simulate_combined;
+use redcr_cluster::job::FailureExposure;
+use redcr_cluster::sweep::monte_carlo;
+use redcr_cluster::SimError;
+use redcr_model::ModelError;
+
+use crate::cache::{ResultCache, ScenarioResult};
+use crate::dedup::{dedup, DedupedBatch};
+use crate::spec::{Backend, ScenarioSpec};
+
+/// Errors a sweep can abort with. Divergent scenarios are *results*
+/// (completion rate 0), not errors; these are real faults: invalid specs,
+/// backend failures, cache I/O.
+#[derive(Debug)]
+pub enum SweepError {
+    /// A spec failed model-domain validation or the model errored.
+    Model(ModelError),
+    /// The cluster simulator failed (not divergence, which is aggregated).
+    Sim(SimError),
+    /// The result cache could not be read or appended.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Model(e) => write!(f, "model error: {e}"),
+            SweepError::Sim(e) => write!(f, "simulation error: {e}"),
+            SweepError::Io(e) => write!(f, "cache I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<ModelError> for SweepError {
+    fn from(e: ModelError) -> Self {
+        SweepError::Model(e)
+    }
+}
+
+impl From<SimError> for SweepError {
+    fn from(e: SimError) -> Self {
+        SweepError::Sim(e)
+    }
+}
+
+impl From<std::io::Error> for SweepError {
+    fn from(e: std::io::Error) -> Self {
+        SweepError::Io(e)
+    }
+}
+
+/// One answered scenario of a sweep report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepEntry {
+    /// The scenario.
+    pub spec: ScenarioSpec,
+    /// Its canonical hash.
+    pub hash: u64,
+    /// How many submitted points collapsed into this entry.
+    pub multiplicity: usize,
+    /// Whether the result came from the cache (warm) or a backend (cold).
+    pub cache_hit: bool,
+    /// The outcome.
+    pub result: ScenarioResult,
+}
+
+/// Batch-level accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Points submitted (before dedup).
+    pub submitted: usize,
+    /// Unique scenarios after dedup.
+    pub unique: usize,
+    /// Unique scenarios answered from the cache.
+    pub cache_hits: usize,
+    /// Unique scenarios evaluated by a backend this run.
+    pub cold_misses: usize,
+}
+
+impl SweepStats {
+    /// Whether every unique scenario was served warm.
+    pub fn all_warm(&self) -> bool {
+        self.cold_misses == 0
+    }
+}
+
+/// The result of one batch submission: entries in first-submission order
+/// plus accounting.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// One entry per unique scenario, in first-submission order.
+    pub entries: Vec<SweepEntry>,
+    /// Hit/miss accounting.
+    pub stats: SweepStats,
+}
+
+/// Evaluates one scenario on its backend. Divergence becomes a
+/// zero-completion result; only genuine faults error.
+///
+/// # Errors
+///
+/// Invalid specs and non-divergence backend failures.
+pub fn evaluate(spec: &ScenarioSpec) -> Result<ScenarioResult, SweepError> {
+    let cfg = spec.to_config()?;
+    match spec.backend {
+        Backend::Model => match cfg.evaluate() {
+            Ok(o) => {
+                // Expected process deaths over the run; the unmasked share
+                // is Eq. 11's failure count, the rest were absorbed by
+                // redundancy.
+                let deaths = o.total_physical as f64 * o.total_time / cfg.node_mtbf;
+                Ok(ScenarioResult {
+                    total_time_hours: Some(o.total_time),
+                    node_hours: Some(o.node_hours),
+                    completion_rate: 1.0,
+                    mean_failures: o.expected_failures,
+                    mean_masked_failures: (deaths - o.expected_failures).max(0.0),
+                    mean_checkpoints: o.expected_checkpoints,
+                    mean_attempts: 1.0 + o.expected_failures,
+                })
+            }
+            Err(ModelError::Diverged { .. }) => Ok(divergent_result()),
+            Err(e) => Err(e.into()),
+        },
+        Backend::Simulator => {
+            let runs = spec.seeds as usize;
+            // Parallelism lives at the scenario level (the engine's work
+            // queue); each scenario runs its seeds serially so the seed
+            // assignment 0..runs is trivially deterministic.
+            let agg = monte_carlo(runs, 1, |seed| {
+                simulate_combined(&cfg, FailureExposure::AllTime, seed)
+            })?;
+            if agg.completed == 0 {
+                return Ok(divergent_result());
+            }
+            let total_physical = cfg.partition()?.total_physical();
+            Ok(ScenarioResult {
+                total_time_hours: Some(agg.mean_total_time),
+                node_hours: Some(total_physical as f64 * agg.mean_total_time),
+                completion_rate: agg.completion_rate(),
+                mean_failures: agg.mean_counts.failures,
+                mean_masked_failures: agg.mean_counts.masked_failures,
+                mean_checkpoints: agg.mean_counts.checkpoints,
+                mean_attempts: agg.mean_counts.attempts,
+            })
+        }
+    }
+}
+
+fn divergent_result() -> ScenarioResult {
+    ScenarioResult {
+        total_time_hours: None,
+        node_hours: None,
+        completion_rate: 0.0,
+        mean_failures: 0.0,
+        mean_masked_failures: 0.0,
+        mean_checkpoints: 0.0,
+        mean_attempts: 0.0,
+    }
+}
+
+/// Runs a batch: dedup, serve warm scenarios from `cache`, evaluate cold
+/// ones on up to `threads` worker threads, append the cold results to the
+/// cache (in submission order), and return the report.
+///
+/// # Errors
+///
+/// The first backend/spec error encountered (by submission order), or a
+/// cache-append I/O error.
+pub fn run_sweep(
+    submitted: &[ScenarioSpec],
+    threads: usize,
+    cache: &mut ResultCache,
+) -> Result<SweepReport, SweepError> {
+    let batch: DedupedBatch = dedup(submitted);
+    let threads = threads.max(1);
+
+    // Partition warm/cold without evaluating anything.
+    let mut warm: Vec<Option<ScenarioResult>> = Vec::with_capacity(batch.unique.len());
+    let mut hits: Vec<bool> = Vec::with_capacity(batch.unique.len());
+    let mut cold_indices: Vec<usize> = Vec::new();
+    for (i, spec) in batch.unique.iter().enumerate() {
+        match cache.get(spec.hash()) {
+            Some(r) => {
+                warm.push(Some(*r));
+                hits.push(true);
+            }
+            None => {
+                warm.push(None);
+                hits.push(false);
+                cold_indices.push(i);
+            }
+        }
+    }
+
+    // Drain the cold queue across workers; slot results by queue index so
+    // the outcome is independent of which worker ran what.
+    let mut cold_results: Vec<Option<Result<ScenarioResult, SweepError>>> =
+        (0..cold_indices.len()).map(|_| None).collect();
+    if !cold_indices.is_empty() {
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Result<ScenarioResult, SweepError>)>();
+        let unique = &batch.unique;
+        let cold = &cold_indices;
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(cold.len()) {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move || loop {
+                    let qi = next.fetch_add(1, Ordering::SeqCst);
+                    if qi >= cold.len() {
+                        break;
+                    }
+                    let outcome = evaluate(&unique[cold[qi]]);
+                    if tx.send((qi, outcome)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (qi, outcome) in rx {
+                cold_results[qi] = Some(outcome);
+            }
+        });
+    }
+
+    // Surface errors deterministically: first failing scenario by
+    // submission order, regardless of completion order.
+    let mut appended: Vec<(ScenarioSpec, ScenarioResult)> = Vec::with_capacity(cold_indices.len());
+    let mut resolved: Vec<Option<ScenarioResult>> = warm;
+    for (qi, &ui) in cold_indices.iter().enumerate() {
+        let outcome = cold_results[qi].take().expect("cold slot filled")?;
+        appended.push((batch.unique[ui], outcome));
+        resolved[ui] = Some(outcome);
+    }
+    cache.append_batch(&appended)?;
+
+    let entries: Vec<SweepEntry> = batch
+        .unique
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| SweepEntry {
+            spec: *spec,
+            hash: spec.hash(),
+            multiplicity: batch.multiplicity[i],
+            cache_hit: hits[i],
+            result: resolved[i].expect("every scenario resolved"),
+        })
+        .collect();
+    let stats = SweepStats {
+        submitted: batch.submitted,
+        unique: batch.unique.len(),
+        cache_hits: batch.unique.len() - cold_indices.len(),
+        cold_misses: cold_indices.len(),
+    };
+    Ok(SweepReport { entries, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{SpecPolicy, Workload};
+
+    fn paper_workload() -> Workload {
+        Workload {
+            base_time_hours: 46.0 / 60.0,
+            alpha: 0.2,
+            checkpoint_cost_hours: 120.0 / 3600.0,
+            restart_cost_hours: 500.0 / 3600.0,
+        }
+    }
+
+    fn model_spec(n: u64, degree: f64) -> ScenarioSpec {
+        ScenarioSpec {
+            backend: Backend::Model,
+            n_virtual: n,
+            degree,
+            policy: SpecPolicy::Daly,
+            node_mtbf_hours: 12.0,
+            workload: paper_workload(),
+            seeds: 0,
+        }
+    }
+
+    fn sim_spec(degree: f64, seeds: u32) -> ScenarioSpec {
+        ScenarioSpec { backend: Backend::Simulator, seeds, ..model_spec(128, degree) }
+    }
+
+    #[test]
+    fn model_and_simulator_agree_roughly() {
+        let m = evaluate(&model_spec(128, 2.0)).unwrap();
+        let s = evaluate(&sim_spec(2.0, 32)).unwrap();
+        let (mt, st) = (m.total_time_hours.unwrap(), s.total_time_hours.unwrap());
+        let rel = (mt - st).abs() / mt;
+        assert!(rel < 0.2, "model {mt} vs simulated {st} (rel {rel})");
+        assert_eq!(s.completion_rate, 1.0);
+        assert!(s.mean_checkpoints > 0.0);
+    }
+
+    #[test]
+    fn cold_then_warm_is_identical_and_all_hits() {
+        let specs: Vec<ScenarioSpec> = [1.0, 1.5, 2.0].iter().map(|&d| sim_spec(d, 8)).collect();
+        let mut cache = ResultCache::in_memory();
+        let cold = run_sweep(&specs, 4, &mut cache).unwrap();
+        assert_eq!(cold.stats.cold_misses, 3);
+        assert_eq!(cold.stats.cache_hits, 0);
+        let warm = run_sweep(&specs, 4, &mut cache).unwrap();
+        assert_eq!(warm.stats.cold_misses, 0);
+        assert_eq!(warm.stats.cache_hits, 3);
+        assert!(warm.stats.all_warm());
+        for (c, w) in cold.entries.iter().zip(&warm.entries) {
+            assert_eq!(c.result, w.result);
+            assert!(!c.cache_hit);
+            assert!(w.cache_hit);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let specs: Vec<ScenarioSpec> =
+            [1.0, 1.25, 1.5, 2.0, 2.5, 3.0].iter().map(|&d| sim_spec(d, 8)).collect();
+        let a = run_sweep(&specs, 1, &mut ResultCache::in_memory()).unwrap();
+        let b = run_sweep(&specs, 8, &mut ResultCache::in_memory()).unwrap();
+        assert_eq!(a.entries.len(), b.entries.len());
+        for (x, y) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(x.result, y.result, "thread count must not matter");
+        }
+    }
+
+    #[test]
+    fn duplicates_collapse_and_multiplicity_survives() {
+        let s = model_spec(1000, 2.0);
+        let report = run_sweep(&[s, s, s], 2, &mut ResultCache::in_memory()).unwrap();
+        assert_eq!(report.stats.submitted, 3);
+        assert_eq!(report.stats.unique, 1);
+        assert_eq!(report.entries[0].multiplicity, 3);
+    }
+
+    #[test]
+    fn divergent_scenario_is_a_result_not_an_error() {
+        // 1x at huge scale with a day-long node MTBF: Eq. 14 blows up.
+        let mut spec = model_spec(1_000_000, 1.0);
+        spec.node_mtbf_hours = 24.0;
+        spec.workload.base_time_hours = 128.0;
+        let r = evaluate(&spec).unwrap();
+        assert_eq!(r.total_time_hours, None);
+        assert_eq!(r.completion_rate, 0.0);
+    }
+
+    #[test]
+    fn invalid_spec_is_an_error() {
+        let mut spec = model_spec(128, 2.0);
+        spec.workload.alpha = 2.0;
+        assert!(matches!(evaluate(&spec), Err(SweepError::Model(_))));
+        let mut cache = ResultCache::in_memory();
+        assert!(run_sweep(&[spec], 2, &mut cache).is_err());
+    }
+
+    #[test]
+    fn model_masked_failures_exceed_unmasked_at_high_redundancy() {
+        let r = evaluate(&model_spec(128, 3.0)).unwrap();
+        assert!(
+            r.mean_masked_failures > r.mean_failures,
+            "triple redundancy masks most deaths: {r:?}"
+        );
+    }
+}

@@ -1,7 +1,9 @@
 //! Capacity planning: the wallclock-vs-resources trade-off the paper's
 //! conclusion describes, swept across scales — including the crossover
 //! points where dual and triple redundancy start paying for themselves and
-//! the "two jobs for the price of one" throughput landmark.
+//! the "two jobs for the price of one" throughput landmark, then the same
+//! question asked through the `redcr-sweep` batch planner: a deduped,
+//! cached scenario sweep reduced to its Pareto frontier.
 //!
 //! ```text
 //! cargo run --example capacity_planning
@@ -10,6 +12,9 @@
 use redcr::model::combined::CombinedConfig;
 use redcr::model::optimizer::{crossover, throughput_break_even, time_at};
 use redcr::model::units;
+use redcr::sweep::{
+    dedup, frontier, run_sweep, Backend, ResultCache, ScenarioSpec, SpecPolicy, Workload,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = CombinedConfig::builder()
@@ -57,6 +62,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ),
             Err(_) => println!("  {r:>4}x: diverges"),
         }
+    }
+
+    // The same question, batch-style: submit a scenario grid to the sweep
+    // planner and read the non-dominated configurations off the Pareto
+    // frontier. Duplicates are collapsed before evaluation, and against a
+    // persistent `ResultCache::open(path)` a rerun would be all cache hits.
+    let workload = Workload {
+        base_time_hours: 128.0,
+        alpha: 0.24,
+        checkpoint_cost_hours: units::hours_from_mins(10.0),
+        restart_cost_hours: units::hours_from_mins(30.0),
+    };
+    let mut specs: Vec<ScenarioSpec> = [1.0, 1.5, 2.0, 2.5, 3.0]
+        .iter()
+        .map(|&degree| ScenarioSpec {
+            backend: Backend::Model,
+            n_virtual: 100_000,
+            degree,
+            policy: SpecPolicy::Daly,
+            node_mtbf_hours: units::hours_from_years(5.0),
+            workload,
+            seeds: 0,
+        })
+        .collect();
+    specs.push(specs[0]); // a duplicate, to show dedup at work
+
+    let d = dedup(&specs);
+    let mut cache = ResultCache::in_memory();
+    let report = run_sweep(&specs, 4, &mut cache)?;
+    println!();
+    println!(
+        "sweep at 100,000 processes: {} submitted, {} unique ({} duplicate collapsed)",
+        specs.len(),
+        d.unique.len(),
+        d.duplicates()
+    );
+    println!("Pareto frontier (wallclock vs node-hours vs completion):");
+    for p in frontier(&report.entries) {
+        let e = &report.entries[p.entry_index];
+        println!(
+            "  {:>4}x: {:>8.1} h wallclock, {:>12.0} node-hours",
+            e.spec.degree, p.total_time_hours, p.node_hours
+        );
     }
     Ok(())
 }

@@ -22,6 +22,8 @@
 //!   analyzer.
 //! * [`metrics`] — virtual-time metrics registry (counters, gauges, log2
 //!   histograms) with a configurable-cadence scraper.
+//! * [`sweep`] — the scenario-sweep capacity planner: dedup, multi-core
+//!   batch execution, persistent result cache, Pareto frontiers.
 //!
 //! # Quickstart
 //!
@@ -56,4 +58,5 @@ pub use redcr_metrics as metrics;
 pub use redcr_model as model;
 pub use redcr_mpi as mpi;
 pub use redcr_red as red;
+pub use redcr_sweep as sweep;
 pub use redcr_trace as trace;

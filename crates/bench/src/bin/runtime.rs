@@ -6,11 +6,22 @@
 //! ```text
 //! cargo run --release -p redcr-bench --bin runtime            # full preset
 //! cargo run --release -p redcr-bench --bin runtime -- smoke   # CI preset
+//! cargo run --release -p redcr-bench --bin runtime -- smoke --profile
 //! ```
 //!
 //! Set `REDCR_BENCH_RESET_BASELINE=1` to overwrite the stored baseline
 //! with this run's numbers (used exactly once, before a perf change, to
 //! capture the "before" measurement).
+//!
+//! With `--profile`, the headline scenario (`cg_r3`) additionally runs
+//! once with the wall-clock self-profiler and the flight recorder on,
+//! writing `profile_cg_r3.json` (span/counter sidecar),
+//! `profile_cg_r3.folded` (inferno flamegraph input) and
+//! `profile_cg_r3.perfetto.json` (virtual-time trace with the wall-clock
+//! counter tracks merged) under `results/` (honouring
+//! `REDCR_RESULTS_DIR`). The profiled run is *not* part of the timed
+//! measurements — the recorded benchmark numbers always come from
+//! profiler-off runs.
 
 use std::path::PathBuf;
 
@@ -32,10 +43,15 @@ fn repo_root() -> PathBuf {
 }
 
 fn main() {
-    let preset = std::env::args()
-        .nth(1)
-        .map(|s| Preset::parse(&s).unwrap_or_else(|| panic!("unknown preset {s:?}")))
-        .unwrap_or(Preset::Full);
+    let mut preset = Preset::Full;
+    let mut profile = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--profile" {
+            profile = true;
+        } else {
+            preset = Preset::parse(&arg).unwrap_or_else(|| panic!("unknown argument {arg:?}"));
+        }
+    }
 
     let path = repo_root().join("BENCH_runtime.json");
     let existing = std::fs::read_to_string(&path).ok();
@@ -60,4 +76,20 @@ fn main() {
     let doc = runtime::render_json(preset, &baseline, &note, &current);
     std::fs::write(&path, &doc).expect("write BENCH_runtime.json");
     println!("\nwrote {}", path.display());
+
+    if profile {
+        eprintln!("profiling headline scenario ({})...", runtime::HEADLINE_SCENARIO);
+        let artifacts = runtime::profile_headline(preset);
+        let base = format!("profile_{}", artifacts.scenario);
+        let p = redcr_bench::output::write_result(&format!("{base}.json"), &artifacts.json);
+        println!("wrote {}", p.display());
+        let p = redcr_bench::output::write_result(&format!("{base}.folded"), &artifacts.folded);
+        println!("wrote {}", p.display());
+        let p = redcr_bench::output::write_result(
+            &format!("{base}.perfetto.json"),
+            &artifacts.perfetto,
+        );
+        println!("wrote {}", p.display());
+        println!("profile: {}", artifacts.summary);
+    }
 }

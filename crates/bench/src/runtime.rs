@@ -226,6 +226,87 @@ pub fn run_all(preset: Preset) -> Vec<Scenario> {
 }
 
 // ---------------------------------------------------------------------
+// Profiled run: wall-clock sidecars for the headline scenario
+// ---------------------------------------------------------------------
+
+/// Artifacts of one profiled headline run (`--profile`): the JSON span
+/// sidecar, the inferno-compatible folded stacks, and the Perfetto export
+/// with the wall-clock counter tracks merged in.
+#[derive(Debug, Clone)]
+pub struct ProfileArtifacts {
+    /// The scenario the artifacts describe.
+    pub scenario: &'static str,
+    /// `redcr-prof/1` JSON sidecar (per-scope span totals and counters).
+    pub json: String,
+    /// Folded stacks, one `path count_ns` line per frame —
+    /// `inferno-flamegraph` input format.
+    pub folded: String,
+    /// Perfetto export of the run's virtual-time trace with the profiler's
+    /// counter tracks merged as `C` events.
+    pub perfetto: String,
+    /// One-line parking summary (the park/wake baseline for the future
+    /// M:N scheduler work).
+    pub summary: String,
+}
+
+/// Runs the headline CG scenario (`cg_r3`) once with the wall-clock
+/// profiler and the flight recorder both on and renders the sidecars.
+///
+/// Also cross-checks the dual-clock contract on the spot: the virtual-time
+/// critical path rebuilt from the trace must hit the report's
+/// `total_virtual_time` bit-for-bit.
+///
+/// # Panics
+///
+/// Panics when the run fails or the cross-check does not hold — this runs
+/// in CI, loud failure is the point.
+pub fn profile_headline(preset: Preset) -> ProfileArtifacts {
+    let iterations = match preset {
+        Preset::Smoke => 120,
+        Preset::Full => 4_000,
+    };
+    let cfg = ExecutorConfig::new(8, 3.0)
+        .node_mtbf(1e12)
+        .checkpoint_interval(10.0)
+        .checkpoint_cost(0.5)
+        .restart_cost(2.0)
+        .seed(2012)
+        .tracing(true)
+        .profiling(true);
+    let app = CgApp::new(CgConfig::small(256), iterations);
+    let report = ResilientExecutor::new(cfg).run(&app).expect("profiled cg_r3 run");
+    let prof = report.profile.as_ref().expect("profiling was enabled");
+    let trace = report.trace.as_ref().expect("tracing was enabled");
+
+    let analysis = redcr_mpi::trace::Analysis::analyze(trace).expect("traced run analyzes");
+    let path = redcr_mpi::trace::CriticalPath::analyze(&analysis);
+    assert_eq!(
+        path.total_virtual_time.to_bits(),
+        report.total_virtual_time.to_bits(),
+        "critical path must replay the report's total bit-exactly"
+    );
+
+    let counters: Vec<redcr_mpi::trace::CounterTrack> = prof
+        .counter_tracks()
+        .into_iter()
+        .map(|c| redcr_mpi::trace::CounterTrack {
+            scope: c.scope,
+            name: c.name,
+            samples: c.samples,
+        })
+        .collect();
+    let perfetto = redcr_mpi::trace::perfetto::export_with_counters(trace, &counters)
+        .expect("profiled trace exports");
+    ProfileArtifacts {
+        scenario: HEADLINE_SCENARIO,
+        json: prof.to_json(HEADLINE_SCENARIO),
+        folded: prof.folded(),
+        perfetto,
+        summary: prof.park_summary(),
+    }
+}
+
+// ---------------------------------------------------------------------
 // BENCH_runtime.json: render + baseline-preserving merge
 // ---------------------------------------------------------------------
 

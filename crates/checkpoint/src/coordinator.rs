@@ -172,6 +172,11 @@ impl CheckpointCoordinator {
             CoordinationProtocol::AppQuiesced => comm.channel_state(),
         };
         let channel_messages = channel.len();
+        // Wall-clock span over the real serialization work (capture,
+        // exclusions, compression, framing) — the part of a checkpoint the
+        // simulator actually pays for on the host, as opposed to the
+        // modeled virtual write cost charged below.
+        let encode_span = comm.prof().map(|p| p.span(redcr_mpi::prof::SpanKey::CheckpointEncode));
         let image = ProcessImage::capture_with(
             comm.rank().as_u32(),
             comm.now(),
@@ -181,13 +186,16 @@ impl CheckpointCoordinator {
         )?
         .with_channel_state(channel);
         let bytes = image.to_stored_bytes()?;
+        drop(encode_span);
         let cost = match self.write_mode {
             WriteMode::Synchronous => self.cost.write_cost(bytes.len()),
             WriteMode::Forked { stop_seconds } => stop_seconds,
         };
+        let commit_span = comm.prof().map(|p| p.span(redcr_mpi::prof::SpanKey::CheckpointCommit));
         comm.compute(cost)?;
         self.storage.store(SnapshotKey::new(seq, comm.rank().as_u32()), &bytes)?;
         comm.barrier()?;
+        drop(commit_span);
         // Recorded only after the commit barrier: a rank that dies
         // mid-checkpoint never emits a commit event.
         if let Some(rec) = comm.recorder() {

@@ -239,6 +239,10 @@ impl<C: Communicator> Communicator for CountingComm<'_, C> {
     fn metrics(&self) -> Option<&redcr_mpi::metrics::RankMetrics> {
         self.inner.metrics()
     }
+
+    fn prof(&self) -> Option<&redcr_mpi::prof::RankProf> {
+        self.inner.prof()
+    }
 }
 
 impl<C: Communicator> CountingComm<'_, C> {

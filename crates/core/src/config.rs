@@ -52,6 +52,17 @@ pub struct ExecutorConfig {
     /// Virtual-second cadence of the metrics scraper (counter time-series
     /// grid spacing). Ignored unless [`metrics`](Self::metrics) is set.
     pub scrape_interval: f64,
+    /// Whether to run the wall-clock self-profiler: when set, every layer
+    /// times its hot paths (mailbox waits and parks, checkpoint
+    /// encode/commit, voting, executor segments) into a
+    /// [`Profiler`](redcr_mpi::prof::Profiler) and the report carries the
+    /// drained result in
+    /// [`ExecutionReport::profile`](crate::ExecutionReport::profile).
+    /// The profiler reads the *host* clock only and never advances a
+    /// virtual clock, so enabling it leaves every virtual-time total and
+    /// trace bit-identical — it watches the simulator, not the simulated
+    /// machine.
+    pub profiling: bool,
     /// Self-healing policy: whether (and when) dead replicas are respawned
     /// mid-attempt instead of leaving their sphere degraded for the rest of
     /// the run. [`HealPolicy::Never`] reproduces the legacy fault path
@@ -92,6 +103,7 @@ impl ExecutorConfig {
             tracing: false,
             metrics: false,
             scrape_interval: 1.0,
+            profiling: false,
             heal_policy: HealPolicy::Never,
             heartbeat_period: 1.0,
             suspicion_timeout: 1.0,
@@ -176,6 +188,13 @@ impl ExecutorConfig {
     /// Sets the metrics scraper cadence (virtual seconds per sample).
     pub fn scrape_interval(mut self, seconds: f64) -> Self {
         self.scrape_interval = seconds;
+        self
+    }
+
+    /// Enables (or disables) the wall-clock self-profiler for this
+    /// execution.
+    pub fn profiling(mut self, on: bool) -> Self {
+        self.profiling = on;
         self
     }
 

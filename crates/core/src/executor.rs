@@ -18,6 +18,7 @@ use redcr_fault::{FailureEvent, FailureInjector, ReplicaGroups};
 use redcr_model::partition::RedundancyPartition;
 use redcr_mpi::collectives::ReduceOp;
 use redcr_mpi::metrics::{CounterKey, HistKey, MetricsRegistry};
+use redcr_mpi::prof::{ProfScope, Profiler, SpanKey as ProfSpanKey};
 use redcr_mpi::trace::{heal, Collector, EventKind};
 use redcr_mpi::{Communicator, MpiError};
 use redcr_red::{DetectorParams, HealPolicy, ReplicatedWorld};
@@ -223,6 +224,11 @@ impl ResilientExecutor {
 
         let registry = cfg.metrics.then(|| Arc::new(MetricsRegistry::new()));
         let collector = cfg.tracing.then(|| Arc::new(Collector::new()));
+        // Wall-clock self-profiler. The driver thread keeps its own shard
+        // (segment / heal spans); each world hands per-rank shards to its
+        // rank threads. Everything is host-clock only — no virtual time.
+        let profiler = cfg.profiling.then(|| Arc::new(Profiler::new()));
+        let driver_prof = profiler.as_ref().map(|p| p.shard());
         if let Some(c) = &collector {
             for (v, members) in injector.groups().iter().enumerate() {
                 for (replica, &p) in members.iter().enumerate() {
@@ -314,6 +320,9 @@ impl ResilientExecutor {
                 if let Some(r) = &registry {
                     builder = builder.metrics(Arc::clone(r));
                 }
+                if let Some(p) = &profiler {
+                    builder = builder.profiler(Arc::clone(p));
+                }
                 let heal_ctx = (cfg.heal_policy != HealPolicy::Never).then(|| HealCtx {
                     policy: cfg.heal_policy,
                     params,
@@ -321,6 +330,7 @@ impl ResilientExecutor {
                     deaths: deaths_abs.clone(),
                 });
                 let seed_ref = seed.clone();
+                let seg_span = driver_prof.as_ref().map(|p| p.span(ProfSpanKey::ExecutorSegment));
                 let mut report = builder.run(move |comm| {
                     let (mut state, mut next_seq, mut next_ckpt, mut checkpoints, counting) =
                         match &seed_ref {
@@ -413,6 +423,7 @@ impl ResilientExecutor {
                         }
                     }
                 })?;
+                drop(seg_span);
 
                 stats = stats.add(&report.stats);
                 physical_messages += report.physical_messages;
@@ -447,6 +458,9 @@ impl ResilientExecutor {
                 }
 
                 // === Heal cycle ===
+                // Spans the suspect scan, donor vote, image transfer and
+                // relaunch prep; dropped when this loop iteration ends.
+                let _heal_span = driver_prof.as_ref().map(|p| p.span(ProfSpanKey::ExecutorHeal));
                 // The boundary the detector fired at: the agreed clock
                 // maximum, advanced past the quiesce drain.
                 let mut boundary = report.max_virtual_time;
@@ -784,6 +798,12 @@ impl ResilientExecutor {
                 failure_trace: injector.trace().clone(),
                 trace: collector.as_ref().map(|c| c.take()),
                 metrics: registry.as_ref().map(|r| r.report(cfg.scrape_interval)),
+                profile: profiler.as_ref().map(|p| {
+                    if let Some(shard) = &driver_prof {
+                        p.absorb(ProfScope::Driver, shard.drain());
+                    }
+                    p.report()
+                }),
                 final_states,
             });
         }

@@ -60,6 +60,12 @@ pub struct ExecutionReport<S> {
     /// virtual-time series), present iff
     /// [`ExecutorConfig::metrics`](crate::ExecutorConfig::metrics) was set.
     pub metrics: Option<redcr_mpi::metrics::MetricsReport>,
+    /// The wall-clock self-profile (per-scope span totals, counters and
+    /// sampled tracks), present iff
+    /// [`ExecutorConfig::profiling`](crate::ExecutorConfig::profiling) was
+    /// set. Host-clock observations of the simulator itself; contains no
+    /// virtual time and never influences it.
+    pub profile: Option<redcr_mpi::prof::ProfReport>,
     /// Final application state of each virtual rank (primary replicas).
     pub final_states: Vec<S>,
 }
@@ -72,7 +78,9 @@ impl<S> ExecutionReport<S> {
 
     /// A one-screen human-readable summary: the [`Display`](fmt::Display)
     /// block plus, when the metrics plane ran, a compact metrics section
-    /// (votes, checkpoint commit latency, message latency).
+    /// (votes, checkpoint commit latency, message latency with
+    /// p50/p90/p99 quantile estimates), plus, when the profiler ran, a
+    /// one-line wall-clock parking summary.
     pub fn summarize(&self) -> String {
         use redcr_mpi::metrics::{CounterKey, HistKey};
         let mut out = self.to_string();
@@ -94,11 +102,24 @@ impl<S> ExecutionReport<S> {
                 t.counter(CounterKey::CheckpointCommits),
                 t.histogram(HistKey::CommitLatency).mean(),
             ));
+            let lat = t.histogram(HistKey::MessageLatency);
             out.push_str(&format!(
                 "  message latency  : mean {:.3e} s over {} receives",
-                t.histogram(HistKey::MessageLatency).mean(),
-                t.histogram(HistKey::MessageLatency).count(),
+                lat.mean(),
+                lat.count(),
             ));
+            if let (Some(p50), Some(p90), Some(p99)) =
+                (lat.quantile(0.5), lat.quantile(0.9), lat.quantile(0.99))
+            {
+                out.push_str(&format!(
+                    "\n  latency quantiles: p50 {p50:.3e} s, p90 {p90:.3e} s, p99 {p99:.3e} s",
+                ));
+            }
+        }
+        if let Some(p) = &self.profile {
+            out.push('\n');
+            out.push_str("  profile          : ");
+            out.push_str(&p.park_summary());
         }
         out
     }
@@ -163,6 +184,7 @@ mod tests {
             failure_trace: FailureTrace::new(),
             trace: None,
             metrics: None,
+            profile: None,
             final_states: vec![],
         };
         let s = report.to_string();

@@ -29,7 +29,7 @@ use std::fmt::Write as _;
 use redcr_model::checkpointing::{lost_work, restart_rework, total_time};
 use redcr_model::redundancy::{redundant_time, SystemModel};
 use redcr_model::repair::RepairModel;
-use redcr_mpi::trace::{Analysis, AnalyzeError, EventKind};
+use redcr_mpi::trace::{Analysis, AnalyzeError, CriticalPath, EventKind};
 
 use crate::config::ExecutorConfig;
 use crate::report::ExecutionReport;
@@ -106,6 +106,14 @@ pub struct ModelValidation {
     pub ranks: Vec<RankMeasurement>,
     /// Mean of the per-rank `α`s.
     pub mean_alpha: f64,
+    /// Critical-path blame α: the blocked-on-recv share of
+    /// compute-plus-blocked time over the final attempt, from the trace's
+    /// happens-before replay
+    /// ([`CriticalPath::blame_alpha`](redcr_mpi::trace::CriticalPath::blame_alpha))
+    /// — the same measured quantity as `mean_alpha` but with checkpoint
+    /// and heal brackets carved out of the communication share, and
+    /// weighted by rank activity rather than averaged per rank.
+    pub critical_path_alpha: f64,
     /// Measured checkpoint commit latency `c`: mean begin→commit span
     /// across all attempts (0 when no checkpoint committed).
     pub commit_latency_mean: f64,
@@ -228,6 +236,8 @@ impl ModelValidation {
         } else {
             ranks.iter().map(|r| r.alpha).sum::<f64>() / ranks.len() as f64
         };
+        let critical_path_alpha =
+            CriticalPath::analyze(analysis).blame_alpha().unwrap_or(mean_alpha);
 
         // Eq. 1 per rank: de-amplify the measured comm back to the solo
         // (r = 1) execution, then apply the model's redundant slowdown at
@@ -329,6 +339,7 @@ impl ModelValidation {
             seed: cfg.seed,
             ranks,
             mean_alpha,
+            critical_path_alpha,
             commit_latency_mean,
             commits,
             attempts: report.attempts,
@@ -388,6 +399,8 @@ impl ModelValidation {
         }
         o.push_str("\n    ],\n    \"mean_alpha\": ");
         num(&mut o, self.mean_alpha);
+        o.push_str(",\n    \"critical_path_alpha\": ");
+        num(&mut o, self.critical_path_alpha);
         o.push_str(",\n    \"commit_latency_mean\": ");
         num(&mut o, self.commit_latency_mean);
         let _ = write!(
@@ -498,6 +511,7 @@ mod tests {
             failure_trace: FailureTrace::new(),
             trace,
             metrics: None,
+            profile: None,
             final_states: vec![],
         }
     }

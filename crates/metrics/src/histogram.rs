@@ -156,6 +156,52 @@ impl Histogram {
         self.observations() == 0
     }
 
+    /// Estimates the `q`-quantile (`0.0 ≤ q ≤ 1.0`) of the accepted
+    /// observations from the bucket CDF, or `None` when the histogram has
+    /// no accepted observations or `q` is out of range.
+    ///
+    /// The CDF walks zero → underflow → regular buckets → overflow. Within
+    /// a regular bucket `[2^k, 2^(k+1))` the estimate interpolates
+    /// log-linearly (geometrically) by the target's fractional position in
+    /// the bucket, which is exact for a log-uniform in-bucket distribution
+    /// and bounded by the bucket edges otherwise — a factor-of-two worst
+    /// case, the price of the log2 binning. Quantiles that land in the
+    /// zero bucket return `0.0`; in underflow, `2^-48` (the range's lower
+    /// edge); in overflow, `2^48`. Quarantined observations are excluded,
+    /// matching [`count`](Self::count).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        // Rank of the target observation, 1-based: ceil(q * count),
+        // clamped to [1, count] so q=0.0 finds the minimum bucket.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = self.zero;
+        if target <= seen {
+            return Some(0.0);
+        }
+        seen += self.underflow;
+        if target <= seen {
+            return Some((2.0f64).powi(MIN_EXP));
+        }
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if target <= seen + c {
+                let exp = i as i32 + MIN_EXP;
+                // Midpoint-rank convention: rank r of c maps to fraction
+                // (r - 1/2)/c, so estimates stay strictly inside the
+                // bucket ([2^k, 2^(k+1)) is upper-exclusive) and a
+                // single-observation bucket reports its geometric middle.
+                let frac = ((target - seen) as f64 - 0.5) / c as f64;
+                return Some((2.0f64).powi(exp) * (2.0f64).powf(frac));
+            }
+            seen += c;
+        }
+        Some((2.0f64).powi(MAX_EXP + 1))
+    }
+
     /// Merges another histogram (e.g. a second rank shard) into this one,
     /// bucket-wise.
     pub fn merge(&mut self, other: &Histogram) {
@@ -260,6 +306,44 @@ mod tests {
         assert_eq!(a.count(), 5);
         assert_eq!(a.observations(), 6);
         assert!((a.sum() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_follow_the_bucket_cdf() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        for _ in 0..90 {
+            h.observe(1.0); // bucket 0: [1, 2)
+        }
+        for _ in 0..10 {
+            h.observe(1024.0); // bucket 10: [1024, 2048)
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((1.0..2.0).contains(&p50), "p50 {p50} must fall in [1, 2)");
+        let p90 = h.quantile(0.9).unwrap();
+        assert!((1.0..2.0).contains(&p90), "p90 is the 90th of 100: still bucket 0");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((1024.0..2048.0).contains(&p99), "p99 {p99} must fall in [1024, 2048)");
+        assert!(h.quantile(1.5).is_none(), "q out of range");
+        assert!(h.quantile(-0.1).is_none());
+        // q=0 and q=1 land on the extreme buckets.
+        assert!((1.0..2.0).contains(&h.quantile(0.0).unwrap()));
+        assert!((1024.0..2048.0).contains(&h.quantile(1.0).unwrap()));
+    }
+
+    #[test]
+    fn quantiles_in_side_buckets_return_edges() {
+        let mut h = Histogram::new();
+        h.observe(0.0);
+        h.observe(0.0);
+        h.observe(f64::MIN_POSITIVE); // underflow
+        h.observe(f64::INFINITY); // overflow
+        assert_eq!(h.quantile(0.25).unwrap(), 0.0);
+        assert_eq!(h.quantile(0.75).unwrap(), (2.0f64).powi(MIN_EXP));
+        assert_eq!(h.quantile(1.0).unwrap(), (2.0f64).powi(MAX_EXP + 1));
+        // NaN never shifts the quantile rank.
+        h.observe(f64::NAN);
+        assert_eq!(h.quantile(1.0).unwrap(), (2.0f64).powi(MAX_EXP + 1));
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Static identifiers for the instrumented sites: wall-clock spans,
+//! monotonic counters, and counter-track sample streams.
+
+/// One instrumented wall-clock span site.
+///
+/// Spans are independent instruments, not a call-stack: a key's
+/// [`stack`](Self::stack) is the fixed frame path it renders under in the
+/// folded-stack export, and [`parent`](Self::parent) declares the one
+/// containment relation the export subtracts for self-time (a mailbox park
+/// always happens inside a mailbox receive wait).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpanKey {
+    /// One `Mailbox::push` by a sender (lock, enqueue, notify decision).
+    MailboxSend,
+    /// One blocking mailbox wait, spin phase included, match to return.
+    MailboxRecvWait,
+    /// One condvar park inside a mailbox wait (wait entry to wake).
+    MailboxPark,
+    /// Serializing application state into a checkpoint image.
+    CheckpointEncode,
+    /// Checkpoint commit: the post-barrier store of an encoded image.
+    CheckpointCommit,
+    /// One receive-path vote over the redundant copies of a message.
+    Vote,
+    /// One executor segment: a full `ReplicatedWorld::run` invocation.
+    ExecutorSegment,
+    /// One executor heal cycle (respawn + state-transfer bookkeeping).
+    ExecutorHeal,
+    /// One sweep-engine scenario evaluation on a worker thread.
+    SweepScenario,
+}
+
+impl SpanKey {
+    /// Number of span keys.
+    pub const COUNT: usize = 9;
+
+    /// Every key, in index order.
+    pub const ALL: [SpanKey; Self::COUNT] = [
+        SpanKey::MailboxSend,
+        SpanKey::MailboxRecvWait,
+        SpanKey::MailboxPark,
+        SpanKey::CheckpointEncode,
+        SpanKey::CheckpointCommit,
+        SpanKey::Vote,
+        SpanKey::ExecutorSegment,
+        SpanKey::ExecutorHeal,
+        SpanKey::SweepScenario,
+    ];
+
+    /// Dense array index of this key.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable dotted name used in the JSON sidecar.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKey::MailboxSend => "mailbox.send",
+            SpanKey::MailboxRecvWait => "mailbox.recv_wait",
+            SpanKey::MailboxPark => "mailbox.park",
+            SpanKey::CheckpointEncode => "checkpoint.encode",
+            SpanKey::CheckpointCommit => "checkpoint.commit",
+            SpanKey::Vote => "vote",
+            SpanKey::ExecutorSegment => "executor.segment",
+            SpanKey::ExecutorHeal => "executor.heal",
+            SpanKey::SweepScenario => "sweep.scenario",
+        }
+    }
+
+    /// Semicolon-joined frame path (scope prefix excluded) used in the
+    /// inferno folded-stack export.
+    pub fn stack(self) -> &'static str {
+        match self {
+            SpanKey::MailboxSend => "mailbox;send",
+            SpanKey::MailboxRecvWait => "mailbox;recv_wait",
+            SpanKey::MailboxPark => "mailbox;recv_wait;park",
+            SpanKey::CheckpointEncode => "checkpoint;encode",
+            SpanKey::CheckpointCommit => "checkpoint;commit",
+            SpanKey::Vote => "vote",
+            SpanKey::ExecutorSegment => "executor;segment",
+            SpanKey::ExecutorHeal => "executor;heal",
+            SpanKey::SweepScenario => "sweep;scenario",
+        }
+    }
+
+    /// The span this one is always nested inside, if any. The folded
+    /// export subtracts a child's total from its parent to render parent
+    /// self-time.
+    pub fn parent(self) -> Option<SpanKey> {
+        match self {
+            SpanKey::MailboxPark => Some(SpanKey::MailboxRecvWait),
+            _ => None,
+        }
+    }
+}
+
+/// One monotonic profiler counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CounterKey {
+    /// Condvar parks entered by mailbox waits.
+    Parks,
+    /// Returns from a condvar park (spurious wakeups included).
+    Wakes,
+    /// `notify_one` calls fired by senders toward a registered waiter.
+    Notifies,
+    /// Mailbox waits satisfied during the bounded spin phase.
+    SpinResolved,
+    /// Mailbox waits that had to park at least once before matching.
+    ParkResolved,
+    /// Physical sends pushed through instrumented mailboxes.
+    Sends,
+    /// Physical receives completed through instrumented mailboxes.
+    Recvs,
+}
+
+impl CounterKey {
+    /// Number of counter keys.
+    pub const COUNT: usize = 7;
+
+    /// Every key, in index order.
+    pub const ALL: [CounterKey; Self::COUNT] = [
+        CounterKey::Parks,
+        CounterKey::Wakes,
+        CounterKey::Notifies,
+        CounterKey::SpinResolved,
+        CounterKey::ParkResolved,
+        CounterKey::Sends,
+        CounterKey::Recvs,
+    ];
+
+    /// Dense array index of this key.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable name used in the JSON sidecar and Perfetto tracks.
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterKey::Parks => "parks",
+            CounterKey::Wakes => "wakes",
+            CounterKey::Notifies => "notifies",
+            CounterKey::SpinResolved => "spin_resolved",
+            CounterKey::ParkResolved => "park_resolved",
+            CounterKey::Sends => "sends",
+            CounterKey::Recvs => "recvs",
+        }
+    }
+}
+
+/// One timeline sample stream rendered as a Perfetto counter track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TrackKey {
+    /// Mailbox queue depth observed by the sender after each push.
+    QueueDepth,
+    /// Cumulative parks on this scope (the track's slope is the park
+    /// rate).
+    Parks,
+}
+
+impl TrackKey {
+    /// Number of track keys.
+    pub const COUNT: usize = 2;
+
+    /// Every key, in index order.
+    pub const ALL: [TrackKey; Self::COUNT] = [TrackKey::QueueDepth, TrackKey::Parks];
+
+    /// Dense array index of this key.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable track name used in the JSON sidecar and Perfetto export.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrackKey::QueueDepth => "queue_depth",
+            TrackKey::Parks => "parks",
+        }
+    }
+}

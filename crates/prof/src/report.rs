@@ -1,0 +1,346 @@
+//! The drained profiling result and its three export formats: JSON
+//! sidecar, inferno folded stacks, and Perfetto counter-track data.
+
+use std::fmt::Write as _;
+
+use crate::keys::{CounterKey, SpanKey, TrackKey};
+use crate::registry::ProfScope;
+use crate::shard::{ProfDrain, TrackSample};
+
+/// Read-only statistics of one span key.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanStat {
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across all entries.
+    pub total_ns: u64,
+    /// Longest single entry, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    /// Mean nanoseconds per entry (0 when never entered).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// One scope's (driver / rank / worker) drained profile.
+#[derive(Debug)]
+pub struct ScopeProf {
+    label: String,
+    drain: ProfDrain,
+}
+
+impl ScopeProf {
+    /// The scope's stable label (`driver`, `rank3`, `worker0`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Statistics of one span key on this scope.
+    pub fn span(&self, key: SpanKey) -> SpanStat {
+        let c = self.drain.spans[key.index()];
+        SpanStat { count: c.count, total_ns: c.total_ns, max_ns: c.max_ns }
+    }
+
+    /// Value of one counter on this scope.
+    pub fn counter(&self, key: CounterKey) -> u64 {
+        self.drain.counters[key.index()]
+    }
+
+    /// Samples of one counter track on this scope.
+    pub fn track(&self, key: TrackKey) -> &[TrackSample] {
+        &self.drain.tracks[key.index()]
+    }
+
+    /// Track samples discarded because the per-track cap was hit.
+    pub fn samples_dropped(&self) -> u64 {
+        self.drain.samples_dropped
+    }
+}
+
+/// One counter track flattened for the Perfetto export: the scope label,
+/// the track name, and (nanosecond, value) samples in record order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterTrackData {
+    /// Owning scope label (`rank0`, ...).
+    pub scope: String,
+    /// Track name (`queue_depth`, `parks`).
+    pub name: &'static str,
+    /// Samples: wall-clock nanoseconds since the profiler origin, value.
+    pub samples: Vec<(u64, f64)>,
+}
+
+/// The final, drained profiling result.
+#[derive(Debug)]
+pub struct ProfReport {
+    scopes: Vec<ScopeProf>,
+}
+
+impl ProfReport {
+    pub(crate) fn new(scopes: Vec<(ProfScope, ProfDrain)>) -> Self {
+        ProfReport {
+            scopes: scopes
+                .into_iter()
+                .map(|(scope, drain)| ScopeProf { label: scope.label(), drain })
+                .collect(),
+        }
+    }
+
+    /// Per-scope profiles, sorted driver → ranks → workers.
+    pub fn scopes(&self) -> &[ScopeProf] {
+        &self.scopes
+    }
+
+    /// Aggregate statistics of one span key across every scope.
+    pub fn total_span(&self, key: SpanKey) -> SpanStat {
+        let mut out = SpanStat::default();
+        for s in &self.scopes {
+            let st = s.span(key);
+            out.count += st.count;
+            out.total_ns += st.total_ns;
+            out.max_ns = out.max_ns.max(st.max_ns);
+        }
+        out
+    }
+
+    /// Aggregate value of one counter across every scope.
+    pub fn total_counter(&self, key: CounterKey) -> u64 {
+        self.scopes.iter().map(|s| s.counter(key)).sum()
+    }
+
+    /// One-line human summary of the parking behaviour — the headline
+    /// number for the M:N scheduler baseline.
+    pub fn park_summary(&self) -> String {
+        let park = self.total_span(SpanKey::MailboxPark);
+        let wait = self.total_span(SpanKey::MailboxRecvWait);
+        format!(
+            "parks={} wakes={} spin_resolved={} park_resolved={} parked={:.3}ms of {:.3}ms recv-wait",
+            self.total_counter(CounterKey::Parks),
+            self.total_counter(CounterKey::Wakes),
+            self.total_counter(CounterKey::SpinResolved),
+            self.total_counter(CounterKey::ParkResolved),
+            park.total_ns as f64 / 1e6,
+            wait.total_ns as f64 / 1e6,
+        )
+    }
+
+    /// Renders the JSON sidecar (`redcr-prof/1` schema): aggregate span
+    /// and counter tables (every key, zeros included, so the shape is
+    /// stable) plus sparse per-scope breakdowns.
+    pub fn to_json(&self, scenario: &str) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"redcr-prof/1\",\n");
+        let _ = writeln!(out, "  \"scenario\": {},", quote(scenario));
+        out.push_str("  \"totals\": {\n");
+        out.push_str("    \"spans\": {\n");
+        for (i, key) in SpanKey::ALL.iter().enumerate() {
+            let st = self.total_span(*key);
+            let _ = write!(
+                out,
+                "      {}: {{\"count\": {}, \"total_ns\": {}, \"max_ns\": {}, \"mean_ns\": {}}}",
+                quote(key.name()),
+                st.count,
+                st.total_ns,
+                st.max_ns,
+                num(st.mean_ns()),
+            );
+            out.push_str(if i + 1 < SpanKey::COUNT { ",\n" } else { "\n" });
+        }
+        out.push_str("    },\n");
+        out.push_str("    \"counters\": {\n");
+        for (i, key) in CounterKey::ALL.iter().enumerate() {
+            let _ = write!(out, "      {}: {}", quote(key.name()), self.total_counter(*key));
+            out.push_str(if i + 1 < CounterKey::COUNT { ",\n" } else { "\n" });
+        }
+        out.push_str("    }\n  },\n");
+        out.push_str("  \"scopes\": [\n");
+        for (i, scope) in self.scopes.iter().enumerate() {
+            let _ = write!(out, "    {{\"scope\": {}, \"spans\": {{", quote(scope.label()));
+            let mut first = true;
+            for key in SpanKey::ALL {
+                let st = scope.span(key);
+                if st.count == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "{}: {{\"count\": {}, \"total_ns\": {}, \"max_ns\": {}}}",
+                    quote(key.name()),
+                    st.count,
+                    st.total_ns,
+                    st.max_ns,
+                );
+            }
+            out.push_str("}, \"counters\": {");
+            let mut first = true;
+            for key in CounterKey::ALL {
+                let v = scope.counter(key);
+                if v == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                let _ = write!(out, "{}: {}", quote(key.name()), v);
+            }
+            let _ = write!(out, "}}, \"samples_dropped\": {}}}", scope.samples_dropped());
+            out.push_str(if i + 1 < self.scopes.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders inferno-compatible folded stacks, one line per scope and
+    /// span key with nonzero self-time: `scope;frame;frame <nanoseconds>`.
+    ///
+    /// Spans are independent instruments, not a sampled call-stack; the
+    /// only containment the export accounts for is the declared
+    /// [`SpanKey::parent`] relation (park time is subtracted from its
+    /// enclosing receive wait), so sibling spans that happen to overlap
+    /// render side by side.
+    pub fn folded(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        for scope in &self.scopes {
+            for key in SpanKey::ALL {
+                let st = scope.span(key);
+                if st.count == 0 {
+                    continue;
+                }
+                let child_ns: u64 = SpanKey::ALL
+                    .iter()
+                    .filter(|k| k.parent() == Some(key))
+                    .map(|k| scope.span(*k).total_ns)
+                    .sum();
+                let self_ns = st.total_ns.saturating_sub(child_ns);
+                if self_ns == 0 {
+                    continue;
+                }
+                let _ = writeln!(out, "{};{} {}", scope.label(), key.stack(), self_ns);
+            }
+        }
+        out
+    }
+
+    /// Flattens every nonempty counter track for the Perfetto export.
+    pub fn counter_tracks(&self) -> Vec<CounterTrackData> {
+        let mut out = Vec::new();
+        for scope in &self.scopes {
+            for key in TrackKey::ALL {
+                let samples = scope.track(key);
+                if samples.is_empty() {
+                    continue;
+                }
+                out.push(CounterTrackData {
+                    scope: scope.label().to_owned(),
+                    name: key.name(),
+                    samples: samples.iter().map(|s| (s.at_ns, s.value)).collect(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Whether nothing at all was recorded (profiling hooked up but the
+    /// run had no instrumented activity).
+    pub fn is_empty(&self) -> bool {
+        self.scopes.is_empty()
+    }
+
+    /// Internal scope lookup used by the scope accessor in tests/tools.
+    pub fn scope(&self, label: &str) -> Option<&ScopeProf> {
+        self.scopes.iter().find(|s| s.label == label)
+    }
+}
+
+// Tiny handwritten-JSON helpers, same conventions as the other handwritten
+// exports in this workspace (the workspace vendors no JSON library).
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CounterKey, ProfScope, Profiler, SpanKey, TrackKey};
+
+    fn sample_report() -> crate::ProfReport {
+        let p = Profiler::new();
+        let s = p.shard();
+        {
+            let _wait = s.span(SpanKey::MailboxRecvWait);
+            let _park = s.span(SpanKey::MailboxPark);
+        }
+        s.count(CounterKey::Parks);
+        s.count(CounterKey::Wakes);
+        s.sample(TrackKey::QueueDepth, 2.0);
+        p.absorb(ProfScope::Rank(0), s.drain());
+        p.report()
+    }
+
+    #[test]
+    fn json_sidecar_has_schema_and_all_keys() {
+        let json = sample_report().to_json("unit");
+        assert!(json.contains("\"schema\": \"redcr-prof/1\""));
+        assert!(json.contains("\"scenario\": \"unit\""));
+        for key in SpanKey::ALL {
+            assert!(json.contains(&format!("\"{}\"", key.name())), "{}", key.name());
+        }
+        for key in CounterKey::ALL {
+            assert!(json.contains(&format!("\"{}\"", key.name())), "{}", key.name());
+        }
+    }
+
+    #[test]
+    fn folded_lines_are_scope_prefixed_with_weights() {
+        let folded = sample_report().folded();
+        for line in folded.lines() {
+            let (stack, weight) = line.rsplit_once(' ').expect("weight separator");
+            assert!(stack.starts_with("rank0;"), "{line}");
+            weight.parse::<u64>().expect("integer nanosecond weight");
+        }
+        assert!(folded.contains("rank0;mailbox;recv_wait;park "));
+    }
+
+    #[test]
+    fn counter_tracks_flatten_nonempty_only() {
+        let tracks = sample_report().counter_tracks();
+        assert_eq!(tracks.len(), 1);
+        assert_eq!(tracks[0].scope, "rank0");
+        assert_eq!(tracks[0].name, "queue_depth");
+        assert_eq!(tracks[0].samples.len(), 1);
+    }
+}

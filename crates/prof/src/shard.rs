@@ -1,0 +1,220 @@
+//! The rank-thread-local shard: all-`Cell` span and counter storage with
+//! RAII scope guards, drained once at teardown — the same idiom as
+//! `redcr_metrics::RankMetrics`.
+
+use std::cell::{Cell, RefCell};
+use std::time::Instant;
+
+use crate::keys::{CounterKey, SpanKey, TrackKey};
+
+/// Per-track sample cap per shard. Counter tracks are a visual aid, not
+/// an accounting plane; past the cap further samples are counted in
+/// [`ProfDrain::samples_dropped`] and discarded.
+const MAX_SAMPLES: usize = 8192;
+
+/// Aggregated statistics of one span key on one shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct SpanCell {
+    pub count: u64,
+    pub total_ns: u64,
+    pub max_ns: u64,
+}
+
+impl SpanCell {
+    pub(crate) fn merge(&mut self, other: SpanCell) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// One timestamped counter-track sample: nanoseconds since the owning
+/// [`Profiler`](crate::Profiler)'s origin, and the sampled value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackSample {
+    /// Wall-clock nanoseconds since the profiler was created.
+    pub at_ns: u64,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// A rank-thread-local profiling shard.
+///
+/// `Send` but not `Sync`: it is created by
+/// [`Profiler::shard`](crate::Profiler::shard), moved onto one OS thread,
+/// updated through
+/// `&self` via interior mutability, and [`drain`](Self::drain)ed exactly
+/// once at teardown. Recording on the hot path touches only `Cell`s — no
+/// locks, no allocation (track samples amortize through a pre-grown
+/// `Vec`).
+#[derive(Debug)]
+pub struct RankProf {
+    origin: Instant,
+    spans: [Cell<SpanCell>; SpanKey::COUNT],
+    counters: [Cell<u64>; CounterKey::COUNT],
+    tracks: RefCell<[Vec<TrackSample>; TrackKey::COUNT]>,
+    samples_dropped: Cell<u64>,
+}
+
+impl RankProf {
+    pub(crate) fn new(origin: Instant) -> Self {
+        RankProf {
+            origin,
+            spans: Default::default(),
+            counters: Default::default(),
+            tracks: RefCell::new(Default::default()),
+            samples_dropped: Cell::new(0),
+        }
+    }
+
+    /// Opens a wall-clock span; the guard records its elapsed time into
+    /// this shard when dropped.
+    #[inline]
+    pub fn span(&self, key: SpanKey) -> SpanGuard<'_> {
+        SpanGuard { prof: self, key, start: Instant::now() }
+    }
+
+    /// Increments a counter by one.
+    #[inline]
+    pub fn count(&self, key: CounterKey) {
+        self.add(key, 1);
+    }
+
+    /// Increments a counter by `n`.
+    #[inline]
+    pub fn add(&self, key: CounterKey, n: u64) {
+        let cell = &self.counters[key.index()];
+        cell.set(cell.get() + n);
+    }
+
+    /// Current value of a counter (used to sample cumulative tracks).
+    #[inline]
+    pub fn counter(&self, key: CounterKey) -> u64 {
+        self.counters[key.index()].get()
+    }
+
+    /// Appends one timestamped sample to a counter track.
+    #[inline]
+    pub fn sample(&self, key: TrackKey, value: f64) {
+        let mut tracks = self.tracks.borrow_mut();
+        let buf = &mut tracks[key.index()];
+        if buf.len() >= MAX_SAMPLES {
+            self.samples_dropped.set(self.samples_dropped.get() + 1);
+            return;
+        }
+        let at_ns = duration_ns(self.origin.elapsed());
+        buf.push(TrackSample { at_ns, value });
+    }
+
+    fn record(&self, key: SpanKey, elapsed_ns: u64) {
+        let cell = &self.spans[key.index()];
+        let mut s = cell.get();
+        s.count += 1;
+        s.total_ns += elapsed_ns;
+        s.max_ns = s.max_ns.max(elapsed_ns);
+        cell.set(s);
+    }
+
+    /// Takes everything recorded so far, leaving the shard empty. Called
+    /// once at rank teardown; the result is absorbed into the shared
+    /// [`Profiler`](crate::Profiler).
+    pub fn drain(&self) -> ProfDrain {
+        let mut spans = [SpanCell::default(); SpanKey::COUNT];
+        for (slot, cell) in spans.iter_mut().zip(&self.spans) {
+            *slot = cell.replace(SpanCell::default());
+        }
+        let mut counters = [0u64; CounterKey::COUNT];
+        for (slot, cell) in counters.iter_mut().zip(&self.counters) {
+            *slot = cell.replace(0);
+        }
+        let tracks = std::mem::take(&mut *self.tracks.borrow_mut());
+        ProfDrain { spans, counters, tracks, samples_dropped: self.samples_dropped.replace(0) }
+    }
+}
+
+/// RAII wall-clock scope guard returned by [`RankProf::span`].
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    prof: &'a RankProf,
+    key: SpanKey,
+    start: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.prof.record(self.key, duration_ns(self.start.elapsed()));
+    }
+}
+
+/// The drained contents of one shard.
+#[derive(Debug)]
+pub struct ProfDrain {
+    pub(crate) spans: [SpanCell; SpanKey::COUNT],
+    pub(crate) counters: [u64; CounterKey::COUNT],
+    pub(crate) tracks: [Vec<TrackSample>; TrackKey::COUNT],
+    /// Track samples discarded because a shard hit its per-track cap.
+    pub(crate) samples_dropped: u64,
+}
+
+impl ProfDrain {
+    pub(crate) fn merge(&mut self, other: ProfDrain) {
+        for (slot, s) in self.spans.iter_mut().zip(other.spans) {
+            slot.merge(s);
+        }
+        for (slot, c) in self.counters.iter_mut().zip(other.counters) {
+            *slot += c;
+        }
+        for (buf, mut extra) in self.tracks.iter_mut().zip(other.tracks) {
+            let room = MAX_SAMPLES.saturating_sub(buf.len());
+            if extra.len() > room {
+                self.samples_dropped += (extra.len() - room) as u64;
+                extra.truncate(room);
+            }
+            buf.append(&mut extra);
+        }
+        self.samples_dropped += other.samples_dropped;
+    }
+}
+
+fn duration_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_guard_records_on_drop() {
+        let p = RankProf::new(Instant::now());
+        {
+            let _g = p.span(SpanKey::MailboxPark);
+        }
+        let d = p.drain();
+        assert_eq!(d.spans[SpanKey::MailboxPark.index()].count, 1);
+    }
+
+    #[test]
+    fn drain_empties_the_shard() {
+        let p = RankProf::new(Instant::now());
+        p.count(CounterKey::Parks);
+        p.sample(TrackKey::QueueDepth, 3.0);
+        let d = p.drain();
+        assert_eq!(d.counters[CounterKey::Parks.index()], 1);
+        assert_eq!(d.tracks[TrackKey::QueueDepth.index()].len(), 1);
+        let d2 = p.drain();
+        assert_eq!(d2.counters[CounterKey::Parks.index()], 0);
+        assert!(d2.tracks[TrackKey::QueueDepth.index()].is_empty());
+    }
+
+    #[test]
+    fn sample_cap_counts_drops() {
+        let p = RankProf::new(Instant::now());
+        for i in 0..(MAX_SAMPLES + 5) {
+            p.sample(TrackKey::Parks, i as f64);
+        }
+        let d = p.drain();
+        assert_eq!(d.tracks[TrackKey::Parks.index()].len(), MAX_SAMPLES);
+        assert_eq!(d.samples_dropped, 5);
+    }
+}

@@ -193,6 +193,10 @@ impl<'a> ReplicaComm<'a> {
         ns: Namespace,
         pre_matched: Option<(usize, Bytes)>,
     ) -> Result<Bytes> {
+        // Wall-clock span over the whole gather-and-vote: the redundant
+        // copy receives plus the byte-wise comparison. Host clock only;
+        // the virtual vote cost below is charged identically either way.
+        let _vote_span = self.base.prof().map(|p| p.span(redcr_mpi::prof::SpanKey::Vote));
         let vote_t0 = self.base.now();
         let senders = self.vmap.replicas_of(src_v);
         let r_send = senders.len();
@@ -683,5 +687,9 @@ impl Communicator for ReplicaComm<'_> {
 
     fn metrics(&self) -> Option<&redcr_mpi::metrics::RankMetrics> {
         self.base.metrics()
+    }
+
+    fn prof(&self) -> Option<&redcr_mpi::prof::RankProf> {
+        self.base.prof()
     }
 }

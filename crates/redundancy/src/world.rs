@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use redcr_model::partition::{AssignmentStrategy, RedundancyPartition};
 use redcr_mpi::metrics::MetricsRegistry;
+use redcr_mpi::prof::Profiler;
 use redcr_mpi::trace::Collector;
 use redcr_mpi::{Comm, CostModel, MpiError, Result, World};
 
@@ -43,6 +44,7 @@ impl ReplicatedWorld {
             death_times: None,
             trace: None,
             metrics: None,
+            profiler: None,
         })
     }
 }
@@ -60,6 +62,7 @@ pub struct ReplicatedWorldBuilder {
     death_times: Option<Vec<f64>>,
     trace: Option<Arc<Collector>>,
     metrics: Option<Arc<MetricsRegistry>>,
+    profiler: Option<Arc<Profiler>>,
 }
 
 impl ReplicatedWorldBuilder {
@@ -151,6 +154,15 @@ impl ReplicatedWorldBuilder {
         self
     }
 
+    /// Enables wall-clock self-profiling into `profiler` (see
+    /// [`redcr_mpi::WorldBuilder::profiler`]). The replication layer times
+    /// its own receive-path voting on top of the base runtime's mailbox
+    /// spans.
+    pub fn profiler(mut self, profiler: Arc<Profiler>) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
     /// Number of physical ranks this configuration will spawn.
     pub fn n_physical(&self) -> usize {
         self.partition.total_physical() as usize
@@ -188,6 +200,9 @@ impl ReplicatedWorldBuilder {
         }
         if let Some(registry) = self.metrics {
             world = world.metrics(registry);
+        }
+        if let Some(profiler) = self.profiler {
+            world = world.profiler(profiler);
         }
         let report = world.run(move |base: &Comm| {
             let mut comm = ReplicaComm::with_vote_cost(base, Arc::clone(&vmap), mode, vote_cost);

@@ -7,6 +7,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use redcr_metrics::{CounterKey, HistKey, RankMetrics};
+use redcr_prof::RankProf;
 use redcr_trace::{EventKind, Recorder};
 
 use crate::communicator::Communicator;
@@ -67,6 +68,7 @@ pub struct Comm {
     counters: Rc<SendCounters>,
     recorder: Option<Rc<Recorder>>,
     metrics: Option<Rc<RankMetrics>>,
+    prof: Option<Rc<RankProf>>,
 }
 
 impl Comm {
@@ -76,6 +78,7 @@ impl Comm {
         start_time: f64,
         recorder: Option<Rc<Recorder>>,
         metrics: Option<Rc<RankMetrics>>,
+        prof: Option<Rc<RankProf>>,
     ) -> Self {
         let counters = Rc::new(SendCounters::new(Arc::clone(&shared)));
         Comm {
@@ -87,6 +90,7 @@ impl Comm {
             counters,
             recorder,
             metrics,
+            prof,
         }
     }
 
@@ -241,6 +245,7 @@ struct Endpoint<'a> {
     counters: &'a SendCounters,
     recorder: Option<&'a Recorder>,
     metrics: Option<&'a RankMetrics>,
+    prof: Option<&'a RankProf>,
 }
 
 impl Endpoint<'_> {
@@ -281,12 +286,15 @@ impl Endpoint<'_> {
         self.clock.advance_comm(self.shared.cost.msg_overhead);
         let bytes = data.len() as u64;
         self.counters.record(bytes);
-        self.shared.mailboxes[world_dest.index()].push(Envelope {
-            src: self.world_rank,
-            wire_tag: tag.wire(self.comm_id, ns),
-            payload: data,
-            send_time: self.clock.now(),
-        });
+        self.shared.mailboxes[world_dest.index()].push_prof(
+            Envelope {
+                src: self.world_rank,
+                wire_tag: tag.wire(self.comm_id, ns),
+                payload: data,
+                send_time: self.clock.now(),
+            },
+            self.prof,
+        );
         if let Some(rec) = self.recorder {
             rec.record(self.clock.now(), EventKind::Send { to: world_dest.as_u32(), bytes });
         }
@@ -323,7 +331,12 @@ impl Endpoint<'_> {
         self.check_abort()?;
         let spec = self.spec(src, tag, ns, member_filter);
         let mailbox = &self.shared.mailboxes[self.world_rank.index()];
-        match mailbox.recv_match(&spec, || self.shared.is_aborted(), || self.dead_source(src)) {
+        match mailbox.recv_match_prof(
+            &spec,
+            || self.shared.is_aborted(),
+            || self.dead_source(src),
+            self.prof,
+        ) {
             Outcome::Matched(env) => {
                 let avail = self.shared.cost.availability(env.send_time, env.len());
                 self.clock.sync_to(avail);
@@ -408,7 +421,12 @@ impl Endpoint<'_> {
         self.check_abort()?;
         let spec = self.spec(src, tag, ns, member_filter);
         let mailbox = &self.shared.mailboxes[self.world_rank.index()];
-        match mailbox.peek_match(&spec, || self.shared.is_aborted(), || self.dead_source(src)) {
+        match mailbox.peek_match_prof(
+            &spec,
+            || self.shared.is_aborted(),
+            || self.dead_source(src),
+            self.prof,
+        ) {
             Outcome::Matched(info) => {
                 let avail = self.shared.cost.availability(info.send_time, info.len);
                 self.clock.sync_to(avail);
@@ -517,6 +535,10 @@ impl Communicator for Comm {
     fn metrics(&self) -> Option<&RankMetrics> {
         self.metrics.as_deref()
     }
+
+    fn prof(&self) -> Option<&RankProf> {
+        self.prof.as_deref()
+    }
 }
 
 impl Comm {
@@ -530,6 +552,7 @@ impl Comm {
             counters: &self.counters,
             recorder: self.recorder.as_deref(),
             metrics: self.metrics.as_deref(),
+            prof: self.prof.as_deref(),
         }
     }
 
@@ -571,6 +594,7 @@ pub struct SubComm {
     counters: Rc<SendCounters>,
     recorder: Option<Rc<Recorder>>,
     metrics: Option<Rc<RankMetrics>>,
+    prof: Option<Rc<RankProf>>,
 }
 
 impl SubComm {
@@ -594,6 +618,7 @@ impl SubComm {
             counters: Rc::clone(&parent.counters),
             recorder: parent.recorder.clone(),
             metrics: parent.metrics.clone(),
+            prof: parent.prof.clone(),
         })
     }
 
@@ -612,6 +637,7 @@ impl SubComm {
             counters: &self.counters,
             recorder: self.recorder.as_deref(),
             metrics: self.metrics.as_deref(),
+            prof: self.prof.as_deref(),
         }
     }
 
@@ -771,5 +797,9 @@ impl Communicator for SubComm {
 
     fn metrics(&self) -> Option<&RankMetrics> {
         self.metrics.as_deref()
+    }
+
+    fn prof(&self) -> Option<&RankProf> {
+        self.prof.as_deref()
     }
 }

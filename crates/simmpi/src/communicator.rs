@@ -140,6 +140,16 @@ pub trait Communicator {
         None
     }
 
+    /// This rank's wall-clock profiling shard, when the world was built
+    /// with profiling enabled (see `WorldBuilder::profiler`).
+    /// Interposition layers time their own work (votes, checkpoint
+    /// encode/commit) through this hook; the default is no shard, so
+    /// profiling costs one `Option` check unless enabled. Profiling reads
+    /// the host clock only and never advances virtual time.
+    fn prof(&self) -> Option<&redcr_prof::RankProf> {
+        None
+    }
+
     // ------------------------------------------------------------------
     // Provided point-to-point conveniences
     // ------------------------------------------------------------------

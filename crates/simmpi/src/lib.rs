@@ -86,6 +86,13 @@ pub use redcr_trace as trace;
 /// the [`metrics::MetricsRegistry`] afterwards.
 pub use redcr_metrics as metrics;
 
+/// The wall-clock self-profiling layer (re-exported from `redcr-prof`):
+/// enable it with [`WorldBuilder::profiler`], pull the span/counter report
+/// out of the [`prof::Profiler`] afterwards. Profiling watches the
+/// *simulator* (host clock), never the simulated machine, and a run with
+/// it off is bit-identical to one without it compiled in at all.
+pub use redcr_prof as prof;
+
 pub use comm::{Comm, SubComm};
 pub use communicator::Communicator;
 pub use error::{MpiError, Result};

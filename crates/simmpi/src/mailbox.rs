@@ -65,6 +65,7 @@ use std::collections::{HashMap, VecDeque};
 use std::hash::BuildHasherDefault;
 
 use parking_lot::{Condvar, Mutex};
+use redcr_prof::{CounterKey, RankProf, SpanKey, TrackKey};
 
 use crate::message::Envelope;
 use crate::rank::{Rank, RankSelector};
@@ -351,13 +352,34 @@ impl Mailbox {
     /// Deposits an envelope, waking the parked receiver only when the
     /// envelope can satisfy its registered interest.
     pub fn push(&self, env: Envelope) {
+        self.push_prof(env, None);
+    }
+
+    /// [`push`](Self::push) with an optional wall-clock profiling shard
+    /// (the *sender's*). When present it times the push, counts the
+    /// notify decision, and samples the post-push queue depth; profiling
+    /// reads the host clock only and never touches virtual time, so the
+    /// deposited envelope is bit-identical either way.
+    pub fn push_prof(&self, env: Envelope, prof: Option<&RankProf>) {
+        let _send = prof.map(|p| p.span(SpanKey::MailboxSend));
         let mut inner = self.inner.lock();
         let (src, wire) = (env.src, env.wire_tag);
         inner.push_env(env);
-        if inner.waiter.is_some_and(|w| w.wants(src, wire)) {
+        let depth = inner.len;
+        let notified = inner.waiter.is_some_and(|w| w.wants(src, wire));
+        if notified {
             inner.wakeups += 1;
-            drop(inner);
+        }
+        drop(inner);
+        if notified {
             self.cond.notify_one();
+        }
+        if let Some(p) = prof {
+            p.count(CounterKey::Sends);
+            if notified {
+                p.count(CounterKey::Notifies);
+            }
+            p.sample(TrackKey::QueueDepth, depth as f64);
         }
     }
 
@@ -369,13 +391,23 @@ impl Mailbox {
         spec: &MatchSpec<'_>,
         is_aborted: impl Fn() -> bool,
         dead_src: impl Fn() -> Option<Rank>,
+        prof: Option<&RankProf>,
         mut grab: impl FnMut(&mut Inner) -> Option<T>,
     ) -> Outcome<T> {
+        let _wait = prof.map(|p| p.span(SpanKey::MailboxRecvWait));
         let mut spins = 0u32;
+        let mut parked = false;
         let mut inner = self.inner.lock();
         loop {
             if let Some(v) = grab(&mut inner) {
                 inner.waiter = None;
+                if let Some(p) = prof {
+                    p.count(if parked {
+                        CounterKey::ParkResolved
+                    } else {
+                        CounterKey::SpinResolved
+                    });
+                }
                 return Outcome::Matched(v);
             }
             if is_aborted() {
@@ -396,7 +428,16 @@ impl Mailbox {
                 inner = self.inner.lock();
             } else {
                 inner.waiter = Some(Interest::from_spec(spec));
-                self.cond.wait(&mut inner);
+                parked = true;
+                if let Some(p) = prof {
+                    p.count(CounterKey::Parks);
+                    p.sample(TrackKey::Parks, p.counter(CounterKey::Parks) as f64);
+                    let _park = p.span(SpanKey::MailboxPark);
+                    self.cond.wait(&mut inner);
+                    p.count(CounterKey::Wakes);
+                } else {
+                    self.cond.wait(&mut inner);
+                }
             }
         }
     }
@@ -414,7 +455,25 @@ impl Mailbox {
         is_aborted: impl Fn() -> bool,
         dead_src: impl Fn() -> Option<Rank>,
     ) -> RecvOutcome {
-        self.wait_match(spec, is_aborted, dead_src, |inner| inner.take_match(spec))
+        self.recv_match_prof(spec, is_aborted, dead_src, None)
+    }
+
+    /// [`recv_match`](Self::recv_match) with an optional wall-clock
+    /// profiling shard: times the whole wait (spin phase included) and
+    /// each condvar park, and classifies the wait as spin- or
+    /// park-resolved. Profiling never changes what is matched or when.
+    pub fn recv_match_prof(
+        &self,
+        spec: &MatchSpec<'_>,
+        is_aborted: impl Fn() -> bool,
+        dead_src: impl Fn() -> Option<Rank>,
+        prof: Option<&RankProf>,
+    ) -> RecvOutcome {
+        let out = self.wait_match(spec, is_aborted, dead_src, prof, |inner| inner.take_match(spec));
+        if let (Some(p), Outcome::Matched(_)) = (prof, &out) {
+            p.count(CounterKey::Recvs);
+        }
+        out
     }
 
     /// Non-blocking variant of [`recv_match`](Self::recv_match): removes
@@ -433,7 +492,20 @@ impl Mailbox {
         is_aborted: impl Fn() -> bool,
         dead_src: impl Fn() -> Option<Rank>,
     ) -> PeekOutcome {
-        self.wait_match(spec, is_aborted, dead_src, |inner| inner.peek_match(spec))
+        self.peek_match_prof(spec, is_aborted, dead_src, None)
+    }
+
+    /// [`peek_match`](Self::peek_match) with an optional wall-clock
+    /// profiling shard (see
+    /// [`recv_match_prof`](Self::recv_match_prof)).
+    pub fn peek_match_prof(
+        &self,
+        spec: &MatchSpec<'_>,
+        is_aborted: impl Fn() -> bool,
+        dead_src: impl Fn() -> Option<Rank>,
+        prof: Option<&RankProf>,
+    ) -> PeekOutcome {
+        self.wait_match(spec, is_aborted, dead_src, prof, |inner| inner.peek_match(spec))
     }
 
     /// Non-blocking probe: metadata of the oldest matching envelope, if

@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use redcr_metrics::{GaugeKey, MetricsRegistry, RankMetrics};
+use redcr_prof::{ProfScope, Profiler, RankProf};
 use redcr_trace::{Collector, EventKind, Recorder};
 
 use crate::comm::Comm;
@@ -34,6 +35,7 @@ impl World {
             death_times: None,
             trace: None,
             metrics: None,
+            profiler: None,
         }
     }
 }
@@ -48,6 +50,7 @@ pub struct WorldBuilder {
     death_times: Option<Vec<f64>>,
     trace: Option<Arc<Collector>>,
     metrics: Option<Arc<MetricsRegistry>>,
+    profiler: Option<Arc<Profiler>>,
 }
 
 impl WorldBuilder {
@@ -119,6 +122,18 @@ impl WorldBuilder {
         self
     }
 
+    /// Enables wall-clock self-profiling into `profiler`: every rank gets
+    /// a thread-local [`RankProf`] shard (reachable through
+    /// [`Communicator::prof`](crate::Communicator::prof)) timing the
+    /// mailbox hot path — recv waits, condvar parks, pushes — absorbed
+    /// into the profiler at rank teardown. The profiler reads the *host*
+    /// clock only; it never advances a virtual clock, so profiled runs
+    /// stay bit-identical to unprofiled ones.
+    pub fn profiler(mut self, profiler: Arc<Profiler>) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
     /// Number of ranks.
     pub fn size(&self) -> usize {
         self.n
@@ -150,6 +165,8 @@ impl WorldBuilder {
         let trace = trace.as_ref();
         let metrics = self.metrics;
         let metrics = metrics.as_ref();
+        let profiler = self.profiler;
+        let profiler = profiler.as_ref();
         let f = &f;
         type Slot<T> = (Result<T>, RankTiming, Option<Vec<redcr_trace::Event>>);
         let mut slots: Vec<Option<(Result<T>, RankTiming)>> = Vec::new();
@@ -162,8 +179,15 @@ impl WorldBuilder {
                 handles.push(scope.spawn(move || {
                     let recorder = trace.map(|_| Rc::new(Recorder::new(rank as u32)));
                     let shard = metrics.map(|_| Rc::new(RankMetrics::new(rank as u32)));
-                    let comm =
-                        Comm::new(shared, rank as u32, start_time, recorder.clone(), shard.clone());
+                    let prof: Option<Rc<RankProf>> = profiler.map(|p| Rc::new(p.shard()));
+                    let comm = Comm::new(
+                        shared,
+                        rank as u32,
+                        start_time,
+                        recorder.clone(),
+                        shard.clone(),
+                        prof.clone(),
+                    );
                     let result = f(&comm);
                     match &result {
                         // An injected per-rank death is survivable by
@@ -197,6 +221,9 @@ impl WorldBuilder {
                     if let (Some(registry), Some(shard)) = (metrics, shard) {
                         shard.set_gauge(GaugeKey::VirtualTime, timing.finish, timing.finish);
                         registry.absorb(shard.drain());
+                    }
+                    if let (Some(p), Some(shard)) = (profiler, prof) {
+                        p.absorb(ProfScope::Rank(rank as u32), shard.drain());
                     }
                     (result, timing, events) as Slot<T>
                 }));

@@ -13,6 +13,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
+use redcr_prof::{ProfScope, Profiler, SpanKey};
+
 use redcr_cluster::combined::simulate_combined;
 use redcr_cluster::job::FailureExposure;
 use redcr_cluster::sweep::monte_carlo;
@@ -189,6 +191,26 @@ pub fn run_sweep(
     threads: usize,
     cache: &mut ResultCache,
 ) -> Result<SweepReport, SweepError> {
+    run_sweep_profiled(submitted, threads, cache, None)
+}
+
+/// [`run_sweep`] with an optional wall-clock [`Profiler`]: each worker
+/// thread keeps a `ProfScope::Worker(w)` shard, wraps every cold
+/// evaluation in a `sweep.scenario` span and drains the shard into the
+/// profiler at worker exit. `None` costs one branch per cold scenario; the
+/// report, cache bytes and entry order are identical either way (the
+/// profiler reads the host clock only and every result is slotted by queue
+/// index).
+///
+/// # Errors
+///
+/// Same as [`run_sweep`].
+pub fn run_sweep_profiled(
+    submitted: &[ScenarioSpec],
+    threads: usize,
+    cache: &mut ResultCache,
+    profiler: Option<&Profiler>,
+) -> Result<SweepReport, SweepError> {
     let batch: DedupedBatch = dedup(submitted);
     let threads = threads.max(1);
 
@@ -220,17 +242,25 @@ pub fn run_sweep(
         let unique = &batch.unique;
         let cold = &cold_indices;
         std::thread::scope(|scope| {
-            for _ in 0..threads.min(cold.len()) {
+            for w in 0..threads.min(cold.len()) {
                 let tx = tx.clone();
                 let next = &next;
-                scope.spawn(move || loop {
-                    let qi = next.fetch_add(1, Ordering::SeqCst);
-                    if qi >= cold.len() {
-                        break;
+                scope.spawn(move || {
+                    let shard = profiler.map(|p| p.shard());
+                    loop {
+                        let qi = next.fetch_add(1, Ordering::SeqCst);
+                        if qi >= cold.len() {
+                            break;
+                        }
+                        let span = shard.as_ref().map(|s| s.span(SpanKey::SweepScenario));
+                        let outcome = evaluate(&unique[cold[qi]]);
+                        drop(span);
+                        if tx.send((qi, outcome)).is_err() {
+                            break;
+                        }
                     }
-                    let outcome = evaluate(&unique[cold[qi]]);
-                    if tx.send((qi, outcome)).is_err() {
-                        break;
+                    if let (Some(p), Some(shard)) = (profiler, shard) {
+                        p.absorb(ProfScope::Worker(w as u32), shard.drain());
                     }
                 });
             }
@@ -342,6 +372,22 @@ mod tests {
         for (x, y) in a.entries.iter().zip(&b.entries) {
             assert_eq!(x.result, y.result, "thread count must not matter");
         }
+    }
+
+    #[test]
+    fn profiled_sweep_matches_unprofiled_and_records_spans() {
+        let specs: Vec<ScenarioSpec> = [1.0, 1.5, 2.0].iter().map(|&d| sim_spec(d, 8)).collect();
+        let plain = run_sweep(&specs, 2, &mut ResultCache::in_memory()).unwrap();
+        let profiler = Profiler::new();
+        let profiled =
+            run_sweep_profiled(&specs, 2, &mut ResultCache::in_memory(), Some(&profiler)).unwrap();
+        for (a, b) in plain.entries.iter().zip(&profiled.entries) {
+            assert_eq!(a.result, b.result, "profiling must not change results");
+        }
+        let report = profiler.report();
+        let stat = report.total_span(SpanKey::SweepScenario);
+        assert_eq!(stat.count, 3, "one span per cold scenario");
+        assert!(report.scopes().iter().all(|s| s.label().starts_with("worker")));
     }
 
     #[test]

@@ -69,6 +69,6 @@ pub mod spec;
 
 pub use cache::{ResultCache, ScenarioResult};
 pub use dedup::{dedup, DedupedBatch};
-pub use engine::{run_sweep, SweepEntry, SweepError, SweepReport, SweepStats};
+pub use engine::{run_sweep, run_sweep_profiled, SweepEntry, SweepError, SweepReport, SweepStats};
 pub use pareto::{frontier, grouped_frontiers, GroupFrontier, ParetoPoint};
 pub use spec::{Backend, ScenarioSpec, SpecPolicy, Workload};

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod analyzer;
+pub mod critical;
 mod event;
 pub mod heal;
 mod jsonl;
@@ -36,7 +37,8 @@ pub mod perfetto;
 mod recorder;
 
 pub use analyzer::{Analysis, AnalyzeError, AttemptSummary, DerivedTotals};
+pub use critical::{AttemptPath, Blame, CriticalPath, PathStep, RankBlame};
 pub use event::{Event, EventKind};
 pub use jsonl::TraceError;
-pub use perfetto::PerfettoSummary;
+pub use perfetto::{CounterTrack, PerfettoSummary};
 pub use recorder::{Collector, Recorder, Trace};

@@ -36,6 +36,27 @@ use crate::recorder::Trace;
 /// Virtual seconds → trace microseconds.
 const US: f64 = 1e6;
 
+/// A wall-clock counter track to merge into an export as Perfetto `C`
+/// (counter) events — the bridge between the wall-clock profiling plane
+/// and the virtual-time trace. Defined here as a plain data carrier so the
+/// trace crate needs no dependency on the profiler; callers map from
+/// `redcr_prof::CounterTrackData`.
+///
+/// Counter timestamps are **wall microseconds since the profiler's
+/// origin**, a different time base from the virtual-time tracks; the
+/// export therefore parks counters in their own process (`pid` 1, named
+/// `"redcr-prof (wall-clock)"`) so the two planes never read as one
+/// timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterTrack {
+    /// Shard label the samples came from (`"rank3"`, `"driver"`, …).
+    pub scope: String,
+    /// Counter name (`"queue_depth"`, `"parks"`, …).
+    pub name: &'static str,
+    /// `(wall nanoseconds since origin, value)` samples, ascending.
+    pub samples: Vec<(u64, f64)>,
+}
+
 /// Renders `trace` as a Chrome `trace_event` JSON array.
 ///
 /// The trace is replayed through [`Analysis::analyze`] first (for sphere
@@ -47,6 +68,22 @@ const US: f64 = 1e6;
 /// Returns the [`AnalyzeError`] of the underlying replay when the trace is
 /// malformed.
 pub fn export(trace: &Trace) -> Result<String, AnalyzeError> {
+    export_with_counters(trace, &[])
+}
+
+/// [`export`] plus wall-clock [`CounterTrack`]s merged in as `C` events
+/// under a dedicated profiler process (see [`CounterTrack`] for the
+/// time-base contract). With an empty `counters` slice the output is
+/// byte-identical to [`export`].
+///
+/// # Errors
+///
+/// Returns the [`AnalyzeError`] of the underlying replay when the trace is
+/// malformed.
+pub fn export_with_counters(
+    trace: &Trace,
+    counters: &[CounterTrack],
+) -> Result<String, AnalyzeError> {
     let analysis = Analysis::analyze(trace)?;
 
     // rank -> (sphere, replica) from the recorded topology.
@@ -70,15 +107,15 @@ pub fn export(trace: &Trace) -> Result<String, AnalyzeError> {
     let mut first = true;
 
     // Track metadata: the executor lane and one lane per physical rank.
-    push_meta(&mut out, &mut first, "process_name", 0, "redcr virtual-time run");
-    push_meta(&mut out, &mut first, "thread_name", 0, "executor");
+    push_meta(&mut out, &mut first, "process_name", 0, 0, "redcr virtual-time run");
+    push_meta(&mut out, &mut first, "thread_name", 0, 0, "executor");
     for (&rank, &(sphere, replica)) in &roles {
         let name = if sphere == u32::MAX {
             format!("rank {rank}")
         } else {
             format!("rank {rank} (sphere {sphere}, replica {replica})")
         };
-        push_meta(&mut out, &mut first, "thread_name", rank + 1, &name);
+        push_meta(&mut out, &mut first, "thread_name", 0, rank + 1, &name);
     }
 
     let mut flow_id = 0u64;
@@ -299,6 +336,31 @@ pub fn export(trace: &Trace) -> Result<String, AnalyzeError> {
         }
     }
 
+    // Wall-clock counter plane: its own process, one C-event stream per
+    // (scope, counter). Wall nanoseconds become microseconds so Perfetto's
+    // axis unit matches the virtual tracks even though the origin differs.
+    if !counters.is_empty() {
+        push_meta(&mut out, &mut first, "process_name", 1, 0, "redcr-prof (wall-clock)");
+        for c in counters {
+            let track = format!("{}.{}", c.scope, c.name);
+            for &(at_ns, value) in &c.samples {
+                push_event(
+                    &mut out,
+                    &mut first,
+                    &[
+                        ("name", Js::Str(track.clone())),
+                        ("cat", Js::Raw("\"prof\"")),
+                        ("ph", Js::Raw("\"C\"")),
+                        ("ts", Js::Num(at_ns as f64 / 1e3)),
+                        ("pid", Js::Int(1)),
+                        ("tid", Js::Int(0)),
+                        ("args", Js::Args(vec![("value", Js::Num(value))])),
+                    ],
+                );
+            }
+        }
+    }
+
     out.push_str("\n]\n");
     Ok(out)
 }
@@ -365,7 +427,14 @@ fn push_event(out: &mut String, first: &mut bool, fields: &[(&'static str, Js)])
     out.push('}');
 }
 
-fn push_meta(out: &mut String, first: &mut bool, what: &'static str, tid: u32, name: &str) {
+fn push_meta(
+    out: &mut String,
+    first: &mut bool,
+    what: &'static str,
+    pid: u32,
+    tid: u32,
+    name: &str,
+) {
     push_event(
         out,
         first,
@@ -378,7 +447,7 @@ fn push_meta(out: &mut String, first: &mut bool, what: &'static str, tid: u32, n
                 }),
             ),
             ("ph", Js::Raw("\"M\"")),
-            ("pid", Js::Int(0)),
+            ("pid", Js::Int(u64::from(pid))),
             ("tid", Js::Int(u64::from(tid))),
             ("args", Js::Args(vec![("name", Js::Str(name.to_string()))])),
         ],
@@ -440,14 +509,21 @@ pub struct PerfettoSummary {
     /// Flow arrows with both endpoints present (an `s` and an `f` event
     /// sharing an id).
     pub flow_pairs: usize,
+    /// Counter (`C`) samples from merged wall-clock tracks.
+    pub counter_samples: usize,
 }
 
 impl fmt::Display for PerfettoSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} events: {} rank tracks, {} slices, {} instants, {} flow pairs",
-            self.events, self.rank_tracks, self.slices, self.instants, self.flow_pairs
+            "{} events: {} rank tracks, {} slices, {} instants, {} flow pairs, {} counters",
+            self.events,
+            self.rank_tracks,
+            self.slices,
+            self.instants,
+            self.flow_pairs,
+            self.counter_samples
         )
     }
 }
@@ -472,6 +548,7 @@ pub fn validate(json: &str) -> Result<PerfettoSummary, String> {
         slices: 0,
         instants: 0,
         flow_pairs: 0,
+        counter_samples: 0,
     };
     let mut starts: Vec<u64> = Vec::new();
     let mut finishes: Vec<u64> = Vec::new();
@@ -513,6 +590,15 @@ pub fn validate(json: &str) -> Result<PerfettoSummary, String> {
                 summary.slices += 1;
             }
             "i" => summary.instants += 1,
+            "C" => {
+                let Some(Json::Obj(args)) = get("args") else {
+                    return Err(format!("event {i}: counter without args"));
+                };
+                if !args.iter().any(|(k, v)| k == "value" && matches!(v, Json::Num(_))) {
+                    return Err(format!("event {i}: counter without numeric value"));
+                }
+                summary.counter_samples += 1;
+            }
             "s" | "f" => {
                 let id = num("id")? as u64;
                 if ph == "s" { &mut starts } else { &mut finishes }.push(id);
@@ -768,6 +854,27 @@ mod tests {
         let summary = validate(&json).unwrap();
         assert_eq!(summary.flow_pairs, 0);
         assert!(json.contains("send \u{2192} 1"));
+    }
+
+    #[test]
+    fn counter_tracks_merge_under_profiler_process() {
+        let tracks = vec![CounterTrack {
+            scope: "rank0".to_string(),
+            name: "queue_depth",
+            samples: vec![(1_000, 1.0), (2_000, 3.0), (5_000, 0.0)],
+        }];
+        let json = export_with_counters(&small_trace(), &tracks).unwrap();
+        let summary = validate(&json).unwrap();
+        assert_eq!(summary.counter_samples, 3, "{summary}");
+        assert!(json.contains("redcr-prof (wall-clock)"));
+        assert!(json.contains("rank0.queue_depth"));
+        // Wall ns → µs: the 2000 ns sample lands at ts 2.
+        assert!(json.lines().any(|l| l.contains("\"ph\":\"C\"") && l.contains("\"ts\":2,")));
+        // With no counters the output is byte-identical to plain export.
+        let plain = export(&small_trace()).unwrap();
+        let empty = export_with_counters(&small_trace(), &[]).unwrap();
+        assert_eq!(plain, empty);
+        assert_eq!(validate(&plain).unwrap().counter_samples, 0);
     }
 
     #[test]

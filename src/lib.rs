@@ -57,6 +57,7 @@ pub use redcr_fault as fault;
 pub use redcr_metrics as metrics;
 pub use redcr_model as model;
 pub use redcr_mpi as mpi;
+pub use redcr_prof as prof;
 pub use redcr_red as red;
 pub use redcr_sweep as sweep;
 pub use redcr_trace as trace;

@@ -8,7 +8,7 @@
 //! fires — a lint pass that silently matched nothing would otherwise
 //! look identical to a clean tree.
 
-use redcr_lint::{lint_source, lint_workspace, Domain};
+use redcr_lint::{lint_source, lint_workspace, Config, Domain};
 
 fn repo_root() -> std::path::PathBuf {
     // CARGO_MANIFEST_DIR of a workspace-root integration test is the
@@ -78,6 +78,32 @@ fn seeded_wallclock_violation_is_caught() {
         "the `Instant::now()` call on line 4 should be flagged: {r1:?}"
     );
     assert!(!report.is_clean(), "report with unsuppressed violations must not be clean");
+}
+
+#[test]
+fn prof_is_wallclock_but_everything_else_stays_strict() {
+    // The profiler crate is the sanctioned home of `Instant` reads; the
+    // shipped detlint.toml must map it to the wallclock domain — and that
+    // exemption must not widen. A wall-clock read in any virtual-time
+    // crate still fires R1 under the *loaded* config, not a hardcoded
+    // domain, so a botched detlint.toml edit fails this test.
+    let cfg = Config::load(&repo_root().join("detlint.toml")).expect("detlint.toml parses");
+    assert_eq!(cfg.domain_for(std::path::Path::new("crates/prof/src/shard.rs")), Domain::Wallclock);
+    assert_eq!(
+        cfg.domain_for(std::path::Path::new("crates/bench/src/runtime.rs")),
+        Domain::Wallclock
+    );
+    for strict in ["simmpi", "redundancy", "checkpoint", "core", "trace", "metrics", "sweep"] {
+        let rel = format!("crates/{strict}/src/lib.rs");
+        let domain = cfg.domain_for(std::path::Path::new(&rel));
+        assert_ne!(domain, Domain::Wallclock, "{strict} must not be wallclock");
+        let report = lint_source(&rel, domain, "fn t() { let _ = std::time::Instant::now(); }\n");
+        assert!(
+            report.unsuppressed().any(|v| v.rule == "R1"),
+            "Instant read in {rel} ({}) did not fire R1",
+            domain.name()
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,175 @@
+//! Tier-1 gate for the dual-clock profiler.
+//!
+//! The wall-clock profiling plane must be *virtually invisible*: enabling
+//! it may only add host-clock bookkeeping, never perturb a single virtual
+//! quantity. This gate reruns the determinism-gate scenario (see
+//! `tests/determinism_gate.rs`) with `profiling(true)` and asserts the
+//! same pre-swap pinned constants bit-for-bit — report totals AND the
+//! full trace FNV. Since the pins were captured with the profiler absent,
+//! holding them with the profiler on proves both directions at once:
+//! off is bit-identical to the seed, and on is bit-identical to off.
+//!
+//! The same file hosts the virtual-time side's acceptance checks: the
+//! critical-path analyzer's total must replay the executor's
+//! `total_virtual_time` bit-exactly from the trace alone, and the
+//! profiler's wall-clock overhead must stay bounded.
+
+// The bounded-overhead test times real runs with the host clock; this
+// integration test is in the detlint `test` domain and opts out of the
+// workspace-wide clippy wall-clock ban the same way crates/prof does.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
+use redcr_apps::cg::{CgConfig, CgState};
+use redcr_core::apps::CgApp;
+use redcr_core::{ExecutorConfig, ResilientExecutor};
+use redcr_mpi::prof::{CounterKey, SpanKey};
+use redcr_trace::{Analysis, CriticalPath};
+
+/// FNV-1a over the JSONL bytes — matches `tests/determinism_gate.rs`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The determinism-gate scenario with the profiler switched ON.
+fn profiled_gate_run() -> redcr_core::ExecutionReport<CgState> {
+    let cfg = ExecutorConfig::new(8, 2.0)
+        .node_mtbf(150.0)
+        .checkpoint_interval(10.0)
+        .checkpoint_cost(0.5)
+        .restart_cost(2.0)
+        .seed(7)
+        .tracing(true)
+        .profiling(true);
+    let app = CgApp::new(CgConfig::small(256), 40).with_step_pad(1.0);
+    ResilientExecutor::new(cfg).run(&app).expect("profiled gate run")
+}
+
+// Identical constants to tests/determinism_gate.rs — captured on the
+// pre-swap mailbox, long before the profiler existed.
+const PRE_SWAP_TOTAL_BITS: u64 = 0x4044c01fa3bce69a;
+const PRE_SWAP_DEGRADED_BITS: u64 = 0x405276e3bd7a12a0;
+const PRE_SWAP_TRACE_LINES: usize = 20263;
+const PRE_SWAP_TRACE_FNV: u64 = 0xade83d686de079ae;
+
+#[test]
+fn profiler_on_keeps_every_pinned_virtual_quantity_bit_for_bit() {
+    let report = profiled_gate_run();
+    assert_eq!(report.total_virtual_time.to_bits(), PRE_SWAP_TOTAL_BITS);
+    assert_eq!(report.degraded_sphere_seconds.to_bits(), PRE_SWAP_DEGRADED_BITS);
+    assert_eq!(report.attempts, 1);
+    assert_eq!(report.failures, 0);
+    assert_eq!(report.masked_failures, 3);
+    assert_eq!(report.checkpoints_committed, 3);
+    assert_eq!(report.physical_messages, 7911);
+    assert_eq!(report.physical_bytes, 2_353_184);
+
+    let trace = report.trace.as_ref().expect("tracing was on");
+    let jsonl = trace.to_jsonl();
+    assert_eq!(jsonl.lines().count(), PRE_SWAP_TRACE_LINES);
+    assert_eq!(
+        fnv1a(jsonl.as_bytes()),
+        PRE_SWAP_TRACE_FNV,
+        "profiler-on run changed the trace bytes — the wall-clock plane leaked into virtual time"
+    );
+
+    // And the profiler actually measured something: it must not pass the
+    // bit-identity gate by virtue of being disconnected.
+    let prof = report.profile.as_ref().expect("profiling was on");
+    let sends = prof.total_span(SpanKey::MailboxSend);
+    let waits = prof.total_span(SpanKey::MailboxRecvWait);
+    assert!(sends.count > 0, "no mailbox sends recorded: {sends:?}");
+    assert!(waits.count > 0, "no recv waits recorded: {waits:?}");
+    assert_eq!(prof.total_counter(CounterKey::Sends), sends.count);
+    assert!(prof.total_span(SpanKey::ExecutorSegment).count > 0);
+    assert!(prof.scope("driver").is_some(), "driver scope missing");
+    assert!(prof.scope("rank0").is_some(), "rank shards not absorbed");
+}
+
+#[test]
+fn profiler_off_report_carries_no_profile() {
+    // The default config must not even allocate the profiling plane.
+    let cfg = ExecutorConfig::new(4, 1.0).node_mtbf(1e12).seed(3);
+    let app = CgApp::new(CgConfig::small(64), 5);
+    let report = ResilientExecutor::new(cfg).run(&app).expect("plain run");
+    assert!(report.profile.is_none(), "profile present without profiling(true)");
+}
+
+#[test]
+fn critical_path_replays_report_total_bit_for_bit() {
+    let report = profiled_gate_run();
+    let analysis =
+        Analysis::analyze(report.trace.as_ref().expect("tracing on")).expect("trace replays");
+    let path = CriticalPath::analyze(&analysis);
+
+    // Acceptance criterion: the analyzer's total is the executor's total,
+    // bit-for-bit, reconstructed from trace events alone.
+    assert_eq!(
+        path.total_virtual_time.to_bits(),
+        report.total_virtual_time.to_bits(),
+        "critical-path total diverged from ExecutionReport::total_virtual_time"
+    );
+
+    // The path telescopes: contiguous steps from attempt start to end, so
+    // the blame categories partition the attempt's whole makespan.
+    let attempt = path.attempts.last().expect("one attempt");
+    assert!(attempt.completed);
+    let steps = &attempt.steps;
+    assert!(!steps.is_empty());
+    for pair in steps.windows(2) {
+        assert_eq!(
+            pair[0].to_time.to_bits(),
+            pair[1].from_time.to_bits(),
+            "critical path has a gap: {pair:?}"
+        );
+    }
+    let span = steps.last().unwrap().to_time - steps[0].from_time;
+    let blame_sum: f64 = attempt.path_blame().iter().sum();
+    assert!(
+        (blame_sum - span).abs() <= 1e-9 * span.max(1.0),
+        "blame categories ({blame_sum}) do not partition the path span ({span})"
+    );
+    assert!(
+        (span - attempt.rel_end).abs() <= 1e-9 * attempt.rel_end.max(1.0),
+        "path span ({span}) != executor rel_end ({})",
+        attempt.rel_end
+    );
+
+    // The derived α is a proper fraction and agrees with the per-rank
+    // partition it is defined over.
+    let alpha = path.blame_alpha().expect("completed attempt has α");
+    assert!((0.0..=1.0).contains(&alpha), "α out of range: {alpha}");
+    assert!(alpha > 0.0, "CG with live failures cannot have zero blocked time");
+}
+
+#[test]
+fn profiler_overhead_is_bounded() {
+    use std::time::Instant;
+
+    // A profiled run may not cost more than a small multiple of the same
+    // unprofiled run. The bound is deliberately loose (shared CI boxes)
+    // while still catching pathological regressions — e.g. a lock on the
+    // span hot path — which show up as 10–100x, not 3x.
+    let run = |profiling: bool| {
+        let cfg = ExecutorConfig::new(8, 1.0)
+            .node_mtbf(1e12)
+            .checkpoint_interval(50.0)
+            .seed(11)
+            .profiling(profiling);
+        let app = CgApp::new(CgConfig::small(128), 30);
+        let t0 = Instant::now();
+        let report = ResilientExecutor::new(cfg).run(&app).expect("overhead run");
+        (t0.elapsed(), report.total_virtual_time.to_bits())
+    };
+    // Warm-up evens out first-run allocator/pagecache effects.
+    let _ = run(false);
+    let (plain, plain_bits) = run(false);
+    let (profiled, profiled_bits) = run(true);
+    assert_eq!(plain_bits, profiled_bits, "overhead scenario not bit-identical");
+    let limit = plain * 3 + std::time::Duration::from_secs(2);
+    assert!(profiled <= limit, "profiled run took {profiled:?}, limit {limit:?} (plain {plain:?})");
+}

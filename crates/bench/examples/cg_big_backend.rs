@@ -1,0 +1,44 @@
+//! One-off backend comparison for the `cg_r2_big` scenario.
+//!
+//! Runs the full-preset `cg_r2_big` configuration (512 virtual ranks at
+//! r = 2 → 1024 physical rank tasks, 8 CG iterations, failure-free)
+//! once under whatever executor backend is active and prints the wall
+//! time. Run it twice to compare backends:
+//!
+//! ```sh
+//! cargo run --release -p redcr-bench --example cg_big_backend
+//! REDCR_EXEC=threads cargo run --release -p redcr-bench --example cg_big_backend
+//! ```
+//!
+//! The threads run spawns 1024 OS threads per world segment — the very
+//! cost the M:N scheduler exists to avoid — so expect it to be slow (or,
+//! on thread-limited hosts, to fail to spawn). That number is recorded
+//! as the `cg_r2_big` baseline note in `BENCH_runtime.json`.
+
+// Bench-domain example: it times the simulator from outside, so the
+// wall clock is the point (same sanction as crates/bench/src/runtime.rs).
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
+use std::time::Instant;
+
+use redcr_apps::cg::CgConfig;
+use redcr_core::apps::CgApp;
+use redcr_core::{ExecutorConfig, ResilientExecutor};
+
+fn main() {
+    let backend = std::env::var("REDCR_EXEC").unwrap_or_else(|_| "coro".into());
+    let cfg = ExecutorConfig::new(512, 2.0)
+        .node_mtbf(1e12)
+        .checkpoint_interval(10.0)
+        .checkpoint_cost(0.5)
+        .restart_cost(2.0)
+        .seed(2012);
+    let app = CgApp::new(CgConfig::small(2048), 8);
+    let t0 = Instant::now();
+    let report = ResilientExecutor::new(cfg).run(&app).expect("cg_r2_big run");
+    let wall = t0.elapsed().as_secs_f64();
+    println!(
+        "cg_r2_big backend={backend} wall_s={wall:.6} virtual_s={:.3} phys_msgs={}",
+        report.total_virtual_time, report.physical_messages
+    );
+}

@@ -157,6 +157,25 @@ fn cg(degree: f64, iterations: u64, mtbf: f64, step_pad: f64) -> Measurement {
     Measurement { wall_s: wall, throughput: report.total_virtual_time / wall }
 }
 
+fn cg_big(iterations: u64) -> Measurement {
+    // 512 virtual ranks at r = 2 → 1024 physical rank tasks. Simply
+    // *spawning* that many OS threads per world segment made this size
+    // infeasible under the old thread-per-rank executor; on the M:N
+    // scheduler the tasks are coroutines and the scenario is routine
+    // (set `REDCR_EXEC=threads` to measure the thread-backend baseline).
+    let cfg = ExecutorConfig::new(512, 2.0)
+        .node_mtbf(1e12)
+        .checkpoint_interval(10.0)
+        .checkpoint_cost(0.5)
+        .restart_cost(2.0)
+        .seed(2012);
+    let app = CgApp::new(CgConfig::small(2048), iterations);
+    let t0 = Instant::now();
+    let report = ResilientExecutor::new(cfg).run(&app).expect("big cg bench run");
+    let wall = t0.elapsed().as_secs_f64();
+    Measurement { wall_s: wall, throughput: report.total_virtual_time / wall }
+}
+
 /// Runs every scenario of `preset` and returns the measurements.
 ///
 /// Scenario set (stable keys; the determinism-sensitive virtual-time
@@ -169,11 +188,14 @@ fn cg(degree: f64, iterations: u64, mtbf: f64, step_pad: f64) -> Measurement {
 /// * `cg_r1` / `cg_r2` / `cg_r3` — end-to-end resilient CG, failure-free,
 ///   at replication degree 1/2/3 (r× physical message fan-out);
 /// * `cg_r2_failures` / `cg_r3_failures` — the same solve under a 400 s
-///   node MTBF (live deaths, replica failover, restarts).
+///   node MTBF (live deaths, replica failover, restarts);
+/// * `cg_r2_big` — 512 virtual ranks at r = 2 (1024 physical rank
+///   tasks), failure-free: the scheduler-scalability scenario that was
+///   infeasible thread-per-rank.
 pub fn run_all(preset: Preset) -> Vec<Scenario> {
-    let (pp_rounds, ar_iters, cg_iters, cg_fail_iters) = match preset {
-        Preset::Smoke => (20_000, 1_000, 120, 60),
-        Preset::Full => (400_000, 20_000, 4_000, 600),
+    let (pp_rounds, ar_iters, cg_iters, cg_fail_iters, cg_big_iters) = match preset {
+        Preset::Smoke => (20_000, 1_000, 120, 60, 2),
+        Preset::Full => (400_000, 20_000, 4_000, 600, 8),
     };
     let mut out = Vec::new();
     let mut push = |name, what, unit, m| out.push(Scenario { name, what, unit, m });
@@ -222,6 +244,12 @@ pub fn run_all(preset: Preset) -> Vec<Scenario> {
         "vsec/s",
         best_of(|| cg(3.0, cg_fail_iters, 1500.0, 1.0)),
     );
+    push(
+        "cg_r2_big",
+        "resilient CG n=512 r=2 (1024 physical rank tasks), failure-free",
+        "vsec/s",
+        best_of(|| cg_big(cg_big_iters)),
+    );
     out
 }
 
@@ -244,8 +272,8 @@ pub struct ProfileArtifacts {
     /// Perfetto export of the run's virtual-time trace with the profiler's
     /// counter tracks merged as `C` events.
     pub perfetto: String,
-    /// One-line parking summary (the park/wake baseline for the future
-    /// M:N scheduler work).
+    /// One-line parking + scheduler summary (task parks/wakes on the
+    /// mailbox side, steals/local-hits/idle on the worker side).
     pub summary: String,
 }
 
@@ -302,7 +330,7 @@ pub fn profile_headline(preset: Preset) -> ProfileArtifacts {
         json: prof.to_json(HEADLINE_SCENARIO),
         folded: prof.folded(),
         perfetto,
-        summary: prof.park_summary(),
+        summary: format!("{} | {}", prof.park_summary(), prof.sched_summary()),
     }
 }
 

@@ -81,6 +81,12 @@ pub struct ExecutorConfig {
     /// Modeled state-transfer cost, virtual seconds per serialized
     /// checkpoint-image byte shipped from the donor replica.
     pub transfer_cost_per_byte: f64,
+    /// Scheduler worker threads driving the rank coroutines, or `None` to
+    /// defer to the `REDCR_WORKERS` environment variable and then to
+    /// `std::thread::available_parallelism`. Purely a host-side throughput
+    /// knob: every virtual-time total and trace is bit-identical at any
+    /// worker count.
+    pub workers: Option<usize>,
 }
 
 impl ExecutorConfig {
@@ -109,7 +115,16 @@ impl ExecutorConfig {
             suspicion_timeout: 1.0,
             respawn_cost: 0.0,
             transfer_cost_per_byte: 0.0,
+            workers: None,
         }
+    }
+
+    /// Pins the scheduler worker count (overrides `REDCR_WORKERS` and the
+    /// host-parallelism default). Worker count never changes results, only
+    /// how many OS threads drive the rank coroutines.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
     }
 
     /// Sets the per-process MTBF (virtual seconds).

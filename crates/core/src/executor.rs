@@ -314,6 +314,9 @@ impl ResilientExecutor {
                     .cost_model(cfg.comm_cost)
                     .death_times(deaths_abs.clone())
                     .start_time(seg_start);
+                if let Some(w) = cfg.workers {
+                    builder = builder.workers(w);
+                }
                 if let Some(c) = &collector {
                     builder = builder.trace(Arc::clone(c));
                 }

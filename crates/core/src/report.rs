@@ -120,6 +120,9 @@ impl<S> ExecutionReport<S> {
             out.push('\n');
             out.push_str("  profile          : ");
             out.push_str(&p.park_summary());
+            out.push('\n');
+            out.push_str("  scheduler        : ");
+            out.push_str(&p.sched_summary());
         }
         out
     }

@@ -28,11 +28,13 @@ pub enum SpanKey {
     ExecutorHeal,
     /// One sweep-engine scenario evaluation on a worker thread.
     SweepScenario,
+    /// A scheduler worker asleep on the idle condvar (no runnable tasks).
+    WorkerIdle,
 }
 
 impl SpanKey {
     /// Number of span keys.
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 10;
 
     /// Every key, in index order.
     pub const ALL: [SpanKey; Self::COUNT] = [
@@ -45,6 +47,7 @@ impl SpanKey {
         SpanKey::ExecutorSegment,
         SpanKey::ExecutorHeal,
         SpanKey::SweepScenario,
+        SpanKey::WorkerIdle,
     ];
 
     /// Dense array index of this key.
@@ -65,6 +68,7 @@ impl SpanKey {
             SpanKey::ExecutorSegment => "executor.segment",
             SpanKey::ExecutorHeal => "executor.heal",
             SpanKey::SweepScenario => "sweep.scenario",
+            SpanKey::WorkerIdle => "worker.idle",
         }
     }
 
@@ -81,6 +85,7 @@ impl SpanKey {
             SpanKey::ExecutorSegment => "executor;segment",
             SpanKey::ExecutorHeal => "executor;heal",
             SpanKey::SweepScenario => "sweep;scenario",
+            SpanKey::WorkerIdle => "worker;idle",
         }
     }
 
@@ -112,11 +117,20 @@ pub enum CounterKey {
     Sends,
     /// Physical receives completed through instrumented mailboxes.
     Recvs,
+    /// Parked rank tasks marked runnable by a matching send (M:N
+    /// scheduler wake; counted on the sender's scope).
+    TaskWakes,
+    /// Rank tasks a scheduler worker stole from another worker's deque.
+    Steals,
+    /// Rank tasks a scheduler worker popped from its own deque.
+    LocalHits,
+    /// Times a scheduler worker slept on the idle condvar.
+    WorkerParks,
 }
 
 impl CounterKey {
     /// Number of counter keys.
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 11;
 
     /// Every key, in index order.
     pub const ALL: [CounterKey; Self::COUNT] = [
@@ -127,6 +141,10 @@ impl CounterKey {
         CounterKey::ParkResolved,
         CounterKey::Sends,
         CounterKey::Recvs,
+        CounterKey::TaskWakes,
+        CounterKey::Steals,
+        CounterKey::LocalHits,
+        CounterKey::WorkerParks,
     ];
 
     /// Dense array index of this key.
@@ -145,6 +163,10 @@ impl CounterKey {
             CounterKey::ParkResolved => "park_resolved",
             CounterKey::Sends => "sends",
             CounterKey::Recvs => "recvs",
+            CounterKey::TaskWakes => "task_wakes",
+            CounterKey::Steals => "steals",
+            CounterKey::LocalHits => "local_hits",
+            CounterKey::WorkerParks => "worker_parks",
         }
     }
 }
@@ -157,14 +179,18 @@ pub enum TrackKey {
     /// Cumulative parks on this scope (the track's slope is the park
     /// rate).
     Parks,
+    /// Scheduler run-queue depth observed by a worker after each local
+    /// pop.
+    RunQueueDepth,
 }
 
 impl TrackKey {
     /// Number of track keys.
-    pub const COUNT: usize = 2;
+    pub const COUNT: usize = 3;
 
     /// Every key, in index order.
-    pub const ALL: [TrackKey; Self::COUNT] = [TrackKey::QueueDepth, TrackKey::Parks];
+    pub const ALL: [TrackKey; Self::COUNT] =
+        [TrackKey::QueueDepth, TrackKey::Parks, TrackKey::RunQueueDepth];
 
     /// Dense array index of this key.
     #[inline]
@@ -177,6 +203,7 @@ impl TrackKey {
         match self {
             TrackKey::QueueDepth => "queue_depth",
             TrackKey::Parks => "parks",
+            TrackKey::RunQueueDepth => "run_queue_depth",
         }
     }
 }

@@ -130,6 +130,20 @@ impl ProfReport {
         )
     }
 
+    /// One-line human summary of the M:N scheduler — how rank tasks moved
+    /// between run queues and how busy the workers were.
+    pub fn sched_summary(&self) -> String {
+        let idle = self.total_span(SpanKey::WorkerIdle);
+        format!(
+            "task_wakes={} local_hits={} steals={} worker_parks={} idle={:.3}ms",
+            self.total_counter(CounterKey::TaskWakes),
+            self.total_counter(CounterKey::LocalHits),
+            self.total_counter(CounterKey::Steals),
+            self.total_counter(CounterKey::WorkerParks),
+            idle.total_ns as f64 / 1e6,
+        )
+    }
+
     /// Renders the JSON sidecar (`redcr-prof/1` schema): aggregate span
     /// and counter tables (every key, zeros included, so the shape is
     /// stable) plus sparse per-scope breakdowns.

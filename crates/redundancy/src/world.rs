@@ -45,6 +45,7 @@ impl ReplicatedWorld {
             trace: None,
             metrics: None,
             profiler: None,
+            workers: None,
         })
     }
 }
@@ -63,6 +64,7 @@ pub struct ReplicatedWorldBuilder {
     trace: Option<Arc<Collector>>,
     metrics: Option<Arc<MetricsRegistry>>,
     profiler: Option<Arc<Profiler>>,
+    workers: Option<usize>,
 }
 
 impl ReplicatedWorldBuilder {
@@ -163,6 +165,14 @@ impl ReplicatedWorldBuilder {
         self
     }
 
+    /// Pins the scheduler worker count of the underlying physical world
+    /// (see [`redcr_mpi::WorldBuilder::workers`]). A host-side throughput
+    /// knob only: results are bit-identical at any worker count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
     /// Number of physical ranks this configuration will spawn.
     pub fn n_physical(&self) -> usize {
         self.partition.total_physical() as usize
@@ -203,6 +213,9 @@ impl ReplicatedWorldBuilder {
         }
         if let Some(profiler) = self.profiler {
             world = world.profiler(profiler);
+        }
+        if let Some(workers) = self.workers {
+            world = world.workers(workers);
         }
         let report = world.run(move |base: &Comm| {
             let mut comm = ReplicaComm::with_vote_cost(base, Arc::clone(&vmap), mode, vote_cost);

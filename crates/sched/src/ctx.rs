@@ -1,0 +1,153 @@
+//! Bare-metal stackful context switch.
+//!
+//! One exported primitive, [`redcr_ctx_switch`]: save the callee-saved
+//! register frame of the current continuation on its own stack, publish
+//! the resulting stack pointer through `save`, then install `to` as the
+//! stack pointer and return into whatever continuation was frozen there.
+//! Both directions of every worker↔task transfer go through this single
+//! function, so a frozen continuation is always "parked inside
+//! `redcr_ctx_switch`" and resuming it is symmetric with freezing it.
+//!
+//! A *fresh* task's stack is hand-crafted by [`forge_stack`] to look
+//! exactly like a frozen `redcr_ctx_switch` frame whose saved return
+//! address is the `redcr_task_start` trampoline. The trampoline moves the
+//! task pointer (smuggled through a callee-saved register) into the first
+//! argument register and calls [`crate::pool::redcr_task_entry`], which
+//! never returns — a finished task switches back to its worker with a
+//! `Done` yield kind instead.
+//!
+//! Only the callee-saved portion of the ABI is preserved: x86-64 SysV
+//! (`rbx`, `rbp`, `r12`–`r15`) and AArch64 AAPCS (`x19`–`x28`, the frame
+//! pointer/link register pair, and `d8`–`d15`). Everything caller-saved is
+//! dead at a `redcr_ctx_switch` call site by definition of the C ABI, so
+//! the switch is a plain function call from the compiler's point of view.
+//! The frame pointer of a fresh task is forged as zero so frame-pointer
+//! stack walkers terminate instead of wandering off the coroutine stack.
+
+/// Size in bytes of the register frame a frozen continuation occupies on
+/// its stack: 6 callee-saved GPRs + the return address on x86-64.
+#[cfg(target_arch = "x86_64")]
+pub(crate) const FRAME_BYTES: usize = 56;
+
+/// 10 callee-saved GPRs + fp/lr + 8 callee-saved FP doubles on AArch64.
+#[cfg(target_arch = "aarch64")]
+pub(crate) const FRAME_BYTES: usize = 160;
+
+#[cfg(target_arch = "x86_64")]
+core::arch::global_asm!(
+    ".text",
+    ".balign 16",
+    ".globl redcr_ctx_switch",
+    "redcr_ctx_switch:",
+    "push rbp",
+    "push rbx",
+    "push r12",
+    "push r13",
+    "push r14",
+    "push r15",
+    "mov [rdi], rsp",
+    "mov rsp, rsi",
+    "pop r15",
+    "pop r14",
+    "pop r13",
+    "pop r12",
+    "pop rbx",
+    "pop rbp",
+    "ret",
+    ".balign 16",
+    ".globl redcr_task_start",
+    "redcr_task_start:",
+    // rsp is 16-aligned here (frame fully popped), so the `call` below
+    // leaves the callee with the SysV-mandated rsp % 16 == 8 at entry.
+    "mov rdi, r12",
+    "xor ebp, ebp",
+    "call {entry}",
+    // `redcr_task_entry` never returns; trap hard if it ever does.
+    "ud2",
+    entry = sym crate::pool::redcr_task_entry,
+);
+
+#[cfg(target_arch = "aarch64")]
+core::arch::global_asm!(
+    ".text",
+    ".balign 16",
+    ".globl redcr_ctx_switch",
+    "redcr_ctx_switch:",
+    "sub sp, sp, #160",
+    "stp x19, x20, [sp, #0]",
+    "stp x21, x22, [sp, #16]",
+    "stp x23, x24, [sp, #32]",
+    "stp x25, x26, [sp, #48]",
+    "stp x27, x28, [sp, #64]",
+    "stp x29, x30, [sp, #80]",
+    "stp d8, d9, [sp, #96]",
+    "stp d10, d11, [sp, #112]",
+    "stp d12, d13, [sp, #128]",
+    "stp d14, d15, [sp, #144]",
+    "mov x9, sp",
+    "str x9, [x0]",
+    "mov sp, x1",
+    "ldp x19, x20, [sp, #0]",
+    "ldp x21, x22, [sp, #16]",
+    "ldp x23, x24, [sp, #32]",
+    "ldp x25, x26, [sp, #48]",
+    "ldp x27, x28, [sp, #64]",
+    "ldp x29, x30, [sp, #80]",
+    "ldp d8, d9, [sp, #96]",
+    "ldp d10, d11, [sp, #112]",
+    "ldp d12, d13, [sp, #128]",
+    "ldp d14, d15, [sp, #144]",
+    "add sp, sp, #160",
+    "ret",
+    ".balign 16",
+    ".globl redcr_task_start",
+    "redcr_task_start:",
+    "mov x0, x19",
+    "mov x29, xzr",
+    "bl {entry}",
+    "brk #0x1",
+    entry = sym crate::pool::redcr_task_entry,
+);
+
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+extern "C" {
+    /// Freeze the current continuation (writing its stack pointer through
+    /// `save`) and resume the continuation frozen at stack pointer `to`.
+    ///
+    /// # Safety
+    /// `save` must point to writable memory that outlives the freeze;
+    /// `to` must be a stack pointer previously produced by this function
+    /// or by [`forge_stack`], resumed at most once per freeze.
+    pub(crate) fn redcr_ctx_switch(save: *mut usize, to: usize);
+
+    /// Trampoline a forged frame "returns" into; never called from Rust.
+    fn redcr_task_start();
+}
+
+/// Writes a fake frozen-continuation frame onto a fresh stack so that
+/// resuming it lands in `redcr_task_start` with `task` in the smuggling
+/// register, and returns the forged stack pointer.
+///
+/// # Safety
+/// `top` must be the one-past-the-end address of a stack at least
+/// `FRAME_BYTES + 16` bytes deep, writable and unaliased.
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+pub(crate) unsafe fn forge_stack(top: *mut u8, task: usize) -> usize {
+    let top16 = (top as usize) & !15;
+    let sp = top16 - FRAME_BYTES;
+    let slot = |off: usize| (sp + off) as *mut usize;
+    for i in 0..(FRAME_BYTES / 8) {
+        slot(i * 8).write(0);
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        slot(24).write(task); // r12: smuggled task pointer
+        slot(48).write(redcr_task_start as *const () as usize); // return address
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        slot(0).write(task); // x19: smuggled task pointer
+        slot(88).write(redcr_task_start as *const () as usize); // x30: link register
+    }
+    sp
+}

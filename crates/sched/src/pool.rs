@@ -1,0 +1,865 @@
+//! The M:N work-stealing pool.
+//!
+//! [`run_batch`] drives `n` rank tasks to completion on `workers` OS
+//! threads. Each task is a stackful coroutine (x86-64 / AArch64) or, under
+//! the fallback [`Backend::Threads`], a plain scoped thread. Tasks block
+//! by calling [`park_current`], which freezes the coroutine and returns
+//! control to the worker; a matching [`Waker::wake`] marks the task
+//! runnable again on a sharded run-queue (per-worker local deque with a
+//! steal path plus a shared injector for wakes arriving from outside the
+//! pool).
+//!
+//! # Task state machine
+//!
+//! ```text
+//!            pop            park        wake(PARKED)
+//!   QUEUED ------> RUNNING ------> PARKED ----------> QUEUED
+//!     ^               |
+//!     |  wake(RUNNING)| finish
+//!     |               v
+//!     +-- NOTIFIED   DONE
+//! ```
+//!
+//! The lost-wakeup race — a send that lands between the moment a task
+//! decides to park and the moment the worker publishes `PARKED` — is
+//! closed by the `NOTIFIED` state: `wake` on a `RUNNING` task CASes it to
+//! `NOTIFIED`, and the worker's `RUNNING → PARKED` CAS then fails, turning
+//! the park into an immediate requeue. Wakes on `QUEUED`/`NOTIFIED`/`DONE`
+//! tasks are no-ops, so every runnable transition enqueues exactly once.
+//!
+//! # Determinism
+//!
+//! The pool adds no entropy: victim selection for stealing is a fixed
+//! rotation, queues are plain FIFO deques, and there is no wall-clock or
+//! RNG anywhere. Simulation *results* are nonetheless independent of
+//! worker count and steal interleaving only because the simulator above
+//! this crate orders everything by virtual time — the gate tests in the
+//! workspace root prove that property at 1, 2, and 8 workers.
+//!
+//! All atomics use `SeqCst`: the wake/park handshake is a cross-thread
+//! protocol whose proof sketch assumes a single total order, and none of
+//! these atomics is on a path hot enough to earn a weaker ordering.
+
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering::SeqCst};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+use redcr_prof::{CounterKey, ProfScope, Profiler, RankProf, SpanKey, TrackKey};
+
+use crate::stack::{Stack, DEFAULT_STACK_BYTES};
+
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+use crate::ctx;
+
+// ---------------------------------------------------------------------------
+// Configuration
+
+/// How tasks are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Stackful coroutines multiplexed onto a work-stealing worker pool.
+    Coro,
+    /// One scoped OS thread per task (pre-M:N behavior). The fallback on
+    /// architectures without a context-switch port, and selectable via
+    /// `REDCR_EXEC=threads` to measure the thread-per-rank baseline.
+    Threads,
+}
+
+impl Backend {
+    /// The preferred backend for this architecture.
+    pub fn native() -> Backend {
+        #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+        {
+            Backend::Coro
+        }
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+        {
+            Backend::Threads
+        }
+    }
+}
+
+/// Pool sizing for one [`run_batch`] call.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Worker threads driving the batch (clamped to `[1, n_tasks]`).
+    pub workers: usize,
+    /// Bytes of coroutine stack per task.
+    pub stack_bytes: usize,
+    /// Execution backend.
+    pub backend: Backend,
+}
+
+impl PoolConfig {
+    /// Resolves pool sizing: an explicit worker count (from
+    /// `ExecutorConfig::workers` / `WorldBuilder::workers`) wins, then the
+    /// `REDCR_WORKERS` environment variable, then
+    /// `available_parallelism()`. `REDCR_EXEC=threads` selects the
+    /// thread-per-task backend; `REDCR_STACK_KB` sizes coroutine stacks.
+    pub fn resolve(explicit_workers: Option<usize>, n_tasks: usize) -> PoolConfig {
+        let backend = match std::env::var("REDCR_EXEC").ok().as_deref() {
+            Some("threads") => Backend::Threads,
+            _ => Backend::native(),
+        };
+        let workers = explicit_workers
+            .or_else(|| std::env::var("REDCR_WORKERS").ok().and_then(|s| s.parse().ok()))
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+            })
+            .clamp(1, n_tasks.max(1));
+        let stack_bytes = std::env::var("REDCR_STACK_KB")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .map(|kb| kb * 1024)
+            .unwrap_or(DEFAULT_STACK_BYTES);
+        PoolConfig { workers, stack_bytes, backend }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Task
+
+const QUEUED: u8 = 0;
+const RUNNING: u8 = 1;
+const PARKED: u8 = 2;
+const NOTIFIED: u8 = 3;
+const DONE: u8 = 4;
+
+const YK_PARK: u8 = 0;
+const YK_YIELD: u8 = 1;
+const YK_DONE: u8 = 2;
+
+type TaskBody = Box<dyn FnOnce() + Send>;
+
+/// One rank task. Fields split into two synchronization regimes: `state`
+/// (and the thread-backend permit) are the cross-thread handshake; every
+/// other field is touched only by the single worker currently running the
+/// task or holding it popped from a run-queue.
+pub(crate) struct Task {
+    state: AtomicU8,
+    /// How the task last switched back to its worker (`YK_*`); read by
+    /// the worker immediately after regaining control.
+    yield_kind: Cell<u8>,
+    /// Frozen continuation stack pointer (coro backend).
+    sp: Cell<usize>,
+    /// Address of the running worker's local resume slot, so a parking
+    /// task knows where to switch back to.
+    ret_sp: Cell<usize>,
+    stack: Option<Stack>,
+    body: UnsafeCell<Option<TaskBody>>,
+    /// Thread-backend park permit (wake-before-park safe).
+    permit: Mutex<bool>,
+    unpark: Condvar,
+}
+
+// SAFETY: `yield_kind`, `sp`, `ret_sp`, `stack` and `body` are accessed
+// only by the worker that owns the task at that moment; ownership is
+// handed off through the `state` machine (SeqCst CAS) and the run-queue
+// mutexes, which order those plain accesses across threads. `state`,
+// `permit` and `unpark` are inherently thread-safe.
+unsafe impl Sync for Task {}
+
+impl Task {
+    fn new(stack: Option<Stack>, body: TaskBody) -> Task {
+        Task {
+            state: AtomicU8::new(QUEUED),
+            yield_kind: Cell::new(YK_PARK),
+            sp: Cell::new(0),
+            ret_sp: Cell::new(0),
+            stack,
+            body: UnsafeCell::new(Some(body)),
+            permit: Mutex::new(false),
+            unpark: Condvar::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pool
+
+/// Counters for one finished batch; mirrors of these also flow into
+/// `redcr-prof` worker shards when profiling is on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Parked tasks marked runnable by a wake.
+    pub task_wakes: u64,
+    /// Tasks a worker stole from another worker's deque.
+    pub steals: u64,
+    /// Tasks a worker popped from its own deque.
+    pub local_hits: u64,
+    /// Times a worker went to sleep on the idle condvar.
+    pub worker_parks: u64,
+}
+
+#[derive(Default)]
+struct StatsCell {
+    task_wakes: AtomicU64,
+    steals: AtomicU64,
+    local_hits: AtomicU64,
+    worker_parks: AtomicU64,
+}
+
+impl StatsCell {
+    fn snapshot(&self) -> BatchStats {
+        BatchStats {
+            task_wakes: self.task_wakes.load(SeqCst),
+            steals: self.steals.load(SeqCst),
+            local_hits: self.local_hits.load(SeqCst),
+            worker_parks: self.worker_parks.load(SeqCst),
+        }
+    }
+}
+
+pub(crate) struct PoolShared {
+    backend: Backend,
+    tasks: Vec<Task>,
+    /// Per-worker local run-queues; owner pops the front, thieves pop the
+    /// back.
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    /// Overflow queue for wakes arriving from threads outside the pool.
+    injector: Mutex<VecDeque<usize>>,
+    /// Missed-wake epoch: bumped by every enqueue that observes idlers,
+    /// so a worker that re-checks the epoch under the lock before
+    /// sleeping can never sleep through a wake.
+    idle: Mutex<u64>,
+    idle_cv: Condvar,
+    idlers: AtomicUsize,
+    /// Tasks not yet `DONE`; workers exit when this reaches zero.
+    live: AtomicUsize,
+    stats: StatsCell,
+}
+
+impl PoolShared {
+    fn new(backend: Backend, workers: usize, tasks: Vec<Task>) -> PoolShared {
+        let live = tasks.len();
+        PoolShared {
+            backend,
+            tasks,
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            idle: Mutex::new(0),
+            idle_cv: Condvar::new(),
+            idlers: AtomicUsize::new(0),
+            live: AtomicUsize::new(live),
+            stats: StatsCell::default(),
+        }
+    }
+
+    /// Marks a coro task runnable. See the state-machine diagram in the
+    /// module docs; this is the only producer of `QUEUED` and `NOTIFIED`.
+    fn wake_coro(&self, idx: usize) {
+        let t = &self.tasks[idx];
+        loop {
+            match t.state.load(SeqCst) {
+                PARKED => {
+                    if t.state.compare_exchange(PARKED, QUEUED, SeqCst, SeqCst).is_ok() {
+                        self.stats.task_wakes.fetch_add(1, SeqCst);
+                        self.enqueue(idx);
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if t.state.compare_exchange(RUNNING, NOTIFIED, SeqCst, SeqCst).is_ok() {
+                        self.stats.task_wakes.fetch_add(1, SeqCst);
+                        return;
+                    }
+                }
+                // QUEUED / NOTIFIED: already runnable. DONE: nothing to do.
+                _ => return,
+            }
+        }
+    }
+
+    /// Pushes a runnable task: onto the current worker's own deque when
+    /// the waker runs on a worker of this pool, else onto the injector.
+    fn enqueue(&self, idx: usize) {
+        let me = self as *const PoolShared as usize;
+        let target = WORKER.with(|w| match w.get() {
+            Some((pool, k)) if pool == me => Some(k),
+            _ => None,
+        });
+        match target {
+            Some(k) => self.queues[k].lock().push_back(idx),
+            None => self.injector.lock().push_back(idx),
+        }
+        if self.idlers.load(SeqCst) > 0 {
+            *self.idle.lock() += 1;
+            self.idle_cv.notify_all();
+        }
+    }
+
+    fn idle_epoch(&self) -> u64 {
+        *self.idle.lock()
+    }
+
+    fn has_work(&self) -> bool {
+        if !self.injector.lock().is_empty() {
+            return true;
+        }
+        self.queues.iter().any(|q| !q.lock().is_empty())
+    }
+
+    /// Wakes every idle worker (batch finished, or a last task completed).
+    fn wake_idlers(&self) {
+        *self.idle.lock() += 1;
+        self.idle_cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local context
+
+thread_local! {
+    /// Waker of the task currently executing on this thread, if any.
+    static CURRENT: Cell<Option<Waker>> = const { Cell::new(None) };
+    /// (pool identity, worker index) when this thread is a pool worker.
+    static WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+/// Handle that marks one task of one batch runnable. Cloneable and
+/// `Send + Sync`; waking a finished task or a finished batch is a no-op,
+/// so stale wakers parked in mailbox waiter slots are harmless.
+#[derive(Clone)]
+pub struct Waker {
+    shared: Arc<PoolShared>,
+    idx: usize,
+}
+
+impl std::fmt::Debug for Waker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Waker(task {})", self.idx)
+    }
+}
+
+impl Waker {
+    /// Marks the task runnable. Never blocks; never takes a lock that is
+    /// held while calling into user code, so callers may invoke it while
+    /// holding their own leaf locks dropped or held — though dropping
+    /// first preserves the workspace's leaf-lock discipline.
+    pub fn wake(&self) {
+        match self.shared.backend {
+            Backend::Threads => {
+                let t = &self.shared.tasks[self.idx];
+                *t.permit.lock() = true;
+                t.unpark.notify_one();
+                self.shared.stats.task_wakes.fetch_add(1, SeqCst);
+            }
+            Backend::Coro => self.shared.wake_coro(self.idx),
+        }
+    }
+
+    fn park(&self) {
+        let t = &self.shared.tasks[self.idx];
+        match self.shared.backend {
+            Backend::Threads => {
+                let mut g = t.permit.lock();
+                while !*g {
+                    t.unpark.wait(&mut g);
+                }
+                *g = false;
+            }
+            Backend::Coro => {
+                #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+                {
+                    t.yield_kind.set(YK_PARK);
+                    // SAFETY: `ret_sp` points at the live resume slot of
+                    // the worker that switched us in; freezing into `sp`
+                    // and resuming the worker is the protocol every
+                    // worker↔task transfer follows.
+                    unsafe {
+                        let to = (t.ret_sp.get() as *const usize).read();
+                        ctx::redcr_ctx_switch(t.sp.as_ptr(), to);
+                    }
+                }
+                #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+                std::process::abort();
+            }
+        }
+    }
+}
+
+/// Returns a waker for the task currently running on this thread, or
+/// `None` when called from a plain (non-pool) thread.
+pub fn current_waker() -> Option<Waker> {
+    CURRENT.with(|c| {
+        let w = c.take();
+        let out = w.clone();
+        c.set(w);
+        out
+    })
+}
+
+/// Blocks the current task until [`Waker::wake`] is called on it. On a
+/// pool task this freezes the coroutine and runs other tasks; on a plain
+/// thread it degrades to an OS yield so polling callers stay live.
+pub fn park_current() {
+    match current_waker() {
+        Some(w) => w.park(),
+        None => std::thread::yield_now(),
+    }
+}
+
+/// Cooperatively reschedules the current task behind other runnable work.
+/// Cheap no-op when nothing else is runnable on this worker; falls back to
+/// `std::thread::yield_now()` off-pool or under the threads backend.
+pub fn yield_now() {
+    let on_coro_worker = CURRENT.with(|c| {
+        let w = c.take();
+        let coro = matches!(&w, Some(w) if w.shared.backend == Backend::Coro);
+        let out = if coro { w.clone() } else { None };
+        c.set(w);
+        out
+    });
+    let Some(w) = on_coro_worker else {
+        std::thread::yield_now();
+        return;
+    };
+    if !w.shared.has_work() {
+        return;
+    }
+    #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+    {
+        let t = &w.shared.tasks[w.idx];
+        t.yield_kind.set(YK_YIELD);
+        // SAFETY: same protocol as `Waker::park`.
+        unsafe {
+            let to = (t.ret_sp.get() as *const usize).read();
+            ctx::redcr_ctx_switch(t.sp.as_ptr(), to);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch execution
+
+/// Everything a finished batch reports.
+pub struct BatchResult<T> {
+    /// Per-task outcome, indexed by task id; `Err` carries the panic
+    /// payload of a task whose body panicked.
+    pub results: Vec<std::thread::Result<T>>,
+    /// Scheduler counters for the whole batch.
+    pub stats: BatchStats,
+}
+
+/// Runs `f(0..n)` to completion as `n` tasks on the configured pool and
+/// returns every task's outcome plus scheduler counters.
+///
+/// When `profiler` is supplied, each worker records a `worker{k}` shard:
+/// idle spans, steal/local-hit/worker-park counters and run-queue-depth
+/// samples, absorbed into the profiler when the batch ends.
+pub fn run_batch<T, F>(
+    cfg: &PoolConfig,
+    n: usize,
+    profiler: Option<&Profiler>,
+    f: F,
+) -> BatchResult<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let backend = match cfg.backend {
+        Backend::Coro => Backend::native(), // downgrades off-arch requests
+        Backend::Threads => Backend::Threads,
+    };
+    let results: Vec<Mutex<Option<std::thread::Result<T>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+
+    let mut tasks = Vec::with_capacity(n);
+    for (i, slot) in results.iter().enumerate() {
+        let fref = &f;
+        let body: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            let out = catch_unwind(AssertUnwindSafe(|| fref(i)));
+            *slot.lock() = Some(out);
+        });
+        // SAFETY: lifetime erasure only. Every body is consumed (or
+        // dropped) before `run_batch` returns — workers are joined and the
+        // batch runs to `live == 0` — so no borrow of `f`/`results`
+        // escapes this call. Wakers may outlive the call holding the
+        // `Arc`, but by then every body slot is `None`.
+        let body: TaskBody =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, TaskBody>(body) };
+        let stack = match backend {
+            Backend::Coro => Some(Stack::new(cfg.stack_bytes)),
+            Backend::Threads => None,
+        };
+        tasks.push(Task::new(stack, body));
+    }
+    let workers = cfg.workers.clamp(1, n.max(1));
+    let shared = Arc::new(PoolShared::new(backend, workers, tasks));
+
+    match backend {
+        Backend::Coro => run_coro(&shared, workers, profiler),
+        Backend::Threads => run_threads(&shared),
+    }
+
+    let stats = shared.stats.snapshot();
+    let results =
+        results
+            .into_iter()
+            .map(|m| match m.into_inner() {
+                Some(r) => r,
+                // Unreachable: a batch only ends once every body ran.
+                None => Err(Box::new("redcr-sched: task produced no result")
+                    as Box<dyn std::any::Any + Send>),
+            })
+            .collect();
+    BatchResult { results, stats }
+}
+
+fn run_threads(shared: &Arc<PoolShared>) {
+    std::thread::scope(|s| {
+        for idx in 0..shared.tasks.len() {
+            let shared = Arc::clone(shared);
+            s.spawn(move || {
+                let prev =
+                    CURRENT.with(|c| c.replace(Some(Waker { shared: Arc::clone(&shared), idx })));
+                // SAFETY: this scoped thread is the only accessor of its
+                // own task's body slot.
+                let body = unsafe { (*shared.tasks[idx].body.get()).take() };
+                if let Some(b) = body {
+                    b();
+                }
+                shared.live.fetch_sub(1, SeqCst);
+                CURRENT.with(|c| c.set(prev));
+            });
+        }
+    });
+}
+
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+fn run_coro(shared: &Arc<PoolShared>, workers: usize, profiler: Option<&Profiler>) {
+    // Forge each task's initial continuation now that the task vector has
+    // its final address.
+    for t in &shared.tasks {
+        if let Some(stack) = &t.stack {
+            // SAFETY: freshly allocated, exclusively owned stack.
+            let sp = unsafe { ctx::forge_stack(stack.top(), t as *const Task as usize) };
+            t.sp.set(sp);
+        }
+    }
+    for idx in 0..shared.tasks.len() {
+        shared.queues[idx % workers].lock().push_back(idx);
+    }
+    if workers > 1 {
+        std::thread::scope(|s| {
+            for k in 1..workers {
+                let shared = &shared;
+                s.spawn(move || worker_loop(shared, k, profiler));
+            }
+            // The driver thread is worker 0: with one worker the whole
+            // batch runs as a user-space event loop with no thread spawns
+            // and no condvar traffic at all.
+            worker_loop(shared, 0, profiler);
+        });
+    } else {
+        worker_loop(shared, 0, profiler);
+    }
+}
+
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+fn run_coro(_shared: &Arc<PoolShared>, _workers: usize, _profiler: Option<&Profiler>) {
+    // `Backend::native()` never selects Coro off-arch.
+    std::process::abort();
+}
+
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+fn worker_loop(shared: &Arc<PoolShared>, k: usize, profiler: Option<&Profiler>) {
+    let me = Arc::as_ptr(shared) as usize;
+    // Save and restore surrounding context so nested batches (a pool task
+    // that itself runs `run_batch`) and back-to-back batches both work.
+    let prev_worker = WORKER.with(|w| w.replace(Some((me, k))));
+    let prev_current = CURRENT.with(|c| c.take());
+    let shard = profiler.map(|p| p.shard());
+    while shared.live.load(SeqCst) != 0 {
+        match next_task(shared, k, shard.as_ref()) {
+            Some(idx) => run_task(shared, idx, k),
+            None => idle_wait(shared, shard.as_ref()),
+        }
+    }
+    // Everything finished: make sure no sibling stays asleep.
+    shared.wake_idlers();
+    if let (Some(p), Some(s)) = (profiler, shard) {
+        p.absorb(ProfScope::Worker(k as u32), s.drain());
+    }
+    CURRENT.with(|c| c.set(prev_current));
+    WORKER.with(|w| w.set(prev_worker));
+}
+
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+fn next_task(shared: &PoolShared, k: usize, shard: Option<&RankProf>) -> Option<usize> {
+    // NB: pop and measure under one acquisition — an `if let` on the
+    // locked temporary would hold the guard across its body (2021-edition
+    // temporary scope) and the depth sample would self-deadlock.
+    let mut q = shared.queues[k].lock();
+    let popped = q.pop_front();
+    let depth = q.len();
+    drop(q);
+    if let Some(idx) = popped {
+        shared.stats.local_hits.fetch_add(1, SeqCst);
+        if let Some(s) = shard {
+            s.count(CounterKey::LocalHits);
+            s.sample(TrackKey::RunQueueDepth, depth as f64);
+        }
+        return Some(idx);
+    }
+    if let Some(idx) = shared.injector.lock().pop_front() {
+        return Some(idx);
+    }
+    let w = shared.queues.len();
+    for d in 1..w {
+        let victim = (k + d) % w;
+        if let Some(idx) = shared.queues[victim].lock().pop_back() {
+            shared.stats.steals.fetch_add(1, SeqCst);
+            if let Some(s) = shard {
+                s.count(CounterKey::Steals);
+            }
+            return Some(idx);
+        }
+    }
+    None
+}
+
+/// Parks the worker on the idle condvar until new work is enqueued or the
+/// batch drains. The epoch handshake makes this missed-wake safe: any
+/// enqueue that observes `idlers > 0` bumps the epoch under the lock, so
+/// an enqueue landing between our queue re-scan and the `wait` flips the
+/// epoch and the wait never starts.
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+fn idle_wait(shared: &PoolShared, shard: Option<&RankProf>) {
+    shared.idlers.fetch_add(1, SeqCst);
+    let epoch = shared.idle_epoch();
+    if !shared.has_work() && shared.live.load(SeqCst) != 0 {
+        shared.stats.worker_parks.fetch_add(1, SeqCst);
+        let _idle = shard.map(|s| {
+            s.count(CounterKey::WorkerParks);
+            s.span(SpanKey::WorkerIdle)
+        });
+        let mut g = shared.idle.lock();
+        while *g == epoch && shared.live.load(SeqCst) != 0 {
+            shared.idle_cv.wait(&mut g);
+        }
+    }
+    shared.idlers.fetch_sub(1, SeqCst);
+}
+
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+fn run_task(shared: &Arc<PoolShared>, idx: usize, k: usize) {
+    let t = &shared.tasks[idx];
+    t.state.store(RUNNING, SeqCst);
+    let mut resume_slot: usize = 0;
+    t.ret_sp.set(&mut resume_slot as *mut usize as usize);
+    CURRENT.with(|c| c.set(Some(Waker { shared: Arc::clone(shared), idx })));
+    // SAFETY: `sp` holds either the forged initial frame or the frame the
+    // task froze when it last parked/yielded; `resume_slot` lives until
+    // the task switches back, which is the only way control returns here.
+    unsafe { ctx::redcr_ctx_switch(&mut resume_slot, t.sp.get()) };
+    CURRENT.with(|c| c.set(None));
+    if let Some(stack) = &t.stack {
+        stack.check_canary();
+    }
+    match t.yield_kind.get() {
+        YK_DONE => {
+            t.state.store(DONE, SeqCst);
+            if shared.live.fetch_sub(1, SeqCst) == 1 {
+                shared.wake_idlers();
+            }
+        }
+        YK_YIELD => {
+            t.state.store(QUEUED, SeqCst);
+            shared.queues[k].lock().push_back(idx);
+        }
+        _ => {
+            // YK_PARK. A wake that raced us flipped RUNNING → NOTIFIED;
+            // honor it by requeueing instead of parking.
+            if t.state.compare_exchange(RUNNING, PARKED, SeqCst, SeqCst).is_err() {
+                t.state.store(QUEUED, SeqCst);
+                shared.queues[k].lock().push_back(idx);
+            }
+        }
+    }
+}
+
+/// First Rust frame of every coroutine; `redcr_task_start` lands here with
+/// the task pointer as its argument. Never returns — a finished task
+/// switches back to its worker with `YK_DONE`.
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+pub(crate) extern "C" fn redcr_task_entry(task: *const Task) {
+    // SAFETY: `task` is the pointer `run_coro` forged into this stack; the
+    // `PoolShared` holding it outlives the batch.
+    let t = unsafe { &*task };
+    // SAFETY: only the worker running the task touches its body slot.
+    let body = unsafe { (*t.body.get()).take() };
+    if catch_unwind(AssertUnwindSafe(|| {
+        if let Some(b) = body {
+            b();
+        }
+    }))
+    .is_err()
+    {
+        // The body wraps user code in its own catch_unwind; a panic
+        // reaching this frame would otherwise unwind through the forged
+        // trampoline frame, which has no unwind info. Die loudly.
+        std::process::abort();
+    }
+    t.yield_kind.set(YK_DONE);
+    let mut scratch: usize = 0;
+    // SAFETY: final switch back to the owning worker; never resumed.
+    unsafe {
+        let to = (t.ret_sp.get() as *const usize).read();
+        ctx::redcr_ctx_switch(&mut scratch, to);
+    }
+    std::process::abort();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(workers: usize, backend: Backend) -> PoolConfig {
+        PoolConfig { workers, stack_bytes: 128 * 1024, backend }
+    }
+
+    fn unwrap_all<T>(r: BatchResult<T>) -> Vec<T> {
+        r.results.into_iter().map(|x| x.unwrap()).collect()
+    }
+
+    #[test]
+    fn plain_batch_runs_every_task() {
+        for workers in [1, 4] {
+            let out = run_batch(&cfg(workers, Backend::Coro), 100, None, |i| i * 2);
+            assert_eq!(unwrap_all(out), (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_tasks_is_a_noop() {
+        let out = run_batch(&cfg(2, Backend::Coro), 0, None, |i| i);
+        assert!(out.results.is_empty());
+    }
+
+    fn park_wake_pairs(backend: Backend, workers: usize) {
+        // Even task 2k parks until its partner 2k+1 wakes it. The partner
+        // spins on the published waker slot, yielding so a single worker
+        // can interleave them.
+        let n = 16;
+        let slots: Vec<Mutex<Option<Waker>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let out = run_batch(&cfg(workers, backend), n, None, |i| {
+            if i % 2 == 0 {
+                *slots[i].lock() = Some(current_waker().expect("on a pool task"));
+                park_current();
+                i
+            } else {
+                loop {
+                    if let Some(w) = slots[i - 1].lock().take() {
+                        w.wake();
+                        return i;
+                    }
+                    yield_now();
+                }
+            }
+        });
+        assert_eq!(unwrap_all(out), (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn park_wake_coro_one_worker() {
+        park_wake_pairs(Backend::Coro, 1);
+    }
+
+    #[test]
+    fn park_wake_coro_many_workers() {
+        park_wake_pairs(Backend::Coro, 4);
+    }
+
+    #[test]
+    fn park_wake_threads_backend() {
+        park_wake_pairs(Backend::Threads, 1);
+    }
+
+    #[test]
+    fn wake_before_park_is_not_lost() {
+        // A wake that lands while the task is RUNNING (here: a self-wake,
+        // the deterministic stand-in for a send racing the park) must flip
+        // the state to NOTIFIED so the subsequent park requeues instead of
+        // sleeping forever.
+        let out = run_batch(&cfg(1, Backend::Coro), 1, None, |_| {
+            let w = current_waker().expect("on a pool task");
+            w.wake();
+            park_current(); // absorbed by the pending notification
+            42
+        });
+        assert_eq!(unwrap_all(out), vec![42]);
+    }
+
+    #[test]
+    fn panicking_task_is_reported_not_fatal() {
+        let out = run_batch(&cfg(2, Backend::Coro), 4, None, |i| {
+            assert!(i != 2, "task two fails");
+            i
+        });
+        assert!(out.results[2].is_err());
+        for (i, r) in out.results.iter().enumerate() {
+            if i != 2 {
+                assert!(r.is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn oversubscribed_yield_storm_completes_and_steals() {
+        let out = run_batch(&cfg(4, Backend::Coro), 64, None, |i| {
+            let mut acc = i as u64;
+            for _ in 0..50 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                yield_now();
+            }
+            acc
+        });
+        assert_eq!(out.results.len(), 64);
+        assert!(out.results.iter().all(|r| r.is_ok()));
+        assert!(out.stats.local_hits > 0);
+    }
+
+    #[test]
+    fn nested_batches_work() {
+        let out = run_batch(&cfg(2, Backend::Coro), 3, None, |i| {
+            let inner = run_batch(&cfg(1, Backend::Coro), 4, None, move |j| i * 10 + j);
+            unwrap_all(inner).into_iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..3).map(|i| (0..4).map(|j| i * 10 + j).sum()).collect();
+        assert_eq!(unwrap_all(out), expect);
+    }
+
+    #[test]
+    fn stats_count_wakes() {
+        let slots: Vec<Mutex<Option<Waker>>> = (0..8).map(|_| Mutex::new(None)).collect();
+        let out = run_batch(&cfg(2, Backend::Coro), 8, None, |i| {
+            if i % 2 == 0 {
+                *slots[i].lock() = Some(current_waker().expect("on a pool task"));
+                park_current();
+            } else {
+                loop {
+                    if let Some(w) = slots[i - 1].lock().take() {
+                        w.wake();
+                        break;
+                    }
+                    yield_now();
+                }
+            }
+        });
+        assert!(out.stats.task_wakes >= 4, "stats: {:?}", out.stats);
+    }
+
+    #[test]
+    fn resolve_clamps_workers_to_tasks() {
+        let cfg = PoolConfig { workers: 64, stack_bytes: 0, backend: Backend::Coro };
+        let _ = cfg;
+        let resolved = PoolConfig::resolve(Some(64), 4);
+        assert_eq!(resolved.workers, 4);
+        let one = PoolConfig::resolve(Some(0), 4);
+        assert_eq!(one.workers, 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! Heap-allocated coroutine stacks.
+//!
+//! Plain `alloc`-backed slabs, 16-byte aligned, with a canary word at the
+//! low end. There are no guard pages (the workspace is `std`-only, no
+//! libc mmap), so overflow detection is best-effort: the canary is
+//! checked every time a task parks or finishes, and a clobbered canary
+//! aborts the process immediately — continuing after an overflow would
+//! corrupt an adjacent allocation and silently break the determinism
+//! contract, which is strictly worse than dying loudly.
+
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
+
+const CANARY: usize = 0x5ed0_c0de_dead_57ac;
+const ALIGN: usize = 16;
+
+/// Minimum stack we will ever hand a task, however `REDCR_STACK_KB` is set.
+pub(crate) const MIN_STACK_BYTES: usize = 32 * 1024;
+
+/// Default per-task stack: rank bodies recurse shallowly (CG, collectives)
+/// but run full simmpi/redundancy frames, so 1 MiB leaves a wide margin.
+pub(crate) const DEFAULT_STACK_BYTES: usize = 1024 * 1024;
+
+/// One owned coroutine stack.
+#[derive(Debug)]
+pub(crate) struct Stack {
+    base: *mut u8,
+    layout: Layout,
+}
+
+// The stack is exclusively owned by its task; the pool moves tasks across
+// worker threads only while no frame on the stack is live on any other
+// thread (the task is frozen inside `redcr_ctx_switch`).
+unsafe impl Send for Stack {}
+unsafe impl Sync for Stack {}
+
+impl Stack {
+    pub(crate) fn new(bytes: usize) -> Stack {
+        let size = bytes.max(MIN_STACK_BYTES) & !(ALIGN - 1);
+        let layout = match Layout::from_size_align(size, ALIGN) {
+            Ok(l) => l,
+            Err(_) => std::process::abort(), // unreachable: size/align are sane
+        };
+        let base = unsafe { alloc(layout) };
+        if base.is_null() {
+            handle_alloc_error(layout);
+        }
+        unsafe { (base as *mut usize).write(CANARY) };
+        Stack { base, layout }
+    }
+
+    /// One-past-the-end address; stacks grow downward from here.
+    pub(crate) fn top(&self) -> *mut u8 {
+        unsafe { self.base.add(self.layout.size()) }
+    }
+
+    /// Aborts the process if the low-end canary was overwritten, i.e. the
+    /// task's frames grew past the end of its slab.
+    pub(crate) fn check_canary(&self) {
+        let live = unsafe { (self.base as *const usize).read() };
+        if live != CANARY {
+            eprintln!(
+                "redcr-sched: coroutine stack overflow detected ({} KiB slab); \
+                 raise REDCR_STACK_KB",
+                self.layout.size() / 1024
+            );
+            std::process::abort();
+        }
+    }
+}
+
+impl Drop for Stack {
+    fn drop(&mut self) {
+        unsafe { dealloc(self.base, self.layout) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_is_aligned_and_canaried() {
+        let s = Stack::new(64 * 1024);
+        assert_eq!(s.top() as usize % ALIGN, 0);
+        assert_eq!(s.top() as usize - s.base as usize, 64 * 1024);
+        s.check_canary();
+    }
+
+    #[test]
+    fn tiny_request_is_clamped_to_minimum() {
+        let s = Stack::new(1);
+        assert!(s.top() as usize - s.base as usize >= MIN_STACK_BYTES);
+    }
+}

@@ -233,7 +233,7 @@ pub trait Communicator {
                     TestOutcome::Pending(req) => slots[i] = Some(req),
                 }
             }
-            std::thread::yield_now();
+            redcr_sched::yield_now();
         }
         // Nothing completed promptly: block on the first request.
         // detlint::allow(R4, reason = "invariant: the polling rounds above never leave a slot empty without returning")

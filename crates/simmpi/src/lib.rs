@@ -102,3 +102,12 @@ pub use request::{Request, TestOutcome};
 pub use tag::{Tag, TagSelector};
 pub use time::CostModel;
 pub use world::{RunReport, World, WorldBuilder};
+
+/// Cooperative yield for rank code that busy-polls (e.g. a `test` loop on
+/// a nonblocking request). Inside a scheduler task this parks the current
+/// coroutine at the back of its run queue so other ranks can run; on a
+/// plain OS thread it degrades to [`std::thread::yield_now`]. Rank
+/// closures must call this — not `std::thread::yield_now` — in any spin
+/// loop: under the M:N executor a raw thread yield never releases the
+/// worker, which livelocks a single-worker pool.
+pub use redcr_sched::yield_now;

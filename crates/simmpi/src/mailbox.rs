@@ -16,18 +16,22 @@
 //!   arrival — bit-for-bit the same envelope the old flat-queue scan
 //!   returned.
 //!
-//! Blocking receives first *yield-spin* a bounded number of times: the
-//! receiver releases the lock, yields its timeslice to the sender it is
-//! waiting on, and re-checks. On an oversubscribed host (many simulated
-//! ranks per core) this resolves most receives without ever touching the
-//! condition variable — the expensive futex wait/wake pair and its two
-//! context switches disappear from the hot path. Only when the spin
-//! budget is exhausted does the receiver park on the condition variable
-//! with a registered *interest* (which source/tag it waits for). The
-//! push side notifies only when the deposited envelope can satisfy the
-//! parked interest, and skips notification entirely when no receiver is
-//! parked — no thundering herd. A generation counter records every
-//! notification actually sent, so tests can assert the
+//! Blocking receives have two regimes. When the receiver runs as an M:N
+//! scheduler task (the simulator's normal mode — see `redcr-sched`), a
+//! missing match registers an *interest* (which source/tag it waits for)
+//! together with the task's [`redcr_sched::Waker`] and immediately
+//! *parks the coroutine*: the worker thread moves on to runnable rank
+//! tasks, and the matching push marks the task runnable again on the
+//! scheduler's run-queue. No OS-level spin, park, or context switch
+//! happens at all. When the receiver is a plain OS thread (mailbox unit
+//! tests, the `REDCR_EXEC=threads` fallback backend), the pre-M:N
+//! behavior remains: a bounded *yield-spin* first, then a condvar park
+//! with the same registered interest.
+//!
+//! Either way the push side wakes only when the deposited envelope can
+//! satisfy the parked interest, and skips notification entirely when no
+//! receiver is parked — no thundering herd. A generation counter records
+//! every notification actually sent, so tests can assert the
 //! no-spurious-wakeup property.
 //!
 //! # Lock order
@@ -42,14 +46,17 @@
 //! This is verified, not aspirational: `detlint`'s R5 lock-order pass
 //! (run by `tests/detlint_clean.rs` and the CI `detlint` job) extracts
 //! every acquisition site in the workspace and builds the inter-crate
-//! lock graph. The current graph has four classes — `simmpi::inner`
-//! (this file), `checkpoint::images` (`MemoryStorage`),
-//! `metrics::inner` (`MetricsRegistry`), and `trace::events`
-//! ([`Recorder`](redcr_trace::Recorder)) — and **zero nested
-//! acquisitions**, so it is trivially acyclic. Code that needs to hold
-//! `inner` together with any other lock must pick an order, document it
-//! here, and will then show up as an edge in detlint's graph where a
-//! cycle fails the build.
+//! lock graph. The graph's classes — `simmpi::inner` (this file),
+//! `checkpoint::images` (`MemoryStorage`), `metrics::inner`
+//! (`MetricsRegistry`), `trace::events`
+//! ([`Recorder`](redcr_trace::Recorder)), and the `redcr-sched`
+//! run-queue/injector/idle locks — carry **zero nested acquisitions**,
+//! so it is trivially acyclic. In particular the scheduler wake a push
+//! triggers happens strictly *after* `inner` is dropped (the waker is
+//! cloned under the lock, invoked outside it), so `inner` never nests
+//! with a run-queue lock. Code that needs to hold `inner` together with
+//! any other lock must pick an order, document it here, and will then
+//! show up as an edge in detlint's graph where a cycle fails the build.
 //!
 //! # Iteration order
 //!
@@ -76,11 +83,14 @@ use crate::tag::{Namespace, TagSelector, WireTag};
 /// `VecDeque` every time).
 const POOL_CAP: usize = 64;
 
-/// How many times a blocking receive yields its timeslice and re-checks
-/// before parking on the condition variable. Each yield hands the CPU to
-/// the ranks this receiver is waiting on, so on an oversubscribed host
-/// the matching send usually lands within a few yields; parking stays as
-/// the bounded fallback, so there is no unbounded busy-wait.
+/// How many times a blocking receive on a *plain OS thread* yields its
+/// timeslice and re-checks before parking on the condition variable. Each
+/// yield hands the CPU to the ranks this receiver is waiting on, so on an
+/// oversubscribed host the matching send usually lands within a few
+/// yields; parking stays as the bounded fallback, so there is no
+/// unbounded busy-wait. Scheduler tasks skip the spin phase entirely —
+/// yielding the coroutine back to the worker *is* the way to let the
+/// sender run.
 const SPIN_YIELDS: u32 = 2;
 
 /// Cheap multiply-rotate hasher for the fixed-width `(Rank, WireTag)`
@@ -203,6 +213,16 @@ impl Interest {
     }
 }
 
+/// The registered state of a blocked receiver: what it waits for, plus
+/// how to wake it. A scheduler task carries its waker (the push side
+/// marks the task runnable); a plain OS thread leaves `waker` empty and
+/// is notified through the mailbox condvar instead.
+#[derive(Debug)]
+struct Waiter {
+    interest: Interest,
+    waker: Option<redcr_sched::Waker>,
+}
+
 /// Probe metadata: everything a probe reports, without cloning payload
 /// bytes out of the mailbox.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -257,9 +277,9 @@ struct Inner {
     len: usize,
     /// Drained queues kept for reuse (capped at [`POOL_CAP`]).
     pool: Vec<VecDeque<(u64, Envelope)>>,
-    /// Interest of the (single) parked receiver, if any. A mailbox is
-    /// only ever received from by its own rank's thread.
-    waiter: Option<Interest>,
+    /// The (single) parked receiver, if any. A mailbox is only ever
+    /// received from by its own rank's task.
+    waiter: Option<Waiter>,
     /// Generation counter: notifications actually sent. Pushes that can't
     /// satisfy the parked interest (or find nobody parked) don't bump it.
     wakeups: u64,
@@ -366,26 +386,39 @@ impl Mailbox {
         let (src, wire) = (env.src, env.wire_tag);
         inner.push_env(env);
         let depth = inner.len;
-        let notified = inner.waiter.is_some_and(|w| w.wants(src, wire));
+        let notified = inner.waiter.as_ref().is_some_and(|w| w.interest.wants(src, wire));
+        let mut task = None;
         if notified {
             inner.wakeups += 1;
+            task = inner.waiter.as_ref().and_then(|w| w.waker.clone());
         }
+        // Preserve the leaf-lock property: the scheduler wake (and the
+        // condvar notify) happen strictly after `inner` is released.
         drop(inner);
         if notified {
-            self.cond.notify_one();
+            match &task {
+                Some(w) => w.wake(),
+                None => self.cond.notify_one(),
+            }
         }
         if let Some(p) = prof {
             p.count(CounterKey::Sends);
             if notified {
                 p.count(CounterKey::Notifies);
+                if task.is_some() {
+                    p.count(CounterKey::TaskWakes);
+                }
             }
             p.sample(TrackKey::QueueDepth, depth as f64);
         }
     }
 
-    /// The shared blocking wait loop: spin-yield while the match is
-    /// missing (releasing the lock so senders can deposit), then register
-    /// interest and park. `grab` extracts the result once a match exists.
+    /// The shared blocking wait loop. On a scheduler task a missing match
+    /// registers interest + waker and parks the coroutine (the worker
+    /// runs other ranks; the matching push requeues us). On a plain OS
+    /// thread it spin-yields a bounded number of times, then registers
+    /// interest and parks on the condvar. `grab` extracts the result once
+    /// a match exists.
     fn wait_match<T>(
         &self,
         spec: &MatchSpec<'_>,
@@ -395,6 +428,7 @@ impl Mailbox {
         mut grab: impl FnMut(&mut Inner) -> Option<T>,
     ) -> Outcome<T> {
         let _wait = prof.map(|p| p.span(SpanKey::MailboxRecvWait));
+        let task = redcr_sched::current_waker();
         let mut spins = 0u32;
         let mut parked = false;
         let mut inner = self.inner.lock();
@@ -418,7 +452,26 @@ impl Mailbox {
                 inner.waiter = None;
                 return Outcome::SourceDead(peer);
             }
-            if spins < SPIN_YIELDS {
+            if let Some(w) = &task {
+                // Scheduler task: hand the worker to whoever should be
+                // sending. The waker registration and the RUNNING →
+                // NOTIFIED state machine in redcr-sched close the race
+                // between dropping `inner` and the coroutine freezing.
+                inner.waiter =
+                    Some(Waiter { interest: Interest::from_spec(spec), waker: Some(w.clone()) });
+                parked = true;
+                drop(inner);
+                if let Some(p) = prof {
+                    p.count(CounterKey::Parks);
+                    p.sample(TrackKey::Parks, p.counter(CounterKey::Parks) as f64);
+                    let _park = p.span(SpanKey::MailboxPark);
+                    redcr_sched::park_current();
+                    p.count(CounterKey::Wakes);
+                } else {
+                    redcr_sched::park_current();
+                }
+                inner = self.inner.lock();
+            } else if spins < SPIN_YIELDS {
                 // Donate the timeslice to whoever should be sending; no
                 // interest is registered, so the matching push stays
                 // notification-free (the common fast path).
@@ -427,7 +480,7 @@ impl Mailbox {
                 std::thread::yield_now();
                 inner = self.inner.lock();
             } else {
-                inner.waiter = Some(Interest::from_spec(spec));
+                inner.waiter = Some(Waiter { interest: Interest::from_spec(spec), waker: None });
                 parked = true;
                 if let Some(p) = prof {
                     p.count(CounterKey::Parks);
@@ -517,10 +570,15 @@ impl Mailbox {
     /// Wakes the parked receiver unconditionally (world abort).
     pub fn wake_all(&self) {
         let mut inner = self.inner.lock();
-        if inner.waiter.is_some() {
+        let waiting = inner.waiter.is_some();
+        let task = inner.waiter.as_ref().and_then(|w| w.waker.clone());
+        if waiting {
             inner.wakeups += 1;
         }
         drop(inner);
+        if let Some(w) = task {
+            w.wake();
+        }
         self.cond.notify_all();
     }
 
@@ -529,10 +587,14 @@ impl Mailbox {
     /// resolve to `SourceDead` and are left parked.
     pub fn wake_for_death(&self, rank: Rank) {
         let mut inner = self.inner.lock();
-        if inner.waiter.is_some_and(|w| w.wants_death(rank)) {
+        if inner.waiter.as_ref().is_some_and(|w| w.interest.wants_death(rank)) {
             inner.wakeups += 1;
+            let task = inner.waiter.as_ref().and_then(|w| w.waker.clone());
             drop(inner);
-            self.cond.notify_one();
+            match task {
+                Some(w) => w.wake(),
+                None => self.cond.notify_one(),
+            }
         }
     }
 

@@ -1,4 +1,13 @@
-//! The world: shared runtime state, the thread runner, and run reports.
+//! The world: shared runtime state, the rank-task runner, and run reports.
+//!
+//! Rank bodies execute as lightweight tasks on the `redcr-sched` M:N
+//! work-stealing pool (stackful coroutines multiplexed onto a few worker
+//! threads), not as one OS thread per rank. A rank that blocks in a
+//! mailbox receive parks its *coroutine*; the matching send requeues it.
+//! Worker count comes from [`WorldBuilder::workers`], the `REDCR_WORKERS`
+//! environment variable, or `available_parallelism()`, in that order, and
+//! never affects simulation results — the workspace determinism gates
+//! prove bit-identical reports at 1, 2, and 8 workers.
 
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -36,6 +45,7 @@ impl World {
             trace: None,
             metrics: None,
             profiler: None,
+            workers: None,
         }
     }
 }
@@ -51,6 +61,7 @@ pub struct WorldBuilder {
     trace: Option<Arc<Collector>>,
     metrics: Option<Arc<MetricsRegistry>>,
     profiler: Option<Arc<Profiler>>,
+    workers: Option<usize>,
 }
 
 impl WorldBuilder {
@@ -139,14 +150,25 @@ impl WorldBuilder {
         self.n
     }
 
-    /// Spawns one thread per rank, runs `f` on each, and joins them.
+    /// Sets the number of scheduler worker threads driving the rank
+    /// tasks. Unset, `REDCR_WORKERS` and then `available_parallelism()`
+    /// decide. Worker count never changes simulation results, only how
+    /// the tasks are multiplexed onto the host.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Runs `f` once per rank as tasks on the M:N scheduler pool and
+    /// collects every rank's outcome.
     ///
     /// `f` receives the rank's [`Comm`] handle. The returned report contains
     /// each rank's result and timing plus world-wide statistics.
     ///
     /// # Panics
     ///
-    /// Propagates a panic from any rank closure.
+    /// Propagates a panic from any rank closure (the lowest-ranked one if
+    /// several panicked).
     pub fn run<T, F>(self, f: F) -> Result<RunReport<T>>
     where
         T: Send,
@@ -169,85 +191,92 @@ impl WorldBuilder {
         let profiler = profiler.as_ref();
         let f = &f;
         type Slot<T> = (Result<T>, RankTiming, Option<Vec<redcr_trace::Event>>);
-        let mut slots: Vec<Option<(Result<T>, RankTiming)>> = Vec::new();
-        slots.resize_with(self.n, || None);
 
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(self.n);
-            for rank in 0..self.n {
-                let shared = Arc::clone(&shared);
-                handles.push(scope.spawn(move || {
-                    let recorder = trace.map(|_| Rc::new(Recorder::new(rank as u32)));
-                    let shard = metrics.map(|_| Rc::new(RankMetrics::new(rank as u32)));
-                    let prof: Option<Rc<RankProf>> = profiler.map(|p| Rc::new(p.shard()));
-                    let comm = Comm::new(
-                        shared,
-                        rank as u32,
-                        start_time,
-                        recorder.clone(),
-                        shard.clone(),
-                        prof.clone(),
-                    );
-                    let result = f(&comm);
-                    match &result {
-                        // An injected per-rank death is survivable by
-                        // design: peers detect it through the dead flag
-                        // (set when the rank crossed its death time), so
-                        // the world keeps running.
-                        Err(crate::MpiError::Dead { .. }) => {}
-                        // Any other failing rank (abort or app error) must
-                        // not leave peers blocked in receives forever.
-                        Err(_) => comm.shared().trigger_abort(),
-                        Ok(_) => {}
-                    }
-                    let timing = RankTiming {
-                        finish: comm.clock().now(),
-                        busy: comm.clock().busy_time(),
-                        comm: comm.clock().comm_time(),
-                    };
-                    // Drain this rank's events but do NOT absorb them here:
-                    // teardown order is wall-clock scheduling dependent, so
-                    // absorbing at join time (below, in rank order) is what
-                    // keeps the collected trace deterministic run-to-run.
-                    let events = if let Some(rec) = recorder.filter(|_| trace.is_some()) {
-                        rec.record(
-                            timing.finish,
-                            EventKind::RankFinish { busy: timing.busy, comm: timing.comm },
-                        );
-                        Some(rec.drain())
-                    } else {
-                        None
-                    };
-                    if let (Some(registry), Some(shard)) = (metrics, shard) {
-                        shard.set_gauge(GaugeKey::VirtualTime, timing.finish, timing.finish);
-                        registry.absorb(shard.drain());
-                    }
-                    if let (Some(p), Some(shard)) = (profiler, prof) {
-                        p.absorb(ProfScope::Rank(rank as u32), shard.drain());
-                    }
-                    (result, timing, events) as Slot<T>
-                }));
-            }
-            for (rank, h) in handles.into_iter().enumerate() {
-                match h.join() {
-                    Ok((result, timing, events)) => {
-                        if let (Some(collector), Some(events)) = (trace, events) {
-                            collector.absorb(events);
+        let pool = redcr_sched::PoolConfig::resolve(self.workers, self.n);
+        let shared_for_tasks = &shared;
+        let batch = redcr_sched::run_batch(&pool, self.n, profiler.map(|p| p.as_ref()), {
+            move |rank| -> Slot<T> {
+                let shared = Arc::clone(shared_for_tasks);
+                let recorder = trace.map(|_| Rc::new(Recorder::new(rank as u32)));
+                let shard = metrics.map(|_| Rc::new(RankMetrics::new(rank as u32)));
+                let prof: Option<Rc<RankProf>> = profiler.map(|p| Rc::new(p.shard()));
+                let comm = Comm::new(
+                    shared,
+                    rank as u32,
+                    start_time,
+                    recorder.clone(),
+                    shard.clone(),
+                    prof.clone(),
+                );
+                let result =
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm))) {
+                        Ok(r) => r,
+                        Err(payload) => {
+                            // A panicking rank must not leave peers parked
+                            // forever: under the M:N pool there is no join
+                            // loop to bail out of — the batch only ends when
+                            // every task completes, so unblock them first,
+                            // then let the pool capture the payload.
+                            comm.shared().trigger_abort();
+                            std::panic::resume_unwind(payload);
                         }
-                        slots[rank] = Some((result, timing));
-                    }
-                    Err(payload) => std::panic::resume_unwind(payload),
+                    };
+                match &result {
+                    // An injected per-rank death is survivable by
+                    // design: peers detect it through the dead flag
+                    // (set when the rank crossed its death time), so
+                    // the world keeps running.
+                    Err(crate::MpiError::Dead { .. }) => {}
+                    // Any other failing rank (abort or app error) must
+                    // not leave peers blocked in receives forever.
+                    Err(_) => comm.shared().trigger_abort(),
+                    Ok(_) => {}
                 }
+                let timing = RankTiming {
+                    finish: comm.clock().now(),
+                    busy: comm.clock().busy_time(),
+                    comm: comm.clock().comm_time(),
+                };
+                // Drain this rank's events but do NOT absorb them here:
+                // task teardown order is scheduling dependent, so
+                // absorbing after the batch (below, in rank order) is what
+                // keeps the collected trace deterministic run-to-run.
+                let events = if let Some(rec) = recorder.filter(|_| trace.is_some()) {
+                    rec.record(
+                        timing.finish,
+                        EventKind::RankFinish { busy: timing.busy, comm: timing.comm },
+                    );
+                    Some(rec.drain())
+                } else {
+                    None
+                };
+                if let (Some(registry), Some(shard)) = (metrics, shard) {
+                    shard.set_gauge(GaugeKey::VirtualTime, timing.finish, timing.finish);
+                    registry.absorb(shard.drain());
+                }
+                if let (Some(p), Some(shard)) = (profiler, prof) {
+                    p.absorb(ProfScope::Rank(rank as u32), shard.drain());
+                }
+                (result, timing, events)
             }
         });
 
         let mut results = Vec::with_capacity(self.n);
         let mut timings = Vec::with_capacity(self.n);
-        for slot in slots {
-            // detlint::allow(R4, reason = "invariant: the scoped-thread join above guarantees every rank filled its slot; runs on the driver thread after all rank threads exited, so no peer can deadlock")
-            let (r, t) = slot.expect("every rank joined");
-            results.push(r);
-            timings.push(t);
+        for outcome in batch.results {
+            match outcome {
+                Ok((r, t, events)) => {
+                    if let (Some(collector), Some(events)) = (trace, events) {
+                        collector.absorb(events);
+                    }
+                    results.push(r);
+                    timings.push(t);
+                }
+                // Propagate the lowest-ranked panic, after absorbing the
+                // events of every earlier rank (mirrors the old join-order
+                // semantics).
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
         let max_virtual_time = timings.iter().map(|t| t.finish).fold(f64::NEG_INFINITY, f64::max);
         let dead_ranks =

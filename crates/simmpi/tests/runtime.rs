@@ -559,7 +559,7 @@ fn test_reports_pending_then_completed() {
                         TestOutcome::Completed(None) => panic!("recv yields payload"),
                         TestOutcome::Pending(r) => {
                             req = r;
-                            std::thread::yield_now();
+                            redcr_mpi::yield_now();
                         }
                     }
                 };

@@ -93,7 +93,9 @@ fn prof_is_wallclock_but_everything_else_stays_strict() {
         cfg.domain_for(std::path::Path::new("crates/bench/src/runtime.rs")),
         Domain::Wallclock
     );
-    for strict in ["simmpi", "redundancy", "checkpoint", "core", "trace", "metrics", "sweep"] {
+    for strict in
+        ["simmpi", "sched", "redundancy", "checkpoint", "core", "trace", "metrics", "sweep"]
+    {
         let rel = format!("crates/{strict}/src/lib.rs");
         let domain = cfg.domain_for(std::path::Path::new(&rel));
         assert_ne!(domain, Domain::Wallclock, "{strict} must not be wallclock");
@@ -104,6 +106,67 @@ fn prof_is_wallclock_but_everything_else_stays_strict() {
             domain.name()
         );
     }
+}
+
+#[test]
+fn sched_is_hot_and_every_rule_fires_inside_it() {
+    // The M:N scheduler crate joins simmpi/redundancy in the `hot`
+    // domain: it runs on the rank hot path (every mailbox park crosses
+    // it), so the full rule set must demonstrably fire on its paths —
+    // a domain mapping that silently fell back to `virtual` would let
+    // hot-only rules (R4) rot.
+    let cfg = Config::load(&repo_root().join("detlint.toml")).expect("detlint.toml parses");
+    let path = "crates/sched/src/seeded.rs";
+    let domain = cfg.domain_for(std::path::Path::new(path));
+    assert_eq!(domain, Domain::Hot, "crates/sched must map to the hot domain");
+
+    // R1: wall-clock reads.
+    let r = lint_source(
+        path,
+        domain,
+        "fn t() -> u128 { std::time::Instant::now().elapsed().as_millis() }\n",
+    );
+    assert!(r.unsuppressed().any(|v| v.rule == "R1"), "R1 silent in sched: {r:?}");
+
+    // R2: randomized-iteration-order containers.
+    let r = lint_source(
+        path,
+        domain,
+        "use std::collections::HashMap;\nfn t(m: &HashMap<u32, u32>) -> u32 { m.values().sum() }\n",
+    );
+    assert!(r.unsuppressed().any(|v| v.rule == "R2"), "R2 silent in sched: {r:?}");
+
+    // R3: unseeded entropy (a randomized steal order would desync runs).
+    let r =
+        lint_source(path, domain, "fn victim(w: usize) -> usize { rand::random::<usize>() % w }\n");
+    assert!(r.unsuppressed().any(|v| v.rule == "R3"), "R3 silent in sched: {r:?}");
+
+    // R4 (hot-only): panics and unwraps on the rank path.
+    let r = lint_source(path, domain, "fn pop(q: &mut Vec<usize>) -> usize { q.pop().unwrap() }\n");
+    assert!(r.unsuppressed().any(|v| v.rule == "R4"), "R4 silent in sched: {r:?}");
+
+    // R5: a lock-order cycle between two scheduler-shaped lock classes.
+    let r = lint_source(
+        path,
+        domain,
+        "fn push(&self) { let q = self.queue.lock(); let i = self.injector.lock(); }\n\
+         fn drain(&self) { let i = self.injector.lock(); let q = self.queue.lock(); }\n",
+    );
+    assert!(r.unsuppressed().any(|v| v.rule == "R5"), "R5 silent in sched: {r:?}");
+    assert!(
+        r.lock_classes.iter().any(|c| c.contains("queue")),
+        "lock classes should name the fixture's queue: {:?}",
+        r.lock_classes
+    );
+
+    // R6: Relaxed atomics (the wake protocol's ordering is load-bearing).
+    let r = lint_source(
+        path,
+        domain,
+        "use std::sync::atomic::{AtomicU8, Ordering};\n\
+         fn peek(s: &AtomicU8) -> u8 { s.load(Ordering::Relaxed) }\n",
+    );
+    assert!(r.unsuppressed().any(|v| v.rule == "R6"), "R6 silent in sched: {r:?}");
 }
 
 #[test]

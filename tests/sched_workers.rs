@@ -1,0 +1,120 @@
+//! Worker-count independence gate for the M:N rank scheduler.
+//!
+//! The scheduler (DESIGN.md §4j) multiplexes rank coroutines onto a
+//! work-stealing pool; the pool's width is a host-side throughput knob
+//! and **must not** be able to change a single virtual quantity. This
+//! gate reruns the determinism-gate scenario with the worker count
+//! pinned to 1 (pure event loop, no stealing possible), 2 (the smallest
+//! pool where cross-worker wakes and steals exist), and 8 (one worker
+//! per virtual rank — maximally oversubscribed relative to this host),
+//! and asserts the same pre-swap pinned constants bit-for-bit — report
+//! totals AND the full trace FNV.
+//!
+//! A second test is a seeded steal storm: an oversubscribed CG run at a
+//! worker count far above the host's cores, where tasks yield and park
+//! constantly, compared bit-for-bit against the single-worker run of
+//! the same scenario. No pinned constants there — the property is
+//! pool-width invariance itself, on a scenario shaped to maximize
+//! scheduler interleaving churn.
+
+use redcr_apps::cg::{CgConfig, CgState};
+use redcr_core::apps::CgApp;
+use redcr_core::{ExecutorConfig, ResilientExecutor};
+
+/// FNV-1a over the JSONL bytes — matches `tests/determinism_gate.rs`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The determinism-gate scenario with the scheduler pinned to `workers`.
+fn gate_run_at(workers: usize) -> redcr_core::ExecutionReport<CgState> {
+    let cfg = ExecutorConfig::new(8, 2.0)
+        .node_mtbf(150.0)
+        .checkpoint_interval(10.0)
+        .checkpoint_cost(0.5)
+        .restart_cost(2.0)
+        .seed(7)
+        .tracing(true)
+        .workers(workers);
+    let app = CgApp::new(CgConfig::small(256), 40).with_step_pad(1.0);
+    ResilientExecutor::new(cfg).run(&app).expect("gate run")
+}
+
+// Identical constants to tests/determinism_gate.rs — captured on the
+// pre-swap thread-per-rank executor, before the scheduler existed.
+const PRE_SWAP_TOTAL_BITS: u64 = 0x4044c01fa3bce69a;
+const PRE_SWAP_DEGRADED_BITS: u64 = 0x405276e3bd7a12a0;
+const PRE_SWAP_TRACE_LINES: usize = 20263;
+const PRE_SWAP_TRACE_FNV: u64 = 0xade83d686de079ae;
+
+fn assert_pinned(report: &redcr_core::ExecutionReport<CgState>, workers: usize) {
+    assert_eq!(report.total_virtual_time.to_bits(), PRE_SWAP_TOTAL_BITS, "workers={workers}");
+    assert_eq!(
+        report.degraded_sphere_seconds.to_bits(),
+        PRE_SWAP_DEGRADED_BITS,
+        "workers={workers}"
+    );
+    assert_eq!(report.attempts, 1, "workers={workers}");
+    assert_eq!(report.failures, 0, "workers={workers}");
+    assert_eq!(report.masked_failures, 3, "workers={workers}");
+    assert_eq!(report.checkpoints_committed, 3, "workers={workers}");
+    assert_eq!(report.physical_messages, 7911, "workers={workers}");
+    assert_eq!(report.physical_bytes, 2_353_184, "workers={workers}");
+    let trace = report.trace.as_ref().expect("tracing was on");
+    let jsonl = trace.to_jsonl();
+    assert_eq!(jsonl.lines().count(), PRE_SWAP_TRACE_LINES, "workers={workers}");
+    assert_eq!(
+        fnv1a(jsonl.as_bytes()),
+        PRE_SWAP_TRACE_FNV,
+        "workers={workers}: pool width leaked into the trace bytes"
+    );
+}
+
+#[test]
+fn gate_is_bit_identical_at_one_two_and_eight_workers() {
+    for workers in [1usize, 2, 8] {
+        let report = gate_run_at(workers);
+        assert_pinned(&report, workers);
+    }
+}
+
+#[test]
+fn steal_storm_matches_single_worker_bit_for_bit() {
+    // 16 virtual ranks at r = 2 → 32 rank tasks on a 16-worker pool:
+    // every worker juggles parked tasks, steals fire on every idle scan,
+    // and cross-worker wakes dominate. Seeded failures keep the failover
+    // and re-vote paths in play while the pool is churning.
+    let run = |workers: usize| {
+        let cfg = ExecutorConfig::new(16, 2.0)
+            .node_mtbf(200.0)
+            .checkpoint_interval(15.0)
+            .checkpoint_cost(0.5)
+            .restart_cost(2.0)
+            .seed(2012)
+            .tracing(true)
+            .workers(workers);
+        let app = CgApp::new(CgConfig::small(128), 24).with_step_pad(1.0);
+        ResilientExecutor::new(cfg).run(&app).expect("steal-storm run")
+    };
+    let narrow = run(1);
+    let wide = run(16);
+    assert_eq!(narrow.total_virtual_time.to_bits(), wide.total_virtual_time.to_bits());
+    assert_eq!(narrow.degraded_sphere_seconds.to_bits(), wide.degraded_sphere_seconds.to_bits());
+    assert_eq!(narrow.attempts, wide.attempts);
+    assert_eq!(narrow.masked_failures, wide.masked_failures);
+    assert_eq!(narrow.checkpoints_committed, wide.checkpoints_committed);
+    assert_eq!(narrow.physical_messages, wide.physical_messages);
+    assert_eq!(narrow.physical_bytes, wide.physical_bytes);
+    let (nt, wt) = (narrow.trace.expect("traced"), wide.trace.expect("traced"));
+    let (nj, wj) = (nt.to_jsonl(), wt.to_jsonl());
+    assert_eq!(
+        fnv1a(nj.as_bytes()),
+        fnv1a(wj.as_bytes()),
+        "a 16-worker steal storm produced different trace bytes than one worker"
+    );
+}

@@ -244,16 +244,19 @@ impl StableStorage for DiskStorage {
         let final_path = self.dir.join(key.file_name());
         let tmp_path = self.dir.join(format!("{}.{writer}.tmp", key.file_name()));
         {
+            // detlint::allow(R8, reason = "deliberate blocking checkpoint I/O: disk persistence is the point of DiskStorage, and its wall-clock cost is charged to the model as checkpoint_cost, not hidden from it")
             let mut f = std::fs::File::create(&tmp_path)?;
             f.write_all(data)?;
             f.sync_all()?;
         }
+        // detlint::allow(R8, reason = "deliberate blocking checkpoint I/O: atomic rename completes the write-then-publish protocol; cost is charged as checkpoint_cost")
         std::fs::rename(&tmp_path, &final_path)?;
         Ok(())
     }
 
     fn load(&self, key: SnapshotKey) -> Result<Vec<u8>> {
         let path = self.dir.join(key.file_name());
+        // detlint::allow(R8, reason = "deliberate blocking restart I/O: reading a snapshot back happens during recovery, whose wall-clock cost is the restart_cost the model accounts for")
         let mut f = std::fs::File::open(&path)
             .map_err(|_| CkptError::NotFound { what: key.to_string() })?;
         let mut buf = Vec::new();
@@ -263,6 +266,7 @@ impl StableStorage for DiskStorage {
 
     fn list(&self) -> Result<Vec<SnapshotKey>> {
         let mut keys = Vec::new();
+        // detlint::allow(R8, reason = "deliberate blocking recovery I/O: enumerating persisted snapshots only happens at restart, outside steady-state virtual time")
         for entry in std::fs::read_dir(&self.dir)? {
             let entry = entry?;
             if let Some(name) = entry.file_name().to_str() {

@@ -2,9 +2,9 @@
 //! exclusions, parsed with a minimal hand-rolled TOML-subset reader (the
 //! linter is dependency-free by design).
 //!
-//! Supported syntax: `[section]` headers, `key = "string"`, and
-//! `key = ["a", "b"]` — with `#` comments. That is the whole subset the
-//! config needs; anything else is a parse error.
+//! Supported syntax: `[section]` headers, `key = "string"`,
+//! `key = ["a", "b"]`, and `key = <integer>` — with `#` comments. That is
+//! the whole subset the config needs; anything else is a parse error.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -60,6 +60,9 @@ pub struct Config {
     pub crate_domains: BTreeMap<String, Domain>,
     /// Directory names excluded from the scan entirely.
     pub exclude: Vec<String>,
+    /// R9 budget in KiB: the per-coroutine-root static stack bound the
+    /// workspace certifies. Tied to the runtime default `REDCR_STACK_KB`.
+    pub stack_budget_kb: u64,
 }
 
 impl Default for Config {
@@ -67,6 +70,7 @@ impl Default for Config {
         Config {
             crate_domains: BTreeMap::new(),
             exclude: vec!["vendor".into(), "target".into(), ".git".into()],
+            stack_budget_kb: 128,
         }
     }
 }
@@ -109,6 +113,11 @@ impl Config {
                 "scan" if key == "exclude" => {
                     cfg.exclude = parse_string_array(value).ok_or_else(|| {
                         format!("line {}: expected an array of strings", lineno + 1)
+                    })?;
+                }
+                "stack_budget" if key == "budget_kb" => {
+                    cfg.stack_budget_kb = value.parse::<u64>().map_err(|_| {
+                        format!("line {}: expected an integer KiB budget", lineno + 1)
                     })?;
                 }
                 other => {
@@ -190,6 +199,9 @@ root = "virtual"
 
 [scan]
 exclude = ["vendor", "target"]
+
+[stack_budget]
+budget_kb = 96
 "#;
 
     #[test]
@@ -198,6 +210,13 @@ exclude = ["vendor", "target"]
         assert_eq!(cfg.crate_domains["simmpi"], Domain::Hot);
         assert_eq!(cfg.crate_domains["bench"], Domain::Wallclock);
         assert_eq!(cfg.exclude, vec!["vendor", "target"]);
+        assert_eq!(cfg.stack_budget_kb, 96);
+    }
+
+    #[test]
+    fn stack_budget_defaults_and_rejects_non_integer() {
+        assert_eq!(Config::parse("").unwrap().stack_budget_kb, 128);
+        assert!(Config::parse("[stack_budget]\nbudget_kb = \"lots\"\n").is_err());
     }
 
     #[test]

@@ -17,9 +17,11 @@ pub enum Tok {
     Ident(String),
     /// A single punctuation character (`::` arrives as two `:`).
     Punct(char),
-    /// Any literal (string, raw string, char, byte, number). Contents are
-    /// deliberately discarded: literals can never trigger a rule.
-    Lit,
+    /// Any literal (string, raw string, char, byte, number). The source
+    /// text is kept for *numeric* literals only (the stack-budget pass R9
+    /// reads array lengths); string/char/byte contents are discarded as
+    /// an empty payload — literal text can never trigger a rule.
+    Lit(String),
 }
 
 /// A token with the 1-based source line it starts on.
@@ -112,12 +114,12 @@ pub fn lex(src: &str) -> Lexed {
             '"' => {
                 let lit_line = line;
                 i = lex_string(&chars, i, &mut line);
-                out.tokens.push(Token { tok: Tok::Lit, line: lit_line });
+                out.tokens.push(Token { tok: Tok::Lit(String::new()), line: lit_line });
             }
             'r' | 'b' => {
                 let lit_line = line;
                 if let Some(ni) = try_lex_prefixed_literal(&chars, i, &mut line) {
-                    out.tokens.push(Token { tok: Tok::Lit, line: lit_line });
+                    out.tokens.push(Token { tok: Tok::Lit(String::new()), line: lit_line });
                     i = ni;
                 } else {
                     i = lex_ident(&chars, i, line, &mut out.tokens);
@@ -134,7 +136,7 @@ pub fn lex(src: &str) -> Lexed {
                     }
                     if j < n && chars[j] == '\'' && j == i + 2 {
                         // Exactly one ident char then a quote: char literal.
-                        out.tokens.push(Token { tok: Tok::Lit, line });
+                        out.tokens.push(Token { tok: Tok::Lit(String::new()), line });
                         i = j + 1;
                     } else {
                         // Lifetime: consume, emit nothing.
@@ -162,7 +164,7 @@ pub fn lex(src: &str) -> Lexed {
                     if j < n && chars[j] == '\'' {
                         j += 1;
                     }
-                    out.tokens.push(Token { tok: Tok::Lit, line: lit_line });
+                    out.tokens.push(Token { tok: Tok::Lit(String::new()), line: lit_line });
                     i = j;
                 }
             }
@@ -175,7 +177,8 @@ pub fn lex(src: &str) -> Lexed {
                 {
                     j += 1;
                 }
-                out.tokens.push(Token { tok: Tok::Lit, line: lit_line });
+                let text: String = chars[i..j].iter().collect();
+                out.tokens.push(Token { tok: Tok::Lit(text), line: lit_line });
                 i = j;
             }
             c if is_ident_start(c) => {

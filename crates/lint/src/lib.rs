@@ -18,20 +18,34 @@
 //! | R4 | hot only      | `.unwrap()` / `.expect()` / `panic!`-family in rank-thread paths |
 //! | R5 | hot + virtual | lock-order cycles in the inter-crate lock graph |
 //! | R6 | hot + virtual | `Ordering::Relaxed` atomics (advisory) |
+//! | R7 | hot + virtual | park/yield transitively reachable while a lock guard is live |
+//! | R8 | hot + virtual | OS-blocking calls reachable from a coroutine root |
+//! | R9 | hot + virtual | per-coroutine-root stack bound over `[stack_budget]` / recursion |
+//! | R10| hot + virtual | `loop`/`while` in coroutine code with no yield/park/recv on any path |
+//!
+//! R1–R4 and R6 are per-file token scans. R5 and R7–R10 are
+//! interprocedural: hot + virtual files are parsed into a lightweight AST
+//! ([`parser`]), resolved into a whole-workspace call graph rooted at the
+//! coroutine entry points, and analyzed in [`callgraph`]. The graph and
+//! the per-root stack bounds are exported as a JSONL artifact.
 //!
 //! Domains are assigned per crate in `detlint.toml`. Suppress a finding
 //! with `// detlint::allow(<rule>, reason = "…")` on the same or the
 //! preceding line; the reason is mandatory — an allow without one
-//! suppresses nothing and is reported as malformed.
+//! suppresses nothing and is reported as malformed. Allows naming a rule
+//! id outside the registry ([`rules::RULES`]) fail the run outright.
 
+mod callgraph;
 mod config;
 mod lexer;
 mod lockorder;
+mod parser;
 mod report;
 mod rules;
 
 pub use config::{Config, Domain};
-pub use report::{BadSuppression, LockEdge, Report, Violation};
+pub use report::{BadSuppression, CallEdge, CallGraph, LockEdge, Report, RootBound, Violation};
+pub use rules::{RuleInfo, RULES};
 
 use std::path::{Path, PathBuf};
 
@@ -60,6 +74,13 @@ pub fn lint_workspace_with(root: &Path, cfg: &Config) -> Result<Report, String> 
 
     let mut report = Report::default();
     let mut lock_seqs = Vec::new();
+    let mut ws = parser::Workspace::default();
+    // (rel, suppressions, report_health): suppressions apply everywhere
+    // they lex, but their *health* (stale/malformed/unknown) is only
+    // reported where rules fire — in tooling/test files every
+    // allow-shaped comment (including the linter's own docs describing
+    // the syntax) would read as stale.
+    let mut file_sups: Vec<(String, Vec<lexer::Suppression>, bool)> = Vec::new();
     for rel in &files {
         let src = std::fs::read_to_string(root.join(rel))
             .map_err(|e| format!("{}: {e}", rel.display()))?;
@@ -67,18 +88,15 @@ pub fn lint_workspace_with(root: &Path, cfg: &Config) -> Result<Report, String> 
         let domain = cfg.domain_for(rel);
         let lexed = lexer::lex(&src);
         let skip = rules::test_skip_mask(&lexed);
-        let outcome = rules::check_file(&rel_str, domain, &lexed, &skip);
-        report.violations.extend(outcome.violations);
-        // Suppression health is only meaningful where rules fire; in
-        // tooling/test files every allow-shaped comment (including the
-        // linter's own docs describing the syntax) would read as stale.
-        if !matches!(domain, Domain::Tooling | Domain::Test) {
-            report.bad_suppressions.extend(outcome.bad_suppressions);
-        }
-        report.suppressions_used += outcome.suppressions_used;
+        report.violations.extend(rules::check_file(&rel_str, domain, &lexed, &skip));
         if matches!(domain, Domain::Hot | Domain::Virtual) {
             let crate_name = crate_of(rel);
             lock_seqs.extend(lockorder::extract(&rel_str, &crate_name, &lexed, &skip));
+            parser::parse_file(&mut ws, &rel_str, &crate_name, domain, &lexed, &skip);
+        }
+        if !lexed.suppressions.is_empty() {
+            let report_health = !matches!(domain, Domain::Tooling | Domain::Test);
+            file_sups.push((rel_str, lexed.suppressions, report_health));
         }
         report.files_scanned += 1;
     }
@@ -87,19 +105,36 @@ pub fn lint_workspace_with(root: &Path, cfg: &Config) -> Result<Report, String> 
     report.lock_classes = classes;
     report.lock_edges = edges;
     report.violations.extend(cycle_violations);
+
+    let analysis = callgraph::analyze(&ws, cfg.stack_budget_kb);
+    report.violations.extend(analysis.violations);
+    report.callgraph = analysis.artifact;
+
+    // Suppressions apply once, at the end, so interprocedural findings
+    // (R5, R7–R10) are covered exactly like per-file ones.
+    for (rel, sups, report_health) in &file_sups {
+        let out = rules::apply_suppressions(rel, sups, &mut report.violations);
+        if *report_health {
+            report.bad_suppressions.extend(out.bad_suppressions);
+        }
+        report.suppressions_used += out.suppressions_used;
+    }
+    report.violations.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+    });
     Ok(report)
 }
 
 /// Lints one in-memory source file under `domain` — the fixture-test and
-/// seeded-violation entry point. R5 runs over just this file.
+/// seeded-violation entry point. The interprocedural passes (R5, R7–R10)
+/// run over just this file with the default stack budget, so fixtures
+/// exercising them must be self-contained (stub their own `park_current`
+/// etc.).
 pub fn lint_source(rel_name: &str, domain: Domain, src: &str) -> Report {
     let lexed = lexer::lex(src);
     let skip = rules::test_skip_mask(&lexed);
-    let outcome = rules::check_file(rel_name, domain, &lexed, &skip);
     let mut report = Report {
-        violations: outcome.violations,
-        bad_suppressions: outcome.bad_suppressions,
-        suppressions_used: outcome.suppressions_used,
+        violations: rules::check_file(rel_name, domain, &lexed, &skip),
         files_scanned: 1,
         ..Report::default()
     };
@@ -109,7 +144,19 @@ pub fn lint_source(rel_name: &str, domain: Domain, src: &str) -> Report {
         report.lock_classes = classes;
         report.lock_edges = edges;
         report.violations.extend(cycles);
+
+        let mut ws = parser::Workspace::default();
+        parser::parse_file(&mut ws, rel_name, "fixture", domain, &lexed, &skip);
+        let analysis = callgraph::analyze(&ws, Config::default().stack_budget_kb);
+        report.violations.extend(analysis.violations);
+        report.callgraph = analysis.artifact;
     }
+    let out = rules::apply_suppressions(rel_name, &lexed.suppressions, &mut report.violations);
+    report.bad_suppressions = out.bad_suppressions;
+    report.suppressions_used = out.suppressions_used;
+    report.violations.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+    });
     report
 }
 

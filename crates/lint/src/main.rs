@@ -2,8 +2,13 @@
 //! writes the JSONL report, and exits nonzero on any unsuppressed finding.
 //!
 //! ```text
-//! detlint [--root <dir>] [--json <path>] [--quiet]
+//! detlint [--root <dir>] [--json <path>] [--callgraph <path>] [--quiet]
 //! ```
+//!
+//! `--callgraph` writes the interprocedural pass's call graph and
+//! per-coroutine-root stack bounds as JSONL; with `--json` but no
+//! `--callgraph`, it defaults to `detlint-callgraph.jsonl` next to the
+//! `--json` path.
 //!
 //! With no `--root`, the workspace root is found by walking up from the
 //! current directory to the first `detlint.toml` (falling back to the
@@ -35,14 +40,18 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut root = None;
     let mut json_path: Option<PathBuf> = None;
+    let mut callgraph_path: Option<PathBuf> = None;
     let mut quiet = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
             "--json" => json_path = args.next().map(PathBuf::from),
+            "--callgraph" => callgraph_path = args.next().map(PathBuf::from),
             "--quiet" => quiet = true,
             "--help" | "-h" => {
-                println!("usage: detlint [--root <dir>] [--json <path>] [--quiet]");
+                println!(
+                    "usage: detlint [--root <dir>] [--json <path>] [--callgraph <path>] [--quiet]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -64,6 +73,15 @@ fn main() -> ExitCode {
     };
     if let Some(path) = &json_path {
         if let Err(e) = std::fs::write(path, report.to_jsonl()) {
+            eprintln!("detlint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    let callgraph_path = callgraph_path.or_else(|| {
+        json_path.as_ref().map(|j| j.with_file_name("detlint-callgraph.jsonl"))
+    });
+    if let Some(path) = &callgraph_path {
+        if let Err(e) = std::fs::write(path, report.callgraph.to_jsonl()) {
             eprintln!("detlint: writing {}: {e}", path.display());
             return ExitCode::from(2);
         }

@@ -6,7 +6,7 @@ use std::fmt::Write as _;
 /// One finding.
 #[derive(Debug, Clone)]
 pub struct Violation {
-    /// Rule id (`R1`…`R6`).
+    /// Rule id (`R1`…`R10`).
     pub rule: &'static str,
     /// Workspace-relative file path (slash-separated).
     pub file: String,
@@ -23,8 +23,10 @@ pub struct Violation {
     pub suppressed: Option<String>,
 }
 
-/// A suppression comment that matched no finding (stale), or one missing
-/// its mandatory reason (malformed — suppresses nothing).
+/// A suppression comment that matched no finding (stale), one missing its
+/// mandatory reason (malformed — suppresses nothing), or one naming a rule
+/// id outside the registry (typo'd or retired — suppresses nothing and
+/// fails the run).
 #[derive(Debug, Clone)]
 pub struct BadSuppression {
     /// Workspace-relative file path.
@@ -35,6 +37,8 @@ pub struct BadSuppression {
     pub rule: String,
     /// True when the comment lacks a `reason = "…"`.
     pub missing_reason: bool,
+    /// True when the named rule id is not in the registry.
+    pub unknown_rule: bool,
 }
 
 /// One observed nested lock acquisition: `held` was locked when `acquired`
@@ -68,6 +72,102 @@ pub struct Report {
     pub lock_classes: Vec<String>,
     /// Nested-acquisition edges observed (the inter-crate lock graph).
     pub lock_edges: Vec<LockEdge>,
+    /// The interprocedural pass's call graph and per-root stack bounds,
+    /// emitted as a sibling JSONL artifact by the CLI.
+    pub callgraph: CallGraph,
+}
+
+/// One resolved caller → callee edge in the whole-workspace call graph.
+#[derive(Debug, Clone)]
+pub struct CallEdge {
+    /// Caller function (qualified `Type::method` where known).
+    pub caller: String,
+    /// Callee function.
+    pub callee: String,
+    /// File containing the call site.
+    pub file: String,
+    /// Line of the call site.
+    pub line: u32,
+}
+
+/// The R9 stack bound for one coroutine root.
+#[derive(Debug, Clone)]
+pub struct RootBound {
+    /// Root name (a closure label like `World::run::{closure@197}`).
+    pub root: String,
+    /// File defining the root.
+    pub file: String,
+    /// Line of the closure literal.
+    pub line: u32,
+    /// Estimated worst-case stack bytes along the deepest call chain
+    /// (meaningless when `recursive`).
+    pub bound_bytes: u64,
+    /// Frames on that deepest chain.
+    pub frames: u32,
+    /// True when the root can reach a recursion cycle: the static bound
+    /// does not exist and only the runtime canary guards the stack.
+    pub recursive: bool,
+    /// The deepest chain, root first.
+    pub path: Vec<String>,
+}
+
+/// Call-graph artifact: what the interprocedural pass saw. Rendered as
+/// its own JSONL file (`detlint-callgraph.jsonl`) so CI can archive the
+/// stack bounds next to the findings report.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// Functions (free, methods, and closure literals) parsed.
+    pub functions: usize,
+    /// Resolved workspace-internal call edges, deduplicated.
+    pub edges: Vec<CallEdge>,
+    /// One entry per coroutine root with its R9 stack bound.
+    pub roots: Vec<RootBound>,
+}
+
+impl CallGraph {
+    /// Worst root bound in bytes (0 when there are no roots); recursive
+    /// roots are excluded — they have no static bound.
+    pub fn max_bound_bytes(&self) -> u64 {
+        self.roots.iter().filter(|r| !r.recursive).map(|r| r.bound_bytes).max().unwrap_or(0)
+    }
+
+    /// JSONL rendering: one object per edge, one per root, then a summary.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.edges {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"call_edge\",\"caller\":\"{}\",\"callee\":\"{}\",\"file\":\"{}\",\"line\":{}}}",
+                esc(&e.caller),
+                esc(&e.callee),
+                esc(&e.file),
+                e.line,
+            );
+        }
+        for r in &self.roots {
+            let path: Vec<String> = r.path.iter().map(|p| format!("\"{}\"", esc(p))).collect();
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"root\",\"root\":\"{}\",\"file\":\"{}\",\"line\":{},\"bound_bytes\":{},\"frames\":{},\"recursive\":{},\"path\":[{}]}}",
+                esc(&r.root),
+                esc(&r.file),
+                r.line,
+                r.bound_bytes,
+                r.frames,
+                r.recursive,
+                path.join(","),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"summary\",\"functions\":{},\"edges\":{},\"roots\":{},\"max_bound_bytes\":{}}}",
+            self.functions,
+            self.edges.len(),
+            self.roots.len(),
+            self.max_bound_bytes(),
+        );
+        out
+    }
 }
 
 impl Report {
@@ -78,9 +178,11 @@ impl Report {
 
     /// Whether the run should exit 0. Malformed suppressions (no reason)
     /// leave their finding unsuppressed, so they fail through that path;
-    /// stale suppressions are reported but do not fail the run.
+    /// stale suppressions are reported but do not fail the run; an allow
+    /// naming an unknown rule id is a definite typo and fails directly.
     pub fn is_clean(&self) -> bool {
         self.unsuppressed().next().is_none()
+            && !self.bad_suppressions.iter().any(|b| b.unknown_rule)
     }
 
     /// Human-readable rendering.
@@ -95,7 +197,13 @@ impl Report {
             );
         }
         for b in &self.bad_suppressions {
-            if b.missing_reason {
+            if b.unknown_rule {
+                let _ = writeln!(
+                    out,
+                    "{}:{}: unknown rule `{}` in detlint::allow — not in the registry; suppresses nothing",
+                    b.file, b.line, b.rule
+                );
+            } else if b.missing_reason {
                 let _ = writeln!(
                     out,
                     "{}:{}: malformed detlint::allow({}) — missing `reason = \"…\"`; suppresses nothing",
@@ -137,6 +245,14 @@ impl Report {
                 e.held, e.acquired, e.file, e.line, e.func
             );
         }
+        let _ = writeln!(
+            out,
+            "call graph: {} functions, {} edges, {} coroutine roots (max stack bound {} bytes)",
+            self.callgraph.functions,
+            self.callgraph.edges.len(),
+            self.callgraph.roots.len(),
+            self.callgraph.max_bound_bytes(),
+        );
         let unsup = self.unsuppressed().count();
         let _ = writeln!(
             out,
@@ -182,15 +298,36 @@ impl Report {
                 esc(&e.func),
             );
         }
+        for b in &self.bad_suppressions {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"bad_suppression\",\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"missing_reason\":{},\"unknown_rule\":{}}}",
+                esc(&b.rule),
+                esc(&b.file),
+                b.line,
+                b.missing_reason,
+                b.unknown_rule,
+            );
+        }
+        // `rules` lists the ids with live unsuppressed findings, so CI can
+        // grep one line to gate on specific rules.
+        let mut live: Vec<&str> = self.unsuppressed().map(|v| v.rule).collect();
+        live.sort_unstable();
+        live.dedup();
+        let rules: Vec<String> = live.iter().map(|r| format!("\"{r}\"")).collect();
         let _ = writeln!(
             out,
-            "{{\"kind\":\"summary\",\"files\":{},\"findings\":{},\"suppressed\":{},\"unsuppressed\":{},\"lock_classes\":{},\"lock_edges\":{},\"clean\":{}}}",
+            "{{\"kind\":\"summary\",\"files\":{},\"findings\":{},\"suppressed\":{},\"unsuppressed\":{},\"rules\":[{}],\"bad_suppressions\":{},\"lock_classes\":{},\"lock_edges\":{},\"coroutine_roots\":{},\"max_stack_bound_bytes\":{},\"clean\":{}}}",
             self.files_scanned,
             self.violations.len(),
             self.suppressions_used,
             self.unsuppressed().count(),
+            rules.join(","),
+            self.bad_suppressions.len(),
             self.lock_classes.len(),
             self.lock_edges.len(),
+            self.callgraph.roots.len(),
+            self.callgraph.max_bound_bytes(),
             self.is_clean(),
         );
         out

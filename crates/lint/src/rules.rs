@@ -19,6 +19,43 @@ pub const RATIONALE_R4: &str = "a panicking rank never reaches the teardown prot
 pub const RATIONALE_R5: &str =
     "inconsistent lock acquisition order across threads can deadlock the rank fleet";
 pub const RATIONALE_R6: &str = "Relaxed ordering provides no happens-before; cross-thread control-flow flags may observe stale values (advisory)";
+pub const RATIONALE_R7: &str = "parking a coroutine while holding a lock keeps the lock held across the suspension; every other rank touching it then blocks an OS worker thread and the M:N pool can deadlock";
+pub const RATIONALE_R8: &str = "an OS-blocking call on a coroutine stack stalls the whole worker thread, serializing every rank multiplexed onto it and leaking wall-clock timing into the virtual-time domain";
+pub const RATIONALE_R9: &str = "coroutine stacks are fixed-size heap slabs guarded by a canary, not OS guard pages; an overflow corrupts adjacent memory before the canary check can catch it, so stack depth must be bounded statically";
+pub const RATIONALE_R10: &str = "a loop that never reaches a yield, park, or recv monopolizes its worker thread; under cooperative scheduling the other ranks on that worker starve forever";
+
+/// One entry in the rule registry: every rule id `detlint` has ever
+/// shipped. `detlint::allow` comments naming an id outside this table are
+/// reported as unknown (typo'd or retired) and fail the run.
+#[derive(Debug)]
+pub struct RuleInfo {
+    /// Rule id as written in allows and findings.
+    pub id: &'static str,
+    /// One-line summary for reports.
+    pub summary: &'static str,
+    /// True for the call-graph rules (R7–R10); false for per-file rules.
+    pub interprocedural: bool,
+}
+
+/// The registry. Retired rules would stay here with a tombstone summary so
+/// old allows keep parsing (none retired yet).
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo { id: "R1", summary: "wall-clock reads in virtual-time code", interprocedural: false },
+    RuleInfo { id: "R2", summary: "randomized-iteration-order collections", interprocedural: false },
+    RuleInfo { id: "R3", summary: "unseeded randomness", interprocedural: false },
+    RuleInfo { id: "R4", summary: "panics in rank-thread hot paths", interprocedural: false },
+    RuleInfo { id: "R5", summary: "lock-order cycles", interprocedural: false },
+    RuleInfo { id: "R6", summary: "Relaxed atomic orderings (advisory)", interprocedural: false },
+    RuleInfo { id: "R7", summary: "park/yield reachable under a live lock guard", interprocedural: true },
+    RuleInfo { id: "R8", summary: "OS-blocking calls reachable from a coroutine", interprocedural: true },
+    RuleInfo { id: "R9", summary: "coroutine stack bound over budget / recursion", interprocedural: true },
+    RuleInfo { id: "R10", summary: "non-cooperative spin loop in coroutine code", interprocedural: true },
+];
+
+/// Whether `id` names a registered rule.
+pub fn rule_known(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
 
 /// A banned fully-qualified path prefix.
 struct BannedPath {
@@ -74,24 +111,19 @@ const BANNED_PATHS: &[BannedPath] = &[
 /// draw from OS entropy regardless of the receiver type).
 const BANNED_SEGMENTS_R3: &[&str] = &["thread_rng", "from_entropy"];
 
-/// Whether `rule` applies to files in `domain`.
+/// Whether `rule` applies to files in `domain`. The interprocedural rules
+/// R7–R10 fire wherever the parser runs (hot + virtual); this predicate
+/// gates the per-file rules and documents the contract for both.
 pub fn rule_active(rule: &str, domain: Domain) -> bool {
     match domain {
-        Domain::Hot => matches!(rule, "R1" | "R2" | "R3" | "R4" | "R6"),
-        Domain::Virtual => matches!(rule, "R1" | "R2" | "R3" | "R6"),
+        Domain::Hot => {
+            matches!(rule, "R1" | "R2" | "R3" | "R4" | "R5" | "R6" | "R7" | "R8" | "R9" | "R10")
+        }
+        Domain::Virtual => {
+            matches!(rule, "R1" | "R2" | "R3" | "R5" | "R6" | "R7" | "R8" | "R9" | "R10")
+        }
         Domain::Wallclock | Domain::Tooling | Domain::Test => false,
     }
-}
-
-/// Result of linting one file (R5 input is extracted separately).
-#[derive(Debug, Default)]
-pub struct FileOutcome {
-    /// Findings with suppressions already applied.
-    pub violations: Vec<Violation>,
-    /// Malformed / stale suppressions.
-    pub bad_suppressions: Vec<BadSuppression>,
-    /// Suppressions that covered at least one finding.
-    pub suppressions_used: usize,
 }
 
 /// Computes the mask of tokens inside test-only code: items annotated
@@ -205,16 +237,16 @@ pub fn match_brace(toks: &[Token], open: usize) -> usize {
 
 /// One resolved import: local alias → full path segments.
 #[derive(Debug)]
-struct Import {
-    alias: String,
-    path: Vec<String>,
-    line: u32,
-    token_index: usize,
+pub(crate) struct Import {
+    pub(crate) alias: String,
+    pub(crate) path: Vec<String>,
+    pub(crate) line: u32,
+    pub(crate) token_index: usize,
 }
 
 /// Parses every `use` declaration; returns imports and the mask of tokens
 /// belonging to use declarations (so the expression scan skips them).
-fn parse_uses(toks: &[Token]) -> (Vec<Import>, Vec<bool>) {
+pub(crate) fn parse_uses(toks: &[Token]) -> (Vec<Import>, Vec<bool>) {
     let mut imports = Vec::new();
     let mut in_use = vec![false; toks.len()];
     let mut i = 0usize;
@@ -327,9 +359,11 @@ fn banned_match(full: &str, domain: Domain) -> Option<&'static BannedPath> {
     })
 }
 
-/// Runs R1–R4 and R6 over one lexed file.
-pub fn check_file(rel: &str, domain: Domain, lexed: &Lexed, skip: &[bool]) -> FileOutcome {
-    let mut out = FileOutcome::default();
+/// Runs R1–R4 and R6 over one lexed file, returning raw findings.
+/// Suppressions are applied later by [`apply_suppressions`], once every
+/// pass (including the interprocedural ones) has contributed findings.
+pub fn check_file(rel: &str, domain: Domain, lexed: &Lexed, skip: &[bool]) -> Vec<Violation> {
+    let mut out = Vec::new();
     let toks = &lexed.tokens;
     let (imports, in_use) = parse_uses(toks);
 
@@ -347,7 +381,7 @@ pub fn check_file(rel: &str, domain: Domain, lexed: &Lexed, skip: &[bool]) -> Fi
         }
         let full = imp.path.join("::");
         if let Some(b) = banned_match(&full, domain) {
-            out.violations.push(Violation {
+            out.push(Violation {
                 rule: b.rule,
                 file: rel.to_string(),
                 line: imp.line,
@@ -359,7 +393,7 @@ pub fn check_file(rel: &str, domain: Domain, lexed: &Lexed, skip: &[bool]) -> Fi
         } else if rule_active("R3", domain)
             && imp.path.iter().any(|s| BANNED_SEGMENTS_R3.contains(&s.as_str()))
         {
-            out.violations.push(Violation {
+            out.push(Violation {
                 rule: "R3",
                 file: rel.to_string(),
                 line: imp.line,
@@ -385,7 +419,7 @@ pub fn check_file(rel: &str, domain: Domain, lexed: &Lexed, skip: &[bool]) -> Fi
                     && matches!(first.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
                     && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('!')))
                 {
-                    out.violations.push(Violation {
+                    out.push(Violation {
                         rule: "R4",
                         file: rel.to_string(),
                         line: toks[i].line,
@@ -426,7 +460,7 @@ pub fn check_file(rel: &str, domain: Domain, lexed: &Lexed, skip: &[bool]) -> Fi
                     None => chain.join("::"),
                 };
                 if let Some(b) = banned_match(&full, domain) {
-                    out.violations.push(Violation {
+                    out.push(Violation {
                         rule: b.rule,
                         file: rel.to_string(),
                         line,
@@ -438,7 +472,7 @@ pub fn check_file(rel: &str, domain: Domain, lexed: &Lexed, skip: &[bool]) -> Fi
                 } else if rule_active("R3", domain)
                     && chain.iter().any(|s| BANNED_SEGMENTS_R3.contains(&s.as_str()))
                 {
-                    out.violations.push(Violation {
+                    out.push(Violation {
                         rule: "R3",
                         file: rel.to_string(),
                         line,
@@ -457,7 +491,7 @@ pub fn check_file(rel: &str, domain: Domain, lexed: &Lexed, skip: &[bool]) -> Fi
                         if (m == "unwrap" || m == "expect")
                             && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Punct('(')))
                         {
-                            out.violations.push(Violation {
+                            out.push(Violation {
                                 rule: "R4",
                                 file: rel.to_string(),
                                 line: toks[i + 1].line,
@@ -477,19 +511,36 @@ pub fn check_file(rel: &str, domain: Domain, lexed: &Lexed, skip: &[bool]) -> Fi
         }
     }
 
-    apply_suppressions(rel, lexed, &mut out);
     out
 }
 
-/// Applies `detlint::allow` comments: a suppression on line N covers
-/// findings for its rule on line N (trailing) and line N+1 (preceding).
-/// Suppressions without a reason cover nothing and are reported; unused
-/// suppressions are reported as stale.
-fn apply_suppressions(rel: &str, lexed: &Lexed, out: &mut FileOutcome) {
-    let mut used = vec![false; lexed.suppressions.len()];
-    for v in &mut out.violations {
-        for (si, s) in lexed.suppressions.iter().enumerate() {
-            if s.rule == v.rule && (v.line == s.line || v.line == s.line + 1) {
+/// Result of applying one file's suppressions.
+#[derive(Debug, Default)]
+pub struct SuppressionOutcome {
+    /// Malformed, stale, or unknown-rule suppressions.
+    pub bad_suppressions: Vec<BadSuppression>,
+    /// Suppressions that covered at least one finding.
+    pub suppressions_used: usize,
+}
+
+/// Applies `detlint::allow` comments for file `rel` over the (global)
+/// finding list: a suppression on line N covers findings for its rule on
+/// line N (trailing) and line N+1 (preceding). This runs at the end of
+/// the whole pipeline so interprocedural findings (R5, R7–R10) suppress
+/// like per-file ones. Suppressions naming an unregistered rule id or
+/// missing their reason cover nothing and are reported; unused ones are
+/// reported as stale.
+pub fn apply_suppressions(
+    rel: &str,
+    suppressions: &[crate::lexer::Suppression],
+    violations: &mut [Violation],
+) -> SuppressionOutcome {
+    let mut out = SuppressionOutcome::default();
+    let mut used = vec![false; suppressions.len()];
+    for v in violations.iter_mut().filter(|v| v.file == rel) {
+        for (si, s) in suppressions.iter().enumerate() {
+            if rule_known(&s.rule) && s.rule == v.rule && (v.line == s.line || v.line == s.line + 1)
+            {
                 if let Some(reason) = &s.reason {
                     v.suppressed = Some(reason.clone());
                     used[si] = true;
@@ -498,13 +549,22 @@ fn apply_suppressions(rel: &str, lexed: &Lexed, out: &mut FileOutcome) {
             }
         }
     }
-    for (si, s) in lexed.suppressions.iter().enumerate() {
-        if s.reason.is_none() {
+    for (si, s) in suppressions.iter().enumerate() {
+        if !rule_known(&s.rule) {
+            out.bad_suppressions.push(BadSuppression {
+                file: rel.to_string(),
+                line: s.line,
+                rule: s.rule.clone(),
+                missing_reason: false,
+                unknown_rule: true,
+            });
+        } else if s.reason.is_none() {
             out.bad_suppressions.push(BadSuppression {
                 file: rel.to_string(),
                 line: s.line,
                 rule: s.rule.clone(),
                 missing_reason: true,
+                unknown_rule: false,
             });
         } else if used[si] {
             out.suppressions_used += 1;
@@ -514,9 +574,11 @@ fn apply_suppressions(rel: &str, lexed: &Lexed, out: &mut FileOutcome) {
                 line: s.line,
                 rule: s.rule.clone(),
                 missing_reason: false,
+                unknown_rule: false,
             });
         }
     }
+    out
 }
 
 #[cfg(test)]
@@ -527,7 +589,16 @@ mod tests {
     fn run(domain: Domain, src: &str) -> Vec<Violation> {
         let lexed = lex(src);
         let skip = test_skip_mask(&lexed);
-        check_file("t.rs", domain, &lexed, &skip).violations
+        check_file("t.rs", domain, &lexed, &skip)
+    }
+
+    /// check_file + suppression application, mirroring the pipeline.
+    fn run_suppressed(domain: Domain, src: &str) -> (Vec<Violation>, SuppressionOutcome) {
+        let lexed = lex(src);
+        let skip = test_skip_mask(&lexed);
+        let mut vs = check_file("t.rs", domain, &lexed, &skip);
+        let out = apply_suppressions("t.rs", &lexed.suppressions, &mut vs);
+        (vs, out)
     }
 
     #[test]
@@ -589,11 +660,9 @@ mod tests {
     #[test]
     fn suppression_with_reason_clears_finding() {
         let src = "// detlint::allow(R2, reason = \"keyed access only; never iterated\")\nuse std::collections::HashMap;\n";
-        let lexed = lex(src);
-        let skip = test_skip_mask(&lexed);
-        let out = check_file("t.rs", Domain::Virtual, &lexed, &skip);
-        assert_eq!(out.violations.len(), 1);
-        assert!(out.violations[0].suppressed.is_some());
+        let (vs, out) = run_suppressed(Domain::Virtual, src);
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].suppressed.is_some());
         assert_eq!(out.suppressions_used, 1);
         assert!(out.bad_suppressions.is_empty());
     }
@@ -601,22 +670,43 @@ mod tests {
     #[test]
     fn suppression_without_reason_does_not_clear() {
         let src = "// detlint::allow(R2)\nuse std::collections::HashSet;\n";
-        let lexed = lex(src);
-        let skip = test_skip_mask(&lexed);
-        let out = check_file("t.rs", Domain::Virtual, &lexed, &skip);
-        assert!(out.violations[0].suppressed.is_none());
+        let (vs, out) = run_suppressed(Domain::Virtual, src);
+        assert!(vs[0].suppressed.is_none());
         assert!(out.bad_suppressions.iter().any(|b| b.missing_reason));
     }
 
     #[test]
     fn stale_suppression_reported() {
         let src = "// detlint::allow(R1, reason = \"nothing here\")\nfn f() {}\n";
-        let lexed = lex(src);
-        let skip = test_skip_mask(&lexed);
-        let out = check_file("t.rs", Domain::Virtual, &lexed, &skip);
-        assert!(out.violations.is_empty());
+        let (vs, out) = run_suppressed(Domain::Virtual, src);
+        assert!(vs.is_empty());
         assert_eq!(out.bad_suppressions.len(), 1);
         assert!(!out.bad_suppressions[0].missing_reason);
+        assert!(!out.bad_suppressions[0].unknown_rule);
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_flagged_and_suppresses_nothing() {
+        // `R99` was never a rule; `R2` would fire but the allow names the
+        // wrong id, so the finding stays live AND the typo is reported.
+        let src = "// detlint::allow(R99, reason = \"typo'd rule id\")\nuse std::collections::HashMap;\n";
+        let (vs, out) = run_suppressed(Domain::Virtual, src);
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].suppressed.is_none(), "unknown rule must not suppress");
+        let bad: Vec<_> = out.bad_suppressions.iter().filter(|b| b.unknown_rule).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, "R99");
+    }
+
+    #[test]
+    fn registry_covers_all_shipped_rules() {
+        for id in ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10"] {
+            assert!(rule_known(id), "{id} missing from registry");
+        }
+        assert!(!rule_known("R0"));
+        assert!(!rule_known("R11"));
+        // Interprocedural split matches the pass structure.
+        assert!(RULES.iter().filter(|r| r.interprocedural).count() == 4);
     }
 
     #[test]

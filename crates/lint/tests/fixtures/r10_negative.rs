@@ -1,0 +1,24 @@
+//! R10 negative fixture: a `while` that reaches a park on every
+//! iteration is cooperative, and `for` loops are bounded by their
+//! iterator and exempt even without one.
+
+fn park_current() {}
+
+fn recv() {
+    park_current();
+}
+
+fn encode(_chunk: u64) {}
+
+pub fn spawn(pool: &Pool) {
+    pool.run_batch(|| {
+        let mut pending = 3u32;
+        while pending > 0 {
+            recv();
+            pending -= 1;
+        }
+        for chunk in 0..8 {
+            encode(chunk);
+        }
+    });
+}

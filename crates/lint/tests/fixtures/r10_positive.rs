@@ -1,0 +1,21 @@
+//! R10 positive fixture: `loop` and `while` in coroutine-reachable code
+//! with no yield, park, or recv on any body path.
+
+pub fn spawn(pool: &Pool) {
+    pool.run_batch(|| {
+        busy_wait();
+    });
+}
+
+fn busy_wait() {
+    let mut n = 0u64;
+    loop {
+        n += 1;
+        if n > 1_000_000 {
+            break;
+        }
+    }
+    while n > 0 {
+        n -= 1;
+    }
+}

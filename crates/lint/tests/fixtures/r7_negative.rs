@@ -1,0 +1,33 @@
+//! R7 negative fixture: the same park-capable call is fine once the
+//! guard is released — by `drop(g)` or by leaving the guard's scope.
+
+fn park_current() {}
+
+struct Mail;
+
+impl Mail {
+    fn recv(&self) {
+        park_current();
+    }
+}
+
+pub struct Node {
+    state: Mutex<u32>,
+}
+
+impl Node {
+    pub fn drops_before_parking(&self, mail: &Mail) {
+        let g = self.state.lock();
+        let _snapshot = *g;
+        drop(g);
+        mail.recv();
+    }
+
+    pub fn scoped_guard(&self, mail: &Mail) {
+        {
+            let g = self.state.lock();
+            let _snapshot = *g;
+        }
+        mail.recv();
+    }
+}

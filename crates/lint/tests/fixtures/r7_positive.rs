@@ -1,0 +1,33 @@
+//! R7 positive fixture: a park-capable call and an unknown callee, both
+//! while a tracked lock guard is live. Self-contained: stubs its own
+//! `park_current` (the analyzer seeds park capability by name).
+
+fn park_current() {}
+
+struct Mail;
+
+impl Mail {
+    fn recv(&self) {
+        park_current();
+    }
+}
+
+pub struct Node {
+    state: Mutex<u32>,
+}
+
+impl Node {
+    pub fn deadlock_prone(&self, mail: &Mail) {
+        let g = self.state.lock();
+        mail.recv();
+        drop(g);
+    }
+
+    pub fn probe_under_guard(&self, probe: impl Fn() -> bool) {
+        let g = self.state.lock();
+        if probe() {
+            return;
+        }
+        drop(g);
+    }
+}

@@ -1,0 +1,19 @@
+//! R8 negative fixture: the same blocking call is fine outside the
+//! coroutine-reachable region, and a park-based wait inside it is the
+//! cooperative way to block.
+
+fn park_current() {}
+
+fn tooling_dump(data: &[u8]) {
+    let _ = std::fs::write("dump.bin", data);
+}
+
+pub fn spawn(pool: &Pool) {
+    pool.run_batch(|| {
+        park_current();
+    });
+}
+
+pub fn offline_report(data: &[u8]) {
+    tooling_dump(data);
+}

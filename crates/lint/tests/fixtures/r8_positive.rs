@@ -1,0 +1,13 @@
+//! R8 positive fixture: OS-blocking calls transitively reachable from a
+//! coroutine root (the closure handed to `run_batch`).
+
+fn checkpoint_to_disk(data: &[u8]) {
+    let _ = std::fs::write("ckpt.bin", data);
+}
+
+pub fn spawn(pool: &Pool) {
+    pool.run_batch(|| {
+        checkpoint_to_disk(&[0u8; 8]);
+        std::thread::yield_now();
+    });
+}

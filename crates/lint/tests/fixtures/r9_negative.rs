@@ -1,0 +1,15 @@
+//! R9 negative fixture: a coroutine root with shallow frames stays well
+//! under the stack budget and produces a finite per-root bound.
+
+pub fn spawn(pool: &Pool) {
+    pool.run_batch(|| {
+        step();
+    });
+}
+
+fn step() {
+    let scratch: [u8; 1024] = [0u8; 1024];
+    consume(&scratch);
+}
+
+fn consume(_data: &[u8]) {}

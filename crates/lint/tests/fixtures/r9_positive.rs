@@ -1,0 +1,23 @@
+//! R9 positive fixture: a coroutine root whose deepest chain carries a
+//! by-value buffer far over the default 128 KiB budget, plus a recursion
+//! cycle (reported once as an advisory, not looped over).
+
+pub fn spawn(pool: &Pool) {
+    pool.run_batch(|| {
+        huge_frame();
+    });
+}
+
+fn huge_frame() {
+    let buf: [u8; 200_000] = [0u8; 200_000];
+    consume(&buf);
+}
+
+fn consume(_data: &[u8]) {}
+
+fn descend(n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    descend(n - 1)
+}

@@ -153,3 +153,90 @@ fn suppression_semantics() {
     assert!(report.bad_suppressions.iter().any(|b| b.missing_reason && b.line == 15));
     assert!(report.bad_suppressions.iter().any(|b| !b.missing_reason && b.line == 19));
 }
+
+#[test]
+fn r7_park_under_lock_fires() {
+    let report = lint("r7_positive.rs", Domain::Hot, include_str!("fixtures/r7_positive.rs"));
+    let v = only_rule(&report, "R7");
+    assert_eq!(v.len(), 2, "{v:#?}");
+    // The resolved park-capable call is a deny; the unknown callee
+    // (`probe`, an `impl Fn` parameter) is an advisory.
+    let deny: Vec<_> = v.iter().filter(|x| !x.advisory).collect();
+    let advisory: Vec<_> = v.iter().filter(|x| x.advisory).collect();
+    assert_eq!(deny.len(), 1, "{v:#?}");
+    assert!(deny[0].message.contains("Mail::recv"), "{}", deny[0].message);
+    assert!(deny[0].message.contains("fixture::state"), "{}", deny[0].message);
+    assert_eq!(advisory.len(), 1, "{v:#?}");
+    assert!(advisory[0].message.contains("probe"), "{}", advisory[0].message);
+}
+
+#[test]
+fn r7_guard_released_before_park_does_not_fire() {
+    let report = lint("r7_negative.rs", Domain::Hot, include_str!("fixtures/r7_negative.rs"));
+    assert!(report.is_clean(), "{report:#?}");
+}
+
+#[test]
+fn r8_blocking_in_coroutine_fires() {
+    let report = lint("r8_positive.rs", Domain::Hot, include_str!("fixtures/r8_positive.rs"));
+    let v = only_rule(&report, "R8");
+    assert_eq!(v.len(), 2, "{v:#?}");
+    assert!(v.iter().any(|x| x.message.contains("std::fs::write")), "{v:#?}");
+    assert!(v.iter().any(|x| x.message.contains("std::thread::yield_now")), "{v:#?}");
+    assert!(v.iter().all(|x| !x.advisory), "R8 is a deny: {v:#?}");
+    // The closure handed to run_batch was recognized as a coroutine root.
+    assert_eq!(report.callgraph.roots.len(), 1, "{:#?}", report.callgraph.roots);
+}
+
+#[test]
+fn r8_blocking_outside_coroutine_does_not_fire() {
+    let report = lint("r8_negative.rs", Domain::Hot, include_str!("fixtures/r8_negative.rs"));
+    assert!(report.is_clean(), "{report:#?}");
+    assert_eq!(report.callgraph.roots.len(), 1, "{:#?}", report.callgraph.roots);
+}
+
+#[test]
+fn r9_over_budget_root_and_recursion_fire() {
+    let report = lint("r9_positive.rs", Domain::Hot, include_str!("fixtures/r9_positive.rs"));
+    let v = only_rule(&report, "R9");
+    // One over-budget deny on the root, one recursion advisory — the
+    // cycle is reported once, not once per unrolling.
+    let deny: Vec<_> = v.iter().filter(|x| !x.advisory).collect();
+    let advisory: Vec<_> = v.iter().filter(|x| x.advisory).collect();
+    assert_eq!(deny.len(), 1, "{v:#?}");
+    assert!(deny[0].message.contains("128 KiB"), "{}", deny[0].message);
+    assert_eq!(advisory.len(), 1, "{v:#?}");
+    assert!(advisory[0].message.contains("recursion cycle"), "{}", advisory[0].message);
+    assert!(advisory[0].message.contains("descend"), "{}", advisory[0].message);
+    // The artifact carries the root's bound, over budget.
+    assert_eq!(report.callgraph.roots.len(), 1, "{:#?}", report.callgraph.roots);
+    let root = &report.callgraph.roots[0];
+    assert!(root.bound_bytes > 128 * 1024, "{root:#?}");
+    assert!(!root.recursive, "{root:#?}");
+    assert!(root.path.iter().any(|f| f == "huge_frame"), "{root:#?}");
+}
+
+#[test]
+fn r9_shallow_root_does_not_fire() {
+    let report = lint("r9_negative.rs", Domain::Hot, include_str!("fixtures/r9_negative.rs"));
+    assert!(report.is_clean(), "{report:#?}");
+    let root = &report.callgraph.roots[0];
+    assert!(root.bound_bytes > 1024, "the 1 KiB scratch buffer must be counted: {root:#?}");
+    assert!(root.bound_bytes < 16 * 1024, "{root:#?}");
+    assert_eq!(report.callgraph.max_bound_bytes(), root.bound_bytes);
+}
+
+#[test]
+fn r10_noncooperative_spin_fires() {
+    let report = lint("r10_positive.rs", Domain::Hot, include_str!("fixtures/r10_positive.rs"));
+    let v = only_rule(&report, "R10");
+    assert_eq!(v.len(), 2, "one per loop flavor: {v:#?}");
+    assert!(v.iter().any(|x| x.message.contains("`loop`")), "{v:#?}");
+    assert!(v.iter().any(|x| x.message.contains("`while`")), "{v:#?}");
+}
+
+#[test]
+fn r10_cooperative_and_for_loops_do_not_fire() {
+    let report = lint("r10_negative.rs", Domain::Hot, include_str!("fixtures/r10_negative.rs"));
+    assert!(report.is_clean(), "{report:#?}");
+}

@@ -29,7 +29,7 @@
 //! | `ExecutorConfig::workers` / `WorldBuilder::workers` | explicit worker count (wins) |
 //! | `REDCR_WORKERS` | worker count when no explicit one is set |
 //! | `REDCR_EXEC=threads` | thread-per-task fallback backend |
-//! | `REDCR_STACK_KB` | coroutine stack size (default 1024) |
+//! | `REDCR_STACK_KB` | coroutine stack size (default 128; detlint R9 bounds root chains well under that) |
 //!
 //! Unset, the pool sizes itself to `available_parallelism()`.
 //!

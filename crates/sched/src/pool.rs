@@ -252,6 +252,7 @@ impl PoolShared {
     /// module docs; this is the only producer of `QUEUED` and `NOTIFIED`.
     fn wake_coro(&self, idx: usize) {
         let t = &self.tasks[idx];
+        // detlint::allow(R10, reason = "bounded CAS retry: each iteration re-reads a 4-state machine whose only concurrent writers make forward progress; it cannot spin more than a handful of times")
         loop {
             match t.state.load(SeqCst) {
                 PARKED => {
@@ -356,6 +357,7 @@ impl Waker {
         match self.shared.backend {
             Backend::Threads => {
                 let mut g = t.permit.lock();
+                // detlint::allow(R10, reason = "threads-backend park: the condvar wait inside IS the park — under REDCR_EXEC=threads each rank owns an OS thread and blocking it is the intended suspension; the coro backend takes the context-switch arm instead")
                 while !*g {
                     t.unpark.wait(&mut g);
                 }
@@ -398,6 +400,7 @@ pub fn current_waker() -> Option<Waker> {
 pub fn park_current() {
     match current_waker() {
         Some(w) => w.park(),
+        // detlint::allow(R8, reason = "off-pool degradation only: a plain thread (tests, the driver) polling a mailbox donates its OS timeslice; pool tasks always take the waker arm above")
         None => std::thread::yield_now(),
     }
 }

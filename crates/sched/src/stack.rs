@@ -16,9 +16,15 @@ const ALIGN: usize = 16;
 /// Minimum stack we will ever hand a task, however `REDCR_STACK_KB` is set.
 pub(crate) const MIN_STACK_BYTES: usize = 32 * 1024;
 
-/// Default per-task stack: rank bodies recurse shallowly (CG, collectives)
-/// but run full simmpi/redundancy frames, so 1 MiB leaves a wide margin.
-pub(crate) const DEFAULT_STACK_BYTES: usize = 1024 * 1024;
+/// Default per-task stack: 128 KiB. detlint's R9 pass bounds every
+/// coroutine root's deepest call chain at under 8 KiB of estimated
+/// frames, so 128 KiB is already a ~16× margin; keeping the default this
+/// small lets a 4096-rank world fit its stacks in half a GiB. Deep-stack
+/// experiments can restore the old default with `REDCR_STACK_KB=1024`.
+/// Note the failure mode if this is ever set too low: a canary *abort*
+/// on park/exit (best-effort, after the fact) — not a guard-page fault
+/// at the overflowing write, because these are plain heap slabs.
+pub(crate) const DEFAULT_STACK_BYTES: usize = 128 * 1024;
 
 /// One owned coroutine stack.
 #[derive(Debug)]

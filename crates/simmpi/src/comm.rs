@@ -226,9 +226,14 @@ fn check_abort(
         shared.trigger_abort();
         return Err(MpiError::Aborted { rank: comm_rank, at: now });
     }
-    if shared.is_aborted() {
-        return Err(MpiError::Aborted { rank: comm_rank, at: now });
-    }
+    // Deliberately NOT polled here: the world-abort flag. It is raised at
+    // a *physical* instant (whichever rank escalates first), so a running
+    // rank observing it would stop after a host-timing-dependent number
+    // of operations and make message counts run-to-run noisy. Running
+    // ranks stop only through deterministic virtual-time exits — own
+    // death, DeadPeer/SphereDead escalation, the horizon — and *parked*
+    // ranks return Aborted once the abort is final (no rank can ever
+    // push again). See `mailbox::Quiesce`.
     Ok(())
 }
 

@@ -370,6 +370,7 @@ pub trait Communicator {
         }
         // Send phase: forward to children below our bit.
         mask >>= 1;
+        // detlint::allow(R10, reason = "bounded binomial-tree fanout: mask halves every iteration (log2 n rounds) and sends are buffered mailbox pushes that never wait")
         while mask > 0 {
             if relative + mask < n {
                 let dst = Rank::new(((relative + mask + root.index()) % n) as u32);

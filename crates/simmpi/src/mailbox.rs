@@ -34,6 +34,16 @@
 //! every notification actually sent, so tests can assert the
 //! no-spurious-wakeup property.
 //!
+//! # Abort finality
+//!
+//! World runs attach a [`Quiesce`] to every mailbox: a blocked wait then
+//! resolves to [`Outcome::Aborted`] only once the abort is **final** —
+//! every rank has either finished or parked with no committed wake
+//! outstanding, so the mailbox state can never change again. This is
+//! what makes physical message counts bit-identical run-to-run on both
+//! execution backends even when a run ends in an abort; see the
+//! [`Quiesce`] docs for the token protocol.
+//!
 //! # Lock order
 //!
 //! The mailbox owns exactly one lock: `Mailbox::inner`
@@ -70,6 +80,8 @@
 // detlint::allow(R2, reason = "keyed O(1) channel index; the only iteration (best_channel, clear) is order-independent — see the lock-order & iteration notes below")
 use std::collections::{HashMap, VecDeque};
 use std::hash::BuildHasherDefault;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
 
 use parking_lot::{Condvar, Mutex};
 use redcr_prof::{CounterKey, RankProf, SpanKey, TrackKey};
@@ -216,11 +228,108 @@ impl Interest {
 /// The registered state of a blocked receiver: what it waits for, plus
 /// how to wake it. A scheduler task carries its waker (the push side
 /// marks the task runnable); a plain OS thread leaves `waker` empty and
-/// is notified through the mailbox condvar instead.
+/// is notified through the mailbox condvar instead. `tokened` records
+/// whether a wake already transferred the rank's "live" token back (see
+/// [`Quiesce`]) — set at most once per registration, under `inner`.
 #[derive(Debug)]
 struct Waiter {
     interest: Interest,
     waker: Option<redcr_sched::Waker>,
+    tokened: bool,
+}
+
+/// Live-rank accounting that makes a world abort observable only once it
+/// is **final**, so the abort edge never cuts a run at a physically-timed
+/// point.
+///
+/// The world-abort flag is raised at a *physical* instant (whichever rank
+/// escalates first). If running ranks polled it, each would stop after a
+/// host-timing-dependent number of operations and physical message counts
+/// would vary run-to-run — the exact `REDCR_EXEC=threads` noise this type
+/// exists to remove. Instead:
+///
+/// * **running ranks never observe the flag** — they stop only through
+///   deterministic, virtual-time-driven exits (own death, `DeadPeer` /
+///   `SphereDead` escalation, the abort horizon, or normal completion);
+/// * **parked ranks** return [`Outcome::Aborted`] only once the abort is
+///   final, tracked by this counter: `live` counts ranks that can still
+///   deposit an envelope — every rank not yet finished and not currently
+///   asleep, plus parked ranks whose wake has been committed (the waker
+///   transfers the token via `Waiter::tokened` *before* issuing the
+///   wake). A receiver gives its token up strictly after registering its
+///   waiter and strictly before sleeping. The first decrement to zero
+///   with the abort flag set therefore proves a frozen system — nobody
+///   is executing and no committed wake is outstanding, so no further
+///   push can ever occur — and flips the sticky `finality` flag, then
+///   wakes every mailbox once so all parked ranks drain out `Aborted`
+///   against a bit-deterministic final mailbox state.
+///
+/// Standalone mailboxes (unit tests) carry no `Quiesce` and keep the
+/// immediate abort-on-flag behavior.
+///
+/// Liveness contract: with the flag raised but not yet final, every
+/// still-running rank must either terminate on its own or reach a
+/// blocking mailbox wait (true for the simulation closures, whose only
+/// unbounded waits are receives); each then retires, and the last one
+/// finalizes the abort and releases everyone.
+#[derive(Debug)]
+pub(crate) struct Quiesce {
+    /// Ranks that can still deposit an envelope (see type-level doc).
+    live: AtomicUsize,
+    /// Sticky: set by the decrement that took `live` to zero while the
+    /// world was aborted. From then on the mailboxes are frozen and
+    /// blocked waits resolve to [`Outcome::Aborted`].
+    finality: AtomicBool,
+    /// The world's mailboxes, for the one-shot finality broadcast. Weak:
+    /// each `Mailbox` holds an `Arc<Quiesce>`, so a strong pointer here
+    /// would leak the cycle.
+    mailboxes: OnceLock<Weak<Vec<Mailbox>>>,
+}
+
+impl Quiesce {
+    /// Accounting for a world of `n` ranks, all initially live.
+    pub(crate) fn new(n: usize) -> Self {
+        Quiesce {
+            live: AtomicUsize::new(n),
+            finality: AtomicBool::new(false),
+            mailboxes: OnceLock::new(),
+        }
+    }
+
+    /// Registers the mailboxes to broadcast to when the abort finalizes.
+    pub(crate) fn attach(&self, mailboxes: &Arc<Vec<Mailbox>>) {
+        let _ = self.mailboxes.set(Arc::downgrade(mailboxes));
+    }
+
+    /// Counts one rank live again (token transfer on a committed wake, or
+    /// a self-resume after a wake that carried no token).
+    fn resume(&self) {
+        self.live.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Gives up one rank's live token: called just before a rank sleeps
+    /// and once when it finishes. `aborted` is the world-abort flag at
+    /// retire time; the first retire that empties the counter with it set
+    /// finalizes the abort and wakes every mailbox exactly once.
+    ///
+    /// The finality broadcast runs with **no mailbox lock held** (callers
+    /// drop `inner` before retiring), preserving the leaf-lock property.
+    pub(crate) fn retire(&self, aborted: bool) {
+        let prev = self.live.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev > 0, "live-rank counter underflow");
+        if prev == 1 && aborted && !self.finality.swap(true, Ordering::SeqCst) {
+            if let Some(mailboxes) = self.mailboxes.get().and_then(Weak::upgrade) {
+                for mb in mailboxes.iter() {
+                    mb.wake_all();
+                }
+            }
+        }
+    }
+
+    /// Whether the abort has been finalized (no live rank remained).
+    fn is_final(&self) -> bool {
+        self.finality.load(Ordering::SeqCst)
+    }
 }
 
 /// Probe metadata: everything a probe reports, without cloning payload
@@ -355,6 +464,9 @@ impl Inner {
 pub struct Mailbox {
     inner: Mutex<Inner>,
     cond: Condvar,
+    /// Live-rank accounting shared by the whole world (None for
+    /// standalone mailboxes, which keep immediate abort-on-flag waits).
+    quiesce: Option<Arc<Quiesce>>,
 }
 
 impl std::fmt::Debug for Mailbox {
@@ -367,6 +479,52 @@ impl Mailbox {
     /// Creates an empty mailbox.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty mailbox participating in the world's live-rank
+    /// accounting (see [`Quiesce`]).
+    pub(crate) fn with_quiesce(quiesce: Arc<Quiesce>) -> Self {
+        Mailbox { quiesce: Some(quiesce), ..Self::default() }
+    }
+
+    /// Transfers the live token to the registered waiter: the wake being
+    /// issued commits the parked rank to resume, so it counts as live
+    /// again from this instant. At most once per registration; must run
+    /// under `inner` (callers hold it).
+    fn grant_token(&self, inner: &mut Inner) {
+        if let (Some(q), Some(w)) = (&self.quiesce, inner.waiter.as_mut()) {
+            if !w.tokened {
+                w.tokened = true;
+                q.resume();
+            }
+        }
+    }
+
+    /// Gives up this rank's live token just before it sleeps. Must be
+    /// called with `inner` released *after* the waiter was registered:
+    /// any wake from that point on transfers the token back, and a
+    /// finality broadcast triggered here must take the mailbox locks
+    /// itself.
+    fn retire(&self, is_aborted: &impl Fn() -> bool) {
+        if let Some(q) = &self.quiesce {
+            q.retire(is_aborted());
+        }
+    }
+
+    /// Re-acquires liveness after a sleep. A tokened waiter was already
+    /// counted live by whoever committed the wake; an untokened one means
+    /// the sleep ended without a committed wake (e.g. a spurious condvar
+    /// wake, or a scheduler notify left over from an earlier wait), so
+    /// the rank re-counts itself. Clears the registration either way.
+    fn settle(&self, inner: &mut Inner) {
+        let Some(q) = &self.quiesce else {
+            return;
+        };
+        if let Some(w) = inner.waiter.take() {
+            if !w.tokened {
+                q.resume();
+            }
+        }
     }
 
     /// Deposits an envelope, waking the parked receiver only when the
@@ -391,6 +549,7 @@ impl Mailbox {
         if notified {
             inner.wakeups += 1;
             task = inner.waiter.as_ref().and_then(|w| w.waker.clone());
+            self.grant_token(&mut inner);
         }
         // Preserve the leaf-lock property: the scheduler wake (and the
         // condvar notify) happen strictly after `inner` is released.
@@ -433,6 +592,7 @@ impl Mailbox {
         let mut parked = false;
         let mut inner = self.inner.lock();
         loop {
+            // detlint::allow(R7, reason = "grab is a caller-supplied matcher over the queue snapshot; the wait_match contract requires it to be a pure predicate (every call site passes a closure that only inspects `inner`), so it cannot park")
             if let Some(v) = grab(&mut inner) {
                 inner.waiter = None;
                 if let Some(p) = prof {
@@ -444,10 +604,19 @@ impl Mailbox {
                 }
                 return Outcome::Matched(v);
             }
-            if is_aborted() {
+            // With live-rank accounting attached (world runs), the abort
+            // flag alone never ends a wait: running ranks may still
+            // deposit a matching send, and bailing out on the raw flag
+            // would cut the run at a physically-timed point. Only a
+            // *final* abort (no rank can ever push again — see
+            // [`Quiesce`]) resolves to `Aborted`. Standalone mailboxes
+            // keep the immediate behavior.
+            // detlint::allow(R7, reason = "is_aborted is a caller-supplied flag read (an AtomicBool load at every call site); the wait_match contract requires it side-effect-free, so it cannot park")
+            if is_aborted() && self.quiesce.as_deref().is_none_or(Quiesce::is_final) {
                 inner.waiter = None;
                 return Outcome::Aborted;
             }
+            // detlint::allow(R7, reason = "dead_src is a caller-supplied liveness probe (reads shared death records, never parks) per the wait_match contract")
             if let Some(peer) = dead_src() {
                 inner.waiter = None;
                 return Outcome::SourceDead(peer);
@@ -457,10 +626,17 @@ impl Mailbox {
                 // sending. The waker registration and the RUNNING →
                 // NOTIFIED state machine in redcr-sched close the race
                 // between dropping `inner` and the coroutine freezing.
-                inner.waiter =
-                    Some(Waiter { interest: Interest::from_spec(spec), waker: Some(w.clone()) });
+                // The live token is given up strictly after the waiter is
+                // registered (wakes from here on transfer it back) and
+                // strictly before the coroutine freezes.
+                inner.waiter = Some(Waiter {
+                    interest: Interest::from_spec(spec),
+                    waker: Some(w.clone()),
+                    tokened: false,
+                });
                 parked = true;
                 drop(inner);
+                self.retire(&is_aborted);
                 if let Some(p) = prof {
                     p.count(CounterKey::Parks);
                     p.sample(TrackKey::Parks, p.counter(CounterKey::Parks) as f64);
@@ -471,24 +647,69 @@ impl Mailbox {
                     redcr_sched::park_current();
                 }
                 inner = self.inner.lock();
+                self.settle(&mut inner);
             } else if spins < SPIN_YIELDS {
                 // Donate the timeslice to whoever should be sending; no
                 // interest is registered, so the matching push stays
-                // notification-free (the common fast path).
+                // notification-free (the common fast path). The rank
+                // stays live: a yield is not a sleep.
                 spins += 1;
                 drop(inner);
+                // detlint::allow(R8, reason = "bounded spin donation on the OS-thread path: at most SPIN_YIELDS timeslice donations before registering interest and sleeping; the coro backend parks via the waker instead of reaching this arm")
                 std::thread::yield_now();
                 inner = self.inner.lock();
+            } else if self.quiesce.is_some() {
+                // OS-thread backend with live-rank accounting: same
+                // retire-before-sleep ordering as the coroutine path,
+                // done without ever holding `inner` across another
+                // mailbox's lock (a finality broadcast inside `retire`
+                // takes each in turn): register, unlock, retire, relock.
+                // A wake landing inside that window commits the token,
+                // which the re-check below observes — and committing one
+                // requires `inner`, which `cond.wait` releases
+                // atomically, so there is no lost-wake window.
+                inner.waiter = Some(Waiter {
+                    interest: Interest::from_spec(spec),
+                    waker: None,
+                    tokened: false,
+                });
+                parked = true;
+                drop(inner);
+                self.retire(&is_aborted);
+                inner = self.inner.lock();
+                if !inner.waiter.as_ref().is_none_or(|w| w.tokened) {
+                    if let Some(p) = prof {
+                        p.count(CounterKey::Parks);
+                        p.sample(TrackKey::Parks, p.counter(CounterKey::Parks) as f64);
+                        let _park = p.span(SpanKey::MailboxPark);
+                        // detlint::allow(R8, reason = "threads-backend park: under REDCR_EXEC=threads each rank owns an OS thread and the condvar wait IS the intended suspension; the coro backend takes the waker branch above")
+                        self.cond.wait(&mut inner);
+                        p.count(CounterKey::Wakes);
+                    } else {
+                        // detlint::allow(R8, reason = "threads-backend park (unprofiled arm): same intended OS-thread suspension as the profiled branch")
+                        self.cond.wait(&mut inner);
+                    }
+                }
+                self.settle(&mut inner);
             } else {
-                inner.waiter = Some(Waiter { interest: Interest::from_spec(spec), waker: None });
+                // Standalone mailbox on a plain OS thread (unit tests):
+                // the original atomic register-and-wait under one lock
+                // hold.
+                inner.waiter = Some(Waiter {
+                    interest: Interest::from_spec(spec),
+                    waker: None,
+                    tokened: false,
+                });
                 parked = true;
                 if let Some(p) = prof {
                     p.count(CounterKey::Parks);
                     p.sample(TrackKey::Parks, p.counter(CounterKey::Parks) as f64);
                     let _park = p.span(SpanKey::MailboxPark);
+                    // detlint::allow(R8, reason = "standalone-mailbox park: a mailbox used from a plain OS thread (unit tests) blocks that thread by design; world runs route through the quiesce arm above")
                     self.cond.wait(&mut inner);
                     p.count(CounterKey::Wakes);
                 } else {
+                    // detlint::allow(R8, reason = "standalone-mailbox park (unprofiled arm): same plain-OS-thread suspension as the profiled branch")
                     self.cond.wait(&mut inner);
                 }
             }
@@ -574,6 +795,7 @@ impl Mailbox {
         let task = inner.waiter.as_ref().and_then(|w| w.waker.clone());
         if waiting {
             inner.wakeups += 1;
+            self.grant_token(&mut inner);
         }
         drop(inner);
         if let Some(w) = task {
@@ -590,6 +812,7 @@ impl Mailbox {
         if inner.waiter.as_ref().is_some_and(|w| w.interest.wants_death(rank)) {
             inner.wakeups += 1;
             let task = inner.waiter.as_ref().and_then(|w| w.waker.clone());
+            self.grant_token(&mut inner);
             drop(inner);
             match task {
                 Some(w) => w.wake(),

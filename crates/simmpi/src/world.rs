@@ -19,7 +19,7 @@ use redcr_trace::{Collector, EventKind, Recorder};
 
 use crate::comm::Comm;
 use crate::error::Result;
-use crate::mailbox::Mailbox;
+use crate::mailbox::{Mailbox, Quiesce};
 use crate::time::CostModel;
 
 /// Entry point for configuring and running a simulated MPI world.
@@ -218,6 +218,7 @@ impl WorldBuilder {
                             // every task completes, so unblock them first,
                             // then let the pool capture the payload.
                             comm.shared().trigger_abort();
+                            comm.shared().rank_finished();
                             std::panic::resume_unwind(payload);
                         }
                     };
@@ -232,6 +233,10 @@ impl WorldBuilder {
                     Err(_) => comm.shared().trigger_abort(),
                     Ok(_) => {}
                 }
+                // The closure is done: this rank can never push again.
+                // Retire its live token (after the trigger above, so an
+                // abort in flight is visible to the finality check).
+                comm.shared().rank_finished();
                 let timing = RankTiming {
                     finish: comm.clock().now(),
                     busy: comm.clock().busy_time(),
@@ -364,7 +369,7 @@ impl<T> RunReport<T> {
 pub(crate) struct Shared {
     pub(crate) n: usize,
     pub(crate) cost: CostModel,
-    pub(crate) mailboxes: Vec<Mailbox>,
+    pub(crate) mailboxes: Arc<Vec<Mailbox>>,
     pub(crate) abort_horizon: f64,
     /// `death_times[r]`: absolute virtual time at which rank `r`
     /// fail-stops (INFINITY = never).
@@ -374,20 +379,30 @@ pub(crate) struct Shared {
     /// mailboxes. Receivers use this flag to stop waiting on `r`.
     dead: Vec<AtomicBool>,
     aborted: AtomicBool,
+    /// Live-rank accounting: parked receivers observe an abort only once
+    /// it is *final* (no rank can ever push again), so the abort edge
+    /// never cuts a run at a physically-timed point. See
+    /// [`Quiesce`](crate::mailbox::Quiesce).
+    quiesce: Arc<Quiesce>,
     pub(crate) msgs_sent: AtomicU64,
     pub(crate) bytes_sent: AtomicU64,
 }
 
 impl Shared {
     fn new(n: usize, cost: CostModel, abort_horizon: f64, death_times: Vec<f64>) -> Self {
+        let quiesce = Arc::new(Quiesce::new(n));
+        let mailboxes =
+            Arc::new((0..n).map(|_| Mailbox::with_quiesce(Arc::clone(&quiesce))).collect::<Vec<_>>());
+        quiesce.attach(&mailboxes);
         Shared {
             n,
             cost,
-            mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
+            mailboxes,
             abort_horizon,
             death_times,
             dead: (0..n).map(|_| AtomicBool::new(false)).collect(),
             aborted: AtomicBool::new(false),
+            quiesce,
             msgs_sent: AtomicU64::new(0),
             bytes_sent: AtomicU64::new(0),
         }
@@ -397,10 +412,18 @@ impl Shared {
         self.aborted.load(Ordering::SeqCst)
     }
 
+    /// Gives up a finished rank's live token — called exactly once per
+    /// rank task, after its closure can no longer deposit envelopes
+    /// (panics included). The last retirement under a raised abort flag
+    /// finalizes the abort and releases every parked receiver.
+    pub(crate) fn rank_finished(&self) {
+        self.quiesce.retire(self.is_aborted());
+    }
+
     /// Marks the world aborted and wakes every blocked receiver.
     pub(crate) fn trigger_abort(&self) {
         self.aborted.store(true, Ordering::SeqCst);
-        for mb in &self.mailboxes {
+        for mb in self.mailboxes.iter() {
             mb.wake_all();
         }
     }
@@ -424,7 +447,7 @@ impl Shared {
     /// record the death exactly once).
     pub(crate) fn mark_dead(&self, rank: crate::Rank) -> bool {
         if !self.dead[rank.index()].swap(true, Ordering::SeqCst) {
-            for mb in &self.mailboxes {
+            for mb in self.mailboxes.iter() {
                 mb.wake_for_death(rank);
             }
             true

@@ -11,12 +11,16 @@
 //! Scenario notes: the run injects three node deaths, all masked by the
 //! r=2 replicas (live failover, degraded spheres, three committed
 //! checkpoints) in a single attempt. Runs whose failure *forces a
-//! restart* are excluded on purpose: the restart path has a pre-existing
-//! wall-clock race (physical arrival order of in-flight messages at the
-//! abort edge feeds back into virtual time through order-dependent
-//! receive accounting), so those traces were not byte-stable even before
-//! the mailbox swap. What the gate proves is that the swap itself is
-//! semantics-preserving wherever the old path was deterministic.
+//! restart* are excluded on purpose: when these constants were captured,
+//! the restart path had a wall-clock race (running ranks polled the
+//! physically-timed abort flag, so the abort edge cut each attempt at a
+//! host-timing-dependent point), and those traces were not byte-stable
+//! even before the mailbox swap. That race has since been fixed by abort
+//! finality (`mailbox::Quiesce`; `tests/abort_determinism.rs` pins the
+//! restart path bit-exactly on both backends), but this gate keeps the
+//! abort-free scenario so its constants stay comparable with the
+//! original flat-mailbox baseline. What it proves is that the delivery
+//! path is semantics-preserving where the old path was deterministic.
 
 use redcr_apps::cg::{CgConfig, CgState};
 use redcr_core::apps::CgApp;

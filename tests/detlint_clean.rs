@@ -176,3 +176,105 @@ fn seeded_violation_in_wallclock_domain_is_fine() {
     let report = lint_source("crates/bench/src/seeded.rs", Domain::Wallclock, src);
     assert!(report.is_clean(), "wallclock domain must allow Instant: {report:?}");
 }
+
+#[test]
+fn interprocedural_rules_fire_through_lint_source() {
+    // Minimal seeded programs proving each interprocedural rule actually
+    // analyzes: a lint pass whose parser or resolver regressed to seeing
+    // nothing would pass the clean-workspace gate by accident.
+    let path = "crates/sched/src/seeded.rs";
+
+    // R7: a resolved park behind one call, under a live guard.
+    let r = lint_source(
+        path,
+        Domain::Hot,
+        "fn park_current() {}\n\
+         fn wait() { park_current(); }\n\
+         struct S { q: Mutex<u32> }\n\
+         impl S { fn bad(&self) { let g = self.q.lock(); wait(); drop(g); } }\n",
+    );
+    assert!(r.unsuppressed().any(|v| v.rule == "R7"), "R7 silent: {r:?}");
+
+    // R8: blocking I/O two calls below a coroutine root.
+    let r = lint_source(
+        path,
+        Domain::Hot,
+        "fn persist() { std::fs::write(\"x\", b\"y\").ok(); }\n\
+         fn snapshot() { persist(); }\n\
+         fn spawn(pool: &Pool) { pool.run_batch(|| { snapshot(); }); }\n",
+    );
+    assert!(r.unsuppressed().any(|v| v.rule == "R8"), "R8 silent: {r:?}");
+
+    // R9: a root whose chain exceeds the default 128 KiB budget.
+    let r = lint_source(
+        path,
+        Domain::Hot,
+        "fn deep() { let b: [u8; 300_000] = [0u8; 300_000]; let _ = b[0]; }\n\
+         fn spawn(pool: &Pool) { pool.run_batch(|| { deep(); }); }\n",
+    );
+    assert!(r.unsuppressed().any(|v| v.rule == "R9" && !v.advisory), "R9 silent: {r:?}");
+
+    // R10: a spin loop on the coroutine path.
+    let r = lint_source(
+        path,
+        Domain::Hot,
+        "fn spawn(pool: &Pool) { pool.run_batch(|| { let mut n = 0u64; loop { n += 1; } }); }\n",
+    );
+    assert!(r.unsuppressed().any(|v| v.rule == "R10"), "R10 silent: {r:?}");
+}
+
+#[test]
+fn workspace_callgraph_artifact_is_sound() {
+    // The interprocedural pass must produce a non-trivial artifact for
+    // the real workspace: the coroutine roots are the world/executor rank
+    // closures, every root gets a finite stack bound, and that bound
+    // stays under the configured budget (this is the static justification
+    // for the 128 KiB REDCR_STACK_KB default).
+    let root = repo_root();
+    let cfg = Config::load(&root.join("detlint.toml")).expect("detlint.toml parses");
+    let report = lint_workspace(&root).expect("lint pass runs");
+    let cg = &report.callgraph;
+    assert!(cg.functions > 500, "suspiciously small parse: {} functions", cg.functions);
+    assert!(cg.edges.len() > 500, "suspiciously sparse resolution: {} edges", cg.edges.len());
+    assert!(
+        cg.roots.len() >= 3,
+        "the world rank closures and the executor segment closure must be roots: {:#?}",
+        cg.roots
+    );
+    for r in &cg.roots {
+        assert!(!r.recursive, "coroutine root {} is recursion-poisoned", r.root);
+        assert!(r.bound_bytes > 0 && r.frames > 0, "degenerate bound for {}: {r:#?}", r.root);
+        assert!(
+            r.bound_bytes <= cfg.stack_budget_kb * 1024,
+            "root {} bound {} exceeds the {} KiB budget the runtime default is built on",
+            r.root,
+            r.bound_bytes,
+            cfg.stack_budget_kb
+        );
+    }
+    assert!(cg.max_bound_bytes() > 0);
+    // The JSONL artifact serializes with one summary line.
+    let jsonl = cg.to_jsonl();
+    assert!(jsonl.lines().any(|l| l.contains("\"kind\":\"summary\"")), "no summary line");
+    assert_eq!(
+        jsonl.lines().filter(|l| l.contains("\"kind\":\"root\"")).count(),
+        cg.roots.len(),
+        "artifact root lines must match the report"
+    );
+}
+
+#[test]
+fn unknown_rule_in_allow_fails_the_run() {
+    // Satellite guard for the rule registry: an allow naming a rule id
+    // that does not exist (typo, or a retired rule) must fail the run
+    // rather than rot silently.
+    let src = "// detlint::allow(R99, reason = \"typo'd rule id\")\n\
+               fn fine() {}\n";
+    let report = lint_source("crates/sched/src/seeded.rs", Domain::Hot, src);
+    assert!(!report.is_clean(), "unknown rule id must fail: {report:?}");
+    assert!(
+        report.bad_suppressions.iter().any(|b| b.unknown_rule),
+        "unknown-rule flag not set: {:#?}",
+        report.bad_suppressions
+    );
+}

@@ -1,10 +1,10 @@
 //! Metrics-plane acceptance tests through the `redcr` facade:
 //!
-//! * toggling [`ExecutorConfig::metrics`] must leave every virtual-time
+//! * toggling [`ExecutorConfig::metrics`] must leave every
 //!   `ExecutionReport` total **bit-identical** — the metrics plane reads
-//!   virtual clocks, it never advances one (the physical traffic counters
-//!   alone get a small tolerance: the wall-clock abort race under
-//!   restarts makes them run-to-run noisy regardless of the toggle);
+//!   virtual clocks, it never advances one (since abort finality landed,
+//!   this includes the physical traffic counters: the abort edge is a
+//!   pure function of virtual time);
 //! * the virtual-time scraper's counter series must be monotone
 //!   non-decreasing with its final sample equal to the drained totals;
 //! * a traced storm run must export valid Perfetto JSON (one track per
@@ -76,31 +76,14 @@ fn metrics_toggle_leaves_report_totals_bit_identical() {
     assert_eq!(on.checkpoints_committed, off.checkpoints_committed);
     assert_eq!(on.replication.votes, off.replication.votes);
 
-    // The physical traffic counters are the one report field that is not
-    // run-to-run deterministic under restarts: when a sphere death aborts
-    // an attempt, the surviving rank threads observe the abort flag
-    // asynchronously in *wall-clock* time, so each may complete a few more
-    // or fewer sends before stopping. That race exists identically with
-    // metrics on or off (it is independent of this toggle), so these two
-    // totals are compared with a slack proportional to the restart count
-    // instead of exactly. Every virtual-time quantity above is exact.
-    let ranks = 8; // n = 4 at degree 2.0
-    let msg_slack = ranks * on.failures.max(1);
-    let msg_diff = on.physical_messages.abs_diff(off.physical_messages);
-    assert!(
-        msg_diff <= msg_slack,
-        "physical_messages diverged beyond the abort race: {} vs {} (slack {})",
-        on.physical_messages,
-        off.physical_messages,
-        msg_slack
-    );
-    let byte_diff = on.physical_bytes.abs_diff(off.physical_bytes);
-    assert!(
-        byte_diff <= msg_slack * 4096,
-        "physical_bytes diverged beyond the abort race: {} vs {}",
-        on.physical_bytes,
-        off.physical_bytes
-    );
+    // The physical traffic counters used to get a restart-scaled slack
+    // here: the abort edge was physically timed (running ranks polled the
+    // abort flag in wall-clock time), so each surviving rank completed a
+    // few more or fewer sends before stopping. Abort finality (see
+    // `mailbox::Quiesce` in `redcr-mpi`) made the abort edge a pure
+    // function of virtual time, so these are exact now too.
+    assert_eq!(on.physical_messages, off.physical_messages);
+    assert_eq!(on.physical_bytes, off.physical_bytes);
 }
 
 #[test]
